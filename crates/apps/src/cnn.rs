@@ -1,0 +1,334 @@
+//! CNN benchmark (§5.5): AutoSA-style systolic-array convolution.
+//!
+//! A 13×N grid of MAC PEs computing the third convolutional layer of VGG
+//! (54.5 M floating-point operations per inference). Inputs stream along
+//! rows, weights along columns, partial sums drain per PE pair. The grid's
+//! column count scales with FPGAs: 13×4 routes on one FPGA through Vitis,
+//! 13×8 through TAPA, 13×12/16/20 need 2/3/4 FPGAs. Inter-FPGA traffic
+//! grows with grid size (Table 7) and the many PEs sharing each AlveoLink
+//! port contend for it — the §5.5 scalability limiter.
+
+use serde::{Deserialize, Serialize};
+use tapacs_core::estimate;
+use tapacs_fpga::Resources;
+use tapacs_graph::{Fifo, Task, TaskGraph, TaskId};
+
+/// Total FLOPs of the VGG conv3 layer (§5.5).
+pub const LAYER_FLOPS: u64 = 54_500_000;
+/// Streaming blocks per run (input tile count).
+const BLOCKS: u64 = 64;
+
+/// CNN benchmark configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Systolic rows (paper: always 13).
+    pub rows: usize,
+    /// Systolic columns (4-20).
+    pub cols: usize,
+    /// FPGAs spanned.
+    pub n_fpgas: usize,
+}
+
+impl CnnConfig {
+    /// The paper's grid for a flow: 13×4 (Vitis), 13×8 (TAPA), 13×12 (F2),
+    /// 13×16 (F3), 13×20 (F4).
+    pub fn paper(n_fpgas: usize, tapa_single: bool) -> Self {
+        let cols = match (n_fpgas, tapa_single) {
+            (1, false) => 4,
+            (1, true) => 8,
+            (2, _) => 12,
+            (3, _) => 16,
+            (4, _) => 20,
+            (n, _) => 4 * n,
+        };
+        Self { rows: 13, cols, n_fpgas }
+    }
+
+    /// PE count.
+    pub fn pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Inter-FPGA data transfer volume in MB over varying grid sizes —
+    /// Table 7 (2.14 MB at 13×4, linear in columns).
+    pub fn transfer_volume_mb(&self) -> f64 {
+        2.14 * self.cols as f64 / 4.0
+    }
+
+    /// Columns hosted by one FPGA.
+    pub fn cols_per_fpga(&self) -> usize {
+        self.cols.div_ceil(self.n_fpgas)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Functional kernel
+// ---------------------------------------------------------------------------
+
+/// Naive direct 2-D convolution (valid padding, single channel) — the
+/// reference semantics the systolic array implements.
+///
+/// # Panics
+///
+/// Panics if the kernel is larger than the input.
+pub fn conv2d_reference(
+    input: &[f32],
+    in_dim: usize,
+    kernel: &[f32],
+    k_dim: usize,
+) -> Vec<f32> {
+    assert!(k_dim <= in_dim, "kernel larger than input");
+    let out_dim = in_dim - k_dim + 1;
+    let mut out = vec![0.0f32; out_dim * out_dim];
+    for oy in 0..out_dim {
+        for ox in 0..out_dim {
+            let mut acc = 0.0;
+            for ky in 0..k_dim {
+                for kx in 0..k_dim {
+                    acc += input[(oy + ky) * in_dim + (ox + kx)] * kernel[ky * k_dim + kx];
+                }
+            }
+            out[oy * out_dim + ox] = acc;
+        }
+    }
+    out
+}
+
+/// The same convolution evaluated the systolic way: im2col followed by an
+/// output-stationary matrix multiply, mirroring how the PE grid accumulates
+/// partial sums.
+pub fn conv2d_systolic(
+    input: &[f32],
+    in_dim: usize,
+    kernel: &[f32],
+    k_dim: usize,
+) -> Vec<f32> {
+    assert!(k_dim <= in_dim, "kernel larger than input");
+    let out_dim = in_dim - k_dim + 1;
+    let patch = k_dim * k_dim;
+    // im2col: one row per output pixel.
+    let mut cols = vec![0.0f32; out_dim * out_dim * patch];
+    for oy in 0..out_dim {
+        for ox in 0..out_dim {
+            let row = oy * out_dim + ox;
+            for ky in 0..k_dim {
+                for kx in 0..k_dim {
+                    cols[row * patch + ky * k_dim + kx] =
+                        input[(oy + ky) * in_dim + (ox + kx)];
+                }
+            }
+        }
+    }
+    // Output-stationary accumulate (each "PE" owns one output).
+    let mut out = vec![0.0f32; out_dim * out_dim];
+    for (row, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for p in 0..patch {
+            acc += cols[row * patch + p] * kernel[p];
+        }
+        *o = acc;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph builder
+// ---------------------------------------------------------------------------
+
+/// MAC PE: ~40 DSPs, matching Table 8 (13×20 → ~124% of the device's DSPs).
+fn pe_resources() -> Resources {
+    Resources::new(3_300, 4_400, 2, 40, 0)
+}
+
+fn feeder_resources() -> Resources {
+    Resources::new(1_800, 3_000, 6, 0, 0)
+}
+
+fn drain_resources() -> Resources {
+    Resources::new(900, 1_500, 2, 0, 0)
+}
+
+/// Builds the systolic grid dataflow graph. Columns are striped across
+/// FPGAs in contiguous bands, so the partitioner's natural cut is the
+/// column boundary and every row contributes one crossing FIFO per
+/// boundary (13 channels sharing the AlveoLink ports — the contention the
+/// paper reports).
+pub fn build(cfg: &CnnConfig) -> TaskGraph {
+    assert!(cfg.rows > 0 && cfg.cols > 0 && cfg.n_fpgas > 0, "invalid CNN config");
+    let mut g = TaskGraph::new(format!("cnn-{}x{}-f{}", cfg.rows, cfg.cols, cfg.n_fpgas));
+
+    let macs = LAYER_FLOPS / 2;
+    let pe_cycles = (macs / (cfg.pes() as u64 * BLOCKS)).max(1);
+    // Table 7's volume is the total crossing all boundaries; each of the
+    // (n-1) boundaries carries rows × BLOCKS block transfers.
+    let n_boundaries = (cfg.n_fpgas - 1).max(1) as f64;
+    let boundary_bytes = (cfg.transfer_volume_mb() * 1e6
+        / (n_boundaries * cfg.rows as f64 * BLOCKS as f64)) as u64;
+
+    let fpga_of_col = |c: usize| (c * cfg.n_fpgas / cfg.cols).min(cfg.n_fpgas - 1);
+
+    // Row feeders (A operands) on the first FPGA column band.
+    let row_feeders: Vec<TaskId> = (0..cfg.rows)
+        .map(|r| {
+            g.add_task(
+                Task::hbm_read(
+                    format!("f0_rowfeed{r}"),
+                    estimate::hbm_port_module(512, 64 * 1024),
+                    r % 32,
+                    512,
+                    64 * 1024,
+                )
+                .with_total_blocks(BLOCKS),
+            )
+        })
+        .collect();
+
+    let mut pe_ids = vec![vec![TaskId::from_index(0); cfg.cols]; cfg.rows];
+    for c in 0..cfg.cols {
+        let f = fpga_of_col(c);
+        // Column weight feeder.
+        let colfeed = g.add_task(
+            Task::compute(format!("f{f}_colfeed{c}"), feeder_resources())
+                .with_total_blocks(BLOCKS),
+        );
+        let mut prev_in_col: Option<TaskId> = Some(colfeed);
+        for r in 0..cfg.rows {
+            let pe = g.add_task(
+                Task::compute(format!("f{f}_pe{r}_{c}"), pe_resources())
+                    .with_cycles_per_block(pe_cycles)
+                    .with_total_blocks(BLOCKS),
+            );
+            pe_ids[r][c] = pe;
+            // Weights flow down the column.
+            if let Some(prev) = prev_in_col {
+                g.add_fifo(
+                    Fifo::new(format!("f{f}_w{r}_{c}"), prev, pe, 256)
+                        .with_block_bytes(16 * 1024),
+                );
+            }
+            prev_in_col = Some(pe);
+            // Activations flow along the row.
+            let west: TaskId = if c == 0 { row_feeders[r] } else { pe_ids[r][c - 1] };
+            let cross = c > 0 && fpga_of_col(c - 1) != f;
+            // The first-column activation stream carries the full input
+            // tile: the systolic array is input-bandwidth-bound once the
+            // grid outgrows the layer (the paper's sublinear CNN scaling).
+            let bytes = if cross {
+                boundary_bytes.max(1024)
+            } else if c == 0 {
+                // Input tile per feeder block; wider grids tile the input
+                // across more columns, shrinking each stream's share.
+                (500 * 1024 * 4 / cfg.cols as u64).max(32 * 1024)
+            } else {
+                32 * 1024
+            };
+            g.add_fifo(
+                Fifo::new(format!("a{r}_{c}"), west, pe, 512).with_block_bytes(bytes),
+            );
+        }
+        // Column drain (C results) every other PE pair.
+        let drain = g.add_task(
+            Task::compute(format!("f{f}_drain{c}"), drain_resources())
+                .with_total_blocks(BLOCKS),
+        );
+        g.add_fifo(
+            Fifo::new(format!("f{f}_dr{c}"), pe_ids[cfg.rows - 1][c], drain, 512)
+                .with_block_bytes(16 * 1024),
+        );
+        // Results to the writer on the column's FPGA.
+        let wr = g.add_task(
+            Task::hbm_write(
+                format!("f{f}_cwr{c}"),
+                estimate::hbm_port_module(512, 64 * 1024),
+                c % 32,
+                512,
+                64 * 1024,
+            )
+            .with_total_blocks(BLOCKS),
+        );
+        g.add_fifo(
+            Fifo::new(format!("f{f}_out{c}"), drain, wr, 512).with_block_bytes(16 * 1024),
+        );
+    }
+    g
+}
+
+/// FPGA assignment matching [`build`]'s naming (row feeders live on FPGA 0).
+pub fn assignment(g: &TaskGraph) -> Vec<usize> {
+    g.tasks()
+        .map(|(_, t)| {
+            t.name
+                .strip_prefix('f')
+                .and_then(|s| s.split('_').next())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Whole-design resource totals for a grid — the data behind Table 8.
+pub fn grid_resources(cfg: &CnnConfig) -> Resources {
+    build(cfg).total_resources()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_fpga::Device;
+
+    #[test]
+    fn systolic_matches_reference() {
+        let input: Vec<f32> = (0..64).map(|i| (i % 7) as f32 - 3.0).collect();
+        let kernel: Vec<f32> = (0..9).map(|i| (i as f32) * 0.1 - 0.4).collect();
+        let a = conv2d_reference(&input, 8, &kernel, 3);
+        let b = conv2d_systolic(&input, 8, &kernel, 3);
+        assert_eq!(a.len(), 36);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn table7_transfer_volumes() {
+        let volumes: Vec<f64> = [4, 8, 12, 16, 20]
+            .into_iter()
+            .map(|c| CnnConfig { rows: 13, cols: c, n_fpgas: 1 }.transfer_volume_mb())
+            .collect();
+        let expect = [2.14, 4.28, 6.42, 8.56, 10.70];
+        for (v, e) in volumes.iter().zip(expect) {
+            assert!((v - e).abs() < 0.03, "{v} vs {e}");
+        }
+    }
+
+    #[test]
+    fn table8_dsp_scaling() {
+        // 13×20 must oversubscribe the U55C's DSPs (~124% in Table 8).
+        let device = Device::u55c();
+        let big = grid_resources(&CnnConfig { rows: 13, cols: 20, n_fpgas: 4 });
+        let frac = big.dsp as f64 / device.resources().dsp as f64;
+        assert!(frac > 1.1 && frac < 1.4, "DSP fraction {frac}");
+        // 13×4 sits near Table 8's 25%.
+        let small = grid_resources(&CnnConfig { rows: 13, cols: 4, n_fpgas: 1 });
+        let frac4 = small.dsp as f64 / device.resources().dsp as f64;
+        assert!(frac4 > 0.2 && frac4 < 0.3, "DSP fraction {frac4}");
+    }
+
+    #[test]
+    fn grid_structure() {
+        let cfg = CnnConfig { rows: 3, cols: 4, n_fpgas: 2 };
+        let g = build(&cfg);
+        g.validate().unwrap();
+        let asg = assignment(&g);
+        // Row-crossing fifos at the column boundary: one per row.
+        let cut = tapacs_graph::algo::cut_fifos(&g, &asg);
+        assert_eq!(cut.len(), cfg.rows, "cut: {:?}", cut.len());
+    }
+
+    #[test]
+    fn paper_grids() {
+        assert_eq!(CnnConfig::paper(1, false).cols, 4);
+        assert_eq!(CnnConfig::paper(1, true).cols, 8);
+        assert_eq!(CnnConfig::paper(4, false).cols, 20);
+        assert_eq!(CnnConfig::paper(4, false).pes(), 260);
+    }
+}

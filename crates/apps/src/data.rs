@@ -1,0 +1,142 @@
+//! Synthetic dataset generation.
+//!
+//! The paper evaluates PageRank on five SNAP graphs (Table 5). Those files
+//! are not redistributable here, so we generate R-MAT-style power-law
+//! graphs matched to each SNAP dataset's node and edge counts — PageRank's
+//! streaming cost depends on those volumes, not on the precise edge
+//! identities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Metadata of one Table 5 network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct NetworkSpec {
+    /// Dataset name as in Table 5.
+    pub name: &'static str,
+    /// Vertex count.
+    pub nodes: u64,
+    /// Edge count.
+    pub edges: u64,
+}
+
+/// Table 5: the five SNAP networks used to test PageRank.
+pub fn snap_networks() -> Vec<NetworkSpec> {
+    vec![
+        NetworkSpec { name: "web-BerkStan", nodes: 685_230, edges: 7_600_595 },
+        NetworkSpec { name: "soc-Slashdot0811", nodes: 77_360, edges: 905_468 },
+        NetworkSpec { name: "web-Google", nodes: 875_713, edges: 5_105_039 },
+        NetworkSpec { name: "cit-Patents", nodes: 3_774_768, edges: 16_518_948 },
+        NetworkSpec { name: "web-NotreDame", nodes: 325_729, edges: 1_497_134 },
+    ]
+}
+
+/// Looks a network up by name.
+pub fn snap_network(name: &str) -> Option<NetworkSpec> {
+    snap_networks().into_iter().find(|n| n.name == name)
+}
+
+/// An edge list with power-law degree structure (R-MAT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Generates an R-MAT graph with the classic `(0.57, 0.19, 0.19, 0.05)`
+/// quadrant probabilities, deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`.
+pub fn rmat(nodes: usize, edges: usize, seed: u64) -> EdgeList {
+    assert!(nodes > 0, "graph needs at least one node");
+    let scale = (nodes as f64).log2().ceil() as u32;
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(edges);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    for _ in 0..edges {
+        let (mut x, mut y) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let bit = 1usize << level;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: nothing
+            } else if r < a + b {
+                y |= bit;
+            } else if r < a + b + c {
+                x |= bit;
+            } else {
+                x |= bit;
+                y |= bit;
+            }
+        }
+        let _ = n;
+        out.push(((x % nodes) as u32, (y % nodes) as u32));
+    }
+    EdgeList { nodes, edges: out }
+}
+
+/// A miniature stand-in for a SNAP dataset: same degree skew, scaled-down
+/// size, used by functional tests.
+pub fn rmat_like(spec: NetworkSpec, scale_down: u64, seed: u64) -> EdgeList {
+    let nodes = (spec.nodes / scale_down).max(16) as usize;
+    let edges = (spec.edges / scale_down).max(64) as usize;
+    rmat(nodes, edges, seed)
+}
+
+/// Deterministic pseudo-random `f32` dataset (KNN feature vectors, stencil
+/// grids).
+pub fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dims).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_row_counts() {
+        let nets = snap_networks();
+        assert_eq!(nets.len(), 5);
+        let cit = snap_network("cit-Patents").unwrap();
+        assert_eq!(cit.nodes, 3_774_768);
+        assert_eq!(cit.edges, 16_518_948);
+        assert!(snap_network("nope").is_none());
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_sized() {
+        let g1 = rmat(1000, 5000, 42);
+        let g2 = rmat(1000, 5000, 42);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.edges.len(), 5000);
+        assert!(g1.edges.iter().all(|&(s, d)| (s as usize) < 1000 && (d as usize) < 1000));
+    }
+
+    #[test]
+    fn rmat_has_degree_skew() {
+        // Power-law-ish: the busiest vertex sees far more than the mean.
+        let g = rmat(1024, 16_384, 7);
+        let mut deg = vec![0u32; 1024];
+        for &(s, _) in &g.edges {
+            deg[s as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = 16_384.0 / 1024.0;
+        assert!(max as f64 > 4.0 * mean, "max degree {max} too uniform");
+    }
+
+    #[test]
+    fn random_points_shape() {
+        let pts = random_points(10, 4, 1);
+        assert_eq!(pts.len(), 10);
+        assert!(pts.iter().all(|p| p.len() == 4));
+        assert_eq!(pts, random_points(10, 4, 1));
+    }
+}

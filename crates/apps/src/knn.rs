@@ -1,0 +1,281 @@
+//! KNN benchmark (§3, §5.4): CHIP-KNN-style K-nearest-neighbors.
+//!
+//! Two phases (Figure 4): *blue* modules stream the dataset from HBM and
+//! compute each point's distance to the query (`O(N·D)`), *yellow* modules
+//! keep a running top-K (`O(N·K)`), and the *green* module merges the
+//! partial top-K lists. The single-FPGA baseline can only route the
+//! 256-bit/32 KB port configuration (~51% of per-bank HBM bandwidth);
+//! TAPA-CS designs use the optimal 512-bit/128 KB ports and scale the blue
+//! modules to 36/54/72 on 2-4 FPGAs. Inter-FPGA traffic carries only the
+//! K-sized partial results, independent of `N` and `D`.
+
+use serde::{Deserialize, Serialize};
+use tapacs_core::estimate;
+use tapacs_fpga::Resources;
+use tapacs_graph::{Fifo, Task, TaskGraph};
+
+/// Feature element bytes.
+const ELEM_BYTES: u64 = 4;
+/// Streaming block per blue module.
+const BLOCK: u64 = 512 * 1024;
+
+/// KNN benchmark configuration (Table 6 parameter space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Dataset size `N`.
+    pub n_points: u64,
+    /// Feature dimension `D`.
+    pub dims: u32,
+    /// Neighbors returned `K`.
+    pub k: u32,
+    /// FPGAs spanned.
+    pub n_fpgas: usize,
+    /// HBM port width (bits): 256 single-FPGA, 512 multi.
+    pub port_width_bits: u32,
+    /// Reuse buffer: 32 KB single-FPGA, 128 KB multi.
+    pub buffer_bytes: u64,
+    /// Blue (distance) modules per FPGA.
+    pub blue_per_fpga: usize,
+}
+
+impl KnnConfig {
+    /// The paper's configuration for `n_fpgas` devices: the single-FPGA
+    /// baseline is limited to 16 blue modules at 256 bit/32 KB; multi-FPGA
+    /// designs run 36/54/72 blue modules (18 per FPGA) at 512 bit/128 KB.
+    pub fn paper(n_points: u64, dims: u32, n_fpgas: usize) -> Self {
+        if n_fpgas == 1 {
+            Self {
+                n_points,
+                dims,
+                k: 10,
+                n_fpgas,
+                port_width_bits: 256,
+                buffer_bytes: 32 * 1024,
+                blue_per_fpga: 16,
+            }
+        } else {
+            Self {
+                n_points,
+                dims,
+                k: 10,
+                n_fpgas,
+                port_width_bits: 512,
+                buffer_bytes: 128 * 1024,
+                blue_per_fpga: 18,
+            }
+        }
+    }
+
+    /// Table 6 parameter grid: `N` ∈ {1M..8M}, `D` ∈ {2..128}, `K` = 10.
+    pub fn table6_grid() -> (Vec<u64>, Vec<u32>, u32) {
+        (
+            vec![1_000_000, 2_000_000, 3_000_000, 4_000_000, 8_000_000],
+            vec![2, 4, 8, 16, 32, 64, 128],
+            10,
+        )
+    }
+
+    /// Search-space bytes: `N × D × sizeof(f32)` (8 MB - 4 GB in §5.4).
+    pub fn search_bytes(&self) -> u64 {
+        self.n_points * self.dims as u64 * ELEM_BYTES
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Functional kernel
+// ---------------------------------------------------------------------------
+
+/// Squared Euclidean distance.
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Exact top-K nearest neighbors of `query` in `points` (ascending by
+/// distance; ties broken by index).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn knn(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    assert!(k > 0, "k must be positive");
+    let mut scored: Vec<(usize, f32)> =
+        points.iter().enumerate().map(|(i, p)| (i, dist2(p, query))).collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Streaming top-K (the yellow-module algorithm): single pass, bounded
+/// state — mirrors the accelerator's insertion-sort window.
+pub fn knn_streaming(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    assert!(k > 0, "k must be positive");
+    let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
+    for (i, p) in points.iter().enumerate() {
+        let d = dist2(p, query);
+        let pos = best
+            .iter()
+            .position(|&(bi, bd)| d < bd || (d == bd && i < bi))
+            .unwrap_or(best.len());
+        if pos < k {
+            best.insert(pos, (i, d));
+            best.truncate(k);
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph builder
+// ---------------------------------------------------------------------------
+
+fn blue_resources(width_bits: u32, buffer_bytes: u64) -> Resources {
+    // Distance unit + its HBM port. The wide 512-bit/128 KB configuration
+    // is markedly heavier in the shoreline die (§3).
+    let base = estimate::hbm_port_module(width_bits, buffer_bytes);
+    base + Resources::new(6_500, 11_000, 2, 16, 0)
+}
+
+fn yellow_resources(k: u32) -> Resources {
+    estimate::sort_module(k as u64 / 2)
+}
+
+/// Builds the multi-FPGA KNN dataflow graph. All FPGAs run independently;
+/// only K-sized partial top-K lists cross to the green aggregator on the
+/// last FPGA (§5.4).
+pub fn build(cfg: &KnnConfig) -> TaskGraph {
+    assert!(cfg.n_fpgas > 0 && cfg.blue_per_fpga > 0, "invalid KNN config");
+    let mut g = TaskGraph::new(format!(
+        "knn-n{}-d{}-f{}",
+        cfg.n_points, cfg.dims, cfg.n_fpgas
+    ));
+
+    let total_blue = cfg.blue_per_fpga * cfg.n_fpgas;
+    let bytes_per_blue = cfg.search_bytes() / total_blue as u64;
+    let blocks_per_blue = (bytes_per_blue / BLOCK).max(1);
+    // Distance compute: D MACs per point, 16-wide SIMD.
+    let points_per_block = BLOCK / (cfg.dims as u64 * ELEM_BYTES).max(1);
+    let blue_cycles = (points_per_block * cfg.dims as u64 / 16).max(1);
+    // Top-K scan: one comparison per point (K-deep shift register).
+    let yellow_cycles = points_per_block.max(1);
+
+    let green_fpga = cfg.n_fpgas - 1;
+    let green = g.add_task(
+        Task::compute(format!("f{green_fpga}_green"), estimate::control_module())
+            .with_total_blocks(blocks_per_blue),
+    );
+
+    for f in 0..cfg.n_fpgas {
+        // Per-FPGA local merger of its yellow streams.
+        let local_merge = g.add_task(
+            Task::compute(format!("f{f}_ymerge"), estimate::sort_module(cfg.k as u64))
+                .with_total_blocks(blocks_per_blue),
+        );
+        for b in 0..cfg.blue_per_fpga {
+            let blue = g.add_task(
+                Task::hbm_read(
+                    format!("f{f}_blue{b}"),
+                    blue_resources(cfg.port_width_bits, cfg.buffer_bytes),
+                    b % 32,
+                    cfg.port_width_bits,
+                    cfg.buffer_bytes,
+                )
+                .with_cycles_per_block(blue_cycles)
+                .with_total_blocks(blocks_per_blue),
+            );
+            let yellow = g.add_task(
+                Task::compute(format!("f{f}_yellow{b}"), yellow_resources(cfg.k))
+                    .with_cycles_per_block(yellow_cycles)
+                    .with_total_blocks(blocks_per_blue),
+            );
+            g.add_fifo(
+                Fifo::new(format!("f{f}_d{b}"), blue, yellow, cfg.port_width_bits)
+                    .with_block_bytes(BLOCK),
+            );
+            // Yellow emits its running top-K per block: K × (idx, dist).
+            g.add_fifo(
+                Fifo::new(format!("f{f}_t{b}"), yellow, local_merge, 64)
+                    .with_block_bytes(cfg.k as u64 * 8),
+            );
+        }
+        // Partial top-K to the green module (tiny, K-dependent only).
+        g.add_fifo(
+            Fifo::new(format!("f{f}_part"), local_merge, green, 64)
+                .with_block_bytes(cfg.k as u64 * 8)
+                .with_depth_blocks(8),
+        );
+    }
+    g
+}
+
+/// FPGA assignment matching [`build`]'s naming.
+pub fn assignment(g: &TaskGraph) -> Vec<usize> {
+    g.tasks()
+        .map(|(_, t)| {
+            t.name
+                .strip_prefix('f')
+                .and_then(|s| s.split('_').next())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn streaming_matches_exact() {
+        let pts = data::random_points(500, 8, 11);
+        let q = vec![0.1f32; 8];
+        let a = knn(&pts, &q, 10);
+        let b = knn_streaming(&pts, &q, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_finds_the_planted_neighbor() {
+        let mut pts = data::random_points(200, 4, 3);
+        pts[77] = vec![0.5, 0.5, 0.5, 0.5];
+        let res = knn(&pts, &[0.5, 0.5, 0.5, 0.5], 1);
+        assert_eq!(res[0].0, 77);
+        assert_eq!(res[0].1, 0.0);
+    }
+
+    #[test]
+    fn paper_configs_match_section3() {
+        let single = KnnConfig::paper(4_000_000, 2, 1);
+        assert_eq!(single.port_width_bits, 256);
+        assert_eq!(single.buffer_bytes, 32 * 1024);
+        let multi = KnnConfig::paper(4_000_000, 2, 4);
+        assert_eq!(multi.port_width_bits, 512);
+        assert_eq!(multi.blue_per_fpga * 4, 72);
+        // Search space: 8 MB (N=1M, D=2) to 4 GB (N=8M, D=128).
+        assert_eq!(KnnConfig::paper(1_000_000, 2, 1).search_bytes(), 8_000_000);
+        assert_eq!(KnnConfig::paper(8_000_000, 128, 1).search_bytes(), 4_096_000_000);
+    }
+
+    #[test]
+    fn cut_volume_depends_on_k_only() {
+        let small = KnnConfig { n_points: 1 << 20, ..KnnConfig::paper(1 << 20, 8, 2) };
+        let big = KnnConfig { n_points: 1 << 23, ..KnnConfig::paper(1 << 23, 8, 2) };
+        for cfg in [small, big] {
+            let g = build(&cfg);
+            g.validate().unwrap();
+            let asg = assignment(&g);
+            let cut = tapacs_graph::algo::cut_fifos(&g, &asg);
+            for c in cut {
+                assert_eq!(g.fifo(c).block_bytes, cfg.k as u64 * 8);
+            }
+        }
+    }
+
+    #[test]
+    fn module_count_single_fpga() {
+        // 16 blue + 16 yellow + merge + green ≈ the paper's "27 compute
+        // modules" scale.
+        let g = build(&KnnConfig::paper(1 << 20, 2, 1));
+        assert!(g.num_tasks() >= 27, "got {}", g.num_tasks());
+    }
+}

@@ -1,0 +1,26 @@
+//! The four paper benchmarks (§5.1) as dataflow designs.
+//!
+//! Each benchmark module provides:
+//!
+//! * a **functional Rust kernel** (real dilate stencil, real edge-centric
+//!   PageRank, real top-K KNN, real convolution) validated against a naive
+//!   reference — the reproduction's stand-in for the HLS C++ sources,
+//! * a parameterized **task-graph builder** producing the same module
+//!   topology the paper draws in Figure 9, with resource profiles
+//!   calibrated to the paper's utilization tables,
+//! * **workload statistics** reproducing the analytic tables (stencil
+//!   Table 4, CNN Tables 7-8, PageRank Table 5, KNN Table 6).
+//!
+//! [`suite`] enumerates the full evaluation matrix and drives
+//! compile+simulate for every flow — the engine behind Table 3 and
+//! Figures 10-17.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod data;
+pub mod knn;
+pub mod pagerank;
+pub mod stencil;
+pub mod suite;

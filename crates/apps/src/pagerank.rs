@@ -1,0 +1,339 @@
+//! PageRank benchmark (§5.3): edge-centric citation ranking.
+//!
+//! Four PEs and a central controller with dependency cycles (Figure 9):
+//! edges stream from HBM to PEs which propagate weighted ranks from source
+//! to destination vertices; updates accumulate back into HBM until
+//! convergence. Scaling adds PEs (4 → 8/12/16 on 1-4 FPGAs; 32 on 8)
+//! while each FPGA keeps its own ~27 HBM channels; inter-FPGA volume
+//! depends only on the dataset (the broadcast rank vector), so compute
+//! intensity grows with PEs and speed-ups are superlinear.
+
+use serde::Serialize;
+use tapacs_core::estimate;
+use tapacs_fpga::Resources;
+use tapacs_graph::{Fifo, Task, TaskGraph, TaskId};
+
+use crate::data::{EdgeList, NetworkSpec};
+
+/// Edge record bytes (src, dst as u32).
+const EDGE_BYTES: u64 = 8;
+/// Streaming block: 1 MB of edges.
+const BLOCK: u64 = 1 << 20;
+/// Edge readers feeding each PE.
+const READERS_PER_PE: usize = 3;
+/// Convergence iterations modeled (the paper runs "until convergence").
+pub const ITERATIONS: u64 = 50;
+/// Cycles per edge (irregular HBM access pattern).
+const CYCLES_PER_EDGE: u64 = 5;
+
+/// PageRank benchmark configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PageRankConfig {
+    /// The dataset (Table 5 metadata).
+    pub network: NetworkSpec,
+    /// FPGAs spanned.
+    pub n_fpgas: usize,
+    /// PEs per FPGA (paper: always 4).
+    pub pes_per_fpga: usize,
+}
+
+impl PageRankConfig {
+    /// The paper's configuration: 4 PEs per FPGA (4/8/12/16 total).
+    pub fn paper(network: NetworkSpec, n_fpgas: usize) -> Self {
+        Self { network, n_fpgas, pes_per_fpga: 4 }
+    }
+
+    /// Total PE count.
+    pub fn total_pes(&self) -> usize {
+        self.n_fpgas * self.pes_per_fpga
+    }
+
+    /// Total edge bytes streamed over all iterations, per FPGA.
+    pub fn edge_bytes_per_fpga(&self) -> u64 {
+        self.network.edges * EDGE_BYTES * ITERATIONS / self.n_fpgas as u64
+    }
+
+    /// Rank-vector broadcast volume per FPGA pair over the run — the
+    /// dataset-dependent inter-FPGA traffic of §5.3.
+    pub fn broadcast_bytes(&self) -> u64 {
+        self.network.nodes * 8 * ITERATIONS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Functional kernel
+// ---------------------------------------------------------------------------
+
+/// Edge-centric PageRank: returns per-vertex ranks after `iterations`
+/// damping rounds (d = 0.85). Dangling mass is redistributed uniformly.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn pagerank(graph: &EdgeList, iterations: usize) -> Vec<f64> {
+    assert!(graph.nodes > 0, "graph needs nodes");
+    let n = graph.nodes;
+    let d = 0.85;
+    let mut out_degree = vec![0u32; n];
+    for &(s, _) in &graph.edges {
+        out_degree[s as usize] += 1;
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - d) / n as f64; n];
+        let mut dangling = 0.0;
+        for (v, &deg) in out_degree.iter().enumerate() {
+            if deg == 0 {
+                dangling += rank[v];
+            }
+        }
+        let dangling_share = d * dangling / n as f64;
+        for nx in next.iter_mut() {
+            *nx += dangling_share;
+        }
+        // Edge-centric traversal: every edge propagates its share.
+        for &(s, t) in &graph.edges {
+            let share = d * rank[s as usize] / out_degree[s as usize] as f64;
+            next[t as usize] += share;
+        }
+        rank = next;
+    }
+    rank
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph builder
+// ---------------------------------------------------------------------------
+
+fn edge_port_resources() -> Resources {
+    // Edge-stream AXI port with a deep reorder buffer (URAM).
+    Resources::new(7_000, 12_000, 4, 0, 6)
+}
+
+fn pe_resources() -> Resources {
+    // Rank-propagation PE: float MAC + scatter logic.
+    Resources::new(46_000, 78_000, 48, 96, 8)
+}
+
+/// Builds the multi-FPGA PageRank dataflow graph.
+///
+/// Topology per Figure 9: FPGA 0 hosts the vertex router (rank-vector
+/// loader) feeding every FPGA's PEs; each FPGA streams its own edge
+/// partition from local HBM; accumulated partial ranks flow back to the
+/// FPGA-0 controller, which closes the convergence loop through a seeded
+/// feedback FIFO (a genuine dataflow cycle, as the paper highlights).
+pub fn build(cfg: &PageRankConfig) -> TaskGraph {
+    assert!(cfg.n_fpgas > 0 && cfg.pes_per_fpga > 0, "invalid PageRank config");
+    let mut g = TaskGraph::new(format!(
+        "pagerank-{}-f{}",
+        cfg.network.name, cfg.n_fpgas
+    ));
+
+    // Work accounting. Every PE streams `pe_edge_blocks` 1-MB edge blocks;
+    // the controller loop runs `rounds` broadcast rounds; the rank cache
+    // expands each round into enough per-PE credits.
+    let edge_blocks_fpga = (cfg.edge_bytes_per_fpga() / BLOCK).max(1);
+    let pe_edge_blocks = (edge_blocks_fpga / cfg.pes_per_fpga as u64).max(1);
+    let rounds = 8u64.min(pe_edge_blocks);
+    let bcast_block_bytes = (cfg.broadcast_bytes() / rounds).max(1);
+    // Credits per round so every PE can complete all its edge blocks.
+    let credits_per_round = pe_edge_blocks.div_ceil(rounds);
+    // Partial blocks the accumulator drains from each PE per round.
+    let partials_per_round = (pe_edge_blocks / rounds).max(1);
+
+    // FPGA 0: vertex loader + router + controller (the dependency cycle).
+    let vloader = g.add_task(
+        Task::hbm_read("f0_vload", edge_port_resources(), 0, 512, 64 * 1024)
+            .with_total_blocks(rounds),
+    );
+    let router = g.add_task(
+        Task::compute("f0_router", estimate::control_module()).with_total_blocks(rounds),
+    );
+    g.add_fifo(
+        Fifo::new("f0_vl_rt", vloader, router, 512).with_block_bytes(bcast_block_bytes),
+    );
+    let controller = g.add_task(
+        Task::compute("f0_ctrl", estimate::control_module()).with_total_blocks(rounds),
+    );
+    // Feedback cycle: controller credits the router, seeded with half the
+    // rounds so the pipeline can start (latency-insensitive loop).
+    let seed = (rounds as usize / 2).max(1);
+    g.add_fifo(
+        Fifo::new("f0_fb", controller, router, 64)
+            .with_block_bytes(64)
+            .with_depth_blocks(rounds as usize + seed)
+            .with_initial_blocks(seed),
+    );
+
+    for f in 0..cfg.n_fpgas {
+        // Rank cache receiving the broadcast; expands one round block into
+        // per-PE credits.
+        let cache = g.add_task(
+            Task::compute(format!("f{f}_cache"), estimate::stream_module(512))
+                .with_total_blocks(rounds)
+                .with_produce_per_firing(credits_per_round),
+        );
+        g.add_fifo(
+            Fifo::new(format!("f0_bc{f}"), router, cache, 512)
+                .with_block_bytes(bcast_block_bytes)
+                .with_depth_blocks(4),
+        );
+        // Per-FPGA accumulator draining PE partials once per round.
+        let acc = g.add_task(
+            Task::compute(format!("f{f}_acc"), estimate::control_module())
+                .with_total_blocks(rounds)
+                .with_consume_per_firing(partials_per_round),
+        );
+        for p in 0..cfg.pes_per_fpga {
+            let readers: Vec<TaskId> = (0..READERS_PER_PE)
+                .map(|r| {
+                    g.add_task(
+                        Task::hbm_read(
+                            format!("f{f}_pe{p}_rd{r}"),
+                            edge_port_resources(),
+                            1 + p * READERS_PER_PE + r,
+                            512,
+                            64 * 1024,
+                        )
+                        .with_total_blocks(pe_edge_blocks),
+                    )
+                })
+                .collect();
+            let pe = g.add_task(
+                Task::compute(format!("f{f}_pe{p}"), pe_resources())
+                    .with_cycles_per_block(
+                        (BLOCK / EDGE_BYTES) * CYCLES_PER_EDGE * READERS_PER_PE as u64,
+                    )
+                    .with_total_blocks(pe_edge_blocks),
+            );
+            for (r, &rd) in readers.iter().enumerate() {
+                g.add_fifo(
+                    Fifo::new(format!("f{f}_pe{p}_e{r}"), rd, pe, 512)
+                        .with_block_bytes(BLOCK),
+                );
+            }
+            // Rank credits from the cache (deep: holds a full round's
+            // expansion).
+            g.add_fifo(
+                Fifo::new(format!("f{f}_pe{p}_rk"), cache, pe, 512)
+                    .with_block_bytes(64 * 1024)
+                    .with_depth_blocks((rounds * credits_per_round) as usize + 4),
+            );
+            // Update writer per PE.
+            let wr = g.add_task(
+                Task::hbm_write(
+                    format!("f{f}_pe{p}_wr"),
+                    edge_port_resources(),
+                    16 + p,
+                    512,
+                    64 * 1024,
+                )
+                .with_total_blocks(pe_edge_blocks),
+            );
+            g.add_fifo(
+                Fifo::new(format!("f{f}_pe{p}_up"), pe, wr, 512).with_block_bytes(BLOCK / 4),
+            );
+            // PE partials to the accumulator (deep credit fifo).
+            g.add_fifo(
+                Fifo::new(format!("f{f}_pe{p}_pr"), pe, acc, 256)
+                    .with_block_bytes(64 * 1024)
+                    .with_depth_blocks(pe_edge_blocks as usize + 4),
+            );
+        }
+        // Partial ranks back to FPGA 0.
+        g.add_fifo(
+            Fifo::new(format!("f{f}_ret"), acc, controller, 256)
+                .with_block_bytes(bcast_block_bytes / 2)
+                .with_depth_blocks(4),
+        );
+    }
+    g
+}
+
+/// FPGA assignment matching [`build`]'s naming.
+pub fn assignment(g: &TaskGraph) -> Vec<usize> {
+    g.tasks()
+        .map(|(_, t)| {
+            t.name
+                .strip_prefix('f')
+                .and_then(|s| s.split('_').next())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = data::rmat(256, 2048, 3);
+        let r = pagerank(&g, 20);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "rank mass {sum}");
+        assert!(r.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pagerank_favors_high_in_degree() {
+        // Star graph: everyone points at vertex 0.
+        let edges: Vec<(u32, u32)> = (1..50).map(|i| (i, 0)).collect();
+        let g = EdgeList { nodes: 50, edges };
+        let r = pagerank(&g, 30);
+        let best = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+        assert!(r[0] > 10.0 * r[1]);
+    }
+
+    #[test]
+    fn pagerank_converges() {
+        let g = data::rmat(128, 1024, 5);
+        let a = pagerank(&g, 40);
+        let b = pagerank(&g, 60);
+        let delta: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(delta < 1e-6, "not converged: {delta}");
+    }
+
+    #[test]
+    fn broadcast_volume_is_dataset_dependent_only() {
+        let net = data::snap_network("web-Google").unwrap();
+        let c2 = PageRankConfig::paper(net, 2);
+        let c4 = PageRankConfig::paper(net, 4);
+        assert_eq!(c2.broadcast_bytes(), c4.broadcast_bytes());
+        assert_eq!(c4.total_pes(), 16);
+    }
+
+    #[test]
+    fn graph_has_controller_cycle() {
+        let net = NetworkSpec { name: "tiny", nodes: 10_000, edges: 100_000 };
+        let g = build(&PageRankConfig::paper(net, 2));
+        g.validate().unwrap();
+        assert!(!tapacs_graph::algo::is_dag(&g), "PageRank must contain its feedback cycle");
+        // The cycle carries initial credit tokens.
+        let seeded = g.fifos().any(|(_, f)| f.initial_blocks > 0);
+        assert!(seeded);
+    }
+
+    #[test]
+    fn multi_fpga_cut_carries_broadcast() {
+        let net = NetworkSpec { name: "tiny", nodes: 10_000, edges: 100_000 };
+        let cfg = PageRankConfig::paper(net, 2);
+        let g = build(&cfg);
+        let asg = assignment(&g);
+        let cut = tapacs_graph::algo::cut_fifos(&g, &asg);
+        assert!(!cut.is_empty());
+        // All cut fifos touch FPGA 0 (star-shaped broadcast/return).
+        for f in cut {
+            let fifo = g.fifo(f);
+            assert!(asg[fifo.src.index()] == 0 || asg[fifo.dst.index()] == 0);
+        }
+    }
+}

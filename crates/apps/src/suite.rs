@@ -1,0 +1,237 @@
+//! The evaluation matrix (§5): builds each benchmark at the paper's
+//! configurations, runs the full compile pipeline for every flow and
+//! simulates the result — the engine behind Table 3 and Figures 10-17.
+
+use serde::{Deserialize, Serialize};
+use tapacs_core::{CompileError, CompiledDesign, Compiler, CompilerConfig, Flow};
+use tapacs_fpga::Device;
+use tapacs_graph::TaskGraph;
+use tapacs_net::{Cluster, Topology};
+
+use crate::data::NetworkSpec;
+use crate::{cnn, knn, pagerank, stencil};
+
+/// One benchmark family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Rodinia Dilate stencil.
+    Stencil,
+    /// Edge-centric PageRank.
+    PageRank,
+    /// CHIP-KNN.
+    Knn,
+    /// AutoSA systolic CNN.
+    Cnn,
+}
+
+impl Benchmark {
+    /// All four, in the paper's order.
+    pub const ALL: [Benchmark; 4] =
+        [Benchmark::Stencil, Benchmark::PageRank, Benchmark::Knn, Benchmark::Cnn];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Stencil => "Stencil",
+            Benchmark::PageRank => "PageRank",
+            Benchmark::Knn => "KNN",
+            Benchmark::Cnn => "CNN",
+        }
+    }
+}
+
+/// Outcome of compiling + simulating one flow of one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowRun {
+    /// The flow (`F1-V`, `F1-T`, `F2`…).
+    pub flow: Flow,
+    /// Achieved design frequency (slowest FPGA), MHz.
+    pub freq_mhz: f64,
+    /// Simulated end-to-end latency, seconds.
+    pub latency_s: f64,
+    /// Intra-node inter-FPGA traffic, bytes.
+    pub inter_fpga_bytes: u64,
+    /// Cross-node traffic, bytes.
+    pub inter_node_bytes: u64,
+    /// Inter-FPGA floorplanning runtime (`L1`), seconds.
+    pub l1_s: f64,
+    /// Intra-FPGA floorplanning runtime (`L2`), seconds.
+    pub l2_s: f64,
+}
+
+impl FlowRun {
+    /// Speed-up relative to a baseline latency.
+    pub fn speedup_over(&self, baseline: &FlowRun) -> f64 {
+        baseline.latency_s / self.latency_s
+    }
+}
+
+/// A cluster shaped like the paper's testbed node(s): rings of four U55C
+/// cards, two nodes when more than four FPGAs are requested.
+pub fn paper_cluster(n_fpgas: usize) -> Cluster {
+    if n_fpgas <= 4 {
+        Cluster::single_node(Device::u55c(), n_fpgas.max(1), Topology::Ring)
+    } else {
+        Cluster::with_nodes(Device::u55c(), vec![4, n_fpgas - 4], Topology::Ring)
+    }
+}
+
+/// Compiler configuration tuned for suite runs (bounded ILP budgets keep
+/// the full matrix tractable; the §5.6 overhead study raises them).
+pub fn suite_compiler(cluster: Cluster) -> Compiler {
+    let mut cfg = CompilerConfig::default();
+    cfg.partition.time_limit_s = 1.0;
+    cfg.floorplan.time_limit_s = 1.0;
+    Compiler::with_config(cluster, cfg)
+}
+
+/// Compiles and simulates one already-built graph under one flow.
+///
+/// # Errors
+///
+/// Propagates compilation errors; simulation deadlocks become
+/// [`CompileError::Solver`] with a diagnostic.
+pub fn run_flow(graph: &TaskGraph, flow: Flow) -> Result<(FlowRun, CompiledDesign), CompileError> {
+    let cluster = paper_cluster(flow.n_fpgas());
+    let compiler = suite_compiler(cluster.clone());
+    let design = compiler.compile(graph, flow)?;
+    let sim = design
+        .simulate(&cluster)
+        .map_err(|e| CompileError::Solver(format!("simulation failed: {e}")))?;
+    Ok((
+        FlowRun {
+            flow,
+            freq_mhz: design.design_freq_mhz(),
+            latency_s: sim.makespan_s,
+            inter_fpga_bytes: sim.inter_fpga_bytes,
+            inter_node_bytes: sim.inter_node_bytes,
+            l1_s: design.partition.runtime.as_secs_f64(),
+            l2_s: design.floorplan_runtime.as_secs_f64(),
+        },
+        design,
+    ))
+}
+
+/// Builds the right graph for a benchmark/flow pair at the paper's
+/// configuration (`param` selects the sweep point: iterations for stencil,
+/// dataset index for PageRank, feature dim for KNN, unused for CNN).
+pub fn build_for(bench: Benchmark, flow: Flow, param: u64) -> TaskGraph {
+    let n = flow.n_fpgas();
+    match bench {
+        Benchmark::Stencil => stencil::build(&stencil::StencilConfig::paper(param as usize, n)),
+        Benchmark::PageRank => {
+            let nets = crate::data::snap_networks();
+            let net = nets[(param as usize) % nets.len()];
+            pagerank::build(&pagerank::PageRankConfig::paper(net, n))
+        }
+        Benchmark::Knn => {
+            knn::build(&knn::KnnConfig::paper(4_000_000, param.max(2) as u32, n))
+        }
+        Benchmark::Cnn => {
+            cnn::build(&cnn::CnnConfig::paper(n, matches!(flow, Flow::TapaSingle)))
+        }
+    }
+}
+
+/// Default sweep parameter per benchmark (stencil 64 iterations, PageRank
+/// dataset 0, KNN D = 8).
+pub fn default_param(bench: Benchmark) -> u64 {
+    match bench {
+        Benchmark::Stencil => 64,
+        Benchmark::PageRank => 0,
+        Benchmark::Knn => 8,
+        Benchmark::Cnn => 0,
+    }
+}
+
+/// The flows of the paper's evaluation (F1-V baseline first).
+pub fn paper_flows(max_fpgas: usize) -> Vec<Flow> {
+    let mut flows = vec![Flow::VitisHls, Flow::TapaSingle];
+    for n in 2..=max_fpgas {
+        flows.push(Flow::TapaCs { n_fpgas: n });
+    }
+    flows
+}
+
+/// One row of Table 3: speed-ups normalized to the Vitis baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Speed-up per flow, ordered as [`paper_flows`] (F1-V = 1.0 first).
+    pub speedups: Vec<f64>,
+    /// Frequencies per flow (MHz).
+    pub freqs_mhz: Vec<f64>,
+}
+
+/// Runs one benchmark across all flows at its default sweep point and
+/// normalizes to F1-V — one row of Table 3.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn table3_row(bench: Benchmark, max_fpgas: usize) -> Result<SpeedupRow, CompileError> {
+    let param = default_param(bench);
+    let mut runs = Vec::new();
+    for flow in paper_flows(max_fpgas) {
+        let graph = build_for(bench, flow, param);
+        let (run, _) = run_flow(&graph, flow)?;
+        runs.push(run);
+    }
+    let base = runs[0].clone();
+    Ok(SpeedupRow {
+        benchmark: bench.name(),
+        speedups: runs.iter().map(|r| r.speedup_over(&base)).collect(),
+        freqs_mhz: runs.iter().map(|r| r.freq_mhz).collect(),
+    })
+}
+
+/// Figure 12 data point: PageRank latency for one dataset across flows.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn pagerank_dataset_runs(
+    net: NetworkSpec,
+    max_fpgas: usize,
+) -> Result<Vec<FlowRun>, CompileError> {
+    let mut out = Vec::new();
+    for flow in paper_flows(max_fpgas) {
+        let g = pagerank::build(&pagerank::PageRankConfig::paper(net, flow.n_fpgas()));
+        out.push(run_flow(&g, flow)?.0);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_shapes() {
+        assert_eq!(paper_cluster(1).total_fpgas(), 1);
+        assert_eq!(paper_cluster(4).num_nodes(), 1);
+        let eight = paper_cluster(8);
+        assert_eq!(eight.num_nodes(), 2);
+        assert_eq!(eight.total_fpgas(), 8);
+    }
+
+    #[test]
+    fn flow_list() {
+        let flows = paper_flows(4);
+        assert_eq!(flows.len(), 5);
+        assert_eq!(flows[0], Flow::VitisHls);
+        assert_eq!(flows[4], Flow::TapaCs { n_fpgas: 4 });
+    }
+
+    #[test]
+    fn builders_produce_valid_graphs_for_all_flows() {
+        for bench in Benchmark::ALL {
+            for flow in paper_flows(3) {
+                let g = build_for(bench, flow, default_param(bench));
+                g.validate().unwrap_or_else(|e| panic!("{bench:?}/{flow:?}: {e}"));
+                assert!(g.num_tasks() > 5);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Criterion benches: one group per paper experiment family.
+//!
+//! The heavy experiment bodies live in `tapacs_bench::reproduce`; these
+//! benches time representative slices so `cargo bench` exercises every
+//! code path (partitioner, floorplanner, pipeliner, virtual P&R,
+//! simulator) at paper-like scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tapacs_apps::suite::{build_for, run_flow, Benchmark};
+use tapacs_apps::{cnn, knn, pagerank, stencil};
+use tapacs_core::partition::{partition, PartitionConfig};
+use tapacs_core::Flow;
+use tapacs_net::{AlveoLink, Cluster, Topology};
+use tapacs_fpga::Device;
+
+/// Fig. 8: the AlveoLink throughput model (pure analytics).
+fn fig8_alveolink(c: &mut Criterion) {
+    let link = AlveoLink::default();
+    c.bench_function("fig8_alveolink_curve", |b| {
+        b.iter(|| std::hint::black_box(link.throughput_curve(64)))
+    });
+}
+
+/// Table 3 slice: compile+simulate the stencil at 64 iterations, F2.
+fn table3_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_speedup");
+    g.sample_size(10);
+    g.bench_function("stencil_f2_compile_sim", |b| {
+        let graph = build_for(Benchmark::Stencil, Flow::TapaCs { n_fpgas: 2 }, 64);
+        b.iter(|| std::hint::black_box(run_flow(&graph, Flow::TapaCs { n_fpgas: 2 }).unwrap()))
+    });
+    g.finish();
+}
+
+/// Fig. 10 slice: stencil single-FPGA baseline.
+fn fig10_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_stencil");
+    g.sample_size(10);
+    g.bench_function("stencil_i64_f1v", |b| {
+        let graph = stencil::build(&stencil::StencilConfig::paper(64, 1));
+        b.iter(|| std::hint::black_box(run_flow(&graph, Flow::VitisHls).unwrap()))
+    });
+    g.finish();
+}
+
+/// Fig. 12 slice: PageRank on soc-Slashdot0811 (smallest dataset), F2.
+fn fig12_pagerank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_pagerank");
+    g.sample_size(10);
+    let net = tapacs_apps::data::snap_network("soc-Slashdot0811").unwrap();
+    g.bench_function("pagerank_slashdot_f2", |b| {
+        let graph = pagerank::build(&pagerank::PageRankConfig::paper(net, 2));
+        b.iter(|| std::hint::black_box(run_flow(&graph, Flow::TapaCs { n_fpgas: 2 }).unwrap()))
+    });
+    g.finish();
+}
+
+/// Fig. 14/15 slice: KNN D=8 N=4M, F2.
+fn fig14_knn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_knn");
+    g.sample_size(10);
+    g.bench_function("knn_d8_f2", |b| {
+        let graph = knn::build(&knn::KnnConfig::paper(4_000_000, 8, 2));
+        b.iter(|| std::hint::black_box(run_flow(&graph, Flow::TapaCs { n_fpgas: 2 }).unwrap()))
+    });
+    g.finish();
+}
+
+/// Fig. 17 slice: CNN 13×12 on two FPGAs.
+fn fig17_cnn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_cnn");
+    g.sample_size(10);
+    g.bench_function("cnn_13x12_f2", |b| {
+        let graph = cnn::build(&cnn::CnnConfig { rows: 13, cols: 12, n_fpgas: 2 });
+        b.iter(|| std::hint::black_box(run_flow(&graph, Flow::TapaCs { n_fpgas: 2 }).unwrap()))
+    });
+    g.finish();
+}
+
+/// §5.6: partitioner overhead vs module count (the L1 study itself).
+fn overhead_floorplan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead_floorplan");
+    g.sample_size(10);
+    for cols in [4usize, 12] {
+        let graph = cnn::build(&cnn::CnnConfig { rows: 13, cols, n_fpgas: 2 });
+        let cluster = Cluster::single_node(Device::u55c(), 2, Topology::Ring);
+        let cfg = PartitionConfig { time_limit_s: 1.0, ..Default::default() };
+        g.bench_function(format!("partition_cnn_13x{cols}"), |b| {
+            b.iter(|| std::hint::black_box(partition(&graph, &cluster, 2, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// §5.7 slice: the 8-FPGA two-node PageRank.
+fn multinode_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multinode_scaling");
+    g.sample_size(10);
+    let net = tapacs_apps::data::snap_network("web-NotreDame").unwrap();
+    g.bench_function("pagerank_f8_two_nodes", |b| {
+        let graph = pagerank::build(&pagerank::PageRankConfig::paper(net, 8));
+        b.iter(|| std::hint::black_box(run_flow(&graph, Flow::TapaCs { n_fpgas: 8 }).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig8_alveolink,
+    table3_speedup,
+    fig10_stencil,
+    fig12_pagerank,
+    fig14_knn,
+    fig17_cnn,
+    overhead_floorplan,
+    multinode_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p tapacs-bench --bin reproduce -- quick   # static tables
+//! cargo run --release -p tapacs-bench --bin reproduce -- all    # full matrix
+//! cargo run --release -p tapacs-bench --bin reproduce -- table3 fig10 fig12
+//! ```
+
+use tapacs_bench::reproduce as r;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> =
+        if args.is_empty() { vec!["quick"] } else { args.iter().map(|s| s.as_str()).collect() };
+
+    for w in wanted {
+        match w {
+            "quick" => print!("{}", r::quick()),
+            "all" => {
+                print!("{}", r::quick());
+                print!("{}\n", r::table3()?);
+                print!("{}\n", r::freq_summary()?);
+                print!("{}\n", r::fig10()?);
+                print!("{}\n", r::utilization_fig(tapacs_apps::suite::Benchmark::Stencil)?);
+                print!("{}\n", r::fig12()?);
+                print!("{}\n", r::utilization_fig(tapacs_apps::suite::Benchmark::PageRank)?);
+                print!("{}\n", r::fig14()?);
+                print!("{}\n", r::fig15()?);
+                print!("{}\n", r::utilization_fig(tapacs_apps::suite::Benchmark::Knn)?);
+                print!("{}\n", r::fig17()?);
+                print!("{}\n", r::overhead()?);
+                print!("{}\n", r::ablation()?);
+                print!("{}\n", r::multinode()?);
+            }
+            "table1" => print!("{}", r::table1()),
+            "table2" => print!("{}", r::table2()),
+            "table3" => print!("{}", r::table3()?),
+            "table4" => print!("{}", r::table4()),
+            "table5" => print!("{}", r::table5()),
+            "table6" => print!("{}", r::table6()),
+            "table7" => print!("{}", r::table7()),
+            "table8" => print!("{}", r::table8()),
+            "table9" => print!("{}", r::table9()),
+            "table10" => print!("{}", r::table10()),
+            "fig8" => print!("{}", r::fig8()),
+            "fig10" => print!("{}", r::fig10()?),
+            "fig11" => print!("{}", r::utilization_fig(tapacs_apps::suite::Benchmark::Stencil)?),
+            "fig12" => print!("{}", r::fig12()?),
+            "fig13" => print!("{}", r::utilization_fig(tapacs_apps::suite::Benchmark::PageRank)?),
+            "fig14" => print!("{}", r::fig14()?),
+            "fig15" => print!("{}", r::fig15()?),
+            "fig16" => print!("{}", r::utilization_fig(tapacs_apps::suite::Benchmark::Knn)?),
+            "fig17" => print!("{}", r::fig17()?),
+            "freq" => print!("{}", r::freq_summary()?),
+            "overhead" => print!("{}", r::overhead()?),
+            "alveolink_overhead" => print!("{}", r::alveolink_overhead()),
+            "multinode" => print!("{}", r::multinode()?),
+            "packet_example" => print!("{}", r::packet_example()),
+            "ablation" => print!("{}", r::ablation()?),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        println!();
+    }
+    Ok(())
+}

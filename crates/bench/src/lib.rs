@@ -1,0 +1,15 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! Two entry points:
+//!
+//! * the [`reproduce`] module (and the `reproduce` binary) prints each
+//!   table/figure in the paper's layout — run
+//!   `cargo run --release -p tapacs-bench --bin reproduce -- all`,
+//! * the Criterion benches under `benches/` time the headline experiments
+//!   (`cargo bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reproduce;

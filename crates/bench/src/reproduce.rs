@@ -1,0 +1,541 @@
+//! One function per table/figure of the paper. Each returns the rendered
+//! text so the `reproduce` binary, the Criterion benches and the tests can
+//! share them. See `EXPERIMENTS.md` for paper-vs-measured commentary.
+
+use std::fmt::Write as _;
+
+use tapacs_apps::suite::{
+    self, paper_flows, run_flow, table3_row, Benchmark,
+};
+use tapacs_apps::{cnn, data, knn, pagerank, stencil};
+use tapacs_core::report::{prior_work, UtilizationReport};
+use tapacs_core::Flow;
+use tapacs_fpga::Device;
+use tapacs_net::{alveolink, protocol, AlveoLink};
+
+fn check(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Table 1: comparison with prior scale-out approaches.
+pub fn table1() -> String {
+    let mut s = String::from(
+        "Table 1: method comparison\nmethod                          HLS  Eth  Floorplan  Pipelining  Topo  AutoPart  HW   General  Fmax\n",
+    );
+    for r in prior_work() {
+        let _ = writeln!(
+            s,
+            "{:<31} {:<4} {:<4} {:<10} {:<11} {:<5} {:<9} {:<4} {:<8} {}",
+            r.method,
+            check(r.hls),
+            check(r.ethernet),
+            check(r.floorplanning),
+            check(r.interconnect_pipelining),
+            check(r.topology_aware),
+            check(r.automatic_partitioning),
+            check(r.hardware_execution),
+            check(r.generalizable),
+            r.fmax_mhz.map(|f| format!("{f:.0} MHz")).unwrap_or("-".into()),
+        );
+    }
+    s
+}
+
+/// Table 2: resource availability on the Alveo U55C.
+pub fn table2() -> String {
+    let d = Device::u55c();
+    let r = d.resources();
+    format!(
+        "Table 2: {} resources\nLUT   {}\nFF    {}\nBRAM  {}\nDSP   {}\nURAM  {}\n",
+        d.name(),
+        r.lut,
+        r.ff,
+        r.bram,
+        r.dsp,
+        r.uram
+    )
+}
+
+/// Table 3: average speed-up per benchmark and flow (the headline table).
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn table3() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Table 3: speed-up normalized to F1-V\nBenchmark  F1-V   F1-T   F2     F3     F4\n");
+    for bench in Benchmark::ALL {
+        let row = table3_row(bench, 4)?;
+        let _ = write!(s, "{:<10}", row.benchmark);
+        for v in &row.speedups {
+            let _ = write!(s, " {v:<6.2}");
+        }
+        s.push('\n');
+    }
+    Ok(s)
+}
+
+/// Table 4: stencil compute intensity and inter-FPGA volume vs iterations.
+pub fn table4() -> String {
+    let mut s = String::from("Table 4: Stencil compute intensity (4096x4096)\nIters  Ops/Byte  Volume (MB)\n");
+    for iters in [64, 128, 256, 512] {
+        let st = stencil::workload_stats(iters);
+        let _ = writeln!(s, "{:<6} {:<9.0} {:.2}", st.iterations, st.ops_per_byte, st.volume_mb);
+    }
+    s
+}
+
+/// Table 5: PageRank networks.
+pub fn table5() -> String {
+    let mut s = String::from("Table 5: networks used to test PageRank\nNetwork             Nodes      Edges\n");
+    for n in data::snap_networks() {
+        let _ = writeln!(s, "{:<19} {:<10} {}", n.name, n.nodes, n.edges);
+    }
+    s
+}
+
+/// Table 6: KNN parameter space.
+pub fn table6() -> String {
+    let (ns, ds, k) = knn::KnnConfig::table6_grid();
+    format!(
+        "Table 6: KNN parameters\nN: {:?}\nD: {:?}\nK: {}\n",
+        ns.iter().map(|n| format!("{}M", n / 1_000_000)).collect::<Vec<_>>(),
+        ds,
+        k
+    )
+}
+
+/// Table 7: CNN inter-FPGA transfer volumes over grid sizes.
+pub fn table7() -> String {
+    let mut s = String::from("Table 7: CNN inter-FPGA volumes\nGrid    Volume (MB)\n");
+    for cols in [4, 8, 12, 16, 20] {
+        let cfg = cnn::CnnConfig { rows: 13, cols, n_fpgas: 1 };
+        let _ = writeln!(s, "13x{:<5} {:.2}", cols, cfg.transfer_volume_mb());
+    }
+    s
+}
+
+/// Table 8: CNN resource utilization over grid sizes.
+pub fn table8() -> String {
+    let device = Device::u55c();
+    let cap = device.resources();
+    let mut s = String::from("Table 8: CNN resource utilization of grid sizes (% of one U55C)\nGrid    LUT%   FF%    BRAM%  DSP%   URAM%\n");
+    for cols in [4, 8, 12, 16, 20] {
+        let total = cnn::grid_resources(&cnn::CnnConfig { rows: 13, cols, n_fpgas: 1 });
+        let u = total.utilization(&cap);
+        let _ = writeln!(
+            s,
+            "13x{:<5} {:<6.1} {:<6.1} {:<6.1} {:<6.1} {:<6.1}",
+            cols,
+            u.lut * 100.0,
+            u.ff * 100.0,
+            u.bram * 100.0,
+            u.dsp * 100.0,
+            u.uram * 100.0
+        );
+    }
+    s
+}
+
+/// Table 9: hierarchy of data transfer bandwidths.
+pub fn table9() -> String {
+    let mut s = String::from("Table 9: bandwidth hierarchy\nTransfer            Bandwidth\n");
+    for t in protocol::bandwidth_hierarchy() {
+        let _ = writeln!(s, "{:<19} {}", t.tier, t.paper_figure);
+    }
+    s
+}
+
+/// Table 10: prior communication stacks.
+pub fn table10() -> String {
+    let mut s = String::from("Table 10: communication stacks\nProject     Orchestration  Overhead%  GBps\n");
+    for r in protocol::prior_stacks() {
+        let _ = writeln!(
+            s,
+            "{:<11} {:<14} {:<10} {:.0}",
+            r.name,
+            format!("{:?}", r.orchestration),
+            r.resource_overhead_pct.map(|o| format!("{o}")).unwrap_or("-".into()),
+            r.performance_gbps
+        );
+    }
+    s
+}
+
+/// Figure 8: AlveoLink throughput vs transfer size.
+pub fn fig8() -> String {
+    let link = AlveoLink::default();
+    let mut s = String::from("Figure 8: AlveoLink throughput vs transfer size\nBytes        Gbps\n");
+    for (b, gbps) in link.throughput_curve(10) {
+        let _ = writeln!(s, "{:<12} {:.1}", b, gbps);
+    }
+    s
+}
+
+/// Figure 10: stencil latency across iteration counts and flows.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn fig10() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Figure 10: Stencil latency (s)\nIters  F1-V     F1-T     F2       F3       F4\n");
+    for iters in [64u64, 128, 256, 512] {
+        let _ = write!(s, "{iters:<6}");
+        let mut base = None;
+        for flow in paper_flows(4) {
+            let g = suite::build_for(Benchmark::Stencil, flow, iters);
+            let (run, _) = run_flow(&g, flow)?;
+            base.get_or_insert(run.latency_s);
+            let _ = write!(s, " {:<8.3}", run.latency_s);
+        }
+        s.push('\n');
+    }
+    Ok(s)
+}
+
+/// Figures 11/13/16: per-FPGA resource utilization of the F1-T and F4
+/// designs for a benchmark.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn utilization_fig(bench: Benchmark) -> Result<String, Box<dyn std::error::Error>> {
+    let channels = Device::u55c().hbm().channels();
+    let mut rows = Vec::new();
+    for flow in [Flow::TapaSingle, Flow::TapaCs { n_fpgas: 4 }] {
+        let g = suite::build_for(bench, flow, suite::default_param(bench));
+        let (_, design) = run_flow(&g, flow)?;
+        rows.extend(UtilizationReport::rows(&design, channels));
+    }
+    Ok(format!(
+        "{} resource utilization (F1-T vs F4-1..4)\n{}",
+        bench.name(),
+        UtilizationReport::render_table(&rows)
+    ))
+}
+
+/// Figure 12: PageRank latency over the five datasets.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn fig12() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Figure 12: PageRank latency (s)\nDataset             F1-V     F1-T     F2       F3       F4     (F4 speed-up)\n");
+    for net in data::snap_networks() {
+        let runs = suite::pagerank_dataset_runs(net, 4)?;
+        let _ = write!(s, "{:<19}", net.name);
+        for r in &runs {
+            let _ = write!(s, " {:<8.3}", r.latency_s);
+        }
+        let _ = writeln!(s, " ({:.2}x)", runs[0].latency_s / runs.last().unwrap().latency_s);
+    }
+    Ok(s)
+}
+
+/// Figure 14: KNN speed-up across feature dimensions (K=10, N=4M).
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn fig14() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Figure 14: KNN speed-up vs D (N=4M, K=10)\nD     F1-T   F2     F3     F4\n");
+    for d in [2u32, 8, 32, 128] {
+        let _ = write!(s, "{d:<5}");
+        let mut base = None;
+        for flow in paper_flows(4) {
+            let g = knn::build(&knn::KnnConfig::paper(4_000_000, d, flow.n_fpgas()));
+            let (run, _) = run_flow(&g, flow)?;
+            let b = *base.get_or_insert(run.latency_s);
+            if flow != Flow::VitisHls {
+                let _ = write!(s, " {:<6.2}", b / run.latency_s);
+            }
+        }
+        s.push('\n');
+    }
+    Ok(s)
+}
+
+/// Figure 15: KNN speed-up across dataset sizes (K=10, D=2).
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn fig15() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Figure 15: KNN speed-up vs N (D=2, K=10)\nN     F1-T   F2     F3     F4\n");
+    for n in [1u64, 2, 4, 8] {
+        let _ = write!(s, "{:<5}", format!("{n}M"));
+        let mut base = None;
+        for flow in paper_flows(4) {
+            let g = knn::build(&knn::KnnConfig::paper(n * 1_000_000, 2, flow.n_fpgas()));
+            let (run, _) = run_flow(&g, flow)?;
+            let b = *base.get_or_insert(run.latency_s);
+            if flow != Flow::VitisHls {
+                let _ = write!(s, " {:<6.2}", b / run.latency_s);
+            }
+        }
+        s.push('\n');
+    }
+    Ok(s)
+}
+
+/// Figure 17: CNN latency across flows/grids.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn fig17() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Figure 17: CNN latency (ms)\nFlow   Grid    Latency  Speed-up\n");
+    let mut base = None;
+    for flow in paper_flows(4) {
+        let cfg = cnn::CnnConfig::paper(flow.n_fpgas(), matches!(flow, Flow::TapaSingle));
+        let g = cnn::build(&cfg);
+        let (run, _) = run_flow(&g, flow)?;
+        let b = *base.get_or_insert(run.latency_s);
+        let _ = writeln!(
+            s,
+            "{:<6} 13x{:<5} {:<8.3} {:.2}x",
+            flow.label(),
+            cfg.cols,
+            run.latency_s * 1e3,
+            b / run.latency_s
+        );
+    }
+    Ok(s)
+}
+
+/// §5.2-§5.5 frequency summary: achieved MHz per benchmark per flow.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn freq_summary() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Achieved design frequency (MHz)\nBenchmark  F1-V   F1-T   F2     F3     F4\n");
+    for bench in Benchmark::ALL {
+        let row = table3_row(bench, 4)?;
+        let _ = write!(s, "{:<10}", row.benchmark);
+        for f in &row.freqs_mhz {
+            let _ = write!(s, " {f:<6.0}");
+        }
+        s.push('\n');
+    }
+    Ok(s)
+}
+
+/// §5.6 (1): floorplanning overheads `L1`/`L2` for the smallest (stencil)
+/// and largest (CNN) designs.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn overhead() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Floorplanning overhead (s)\nDesign            Modules  L1      L2\n");
+    for iters in [64u64, 128, 256] {
+        let g = suite::build_for(Benchmark::Stencil, Flow::TapaCs { n_fpgas: 2 }, iters);
+        let (run, design) = run_flow(&g, Flow::TapaCs { n_fpgas: 2 })?;
+        let _ = writeln!(
+            s,
+            "stencil i{:<8} {:<8} {:<7.2} {:<7.2}",
+            iters,
+            design.graph.num_tasks(),
+            run.l1_s,
+            run.l2_s
+        );
+    }
+    for (cols, flow) in [(4, Flow::VitisHls), (8, Flow::TapaSingle), (12, Flow::TapaCs { n_fpgas: 2 }), (20, Flow::TapaCs { n_fpgas: 4 })] {
+        let cfg = cnn::CnnConfig { rows: 13, cols, n_fpgas: flow.n_fpgas() };
+        let g = cnn::build(&cfg);
+        let (run, design) = run_flow(&g, flow)?;
+        let _ = writeln!(
+            s,
+            "cnn 13x{:<10} {:<8} {:<7.2} {:<7.2}",
+            cols,
+            design.graph.num_tasks(),
+            run.l1_s,
+            run.l2_s
+        );
+    }
+    Ok(s)
+}
+
+/// §5.6 (2): AlveoLink resource overhead per QSFP28 port.
+pub fn alveolink_overhead() -> String {
+    let device = Device::u55c();
+    let o = AlveoLink::resource_overhead_for(&device, 1);
+    let u = o.utilization(&device.resources());
+    format!(
+        "AlveoLink overhead per QSFP28 port (of one U55C)\nLUT {:.2}%  FF {:.2}%  BRAM {:.2}%  DSP {:.0}%  URAM {:.0}%\n",
+        u.lut * 100.0,
+        u.ff * 100.0,
+        u.bram * 100.0,
+        u.dsp * 100.0,
+        u.uram * 100.0
+    )
+}
+
+/// §5.7: scaling beyond one node — 8 FPGAs across two hosts.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn multinode() -> Result<String, Box<dyn std::error::Error>> {
+    let mut s = String::from("Scaling to 8 FPGAs over two nodes (10 Gbps host link)\n");
+    // Stencil 512 iterations (sequential, transfer-heavy → slower than 1 FPGA).
+    let g1 = stencil::build(&stencil::StencilConfig::paper(512, 1));
+    let (v, _) = run_flow(&g1, Flow::VitisHls)?;
+    let g8 = stencil::build(&stencil::StencilConfig::paper(512, 8));
+    let (r8, _) = run_flow(&g8, Flow::TapaCs { n_fpgas: 8 })?;
+    let _ = writeln!(
+        s,
+        "Stencil i512:  F1-V {:.2}s  F8 {:.2}s  → {:.2}x {}",
+        v.latency_s,
+        r8.latency_s,
+        v.latency_s / r8.latency_s,
+        if r8.latency_s > v.latency_s { "(slower, as the paper reports)" } else { "(faster)" }
+    );
+    // PageRank cit-Patents (parallel after the router → still faster).
+    let net = data::snap_network("cit-Patents").unwrap();
+    let gp1 = pagerank::build(&pagerank::PageRankConfig::paper(net, 1));
+    let (pv, _) = run_flow(&gp1, Flow::VitisHls)?;
+    let gp8 = pagerank::build(&pagerank::PageRankConfig::paper(net, 8));
+    let (p8, _) = run_flow(&gp8, Flow::TapaCs { n_fpgas: 8 })?;
+    let _ = writeln!(
+        s,
+        "PageRank cit-Patents:  F1-V {:.2}s  F8 {:.2}s  → {:.2}x  (inter-node {:.1} MB)",
+        pv.latency_s,
+        p8.latency_s,
+        pv.latency_s / p8.latency_s,
+        p8.inter_node_bytes as f64 / 1e6
+    );
+    Ok(s)
+}
+
+/// Ablation: the frequency contribution of each design choice —
+/// coarse-grained floorplanning and interconnect pipelining — isolated on
+/// the single-FPGA KNN design (the §2 argument for coupling both with HLS
+/// compilation).
+///
+/// # Errors
+///
+/// Propagates compile failures.
+pub fn ablation() -> Result<String, Box<dyn std::error::Error>> {
+    use tapacs_core::comm::insert_comm;
+    use tapacs_core::floorplan::{floorplan, floorplan_naive, FloorplanConfig};
+    use tapacs_core::partition::{partition, PartitionConfig};
+    use tapacs_core::pipeline::pipeline;
+    use tapacs_core::pnr::analyze;
+    use tapacs_fpga::TimingModel;
+    use tapacs_net::Cluster;
+
+    let graph = knn::build(&knn::KnnConfig::paper(4_000_000, 8, 1));
+    let device = Device::u55c();
+    let cluster = Cluster::single(device.clone());
+    let pcfg = PartitionConfig { threshold: 0.92, time_limit_s: 1.0, ..Default::default() };
+    let inter = partition(&graph, &cluster, 1, &pcfg)?;
+    let ins = insert_comm(&graph, &inter.assignment, &device, 1);
+    let fcfg = FloorplanConfig { slot_threshold: 0.9, time_limit_s: 1.0, ..Default::default() };
+    let timing = TimingModel::default();
+
+    let naive = floorplan_naive(&ins.graph, &ins.assignment, 1, &device, &ins.overhead_per_fpga, &fcfg)?;
+    let ilp = floorplan(&ins.graph, &ins.assignment, 1, &device, &ins.overhead_per_fpga, &fcfg)?;
+
+    let mut s = String::from(
+        "Ablation: achieved frequency (MHz) on single-FPGA KNN\nfloorplan  pipelining  freq  registers(bits)\n",
+    );
+    for (fp, fp_name) in [(&naive, "first-fit"), (&ilp, "ILP")] {
+        for pipelined in [false, true] {
+            let regs = if pipelined {
+                pipeline(&ins.graph, &ins.assignment, &fp.slot_of_task).total_register_bits
+            } else {
+                0
+            };
+            let rep = analyze(
+                &ins.graph,
+                &ins.assignment,
+                &fp.slot_of_task,
+                1,
+                &device,
+                pipelined,
+                &ins.overhead_per_fpga,
+                &timing,
+            )?;
+            let _ = writeln!(
+                s,
+                "{:<10} {:<11} {:<5.0} {}",
+                fp_name,
+                if pipelined { "yes" } else { "no" },
+                rep.design_freq_mhz(),
+                regs
+            );
+        }
+    }
+    Ok(s)
+}
+
+/// §7 (2): the packet-size example.
+pub fn packet_example() -> String {
+    let bytes = 64 << 20;
+    let t64 = AlveoLink::new(2, 64).transfer_time_s(bytes) * 1e3;
+    let t128 = AlveoLink::new(2, 128).transfer_time_s(bytes) * 1e3;
+    format!(
+        "64 MB transfer: {:.2} ms at 64 B packets, {:.2} ms at 128 B packets\n(paper: 6.53 ms / 3.96 ms)\n",
+        t64, t128
+    )
+}
+
+/// Everything that runs fast (static tables + analytic figures).
+pub fn quick() -> String {
+    let mut s = String::new();
+    for part in [
+        table1(),
+        table2(),
+        table4(),
+        table5(),
+        table6(),
+        table7(),
+        table8(),
+        table9(),
+        table10(),
+        fig8(),
+        alveolink_overhead(),
+        packet_example(),
+    ] {
+        s.push_str(&part);
+        s.push('\n');
+    }
+    let _ = alveolink::OVERHEAD_FRACTIONS; // keep the constant exported
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        let q = quick();
+        assert!(q.contains("Table 1"));
+        assert!(q.contains("1146240"));
+        assert!(q.contains("cit-Patents"));
+        assert!(q.contains("AlveoLink"));
+        // Table 4 exact paper values.
+        assert!(q.contains("1664"));
+        assert!(q.contains("1153.76") || q.contains("1153.7"));
+    }
+
+    #[test]
+    fn packet_example_close_to_paper() {
+        let p = packet_example();
+        assert!(p.contains("6.5"), "{p}");
+    }
+
+    #[test]
+    fn fig8_saturates() {
+        let f = fig8();
+        let last = f.lines().last().unwrap();
+        let gbps: f64 = last.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(gbps > 85.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Step 4 — inter-FPGA communication logic insertion (§4.4).
+//!
+//! Every FIFO whose endpoints were assigned to different FPGAs is split
+//! through a pair of AlveoLink endpoint tasks: `src → send ⇢ recv → dst`,
+//! where `⇢` is the physical network channel. The latency-insensitive
+//! design discipline (§4.3) is what makes this legal: tasks tolerate
+//! arbitrary channel latency without functional change.
+//!
+//! The AlveoLink networking IP itself (HiveNet + CMAC) costs ~2-3% of
+//! LUT/FF/BRAM per QSFP28 port (§5.6); that overhead is charged to every
+//! FPGA that terminates at least one network channel.
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::{Device, Resources};
+use tapacs_graph::{Fifo, Task, TaskGraph, TaskKind};
+use tapacs_net::AlveoLink;
+
+use crate::estimate;
+
+/// Result of communication-logic insertion.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommInsertion {
+    /// The rewritten graph (original tasks keep their ids; endpoint tasks
+    /// are appended).
+    pub graph: TaskGraph,
+    /// Extended FPGA assignment covering the appended endpoint tasks.
+    pub assignment: Vec<usize>,
+    /// AlveoLink IP overhead charged per FPGA.
+    pub overhead_per_fpga: Vec<Resources>,
+    /// QSFP28 ports in use per FPGA.
+    pub ports_used: Vec<usize>,
+    /// Number of send/recv endpoint pairs inserted.
+    pub channels_inserted: usize,
+}
+
+/// Splits every FPGA-crossing FIFO through AlveoLink endpoints.
+pub fn insert_comm(
+    graph: &TaskGraph,
+    assignment: &[usize],
+    device: &Device,
+    n_fpgas: usize,
+) -> CommInsertion {
+    assert_eq!(assignment.len(), graph.num_tasks(), "assignment must cover the graph");
+
+    let mut out = TaskGraph::new(format!("{}+comm", graph.name()));
+    let mut new_assign = Vec::with_capacity(graph.num_tasks());
+    for (id, t) in graph.tasks() {
+        out.add_task(t.clone());
+        new_assign.push(assignment[id.index()]);
+    }
+
+    // Distinct neighbor FPGAs per FPGA → ports used.
+    let mut neighbors: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); n_fpgas];
+    let mut channels_inserted = 0;
+
+    for (_, f) in graph.fifos() {
+        let (fa, fb) = (assignment[f.src.index()], assignment[f.dst.index()]);
+        if fa == fb {
+            out.add_fifo(f.clone());
+            continue;
+        }
+        channels_inserted += 1;
+        neighbors[fa].insert(fb);
+        neighbors[fb].insert(fa);
+        // Blocks actually traversing the channel: firings × fan-out.
+        let src_task = graph.task(f.src);
+        let blocks = src_task.total_blocks * src_task.produce_per_firing;
+        let send = out.add_task(
+            Task {
+                name: format!("{}_send", f.name),
+                kind: TaskKind::NetSend,
+                resources: estimate::net_endpoint_module(f.width_bits),
+                cycles_per_block: 4,
+                total_blocks: blocks,
+                consume_per_firing: 1,
+                produce_per_firing: 1,
+            },
+        );
+        new_assign.push(fa);
+        let recv = out.add_task(
+            Task {
+                name: format!("{}_recv", f.name),
+                kind: TaskKind::NetRecv,
+                resources: estimate::net_endpoint_module(f.width_bits),
+                cycles_per_block: 4,
+                total_blocks: blocks,
+                consume_per_firing: 1,
+                produce_per_firing: 1,
+            },
+        );
+        new_assign.push(fb);
+        out.add_fifo(
+            Fifo::new(format!("{}_tx", f.name), f.src, send, f.width_bits)
+                .with_block_bytes(f.block_bytes)
+                .with_depth_blocks(f.depth_blocks),
+        );
+        out.add_fifo(
+            Fifo::new(format!("{}_net", f.name), send, recv, f.width_bits)
+                .with_block_bytes(f.block_bytes)
+                .with_depth_blocks(f.depth_blocks.max(4)),
+        );
+        out.add_fifo(
+            Fifo::new(format!("{}_rx", f.name), recv, f.dst, f.width_bits)
+                .with_block_bytes(f.block_bytes)
+                .with_depth_blocks(f.depth_blocks)
+                // Credit tokens seeded on a cut cycle live at the consumer.
+                .with_initial_blocks(f.initial_blocks),
+        );
+    }
+
+    let ports_used: Vec<usize> = neighbors
+        .iter()
+        .map(|n| n.len().min(device.qsfp_ports()))
+        .collect();
+    let overhead_per_fpga: Vec<Resources> = ports_used
+        .iter()
+        .map(|&p| {
+            if p == 0 {
+                Resources::ZERO
+            } else {
+                AlveoLink::resource_overhead_for(device, p)
+            }
+        })
+        .collect();
+
+    CommInsertion { graph: out, assignment: new_assign, overhead_per_fpga, ports_used, channels_inserted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_graph::TaskId;
+
+    fn simple_cut_graph() -> (TaskGraph, Vec<usize>) {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task(Task::compute("a", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
+        let b = g.add_task(Task::compute("b", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
+        let c = g.add_task(Task::compute("c", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
+        g.add_fifo(Fifo::new("ab", a, b, 512).with_block_bytes(1024));
+        g.add_fifo(Fifo::new("bc", b, c, 256));
+        (g, vec![0, 1, 1])
+    }
+
+    #[test]
+    fn cut_fifo_split_into_three() {
+        let (g, asg) = simple_cut_graph();
+        let ins = insert_comm(&g, &asg, &Device::u55c(), 2);
+        // ab crosses → +2 tasks, ab replaced by 3 fifos; bc stays.
+        assert_eq!(ins.channels_inserted, 1);
+        assert_eq!(ins.graph.num_tasks(), 5);
+        assert_eq!(ins.graph.num_fifos(), 4);
+        assert_eq!(ins.assignment.len(), 5);
+        // Send on FPGA 0, recv on FPGA 1.
+        assert_eq!(ins.assignment[3], 0);
+        assert_eq!(ins.assignment[4], 1);
+        let send = ins.graph.task(TaskId::from_index(3));
+        assert_eq!(send.kind, TaskKind::NetSend);
+        assert_eq!(send.total_blocks, 8);
+    }
+
+    #[test]
+    fn no_cut_means_untouched_graph() {
+        let (g, _) = simple_cut_graph();
+        let ins = insert_comm(&g, &[0, 0, 0], &Device::u55c(), 1);
+        assert_eq!(ins.channels_inserted, 0);
+        assert_eq!(ins.graph.num_tasks(), g.num_tasks());
+        assert_eq!(ins.graph.num_fifos(), g.num_fifos());
+        assert!(ins.overhead_per_fpga[0].is_zero());
+    }
+
+    #[test]
+    fn ports_capped_by_device() {
+        // A hub FPGA talking to 3 others can only drive 2 QSFP ports.
+        let mut g = TaskGraph::new("hub");
+        let hub = g.add_task(Task::compute("hub", Resources::ZERO));
+        for i in 0..3 {
+            let t = g.add_task(Task::compute(format!("t{i}"), Resources::ZERO));
+            g.add_fifo(Fifo::new(format!("e{i}"), hub, t, 64));
+        }
+        let ins = insert_comm(&g, &[0, 1, 2, 3], &Device::u55c(), 4);
+        assert_eq!(ins.ports_used[0], 2);
+        assert_eq!(ins.ports_used[1], 1);
+        // Overhead follows port count.
+        assert_eq!(
+            ins.overhead_per_fpga[0],
+            AlveoLink::resource_overhead_for(&Device::u55c(), 2)
+        );
+    }
+
+    #[test]
+    fn network_fifo_preserves_block_geometry() {
+        let (g, asg) = simple_cut_graph();
+        let ins = insert_comm(&g, &asg, &Device::u55c(), 2);
+        let net = ins
+            .graph
+            .fifos()
+            .find(|(_, f)| f.name.ends_with("_net"))
+            .map(|(_, f)| f.clone())
+            .unwrap();
+        assert_eq!(net.block_bytes, 1024);
+        assert_eq!(net.width_bits, 512);
+    }
+}

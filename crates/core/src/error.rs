@@ -1,0 +1,52 @@
+use std::fmt;
+
+use tapacs_graph::GraphError;
+
+/// Errors surfaced by the compiler pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The input graph is structurally invalid.
+    Graph(GraphError),
+    /// No feasible assignment exists under the resource thresholds — the
+    /// design needs more FPGAs (the paper's "cannot be routed on a single
+    /// device").
+    InsufficientResources {
+        /// Human-readable description of the binding constraint.
+        detail: String,
+    },
+    /// Virtual place-and-route failed: some slot is oversubscribed past the
+    /// routable limit (the paper's "failure in the routing phase").
+    RoutingFailure {
+        /// FPGA index.
+        fpga: usize,
+        /// Worst slot utilization found.
+        worst_utilization: f64,
+    },
+    /// The ILP solver could not find any feasible point in budget.
+    Solver(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Graph(e) => write!(f, "invalid task graph: {e}"),
+            CompileError::InsufficientResources { detail } => {
+                write!(f, "design does not fit: {detail}")
+            }
+            CompileError::RoutingFailure { fpga, worst_utilization } => write!(
+                f,
+                "routing failure on FPGA {fpga}: slot utilization {:.1}% exceeds the routable limit",
+                worst_utilization * 100.0
+            ),
+            CompileError::Solver(msg) => write!(f, "ILP solver: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e)
+    }
+}

@@ -1,0 +1,94 @@
+//! Step 2 — "task extraction and parallel synthesis" (§4.2).
+//!
+//! The real tool synthesizes every task in parallel to obtain an accurate
+//! resource-utilization profile before floorplanning. Without an HLS
+//! backend, this module provides first-order estimators calibrated against
+//! typical Vitis HLS synthesis results; the benchmark builders in
+//! `tapacs-apps` use them for their modules.
+
+use tapacs_fpga::Resources;
+
+/// Bits stored by one BRAM36 block.
+const BRAM_BITS: u64 = 36 * 1024;
+
+/// A pass-through / stream-routing module: mostly FIFO glue scaling with
+/// port width.
+pub fn stream_module(width_bits: u32) -> Resources {
+    let w = width_bits as u64;
+    Resources::new(120 + w / 2, 260 + w, w.div_ceil(512), 0, 0)
+}
+
+/// An external-memory port module: AXI adapters plus the on-chip reuse
+/// buffer (BRAM for small buffers, URAM past 288 Kb).
+pub fn hbm_port_module(width_bits: u32, buffer_bytes: u64) -> Resources {
+    let w = width_bits as u64;
+    let bits = buffer_bytes * 8;
+    let (bram, uram) = if bits > 8 * BRAM_BITS {
+        // Large buffers promote to URAM (288 Kb each).
+        (4, bits.div_ceil(288 * 1024))
+    } else {
+        (bits.div_ceil(BRAM_BITS).max(1), 0)
+    };
+    Resources::new(1_800 + 2 * w, 3_400 + 4 * w, bram, 0, uram)
+}
+
+/// An arithmetic processing element: `dsps` multiply-accumulate slices plus
+/// proportional control fabric.
+pub fn pe_module(dsps: u64) -> Resources {
+    Resources::new(900 + 450 * dsps, 1_600 + 700 * dsps, 2 + dsps / 4, dsps, 0)
+}
+
+/// A comparison/sort style element (no DSPs, LUT-heavy).
+pub fn sort_module(parallel_lanes: u64) -> Resources {
+    Resources::new(1_200 + 800 * parallel_lanes, 1_900 + 950 * parallel_lanes, 2, 0, 0)
+}
+
+/// A lightweight controller / accumulator module.
+pub fn control_module() -> Resources {
+    Resources::new(2_400, 3_800, 4, 2, 0)
+}
+
+/// An AlveoLink send/recv endpoint's *kernel-side* adapter (the networking
+/// IP itself is charged per port by the comm-insertion step).
+pub fn net_endpoint_module(width_bits: u32) -> Resources {
+    let w = width_bits as u64;
+    Resources::new(650 + w, 1_200 + 2 * w, 4 + w.div_ceil(256), 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_streams_cost_more() {
+        assert!(stream_module(512).lut > stream_module(64).lut);
+        assert!(stream_module(512).bram >= 1);
+    }
+
+    #[test]
+    fn buffers_grow_bram_then_uram() {
+        let small = hbm_port_module(512, 32 * 1024); // 256 Kb → BRAM
+        let large = hbm_port_module(512, 128 * 1024); // 1 Mb → URAM
+        assert!(small.bram > 0 && small.uram == 0);
+        assert!(large.uram > 0);
+    }
+
+    #[test]
+    fn pe_scales_with_dsps() {
+        let small = pe_module(4);
+        let big = pe_module(16);
+        assert_eq!(big.dsp, 16);
+        assert!(big.lut > small.lut);
+    }
+
+    #[test]
+    fn section3_knn_configs_differ_materially() {
+        // The §3 story: the 512-bit/128 KB configuration is much heavier in
+        // the bottom die than 256-bit/32 KB — our estimators must reflect
+        // that (it is why the single-FPGA design fails routing).
+        let narrow = hbm_port_module(256, 32 * 1024);
+        let wide = hbm_port_module(512, 128 * 1024);
+        assert!(wide.lut > narrow.lut);
+        assert!(wide.uram > narrow.uram);
+    }
+}

@@ -1,0 +1,876 @@
+//! Step 5 — intra-FPGA floorplanning (§4.5).
+//!
+//! Each FPGA is presented to the scheduler as a grid of slots delimited by
+//! dies and hard IPs (2×3 on the U55C). The floorplanner recursively
+//! bisects the grid region with the same two-way ILP used across FPGAs,
+//! minimizing the equation-4 cost
+//! `Σ e.width × (|Δrow| + |Δcol|)` while keeping every slot under the
+//! routable threshold.
+//!
+//! Physical pinning constraints honour the chip layout (Figure 2):
+//!
+//! * HBM reader/writer modules are pinned toward row 0, where all HBM
+//!   channels pin out on the U55C,
+//! * AlveoLink endpoints are pinned toward the top row, where the QSFP28
+//!   shoreline sits; the networking IP's own footprint is reserved out of
+//!   the QSFP corner slot's capacity,
+//! * *unpinned* load is balanced across region halves in proportion to
+//!   their remaining capacity — congestion costs frequency, so the
+//!   floorplanner must not lump free logic into one die even when that
+//!   would be cut-optimal.
+//!
+//! After placement, HBM *channel binding exploration* reassigns reader/
+//! writer channels so that each column's modules bind to that column's
+//! nearest channels, avoiding the lateral-routing congestion the paper
+//! warns about.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::{Device, ResourceKind, Resources, SlotId};
+use tapacs_graph::{TaskGraph, TaskId, TaskKind};
+use tapacs_ilp::{IlpError, LinExpr, Model, Sense, SolverConfig};
+
+use crate::error::CompileError;
+
+/// Tuning knobs for the intra-FPGA floorplanner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FloorplanConfig {
+    /// Per-slot utilization ceiling.
+    pub slot_threshold: f64,
+    /// ILP budget per bisection level.
+    pub time_limit_s: f64,
+    /// Refinement sweeps with the true Manhattan objective.
+    pub refine_passes: usize,
+    /// Balance slack for *unpinned* load across region halves.
+    pub balance_slack: f64,
+}
+
+impl Default for FloorplanConfig {
+    fn default() -> Self {
+        Self { slot_threshold: 0.8, time_limit_s: 10.0, refine_passes: 3, balance_slack: 0.35 }
+    }
+}
+
+/// Result of intra-FPGA floorplanning for the whole design.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Slot per task.
+    pub slot_of_task: Vec<SlotId>,
+    /// Resources used per FPGA per slot (slot index = `row * cols + col`).
+    pub slot_used: Vec<Vec<Resources>>,
+    /// Wall-clock spent (the paper's `L2` overhead, §5.6).
+    pub runtime: Duration,
+}
+
+/// A rectangular slot-grid region `[row_lo, row_hi) × [col_lo, col_hi)`.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    row_lo: usize,
+    row_hi: usize,
+    col_lo: usize,
+    col_hi: usize,
+}
+
+impl Region {
+    fn rows(&self) -> usize {
+        self.row_hi - self.row_lo
+    }
+    fn cols(&self) -> usize {
+        self.col_hi - self.col_lo
+    }
+    fn single(&self) -> bool {
+        self.rows() == 1 && self.cols() == 1
+    }
+}
+
+/// Per-FPGA floorplanning context.
+struct FpgaCtx<'a> {
+    device: &'a Device,
+    cfg: &'a FloorplanConfig,
+    /// Networking-IP footprint reserved in the QSFP corner slot.
+    reserved: Resources,
+}
+
+impl FpgaCtx<'_> {
+    fn qsfp_slot(&self) -> SlotId {
+        SlotId::new(self.device.rows() - 1, self.device.cols() - 1)
+    }
+
+    /// Capacity of one slot after static reservations.
+    fn slot_capacity(&self, s: SlotId) -> Resources {
+        let cap = self.device.slot_capacity(s);
+        if s == self.qsfp_slot() {
+            cap.saturating_sub(&self.reserved)
+        } else {
+            cap
+        }
+    }
+
+    /// Capacity of a region at the configured threshold. Multi-slot regions
+    /// keep a 5% packing margin so a feasible split at this level remains
+    /// splittable at the slot level below.
+    fn region_capacity(&self, region: &Region) -> Resources {
+        let mut cap = Resources::ZERO;
+        for r in region.row_lo..region.row_hi {
+            for c in region.col_lo..region.col_hi {
+                cap += self.slot_capacity(SlotId::new(r, c));
+            }
+        }
+        let margin = if region.rows() * region.cols() > 1 { 0.95 } else { 1.0 };
+        cap.scale(self.cfg.slot_threshold * margin)
+    }
+}
+
+/// Floorplans every FPGA of a partitioned design.
+///
+/// `assignment` maps each task to its FPGA; `reserved_qsfp` charges each
+/// FPGA's networking-IP footprint to its QSFP corner slot.
+///
+/// # Errors
+///
+/// [`CompileError::InsufficientResources`] when no feasible slot packing
+/// exists, [`CompileError::Solver`] when the ILP errs unexpectedly.
+pub fn floorplan(
+    graph: &TaskGraph,
+    assignment: &[usize],
+    n_fpgas: usize,
+    device: &Device,
+    reserved_qsfp: &[Resources],
+    cfg: &FloorplanConfig,
+) -> Result<Floorplan, CompileError> {
+    assert_eq!(assignment.len(), graph.num_tasks(), "assignment must cover the graph");
+    let start = Instant::now();
+    let mut slot_of_task = vec![SlotId::new(0, 0); graph.num_tasks()];
+
+    for fpga in 0..n_fpgas {
+        let tasks: Vec<TaskId> =
+            graph.task_ids().filter(|t| assignment[t.index()] == fpga).collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        let reserved = reserved_qsfp.get(fpga).copied().unwrap_or(Resources::ZERO);
+        let ctx = FpgaCtx { device, cfg, reserved };
+        let full = Region { row_lo: 0, row_hi: device.rows(), col_lo: 0, col_hi: device.cols() };
+        if let Err(CompileError::InsufficientResources { .. }) =
+            place_region(graph, &ctx, &tasks, full, &mut slot_of_task)
+        {
+            // Recursive bisection has no lookahead: a feasible row split can
+            // still be slot-infeasible (the platform slot is weaker). Fall
+            // back to direct greedy slot packing before giving up.
+            greedy_slots(graph, &ctx, &tasks, &mut slot_of_task)?;
+        }
+        refine_fpga(graph, &ctx, &tasks, &mut slot_of_task);
+    }
+
+    // Per-slot usage accounting.
+    let n_slots = device.num_slots();
+    let mut slot_used = vec![vec![Resources::ZERO; n_slots]; n_fpgas];
+    for (id, t) in graph.tasks() {
+        let s = slot_of_task[id.index()];
+        slot_used[assignment[id.index()]][s.row * device.cols() + s.col] += t.resources;
+    }
+
+    Ok(Floorplan { slot_of_task, slot_used, runtime: start.elapsed() })
+}
+
+/// Recursively bisects `region`, assigning `tasks` to slots.
+fn place_region(
+    graph: &TaskGraph,
+    ctx: &FpgaCtx<'_>,
+    tasks: &[TaskId],
+    region: Region,
+    slot_of_task: &mut [SlotId],
+) -> Result<(), CompileError> {
+    if tasks.is_empty() {
+        return Ok(());
+    }
+    if region.single() {
+        let slot = SlotId::new(region.row_lo, region.col_lo);
+        for &t in tasks {
+            slot_of_task[t.index()] = slot;
+        }
+        return Ok(());
+    }
+
+    // Split along the longer dimension (rows first: die boundaries are the
+    // expensive ones).
+    let split_rows = region.rows() >= region.cols() && region.rows() > 1;
+    let (low, high) = if split_rows {
+        let mid = region.row_lo + region.rows() / 2;
+        (Region { row_hi: mid, ..region }, Region { row_lo: mid, ..region })
+    } else {
+        let mid = region.col_lo + region.cols() / 2;
+        (Region { col_hi: mid, ..region }, Region { col_lo: mid, ..region })
+    };
+
+    // Pin memory tasks toward the HBM shoreline and network endpoints
+    // toward the QSFP row when this split decides that dimension. Rows are
+    // split low/high, so when the region contains the HBM row it is in the
+    // low half, and when it contains the top row it is in the high half.
+    let device = ctx.device;
+    let region_has_hbm = region.row_lo <= device.hbm_row() && device.hbm_row() < region.row_hi;
+    // Hard-pinning memory adapters to the shoreline half only works while
+    // they fit there; otherwise they spill one die up (longer AXI paths,
+    // paid for via congestion) rather than making the floorplan infeasible.
+    let mem_load: Resources = tasks
+        .iter()
+        .filter(|&&t| graph.task(t).kind.is_memory())
+        .map(|&t| graph.task(t).resources)
+        .sum();
+    let mem_fits_low = mem_load.fits_within(&ctx.region_capacity(&low), 0.85);
+    let pin = |t: &TaskKind| -> Option<bool> {
+        if !split_rows {
+            return None;
+        }
+        match t {
+            TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. }
+                if region_has_hbm && mem_fits_low =>
+            {
+                Some(false)
+            }
+            // Network endpoints stay off the crowded HBM shoreline but may
+            // use any upper die (the QSFP fabric reaches them all).
+            TaskKind::NetSend | TaskKind::NetRecv if region_has_hbm && region.rows() > 1 => {
+                Some(true)
+            }
+            _ => None,
+        }
+    };
+
+    let side = solve_region_split(graph, ctx, tasks, &low, &high, pin)?;
+    let mut low_tasks = Vec::new();
+    let mut high_tasks = Vec::new();
+    for (&t, &s) in tasks.iter().zip(&side) {
+        if s {
+            high_tasks.push(t);
+        } else {
+            low_tasks.push(t);
+        }
+    }
+    place_region(graph, ctx, &low_tasks, low, slot_of_task)?;
+    place_region(graph, ctx, &high_tasks, high, slot_of_task)
+}
+
+/// Two-way ILP split of `tasks` between `low` and `high` regions.
+fn solve_region_split(
+    graph: &TaskGraph,
+    ctx: &FpgaCtx<'_>,
+    tasks: &[TaskId],
+    low: &Region,
+    high: &Region,
+    pin: impl Fn(&TaskKind) -> Option<bool>,
+) -> Result<Vec<bool>, CompileError> {
+    let cfg = ctx.cfg;
+    let mut m = Model::new("intra-fpga-bisection");
+    let mut local = std::collections::HashMap::new();
+    let mut x = Vec::with_capacity(tasks.len());
+    let mut pinned_low = Resources::ZERO;
+    let mut pinned_high = Resources::ZERO;
+    let mut free = Vec::new();
+    for (i, &t) in tasks.iter().enumerate() {
+        local.insert(t, i);
+        let v = m.binary(format!("x{}", t.index()));
+        match pin(&graph.task(t).kind) {
+            Some(side) => {
+                m.add_eq(
+                    format!("pin{}", t.index()),
+                    LinExpr::term(v, 1.0),
+                    if side { 1.0 } else { 0.0 },
+                );
+                if side {
+                    pinned_high += graph.task(t).resources;
+                } else {
+                    pinned_low += graph.task(t).resources;
+                }
+            }
+            None => free.push(i),
+        }
+        x.push(v);
+    }
+
+    // Cut objective over edges internal to this task set.
+    let mut objective = LinExpr::new();
+    for (fid, f) in graph.fifos() {
+        let (Some(&a), Some(&b)) = (local.get(&f.src), local.get(&f.dst)) else {
+            continue;
+        };
+        if a == b {
+            continue;
+        }
+        let y = m.continuous(format!("y{}", fid.index()), 0.0, 1.0);
+        m.add_ge(format!("c1_{}", fid.index()), LinExpr::term(y, 1.0) - x[a] + x[b], 0.0);
+        m.add_ge(format!("c2_{}", fid.index()), LinExpr::term(y, 1.0) - x[b] + x[a], 0.0);
+        objective.add_term(y, f.width_bits as f64);
+    }
+
+    let cap_low = ctx.region_capacity(low);
+    let cap_high = ctx.region_capacity(high);
+    for kind in ResourceKind::ALL {
+        let total: f64 = tasks.iter().map(|&t| graph.task(t).resources.get(kind) as f64).sum();
+        let load_high = LinExpr::sum(
+            tasks
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| LinExpr::term(x[i], graph.task(t).resources.get(kind) as f64)),
+        );
+        m.add_le(format!("capH_{kind}"), load_high.clone(), cap_high.get(kind) as f64);
+        m.add_ge(format!("capL_{kind}"), load_high, total - cap_low.get(kind) as f64);
+    }
+
+    // Balance the *unpinned* load across the halves in proportion to their
+    // remaining capacity (congestion costs frequency). Pinned load sits
+    // where the chip layout dictates; free logic spreads.
+    if let Some(kind) = binding_kind_of(graph, tasks, &(cap_low + cap_high)) {
+        let free_total: f64 =
+            free.iter().map(|&i| graph.task(tasks[i]).resources.get(kind) as f64).sum();
+        if free_total > 0.0 {
+            let rem_low =
+                (cap_low.get(kind) as f64 - pinned_low.get(kind) as f64).max(0.0);
+            let rem_high =
+                (cap_high.get(kind) as f64 - pinned_high.get(kind) as f64).max(0.0);
+            if rem_low + rem_high > 0.0 {
+                let share_high = rem_high / (rem_low + rem_high);
+                let load_free_high = LinExpr::sum(free.iter().map(|&i| {
+                    LinExpr::term(x[i], graph.task(tasks[i]).resources.get(kind) as f64)
+                }));
+                let floor_high = free_total * share_high * (1.0 - cfg.balance_slack);
+                let floor_low = free_total * (1.0 - share_high) * (1.0 - cfg.balance_slack);
+                m.add_ge("balH", load_free_high.clone(), floor_high);
+                m.add_le("balL", load_free_high, free_total - floor_low);
+            }
+        }
+    }
+
+    m.set_objective(Sense::Minimize, objective);
+    let solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
+    match m.solve_with(&solver_cfg) {
+        Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
+        Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {
+            greedy_region_split(graph, tasks, &cap_low, &cap_high, &pin).ok_or_else(|| {
+                CompileError::InsufficientResources {
+                    detail: format!(
+                        "no feasible slot split: {} tasks into rows {}..{}/{}..{}",
+                        tasks.len(),
+                        low.row_lo,
+                        low.row_hi,
+                        high.row_lo,
+                        high.row_hi
+                    ),
+                }
+            })
+        }
+        Err(e) => Err(CompileError::Solver(e.to_string())),
+    }
+}
+
+/// The resource kind that binds first for this task set.
+fn binding_kind_of(graph: &TaskGraph, tasks: &[TaskId], cap: &Resources) -> Option<ResourceKind> {
+    let mut best = None;
+    let mut best_ratio = 0.0;
+    for kind in ResourceKind::ALL {
+        let capacity = cap.get(kind) as f64;
+        if capacity <= 0.0 {
+            continue;
+        }
+        let total: f64 = tasks.iter().map(|&t| graph.task(t).resources.get(kind) as f64).sum();
+        let ratio = total / capacity;
+        if total > 0.0 && ratio > best_ratio {
+            best_ratio = ratio;
+            best = Some(kind);
+        }
+    }
+    best
+}
+
+/// Largest-first greedy fallback for a region split, honouring pins.
+/// `true` = high side.
+fn greedy_region_split(
+    graph: &TaskGraph,
+    tasks: &[TaskId],
+    cap_low: &Resources,
+    cap_high: &Resources,
+    pin: &impl Fn(&TaskKind) -> Option<bool>,
+) -> Option<Vec<bool>> {
+    let mut side = vec![false; tasks.len()];
+    let mut used_low = Resources::ZERO;
+    let mut used_high = Resources::ZERO;
+    let mut free: Vec<usize> = Vec::new();
+    for (i, &t) in tasks.iter().enumerate() {
+        match pin(&graph.task(t).kind) {
+            Some(true) => {
+                side[i] = true;
+                used_high += graph.task(t).resources;
+            }
+            Some(false) => used_low += graph.task(t).resources,
+            None => free.push(i),
+        }
+    }
+    if !used_low.fits_within(cap_low, 1.0) || !used_high.fits_within(cap_high, 1.0) {
+        return None;
+    }
+    free.sort_by_key(|&i| {
+        let r = graph.task(tasks[i]).resources;
+        std::cmp::Reverse(r.lut + r.ff + 1000 * (r.bram + r.dsp + r.uram))
+    });
+    for i in free {
+        let w = graph.task(tasks[i]).resources;
+        let fits_l = (used_low + w).fits_within(cap_low, 1.0);
+        let fits_h = (used_high + w).fits_within(cap_high, 1.0);
+        let frac_l = used_low.utilization(cap_low).max();
+        let frac_h = used_high.utilization(cap_high).max();
+        match (fits_l, fits_h) {
+            (true, true) => {
+                if frac_h < frac_l {
+                    side[i] = true;
+                    used_high += w;
+                } else {
+                    used_low += w;
+                }
+            }
+            (true, false) => used_low += w,
+            (false, true) => {
+                side[i] = true;
+                used_high += w;
+            }
+            (false, false) => return None,
+        }
+    }
+    Some(side)
+}
+
+/// Direct first-fit-decreasing slot packing honouring physical pins. Used
+/// when recursive bisection fails on lookahead.
+fn greedy_slots(
+    graph: &TaskGraph,
+    ctx: &FpgaCtx<'_>,
+    tasks: &[TaskId],
+    slot_of_task: &mut [SlotId],
+) -> Result<(), CompileError> {
+    let device = ctx.device;
+    let slots: Vec<SlotId> = device.slots().collect();
+    let caps: Vec<Resources> = slots.iter().map(|&s| ctx.slot_capacity(s)).collect();
+    let mut used = vec![Resources::ZERO; slots.len()];
+    let mut order: Vec<TaskId> = tasks.to_vec();
+    order.sort_by_key(|&t| {
+        let r = graph.task(t).resources;
+        std::cmp::Reverse(r.lut + r.ff + 1000 * (r.bram + r.dsp + r.uram))
+    });
+    for t in order {
+        let res = graph.task(t).resources;
+        let allowed = |s: SlotId| match graph.task(t).kind {
+            // Memory adapters sit on the shoreline or one die above it.
+            TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. } => {
+                s.row <= device.hbm_row() + 1
+            }
+            TaskKind::NetSend | TaskKind::NetRecv => s.row != device.hbm_row(),
+            _ => true,
+        };
+        let is_mem = graph.task(t).kind.is_memory();
+        let mut best: Option<usize> = None;
+        let mut best_key = (usize::MAX, f64::INFINITY);
+        for (i, &s) in slots.iter().enumerate() {
+            if !allowed(s) {
+                continue;
+            }
+            if !(used[i] + res).fits_within(&caps[i], ctx.cfg.slot_threshold) {
+                continue;
+            }
+            let load = used[i].utilization(&caps[i]).max();
+            // Memory adapters prefer the shoreline row when it has room.
+            let row_rank = if is_mem { s.row.abs_diff(device.hbm_row()) } else { 0 };
+            if (row_rank, load) < best_key {
+                best_key = (row_rank, load);
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else {
+            return Err(CompileError::InsufficientResources {
+                detail: format!(
+                    "task {} fits no slot even with greedy packing",
+                    graph.task(t).name
+                ),
+            });
+        };
+        used[i] += res;
+        slot_of_task[t.index()] = slots[i];
+    }
+    Ok(())
+}
+
+/// Congestion penalty used by refinement: quadratic past 50%, mirroring the
+/// timing model's shape.
+fn congestion(u: f64) -> f64 {
+    let over = (u - 0.5).max(0.0);
+    over * over
+}
+
+/// Greedy refinement with the true equation-4 objective *plus* a congestion
+/// term: move one task to another slot when it lowers
+/// `Σ width × Manhattan + κ Σ congestion(slot)`.
+fn refine_fpga(
+    graph: &TaskGraph,
+    ctx: &FpgaCtx<'_>,
+    tasks: &[TaskId],
+    slot_of_task: &mut [SlotId],
+) {
+    // Weight that makes ~1 percentage point of congestion comparable to
+    // rerouting a 512-bit FIFO across one extra hop.
+    const KAPPA: f64 = 2.0e5;
+    let device = ctx.device;
+    let cfg = ctx.cfg;
+    let n_slots = device.num_slots();
+    let idx = |s: SlotId| s.row * device.cols() + s.col;
+    let mut used = vec![Resources::ZERO; n_slots];
+    for &t in tasks {
+        used[idx(slot_of_task[t.index()])] += graph.task(t).resources;
+    }
+    let caps: Vec<Resources> = device.slots().map(|s| ctx.slot_capacity(s)).collect();
+    let in_set: std::collections::HashSet<TaskId> = tasks.iter().copied().collect();
+
+    let wirelength = |t: TaskId, slot: SlotId, slot_of_task: &[SlotId]| -> f64 {
+        let mut c = 0.0;
+        for &f in graph.out_fifos(t).iter().chain(graph.in_fifos(t)) {
+            let fifo = graph.fifo(f);
+            let other = if fifo.src == t { fifo.dst } else { fifo.src };
+            if other == t || !in_set.contains(&other) {
+                continue;
+            }
+            c += fifo.width_bits as f64 * slot.manhattan(&slot_of_task[other.index()]) as f64;
+        }
+        // Memory adapters also route their AXI port to the HBM shoreline.
+        if let TaskKind::HbmRead { port_width_bits, .. }
+        | TaskKind::HbmWrite { port_width_bits, .. } = graph.task(t).kind
+        {
+            c += port_width_bits as f64
+                * slot.row.abs_diff(device.hbm_row()) as f64;
+        }
+        c
+    };
+
+    for _ in 0..cfg.refine_passes {
+        let mut improved = false;
+        for &t in tasks {
+            let kind = &graph.task(t).kind;
+            let cur = slot_of_task[t.index()];
+            let res = graph.task(t).resources;
+            let cur_wl = wirelength(t, cur, slot_of_task);
+            let mut best = cur;
+            let mut best_delta = -1e-9;
+            for cand in device.slots() {
+                if cand == cur {
+                    continue;
+                }
+                match kind {
+                    TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. }
+                        if cand.row > device.hbm_row() + 1 =>
+                    {
+                        continue
+                    }
+                    TaskKind::NetSend | TaskKind::NetRecv if cand.row == device.hbm_row() => {
+                        continue
+                    }
+                    _ => {}
+                }
+                let after_cand = used[idx(cand)] + res;
+                if !after_cand.fits_within(&caps[idx(cand)], cfg.slot_threshold) {
+                    continue;
+                }
+                let d_wl = wirelength(t, cand, slot_of_task) - cur_wl;
+                let u_cur_before = used[idx(cur)].utilization(&caps[idx(cur)]).max();
+                let u_cur_after = used[idx(cur)]
+                    .saturating_sub(&res)
+                    .utilization(&caps[idx(cur)])
+                    .max();
+                let u_cand_before = used[idx(cand)].utilization(&caps[idx(cand)]).max();
+                let u_cand_after = after_cand.utilization(&caps[idx(cand)]).max();
+                let d_cong = congestion(u_cur_after) + congestion(u_cand_after)
+                    - congestion(u_cur_before)
+                    - congestion(u_cand_before);
+                let delta = d_wl + KAPPA * d_cong;
+                if delta < best_delta {
+                    best_delta = delta;
+                    best = cand;
+                }
+            }
+            if best != cur {
+                used[idx(cur)] -= res;
+                used[idx(best)] += res;
+                slot_of_task[t.index()] = best;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// The Vitis-like placement baseline: first-fit in task-id order, packing
+/// into the lowest-indexed slot with room. This mimics a flow with *no*
+/// dataflow-aware floorplanning — hotspots form in the first slots and
+/// logically adjacent modules end up far apart, exactly the failure mode
+/// §2 attributes to plain HLS compilation.
+///
+/// Physical pins (HBM → bottom row, network endpoints → top row) still
+/// hold: even Vitis must route memory ports to the shoreline.
+///
+/// # Errors
+///
+/// [`CompileError::InsufficientResources`] when some task fits no slot.
+pub fn floorplan_naive(
+    graph: &TaskGraph,
+    assignment: &[usize],
+    n_fpgas: usize,
+    device: &Device,
+    reserved_qsfp: &[Resources],
+    cfg: &FloorplanConfig,
+) -> Result<Floorplan, CompileError> {
+    assert_eq!(assignment.len(), graph.num_tasks(), "assignment must cover the graph");
+    let start = Instant::now();
+    let mut slot_of_task = vec![SlotId::new(0, 0); graph.num_tasks()];
+    let n_slots = device.num_slots();
+    let mut slot_used = vec![vec![Resources::ZERO; n_slots]; n_fpgas];
+
+    for fpga in 0..n_fpgas {
+        let reserved = reserved_qsfp.get(fpga).copied().unwrap_or(Resources::ZERO);
+        let ctx = FpgaCtx { device, cfg, reserved };
+        let slots: Vec<SlotId> = device.slots().collect();
+        let caps: Vec<Resources> = slots.iter().map(|&s| ctx.slot_capacity(s)).collect();
+        let idx = |s: SlotId| s.row * device.cols() + s.col;
+        // Pinned (memory/network) tasks place first: even Vitis routes AXI
+        // ports to their shoreline before general logic.
+        let mut order: Vec<TaskId> = graph
+            .task_ids()
+            .filter(|t| assignment[t.index()] == fpga)
+            .collect();
+        order.sort_by_key(|t| {
+            let pinned = matches!(
+                graph.task(*t).kind,
+                TaskKind::HbmRead { .. }
+                    | TaskKind::HbmWrite { .. }
+                    | TaskKind::NetSend
+                    | TaskKind::NetRecv
+            );
+            (!pinned, t.index())
+        });
+        for t in order {
+            let res = graph.task(t).resources;
+            let allowed = |s: SlotId| match graph.task(t).kind {
+                TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. } => {
+                    s.row <= device.hbm_row() + 1
+                }
+                TaskKind::NetSend | TaskKind::NetRecv => s.row != device.hbm_row(),
+                _ => true,
+            };
+            let Some(&slot) = slots.iter().find(|&&s| {
+                allowed(s)
+                    && (slot_used[fpga][idx(s)] + res)
+                        .fits_within(&caps[idx(s)], cfg.slot_threshold)
+            }) else {
+                return Err(CompileError::InsufficientResources {
+                    detail: format!(
+                        "task {} fits no slot under first-fit placement",
+                        graph.task(t).name
+                    ),
+                });
+            };
+            slot_used[fpga][idx(slot)] += res;
+            slot_of_task[t.index()] = slot;
+        }
+    }
+
+    Ok(Floorplan { slot_of_task, slot_used, runtime: start.elapsed() })
+}
+
+/// HBM channel binding exploration (§4.5): rebinds each FPGA's reader/
+/// writer channels so a module binds to a channel on its own column's side
+/// of the HBM stack, spreading load round-robin. Returns the number of
+/// distinct channels used per FPGA.
+pub fn rebind_hbm_channels(
+    graph: &mut TaskGraph,
+    assignment: &[usize],
+    slot_of_task: &[SlotId],
+    n_fpgas: usize,
+    device: &Device,
+) -> Vec<usize> {
+    let total_ch = device.hbm().channels();
+    let mut used = vec![0usize; n_fpgas];
+    if total_ch == 0 {
+        return used;
+    }
+    let per_col = total_ch / device.cols().max(1);
+    for fpga in 0..n_fpgas {
+        let mut next_in_col = vec![0usize; device.cols()];
+        let mut distinct = std::collections::BTreeSet::new();
+        for t in graph.task_ids().collect::<Vec<_>>() {
+            if assignment[t.index()] != fpga {
+                continue;
+            }
+            let col = slot_of_task[t.index()].col;
+            let task = graph.task_mut(t);
+            let new_channel = col * per_col + (next_in_col[col] % per_col.max(1));
+            match &mut task.kind {
+                TaskKind::HbmRead { channel, .. } | TaskKind::HbmWrite { channel, .. } => {
+                    *channel = new_channel.min(total_ch - 1);
+                    distinct.insert(*channel);
+                    next_in_col[col] += 1;
+                }
+                _ => {}
+            }
+        }
+        used[fpga] = distinct.len();
+    }
+    used
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_graph::{Fifo, Task};
+
+    const NO_NET: &[Resources] = &[Resources::ZERO; 8];
+
+    fn small_design() -> TaskGraph {
+        let mut g = TaskGraph::new("fp");
+        let r = Resources::new(20_000, 40_000, 30, 60, 5);
+        let rd = g.add_task(Task::hbm_read("rd", r, 0, 512, 64 * 1024));
+        let pe1 = g.add_task(Task::compute("pe1", r));
+        let pe2 = g.add_task(Task::compute("pe2", r));
+        let wr = g.add_task(Task::hbm_write("wr", r, 1, 512, 64 * 1024));
+        g.add_fifo(Fifo::new("a", rd, pe1, 512));
+        g.add_fifo(Fifo::new("b", pe1, pe2, 512));
+        g.add_fifo(Fifo::new("c", pe2, wr, 512));
+        g
+    }
+
+    #[test]
+    fn memory_tasks_pinned_to_hbm_row() {
+        let g = small_design();
+        let fp = floorplan(&g, &[0; 4], 1, &Device::u55c(), NO_NET, &FloorplanConfig::default())
+            .unwrap();
+        assert_eq!(fp.slot_of_task[0].row, 0, "HBM reader must sit in the bottom die");
+        assert_eq!(fp.slot_of_task[3].row, 0, "HBM writer must sit in the bottom die");
+    }
+
+    #[test]
+    fn slots_respect_threshold() {
+        let g = small_design();
+        let device = Device::u55c();
+        let cfg = FloorplanConfig::default();
+        let fp = floorplan(&g, &[0; 4], 1, &device, NO_NET, &cfg).unwrap();
+        for (i, slot) in device.slots().enumerate() {
+            let u = fp.slot_used[0][i].utilization(&device.slot_capacity(slot));
+            assert!(u.max() <= cfg.slot_threshold + 1e-9);
+        }
+    }
+
+    #[test]
+    fn oversized_design_fails_cleanly() {
+        let mut g = TaskGraph::new("big");
+        // One indivisible task bigger than any slot.
+        let huge = Device::u55c().resources().scale(0.4);
+        g.add_task(Task::compute("huge", huge));
+        let err = floorplan(&g, &[0], 1, &Device::u55c(), NO_NET, &FloorplanConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, CompileError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn connected_tasks_land_near_each_other() {
+        // A heavy chain should not scatter across diagonal corners.
+        let g = small_design();
+        let fp = floorplan(&g, &[0; 4], 1, &Device::u55c(), NO_NET, &FloorplanConfig::default())
+            .unwrap();
+        let total_wirelength: usize = g
+            .fifos()
+            .map(|(_, f)| {
+                fp.slot_of_task[f.src.index()].manhattan(&fp.slot_of_task[f.dst.index()])
+            })
+            .sum();
+        // 4 tasks, 3 edges on a 2×3 grid: good plans stay ≤ 4 total hops.
+        assert!(total_wirelength <= 4, "wirelength {total_wirelength}");
+    }
+
+    #[test]
+    fn network_endpoints_kept_off_hbm_row() {
+        let mut g = small_design();
+        let send = g.add_task(Task {
+            name: "tx".into(),
+            kind: TaskKind::NetSend,
+            resources: Resources::new(1_000, 2_000, 4, 0, 0),
+            cycles_per_block: 1,
+            total_blocks: 1,
+            consume_per_firing: 1,
+            produce_per_firing: 1,
+        });
+        let pe = TaskId::from_index(2);
+        g.add_fifo(Fifo::new("np", pe, send, 512));
+        let device = Device::u55c();
+        let fp = floorplan(&g, &[0; 5], 1, &device, NO_NET, &FloorplanConfig::default()).unwrap();
+        assert_ne!(fp.slot_of_task[send.index()].row, device.hbm_row());
+    }
+
+    #[test]
+    fn qsfp_reservation_shrinks_corner_slot() {
+        // A task that fits the bare corner slot but not once the network IP
+        // is reserved must land elsewhere.
+        let device = Device::u55c();
+        let corner_cap = device.slot_capacity(SlotId::new(device.rows() - 1, 1));
+        let mut g = TaskGraph::new("r");
+        g.add_task(Task::compute("big", corner_cap.scale(0.7)));
+        let reserved = corner_cap.scale(0.5);
+        let fp = floorplan(&g, &[0], 1, &device, &[reserved], &FloorplanConfig::default())
+            .unwrap();
+        assert_ne!(fp.slot_of_task[0], SlotId::new(device.rows() - 1, 1));
+    }
+
+    #[test]
+    fn free_load_spreads_across_slots() {
+        // 6 identical free PEs on an empty U55C must not lump into one die.
+        let mut g = TaskGraph::new("spread");
+        let r = Resources::new(60_000, 120_000, 100, 300, 20);
+        let ids: Vec<TaskId> =
+            (0..6).map(|i| g.add_task(Task::compute(format!("pe{i}"), r))).collect();
+        for w in ids.windows(2) {
+            g.add_fifo(Fifo::new("e", w[0], w[1], 32));
+        }
+        let device = Device::u55c();
+        let fp = floorplan(&g, &[0; 6], 1, &device, NO_NET, &FloorplanConfig::default()).unwrap();
+        let rows_used: std::collections::BTreeSet<usize> =
+            fp.slot_of_task.iter().map(|s| s.row).collect();
+        assert!(rows_used.len() >= 2, "free PEs lumped into one row: {:?}", fp.slot_of_task);
+    }
+
+    #[test]
+    fn channel_rebinding_spreads_by_column() {
+        let mut g = TaskGraph::new("hbm");
+        let r = Resources::new(5_000, 10_000, 8, 0, 0);
+        for i in 0..8 {
+            g.add_task(Task::hbm_read(format!("rd{i}"), r, 0, 512, 32 * 1024));
+        }
+        let device = Device::u55c();
+        // Hand-placed: 4 readers in col 0, 4 in col 1, all row 0.
+        let slots: Vec<SlotId> =
+            (0..8).map(|i| SlotId::new(0, if i < 4 { 0 } else { 1 })).collect();
+        let used = rebind_hbm_channels(&mut g, &[0; 8], &slots, 1, &device);
+        assert_eq!(used[0], 8, "8 readers should get 8 distinct channels");
+        for (id, t) in g.tasks() {
+            if let TaskKind::HbmRead { channel, .. } = t.kind {
+                if id.index() < 4 {
+                    assert!(channel < 16, "col-0 reader bound to far channel {channel}");
+                } else {
+                    assert!(channel >= 16, "col-1 reader bound to far channel {channel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_recorded() {
+        let g = small_design();
+        let fp = floorplan(&g, &[0; 4], 1, &Device::u55c(), NO_NET, &FloorplanConfig::default())
+            .unwrap();
+        assert!(fp.runtime.as_secs_f64() < 30.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! The TAPA-CS compiler: automatic multi-FPGA partitioning, two-level
+//! floorplanning and interconnect pipelining (§4 of the paper).
+//!
+//! The seven key steps (Figure 5) map onto this crate as:
+//!
+//! 1. **Task graph construction** — callers build a
+//!    [`tapacs_graph::TaskGraph`] (the [`tapacs_apps`-style] builders do
+//!    this for the paper's benchmarks).
+//! 2. **Task extraction & parallel synthesis** — [`estimate`] provides
+//!    per-module resource profiles when the app does not carry measured
+//!    ones.
+//! 3. **Inter-FPGA floorplanning** — [`partition`]: an ILP over the cluster
+//!    topology minimizing `Σ e.width × dist(F_i,F_j) × λ` under per-resource
+//!    thresholds (equations 1–2), with multilevel coarsening + refinement
+//!    for large designs.
+//! 4. **Inter-FPGA communication logic insertion** — [`comm`]: cut FIFOs
+//!    are split through AlveoLink send/recv endpoint tasks and the per-port
+//!    IP overhead is charged to each FPGA.
+//! 5. **Intra-FPGA floorplanning** — [`floorplan`]: recursive two-way ILP
+//!    partitioning of each FPGA's slot grid (equation 4), HBM readers
+//!    pinned to the bottom die, network endpoints to the QSFP die.
+//! 6. **Interconnect pipelining** — [`pipeline`]: registers on every
+//!    slot-crossing wire plus cut-set latency balancing of reconvergent
+//!    paths (§4.6).
+//! 7. **Bitstream generation** — [`pnr`]: the *virtual place-and-route*
+//!    computes slot congestion and net delays and closes timing, yielding
+//!    the achieved frequency per FPGA.
+//!
+//! [`Compiler`] orchestrates all of it for the three flows compared in the
+//! evaluation: `F1-V` (Vitis-like: no floorplanning, no pipelining),
+//! `F1-T` (TAPA/AutoBridge single FPGA) and `F2..F8` (TAPA-CS multi-FPGA).
+//!
+//! [`tapacs_apps`-style]: crate
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod compiler;
+pub mod estimate;
+pub mod floorplan;
+pub mod partition;
+pub mod pipeline;
+pub mod pnr;
+pub mod report;
+
+mod error;
+
+pub use compiler::{CompiledDesign, Compiler, CompilerConfig, Flow};
+pub use error::CompileError;
+pub use partition::{InterPartition, PartitionConfig};
+pub use report::{FrequencySummary, UtilizationReport};

@@ -1,0 +1,832 @@
+//! Step 3 — inter-FPGA floorplanning (§4.3).
+//!
+//! Assigns every task to an FPGA so that the topology-aware communication
+//! cost `Σ e.width × dist(F_i, F_j) × λ` (equation 2) is minimized while
+//! every FPGA stays below the per-resource utilization threshold `T`
+//! (equation 1).
+//!
+//! Exactly as the paper notes, the partitioner "does not always recommend
+//! the min-cut": a module is moved off-chip when keeping it local would
+//! congest a device past `T`, because congestion costs frequency.
+//!
+//! The solve strategy is multilevel, the standard industrial approach for
+//! ILP-based partitioners at this scale:
+//!
+//! 1. **coarsen** by heavy-edge matching until at most
+//!    [`PartitionConfig::coarsen_to`] supernodes remain (the 493-module CNN
+//!    grid shrinks to under a hundred),
+//! 2. **recursive two-way ILP bisection** over device index ranges using
+//!    the [`tapacs_ilp`] branch-and-bound solver (cut width linearized with
+//!    one continuous variable per edge),
+//! 3. **project & refine** on the full graph: Kernighan–Lin-style single
+//!    task moves evaluated against the *true* topology distance and λ.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::Resources;
+use tapacs_graph::{algo, TaskGraph, TaskId};
+use tapacs_ilp::{IlpError, LinExpr, Model, Sense, SolverConfig};
+use tapacs_net::{AlveoLink, Cluster, FpgaId};
+
+use crate::error::CompileError;
+
+/// Tuning knobs for the inter-FPGA partitioner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Per-resource utilization threshold `T` of equation (1).
+    pub threshold: f64,
+    /// ILP wall-clock budget per bisection level.
+    pub time_limit_s: f64,
+    /// Coarsening target: maximum supernodes handed to the ILP.
+    pub coarsen_to: usize,
+    /// Refinement sweeps over the full graph.
+    pub refine_passes: usize,
+    /// Compute-load balance slack: each device group must carry at least
+    /// `(1 - slack) × fair_share` of the binding resource ("ensuring the
+    /// compute-load between the multiple FPGAs is balanced", §4.1).
+    pub balance_slack: f64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.7,
+            time_limit_s: 10.0,
+            coarsen_to: 96,
+            refine_passes: 4,
+            balance_slack: 0.35,
+        }
+    }
+}
+
+/// Result of inter-FPGA floorplanning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterPartition {
+    /// FPGA index per task.
+    pub assignment: Vec<usize>,
+    /// Equation-2 communication cost under the cluster's topology and λ.
+    pub comm_cost: f64,
+    /// Total FIFO bit-width crossing FPGA boundaries.
+    pub cut_width_bits: u64,
+    /// Resources used per FPGA.
+    pub used: Vec<Resources>,
+    /// Wall-clock spent in this step (the paper's `L1` overhead, §5.6).
+    pub runtime: Duration,
+}
+
+/// Resources available for user logic per FPGA once the static platform
+/// region and (for multi-FPGA designs) the AlveoLink networking IP are
+/// reserved.
+pub fn usable_capacity(cluster: &Cluster, n_fpgas: usize) -> Resources {
+    let device = cluster.device();
+    let mut cap = device.usable_resources();
+    if n_fpgas > 1 {
+        let ports = device.qsfp_ports().min(2);
+        cap = cap.saturating_sub(&AlveoLink::resource_overhead_for(device, ports));
+    }
+    cap
+}
+
+/// Partitions `graph` across the first `n_fpgas` devices of `cluster`.
+///
+/// # Errors
+///
+/// * [`CompileError::InsufficientResources`] if no feasible assignment
+///   exists under the threshold,
+/// * [`CompileError::Solver`] if the ILP found no incumbent in budget.
+pub fn partition(
+    graph: &TaskGraph,
+    cluster: &Cluster,
+    n_fpgas: usize,
+    cfg: &PartitionConfig,
+) -> Result<InterPartition, CompileError> {
+    assert!(n_fpgas >= 1 && n_fpgas <= cluster.total_fpgas(), "invalid FPGA count");
+    let start = Instant::now();
+    graph.validate()?;
+
+    let cap = usable_capacity(cluster, n_fpgas);
+    let total = graph.total_resources();
+
+    if n_fpgas == 1 {
+        if !total.fits_within(&cap, cfg.threshold) {
+            return Err(CompileError::InsufficientResources {
+                detail: format!(
+                    "design needs {total}, exceeds {:.0}% of one device ({cap})",
+                    cfg.threshold * 100.0
+                ),
+            });
+        }
+        return Ok(finish(graph, cluster, vec![0; graph.num_tasks()], 1, start));
+    }
+
+    // Aggregate feasibility first: fail fast with a useful message.
+    if !total.fits_within(&(cap * n_fpgas as u64), cfg.threshold) {
+        return Err(CompileError::InsufficientResources {
+            detail: format!(
+                "design needs {total}, exceeds {:.0}% of {n_fpgas} devices",
+                cfg.threshold * 100.0
+            ),
+        });
+    }
+
+    // --- 1. Coarsen -------------------------------------------------------
+    let coarse = Coarse::build(graph, cfg.coarsen_to, &cap, cfg.threshold);
+
+    // --- 2. Recursive bisection over the device range ----------------------
+    // Loose balance gives the ILP freedom, but a lopsided upper-level split
+    // can be un-splittable further down (bin-packing), so retry with
+    // progressively tighter balance before falling back to a greedy
+    // multiway packing.
+    let mut assignment = vec![0usize; graph.num_tasks()];
+    let mut solved = false;
+    for slack in [cfg.balance_slack, cfg.balance_slack * 0.4, 0.05] {
+        let tighter = PartitionConfig { balance_slack: slack, ..cfg.clone() };
+        let mut coarse_assign = vec![0usize; coarse.nodes.len()];
+        match bisect(&coarse, &mut coarse_assign, 0..n_fpgas, &cap, &tighter) {
+            Ok(()) => {
+                for (sn, tasks) in coarse.members.iter().enumerate() {
+                    for &t in tasks {
+                        assignment[t.index()] = coarse_assign[sn];
+                    }
+                }
+                solved = true;
+                break;
+            }
+            Err(CompileError::InsufficientResources { .. }) => continue,
+            Err(other) => return Err(other),
+        }
+    }
+    if !solved {
+        assignment = greedy_multiway(graph, n_fpgas, &cap, cfg.threshold)?;
+    }
+    refine(graph, cluster, n_fpgas, &cap, cfg, &mut assignment);
+
+    // Final feasibility repair + check.
+    repair(graph, n_fpgas, &cap, cfg.threshold, &mut assignment)?;
+
+    Ok(finish(graph, cluster, assignment, n_fpgas, start))
+}
+
+fn finish(
+    graph: &TaskGraph,
+    cluster: &Cluster,
+    assignment: Vec<usize>,
+    n_fpgas: usize,
+    start: Instant,
+) -> InterPartition {
+    let mut used = vec![Resources::ZERO; n_fpgas];
+    for (id, t) in graph.tasks() {
+        used[assignment[id.index()]] += t.resources;
+    }
+    InterPartition {
+        comm_cost: comm_cost(graph, cluster, &assignment),
+        cut_width_bits: algo::cut_width_bits(graph, &assignment),
+        used,
+        runtime: start.elapsed(),
+        assignment,
+    }
+}
+
+/// Equation (2): `Σ e.width × dist(F_i, F_j) × λ` (λ folded into
+/// [`Cluster::dist`]).
+pub fn comm_cost(graph: &TaskGraph, cluster: &Cluster, assignment: &[usize]) -> f64 {
+    graph
+        .fifos()
+        .map(|(_, f)| {
+            let (a, b) = (assignment[f.src.index()], assignment[f.dst.index()]);
+            f.width_bits as f64 * cluster.dist(FpgaId(a), FpgaId(b))
+        })
+        .sum()
+}
+
+// --------------------------------------------------------------------------
+// Coarsening
+// --------------------------------------------------------------------------
+
+struct Coarse {
+    /// Supernode resource sums.
+    nodes: Vec<Resources>,
+    /// Tasks merged into each supernode.
+    members: Vec<Vec<TaskId>>,
+    /// Coarse edges: (a, b, summed width).
+    edges: Vec<(usize, usize, u64)>,
+}
+
+impl Coarse {
+    fn build(graph: &TaskGraph, target: usize, cap: &Resources, threshold: f64) -> Coarse {
+        // Start with one supernode per task.
+        let n = graph.num_tasks();
+        let mut owner: Vec<usize> = (0..n).collect();
+        let mut count = n;
+
+        // Edge list sorted by width, heaviest first.
+        let mut edge_list: Vec<(usize, usize, u64)> = graph
+            .fifos()
+            .map(|(_, f)| (f.src.index(), f.dst.index(), f.width_bits as u64))
+            .collect();
+        edge_list.sort_by(|a, b| b.2.cmp(&a.2));
+
+        // Union-find over tasks.
+        fn find(owner: &mut Vec<usize>, mut x: usize) -> usize {
+            while owner[x] != x {
+                owner[x] = owner[owner[x]];
+                x = owner[x];
+            }
+            x
+        }
+
+        let mut group_res: Vec<Resources> =
+            graph.tasks().map(|(_, t)| t.resources).collect();
+        // Half the per-device budget: merged nodes must stay easily placeable.
+        let limit = cap.scale(threshold * 0.5);
+
+        let mut rounds = 0;
+        while count > target && rounds < 64 {
+            rounds += 1;
+            let mut merged_any = false;
+            for &(a, b, _) in &edge_list {
+                if count <= target {
+                    break;
+                }
+                let (ra, rb) = (find(&mut owner, a), find(&mut owner, b));
+                if ra == rb {
+                    continue;
+                }
+                let combined = group_res[ra] + group_res[rb];
+                if !combined.fits_within(&limit, 1.0) {
+                    continue;
+                }
+                owner[rb] = ra;
+                group_res[ra] = combined;
+                count -= 1;
+                merged_any = true;
+            }
+            if !merged_any {
+                break;
+            }
+        }
+
+        // Compact to dense supernode ids.
+        let mut dense: Vec<usize> = vec![usize::MAX; n];
+        let mut nodes = Vec::new();
+        let mut members: Vec<Vec<TaskId>> = Vec::new();
+        for t in 0..n {
+            let r = find(&mut owner, t);
+            if dense[r] == usize::MAX {
+                dense[r] = nodes.len();
+                nodes.push(Resources::ZERO);
+                members.push(Vec::new());
+            }
+            let d = dense[r];
+            nodes[d] += graph.task(TaskId::from_index(t)).resources;
+            members[d].push(TaskId::from_index(t));
+        }
+
+        // Merge parallel coarse edges.
+        let mut edge_map: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        for (_, f) in graph.fifos() {
+            let a = dense[find(&mut owner, f.src.index())];
+            let b = dense[find(&mut owner, f.dst.index())];
+            if a != b {
+                let key = (a.min(b), a.max(b));
+                *edge_map.entry(key).or_insert(0) += f.width_bits as u64;
+            }
+        }
+        let mut edges: Vec<(usize, usize, u64)> =
+            edge_map.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        edges.sort_unstable();
+        Coarse { nodes, members, edges }
+    }
+}
+
+// --------------------------------------------------------------------------
+// ILP bisection
+// --------------------------------------------------------------------------
+
+/// Recursively splits the supernodes assigned to `range` into two device
+/// groups with a two-way ILP, until every group is a single device.
+fn bisect(
+    coarse: &Coarse,
+    assign: &mut [usize],
+    range: std::ops::Range<usize>,
+    cap: &Resources,
+    cfg: &PartitionConfig,
+) -> Result<(), CompileError> {
+    let len = range.len();
+    if len <= 1 {
+        return Ok(());
+    }
+    let mid = range.start + len / 2;
+    let left = range.start..mid;
+    let right = mid..range.end;
+
+    // Supernodes currently owned by this range (identified by range.start).
+    let here: Vec<usize> = (0..coarse.nodes.len())
+        .filter(|&i| range.contains(&assign[i]))
+        .collect();
+    if !here.is_empty() {
+        let side = solve_two_way(coarse, &here, left.len(), right.len(), cap, cfg)?;
+        for (&sn, &s) in here.iter().zip(&side) {
+            assign[sn] = if s { right.start } else { left.start };
+        }
+    }
+    bisect(coarse, assign, left, cap, cfg)?;
+    bisect(coarse, assign, right, cap, cfg)
+}
+
+/// Two-way ILP: returns `true` for supernodes on the right side.
+fn solve_two_way(
+    coarse: &Coarse,
+    here: &[usize],
+    left_devices: usize,
+    right_devices: usize,
+    cap: &Resources,
+    cfg: &PartitionConfig,
+) -> Result<Vec<bool>, CompileError> {
+    let mut m = Model::new("inter-fpga-bisection");
+    let mut local = vec![usize::MAX; coarse.nodes.len()];
+    let mut x = Vec::with_capacity(here.len());
+    for (i, &sn) in here.iter().enumerate() {
+        local[sn] = i;
+        x.push(m.binary(format!("x{sn}")));
+    }
+
+    // Cut indicators for edges inside this group.
+    let mut objective = LinExpr::new();
+    for &(a, b, w) in &coarse.edges {
+        let (la, lb) = (local[a], local[b]);
+        if la == usize::MAX || lb == usize::MAX {
+            continue;
+        }
+        let y = m.continuous(format!("y{a}_{b}"), 0.0, 1.0);
+        m.add_ge(format!("c1_{a}_{b}"), LinExpr::term(y, 1.0) - x[la] + x[lb], 0.0);
+        m.add_ge(format!("c2_{a}_{b}"), LinExpr::term(y, 1.0) - x[lb] + x[la], 0.0);
+        objective.add_term(y, w as f64);
+    }
+
+    // Resource thresholds per side, per kind (equation 1).
+    use tapacs_fpga::ResourceKind;
+    for kind in ResourceKind::ALL {
+        let total: f64 = here.iter().map(|&sn| coarse.nodes[sn].get(kind) as f64).sum();
+        let cap_one = cap.get(kind) as f64 * cfg.threshold;
+        let right_cap = cap_one * right_devices as f64;
+        let left_cap = cap_one * left_devices as f64;
+        let load_right = LinExpr::sum(
+            here.iter()
+                .enumerate()
+                .map(|(i, &sn)| LinExpr::term(x[i], coarse.nodes[sn].get(kind) as f64)),
+        );
+        m.add_le(format!("capR_{kind}"), load_right.clone(), right_cap);
+        // Left load = total - right load ≤ left_cap.
+        m.add_ge(format!("capL_{kind}"), load_right, total - left_cap);
+    }
+
+    // Compute-load balance on the binding resource kind: without this, a
+    // small design would trivially collapse onto one device (min-cut = 0),
+    // defeating the paper's load-balancing objective.
+    if let Some(kind) = binding_kind(coarse, here, cap) {
+        let total: f64 = here.iter().map(|&sn| coarse.nodes[sn].get(kind) as f64).sum();
+        let devices = (left_devices + right_devices) as f64;
+        let right_share = right_devices as f64 / devices;
+        let left_share = left_devices as f64 / devices;
+        let load_right = LinExpr::sum(
+            here.iter()
+                .enumerate()
+                .map(|(i, &sn)| LinExpr::term(x[i], coarse.nodes[sn].get(kind) as f64)),
+        );
+        let floor_r = total * right_share * (1.0 - cfg.balance_slack);
+        let floor_l = total * left_share * (1.0 - cfg.balance_slack);
+        m.add_ge("balR", load_right.clone(), floor_r);
+        // Left load ≥ floor_l  ⇔  right load ≤ total − floor_l.
+        m.add_le("balL", load_right, total - floor_l);
+    }
+
+    m.set_objective(Sense::Minimize, objective);
+    let solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
+    match m.solve_with(&solver_cfg) {
+        Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
+        Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {
+            // Best-effort greedy split before declaring the level
+            // unsolvable (the ILP may also simply have run out of budget).
+            let weights: Vec<Resources> = here.iter().map(|&sn| coarse.nodes[sn]).collect();
+            greedy_two_way(&weights, cap, left_devices, right_devices, cfg.threshold).ok_or(
+                CompileError::InsufficientResources {
+                    detail: "no two-way split satisfies the resource thresholds".into(),
+                },
+            )
+        }
+        Err(e) => Err(CompileError::Solver(e.to_string())),
+    }
+}
+
+/// Largest-first greedy two-way split; returns `None` when some item fits
+/// neither side. `true` = right side.
+fn greedy_two_way(
+    weights: &[Resources],
+    cap: &Resources,
+    left_devices: usize,
+    right_devices: usize,
+    threshold: f64,
+) -> Option<Vec<bool>> {
+    let cap_left = (*cap * left_devices as u64).scale(threshold);
+    let cap_right = (*cap * right_devices as u64).scale(threshold);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| {
+        let r = weights[i];
+        std::cmp::Reverse(r.lut + r.ff + 1000 * (r.bram + r.dsp + r.uram))
+    });
+    let mut used_left = Resources::ZERO;
+    let mut used_right = Resources::ZERO;
+    let mut side = vec![false; weights.len()];
+    for i in order {
+        let w = weights[i];
+        let fits_l = (used_left + w).fits_within(&cap_left, 1.0);
+        let fits_r = (used_right + w).fits_within(&cap_right, 1.0);
+        let frac_l = used_left.utilization(&cap_left).max();
+        let frac_r = used_right.utilization(&cap_right).max();
+        match (fits_l, fits_r) {
+            (true, true) => {
+                if frac_r < frac_l {
+                    side[i] = true;
+                    used_right += w;
+                } else {
+                    used_left += w;
+                }
+            }
+            (true, false) => used_left += w,
+            (false, true) => {
+                side[i] = true;
+                used_right += w;
+            }
+            (false, false) => return None,
+        }
+    }
+    Some(side)
+}
+
+/// Greedy multiway packing fallback: largest-first onto the least-loaded
+/// feasible device. Ignores communication cost (refinement recovers it).
+fn greedy_multiway(
+    graph: &TaskGraph,
+    n_fpgas: usize,
+    cap: &Resources,
+    threshold: f64,
+) -> Result<Vec<usize>, CompileError> {
+    let mut order: Vec<TaskId> = graph.task_ids().collect();
+    order.sort_by_key(|t| {
+        let r = graph.task(*t).resources;
+        std::cmp::Reverse(r.lut + r.ff + 1000 * (r.bram + r.dsp + r.uram))
+    });
+    let mut used = vec![Resources::ZERO; n_fpgas];
+    let mut assignment = vec![0usize; graph.num_tasks()];
+    for t in order {
+        let res = graph.task(t).resources;
+        let mut best: Option<usize> = None;
+        let mut best_load = f64::INFINITY;
+        for f in 0..n_fpgas {
+            if !(used[f] + res).fits_within(cap, threshold) {
+                continue;
+            }
+            let load = used[f].utilization(cap).max();
+            if load < best_load {
+                best_load = load;
+                best = Some(f);
+            }
+        }
+        let Some(f) = best else {
+            return Err(CompileError::InsufficientResources {
+                detail: format!("task {} fits no device in greedy packing", graph.task(t).name),
+            });
+        };
+        used[f] += res;
+        assignment[t.index()] = f;
+    }
+    Ok(assignment)
+}
+
+/// The resource kind that binds first: `argmax_k total_k / cap_k`.
+fn binding_kind(
+    coarse: &Coarse,
+    here: &[usize],
+    cap: &Resources,
+) -> Option<tapacs_fpga::ResourceKind> {
+    use tapacs_fpga::ResourceKind;
+    let mut best = None;
+    let mut best_ratio = 0.0;
+    for kind in ResourceKind::ALL {
+        let capacity = cap.get(kind) as f64;
+        if capacity <= 0.0 {
+            continue;
+        }
+        let total: f64 = here.iter().map(|&sn| coarse.nodes[sn].get(kind) as f64).sum();
+        let ratio = total / capacity;
+        if total > 0.0 && ratio > best_ratio {
+            best_ratio = ratio;
+            best = Some(kind);
+        }
+    }
+    best
+}
+
+// --------------------------------------------------------------------------
+// Refinement & repair
+// --------------------------------------------------------------------------
+
+/// KL-style refinement: single-task moves accepted when they reduce the
+/// true (topology + λ) communication cost and stay feasible.
+fn refine(
+    graph: &TaskGraph,
+    cluster: &Cluster,
+    n_fpgas: usize,
+    cap: &Resources,
+    cfg: &PartitionConfig,
+    assignment: &mut [usize],
+) {
+    let mut used = vec![Resources::ZERO; n_fpgas];
+    for (id, t) in graph.tasks() {
+        used[assignment[id.index()]] += t.resources;
+    }
+    // Balance floor on the full graph's binding kind: moves must not
+    // strip a device below its fair share.
+    use tapacs_fpga::ResourceKind;
+    let binding = ResourceKind::ALL
+        .into_iter()
+        .filter(|k| cap.get(*k) > 0)
+        .max_by(|a, b| {
+            let ta: u64 = graph.tasks().map(|(_, t)| t.resources.get(*a)).sum();
+            let tb: u64 = graph.tasks().map(|(_, t)| t.resources.get(*b)).sum();
+            let ra = ta as f64 / cap.get(*a) as f64;
+            let rb = tb as f64 / cap.get(*b) as f64;
+            ra.partial_cmp(&rb).unwrap()
+        });
+    let floor = binding.map(|k| {
+        let total: u64 = graph.tasks().map(|(_, t)| t.resources.get(k)).sum();
+        (k, total as f64 / n_fpgas as f64 * (1.0 - cfg.balance_slack))
+    });
+
+    for _ in 0..cfg.refine_passes {
+        let mut improved = false;
+        for (id, task) in graph.tasks() {
+            let cur = assignment[id.index()];
+            if let Some((k, f)) = floor {
+                let after = used[cur].get(k).saturating_sub(task.resources.get(k));
+                if task.resources.get(k) > 0 && (after as f64) < f {
+                    continue; // move would unbalance the source device
+                }
+            }
+            let mut best = cur;
+            let mut best_delta = -1e-9;
+            for cand in 0..n_fpgas {
+                if cand == cur {
+                    continue;
+                }
+                if !(used[cand] + task.resources).fits_within(cap, cfg.threshold) {
+                    continue;
+                }
+                let delta = move_delta(graph, cluster, assignment, id, cand);
+                if delta < best_delta {
+                    best_delta = delta;
+                    best = cand;
+                }
+            }
+            if best != cur {
+                used[cur] -= task.resources;
+                used[best] += task.resources;
+                assignment[id.index()] = best;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Change in equation-2 cost if `task` moves to FPGA `to`.
+fn move_delta(
+    graph: &TaskGraph,
+    cluster: &Cluster,
+    assignment: &[usize],
+    task: TaskId,
+    to: usize,
+) -> f64 {
+    let from = assignment[task.index()];
+    let mut delta = 0.0;
+    for &f in graph.out_fifos(task).iter().chain(graph.in_fifos(task)) {
+        let fifo = graph.fifo(f);
+        let other = if fifo.src == task { fifo.dst } else { fifo.src };
+        if other == task {
+            continue; // self-loop never crosses
+        }
+        let o = assignment[other.index()];
+        let w = fifo.width_bits as f64;
+        delta += w * (cluster.dist(FpgaId(to), FpgaId(o)) - cluster.dist(FpgaId(from), FpgaId(o)));
+    }
+    delta
+}
+
+/// Greedy repair of threshold violations (can occur when projection from
+/// the coarse level unbalances a side).
+fn repair(
+    graph: &TaskGraph,
+    n_fpgas: usize,
+    cap: &Resources,
+    threshold: f64,
+    assignment: &mut [usize],
+) -> Result<(), CompileError> {
+    let mut used = vec![Resources::ZERO; n_fpgas];
+    for (id, t) in graph.tasks() {
+        used[assignment[id.index()]] += t.resources;
+    }
+    for _ in 0..graph.num_tasks() {
+        let Some(over) = (0..n_fpgas).find(|&f| !used[f].fits_within(cap, threshold)) else {
+            return Ok(());
+        };
+        // Move the largest task off the overloaded device to the least
+        // loaded feasible one.
+        let mut candidates: Vec<TaskId> = graph
+            .task_ids()
+            .filter(|t| assignment[t.index()] == over)
+            .collect();
+        candidates.sort_by_key(|t| std::cmp::Reverse(graph.task(*t).resources.lut));
+        let mut moved = false;
+        'outer: for t in candidates {
+            let res = graph.task(t).resources;
+            let mut order: Vec<usize> = (0..n_fpgas).filter(|&f| f != over).collect();
+            order.sort_by(|&a, &b| {
+                used[a].utilization(cap).max().partial_cmp(&used[b].utilization(cap).max()).unwrap()
+            });
+            for f in order {
+                if (used[f] + res).fits_within(cap, threshold) {
+                    used[over] -= res;
+                    used[f] += res;
+                    assignment[t.index()] = f;
+                    moved = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !moved {
+            return Err(CompileError::InsufficientResources {
+                detail: format!("FPGA {over} exceeds the threshold and no task can move"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_fpga::Device;
+    use tapacs_graph::{Fifo, Task};
+    use tapacs_net::Topology;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::single_node(Device::u55c(), n, Topology::Ring)
+    }
+
+    /// Two tight communities joined by one thin edge.
+    fn two_communities(per_side: usize) -> TaskGraph {
+        let mut g = TaskGraph::new("communities");
+        let r = Resources::new(40_000, 80_000, 50, 100, 10);
+        let mut ids = Vec::new();
+        for i in 0..2 * per_side {
+            ids.push(g.add_task(Task::compute(format!("t{i}"), r)));
+        }
+        for side in 0..2 {
+            let base = side * per_side;
+            for i in 0..per_side - 1 {
+                g.add_fifo(Fifo::new(
+                    format!("e{side}_{i}"),
+                    ids[base + i],
+                    ids[base + i + 1],
+                    512,
+                ));
+            }
+        }
+        // Thin bridge.
+        g.add_fifo(Fifo::new("bridge", ids[per_side - 1], ids[per_side], 32));
+        g
+    }
+
+    #[test]
+    fn single_fpga_passthrough() {
+        let g = two_communities(3);
+        let p = partition(&g, &cluster(1), 1, &PartitionConfig::default()).unwrap();
+        assert!(p.assignment.iter().all(|&f| f == 0));
+        assert_eq!(p.cut_width_bits, 0);
+        assert_eq!(p.comm_cost, 0.0);
+    }
+
+    #[test]
+    fn two_fpgas_cut_the_thin_bridge() {
+        let g = two_communities(6);
+        let p = partition(&g, &cluster(2), 2, &PartitionConfig::default()).unwrap();
+        // The optimal cut severs only the 32-bit bridge.
+        assert_eq!(p.cut_width_bits, 32, "assignment: {:?}", p.assignment);
+        // Both sides used.
+        assert!(p.used.iter().all(|u| !u.is_zero()));
+    }
+
+    #[test]
+    fn threshold_violation_detected_on_one_fpga() {
+        let mut g = TaskGraph::new("huge");
+        // One task consuming nearly the full device: fits at T=1.0 but not 0.7.
+        let big = Device::u55c().resources().scale(0.9);
+        g.add_task(Task::compute("big", big));
+        let err = partition(&g, &cluster(1), 1, &PartitionConfig::default()).unwrap_err();
+        assert!(matches!(err, CompileError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn design_too_big_for_cluster() {
+        let mut g = TaskGraph::new("huge2");
+        let big = Device::u55c().resources().scale(0.6);
+        for i in 0..4 {
+            g.add_task(Task::compute(format!("b{i}"), big));
+        }
+        let err = partition(&g, &cluster(2), 2, &PartitionConfig::default()).unwrap_err();
+        assert!(matches!(err, CompileError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn respects_resource_threshold_per_fpga() {
+        let g = two_communities(8);
+        let cfg = PartitionConfig::default();
+        let cl = cluster(2);
+        let p = partition(&g, &cl, 2, &cfg).unwrap();
+        let cap = usable_capacity(&cl, 2);
+        for u in &p.used {
+            assert!(u.fits_within(&cap, cfg.threshold + 1e-9));
+        }
+    }
+
+    #[test]
+    fn four_fpga_ring_partition_is_feasible_and_cheap() {
+        // A 4-stage pipeline of communities should map one community per
+        // FPGA with chain-adjacent cuts.
+        let mut g = TaskGraph::new("pipe4");
+        let r = Resources::new(150_000, 300_000, 200, 500, 50);
+        let mut prev: Option<TaskId> = None;
+        for i in 0..16 {
+            let t = g.add_task(Task::compute(format!("t{i}"), r));
+            if let Some(p) = prev {
+                g.add_fifo(Fifo::new(format!("e{i}"), p, t, 512));
+            }
+            prev = Some(t);
+        }
+        let cl = cluster(4);
+        let p = partition(&g, &cl, 4, &PartitionConfig::default()).unwrap();
+        let cap = usable_capacity(&cl, 4);
+        for u in &p.used {
+            assert!(u.fits_within(&cap, 0.7 + 1e-9));
+        }
+        // A chain over 4 devices needs at least 3 cut edges.
+        assert!(p.cut_width_bits >= 3 * 512);
+        // All four FPGAs host something (load must spread).
+        assert!(p.used.iter().all(|u| !u.is_zero()));
+    }
+
+    #[test]
+    fn comm_cost_consistent_with_cut() {
+        let g = two_communities(4);
+        let cl = cluster(2);
+        let p = partition(&g, &cl, 2, &PartitionConfig::default()).unwrap();
+        // In a 2-FPGA ring dist = 1 for cross edges, so cost == cut width.
+        assert!((p.comm_cost - p.cut_width_bits as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_recorded() {
+        let g = two_communities(4);
+        let p = partition(&g, &cluster(2), 2, &PartitionConfig::default()).unwrap();
+        assert!(p.runtime.as_secs_f64() >= 0.0);
+    }
+
+    #[test]
+    fn large_graph_coarsens_and_finishes_quickly() {
+        // 200 modules in a grid-ish structure; must finish well under the
+        // configured budget thanks to coarsening.
+        let mut g = TaskGraph::new("grid");
+        let r = Resources::new(8_000, 16_000, 10, 20, 2);
+        let cols = 20;
+        let ids: Vec<TaskId> =
+            (0..200).map(|i| g.add_task(Task::compute(format!("t{i}"), r))).collect();
+        for i in 0..200 {
+            if (i + 1) % cols != 0 {
+                g.add_fifo(Fifo::new(format!("h{i}"), ids[i], ids[i + 1], 64));
+            }
+            if i + cols < 200 {
+                g.add_fifo(Fifo::new(format!("v{i}"), ids[i], ids[i + cols], 64));
+            }
+        }
+        let cfg = PartitionConfig { time_limit_s: 3.0, ..Default::default() };
+        let t0 = Instant::now();
+        let p = partition(&g, &cluster(4), 4, &cfg).unwrap();
+        assert!(t0.elapsed().as_secs() < 30, "partitioner too slow");
+        assert!(p.used.iter().all(|u| !u.is_zero()));
+    }
+}

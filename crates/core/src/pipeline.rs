@@ -1,0 +1,233 @@
+//! Step 6 — interconnect pipelining (§4.6).
+//!
+//! TAPA-CS *conservatively* pipelines every slot-crossing wire: each FIFO
+//! whose endpoints were floorplanned into different slots receives one
+//! pipeline register per slot boundary crossed. Because every compute
+//! module is an FSM-controlled RTL block, latency-insensitive channels make
+//! this safe.
+//!
+//! To keep throughput intact the added latencies of *reconvergent* paths
+//! are then balanced by cut-set pipelining (Parhi's transformation, as used
+//! by AutoBridge): along every path between two vertices of the DAG the sum
+//! of inserted registers is equalized, so no branch starves its sibling.
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::SlotId;
+use tapacs_graph::{algo, TaskGraph};
+
+/// Where the pipeliner put registers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Pipeline stages inserted per FIFO for slot crossings.
+    pub crossing_regs: Vec<u32>,
+    /// Extra stages per FIFO added by cut-set balancing.
+    pub balancing_regs: Vec<u32>,
+    /// Total register bits added (`Σ stages × width`).
+    pub total_register_bits: u64,
+    /// Whether balancing ran (skipped for cyclic graphs, where the
+    /// latency-insensitive protocol alone guarantees correctness).
+    pub balanced: bool,
+}
+
+impl PipelineReport {
+    /// Total added latency (stages) on a FIFO.
+    pub fn stages(&self, fifo: usize) -> u32 {
+        self.crossing_regs[fifo] + self.balancing_regs[fifo]
+    }
+}
+
+/// Pipelines all slot crossings and balances reconvergent paths.
+///
+/// `assignment` maps tasks to FPGAs, `slot_of_task` to slots; only
+/// same-FPGA FIFOs receive interconnect registers (cross-FPGA channels are
+/// the network's concern).
+pub fn pipeline(
+    graph: &TaskGraph,
+    assignment: &[usize],
+    slot_of_task: &[SlotId],
+) -> PipelineReport {
+    assert_eq!(assignment.len(), graph.num_tasks());
+    assert_eq!(slot_of_task.len(), graph.num_tasks());
+
+    let n_fifos = graph.num_fifos();
+    let mut crossing = vec![0u32; n_fifos];
+    for (id, f) in graph.fifos() {
+        if assignment[f.src.index()] == assignment[f.dst.index()] {
+            let hops =
+                slot_of_task[f.src.index()].manhattan(&slot_of_task[f.dst.index()]) as u32;
+            crossing[id.index()] = hops;
+        }
+    }
+
+    // Cut-set balancing on the DAG part: for every vertex, all incoming
+    // paths must carry the same inserted latency. Compute the longest
+    // inserted-latency distance L(v) and top up each edge to close the gap.
+    let mut balancing = vec![0u32; n_fifos];
+    let balanced = match algo::topo_layers(graph) {
+        Ok(layers) => {
+            let mut dist = vec![0u32; graph.num_tasks()];
+            for layer in &layers {
+                for &t in layer {
+                    for &fid in graph.in_fifos(t) {
+                        let f = graph.fifo(fid);
+                        dist[t.index()] =
+                            dist[t.index()].max(dist[f.src.index()] + crossing[fid.index()]);
+                    }
+                }
+            }
+            for (id, f) in graph.fifos() {
+                let need = dist[f.dst.index()] - dist[f.src.index()];
+                balancing[id.index()] = need - crossing[id.index()];
+            }
+            true
+        }
+        Err(_) => false,
+    };
+
+    let total_register_bits = graph
+        .fifos()
+        .map(|(id, f)| {
+            (crossing[id.index()] + balancing[id.index()]) as u64 * f.width_bits as u64
+        })
+        .sum();
+
+    PipelineReport { crossing_regs: crossing, balancing_regs: balancing, total_register_bits, balanced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_fpga::Resources;
+    use tapacs_graph::{Fifo, Task, TaskGraph, TaskId};
+
+    fn t(name: &str) -> Task {
+        Task::compute(name, Resources::ZERO)
+    }
+
+    #[test]
+    fn registers_follow_slot_crossings() {
+        let mut g = TaskGraph::new("p");
+        let a = g.add_task(t("a"));
+        let b = g.add_task(t("b"));
+        g.add_fifo(Fifo::new("ab", a, b, 512));
+        let slots = vec![SlotId::new(0, 0), SlotId::new(2, 1)];
+        let rep = pipeline(&g, &[0, 0], &slots);
+        assert_eq!(rep.crossing_regs[0], 3);
+        assert_eq!(rep.total_register_bits, 3 * 512);
+    }
+
+    #[test]
+    fn same_slot_needs_no_registers() {
+        let mut g = TaskGraph::new("p");
+        let a = g.add_task(t("a"));
+        let b = g.add_task(t("b"));
+        g.add_fifo(Fifo::new("ab", a, b, 512));
+        let rep = pipeline(&g, &[0, 0], &[SlotId::new(1, 0), SlotId::new(1, 0)]);
+        assert_eq!(rep.stages(0), 0);
+        assert_eq!(rep.total_register_bits, 0);
+    }
+
+    #[test]
+    fn cross_fpga_fifos_not_pipelined_on_chip() {
+        let mut g = TaskGraph::new("p");
+        let a = g.add_task(t("a"));
+        let b = g.add_task(t("b"));
+        g.add_fifo(Fifo::new("ab", a, b, 512));
+        let rep = pipeline(&g, &[0, 1], &[SlotId::new(0, 0), SlotId::new(2, 1)]);
+        assert_eq!(rep.crossing_regs[0], 0);
+    }
+
+    #[test]
+    fn reconvergent_paths_balanced() {
+        // a →(0 hops) b →(0) d and a →(3 hops) d: the short path must gain
+        // 3 stages so both arrivals at d match.
+        let mut g = TaskGraph::new("diamond");
+        let a = g.add_task(t("a"));
+        let b = g.add_task(t("b"));
+        let d = g.add_task(t("d"));
+        let ab = g.add_fifo(Fifo::new("ab", a, b, 64));
+        let bd = g.add_fifo(Fifo::new("bd", b, d, 64));
+        let ad = g.add_fifo(Fifo::new("ad", a, d, 64));
+        let slots = vec![SlotId::new(0, 0), SlotId::new(0, 0), SlotId::new(2, 1)];
+        let rep = pipeline(&g, &[0; 3], &slots);
+        // ab: 0 hops, bd: 3 hops, ad: 3 hops → no balancing needed on ad,
+        // ab gets 0 (dist(b) = 0), path sums: ab+bd = 3, ad = 3. Balanced.
+        let path1 = rep.stages(ab.index()) + rep.stages(bd.index());
+        let path2 = rep.stages(ad.index());
+        assert_eq!(path1, path2);
+        assert!(rep.balanced);
+    }
+
+    #[test]
+    fn unequal_diamond_gets_balancing_registers() {
+        // a → b → d (b in far slot) and a → d direct (same slot as a and d):
+        // the direct edge must be padded.
+        let mut g = TaskGraph::new("diamond2");
+        let a = g.add_task(t("a"));
+        let b = g.add_task(t("b"));
+        let d = g.add_task(t("d"));
+        let ab = g.add_fifo(Fifo::new("ab", a, b, 64));
+        let bd = g.add_fifo(Fifo::new("bd", b, d, 64));
+        let ad = g.add_fifo(Fifo::new("ad", a, d, 64));
+        let slots = vec![SlotId::new(0, 0), SlotId::new(2, 0), SlotId::new(0, 0)];
+        let rep = pipeline(&g, &[0; 3], &slots);
+        assert_eq!(rep.stages(ab.index()), 2);
+        assert_eq!(rep.stages(bd.index()), 2);
+        assert_eq!(rep.stages(ad.index()), 4, "direct edge padded to match");
+        // Path-sum invariant.
+        assert_eq!(
+            rep.stages(ab.index()) + rep.stages(bd.index()),
+            rep.stages(ad.index())
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_skips_balancing() {
+        let mut g = TaskGraph::new("cycle");
+        let a = g.add_task(t("a"));
+        let b = g.add_task(t("b"));
+        g.add_fifo(Fifo::new("ab", a, b, 64));
+        g.add_fifo(Fifo::new("ba", b, a, 64));
+        let rep = pipeline(&g, &[0, 0], &[SlotId::new(0, 0), SlotId::new(1, 0)]);
+        assert!(!rep.balanced);
+        // Crossing registers still inserted (latency-insensitive safety).
+        assert_eq!(rep.crossing_regs, vec![1, 1]);
+        assert_eq!(rep.balancing_regs, vec![0, 0]);
+    }
+
+    #[test]
+    fn path_sums_equal_for_all_paths_property() {
+        // Random-ish DAG: verify L(u) + stages(e) == L(v) for every edge,
+        // which implies all path sums between any two vertices are equal.
+        let mut g = TaskGraph::new("dag");
+        let ids: Vec<TaskId> = (0..8).map(|i| g.add_task(t(&format!("t{i}")))).collect();
+        let edges =
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 6), (4, 7), (6, 7), (0, 7)];
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            g.add_fifo(Fifo::new(format!("e{i}"), ids[a], ids[b], 32));
+        }
+        let slots: Vec<SlotId> =
+            (0..8).map(|i| SlotId::new(i % 3, i % 2)).collect();
+        let rep = pipeline(&g, &[0; 8], &slots);
+        // Recompute L from the report and check the invariant.
+        let layers = algo::topo_layers(&g).unwrap();
+        let mut dist = vec![0u32; 8];
+        for layer in &layers {
+            for &v in layer {
+                for &fid in g.in_fifos(v) {
+                    let f = g.fifo(fid);
+                    dist[v.index()] = dist[v.index()]
+                        .max(dist[f.src.index()] + rep.stages(fid.index()));
+                }
+            }
+        }
+        for (fid, f) in g.fifos() {
+            assert_eq!(
+                dist[f.src.index()] + rep.stages(fid.index()),
+                dist[f.dst.index()],
+                "edge {} violates the balance invariant",
+                f.name
+            );
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Step 7 — "bitstream generation": the virtual place-and-route.
+//!
+//! With no vendor CAD stack, timing closure is computed analytically from
+//! the same physical effects the paper credits (§2): wirelength between
+//! floorplanned slots, die crossings, and congestion of oversubscribed
+//! slots — most prominently the HBM shoreline die where every memory port
+//! must land.
+//!
+//! * The Vitis-like flow pays the **full unpipelined** delay of every net:
+//!   HLS "cannot correctly estimate the final placement … and inserts an
+//!   insufficient number of clock boundaries".
+//! * The TAPA flows pay only the **worst pipelined segment** per net
+//!   (registers at every slot crossing).
+//!
+//! Achieved frequency per FPGA is `min(F_max, 1/critical_delay)`. A slot
+//! pushed past [`ROUTABLE_LIMIT`] fails routing outright, mirroring the
+//! paper's unroutable single-FPGA configurations.
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::{Device, Resources, SlotId, TimingModel};
+use tapacs_graph::TaskGraph;
+
+use crate::error::CompileError;
+
+/// Slot utilization beyond which routing fails (§3: the 512-bit/128 KB KNN
+/// "results in very high resource utilization in the lower die, leading to
+/// a failure in the routing phase").
+pub const ROUTABLE_LIMIT: f64 = 0.95;
+
+/// Timing-closure results for a placed design.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Achieved frequency per FPGA in MHz.
+    pub freq_mhz: Vec<f64>,
+    /// Critical (worst) delay per FPGA in ns.
+    pub critical_delay_ns: Vec<f64>,
+    /// Name of the critical net per FPGA.
+    pub critical_net: Vec<Option<String>>,
+    /// Per-FPGA, per-slot utilization (max over resource kinds; slot index
+    /// = `row × cols + col`).
+    pub slot_utilization: Vec<Vec<f64>>,
+}
+
+impl TimingReport {
+    /// The design clock: the slowest FPGA's frequency.
+    pub fn design_freq_mhz(&self) -> f64 {
+        self.freq_mhz.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Worst slot utilization across the whole design.
+    pub fn worst_slot_utilization(&self) -> f64 {
+        self.slot_utilization
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs static timing on a placed design.
+///
+/// `extra_per_fpga` charges fixed IP overheads (AlveoLink) to the QSFP
+/// corner slot of each FPGA.
+///
+/// # Errors
+///
+/// [`CompileError::RoutingFailure`] when any slot exceeds
+/// [`ROUTABLE_LIMIT`].
+pub fn analyze(
+    graph: &TaskGraph,
+    assignment: &[usize],
+    slot_of_task: &[SlotId],
+    n_fpgas: usize,
+    device: &Device,
+    pipelined: bool,
+    extra_per_fpga: &[Resources],
+    timing: &TimingModel,
+) -> Result<TimingReport, CompileError> {
+    assert_eq!(assignment.len(), graph.num_tasks());
+    assert_eq!(slot_of_task.len(), graph.num_tasks());
+
+    let cols = device.cols();
+    let n_slots = device.num_slots();
+    let slot_idx = |s: SlotId| s.row * cols + s.col;
+
+    // --- Slot occupancy ----------------------------------------------------
+    let mut used = vec![vec![Resources::ZERO; n_slots]; n_fpgas];
+    for (id, t) in graph.tasks() {
+        used[assignment[id.index()]][slot_idx(slot_of_task[id.index()])] += t.resources;
+    }
+    // Networking IP lives by the QSFP shoreline (top-right slot).
+    let qsfp_slot = slot_idx(SlotId::new(device.rows() - 1, cols - 1));
+    for (f, extra) in extra_per_fpga.iter().enumerate().take(n_fpgas) {
+        used[f][qsfp_slot] += *extra;
+    }
+
+    let mut slot_utilization = vec![vec![0.0; n_slots]; n_fpgas];
+    for f in 0..n_fpgas {
+        for (i, slot) in device.slots().enumerate() {
+            let u = used[f][i].utilization(&device.slot_capacity(slot)).max();
+            slot_utilization[f][i] = u;
+            if u > ROUTABLE_LIMIT {
+                return Err(CompileError::RoutingFailure { fpga: f, worst_utilization: u });
+            }
+        }
+    }
+
+    // --- Net delays ----------------------------------------------------------
+    let mut critical_delay_ns = vec![0.0f64; n_fpgas];
+    let mut critical_net: Vec<Option<String>> = vec![None; n_fpgas];
+
+    // Every task contributes its local logic path through its slot.
+    for (id, t) in graph.tasks() {
+        let f = assignment[id.index()];
+        let u = slot_utilization[f][slot_idx(slot_of_task[id.index()])];
+        let d = timing.net_delay_ns(0, 0, u);
+        if d > critical_delay_ns[f] {
+            critical_delay_ns[f] = d;
+            critical_net[f] = Some(format!("{} (local)", t.name));
+        }
+    }
+
+    // FIFO nets between slots of the same FPGA.
+    for (_, fifo) in graph.fifos() {
+        let (fa, fb) = (assignment[fifo.src.index()], assignment[fifo.dst.index()]);
+        if fa != fb {
+            continue; // network channel: not an on-chip net
+        }
+        let (sa, sb) = (slot_of_task[fifo.src.index()], slot_of_task[fifo.dst.index()]);
+        let hops = sa.manhattan(&sb);
+        let dies = sa.die_crossings(&sb);
+        let u = slot_utilization[fa][slot_idx(sa)].max(slot_utilization[fa][slot_idx(sb)]);
+        let d = if pipelined {
+            timing.pipelined_net_delay_ns(hops, dies, u)
+        } else {
+            timing.net_delay_ns(hops, dies, u)
+        };
+        if d > critical_delay_ns[fa] {
+            critical_delay_ns[fa] = d;
+            critical_net[fa] = Some(fifo.name.clone());
+        }
+    }
+
+    let freq_mhz = critical_delay_ns
+        .iter()
+        .map(|&d| {
+            if d <= 0.0 {
+                device.fmax_mhz()
+            } else {
+                timing.frequency_mhz(d, device.fmax_mhz())
+            }
+        })
+        .collect();
+
+    Ok(TimingReport { freq_mhz, critical_delay_ns, critical_net, slot_utilization })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_graph::{Fifo, Task};
+
+    fn device() -> Device {
+        Device::u55c()
+    }
+
+    fn small_graph(res: Resources) -> TaskGraph {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task(Task::compute("a", res));
+        let b = g.add_task(Task::compute("b", res));
+        g.add_fifo(Fifo::new("ab", a, b, 512));
+        g
+    }
+
+    #[test]
+    fn uncongested_pipelined_design_hits_fmax() {
+        let g = small_graph(Resources::new(10_000, 20_000, 20, 40, 4));
+        let slots = vec![SlotId::new(0, 0), SlotId::new(2, 1)];
+        let rep = analyze(
+            &g,
+            &[0, 0],
+            &slots,
+            1,
+            &device(),
+            true,
+            &[Resources::ZERO],
+            &TimingModel::default(),
+        )
+        .unwrap();
+        assert_eq!(rep.design_freq_mhz(), 300.0);
+    }
+
+    #[test]
+    fn unpipelined_long_net_loses_frequency() {
+        let g = small_graph(Resources::new(10_000, 20_000, 20, 40, 4));
+        let slots = vec![SlotId::new(0, 0), SlotId::new(2, 1)];
+        let t = TimingModel::default();
+        let piped = analyze(&g, &[0, 0], &slots, 1, &device(), true, &[Resources::ZERO], &t)
+            .unwrap();
+        let flat = analyze(&g, &[0, 0], &slots, 1, &device(), false, &[Resources::ZERO], &t)
+            .unwrap();
+        assert!(flat.design_freq_mhz() <= piped.design_freq_mhz());
+        assert_eq!(flat.critical_net[0].as_deref(), Some("ab"));
+    }
+
+    #[test]
+    fn congestion_lowers_frequency() {
+        // ~88% of one slot → heavy congestion penalty.
+        let slot_cap = device().slot_capacity(SlotId::new(0, 0));
+        let heavy = slot_cap.scale(0.44);
+        let g = small_graph(heavy);
+        let slots = vec![SlotId::new(0, 0), SlotId::new(0, 0)];
+        let rep = analyze(
+            &g,
+            &[0, 0],
+            &slots,
+            1,
+            &device(),
+            true,
+            &[Resources::ZERO],
+            &TimingModel::default(),
+        )
+        .unwrap();
+        assert!(
+            rep.design_freq_mhz() < 230.0,
+            "congested slot should throttle: {}",
+            rep.design_freq_mhz()
+        );
+        assert!(rep.worst_slot_utilization() > 0.85);
+    }
+
+    #[test]
+    fn oversubscribed_slot_fails_routing() {
+        let slot_cap = device().slot_capacity(SlotId::new(1, 0));
+        let g = small_graph(slot_cap.scale(0.49));
+        // Both tasks into one slot → ~98% > ROUTABLE_LIMIT.
+        let slots = vec![SlotId::new(1, 0), SlotId::new(1, 0)];
+        let err = analyze(
+            &g,
+            &[0, 0],
+            &slots,
+            1,
+            &device(),
+            true,
+            &[Resources::ZERO],
+            &TimingModel::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::RoutingFailure { fpga: 0, .. }));
+    }
+
+    #[test]
+    fn network_overhead_charged_to_qsfp_slot() {
+        let g = small_graph(Resources::new(1_000, 2_000, 2, 4, 0));
+        let slots = vec![SlotId::new(0, 0), SlotId::new(0, 0)];
+        let extra = Resources::new(110_000, 170_000, 100, 0, 0);
+        let rep = analyze(
+            &g,
+            &[0, 0],
+            &slots,
+            1,
+            &device(),
+            true,
+            &[extra],
+            &TimingModel::default(),
+        )
+        .unwrap();
+        let qsfp = (device().rows() - 1) * device().cols() + device().cols() - 1;
+        assert!(rep.slot_utilization[0][qsfp] > 0.5);
+    }
+
+    #[test]
+    fn per_fpga_frequencies_independent() {
+        // FPGA 0 congested, FPGA 1 light → different clocks.
+        let slot_cap = device().slot_capacity(SlotId::new(0, 0));
+        let mut g = TaskGraph::new("two");
+        let a = g.add_task(Task::compute("heavy1", slot_cap.scale(0.45)));
+        let b = g.add_task(Task::compute("heavy2", slot_cap.scale(0.45)));
+        let c = g.add_task(Task::compute("light", Resources::new(100, 200, 0, 0, 0)));
+        g.add_fifo(Fifo::new("ab", a, b, 64));
+        g.add_fifo(Fifo::new("bc", b, c, 64));
+        let slots = vec![SlotId::new(0, 0), SlotId::new(0, 0), SlotId::new(1, 0)];
+        let rep = analyze(
+            &g,
+            &[0, 0, 1],
+            &slots,
+            2,
+            &device(),
+            true,
+            &[Resources::ZERO, Resources::ZERO],
+            &TimingModel::default(),
+        )
+        .unwrap();
+        assert!(rep.freq_mhz[0] < rep.freq_mhz[1]);
+        assert_eq!(rep.freq_mhz[1], 300.0);
+        assert_eq!(rep.design_freq_mhz(), rep.freq_mhz[0]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Device presets and slot-grid geometry.
+//!
+//! TAPA-CS views each FPGA "as a grid divided into slots by the hard IPs and
+//! static regions" (§4.5): the Alveo U55C is a 2-column × 3-row grid whose
+//! bottom row carries all 32 HBM channels, the U250 is a 2 × 4 grid (eight
+//! slots, matching the paper's recursive bisection depth). Crossing a row
+//! boundary crosses a die (SLR) and pays the silicon-interposer delay.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hbm::HbmModel;
+use crate::resources::Resources;
+
+/// A slot in the device grid: `row` 0 is the bottom (shoreline) die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SlotId {
+    /// Grid row (0 = bottom die, where HBM pins out on U55C/U280).
+    pub row: usize,
+    /// Grid column.
+    pub col: usize,
+}
+
+impl SlotId {
+    /// Creates a slot id.
+    pub const fn new(row: usize, col: usize) -> Self {
+        Self { row, col }
+    }
+
+    /// Manhattan distance in the slot grid — the intra-FPGA cost metric of
+    /// the paper's equation (4).
+    pub fn manhattan(&self, other: &SlotId) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// Number of die (SLR) boundaries between two slots.
+    pub fn die_crossings(&self, other: &SlotId) -> usize {
+        self.row.abs_diff(other.row)
+    }
+}
+
+/// Supported Alveo device families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Alveo U55C: HBM2, 3 SLRs, 2 QSFP28 ports (the paper's testbed card).
+    AlveoU55c,
+    /// Alveo U280: HBM2 + DDR, 3 SLRs.
+    AlveoU280,
+    /// Alveo U250: DDR only, 4 SLRs.
+    AlveoU250,
+}
+
+/// A modeled FPGA card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    kind: DeviceKind,
+    name: String,
+    resources: Resources,
+    rows: usize,
+    cols: usize,
+    hbm: HbmModel,
+    qsfp_ports: usize,
+    fmax_mhz: f64,
+    platform_overhead: Resources,
+}
+
+impl Device {
+    /// Alveo U55C with the Table 2 resource counts.
+    pub fn u55c() -> Device {
+        Device {
+            kind: DeviceKind::AlveoU55c,
+            name: "Alveo U55C".into(),
+            // Table 2 of the paper.
+            resources: Resources::new(1_146_240, 2_292_480, 1_776, 8_376, 960),
+            rows: 3,
+            cols: 2,
+            hbm: HbmModel::hbm2_16gb(),
+            qsfp_ports: 2,
+            fmax_mhz: 300.0,
+            // Vitis platform / static region (shell) approximation: the
+            // shell occupies a fixed corner of the bottom-right slot.
+            platform_overhead: Resources::new(110_000, 145_000, 180, 0, 0),
+        }
+    }
+
+    /// Alveo U280 (HBM sibling of the U55C, one QSFP28 port).
+    pub fn u280() -> Device {
+        Device {
+            kind: DeviceKind::AlveoU280,
+            name: "Alveo U280".into(),
+            resources: Resources::new(1_304_000, 2_607_000, 2_016, 9_024, 960),
+            rows: 3,
+            cols: 2,
+            hbm: HbmModel::hbm2_8gb(),
+            qsfp_ports: 1,
+            fmax_mhz: 300.0,
+            platform_overhead: Resources::new(120_000, 160_000, 200, 0, 0),
+        }
+    }
+
+    /// Alveo U250 (DDR-only, 4 SLRs → the paper's "eight grids").
+    pub fn u250() -> Device {
+        Device {
+            kind: DeviceKind::AlveoU250,
+            name: "Alveo U250".into(),
+            resources: Resources::new(1_728_000, 3_456_000, 2_688, 12_288, 1_280),
+            rows: 4,
+            cols: 2,
+            hbm: HbmModel::ddr4_quad(),
+            qsfp_ports: 2,
+            fmax_mhz: 300.0,
+            platform_overhead: Resources::new(130_000, 170_000, 220, 0, 0),
+        }
+    }
+
+    /// Device family.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Marketing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total programmable resources on the card (Table 2).
+    pub fn resources(&self) -> Resources {
+        self.resources
+    }
+
+    /// Resources left for user logic after the static platform region.
+    pub fn usable_resources(&self) -> Resources {
+        self.resources.saturating_sub(&self.platform_overhead)
+    }
+
+    /// Static-region (shell) resources.
+    pub fn platform_overhead(&self) -> Resources {
+        self.platform_overhead
+    }
+
+    /// Slot-grid rows (== number of dies / SLRs).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Slot-grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total slot count.
+    pub fn num_slots(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Iterates over all slots, bottom row first.
+    pub fn slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |r| (0..cols).map(move |c| SlotId::new(r, c)))
+    }
+
+    /// Capacity of one slot: an even split of the card, minus the platform
+    /// overhead on the bottom-right slot where the Vitis shell lives
+    /// (Figure 2 places static regions on the right column / shoreline).
+    pub fn slot_capacity(&self, slot: SlotId) -> Resources {
+        assert!(slot.row < self.rows && slot.col < self.cols, "slot out of range");
+        let per_slot = self.resources.scale(1.0 / self.num_slots() as f64);
+        if slot.row == 0 && slot.col == self.cols - 1 {
+            per_slot.saturating_sub(&self.platform_overhead)
+        } else {
+            per_slot
+        }
+    }
+
+    /// External-memory model (HBM or DDR).
+    pub fn hbm(&self) -> &HbmModel {
+        &self.hbm
+    }
+
+    /// Grid row adjacent to the external-memory shoreline (HBM channels on
+    /// Alveo HBM cards are all exposed in the bottom die).
+    pub fn hbm_row(&self) -> usize {
+        0
+    }
+
+    /// Number of QSFP28 network ports.
+    pub fn qsfp_ports(&self) -> usize {
+        self.qsfp_ports
+    }
+
+    /// Maximum achievable design frequency for this board (the paper cites
+    /// 300 MHz for the U55C).
+    pub fn fmax_mhz(&self) -> f64 {
+        self.fmax_mhz
+    }
+}
+
+impl Default for Device {
+    /// The paper's testbed card, the Alveo U55C.
+    fn default() -> Self {
+        Device::u55c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u55c_matches_table2() {
+        let d = Device::u55c();
+        let r = d.resources();
+        assert_eq!(r.lut, 1_146_240);
+        assert_eq!(r.ff, 2_292_480);
+        assert_eq!(r.bram, 1_776);
+        assert_eq!(r.dsp, 8_376);
+        assert_eq!(r.uram, 960);
+        assert_eq!(d.num_slots(), 6);
+        assert_eq!(d.qsfp_ports(), 2);
+        assert_eq!(d.fmax_mhz(), 300.0);
+    }
+
+    #[test]
+    fn u250_has_eight_slots() {
+        assert_eq!(Device::u250().num_slots(), 8);
+    }
+
+    #[test]
+    fn slot_iteration_covers_grid() {
+        let d = Device::u55c();
+        let slots: Vec<_> = d.slots().collect();
+        assert_eq!(slots.len(), 6);
+        assert_eq!(slots[0], SlotId::new(0, 0));
+        assert_eq!(slots[5], SlotId::new(2, 1));
+    }
+
+    #[test]
+    fn manhattan_and_die_crossings() {
+        let a = SlotId::new(0, 0);
+        let b = SlotId::new(2, 1);
+        assert_eq!(a.manhattan(&b), 3);
+        assert_eq!(b.manhattan(&a), 3);
+        assert_eq!(a.die_crossings(&b), 2);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn platform_overhead_reduces_shell_slot() {
+        let d = Device::u55c();
+        let shell = d.slot_capacity(SlotId::new(0, 1));
+        let plain = d.slot_capacity(SlotId::new(1, 1));
+        assert!(shell.lut < plain.lut);
+        assert!(shell.bram < plain.bram);
+        // Sum of slot capacities stays below total resources.
+        let total: Resources = d.slots().map(|s| d.slot_capacity(s)).sum();
+        assert!(total.lut <= d.resources().lut + d.num_slots() as u64); // ceil slack
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn slot_capacity_bounds_checked() {
+        Device::u55c().slot_capacity(SlotId::new(9, 9));
+    }
+
+    #[test]
+    fn usable_resources_subtract_shell() {
+        let d = Device::u55c();
+        assert_eq!(
+            d.usable_resources().lut,
+            d.resources().lut - d.platform_overhead().lut
+        );
+    }
+}

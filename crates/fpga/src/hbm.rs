@@ -1,0 +1,171 @@
+//! External-memory (HBM / DDR) bandwidth model.
+//!
+//! The paper's motivating example (§3) hinges on how much of the per-bank
+//! HBM bandwidth a kernel port can actually saturate: a 256-bit port with a
+//! 32 KB reuse buffer reaches only ~51.2% of a bank's bandwidth, while the
+//! optimal 512-bit / 128 KB configuration saturates it. [`HbmModel::port_efficiency`]
+//! reproduces exactly those two calibration points.
+
+use serde::{Deserialize, Serialize};
+
+/// HBM access latency relative to on-chip SRAM (the paper cites "about 76×
+/// slower than on-chip memory access", §3/§4.5).
+pub const HBM_VS_ONCHIP_LATENCY_RATIO: f64 = 76.0;
+
+/// On-chip (BRAM/URAM aggregate) bandwidth, Table 9: 35 TBps.
+pub const ONCHIP_BANDWIDTH_GBPS: f64 = 35_000.0;
+
+/// Kind of off-chip memory on the card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// High-bandwidth memory (stacked, many pseudo-channels).
+    Hbm,
+    /// Conventional DDR4 DIMMs.
+    Ddr,
+}
+
+/// Off-chip memory model: channel count, capacity and bandwidth, plus the
+/// port-width/buffer-size efficiency curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbmModel {
+    kind: MemoryKind,
+    channels: usize,
+    capacity_gb: f64,
+    total_bandwidth_gbps: f64,
+}
+
+impl HbmModel {
+    /// The U55C stack: 16 GB HBM2, 32 channels, 460 GBps aggregate.
+    pub fn hbm2_16gb() -> Self {
+        Self { kind: MemoryKind::Hbm, channels: 32, capacity_gb: 16.0, total_bandwidth_gbps: 460.0 }
+    }
+
+    /// The U280 stack: 8 GB HBM2, 32 channels, 460 GBps aggregate.
+    pub fn hbm2_8gb() -> Self {
+        Self { kind: MemoryKind::Hbm, channels: 32, capacity_gb: 8.0, total_bandwidth_gbps: 460.0 }
+    }
+
+    /// U250-style quad DDR4: 4 channels × 19.2 GBps, 64 GB.
+    pub fn ddr4_quad() -> Self {
+        Self { kind: MemoryKind::Ddr, channels: 4, capacity_gb: 64.0, total_bandwidth_gbps: 76.8 }
+    }
+
+    /// Memory technology.
+    pub fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Number of user-visible channels (32 HBM pseudo-channel pairs on the
+    /// U55C).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Capacity in GB.
+    pub fn capacity_gb(&self) -> f64 {
+        self.capacity_gb
+    }
+
+    /// Aggregate peak bandwidth in GBps (Table 9: 460 GBps for HBM).
+    pub fn total_bandwidth_gbps(&self) -> f64 {
+        self.total_bandwidth_gbps
+    }
+
+    /// Peak bandwidth of a single channel/bank in GBps.
+    pub fn per_channel_gbps(&self) -> f64 {
+        self.total_bandwidth_gbps / self.channels as f64
+    }
+
+    /// Fraction of a bank's peak bandwidth a kernel port saturates, given
+    /// its AXI port width (bits) and on-chip reuse-buffer size (bytes).
+    ///
+    /// Calibrated to the paper's §3 observations:
+    /// * 512-bit port + 128 KB buffer → 1.00 (saturates the bank),
+    /// * 256-bit port + 32 KB buffer → ≈ 0.512.
+    ///
+    /// The fit is `min(1, (w/512)^0.766 · (b/128KiB)^0.1)`: wider ports give
+    /// near-proportional gains, deeper buffers improve burst efficiency with
+    /// strongly diminishing returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port_width_bits` or `buffer_bytes` is zero.
+    pub fn port_efficiency(&self, port_width_bits: u32, buffer_bytes: u64) -> f64 {
+        assert!(port_width_bits > 0, "port width must be positive");
+        assert!(buffer_bytes > 0, "buffer size must be positive");
+        let w = (port_width_bits as f64 / 512.0).powf(0.766);
+        let b = (buffer_bytes as f64 / (128.0 * 1024.0)).powf(0.1);
+        (w * b).min(1.0)
+    }
+
+    /// Effective bandwidth (GBps) of a single port on one channel.
+    pub fn effective_port_gbps(&self, port_width_bits: u32, buffer_bytes: u64) -> f64 {
+        self.per_channel_gbps() * self.port_efficiency(port_width_bits, buffer_bytes)
+    }
+
+    /// Effective aggregate bandwidth over `channels_used` channels, each
+    /// accessed with the given port configuration. When multiple ports
+    /// contend for the same bank the per-bank share is further divided.
+    pub fn effective_bandwidth_gbps(
+        &self,
+        channels_used: usize,
+        port_width_bits: u32,
+        buffer_bytes: u64,
+    ) -> f64 {
+        let ch = channels_used.min(self.channels) as f64;
+        ch * self.effective_port_gbps(port_width_bits, buffer_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u55c_per_channel_bandwidth() {
+        let m = HbmModel::hbm2_16gb();
+        assert_eq!(m.channels(), 32);
+        assert!((m.per_channel_gbps() - 14.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_points_from_paper() {
+        let m = HbmModel::hbm2_16gb();
+        // 512-bit / 128 KB saturates the bank.
+        assert!((m.port_efficiency(512, 128 * 1024) - 1.0).abs() < 1e-12);
+        // 256-bit / 32 KB → ~51.2% (§3).
+        let eff = m.port_efficiency(256, 32 * 1024);
+        assert!((eff - 0.512).abs() < 0.01, "got {eff}");
+    }
+
+    #[test]
+    fn efficiency_monotone_in_width_and_buffer() {
+        let m = HbmModel::hbm2_16gb();
+        assert!(m.port_efficiency(128, 32 * 1024) < m.port_efficiency(256, 32 * 1024));
+        assert!(m.port_efficiency(256, 16 * 1024) < m.port_efficiency(256, 64 * 1024));
+        // Never exceeds 1.
+        assert!(m.port_efficiency(1024, 1 << 24) <= 1.0);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_caps_at_channel_count() {
+        let m = HbmModel::hbm2_16gb();
+        let full = m.effective_bandwidth_gbps(32, 512, 128 * 1024);
+        let over = m.effective_bandwidth_gbps(64, 512, 128 * 1024);
+        assert!((full - 460.0).abs() < 1e-9);
+        assert_eq!(full, over);
+    }
+
+    #[test]
+    fn ddr_model_sane() {
+        let m = HbmModel::ddr4_quad();
+        assert_eq!(m.kind(), MemoryKind::Ddr);
+        assert!((m.per_channel_gbps() - 19.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "port width must be positive")]
+    fn zero_width_rejected() {
+        HbmModel::hbm2_16gb().port_efficiency(0, 1024);
+    }
+}

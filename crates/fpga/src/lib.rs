@@ -1,0 +1,30 @@
+//! FPGA device models for the TAPA-CS reproduction.
+//!
+//! The paper targets AMD/Xilinx Alveo boards (U55C, U280, U250): multi-die
+//! devices with hard platform IPs, HBM stacks exposed on the bottom die and
+//! QSFP28 network ports. This crate models exactly the device facts the
+//! TAPA-CS compiler consumes:
+//!
+//! * [`Resources`] — LUT/FF/BRAM/DSP/URAM vectors with utilization algebra
+//!   (Table 2 of the paper),
+//! * [`Device`] — slot grids delimited by dies and hard IPs (Figure 2), HBM
+//!   geometry, QSFP port counts,
+//! * [`hbm`] — per-channel bandwidth and the port-width/buffer-size
+//!   efficiency model behind the paper's §3 motivating example,
+//! * [`timing`] — the *virtual place-and-route* static timing model that
+//!   substitutes for Vitis synthesis: net delay as a function of slot
+//!   distance, die crossings and congestion, from which achievable design
+//!   frequency is derived.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod hbm;
+pub mod resources;
+pub mod timing;
+
+pub use device::{Device, DeviceKind, SlotId};
+pub use hbm::HbmModel;
+pub use resources::{ResourceKind, Resources, Utilization};
+pub use timing::TimingModel;

@@ -1,0 +1,337 @@
+//! Programmable-resource vectors and utilization algebra.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// One of the five on-chip programmable resource types tracked by TAPA-CS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Look-up tables.
+    Lut,
+    /// Flip-flops.
+    Ff,
+    /// Block RAM (36 Kb blocks).
+    Bram,
+    /// DSP slices.
+    Dsp,
+    /// UltraRAM blocks.
+    Uram,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in the order used by the paper's tables.
+    pub const ALL: [ResourceKind; 5] = [
+        ResourceKind::Lut,
+        ResourceKind::Ff,
+        ResourceKind::Bram,
+        ResourceKind::Dsp,
+        ResourceKind::Uram,
+    ];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Lut => "LUT",
+            ResourceKind::Ff => "FF",
+            ResourceKind::Bram => "BRAM",
+            ResourceKind::Dsp => "DSP",
+            ResourceKind::Uram => "URAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A vector of programmable resources (a usage amount or a capacity).
+///
+/// ```
+/// use tapacs_fpga::Resources;
+/// let pe = Resources::new(1000, 2000, 4, 8, 0);
+/// let four_pes = pe * 4;
+/// assert_eq!(four_pes.lut, 4000);
+/// let avail = Resources::new(10_000, 20_000, 40, 80, 10);
+/// assert!(four_pes.fits_within(&avail, 0.7));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// Block RAMs.
+    pub bram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// UltraRAMs.
+    pub uram: u64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources { lut: 0, ff: 0, bram: 0, dsp: 0, uram: 0 };
+
+    /// Creates a resource vector.
+    pub const fn new(lut: u64, ff: u64, bram: u64, dsp: u64, uram: u64) -> Self {
+        Self { lut, ff, bram, dsp, uram }
+    }
+
+    /// Amount of one resource kind.
+    pub fn get(&self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::Lut => self.lut,
+            ResourceKind::Ff => self.ff,
+            ResourceKind::Bram => self.bram,
+            ResourceKind::Dsp => self.dsp,
+            ResourceKind::Uram => self.uram,
+        }
+    }
+
+    /// Sets the amount of one resource kind.
+    pub fn set(&mut self, kind: ResourceKind, v: u64) {
+        match kind {
+            ResourceKind::Lut => self.lut = v,
+            ResourceKind::Ff => self.ff = v,
+            ResourceKind::Bram => self.bram = v,
+            ResourceKind::Dsp => self.dsp = v,
+            ResourceKind::Uram => self.uram = v,
+        }
+    }
+
+    /// Scales by a real factor, rounding up (resources are indivisible).
+    pub fn scale(&self, f: f64) -> Resources {
+        assert!(f >= 0.0, "cannot scale resources by a negative factor");
+        let s = |v: u64| ((v as f64) * f).ceil() as u64;
+        Resources::new(s(self.lut), s(self.ff), s(self.bram), s(self.dsp), s(self.uram))
+    }
+
+    /// Per-kind utilization fractions relative to a capacity.
+    ///
+    /// Kinds with zero capacity report 0 when unused and `inf` when used.
+    pub fn utilization(&self, capacity: &Resources) -> Utilization {
+        let frac = |used: u64, cap: u64| {
+            if cap == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                used as f64 / cap as f64
+            }
+        };
+        Utilization {
+            lut: frac(self.lut, capacity.lut),
+            ff: frac(self.ff, capacity.ff),
+            bram: frac(self.bram, capacity.bram),
+            dsp: frac(self.dsp, capacity.dsp),
+            uram: frac(self.uram, capacity.uram),
+        }
+    }
+
+    /// Whether every kind stays at or below `threshold × capacity` —
+    /// equation (1) of the paper.
+    pub fn fits_within(&self, capacity: &Resources, threshold: f64) -> bool {
+        self.utilization(capacity).max() <= threshold
+    }
+
+    /// Element-wise saturating subtraction.
+    pub fn saturating_sub(&self, rhs: &Resources) -> Resources {
+        Resources::new(
+            self.lut.saturating_sub(rhs.lut),
+            self.ff.saturating_sub(rhs.ff),
+            self.bram.saturating_sub(rhs.bram),
+            self.dsp.saturating_sub(rhs.dsp),
+            self.uram.saturating_sub(rhs.uram),
+        )
+    }
+
+    /// Whether all components are zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Resources::ZERO
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {} FF {} BRAM {} DSP {} URAM {}",
+            self.lut, self.ff, self.bram, self.dsp, self.uram
+        )
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources::new(
+            self.lut + rhs.lut,
+            self.ff + rhs.ff,
+            self.bram + rhs.bram,
+            self.dsp + rhs.dsp,
+            self.uram + rhs.uram,
+        )
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// # Panics
+    ///
+    /// Panics on underflow in debug builds (standard integer semantics);
+    /// use [`Resources::saturating_sub`] for lenient subtraction.
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources::new(
+            self.lut - rhs.lut,
+            self.ff - rhs.ff,
+            self.bram - rhs.bram,
+            self.dsp - rhs.dsp,
+            self.uram - rhs.uram,
+        )
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, k: u64) -> Resources {
+        Resources::new(self.lut * k, self.ff * k, self.bram * k, self.dsp * k, self.uram * k)
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+/// Per-kind utilization fractions (0.0 – 1.0+; may exceed 1 when a design
+/// over-subscribes a device).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// LUT fraction used.
+    pub lut: f64,
+    /// FF fraction used.
+    pub ff: f64,
+    /// BRAM fraction used.
+    pub bram: f64,
+    /// DSP fraction used.
+    pub dsp: f64,
+    /// URAM fraction used.
+    pub uram: f64,
+}
+
+impl Utilization {
+    /// The largest per-kind fraction — the binding constraint.
+    pub fn max(&self) -> f64 {
+        self.lut.max(self.ff).max(self.bram).max(self.dsp).max(self.uram)
+    }
+
+    /// Fraction of one resource kind.
+    pub fn get(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Lut => self.lut,
+            ResourceKind::Ff => self.ff,
+            ResourceKind::Bram => self.bram,
+            ResourceKind::Dsp => self.dsp,
+            ResourceKind::Uram => self.uram,
+        }
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {:.1}% FF {:.1}% BRAM {:.1}% DSP {:.1}% URAM {:.1}%",
+            self.lut * 100.0,
+            self.ff * 100.0,
+            self.bram * 100.0,
+            self.dsp * 100.0,
+            self.uram * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Resources::new(100, 200, 3, 4, 5);
+        let b = Resources::new(10, 20, 1, 2, 3);
+        assert_eq!(a + b - b, a);
+        assert_eq!(b * 3, Resources::new(30, 60, 3, 6, 9));
+        let total: Resources = vec![a, b, b].into_iter().sum();
+        assert_eq!(total, a + b * 2);
+    }
+
+    #[test]
+    fn scale_rounds_up() {
+        let a = Resources::new(3, 3, 3, 3, 3);
+        assert_eq!(a.scale(0.5), Resources::new(2, 2, 2, 2, 2));
+        assert_eq!(a.scale(0.0), Resources::ZERO);
+    }
+
+    #[test]
+    fn utilization_and_threshold() {
+        let cap = Resources::new(1000, 1000, 100, 100, 10);
+        let used = Resources::new(700, 100, 10, 10, 1);
+        let u = used.utilization(&cap);
+        assert!((u.lut - 0.7).abs() < 1e-12);
+        assert!((u.max() - 0.7).abs() < 1e-12);
+        assert!(used.fits_within(&cap, 0.7));
+        assert!(!used.fits_within(&cap, 0.69));
+    }
+
+    #[test]
+    fn zero_capacity_kinds() {
+        let cap = Resources::new(1000, 1000, 100, 100, 0);
+        let fine = Resources::new(1, 1, 1, 1, 0);
+        let bad = Resources::new(1, 1, 1, 1, 1);
+        assert!(fine.fits_within(&cap, 1.0));
+        assert!(!bad.fits_within(&cap, 1.0));
+        assert_eq!(bad.utilization(&cap).uram, f64::INFINITY);
+    }
+
+    #[test]
+    fn kind_accessors_cover_all() {
+        let mut r = Resources::ZERO;
+        for (i, k) in ResourceKind::ALL.iter().enumerate() {
+            r.set(*k, i as u64 + 1);
+        }
+        for (i, k) in ResourceKind::ALL.iter().enumerate() {
+            assert_eq!(r.get(*k), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = Resources::new(1, 1, 1, 1, 1);
+        let b = Resources::new(5, 5, 5, 5, 5);
+        assert_eq!(a.saturating_sub(&b), Resources::ZERO);
+        assert_eq!(b.saturating_sub(&a), Resources::new(4, 4, 4, 4, 4));
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Resources::new(1, 2, 3, 4, 5);
+        assert_eq!(format!("{r}"), "LUT 1 FF 2 BRAM 3 DSP 4 URAM 5");
+        assert_eq!(format!("{}", ResourceKind::Bram), "BRAM");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: resource-vector algebra, HBM efficiency bounds and the
+//! timing model's monotonicity.
+
+use proptest::prelude::*;
+use tapacs_fpga::{Device, HbmModel, Resources, TimingModel};
+
+fn arb_res() -> impl Strategy<Value = Resources> {
+    (0u64..1_000_000, 0u64..2_000_000, 0u64..2_000, 0u64..9_000, 0u64..1_000)
+        .prop_map(|(l, f, b, d, u)| Resources::new(l, f, b, d, u))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_commutes_and_sub_inverts(a in arb_res(), b in arb_res()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) - b, a);
+        prop_assert_eq!(a + Resources::ZERO, a);
+        prop_assert_eq!(a.saturating_sub(&(a + b)), Resources::ZERO);
+    }
+
+    #[test]
+    fn scale_bounds(a in arb_res(), f in 0.0f64..2.0) {
+        let s = a.scale(f);
+        // Ceil rounding: within one unit of the exact product.
+        prop_assert!(s.lut as f64 >= a.lut as f64 * f);
+        prop_assert!(s.lut as f64 <= a.lut as f64 * f + 1.0);
+    }
+
+    #[test]
+    fn utilization_consistent_with_fits(a in arb_res(), t in 0.1f64..1.0) {
+        let cap = Device::u55c().resources();
+        let fits = a.fits_within(&cap, t);
+        let max = a.utilization(&cap).max();
+        prop_assert_eq!(fits, max <= t, "max {}, t {}", max, t);
+    }
+
+    #[test]
+    fn hbm_efficiency_in_unit_interval_and_monotone(
+        w1 in 32u32..1024, w2 in 32u32..1024,
+        b1 in 1_024u64..1_048_576, b2 in 1_024u64..1_048_576,
+    ) {
+        let m = HbmModel::hbm2_16gb();
+        let e = m.port_efficiency(w1, b1);
+        prop_assert!(e > 0.0 && e <= 1.0);
+        // Monotone in each argument.
+        let (wl, wh) = (w1.min(w2), w1.max(w2));
+        prop_assert!(m.port_efficiency(wl, b1) <= m.port_efficiency(wh, b1) + 1e-12);
+        let (bl, bh) = (b1.min(b2), b1.max(b2));
+        prop_assert!(m.port_efficiency(w1, bl) <= m.port_efficiency(w1, bh) + 1e-12);
+    }
+
+    #[test]
+    fn net_delay_monotone_everywhere(
+        h1 in 0usize..6, h2 in 0usize..6,
+        d in 0usize..4,
+        u1 in 0.0f64..1.0, u2 in 0.0f64..1.0,
+    ) {
+        let t = TimingModel::default();
+        let (hl, hh) = (h1.min(h2), h1.max(h2));
+        prop_assert!(t.net_delay_ns(hl, d, u1) <= t.net_delay_ns(hh, d, u1));
+        let (ul, uh) = (u1.min(u2), u1.max(u2));
+        prop_assert!(t.net_delay_ns(h1, d, ul) <= t.net_delay_ns(h1, d, uh) + 1e-12);
+        // Pipelined never worse than flat.
+        prop_assert!(
+            t.pipelined_net_delay_ns(h1, d.min(h1), u1)
+                <= t.net_delay_ns(h1, d.min(h1), u1) + 1e-12
+        );
+        // Frequency inverse-monotone in delay, capped at fmax.
+        let f = t.frequency_mhz(t.net_delay_ns(h1, d, u1), 300.0);
+        prop_assert!(f > 0.0 && f <= 300.0);
+    }
+
+    #[test]
+    fn slot_capacities_partition_the_device(dev_pick in 0usize..3) {
+        let device = match dev_pick {
+            0 => Device::u55c(),
+            1 => Device::u280(),
+            _ => Device::u250(),
+        };
+        let total: Resources = device.slots().map(|s| device.slot_capacity(s)).sum();
+        // Sum of slots ≈ device minus the shell (ceil slack ≤ 1/slot).
+        let expect = device.resources().saturating_sub(&device.platform_overhead());
+        let slack = device.num_slots() as u64;
+        prop_assert!(total.lut <= device.resources().lut + slack);
+        prop_assert!(total.lut + slack >= expect.lut);
+        // Manhattan distance over all slot pairs is a metric.
+        for a in device.slots() {
+            for b in device.slots() {
+                prop_assert_eq!(a.manhattan(&b), b.manhattan(&a));
+                for c in device.slots() {
+                    prop_assert!(a.manhattan(&b) <= a.manhattan(&c) + c.manhattan(&b));
+                }
+            }
+        }
+    }
+}

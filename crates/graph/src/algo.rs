@@ -1,0 +1,327 @@
+//! Graph algorithms used across the compiler pipeline.
+
+use std::collections::VecDeque;
+
+use crate::fifo::FifoId;
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+
+/// Kahn topological layering: tasks grouped by dataflow depth.
+///
+/// # Errors
+///
+/// Returns `Err(tasks_on_cycles)` if the graph contains a directed cycle
+/// (PageRank's controller loop, for example); the error payload lists every
+/// task that never became ready.
+pub fn topo_layers(g: &TaskGraph) -> Result<Vec<Vec<TaskId>>, Vec<TaskId>> {
+    let n = g.num_tasks();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(TaskId::from_index(i))).collect();
+    let mut layers = Vec::new();
+    let mut frontier: Vec<TaskId> =
+        g.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+    let mut seen = 0usize;
+    while !frontier.is_empty() {
+        seen += frontier.len();
+        let mut next = Vec::new();
+        for &t in &frontier {
+            for s in g.successors(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    next.push(s);
+                }
+            }
+        }
+        layers.push(frontier);
+        frontier = next;
+    }
+    if seen == n {
+        Ok(layers)
+    } else {
+        Err(g.task_ids().filter(|t| indeg[t.index()] > 0).collect())
+    }
+}
+
+/// Whether the graph is acyclic.
+pub fn is_dag(g: &TaskGraph) -> bool {
+    topo_layers(g).is_ok()
+}
+
+/// Tarjan's strongly connected components. Components are returned in
+/// reverse topological order; singleton components without self-loops are
+/// included.
+pub fn strongly_connected_components(g: &TaskGraph) -> Vec<Vec<TaskId>> {
+    struct State<'a> {
+        g: &'a TaskGraph,
+        index: Vec<Option<usize>>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        components: Vec<Vec<TaskId>>,
+    }
+
+    // Iterative Tarjan to stay safe on deep graphs (493-module CNN grids).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize), // (vertex, child just returned from)
+    }
+
+    let n = g.num_tasks();
+    let mut st = State {
+        g,
+        index: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        components: Vec::new(),
+    };
+
+    for start in 0..n {
+        if st.index[start].is_some() {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(start)];
+        // Per-vertex iterator position over successors.
+        let mut pos = vec![0usize; n];
+        while let Some(frame) = call_stack.pop() {
+            let v = match frame {
+                Frame::Enter(v) => {
+                    st.index[v] = Some(st.next_index);
+                    st.lowlink[v] = st.next_index;
+                    st.next_index += 1;
+                    st.stack.push(v);
+                    st.on_stack[v] = true;
+                    v
+                }
+                Frame::Resume(v, child) => {
+                    st.lowlink[v] = st.lowlink[v].min(st.lowlink[child]);
+                    v
+                }
+            };
+            let succs: Vec<usize> = st
+                .g
+                .successors(TaskId::from_index(v))
+                .map(|t| t.index())
+                .collect();
+            let mut descended = false;
+            while pos[v] < succs.len() {
+                let w = succs[pos[v]];
+                pos[v] += 1;
+                match st.index[w] {
+                    None => {
+                        call_stack.push(Frame::Resume(v, w));
+                        call_stack.push(Frame::Enter(w));
+                        descended = true;
+                        break;
+                    }
+                    Some(widx) => {
+                        if st.on_stack[w] {
+                            st.lowlink[v] = st.lowlink[v].min(widx);
+                        }
+                    }
+                }
+            }
+            if descended {
+                continue;
+            }
+            // Post-visit: root check.
+            if st.lowlink[v] == st.index[v].unwrap() {
+                let mut comp = Vec::new();
+                loop {
+                    let w = st.stack.pop().unwrap();
+                    st.on_stack[w] = false;
+                    comp.push(TaskId::from_index(w));
+                    if w == v {
+                        break;
+                    }
+                }
+                st.components.push(comp);
+            }
+        }
+    }
+    st.components
+}
+
+/// Weakly connected components (edge direction ignored).
+pub fn connected_components(g: &TaskGraph) -> Vec<Vec<TaskId>> {
+    let n = g.num_tasks();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut q = VecDeque::from([s]);
+        comp[s] = count;
+        while let Some(v) = q.pop_front() {
+            let t = TaskId::from_index(v);
+            for w in g.successors(t).chain(g.predecessors(t)) {
+                if comp[w.index()] == usize::MAX {
+                    comp[w.index()] = count;
+                    q.push_back(w.index());
+                }
+            }
+        }
+        count += 1;
+    }
+    let mut out = vec![Vec::new(); count];
+    for (v, &c) in comp.iter().enumerate() {
+        out[c].push(TaskId::from_index(v));
+    }
+    out
+}
+
+/// FIFOs whose endpoints land in different parts of `assignment`
+/// (task index → part id). These are the channels that must cross an FPGA
+/// or slot boundary.
+pub fn cut_fifos(g: &TaskGraph, assignment: &[usize]) -> Vec<FifoId> {
+    assert_eq!(assignment.len(), g.num_tasks(), "assignment must cover every task");
+    g.fifos()
+        .filter(|(_, f)| assignment[f.src.index()] != assignment[f.dst.index()])
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Total bit-width crossing the cut — the unweighted core of the paper's
+/// equation (2).
+pub fn cut_width_bits(g: &TaskGraph, assignment: &[usize]) -> u64 {
+    cut_fifos(g, assignment)
+        .into_iter()
+        .map(|f| g.fifo(f).width_bits as u64)
+        .sum()
+}
+
+/// Longest path length (in `cycles_per_block` weight) through the DAG part
+/// of the graph. Cycles contribute their entry vertex once; used for
+/// critical-path style reporting.
+pub fn critical_path_cycles(g: &TaskGraph) -> u64 {
+    match topo_layers(g) {
+        Ok(layers) => {
+            let mut dist = vec![0u64; g.num_tasks()];
+            for layer in &layers {
+                for &t in layer {
+                    let here = dist[t.index()] + g.task(t).cycles_per_block;
+                    for s in g.successors(t) {
+                        dist[s.index()] = dist[s.index()].max(here);
+                    }
+                }
+            }
+            g.task_ids()
+                .map(|t| dist[t.index()] + g.task(t).cycles_per_block)
+                .max()
+                .unwrap_or(0)
+        }
+        Err(_) => {
+            // Cyclic graph: fall back to the sum over the largest SCC as an
+            // upper-bound style estimate.
+            strongly_connected_components(g)
+                .iter()
+                .map(|c| c.iter().map(|t| g.task(*t).cycles_per_block).sum())
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::Fifo;
+    use crate::task::Task;
+    use tapacs_fpga::Resources;
+
+    fn task(name: &str) -> Task {
+        Task::compute(name, Resources::ZERO)
+    }
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new("chain");
+        let ids: Vec<_> = (0..n).map(|i| g.add_task(task(&format!("t{i}")))).collect();
+        for w in ids.windows(2) {
+            g.add_fifo(Fifo::new("e", w[0], w[1], 32));
+        }
+        g
+    }
+
+    #[test]
+    fn topo_layers_of_chain() {
+        let g = chain(4);
+        let layers = topo_layers(&g).unwrap();
+        assert_eq!(layers.len(), 4);
+        assert!(layers.iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn topo_detects_cycle() {
+        let mut g = chain(3);
+        // close the loop 2 → 0
+        g.add_fifo(Fifo::new("back", TaskId::from_index(2), TaskId::from_index(0), 32));
+        let err = topo_layers(&g).unwrap_err();
+        assert_eq!(err.len(), 3);
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn scc_finds_loop() {
+        let mut g = chain(4); // 0→1→2→3
+        g.add_fifo(Fifo::new("back", TaskId::from_index(2), TaskId::from_index(1), 32));
+        let mut sccs = strongly_connected_components(&g);
+        sccs.sort_by_key(|c| c.len());
+        assert_eq!(sccs.len(), 3); // {0}, {1,2}, {3}
+        assert_eq!(sccs[2].len(), 2);
+    }
+
+    #[test]
+    fn scc_handles_disconnected() {
+        let mut g = TaskGraph::new("two");
+        g.add_task(task("a"));
+        g.add_task(task("b"));
+        assert_eq!(strongly_connected_components(&g).len(), 2);
+        assert_eq!(connected_components(&g).len(), 2);
+    }
+
+    #[test]
+    fn connected_components_ignore_direction() {
+        let mut g = TaskGraph::new("v");
+        let a = g.add_task(task("a"));
+        let b = g.add_task(task("b"));
+        let c = g.add_task(task("c"));
+        g.add_fifo(Fifo::new("ab", a, b, 32));
+        g.add_fifo(Fifo::new("cb", c, b, 32));
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn cut_metrics() {
+        let g = chain(4);
+        // Split 0,1 | 2,3: one fifo (1→2) crosses.
+        let cut = cut_fifos(&g, &[0, 0, 1, 1]);
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cut_width_bits(&g, &[0, 0, 1, 1]), 32);
+        assert_eq!(cut_width_bits(&g, &[0, 0, 0, 0]), 0);
+        assert_eq!(cut_width_bits(&g, &[0, 1, 0, 1]), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover")]
+    fn cut_requires_full_assignment() {
+        cut_fifos(&chain(3), &[0, 1]);
+    }
+
+    #[test]
+    fn critical_path_on_chain() {
+        let mut g = TaskGraph::new("w");
+        let a = g.add_task(task("a").with_cycles_per_block(5));
+        let b = g.add_task(task("b").with_cycles_per_block(7));
+        g.add_fifo(Fifo::new("ab", a, b, 32));
+        assert_eq!(critical_path_cycles(&g), 12);
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 20k-deep chain: iterative Tarjan must survive.
+        let g = chain(20_000);
+        assert_eq!(strongly_connected_components(&g).len(), 20_000);
+    }
+}

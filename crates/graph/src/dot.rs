@@ -1,0 +1,88 @@
+//! Graphviz (DOT) export, mirroring the paper's figures: circles for
+//! compute modules, hexagons for HBM access modules (Figures 4 and 9).
+
+use std::fmt::Write as _;
+
+use crate::graph::TaskGraph;
+use crate::task::TaskKind;
+
+/// Renders the graph in DOT syntax. Optionally colors tasks by a partition
+/// assignment (task index → part id).
+///
+/// ```
+/// use tapacs_graph::{TaskGraph, Task, Fifo, dot};
+/// use tapacs_fpga::Resources;
+/// let mut g = TaskGraph::new("demo");
+/// let a = g.add_task(Task::compute("a", Resources::ZERO));
+/// let b = g.add_task(Task::compute("b", Resources::ZERO));
+/// g.add_fifo(Fifo::new("ab", a, b, 64));
+/// let out = dot::to_dot(&g, None);
+/// assert!(out.contains("digraph"));
+/// ```
+pub fn to_dot(g: &TaskGraph, assignment: Option<&[usize]>) -> String {
+    const PALETTE: [&str; 8] = [
+        "#a6cee3", "#fdbf6f", "#b2df8a", "#fb9a99", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", g.name());
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (id, t) in g.tasks() {
+        let shape = match t.kind {
+            TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. } => "hexagon",
+            TaskKind::NetSend | TaskKind::NetRecv => "diamond",
+            TaskKind::Compute => "ellipse",
+        };
+        let color = assignment
+            .map(|a| PALETTE[a[id.index()] % PALETTE.len()])
+            .unwrap_or("#ffffff");
+        let _ = writeln!(
+            s,
+            "  t{} [label=\"{}\", shape={}, style=filled, fillcolor=\"{}\"];",
+            id.index(),
+            t.name,
+            shape,
+            color
+        );
+    }
+    for (_, f) in g.fifos() {
+        let _ = writeln!(
+            s,
+            "  t{} -> t{} [label=\"{}b\"];",
+            f.src.index(),
+            f.dst.index(),
+            f.width_bits
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::Fifo;
+    use crate::task::Task;
+    use tapacs_fpga::Resources;
+
+    #[test]
+    fn shapes_match_paper_conventions() {
+        let mut g = TaskGraph::new("d");
+        let r = g.add_task(Task::hbm_read("mem", Resources::ZERO, 0, 512, 1024));
+        let c = g.add_task(Task::compute("pe", Resources::ZERO));
+        g.add_fifo(Fifo::new("f", r, c, 512));
+        let out = to_dot(&g, None);
+        assert!(out.contains("hexagon"));
+        assert!(out.contains("ellipse"));
+        assert!(out.contains("512b"));
+    }
+
+    #[test]
+    fn assignment_colors_nodes() {
+        let mut g = TaskGraph::new("d");
+        g.add_task(Task::compute("a", Resources::ZERO));
+        g.add_task(Task::compute("b", Resources::ZERO));
+        let out = to_dot(&g, Some(&[0, 1]));
+        assert!(out.contains("#a6cee3"));
+        assert!(out.contains("#fdbf6f"));
+    }
+}

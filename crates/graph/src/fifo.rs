@@ -1,0 +1,104 @@
+//! FIFO channels: the edges of the dataflow graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskId;
+
+/// Dense handle to a FIFO inside its [`TaskGraph`](crate::TaskGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FifoId(pub(crate) usize);
+
+impl FifoId {
+    /// Dense index of the FIFO.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a handle from a raw index. Only meaningful against the graph
+    /// that produced the index.
+    pub fn from_index(i: usize) -> Self {
+        FifoId(i)
+    }
+}
+
+/// A FIFO channel between two tasks.
+///
+/// `width_bits` is the `e.width` of the paper's cost functions (equations 2
+/// and 4): the wire width that has to cross an FPGA or slot boundary if the
+/// endpoints are separated. `block_bytes` and `depth_blocks` drive the
+/// block-level simulator (a depth of 2 models double buffering).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fifo {
+    /// Channel name.
+    pub name: String,
+    /// Producer task.
+    pub src: TaskId,
+    /// Consumer task.
+    pub dst: TaskId,
+    /// Wire width in bits.
+    pub width_bits: u32,
+    /// Capacity in blocks.
+    pub depth_blocks: usize,
+    /// Size of one block in bytes (simulation granularity).
+    pub block_bytes: u64,
+    /// Tokens present at time zero (credit loops around dataflow cycles,
+    /// e.g. PageRank's controller feedback).
+    pub initial_blocks: usize,
+}
+
+impl Fifo {
+    /// Creates a FIFO with double-buffer depth and 64 KiB blocks.
+    pub fn new(name: impl Into<String>, src: TaskId, dst: TaskId, width_bits: u32) -> Self {
+        Self {
+            name: name.into(),
+            src,
+            dst,
+            width_bits,
+            depth_blocks: 2,
+            block_bytes: 64 * 1024,
+            initial_blocks: 0,
+        }
+    }
+
+    /// Sets the block size (builder style).
+    pub fn with_block_bytes(mut self, bytes: u64) -> Self {
+        self.block_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the depth in blocks (builder style).
+    pub fn with_depth_blocks(mut self, depth: usize) -> Self {
+        self.depth_blocks = depth.max(1);
+        self
+    }
+
+    /// Seeds the FIFO with tokens available at time zero (builder style).
+    /// Required to break deadlock around intentional dataflow cycles.
+    pub fn with_initial_blocks(mut self, n: usize) -> Self {
+        self.initial_blocks = n;
+        self.depth_blocks = self.depth_blocks.max(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_double_buffered() {
+        let f = Fifo::new("f", TaskId(0), TaskId(1), 512);
+        assert_eq!(f.depth_blocks, 2);
+        assert_eq!(f.block_bytes, 64 * 1024);
+        assert_eq!(f.width_bits, 512);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let f = Fifo::new("f", TaskId(0), TaskId(1), 32)
+            .with_block_bytes(0)
+            .with_depth_blocks(0);
+        assert_eq!(f.block_bytes, 1);
+        assert_eq!(f.depth_blocks, 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The dataflow graph container.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::Resources;
+
+use crate::fifo::{Fifo, FifoId};
+use crate::task::{Task, TaskId, TaskKind};
+
+/// Structural errors detected by [`TaskGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A FIFO references a task id that does not exist.
+    DanglingEndpoint {
+        /// Offending FIFO name.
+        fifo: String,
+    },
+    /// A FIFO has zero width.
+    ZeroWidth {
+        /// Offending FIFO name.
+        fifo: String,
+    },
+    /// The graph has no tasks.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingEndpoint { fifo } => {
+                write!(f, "fifo {fifo} references a missing task")
+            }
+            GraphError::ZeroWidth { fifo } => write!(f, "fifo {fifo} has zero bit-width"),
+            GraphError::Empty => write!(f, "graph has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A task-parallel dataflow graph: tasks (vertices) connected by FIFOs
+/// (edges).
+///
+/// ```
+/// use tapacs_graph::{TaskGraph, Task, Fifo};
+/// use tapacs_fpga::Resources;
+///
+/// let mut g = TaskGraph::new("pipeline");
+/// let a = g.add_task(Task::compute("producer", Resources::new(100, 200, 1, 0, 0)));
+/// let b = g.add_task(Task::compute("consumer", Resources::new(150, 250, 2, 4, 0)));
+/// g.add_fifo(Fifo::new("stream", a, b, 512));
+/// assert_eq!(g.num_tasks(), 2);
+/// assert_eq!(g.out_degree(a), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    name: String,
+    tasks: Vec<Task>,
+    fifos: Vec<Fifo>,
+    out_edges: Vec<Vec<FifoId>>,
+    in_edges: Vec<Vec<FifoId>>,
+}
+
+impl TaskGraph {
+    /// An empty graph with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+            fifos: Vec::new(),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        }
+    }
+
+    /// Graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a task and returns its handle.
+    pub fn add_task(&mut self, task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds a FIFO and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint id is out of range.
+    pub fn add_fifo(&mut self, fifo: Fifo) -> FifoId {
+        assert!(
+            fifo.src.index() < self.tasks.len() && fifo.dst.index() < self.tasks.len(),
+            "fifo endpoints must be existing tasks"
+        );
+        let id = FifoId(self.fifos.len());
+        self.out_edges[fifo.src.index()].push(id);
+        self.in_edges[fifo.dst.index()].push(id);
+        self.fifos.push(fifo);
+        id
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of FIFOs.
+    pub fn num_fifos(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// Task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Mutable task by id.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.index()]
+    }
+
+    /// FIFO by id.
+    pub fn fifo(&self, id: FifoId) -> &Fifo {
+        &self.fifos[id.index()]
+    }
+
+    /// Mutable FIFO by id.
+    pub fn fifo_mut(&mut self, id: FifoId) -> &mut Fifo {
+        &mut self.fifos[id.index()]
+    }
+
+    /// All task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// All FIFO ids.
+    pub fn fifo_ids(&self) -> impl Iterator<Item = FifoId> {
+        (0..self.fifos.len()).map(FifoId)
+    }
+
+    /// All tasks with their ids.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// All FIFOs with their ids.
+    pub fn fifos(&self) -> impl Iterator<Item = (FifoId, &Fifo)> {
+        self.fifos.iter().enumerate().map(|(i, f)| (FifoId(i), f))
+    }
+
+    /// FIFOs leaving a task.
+    pub fn out_fifos(&self, id: TaskId) -> &[FifoId] {
+        &self.out_edges[id.index()]
+    }
+
+    /// FIFOs entering a task.
+    pub fn in_fifos(&self, id: TaskId) -> &[FifoId] {
+        &self.in_edges[id.index()]
+    }
+
+    /// Out-degree of a task.
+    pub fn out_degree(&self, id: TaskId) -> usize {
+        self.out_edges[id.index()].len()
+    }
+
+    /// In-degree of a task.
+    pub fn in_degree(&self, id: TaskId) -> usize {
+        self.in_edges[id.index()].len()
+    }
+
+    /// Downstream neighbor tasks (deduplicated not guaranteed).
+    pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.out_edges[id.index()].iter().map(|f| self.fifos[f.index()].dst)
+    }
+
+    /// Upstream neighbor tasks.
+    pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.in_edges[id.index()].iter().map(|f| self.fifos[f.index()].src)
+    }
+
+    /// Total resources over all tasks (the whole design's footprint).
+    pub fn total_resources(&self) -> Resources {
+        self.tasks.iter().map(|t| t.resources).sum()
+    }
+
+    /// HBM channels referenced by reader/writer tasks, deduplicated and
+    /// sorted.
+    pub fn hbm_channels(&self) -> Vec<usize> {
+        let mut ch: Vec<usize> = self
+            .tasks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TaskKind::HbmRead { channel, .. } | TaskKind::HbmWrite { channel, .. } => {
+                    Some(channel)
+                }
+                _ => None,
+            })
+            .collect();
+        ch.sort_unstable();
+        ch.dedup();
+        ch
+    }
+
+    /// Structural validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found: an empty graph, a dangling
+    /// FIFO endpoint, or a zero-width FIFO.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.tasks.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for f in &self.fifos {
+            if f.src.index() >= self.tasks.len() || f.dst.index() >= self.tasks.len() {
+                return Err(GraphError::DanglingEndpoint { fifo: f.name.clone() });
+            }
+            if f.width_bits == 0 {
+                return Err(GraphError::ZeroWidth { fifo: f.name.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        // a → b → d, a → c → d
+        let mut g = TaskGraph::new("diamond");
+        let a = g.add_task(Task::compute("a", Resources::new(1, 1, 0, 0, 0)));
+        let b = g.add_task(Task::compute("b", Resources::new(2, 2, 0, 0, 0)));
+        let c = g.add_task(Task::compute("c", Resources::new(3, 3, 0, 0, 0)));
+        let d = g.add_task(Task::compute("d", Resources::new(4, 4, 0, 0, 0)));
+        g.add_fifo(Fifo::new("ab", a, b, 32));
+        g.add_fifo(Fifo::new("ac", a, c, 64));
+        g.add_fifo(Fifo::new("bd", b, d, 32));
+        g.add_fifo(Fifo::new("cd", c, d, 64));
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn adjacency_bookkeeping() {
+        let (g, [a, b, _c, d]) = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_fifos(), 4);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.successors(a).count(), 2);
+        assert_eq!(g.predecessors(b).next(), Some(a));
+    }
+
+    #[test]
+    fn total_resources_sum() {
+        let (g, _) = diamond();
+        assert_eq!(g.total_resources(), Resources::new(10, 10, 0, 0, 0));
+    }
+
+    #[test]
+    fn hbm_channels_deduplicated() {
+        let mut g = TaskGraph::new("hbm");
+        let r1 = g.add_task(Task::hbm_read("r1", Resources::ZERO, 3, 512, 1024));
+        let r2 = g.add_task(Task::hbm_read("r2", Resources::ZERO, 1, 512, 1024));
+        let w = g.add_task(Task::hbm_write("w", Resources::ZERO, 3, 512, 1024));
+        g.add_fifo(Fifo::new("a", r1, w, 512));
+        g.add_fifo(Fifo::new("b", r2, w, 512));
+        assert_eq!(g.hbm_channels(), vec![1, 3]);
+    }
+
+    #[test]
+    fn validate_catches_zero_width() {
+        let mut g = TaskGraph::new("bad");
+        let a = g.add_task(Task::compute("a", Resources::ZERO));
+        let b = g.add_task(Task::compute("b", Resources::ZERO));
+        g.add_fifo(Fifo::new("zw", a, b, 0));
+        assert_eq!(g.validate(), Err(GraphError::ZeroWidth { fifo: "zw".into() }));
+    }
+
+    #[test]
+    fn validate_empty() {
+        assert_eq!(TaskGraph::new("e").validate(), Err(GraphError::Empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "existing tasks")]
+    fn dangling_fifo_panics_on_insert() {
+        let mut g = TaskGraph::new("dangle");
+        let a = g.add_task(Task::compute("a", Resources::ZERO));
+        g.add_fifo(Fifo::new("bad", a, TaskId(7), 32));
+    }
+}

@@ -1,0 +1,30 @@
+//! Task-parallel dataflow graphs (§4.1-§4.2).
+//!
+//! TAPA-CS models the input program as a graph `G(V,E)`: every vertex is a
+//! compute module (a TAPA task, one RTL module after HLS) and every edge is
+//! the FIFO connecting two modules. This crate is that representation plus
+//! the graph algorithms the compiler needs:
+//!
+//! * [`Task`]/[`TaskKind`] — compute modules, HBM reader/writer modules
+//!   (the paper draws them as hexagons) and inserted network send/recv
+//!   modules, each carrying its post-synthesis resource profile and the
+//!   block-level work model consumed by the simulator,
+//! * [`Fifo`] — FIFO channels with bit-widths (the `e.width` of the cost
+//!   functions) and block sizes,
+//! * [`TaskGraph`] — the graph itself with adjacency queries,
+//! * [`algo`] — topological layering, Tarjan SCCs (PageRank has dependency
+//!   cycles), connected components, cut metrics over partition assignments,
+//! * [`dot`] — Graphviz export mirroring the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod dot;
+mod fifo;
+mod graph;
+mod task;
+
+pub use fifo::{Fifo, FifoId};
+pub use graph::{GraphError, TaskGraph};
+pub use task::{Task, TaskId, TaskKind};

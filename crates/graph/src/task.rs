@@ -1,0 +1,195 @@
+//! Tasks: the vertices of the dataflow graph.
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::Resources;
+
+/// Dense handle to a task inside its [`TaskGraph`](crate::TaskGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// Dense index of the task.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a handle from a raw index. Only meaningful against the graph
+    /// that produced the index.
+    pub fn from_index(i: usize) -> Self {
+        TaskId(i)
+    }
+}
+
+/// What a task does — mirrors the paper's figures where circles are compute
+/// modules and hexagons are HBM access modules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A regular compute module (one HLS function → one RTL FSM).
+    Compute,
+    /// A module streaming data *from* an HBM channel.
+    HbmRead {
+        /// Bound HBM channel index.
+        channel: usize,
+        /// AXI port width in bits (256/512 in the paper's §3 example).
+        port_width_bits: u32,
+        /// On-chip reuse buffer in bytes (32 KB/128 KB in §3).
+        buffer_bytes: u64,
+    },
+    /// A module streaming data *to* an HBM channel.
+    HbmWrite {
+        /// Bound HBM channel index.
+        channel: usize,
+        /// AXI port width in bits.
+        port_width_bits: u32,
+        /// On-chip buffer in bytes.
+        buffer_bytes: u64,
+    },
+    /// Inserted inter-FPGA sender endpoint (AlveoLink TX).
+    NetSend,
+    /// Inserted inter-FPGA receiver endpoint (AlveoLink RX).
+    NetRecv,
+}
+
+impl TaskKind {
+    /// Whether the task touches external memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. })
+    }
+
+    /// Whether the task is an inserted network endpoint.
+    pub fn is_network(&self) -> bool {
+        matches!(self, TaskKind::NetSend | TaskKind::NetRecv)
+    }
+}
+
+/// A vertex of the dataflow graph.
+///
+/// Besides identity and the post-synthesis resource profile (`varea` in the
+/// paper's equation 1), a task carries the block-level work model used by
+/// the discrete-event simulator: it repeatedly consumes one block from every
+/// input FIFO, spends `cycles_per_block` clock cycles, and emits one block
+/// on every output FIFO, for `total_blocks` rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name (the HLS function name).
+    pub name: String,
+    /// Role of the task.
+    pub kind: TaskKind,
+    /// Post-synthesis resource profile.
+    pub resources: Resources,
+    /// Clock cycles needed to process one block.
+    pub cycles_per_block: u64,
+    /// Number of blocks this task processes over a full run.
+    pub total_blocks: u64,
+    /// Blocks consumed from *each* input FIFO per firing (default 1).
+    /// Values > 1 model aggregating barriers: a task that gathers a whole
+    /// grid before forwarding one bulk token downstream.
+    pub consume_per_firing: u64,
+    /// Blocks produced on *each* output FIFO per firing (default 1).
+    /// Values > 1 model expanders: one bulk token fanning out into a
+    /// stream of blocks.
+    pub produce_per_firing: u64,
+}
+
+impl Task {
+    /// A compute task.
+    pub fn compute(name: impl Into<String>, resources: Resources) -> Self {
+        Self {
+            name: name.into(),
+            kind: TaskKind::Compute,
+            resources,
+            cycles_per_block: 1,
+            total_blocks: 1,
+            consume_per_firing: 1,
+            produce_per_firing: 1,
+        }
+    }
+
+    /// An HBM reader bound to `channel` with the given port configuration.
+    pub fn hbm_read(
+        name: impl Into<String>,
+        resources: Resources,
+        channel: usize,
+        port_width_bits: u32,
+        buffer_bytes: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind: TaskKind::HbmRead { channel, port_width_bits, buffer_bytes },
+            resources,
+            cycles_per_block: 1,
+            total_blocks: 1,
+            consume_per_firing: 1,
+            produce_per_firing: 1,
+        }
+    }
+
+    /// An HBM writer bound to `channel` with the given port configuration.
+    pub fn hbm_write(
+        name: impl Into<String>,
+        resources: Resources,
+        channel: usize,
+        port_width_bits: u32,
+        buffer_bytes: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind: TaskKind::HbmWrite { channel, port_width_bits, buffer_bytes },
+            resources,
+            cycles_per_block: 1,
+            total_blocks: 1,
+            consume_per_firing: 1,
+            produce_per_firing: 1,
+        }
+    }
+
+    /// Sets the per-block cycle cost (builder style).
+    pub fn with_cycles_per_block(mut self, cycles: u64) -> Self {
+        self.cycles_per_block = cycles.max(1);
+        self
+    }
+
+    /// Sets the total block count (builder style).
+    pub fn with_total_blocks(mut self, blocks: u64) -> Self {
+        self.total_blocks = blocks.max(1);
+        self
+    }
+
+    /// Sets how many blocks each firing consumes per input FIFO (builder
+    /// style). Use for aggregating barriers.
+    pub fn with_consume_per_firing(mut self, k: u64) -> Self {
+        self.consume_per_firing = k.max(1);
+        self
+    }
+
+    /// Sets how many blocks each firing produces per output FIFO (builder
+    /// style). Use for expanders.
+    pub fn with_produce_per_firing(mut self, k: u64) -> Self {
+        self.produce_per_firing = k.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify() {
+        let r = Resources::ZERO;
+        assert!(!Task::compute("c", r).kind.is_memory());
+        assert!(Task::hbm_read("r", r, 0, 512, 1024).kind.is_memory());
+        assert!(Task::hbm_write("w", r, 1, 256, 1024).kind.is_memory());
+        assert!(TaskKind::NetSend.is_network());
+        assert!(!TaskKind::Compute.is_network());
+    }
+
+    #[test]
+    fn builder_clamps_to_one() {
+        let t = Task::compute("c", Resources::ZERO)
+            .with_cycles_per_block(0)
+            .with_total_blocks(0);
+        assert_eq!(t.cycles_per_block, 1);
+        assert_eq!(t.total_blocks, 1);
+    }
+}

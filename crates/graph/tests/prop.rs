@@ -1,0 +1,115 @@
+//! Property tests over graph algorithms: topological layers are valid,
+//! SCCs partition the vertex set, cut metrics decompose.
+
+use proptest::prelude::*;
+use tapacs_fpga::Resources;
+use tapacs_graph::{algo, Fifo, Task, TaskGraph, TaskId};
+
+/// Random DAG via forward edges; optionally one back edge to force a cycle.
+fn arb_dag(max_n: usize) -> impl Strategy<Value = TaskGraph> {
+    (2usize..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut g = TaskGraph::new("prop");
+        let mut s = seed;
+        let mut rng = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (s >> 33) as usize
+        };
+        let ids: Vec<_> =
+            (0..n).map(|i| g.add_task(Task::compute(format!("t{i}"), Resources::ZERO))).collect();
+        for i in 1..n {
+            for _ in 0..1 + rng() % 2 {
+                let from = rng() % i;
+                let w = [32u32, 64, 128, 256, 512][rng() % 5];
+                g.add_fifo(Fifo::new(format!("e{i}_{from}"), ids[from], ids[i], w));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_layers_respect_edges(g in arb_dag(30)) {
+        let layers = algo::topo_layers(&g).expect("forward-edge graphs are DAGs");
+        // Every task appears exactly once.
+        let mut seen = vec![false; g.num_tasks()];
+        let mut layer_of = vec![0usize; g.num_tasks()];
+        for (li, layer) in layers.iter().enumerate() {
+            for &t in layer {
+                prop_assert!(!seen[t.index()]);
+                seen[t.index()] = true;
+                layer_of[t.index()] = li;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+        // Edges go strictly forward in layer order.
+        for (_, f) in g.fifos() {
+            prop_assert!(layer_of[f.src.index()] < layer_of[f.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn sccs_partition_vertices(g in arb_dag(30)) {
+        let sccs = algo::strongly_connected_components(&g);
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.num_tasks());
+        // In a DAG every SCC is a singleton.
+        prop_assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn one_back_edge_creates_one_nontrivial_scc(g in arb_dag(20)) {
+        let mut g = g;
+        let n = g.num_tasks();
+        // Close a cycle from the last to the first task.
+        g.add_fifo(Fifo::new("back", TaskId::from_index(n - 1), TaskId::from_index(0), 64));
+        prop_assert!(!algo::is_dag(&g));
+        let sccs = algo::strongly_connected_components(&g);
+        let nontrivial: Vec<_> = sccs.iter().filter(|c| c.len() > 1).collect();
+        prop_assert_eq!(nontrivial.len(), 1, "exactly one cycle component");
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn cut_width_decomposes_over_parts(g in arb_dag(24), split in any::<u64>()) {
+        // Random 3-way assignment.
+        let mut s = split;
+        let assignment: Vec<usize> = (0..g.num_tasks())
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) % 3) as usize
+            })
+            .collect();
+        let cut = algo::cut_width_bits(&g, &assignment);
+        // Cut equals total width minus intra-part width.
+        let total: u64 = g.fifos().map(|(_, f)| f.width_bits as u64).sum();
+        let intra: u64 = g
+            .fifos()
+            .filter(|(_, f)| assignment[f.src.index()] == assignment[f.dst.index()])
+            .map(|(_, f)| f.width_bits as u64)
+            .sum();
+        prop_assert_eq!(cut, total - intra);
+        // Uniform assignment → zero cut.
+        prop_assert_eq!(algo::cut_width_bits(&g, &vec![0; g.num_tasks()]), 0);
+    }
+
+    #[test]
+    fn connected_components_cover(g in arb_dag(24)) {
+        let comps = algo::connected_components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.num_tasks());
+        // Both endpoints of every edge share a component.
+        let mut comp_of = vec![usize::MAX; g.num_tasks()];
+        for (ci, c) in comps.iter().enumerate() {
+            for &t in c {
+                comp_of[t.index()] = ci;
+            }
+        }
+        for (_, f) in g.fifos() {
+            prop_assert_eq!(comp_of[f.src.index()], comp_of[f.dst.index()]);
+        }
+    }
+}

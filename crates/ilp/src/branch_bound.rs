@@ -1,0 +1,350 @@
+//! Best-first branch and bound over the simplex LP relaxation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use crate::error::IlpError;
+use crate::model::{Model, SolverConfig};
+use crate::simplex::{self, LpOutcome, LpProblem};
+use crate::solution::{Solution, SolveStatus};
+
+/// A live node in the search tree, ordered so the node with the most
+/// promising (lowest, in minimize direction) LP bound pops first.
+struct Node {
+    /// LP relaxation bound in *minimize* direction.
+    bound: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Fractional LP point (used to pick the branching variable).
+    relax: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest bound first.
+        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+pub(crate) fn solve(
+    model: &Model,
+    integral: &[usize],
+    config: &SolverConfig,
+) -> Result<Solution, IlpError> {
+    let lp = model.to_lp();
+    let start = Instant::now();
+    // Internally we minimize; flip at the end if the model maximizes.
+    let to_min = |obj: f64| if lp.minimize { obj } else { -obj };
+    let from_min = |obj: f64| if lp.minimize { obj } else { -obj };
+
+    let root = match simplex::solve(&lp) {
+        LpOutcome::Optimal { values, objective } => Node {
+            bound: to_min(objective),
+            lower: lp.lower.clone(),
+            upper: lp.upper.clone(),
+            relax: values,
+        },
+        LpOutcome::Infeasible => return Err(IlpError::Infeasible),
+        LpOutcome::Unbounded => {
+            // The relaxation is unbounded. With all-finite integer bounds the
+            // MIP itself may still be bounded, but for our use cases this
+            // signals a modelling error.
+            return Err(IlpError::Unbounded);
+        }
+    };
+    let root_bound = root.bound;
+
+    let mut heap = BinaryHeap::new();
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-direction obj, values)
+    let mut nodes = 0usize;
+
+    // Try rounding the root relaxation for a cheap first incumbent.
+    if let Some(rounded) = round_repair(model, &root.relax, integral, config.int_tol) {
+        let obj = to_min(objective_of(&lp, &rounded));
+        incumbent = Some((obj, rounded));
+    }
+
+    heap.push(root);
+
+    let mut best_open_bound = root_bound;
+    let mut budget_hit = false;
+    while let Some(node) = heap.pop() {
+        best_open_bound = node.bound;
+        if let Some((inc_obj, _)) = &incumbent {
+            // Prune: this node (and with best-first, all remaining) cannot
+            // beat the incumbent.
+            if node.bound >= *inc_obj - config.mip_gap.max(1e-12) * inc_obj.abs().max(1.0) {
+                best_open_bound = *inc_obj;
+                break;
+            }
+        }
+        nodes += 1;
+        if nodes > config.max_nodes {
+            budget_hit = true;
+            break;
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() >= limit {
+                budget_hit = true;
+                break;
+            }
+        }
+
+        // Pick the most fractional integral variable.
+        let mut branch_var = None;
+        let mut best_frac = config.int_tol;
+        for &j in integral {
+            let v = node.relax[j];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some(j);
+            }
+        }
+
+        let Some(j) = branch_var else {
+            // Integral point: candidate incumbent.
+            let mut values = node.relax.clone();
+            for &k in integral {
+                values[k] = values[k].round();
+            }
+            if model.is_feasible(&values, 1e-6) {
+                let obj = to_min(objective_of(&lp, &values));
+                if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
+                    incumbent = Some((obj, values));
+                }
+            }
+            continue;
+        };
+
+        let v = node.relax[j];
+        // Down child: x_j <= floor(v); up child: x_j >= ceil(v).
+        for (lo, hi) in [
+            (node.lower[j], v.floor()),
+            (v.ceil(), node.upper[j]),
+        ] {
+            if lo > hi + 1e-9 {
+                continue;
+            }
+            let mut lower = node.lower.clone();
+            let mut upper = node.upper.clone();
+            lower[j] = lo.max(node.lower[j]);
+            upper[j] = hi.min(node.upper[j]);
+            match simplex::solve_with_bounds(&lp, &lower, &upper) {
+                LpOutcome::Optimal { values, objective } => {
+                    let bound = to_min(objective);
+                    let dominated = incumbent
+                        .as_ref()
+                        .is_some_and(|(best, _)| bound >= *best - 1e-12);
+                    if !dominated {
+                        heap.push(Node { bound, lower, upper, relax: values });
+                    }
+                }
+                LpOutcome::Infeasible => {}
+                LpOutcome::Unbounded => return Err(IlpError::Unbounded),
+            }
+        }
+    }
+
+    let exhausted = heap.is_empty() && !budget_hit;
+    match incumbent {
+        Some((obj, values)) => {
+            let proven = exhausted
+                || (obj - best_open_bound).abs()
+                    <= config.mip_gap.max(1e-9) * obj.abs().max(1.0) + 1e-9;
+            Ok(Solution {
+                status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
+                objective: from_min(obj),
+                values,
+                nodes_explored: nodes,
+                best_bound: from_min(if exhausted { obj } else { best_open_bound }),
+            })
+        }
+        None => {
+            if exhausted {
+                Err(IlpError::Infeasible)
+            } else {
+                Err(IlpError::NoIncumbent)
+            }
+        }
+    }
+}
+
+fn objective_of(lp: &LpProblem, values: &[f64]) -> f64 {
+    lp.objective_offset + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>()
+}
+
+/// Rounds the integral coordinates of an LP point and keeps the result only
+/// if it is feasible. A deliberately cheap warm-start heuristic.
+fn round_repair(model: &Model, relax: &[f64], integral: &[usize], _tol: f64) -> Option<Vec<f64>> {
+    let mut values = relax.to_vec();
+    for &j in integral {
+        values[j] = values[j].round();
+    }
+    model.is_feasible(&values, 1e-6).then_some(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use crate::{Model, Sense, SolverConfig, SolveStatus, LinExpr};
+
+    #[test]
+    fn knapsack_optimum() {
+        // Items: (value, weight): (60,10) (100,20) (120,30), cap 50 → 220.
+        let mut m = Model::new("knapsack");
+        let items = [(60.0, 10.0), (100.0, 20.0), (120.0, 30.0)];
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.binary(format!("x{i}")))
+            .collect();
+        let weight = LinExpr::sum(
+            vars.iter().zip(&items).map(|(&v, &(_, w))| LinExpr::term(v, w)),
+        );
+        m.add_le("cap", weight, 50.0);
+        let value = LinExpr::sum(
+            vars.iter().zip(&items).map(|(&v, &(val, _))| LinExpr::term(v, val)),
+        );
+        m.set_objective(Sense::Maximize, value);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 220.0).abs() < 1e-6);
+        assert!(!sol.is_set(vars[0]));
+        assert!(sol.is_set(vars[1]));
+        assert!(sol.is_set(vars[2]));
+    }
+
+    #[test]
+    fn integer_rounding_not_just_lp() {
+        // max x s.t. 2x <= 3, x integer → 1 (LP gives 1.5).
+        let mut m = Model::new("int");
+        let x = m.integer("x", 0.0, 10.0);
+        m.add_le("c", 2.0 * x, 3.0);
+        m.set_objective(Sense::Maximize, x.into());
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_model() {
+        // x + y == 1.5 with x, y binary has no integral solution... actually
+        // impossible since sums are integral.
+        let mut m = Model::new("infeas");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_eq("c", x + y, 1.5);
+        m.set_objective(Sense::Minimize, x + y);
+        assert!(m.solve().is_err());
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3x3 assignment, cost matrix with known optimum 5 (1+1+3 diag-ish).
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new("assign");
+        let mut x = vec![vec![]; 3];
+        for (i, xi) in x.iter_mut().enumerate() {
+            for j in 0..3 {
+                xi.push(m.binary(format!("x{i}{j}")));
+            }
+        }
+        for i in 0..3 {
+            m.add_eq(
+                format!("row{i}"),
+                LinExpr::sum((0..3).map(|j| LinExpr::term(x[i][j], 1.0))),
+                1.0,
+            );
+            m.add_eq(
+                format!("col{i}"),
+                LinExpr::sum((0..3).map(|j| LinExpr::term(x[j][i], 1.0))),
+                1.0,
+            );
+        }
+        let total = LinExpr::sum((0..3).flat_map(|i| {
+            let xi = x[i].clone();
+            (0..3).map(move |j| LinExpr::term(xi[j], cost[i][j]))
+        }));
+        m.set_objective(Sense::Minimize, total);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-6, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn time_limit_returns_incumbent_or_err() {
+        // A slightly larger knapsack with an immediate rounding incumbent:
+        // with a zero budget we must still not panic.
+        let mut m = Model::new("budget");
+        let vars: Vec<_> = (0..12).map(|i| m.binary(format!("x{i}"))).collect();
+        let w = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, 1.0 + i as f64)));
+        m.add_le("cap", w, 20.0);
+        m.set_objective(
+            Sense::Maximize,
+            LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, (i * i + 1) as f64))),
+        );
+        let cfg = SolverConfig { time_limit: Some(Duration::from_millis(0)), ..Default::default() };
+        match m.solve_with(&cfg) {
+            Ok(sol) => assert!(m.is_feasible(&sol.values, 1e-6)),
+            Err(e) => assert_eq!(e, crate::IlpError::NoIncumbent),
+        }
+    }
+
+    #[test]
+    fn equality_partition_two_way() {
+        // Partition 4 items of sizes 3,1,1,3 into two sides of equal load.
+        // x_i = side of item i; minimize nothing, just find feasibility via
+        // sum sizes*x == 4.
+        let sizes = [3.0, 1.0, 1.0, 3.0];
+        let mut m = Model::new("partition");
+        let vars: Vec<_> = (0..4).map(|i| m.binary(format!("x{i}"))).collect();
+        m.add_eq(
+            "balance",
+            LinExpr::sum(vars.iter().zip(sizes).map(|(&v, s)| LinExpr::term(v, s))),
+            4.0,
+        );
+        m.set_objective(Sense::Minimize, LinExpr::new());
+        let sol = m.solve().unwrap();
+        let load: f64 = vars.iter().zip(sizes).map(|(&v, s)| sol.value(v) * s).sum();
+        assert!((load - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximize_and_minimize_agree() {
+        let build = |sense| {
+            let mut m = Model::new("sense");
+            let x = m.integer("x", 0.0, 5.0);
+            m.add_le("c", 3.0 * x, 10.0);
+            m.set_objective(sense, 1.0 * x);
+            m.solve().unwrap().objective
+        };
+        assert!((build(Sense::Maximize) - 3.0).abs() < 1e-6);
+        assert!(build(Sense::Minimize).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reports_bound_and_nodes() {
+        let mut m = Model::new("meta");
+        let x = m.integer("x", 0.0, 9.0);
+        let y = m.integer("y", 0.0, 9.0);
+        m.add_le("c", 2.0 * x + 3.0 * y, 12.0);
+        m.set_objective(Sense::Maximize, 5.0 * x + 4.0 * y);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(sol.gap() < 1e-6);
+        // optimum: x=6 infeasible (2*6=12, y=0) → x=6,y=0 obj 30.
+        assert!((sol.objective - 30.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,30 @@
+use std::fmt;
+
+/// Errors reported by the LP/MIP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The time or node budget expired before any feasible integer point
+    /// was found.
+    NoIncumbent,
+    /// The model is structurally invalid (bad bounds, unknown variable, …).
+    InvalidModel(String),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::Infeasible => write!(f, "model is infeasible"),
+            IlpError::Unbounded => write!(f, "objective is unbounded"),
+            IlpError::NoIncumbent => {
+                write!(f, "budget exhausted before a feasible integer point was found")
+            }
+            IlpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}

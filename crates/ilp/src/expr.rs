@@ -1,0 +1,312 @@
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use crate::model::VarId;
+
+/// A linear expression `Σ cᵢ·xᵢ + k` over model variables.
+///
+/// Expressions are built with ordinary operators:
+///
+/// ```
+/// use tapacs_ilp::{LinExpr, Model};
+/// let mut m = Model::new("ex");
+/// let x = m.binary("x");
+/// let y = m.binary("y");
+/// let e: LinExpr = 2.0 * x + y - 0.5;
+/// assert_eq!(e.coeff(x), 2.0);
+/// assert_eq!(e.coeff(y), 1.0);
+/// assert_eq!(e.constant(), -0.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (`0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of a single constant.
+    pub fn constant_term(k: f64) -> Self {
+        Self { terms: BTreeMap::new(), constant: k }
+    }
+
+    /// An expression consisting of a single weighted variable.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut e = Self::new();
+        e.add_term(var, coeff);
+        e
+    }
+
+    /// Adds `coeff · var` to the expression, merging with any existing term.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        if coeff != 0.0 {
+            let c = self.terms.entry(var).or_insert(0.0);
+            *c += coeff;
+            if c.abs() < 1e-300 {
+                self.terms.remove(&var);
+            }
+        }
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, k: f64) -> &mut Self {
+        self.constant += k;
+        self
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coeff(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant offset of the expression.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression against a dense value vector indexed by
+    /// variable id.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values.get(v.index()).copied().unwrap_or(0.0))
+                .sum::<f64>()
+    }
+
+    /// Sums an iterator of expressions.
+    pub fn sum<I: IntoIterator<Item = LinExpr>>(items: I) -> Self {
+        let mut acc = LinExpr::new();
+        for e in items {
+            acc += e;
+        }
+        acc
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(k: f64) -> Self {
+        LinExpr::constant_term(k)
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: Self) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: Self) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, -c);
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: Self) -> Self {
+        self -= rhs;
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> Self {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> Self {
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+// Operator sugar on raw variables.
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, v: VarId) -> LinExpr {
+        self.add_term(v, 1.0);
+        self
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, v: VarId) -> LinExpr {
+        self.add_term(v, -1.0);
+        self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, k: f64) -> LinExpr {
+        self.constant += k;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, k: f64) -> LinExpr {
+        self.constant -= k;
+        self
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarId) -> LinExpr {
+        LinExpr::term(v, self)
+    }
+}
+
+impl Add<VarId> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        let mut e = LinExpr::term(self, 1.0);
+        e.add_term(rhs, 1.0);
+        e
+    }
+}
+
+impl Sub<VarId> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        let mut e = LinExpr::term(self, 1.0);
+        e.add_term(rhs, -1.0);
+        e
+    }
+}
+
+impl Add<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        rhs + self
+    }
+}
+
+impl Sub<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        -rhs + self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn builds_and_merges_terms() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let e = 2.0 * x + 3.0 * y + 1.0 * x - 1.5;
+        assert_eq!(e.coeff(x), 3.0);
+        assert_eq!(e.coeff(y), 3.0);
+        assert_eq!(e.constant(), -1.5);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn cancelling_terms_are_removed() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let e = 1.0 * x - 1.0 * x;
+        assert!(e.is_empty());
+        assert_eq!(e.coeff(x), 0.0);
+    }
+
+    #[test]
+    fn negation_and_scaling() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let e = -(2.0 * x + 4.0);
+        assert_eq!(e.coeff(x), -2.0);
+        assert_eq!(e.constant(), -4.0);
+        let e2 = e * 0.5;
+        assert_eq!(e2.coeff(x), -1.0);
+        assert_eq!(e2.constant(), -2.0);
+    }
+
+    #[test]
+    fn eval_against_vector() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let e = 2.0 * x + 3.0 * y + 1.0;
+        assert_eq!(e.eval(&[1.0, 2.0]), 9.0);
+    }
+
+    #[test]
+    fn sum_of_expressions() {
+        let mut m = Model::new("t");
+        let vars: Vec<_> = (0..4).map(|i| m.binary(format!("b{i}"))).collect();
+        let total = LinExpr::sum(vars.iter().map(|&v| LinExpr::term(v, 1.0)));
+        assert_eq!(total.len(), 4);
+        for &v in &vars {
+            assert_eq!(total.coeff(v), 1.0);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Pure-Rust linear and mixed-integer linear programming.
+//!
+//! TAPA-CS formulates both its inter-FPGA partitioner and its intra-FPGA
+//! floorplanner as integer linear programs (the paper solves them with
+//! python-MIP or Gurobi). This crate is the reproduction's solver substrate:
+//! a dense two-phase primal [simplex](simplex) for the LP relaxation and a
+//! best-first [branch-and-bound](branch_bound) search for integrality, with
+//! an anytime incumbent and a wall-clock deadline so large instances behave
+//! like a commercial solver under a time limit.
+//!
+//! # Example
+//!
+//! Maximize `3x + 5y` subject to `x <= 4`, `2y <= 12`, `3x + 2y <= 18`
+//! (the classic Dantzig example, optimum 36 at `(2, 6)`):
+//!
+//! ```
+//! use tapacs_ilp::{Model, Sense};
+//!
+//! # fn main() -> Result<(), tapacs_ilp::IlpError> {
+//! let mut m = Model::new("dantzig");
+//! let x = m.continuous("x", 0.0, f64::INFINITY);
+//! let y = m.continuous("y", 0.0, f64::INFINITY);
+//! m.add_le("c1", x.into(), 4.0);
+//! m.add_le("c2", 2.0 * y, 12.0);
+//! m.add_le("c3", 3.0 * x + 2.0 * y, 18.0);
+//! m.set_objective(Sense::Maximize, 3.0 * x + 5.0 * y);
+//! let sol = m.solve()?;
+//! assert!((sol.objective - 36.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod expr;
+mod model;
+mod simplex;
+mod solution;
+
+pub use error::IlpError;
+pub use expr::LinExpr;
+pub use model::{CmpOp, Model, Sense, SolverConfig, VarId, VarKind};
+pub use solution::{Solution, SolveStatus};
+
+pub(crate) use simplex::LpOutcome;

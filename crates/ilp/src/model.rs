@@ -1,0 +1,376 @@
+use std::time::Duration;
+
+use crate::branch_bound;
+use crate::error::IlpError;
+use crate::expr::LinExpr;
+use crate::simplex::{self, LpProblem, LpRow};
+use crate::solution::{Solution, SolveStatus};
+
+/// Opaque handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Dense index of the variable inside its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Domain of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Shorthand for an integer in `[0, 1]`.
+    Binary,
+}
+
+/// Comparison operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    #[allow(dead_code)]
+    pub name: String,
+    pub kind: VarKind,
+    pub lower: f64,
+    pub upper: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    #[allow(dead_code)]
+    pub name: String,
+    pub expr: LinExpr,
+    pub op: CmpOp,
+    pub rhs: f64,
+}
+
+/// Knobs controlling the branch-and-bound search.
+///
+/// The defaults are tuned for the floorplanning instances produced by
+/// TAPA-CS (hundreds of binaries): optimality is proven when the search
+/// finishes, otherwise the best incumbent found before `time_limit` is
+/// returned with [`SolveStatus::Feasible`].
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Wall-clock budget for branch and bound. `None` = unlimited.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes explored.
+    pub max_nodes: usize,
+    /// Values closer than this to an integer are considered integral.
+    pub int_tol: f64,
+    /// Relative gap at which the search stops early.
+    pub mip_gap: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            time_limit: Some(Duration::from_secs(60)),
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+            mip_gap: 1e-9,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Config with a specific wall-clock deadline.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Self { time_limit: Some(limit), ..Self::default() }
+    }
+}
+
+/// A mixed-integer linear program under construction.
+///
+/// See the [crate-level docs](crate) for a full example.
+#[derive(Debug, Clone)]
+pub struct Model {
+    name: String,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: Sense,
+}
+
+impl Model {
+    /// Creates an empty model with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+            sense: Sense::Minimize,
+        }
+    }
+
+    /// The model's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a variable with explicit kind and bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::InvalidModel`] if `lower > upper` or a bound is NaN.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+    ) -> Result<VarId, IlpError> {
+        if lower.is_nan() || upper.is_nan() {
+            return Err(IlpError::InvalidModel("NaN variable bound".into()));
+        }
+        if lower > upper {
+            return Err(IlpError::InvalidModel(format!(
+                "variable {:?} has lower bound {lower} > upper bound {upper}",
+                name.into()
+            )));
+        }
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable { name: name.into(), kind, lower, upper });
+        Ok(id)
+    }
+
+    /// Adds a `{0,1}` variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name, VarKind::Binary, 0.0, 1.0)
+            .expect("binary bounds are always valid")
+    }
+
+    /// Adds a continuous variable in `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` — use [`Model::add_var`] for fallible
+    /// construction.
+    pub fn continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_var(name, VarKind::Continuous, lower, upper)
+            .expect("invalid continuous bounds")
+    }
+
+    /// Adds an integer variable in `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_var(name, VarKind::Integer, lower, upper)
+            .expect("invalid integer bounds")
+    }
+
+    /// Adds `expr <= rhs`.
+    pub fn add_le(&mut self, name: impl Into<String>, expr: LinExpr, rhs: f64) {
+        self.add_constraint(name, expr, CmpOp::Le, rhs);
+    }
+
+    /// Adds `expr >= rhs`.
+    pub fn add_ge(&mut self, name: impl Into<String>, expr: LinExpr, rhs: f64) {
+        self.add_constraint(name, expr, CmpOp::Ge, rhs);
+    }
+
+    /// Adds `expr == rhs`.
+    pub fn add_eq(&mut self, name: impl Into<String>, expr: LinExpr, rhs: f64) {
+        self.add_constraint(name, expr, CmpOp::Eq, rhs);
+    }
+
+    /// Adds a constraint with an explicit operator. The expression's constant
+    /// term is folded into the right-hand side.
+    pub fn add_constraint(&mut self, name: impl Into<String>, expr: LinExpr, op: CmpOp, rhs: f64) {
+        let k = expr.constant();
+        self.constraints.push(Constraint { name: name.into(), expr, op, rhs: rhs - k });
+    }
+
+    /// Sets the objective function and direction.
+    pub fn set_objective(&mut self, sense: Sense, expr: LinExpr) {
+        self.sense = sense;
+        self.objective = expr;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Indices of integer/binary variables.
+    pub(crate) fn integral_vars(&self) -> Vec<usize> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Lowers the model to the internal LP representation used by the
+    /// simplex. Integrality is dropped; bounds are kept.
+    pub(crate) fn to_lp(&self) -> LpProblem {
+        let n = self.vars.len();
+        let mut objective = vec![0.0; n];
+        for (v, c) in self.objective.iter() {
+            objective[v.index()] = c;
+        }
+        let minimize = matches!(self.sense, Sense::Minimize);
+        let rows = self
+            .constraints
+            .iter()
+            .map(|c| LpRow {
+                coeffs: c.expr.iter().map(|(v, k)| (v.index(), k)).collect(),
+                op: c.op,
+                rhs: c.rhs,
+            })
+            .collect();
+        LpProblem {
+            n_vars: n,
+            lower: self.vars.iter().map(|v| v.lower).collect(),
+            upper: self.vars.iter().map(|v| v.upper).collect(),
+            rows,
+            objective,
+            minimize,
+            objective_offset: self.objective.constant(),
+        }
+    }
+
+    /// Checks whether a candidate point satisfies every constraint and bound
+    /// within `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if values[i] < v.lower - tol || values[i] > v.upper + tol {
+                return false;
+            }
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
+                && (values[i] - values[i].round()).abs() > tol
+            {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.eval(values) - c.expr.constant();
+            let ok = match c.op {
+                CmpOp::Le => lhs <= c.rhs + tol,
+                CmpOp::Ge => lhs >= c.rhs - tol,
+                CmpOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solves with default [`SolverConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
+    /// [`IlpError::NoIncumbent`] per the outcome of the search.
+    pub fn solve(&self) -> Result<Solution, IlpError> {
+        self.solve_with(&SolverConfig::default())
+    }
+
+    /// Solves with an explicit configuration.
+    ///
+    /// If the model has no integer variables this is a single simplex solve.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_with(&self, config: &SolverConfig) -> Result<Solution, IlpError> {
+        let integral = self.integral_vars();
+        if integral.is_empty() {
+            let lp = self.to_lp();
+            match simplex::solve(&lp) {
+                crate::LpOutcome::Optimal { values, objective } => Ok(Solution {
+                    status: SolveStatus::Optimal,
+                    objective,
+                    values,
+                    nodes_explored: 0,
+                    best_bound: objective,
+                }),
+                crate::LpOutcome::Infeasible => Err(IlpError::Infeasible),
+                crate::LpOutcome::Unbounded => Err(IlpError::Unbounded),
+            }
+        } else {
+            branch_bound::solve(self, &integral, config)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        let mut m = Model::new("bad");
+        let err = m.add_var("x", VarKind::Continuous, 2.0, 1.0).unwrap_err();
+        assert!(matches!(err, IlpError::InvalidModel(_)));
+    }
+
+    #[test]
+    fn constant_terms_fold_into_rhs() {
+        let mut m = Model::new("fold");
+        let x = m.continuous("x", 0.0, 10.0);
+        // x + 3 <= 5  ≡  x <= 2
+        m.add_le("c", LinExpr::term(x, 1.0) + 3.0, 5.0);
+        m.set_objective(Sense::Maximize, x.into());
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn feasibility_checker_matches_solver() {
+        let mut m = Model::new("feas");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_le("c", x + y, 1.0);
+        m.set_objective(Sense::Maximize, 2.0 * x + y);
+        let sol = m.solve().unwrap();
+        assert!(m.is_feasible(&sol.values, 1e-6));
+        assert!(!m.is_feasible(&[1.0, 1.0], 1e-6));
+    }
+
+    #[test]
+    fn pure_lp_shortcut() {
+        let mut m = Model::new("lp");
+        let x = m.continuous("x", 0.0, 4.0);
+        m.set_objective(Sense::Maximize, 3.0 * x);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 12.0).abs() < 1e-7);
+        assert_eq!(sol.nodes_explored, 0);
+    }
+}

@@ -1,0 +1,658 @@
+//! Dense two-phase primal simplex.
+//!
+//! The LP relaxations produced by the TAPA-CS partitioner/floorplanner are
+//! small and dense enough (hundreds to a few thousand rows/columns) that a
+//! dense tableau with Dantzig pricing and Bland's anti-cycling fallback is
+//! both simple and fast.
+
+use crate::model::CmpOp;
+
+/// Feasibility / integrality tolerance used throughout the solver.
+pub(crate) const FEAS_TOL: f64 = 1e-7;
+/// Pivot magnitude tolerance.
+const EPS: f64 = 1e-9;
+
+/// One constraint row in sparse form.
+#[derive(Debug, Clone)]
+pub(crate) struct LpRow {
+    pub coeffs: Vec<(usize, f64)>,
+    pub op: CmpOp,
+    pub rhs: f64,
+}
+
+/// A bounded LP: `opt c·x + k` s.t. `rows`, `lower <= x <= upper`.
+#[derive(Debug, Clone)]
+pub(crate) struct LpProblem {
+    pub n_vars: usize,
+    pub lower: Vec<f64>,
+    pub upper: Vec<f64>,
+    pub rows: Vec<LpRow>,
+    pub objective: Vec<f64>,
+    pub minimize: bool,
+    pub objective_offset: f64,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone)]
+pub(crate) enum LpOutcome {
+    Optimal { values: Vec<f64>, objective: f64 },
+    Infeasible,
+    Unbounded,
+}
+
+/// How an original variable maps onto non-negative simplex columns.
+#[derive(Debug, Clone, Copy)]
+enum ColMap {
+    /// `x = z + shift` (finite lower bound).
+    Shifted { col: usize, shift: f64 },
+    /// `x = shift - z` (lower = -inf, finite upper).
+    Flipped { col: usize, shift: f64 },
+    /// `x = z_pos - z_neg` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+/// Solves `lp` with its stored bounds.
+pub(crate) fn solve(lp: &LpProblem) -> LpOutcome {
+    solve_with_bounds(lp, &lp.lower, &lp.upper)
+}
+
+/// Solves `lp` with overriding bounds (used by branch and bound).
+pub(crate) fn solve_with_bounds(lp: &LpProblem, lower: &[f64], upper: &[f64]) -> LpOutcome {
+    debug_assert_eq!(lower.len(), lp.n_vars);
+    debug_assert_eq!(upper.len(), lp.n_vars);
+
+    // Quick bound sanity: an empty box is infeasible.
+    for j in 0..lp.n_vars {
+        if lower[j] > upper[j] + FEAS_TOL {
+            return LpOutcome::Infeasible;
+        }
+    }
+
+    // --- Map variables onto non-negative columns -------------------------
+    let mut maps = Vec::with_capacity(lp.n_vars);
+    let mut n_cols = 0usize;
+    // Upper-bound rows to append (col, bound).
+    let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+    for j in 0..lp.n_vars {
+        let (lo, hi) = (lower[j], upper[j]);
+        if lo.is_finite() {
+            let col = n_cols;
+            n_cols += 1;
+            maps.push(ColMap::Shifted { col, shift: lo });
+            if hi.is_finite() {
+                ub_rows.push((col, hi - lo));
+            }
+        } else if hi.is_finite() {
+            let col = n_cols;
+            n_cols += 1;
+            maps.push(ColMap::Flipped { col, shift: hi });
+        } else {
+            let pos = n_cols;
+            let neg = n_cols + 1;
+            n_cols += 2;
+            maps.push(ColMap::Split { pos, neg });
+        }
+    }
+
+    // --- Build rows in terms of simplex columns ---------------------------
+    // Each entry: (dense coeffs over structural columns, op, rhs).
+    struct RawRow {
+        coeffs: Vec<f64>,
+        op: CmpOp,
+        rhs: f64,
+    }
+    let mut raw: Vec<RawRow> = Vec::with_capacity(lp.rows.len() + ub_rows.len());
+    for row in &lp.rows {
+        let mut coeffs = vec![0.0; n_cols];
+        let mut rhs = row.rhs;
+        for &(j, a) in &row.coeffs {
+            match maps[j] {
+                ColMap::Shifted { col, shift } => {
+                    coeffs[col] += a;
+                    rhs -= a * shift;
+                }
+                ColMap::Flipped { col, shift } => {
+                    coeffs[col] -= a;
+                    rhs -= a * shift;
+                }
+                ColMap::Split { pos, neg } => {
+                    coeffs[pos] += a;
+                    coeffs[neg] -= a;
+                }
+            }
+        }
+        raw.push(RawRow { coeffs, op: row.op, rhs });
+    }
+    for &(col, ub) in &ub_rows {
+        let mut coeffs = vec![0.0; n_cols];
+        coeffs[col] = 1.0;
+        raw.push(RawRow { coeffs, op: CmpOp::Le, rhs: ub });
+    }
+
+    // Row equilibration: scale each row so its largest coefficient is 1.
+    // Floorplanning rows mix unit cut indicators with ~1e6-LUT resource
+    // coefficients; without scaling, phase-1 feasibility tests drown in
+    // roundoff.
+    for r in raw.iter_mut() {
+        let m = r.coeffs.iter().fold(0.0f64, |a, &c| a.max(c.abs()));
+        if m > 1.0 {
+            let inv = 1.0 / m;
+            for c in r.coeffs.iter_mut() {
+                *c *= inv;
+            }
+            r.rhs *= inv;
+        }
+    }
+
+    // Objective in simplex columns (internally always minimized).
+    let sign = if lp.minimize { 1.0 } else { -1.0 };
+    let mut cost = vec![0.0; n_cols];
+    for j in 0..lp.n_vars {
+        let c = sign * lp.objective[j];
+        if c == 0.0 {
+            continue;
+        }
+        match maps[j] {
+            ColMap::Shifted { col, .. } => cost[col] += c,
+            ColMap::Flipped { col, .. } => cost[col] -= c,
+            ColMap::Split { pos, neg } => {
+                cost[pos] += c;
+                cost[neg] -= c;
+            }
+        }
+    }
+
+    // --- Standard form: add slack/surplus/artificial columns --------------
+    let m = raw.len();
+    // Count extra columns.
+    let mut n_total = n_cols;
+    let mut slack_of_row = vec![usize::MAX; m];
+    let mut artificial_of_row = vec![usize::MAX; m];
+    for (i, r) in raw.iter_mut().enumerate() {
+        // Normalize to rhs >= 0.
+        if r.rhs < 0.0 {
+            for c in r.coeffs.iter_mut() {
+                *c = -*c;
+            }
+            r.rhs = -r.rhs;
+            r.op = match r.op {
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Ge => CmpOp::Le,
+                CmpOp::Eq => CmpOp::Eq,
+            };
+        }
+        match r.op {
+            CmpOp::Le => {
+                slack_of_row[i] = n_total;
+                n_total += 1;
+            }
+            CmpOp::Ge => {
+                slack_of_row[i] = n_total; // surplus, coefficient -1
+                n_total += 1;
+                artificial_of_row[i] = n_total;
+                n_total += 1;
+            }
+            CmpOp::Eq => {
+                artificial_of_row[i] = n_total;
+                n_total += 1;
+            }
+        }
+    }
+
+    // Tableau: (m + 1) x (n_total + 1); last row = cost row, last col = rhs.
+    let width = n_total + 1;
+    let mut t = vec![0.0; (m + 1) * width];
+    let mut basis = vec![usize::MAX; m];
+    let artificial_start = {
+        // Artificials are interleaved; track a membership mask instead.
+        let mut is_artificial = vec![false; n_total];
+        for i in 0..m {
+            if artificial_of_row[i] != usize::MAX {
+                is_artificial[artificial_of_row[i]] = true;
+            }
+        }
+        is_artificial
+    };
+    let is_artificial = artificial_start;
+
+    for (i, r) in raw.iter().enumerate() {
+        let base = i * width;
+        t[base..base + n_cols].copy_from_slice(&r.coeffs);
+        t[base + n_total] = r.rhs;
+        match r.op {
+            CmpOp::Le => {
+                t[base + slack_of_row[i]] = 1.0;
+                basis[i] = slack_of_row[i];
+            }
+            CmpOp::Ge => {
+                t[base + slack_of_row[i]] = -1.0;
+                t[base + artificial_of_row[i]] = 1.0;
+                basis[i] = artificial_of_row[i];
+            }
+            CmpOp::Eq => {
+                t[base + artificial_of_row[i]] = 1.0;
+                basis[i] = artificial_of_row[i];
+            }
+        }
+    }
+
+    let mut tab = Tableau { m, n: n_total, width, t, basis, banned: vec![false; n_total] };
+
+    // --- Phase 1: minimize sum of artificials ------------------------------
+    let needs_phase1 = (0..m).any(|i| artificial_of_row[i] != usize::MAX);
+    if needs_phase1 {
+        // Cost row: 1 for artificials.
+        for j in 0..n_total {
+            tab.set_cost(j, if is_artificial[j] { 1.0 } else { 0.0 });
+        }
+        tab.set_cost_rhs(0.0);
+        tab.price_out();
+        if !tab.iterate() {
+            // Phase 1 objective is bounded below by 0 so unboundedness here
+            // signals numerical trouble; treat as infeasible.
+            return LpOutcome::Infeasible;
+        }
+        let phase1_obj = -tab.cost_rhs();
+        if phase1_obj > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Ban artificials and drive them out of the basis.
+        for j in 0..n_total {
+            if is_artificial[j] {
+                tab.banned[j] = true;
+            }
+        }
+        tab.drive_out_banned();
+    }
+
+    // --- Phase 2: minimize real cost ---------------------------------------
+    for j in 0..n_total {
+        tab.set_cost(j, if is_artificial[j] { 0.0 } else { *cost.get(j).unwrap_or(&0.0) });
+    }
+    tab.set_cost_rhs(0.0);
+    tab.price_out();
+    if !tab.iterate() {
+        return LpOutcome::Unbounded;
+    }
+
+    // --- Extract solution ---------------------------------------------------
+    let mut z = vec![0.0; n_total];
+    for i in 0..m {
+        let b = tab.basis[i];
+        if b != usize::MAX {
+            z[b] = tab.t[i * tab.width + tab.n];
+        }
+    }
+    let mut values = vec![0.0; lp.n_vars];
+    for j in 0..lp.n_vars {
+        values[j] = match maps[j] {
+            ColMap::Shifted { col, shift } => z[col] + shift,
+            ColMap::Flipped { col, shift } => shift - z[col],
+            ColMap::Split { pos, neg } => z[pos] - z[neg],
+        };
+        // Clamp tiny bound violations from roundoff.
+        values[j] = values[j].clamp(
+            if lower[j].is_finite() { lower[j] } else { values[j] },
+            if upper[j].is_finite() { upper[j] } else { values[j] },
+        );
+    }
+    let objective = lp.objective_offset
+        + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>();
+    LpOutcome::Optimal { values, objective }
+}
+
+struct Tableau {
+    m: usize,
+    n: usize,
+    width: usize,
+    /// Row-major `(m + 1) × width`; row `m` is the cost row.
+    t: Vec<f64>,
+    basis: Vec<usize>,
+    banned: Vec<bool>,
+}
+
+impl Tableau {
+    fn set_cost(&mut self, j: usize, c: f64) {
+        self.t[self.m * self.width + j] = c;
+    }
+
+    fn set_cost_rhs(&mut self, v: f64) {
+        self.t[self.m * self.width + self.n] = v;
+    }
+
+    fn cost_rhs(&self) -> f64 {
+        self.t[self.m * self.width + self.n]
+    }
+
+    /// Makes reduced costs of basic columns zero by subtracting multiples of
+    /// their rows from the cost row.
+    fn price_out(&mut self) {
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b == usize::MAX {
+                continue;
+            }
+            let cb = self.t[self.m * self.width + b];
+            if cb.abs() > EPS {
+                let (head, cost_row) = self.t.split_at_mut(self.m * self.width);
+                let row = &head[i * self.width..(i + 1) * self.width];
+                for (cj, rj) in cost_row.iter_mut().zip(row) {
+                    *cj -= cb * rj;
+                }
+            }
+        }
+    }
+
+    /// Runs simplex iterations to optimality. Returns `false` on
+    /// unboundedness.
+    fn iterate(&mut self) -> bool {
+        let bland_after = 20 * (self.m + self.n) + 1000;
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            let bland = iters > bland_after;
+            let Some(enter) = self.choose_entering(bland) else {
+                return true; // optimal
+            };
+            let Some(leave_row) = self.choose_leaving(enter, bland) else {
+                return false; // unbounded
+            };
+            self.pivot(leave_row, enter);
+        }
+    }
+
+    fn choose_entering(&self, bland: bool) -> Option<usize> {
+        let cost_base = self.m * self.width;
+        if bland {
+            (0..self.n).find(|&j| !self.banned[j] && self.t[cost_base + j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_c = -1e-7;
+            for j in 0..self.n {
+                if self.banned[j] {
+                    continue;
+                }
+                let c = self.t[cost_base + j];
+                if c < best_c {
+                    best_c = c;
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    fn choose_leaving(&self, enter: usize, bland: bool) -> Option<usize> {
+        let mut best_row = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..self.m {
+            let a = self.t[i * self.width + enter];
+            if a > EPS {
+                let ratio = self.t[i * self.width + self.n] / a;
+                let better = ratio < best_ratio - EPS
+                    || (bland
+                        && (ratio - best_ratio).abs() <= EPS
+                        && best_row.is_some_and(|r: usize| self.basis[i] < self.basis[r]));
+                if better || best_row.is_none() && ratio.is_finite() {
+                    best_ratio = ratio;
+                    best_row = Some(i);
+                }
+            }
+        }
+        best_row
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.width;
+        let pivot = self.t[row * w + col];
+        debug_assert!(pivot.abs() > EPS);
+        let inv = 1.0 / pivot;
+        for j in 0..w {
+            self.t[row * w + j] *= inv;
+        }
+        // Defensive exactness on the pivot column.
+        self.t[row * w + col] = 1.0;
+        for i in 0..=self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.t[i * w + col];
+            if factor.abs() > EPS {
+                // Manual split borrows: copy pivot row values as we go.
+                for j in 0..w {
+                    let pr = self.t[row * w + j];
+                    self.t[i * w + j] -= factor * pr;
+                }
+                self.t[i * w + col] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivots banned (artificial) columns out of the basis
+    /// when possible. Rows whose artificial cannot be driven out are
+    /// redundant (all structural coefficients ~0) and left inert at zero.
+    fn drive_out_banned(&mut self) {
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b == usize::MAX || !self.banned[b] {
+                continue;
+            }
+            let mut pivot_col = None;
+            for j in 0..self.n {
+                if !self.banned[j] && self.t[i * self.width + j].abs() > 1e-7 {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = pivot_col {
+                self.pivot(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(
+        n: usize,
+        lower: Vec<f64>,
+        upper: Vec<f64>,
+        rows: Vec<LpRow>,
+        objective: Vec<f64>,
+        minimize: bool,
+    ) -> LpProblem {
+        LpProblem { n_vars: n, lower, upper, rows, objective, minimize, objective_offset: 0.0 }
+    }
+
+    fn optimal(out: LpOutcome) -> (Vec<f64>, f64) {
+        match out {
+            LpOutcome::Optimal { values, objective } => (values, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dantzig_example() {
+        // max 3x + 5y; x<=4; 2y<=12; 3x+2y<=18; x,y>=0 → 36 at (2,6).
+        let p = lp(
+            2,
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 4.0 },
+                LpRow { coeffs: vec![(1, 2.0)], op: CmpOp::Le, rhs: 12.0 },
+                LpRow { coeffs: vec![(0, 3.0), (1, 2.0)], op: CmpOp::Le, rhs: 18.0 },
+            ],
+            vec![3.0, 5.0],
+            false,
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj - 36.0).abs() < 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min x + y; x + y >= 2; x - y == 0 → (1,1), obj 2.
+        let p = lp(
+            2,
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![
+                LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Ge, rhs: 2.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, -1.0)], op: CmpOp::Eq, rhs: 0.0 },
+            ],
+            vec![1.0, 1.0],
+            true,
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj - 2.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let p = lp(
+            1,
+            vec![0.0],
+            vec![f64::INFINITY],
+            vec![
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Ge, rhs: 2.0 },
+            ],
+            vec![1.0],
+            true,
+        );
+        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraints.
+        let p = lp(1, vec![0.0], vec![f64::INFINITY], vec![], vec![1.0], false);
+        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // max x + y with 1 <= x <= 3, 0 <= y <= 2 → 5.
+        let p = lp(
+            2,
+            vec![1.0, 0.0],
+            vec![3.0, 2.0],
+            vec![],
+            vec![1.0, 1.0],
+            false,
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj - 5.0).abs() < 1e-6);
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_lower_bound_shift() {
+        // min x with -5 <= x <= 5 → -5.
+        let p = lp(1, vec![-5.0], vec![5.0], vec![], vec![1.0], true);
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj + 5.0).abs() < 1e-6);
+        assert!((x[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min x s.t. x >= -10 encoded as a row (x itself free) → -10.
+        let p = lp(
+            1,
+            vec![f64::NEG_INFINITY],
+            vec![f64::INFINITY],
+            vec![LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Ge, rhs: -10.0 }],
+            vec![1.0],
+            true,
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj + 10.0).abs() < 1e-6);
+        assert!((x[0] + 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flipped_variable_upper_only() {
+        // max x with x <= 7, lower unbounded → 7.
+        let p = lp(1, vec![f64::NEG_INFINITY], vec![7.0], vec![], vec![1.0], false);
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj - 7.0).abs() < 1e-6);
+        assert!((x[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // min y s.t. -x - y <= -3 (i.e. x + y >= 3), x <= 1 → y = 2.
+        let p = lp(
+            2,
+            vec![0.0, 0.0],
+            vec![1.0, f64::INFINITY],
+            vec![LpRow { coeffs: vec![(0, -1.0), (1, -1.0)], op: CmpOp::Le, rhs: -3.0 }],
+            vec![0.0, 1.0],
+            true,
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj - 2.0).abs() < 1e-6, "objective {obj}, x {x:?}");
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Klee-Minty-flavoured degenerate system; just needs to terminate.
+        let p = lp(
+            3,
+            vec![0.0; 3],
+            vec![f64::INFINITY; 3],
+            vec![
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+                LpRow { coeffs: vec![(0, 4.0), (1, 1.0)], op: CmpOp::Le, rhs: 8.0 },
+                LpRow { coeffs: vec![(0, 8.0), (1, 4.0), (2, 1.0)], op: CmpOp::Le, rhs: 50.0 },
+            ],
+            vec![4.0, 2.0, 1.0],
+            false,
+        );
+        let (_, obj) = optimal(solve(&p));
+        assert!(obj > 0.0);
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        // x + y == 2 twice; min x → x=0, y=2.
+        let p = lp(
+            2,
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![
+                LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Eq, rhs: 2.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Eq, rhs: 2.0 },
+            ],
+            vec![1.0, 0.0],
+            true,
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!(obj.abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_override_tightens() {
+        let p = lp(1, vec![0.0], vec![10.0], vec![], vec![1.0], false);
+        let (_, obj) = optimal(solve_with_bounds(&p, &[0.0], &[3.0]));
+        assert!((obj - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_box_is_infeasible() {
+        let p = lp(1, vec![0.0], vec![10.0], vec![], vec![1.0], false);
+        assert!(matches!(solve_with_bounds(&p, &[5.0], &[4.0]), LpOutcome::Infeasible));
+    }
+}

@@ -1,0 +1,43 @@
+use crate::model::VarId;
+
+/// Quality of a returned solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proven optimal.
+    Optimal,
+    /// Feasible incumbent returned because the time/node budget expired
+    /// before the search closed the gap.
+    Feasible,
+}
+
+/// Result of a successful solve.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Whether optimality was proven.
+    pub status: SolveStatus,
+    /// Objective value at the returned point (in the model's original sense).
+    pub objective: f64,
+    /// Value of every variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Branch-and-bound nodes explored (0 for pure LPs).
+    pub nodes_explored: usize,
+    /// Best proven bound on the objective (equals `objective` when optimal).
+    pub best_bound: f64,
+}
+
+impl Solution {
+    /// Value of a single variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Convenience: reads a binary variable as `bool` (rounding).
+    pub fn is_set(&self, var: VarId) -> bool {
+        self.value(var).round() >= 0.5
+    }
+
+    /// The absolute optimality gap `|objective - best_bound|`.
+    pub fn gap(&self) -> f64 {
+        (self.objective - self.best_bound).abs()
+    }
+}

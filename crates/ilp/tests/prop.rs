@@ -1,0 +1,138 @@
+//! Property-based tests for the LP/MIP solver.
+//!
+//! Invariants checked on randomly generated models:
+//! 1. Any returned solution is feasible.
+//! 2. A MIP optimum never beats its own LP relaxation bound.
+//! 3. For generated-feasible knapsacks, the solver never reports infeasible.
+//! 4. Optimal binary solutions are at least as good as any enumerated point
+//!    (exhaustive check on small instances).
+
+use proptest::prelude::*;
+use tapacs_ilp::{IlpError, LinExpr, Model, Sense};
+
+/// A random ≤-only knapsack-like model: always feasible (all-zeros works).
+fn knapsack_model(values: &[u32], weights: &[u32], cap: u32) -> (Model, Vec<tapacs_ilp::VarId>) {
+    let mut m = Model::new("prop-knapsack");
+    let vars: Vec<_> = (0..values.len()).map(|i| m.binary(format!("x{i}"))).collect();
+    let weight = LinExpr::sum(
+        vars.iter().zip(weights).map(|(&v, &w)| LinExpr::term(v, w as f64)),
+    );
+    m.add_le("cap", weight, cap as f64);
+    let value = LinExpr::sum(
+        vars.iter().zip(values).map(|(&v, &c)| LinExpr::term(v, c as f64)),
+    );
+    m.set_objective(Sense::Maximize, value);
+    (m, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knapsack_solutions_are_feasible_and_match_exhaustive(
+        items in prop::collection::vec((1u32..50, 1u32..30), 1..10),
+        cap in 1u32..100,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let (m, vars) = knapsack_model(&values, &weights, cap);
+        let sol = m.solve().expect("all-zeros is always feasible");
+        prop_assert!(m.is_feasible(&sol.values, 1e-6));
+
+        // Exhaustive optimum for up to 2^10 points.
+        let n = values.len();
+        let mut best = 0u64;
+        for mask in 0u32..(1 << n) {
+            let w: u64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| weights[i] as u64).sum();
+            if w <= cap as u64 {
+                let v: u64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| values[i] as u64).sum();
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.objective - best as f64).abs() < 1e-6,
+            "solver {} vs exhaustive {best}", sol.objective);
+        // Sanity: decision variables are 0/1.
+        for &v in &vars {
+            let x = sol.value(v);
+            prop_assert!((x - x.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mip_never_beats_lp_relaxation(
+        items in prop::collection::vec((1u32..50, 1u32..30), 1..9),
+        cap in 1u32..80,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let (mip, _) = knapsack_model(&values, &weights, cap);
+
+        // LP relaxation: same model with continuous [0,1] vars.
+        let mut lp = Model::new("relax");
+        let vars: Vec<_> = (0..values.len())
+            .map(|i| lp.continuous(format!("x{i}"), 0.0, 1.0))
+            .collect();
+        let weight = LinExpr::sum(
+            vars.iter().zip(&weights).map(|(&v, &w)| LinExpr::term(v, w as f64)),
+        );
+        lp.add_le("cap", weight, cap as f64);
+        lp.set_objective(
+            Sense::Maximize,
+            LinExpr::sum(vars.iter().zip(&values).map(|(&v, &c)| LinExpr::term(v, c as f64))),
+        );
+
+        let mip_sol = mip.solve().unwrap();
+        let lp_sol = lp.solve().unwrap();
+        prop_assert!(mip_sol.objective <= lp_sol.objective + 1e-6,
+            "MIP {} must not beat LP bound {}", mip_sol.objective, lp_sol.objective);
+    }
+
+    #[test]
+    fn equality_constrained_models_round_trip(
+        sizes in prop::collection::vec(1u32..10, 2..8),
+    ) {
+        // Ask for a two-way split carrying exactly `half` weight when the
+        // total is even; otherwise the model may legitimately be infeasible.
+        let total: u32 = sizes.iter().sum();
+        let mut m = Model::new("split");
+        let vars: Vec<_> = (0..sizes.len()).map(|i| m.binary(format!("x{i}"))).collect();
+        let load = LinExpr::sum(
+            vars.iter().zip(&sizes).map(|(&v, &s)| LinExpr::term(v, s as f64)),
+        );
+        let half = total / 2;
+        m.add_eq("bal", load, half as f64);
+        m.set_objective(Sense::Minimize, LinExpr::new());
+        match m.solve() {
+            Ok(sol) => {
+                prop_assert!(m.is_feasible(&sol.values, 1e-6));
+                let got: f64 = vars.iter().zip(&sizes)
+                    .map(|(&v, &s)| sol.value(v) * s as f64).sum();
+                prop_assert!((got - half as f64).abs() < 1e-6);
+            }
+            Err(IlpError::Infeasible) => {
+                // Verify by exhaustion that no subset sums to `half`.
+                let n = sizes.len();
+                for mask in 0u32..(1 << n) {
+                    let s: u32 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| sizes[i]).sum();
+                    prop_assert!(s != half, "solver said infeasible but mask {mask:b} sums to {half}");
+                }
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+        }
+    }
+
+    #[test]
+    fn lp_bounds_always_respected(
+        lo in -20.0f64..0.0,
+        hi in 0.0f64..20.0,
+        c in -5.0f64..5.0,
+    ) {
+        let mut m = Model::new("box");
+        let x = m.continuous("x", lo, hi);
+        m.set_objective(Sense::Maximize, c * x);
+        let sol = m.solve().unwrap();
+        prop_assert!(sol.value(x) >= lo - 1e-7 && sol.value(x) <= hi + 1e-7);
+        let expect = if c >= 0.0 { c * hi } else { c * lo };
+        prop_assert!((sol.objective - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,212 @@
+//! AlveoLink: the RoCE-v2 inter-FPGA networking IP model (§4.4).
+//!
+//! AlveoLink gives reliable, lossless, in-order transfers between QSFP28
+//! ports with a ~1 µs round trip and ~5% per-port resource overhead. Its
+//! throughput depends on both the total transfer volume (flow-control
+//! ramp-up; Figure 8) and the packet size (per-packet processing; the §7
+//! example where 64 MB takes 6.53 ms at 64 B packets but 3.96 ms at 128 B).
+//!
+//! The model:
+//!
+//! `time = rtt/2 + ramp + n_packets × max(t_proc(payload), t_wire(payload))`
+//!
+//! * `t_proc(s) = 4.90 ns + 0.0163 ns/B × s` — per-packet pipeline cost,
+//!   fitted exactly to the §7 64 B/128 B measurements (dual-port),
+//! * `t_wire(s) = (s + 32 B header) × 8 / (ports × 100 Gbps)`,
+//! * `ramp = 0.3 ms` — RoCE flow-credit warm-up, which gives Figure 8 its
+//!   gradual rise toward ~90+ Gbps past 100 MB.
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::{Device, Resources};
+
+/// Per-packet processing base cost (ns).
+const PROC_A_NS: f64 = 4.90;
+/// Per-packet processing cost per payload byte (ns/B).
+const PROC_B_NS_PER_BYTE: f64 = 0.016_25;
+/// Link-layer + RoCE header bytes per packet.
+const HEADER_BYTES: f64 = 32.0;
+/// Flow-credit ramp-up charged once per stream (seconds).
+const RAMP_S: f64 = 0.3e-3;
+/// Per-port line rate (bits/s).
+const LINE_RATE_BPS: f64 = 100e9;
+
+/// Resource overhead fractions per QSFP28 port (§5.6): LUT 2.04%,
+/// FF 2.94%, BRAM 2.06%, DSP 0%, URAM 0%.
+pub const OVERHEAD_FRACTIONS: [(f64, f64, f64, f64, f64); 1] =
+    [(0.0204, 0.0294, 0.0206, 0.0, 0.0)];
+
+/// An AlveoLink endpoint configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlveoLink {
+    /// Number of bonded QSFP28 ports (1 or 2 on the U55C).
+    pub ports: usize,
+    /// Payload bytes per packet (minimum transfer unit).
+    pub packet_bytes: u32,
+}
+
+impl Default for AlveoLink {
+    /// One port, 1408 B packets (RoCE-friendly MTU payload).
+    fn default() -> Self {
+        Self { ports: 1, packet_bytes: 1408 }
+    }
+}
+
+impl AlveoLink {
+    /// Endpoint with an explicit port count and packet size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0` or `packet_bytes == 0`.
+    pub fn new(ports: usize, packet_bytes: u32) -> Self {
+        assert!(ports > 0, "need at least one port");
+        assert!(packet_bytes > 0, "packet size must be positive");
+        Self { ports, packet_bytes }
+    }
+
+    /// Round-trip latency in microseconds (paper: 1 µs between two FPGAs).
+    pub fn rtt_us(&self) -> f64 {
+        1.0
+    }
+
+    /// Per-packet time in nanoseconds: processing/wire, whichever binds.
+    fn per_packet_ns(&self) -> f64 {
+        let s = self.packet_bytes as f64;
+        let proc = PROC_A_NS + PROC_B_NS_PER_BYTE * s;
+        let wire = (s + HEADER_BYTES) * 8.0 / (self.ports as f64 * LINE_RATE_BPS) * 1e9;
+        proc.max(wire)
+    }
+
+    /// One-way time in seconds to stream `bytes` to a directly connected
+    /// FPGA. Zero-byte transfers still pay half a round trip.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        let latency = self.rtt_us() * 1e-6 / 2.0;
+        if bytes == 0 {
+            return latency;
+        }
+        let n_packets = (bytes as f64 / self.packet_bytes as f64).ceil();
+        latency + RAMP_S + n_packets * self.per_packet_ns() * 1e-9
+    }
+
+    /// Steady-state serialization time in seconds for `bytes`, excluding
+    /// the one-time flow-credit ramp and connection latency. This is the
+    /// per-block cost the discrete-event simulator charges once a stream is
+    /// warmed up.
+    pub fn steady_state_time_s(&self, bytes: u64) -> f64 {
+        let n_packets = (bytes as f64 / self.packet_bytes as f64).ceil();
+        n_packets * self.per_packet_ns() * 1e-9
+    }
+
+    /// Achieved throughput in Gbps for a transfer of `bytes` (Figure 8).
+    pub fn throughput_gbps(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 * 8.0 / self.transfer_time_s(bytes) / 1e9
+    }
+
+    /// Samples the Figure 8 curve: `(transfer bytes, achieved Gbps)` pairs
+    /// over the paper's 0–125 MB x-axis.
+    pub fn throughput_curve(&self, points: usize) -> Vec<(u64, f64)> {
+        let max = 125_000_000u64;
+        (1..=points)
+            .map(|i| {
+                let b = max * i as u64 / points as u64;
+                (b, self.throughput_gbps(b))
+            })
+            .collect()
+    }
+
+    /// Asymptotic (large-transfer) throughput in Gbps.
+    pub fn peak_throughput_gbps(&self) -> f64 {
+        self.packet_bytes as f64 * 8.0 / self.per_packet_ns()
+    }
+
+    /// AlveoLink resource overhead on a given device, per port used
+    /// (§5.6: ~2-3% of LUT/FF/BRAM, no DSP/URAM).
+    pub fn resource_overhead_for(device: &Device, ports: usize) -> Resources {
+        let (lut, ff, bram, dsp, uram) = OVERHEAD_FRACTIONS[0];
+        let r = device.resources();
+        let scale = |v: u64, f: f64| ((v as f64) * f).ceil() as u64;
+        Resources::new(
+            scale(r.lut, lut),
+            scale(r.ff, ff),
+            scale(r.bram, bram),
+            scale(r.dsp, dsp),
+            scale(r.uram, uram),
+        ) * ports as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section7_packet_example() {
+        // "a data transfer of 64 MB with packet size of 64 bytes takes a
+        // total of 6.53 ms, while the same volume with a packet size of 128
+        // bytes takes a total of 3.96 ms" — dual-port endpoint.
+        let link64 = AlveoLink::new(2, 64);
+        let link128 = AlveoLink::new(2, 128);
+        let bytes = 64 << 20;
+        let t64 = link64.transfer_time_s(bytes) * 1e3;
+        let t128 = link128.transfer_time_s(bytes) * 1e3;
+        assert!((t64 - 6.53).abs() < 0.1, "64B packets: {t64:.2} ms");
+        assert!((t128 - 3.96).abs() < 0.1, "128B packets: {t128:.2} ms");
+    }
+
+    #[test]
+    fn figure8_shape() {
+        // Throughput rises with transfer size and saturates near the
+        // 90-100 Gbps band.
+        let link = AlveoLink::default();
+        let curve = link.throughput_curve(10);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "throughput must be non-decreasing");
+        }
+        let small = link.throughput_gbps(1 << 20);
+        let large = link.throughput_gbps(125_000_000);
+        assert!(small < 30.0, "1 MB should be ramp-dominated, got {small}");
+        assert!(large > 85.0 && large <= 100.0, "saturation off: {large}");
+    }
+
+    #[test]
+    fn peak_near_line_rate() {
+        let peak = AlveoLink::default().peak_throughput_gbps();
+        assert!(peak > 90.0 && peak < 100.0, "got {peak}");
+    }
+
+    #[test]
+    fn bigger_packets_are_faster_per_byte() {
+        let a = AlveoLink::new(1, 64).transfer_time_s(1 << 24);
+        let b = AlveoLink::new(1, 1024).transfer_time_s(1 << 24);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn zero_bytes_costs_half_rtt() {
+        let link = AlveoLink::default();
+        assert!((link.transfer_time_s(0) - 0.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_matches_section_5_6() {
+        let device = tapacs_fpga::Device::u55c();
+        let o = AlveoLink::resource_overhead_for(&device, 1);
+        let u = o.utilization(&device.resources());
+        assert!((u.lut - 0.0204).abs() < 1e-3);
+        assert!((u.ff - 0.0294).abs() < 1e-3);
+        assert!((u.bram - 0.0206).abs() < 1e-3);
+        assert_eq!(o.dsp, 0);
+        assert_eq!(o.uram, 0);
+        // Two ports double it.
+        let o2 = AlveoLink::resource_overhead_for(&device, 2);
+        assert_eq!(o2.lut, o.lut * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        AlveoLink::new(0, 64);
+    }
+}

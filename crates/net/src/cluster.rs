@@ -1,0 +1,307 @@
+//! Cluster description: server nodes holding rings of FPGAs (§5, §5.7).
+//!
+//! The paper's testbed is two server nodes, each with four Alveo U55C cards
+//! cabled in a ring over QSFP28; nodes talk over a 10 Gbps host Ethernet
+//! link, and crossing nodes stages data dev→host (PCIe), host→host
+//! (10 Gbps), host→dev (PCIe).
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::Device;
+
+use crate::alveolink::AlveoLink;
+use crate::protocol::Protocol;
+use crate::topology::Topology;
+
+/// Global index of an FPGA in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FpgaId(pub usize);
+
+impl FpgaId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A homogeneous multi-node FPGA cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    device: Device,
+    fpgas_per_node: Vec<usize>,
+    intra_topology: Topology,
+    link: AlveoLink,
+    inter_protocol: Protocol,
+    staging_protocol: Protocol,
+}
+
+impl Cluster {
+    /// A cluster of `fpgas_per_node` cards per node, all of the same
+    /// `device` type, cabled intra-node with `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node or an empty node is given.
+    pub fn with_nodes(device: Device, fpgas_per_node: Vec<usize>, topology: Topology) -> Self {
+        assert!(!fpgas_per_node.is_empty(), "cluster needs at least one node");
+        assert!(fpgas_per_node.iter().all(|&n| n > 0), "every node needs at least one FPGA");
+        Self {
+            device,
+            fpgas_per_node,
+            intra_topology: topology,
+            link: AlveoLink::default(),
+            inter_protocol: Protocol::HostEthernet10G,
+            staging_protocol: Protocol::PCIeGen3x16,
+        }
+    }
+
+    /// A single FPGA (the paper's F1 baselines).
+    pub fn single(device: Device) -> Self {
+        Self::with_nodes(device, vec![1], Topology::Ring)
+    }
+
+    /// One node with `n` FPGAs in the given topology (the paper's F2-F4).
+    pub fn single_node(device: Device, n: usize, topology: Topology) -> Self {
+        Self::with_nodes(device, vec![n], topology)
+    }
+
+    /// The paper's testbed: two nodes, each a ring of four U55C cards.
+    pub fn testbed() -> Self {
+        Self::with_nodes(Device::u55c(), vec![4, 4], Topology::Ring)
+    }
+
+    /// Overrides the AlveoLink endpoint configuration.
+    pub fn with_link(mut self, link: AlveoLink) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Total number of FPGAs across all nodes.
+    pub fn total_fpgas(&self) -> usize {
+        self.fpgas_per_node.iter().sum()
+    }
+
+    /// Number of server nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.fpgas_per_node.len()
+    }
+
+    /// The (homogeneous) device model.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Intra-node topology.
+    pub fn topology(&self) -> Topology {
+        self.intra_topology
+    }
+
+    /// The AlveoLink endpoint model used for intra-node hops.
+    pub fn link(&self) -> &AlveoLink {
+        &self.link
+    }
+
+    /// All FPGA ids.
+    pub fn fpgas(&self) -> impl Iterator<Item = FpgaId> {
+        (0..self.total_fpgas()).map(FpgaId)
+    }
+
+    /// Which node an FPGA lives on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_of(&self, f: FpgaId) -> usize {
+        let mut idx = f.index();
+        for (node, &n) in self.fpgas_per_node.iter().enumerate() {
+            if idx < n {
+                return node;
+            }
+            idx -= n;
+        }
+        panic!("FPGA id {} out of range ({} total)", f.index(), self.total_fpgas());
+    }
+
+    /// Index of an FPGA within its node.
+    pub fn local_index(&self, f: FpgaId) -> usize {
+        let node = self.node_of(f);
+        f.index() - self.fpgas_per_node[..node].iter().sum::<usize>()
+    }
+
+    /// Number of FPGAs on the node hosting `f`.
+    fn node_size(&self, f: FpgaId) -> usize {
+        self.fpgas_per_node[self.node_of(f)]
+    }
+
+    /// The topology-aware communication distance used in the partitioner's
+    /// cost function (equation 2): intra-node hops at λ = 1, with the
+    /// 10 Gbps host link's λ charged for crossing nodes (plus the intra
+    /// legs to each node's gateway card).
+    pub fn dist(&self, a: FpgaId, b: FpgaId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (na, nb) = (self.node_of(a), self.node_of(b));
+        if na == nb {
+            self.intra_topology
+                .dist(self.local_index(a), self.local_index(b), self.node_size(a))
+                as f64
+        } else {
+            let gateway_a =
+                self.intra_topology.dist(self.local_index(a), 0, self.node_size(a)) as f64;
+            let gateway_b =
+                self.intra_topology.dist(self.local_index(b), 0, self.node_size(b)) as f64;
+            gateway_a + gateway_b + self.inter_protocol.lambda() * na.abs_diff(nb) as f64
+        }
+    }
+
+    /// One-way time in seconds to move `bytes` from `a` to `b`.
+    ///
+    /// Intra-node transfers stream over AlveoLink (cut-through forwarding:
+    /// one serialization plus half an RTT per extra hop). Inter-node
+    /// transfers pay the §5.7 staging pipeline: device→host PCIe, a host
+    /// MPI hop over 10 Gbps Ethernet, then host→device PCIe.
+    pub fn transfer_time_s(&self, a: FpgaId, b: FpgaId, bytes: u64) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (na, nb) = (self.node_of(a), self.node_of(b));
+        if na == nb {
+            let hops = self
+                .intra_topology
+                .dist(self.local_index(a), self.local_index(b), self.node_size(a));
+            self.link.transfer_time_s(bytes)
+                + hops.saturating_sub(1) as f64 * self.link.rtt_us() * 1e-6 / 2.0
+        } else {
+            // Staging: device → host, host → host, host → device, plus the
+            // fixed host-side orchestration cost (buffer registration, MPI
+            // rendezvous) that §5.7 blames for the poor inter-node latency.
+            const HOST_STAGING_S: f64 = 1.0e-3;
+            HOST_STAGING_S
+                + 2.0 * self.staging_protocol.transfer_time_s(bytes)
+                + self.inter_protocol.transfer_time_s(bytes) * na.abs_diff(nb) as f64
+        }
+    }
+
+    /// Aggregate inter-FPGA bandwidth available per QSFP28 port (Gbps).
+    pub fn port_bandwidth_gbps(&self) -> f64 {
+        Protocol::Ethernet100G.bandwidth_gbps()
+    }
+
+    /// One-way *latency* in seconds between two FPGAs (excluding
+    /// serialization): half an RTT per hop intra-node, staged host latency
+    /// across nodes. Used by the block-level simulator.
+    pub fn link_latency_s(&self, a: FpgaId, b: FpgaId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (na, nb) = (self.node_of(a), self.node_of(b));
+        if na == nb {
+            let hops = self
+                .intra_topology
+                .dist(self.local_index(a), self.local_index(b), self.node_size(a));
+            hops as f64 * self.link.rtt_us() * 1e-6 / 2.0
+        } else {
+            self.staging_protocol.rtt_us() * 1e-6
+                + self.inter_protocol.rtt_us() * 1e-6 / 2.0 * na.abs_diff(nb) as f64
+        }
+    }
+
+    /// Steady-state serialization time in seconds for one block of `bytes`
+    /// between two FPGAs, excluding latency and stream warm-up. Intra-node
+    /// this is AlveoLink's per-packet pipeline; across nodes the 10 Gbps
+    /// host link binds (the PCIe staging stages overlap with it).
+    pub fn steady_serialization_s(&self, a: FpgaId, b: FpgaId, bytes: u64) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if self.node_of(a) == self.node_of(b) {
+            self.link.steady_state_time_s(bytes)
+        } else {
+            let slowest = self
+                .inter_protocol
+                .bandwidth_gbps()
+                .min(self.staging_protocol.bandwidth_gbps());
+            bytes as f64 * 8.0 / (slowest * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shape() {
+        let c = Cluster::testbed();
+        assert_eq!(c.total_fpgas(), 8);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.node_of(FpgaId(3)), 0);
+        assert_eq!(c.node_of(FpgaId(4)), 1);
+        assert_eq!(c.local_index(FpgaId(5)), 1);
+    }
+
+    #[test]
+    fn ring_distance_within_node() {
+        let c = Cluster::single_node(Device::u55c(), 4, Topology::Ring);
+        assert_eq!(c.dist(FpgaId(0), FpgaId(3)), 1.0); // ring wrap
+        assert_eq!(c.dist(FpgaId(0), FpgaId(2)), 2.0);
+        assert_eq!(c.dist(FpgaId(1), FpgaId(1)), 0.0);
+    }
+
+    #[test]
+    fn cross_node_distance_dominated_by_host_link() {
+        let c = Cluster::testbed();
+        let intra = c.dist(FpgaId(0), FpgaId(2));
+        let inter = c.dist(FpgaId(0), FpgaId(4));
+        assert!(inter >= Protocol::HostEthernet10G.lambda());
+        assert!(inter > intra);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let c = Cluster::testbed();
+        for a in c.fpgas() {
+            for b in c.fpgas() {
+                assert_eq!(c.dist(a, b), c.dist(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_time_cross_node_much_slower() {
+        let c = Cluster::testbed();
+        let bytes = 100 << 20; // 100 MB
+        let intra = c.transfer_time_s(FpgaId(0), FpgaId(1), bytes);
+        let inter = c.transfer_time_s(FpgaId(0), FpgaId(4), bytes);
+        // Paper: the host path is ~10× slower than the FPGA-to-FPGA path.
+        assert!(inter / intra > 5.0, "inter {inter}, intra {intra}");
+    }
+
+    #[test]
+    fn extra_hops_add_latency_only() {
+        let c = Cluster::single_node(Device::u55c(), 4, Topology::DaisyChain);
+        let bytes = 1 << 20;
+        let one = c.transfer_time_s(FpgaId(0), FpgaId(1), bytes);
+        let three = c.transfer_time_s(FpgaId(0), FpgaId(3), bytes);
+        assert!(three > one);
+        assert!(three - one < 2e-6, "cut-through should add only hop latency");
+    }
+
+    #[test]
+    fn same_fpga_is_free() {
+        let c = Cluster::testbed();
+        assert_eq!(c.transfer_time_s(FpgaId(2), FpgaId(2), 1 << 30), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_id_panics() {
+        Cluster::testbed().node_of(FpgaId(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FPGA")]
+    fn empty_node_rejected() {
+        Cluster::with_nodes(Device::u55c(), vec![4, 0], Topology::Ring);
+    }
+}

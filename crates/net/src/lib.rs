@@ -1,0 +1,30 @@
+//! Network substrate for the TAPA-CS reproduction.
+//!
+//! Models everything the TAPA-CS partitioner and simulator need to know
+//! about the cluster interconnect:
+//!
+//! * [`Topology`] — the six network shapes of Figure 6 with the
+//!   topology-aware `dist()` metric of §4.3 (equation 3 and the ring
+//!   variant),
+//! * [`Protocol`] — transfer media with the paper's `λ` cost scaling
+//!   (100 Gbps Ethernet baseline, PCIe Gen3x16 at 12.5×, the 10 Gbps
+//!   host link used across server nodes), plus the Table 9 bandwidth
+//!   hierarchy and the Table 10 prior-work comparison,
+//! * [`AlveoLink`] — the RoCE-v2 networking IP: packet-size-dependent
+//!   throughput (Figure 8, §7's 64 B vs 128 B example), 1 µs round trip and
+//!   the ~5% per-port resource overhead of §5.6,
+//! * [`Cluster`] — nodes × FPGAs with intra-node topology and inter-node
+//!   host staging (dev→host, host→host over 10 Gbps, host→dev), §5.7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alveolink;
+pub mod cluster;
+pub mod protocol;
+pub mod topology;
+
+pub use alveolink::AlveoLink;
+pub use cluster::{Cluster, FpgaId};
+pub use protocol::{BandwidthTier, PriorStack, Protocol};
+pub use topology::Topology;

@@ -1,0 +1,179 @@
+//! Transfer media, `λ` cost scaling, and the paper's bandwidth tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A physical transfer medium between devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// QSFP28 Ethernet (AlveoLink / RoCE v2), 100 Gbps per port — the
+    /// paper's baseline medium (λ = 1).
+    Ethernet100G,
+    /// PCIe Gen3x16 peer-to-peer DMA. The paper scales its cost by 12.5×
+    /// relative to Ethernet (§4.3) and cites a 1250 ns round trip (§6.2).
+    PCIeGen3x16,
+    /// The 10 Gbps host-to-host Ethernet link between server nodes (§5.7).
+    HostEthernet10G,
+}
+
+impl Protocol {
+    /// Effective bandwidth in Gbps (bits).
+    ///
+    /// Note the PCIe entry is the *staging bandwidth* of a Gen3x16 link
+    /// (~100 Gbps effective); the paper's "12.5× faster" claim about
+    /// AlveoLink vs PCIe is the partitioner's [`Protocol::lambda`] cost
+    /// factor, which also folds in latency and orchestration overheads.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        match self {
+            Protocol::Ethernet100G => 100.0,
+            Protocol::PCIeGen3x16 => 100.0,
+            Protocol::HostEthernet10G => 10.0,
+        }
+    }
+
+    /// The λ scaling factor of equation (2): cost multiplier relative to
+    /// the 100 Gbps Ethernet baseline.
+    pub fn lambda(&self) -> f64 {
+        match self {
+            Protocol::Ethernet100G => 1.0,
+            Protocol::PCIeGen3x16 => 12.5,
+            Protocol::HostEthernet10G => 10.0,
+        }
+    }
+
+    /// Round-trip latency in microseconds.
+    pub fn rtt_us(&self) -> f64 {
+        match self {
+            Protocol::Ethernet100G => 1.0,
+            Protocol::PCIeGen3x16 => 1.25,
+            Protocol::HostEthernet10G => 50.0,
+        }
+    }
+
+    /// Time in seconds to move `bytes` over this medium once (half a round
+    /// trip of latency plus serialization).
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.rtt_us() * 1e-6 / 2.0 + bytes as f64 * 8.0 / (self.bandwidth_gbps() * 1e9)
+    }
+}
+
+/// One row of the Table 9 bandwidth hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTier {
+    /// Transfer tier name.
+    pub tier: &'static str,
+    /// Bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// The unit string the paper uses for this row.
+    pub paper_figure: &'static str,
+}
+
+/// Table 9: the hierarchy of data-transfer bandwidths in multi-FPGA design.
+pub fn bandwidth_hierarchy() -> Vec<BandwidthTier> {
+    vec![
+        BandwidthTier {
+            tier: "On-chip (SRAM)",
+            bytes_per_sec: 35e12,
+            paper_figure: "35TBps",
+        },
+        BandwidthTier {
+            tier: "Off-Chip (HBM)",
+            bytes_per_sec: 460e9,
+            paper_figure: "460GBps",
+        },
+        BandwidthTier {
+            tier: "Inter-FPGA",
+            bytes_per_sec: 100e9 / 8.0,
+            paper_figure: "100Gbps",
+        },
+        BandwidthTier {
+            tier: "Inter-Node",
+            bytes_per_sec: 10e9 / 8.0,
+            paper_figure: "10Gbps",
+        },
+    ]
+}
+
+/// Who initiates transfers in a communication stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Orchestration {
+    /// The host CPU coordinates transfers (MPI-like primitives).
+    Host,
+    /// The device initiates transfers directly (streaming-friendly).
+    Device,
+}
+
+/// One row of Table 10: prior inter-FPGA communication stacks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorStack {
+    /// Project name.
+    pub name: &'static str,
+    /// Transfer orchestration.
+    pub orchestration: Orchestration,
+    /// FPGA resource overhead in percent (`None` = not reported).
+    pub resource_overhead_pct: Option<f64>,
+    /// Achieved performance in GBps.
+    pub performance_gbps: f64,
+}
+
+/// Table 10: comparison of prior communication stacks and AlveoLink.
+pub fn prior_stacks() -> Vec<PriorStack> {
+    use Orchestration::{Device, Host};
+    vec![
+        PriorStack { name: "TMD-MPI", orchestration: Host, resource_overhead_pct: Some(26.0), performance_gbps: 10.0 },
+        PriorStack { name: "Galapagos", orchestration: Device, resource_overhead_pct: Some(11.5), performance_gbps: 10.0 },
+        PriorStack { name: "SMI", orchestration: Device, resource_overhead_pct: Some(2.0), performance_gbps: 40.0 },
+        PriorStack { name: "EasyNet", orchestration: Device, resource_overhead_pct: Some(10.0), performance_gbps: 90.0 },
+        PriorStack { name: "ZRLMPI", orchestration: Host, resource_overhead_pct: None, performance_gbps: 10.0 },
+        PriorStack { name: "ACCL", orchestration: Host, resource_overhead_pct: Some(16.0), performance_gbps: 80.0 },
+        PriorStack { name: "AlveoLink", orchestration: Device, resource_overhead_pct: Some(5.0), performance_gbps: 90.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_matches_paper() {
+        assert_eq!(Protocol::Ethernet100G.lambda(), 1.0);
+        assert_eq!(Protocol::PCIeGen3x16.lambda(), 12.5);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_volume() {
+        let p = Protocol::Ethernet100G;
+        let t1 = p.transfer_time_s(1 << 20);
+        let t2 = p.transfer_time_s(1 << 21);
+        assert!(t2 > t1);
+        // 1 GB over 100 Gbps ≈ 80 ms.
+        let t = p.transfer_time_s(1_000_000_000);
+        assert!((t - 0.08).abs() < 0.001, "got {t}");
+    }
+
+    #[test]
+    fn host_link_is_order_of_magnitude_slower() {
+        let eth = Protocol::Ethernet100G.transfer_time_s(100 << 20);
+        let host = Protocol::HostEthernet10G.transfer_time_s(100 << 20);
+        assert!(host / eth > 9.0 && host / eth < 11.0);
+    }
+
+    #[test]
+    fn table9_ordering() {
+        let tiers = bandwidth_hierarchy();
+        assert_eq!(tiers.len(), 4);
+        for w in tiers.windows(2) {
+            assert!(w[0].bytes_per_sec > w[1].bytes_per_sec);
+        }
+        assert_eq!(tiers[0].tier, "On-chip (SRAM)");
+    }
+
+    #[test]
+    fn table10_alveolink_wins_on_overhead_at_90gbps() {
+        let rows = prior_stacks();
+        let alveo = rows.iter().find(|r| r.name == "AlveoLink").unwrap();
+        let easynet = rows.iter().find(|r| r.name == "EasyNet").unwrap();
+        assert_eq!(alveo.performance_gbps, easynet.performance_gbps);
+        // "AlveoLink requires about half of the on-board resources" (§6.1).
+        assert!(alveo.resource_overhead_pct.unwrap() <= easynet.resource_overhead_pct.unwrap() / 2.0);
+    }
+}

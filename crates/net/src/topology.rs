@@ -1,0 +1,195 @@
+//! Network topologies and the topology-aware distance metric (§4.3).
+//!
+//! The inter-FPGA floorplanner's communication cost is
+//! `Σ e.width × dist(F_i, F_j) × λ` where `dist` depends on how the FPGAs
+//! are cabled (Figure 6). Distances count link hops; `dist(i, i) = 0`.
+
+use serde::{Deserialize, Serialize};
+
+/// The six cluster topologies of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// Linear chain: `dist = |i - j|` (equation 3).
+    DaisyChain,
+    /// Bidirectional ring: `dist = min(|i-j|, n - |i-j|)`.
+    Ring,
+    /// Shared bus: any pair is one hop apart.
+    Bus,
+    /// Star around device 0: leaves are two hops apart.
+    Star,
+    /// 2-D mesh with the given column count; devices are laid out
+    /// row-major and distance is Manhattan.
+    Mesh {
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Binary hypercube: distance is the Hamming distance of device ids.
+    Hypercube,
+}
+
+impl Topology {
+    /// Link-hop distance between devices `i` and `j` in a cluster of
+    /// `total_num` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range, if a mesh has zero columns, or
+    /// if a hypercube cluster size is not a power of two.
+    pub fn dist(&self, i: usize, j: usize, total_num: usize) -> usize {
+        assert!(i < total_num && j < total_num, "device id out of range");
+        if i == j {
+            return 0;
+        }
+        match *self {
+            Topology::DaisyChain => i.abs_diff(j),
+            Topology::Ring => {
+                let d = i.abs_diff(j);
+                d.min(total_num - d)
+            }
+            Topology::Bus => 1,
+            Topology::Star => {
+                if i == 0 || j == 0 {
+                    1
+                } else {
+                    2
+                }
+            }
+            Topology::Mesh { cols } => {
+                assert!(cols > 0, "mesh must have at least one column");
+                let (ri, ci) = (i / cols, i % cols);
+                let (rj, cj) = (j / cols, j % cols);
+                ri.abs_diff(rj) + ci.abs_diff(cj)
+            }
+            Topology::Hypercube => {
+                assert!(
+                    total_num.is_power_of_two(),
+                    "hypercube requires a power-of-two cluster"
+                );
+                (i ^ j).count_ones() as usize
+            }
+        }
+    }
+
+    /// The largest pairwise distance in a cluster of `total_num` devices.
+    pub fn diameter(&self, total_num: usize) -> usize {
+        let mut d = 0;
+        for i in 0..total_num {
+            for j in 0..total_num {
+                d = d.max(self.dist(i, j, total_num));
+            }
+        }
+        d
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::DaisyChain => "daisy-chain",
+            Topology::Ring => "ring",
+            Topology::Bus => "bus",
+            Topology::Star => "star",
+            Topology::Mesh { .. } => "mesh",
+            Topology::Hypercube => "hypercube",
+        }
+    }
+
+    /// All topologies at a size that suits a 4-FPGA node (mesh 2×2).
+    pub fn all_for_four() -> [Topology; 6] {
+        [
+            Topology::DaisyChain,
+            Topology::Ring,
+            Topology::Bus,
+            Topology::Star,
+            Topology::Mesh { cols: 2 },
+            Topology::Hypercube,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daisy_chain_matches_equation_3() {
+        let t = Topology::DaisyChain;
+        assert_eq!(t.dist(0, 3, 4), 3);
+        assert_eq!(t.dist(3, 0, 4), 3);
+        assert_eq!(t.dist(1, 2, 4), 1);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let t = Topology::Ring;
+        assert_eq!(t.dist(0, 3, 4), 1); // around the back
+        assert_eq!(t.dist(0, 2, 4), 2);
+        assert_eq!(t.dist(1, 3, 4), 2);
+        assert_eq!(t.dist(0, 7, 8), 1);
+    }
+
+    #[test]
+    fn bus_and_star() {
+        assert_eq!(Topology::Bus.dist(0, 3, 4), 1);
+        assert_eq!(Topology::Star.dist(0, 3, 4), 1);
+        assert_eq!(Topology::Star.dist(2, 3, 4), 2);
+    }
+
+    #[test]
+    fn mesh_manhattan() {
+        let t = Topology::Mesh { cols: 2 };
+        // Layout: 0 1 / 2 3.
+        assert_eq!(t.dist(0, 3, 4), 2);
+        assert_eq!(t.dist(0, 1, 4), 1);
+        assert_eq!(t.dist(1, 2, 4), 2);
+    }
+
+    #[test]
+    fn hypercube_hamming() {
+        let t = Topology::Hypercube;
+        assert_eq!(t.dist(0, 3, 4), 2);
+        assert_eq!(t.dist(0, 7, 8), 3);
+        assert_eq!(t.dist(5, 6, 8), 2);
+    }
+
+    #[test]
+    fn identity_is_zero_for_all() {
+        for t in Topology::all_for_four() {
+            for i in 0..4 {
+                assert_eq!(t.dist(i, i, 4), 0, "{}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_for_all() {
+        for t in Topology::all_for_four() {
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(t.dist(i, j, 4), t.dist(j, i, 4), "{}", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(Topology::DaisyChain.diameter(4), 3);
+        assert_eq!(Topology::Ring.diameter(4), 2);
+        assert_eq!(Topology::Bus.diameter(4), 1);
+        assert_eq!(Topology::Star.diameter(4), 2);
+        assert_eq!(Topology::Mesh { cols: 2 }.diameter(4), 2);
+        assert_eq!(Topology::Hypercube.diameter(4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "device id out of range")]
+    fn out_of_range_rejected() {
+        Topology::Ring.dist(0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_requires_power_of_two() {
+        Topology::Hypercube.dist(0, 1, 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: topology distances are metrics, transfer times are
+//! monotone, cluster bookkeeping is consistent.
+
+use proptest::prelude::*;
+use tapacs_net::{AlveoLink, Cluster, FpgaId, Protocol, Topology};
+use tapacs_fpga::Device;
+
+fn topologies() -> Vec<Topology> {
+    vec![
+        Topology::DaisyChain,
+        Topology::Ring,
+        Topology::Bus,
+        Topology::Star,
+        Topology::Mesh { cols: 2 },
+        Topology::Hypercube,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dist_is_a_metric(size_pow in 1u32..4) {
+        // Power-of-two sizes so the hypercube is defined.
+        let n = 1usize << size_pow;
+        for t in topologies() {
+            if matches!(t, Topology::Mesh { cols } if n % cols != 0) {
+                continue;
+            }
+            for i in 0..n {
+                prop_assert_eq!(t.dist(i, i, n), 0, "{} identity", t.name());
+                for j in 0..n {
+                    let d = t.dist(i, j, n);
+                    prop_assert_eq!(d, t.dist(j, i, n), "{} symmetry", t.name());
+                    if i != j {
+                        prop_assert!(d >= 1);
+                    }
+                    // Triangle inequality.
+                    for k in 0..n {
+                        prop_assert!(
+                            d <= t.dist(i, k, n) + t.dist(k, j, n),
+                            "{} triangle {i},{j},{k}", t.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for p in [Protocol::Ethernet100G, Protocol::PCIeGen3x16, Protocol::HostEthernet10G] {
+            prop_assert!(p.transfer_time_s(lo) <= p.transfer_time_s(hi));
+        }
+        let link = AlveoLink::default();
+        prop_assert!(link.transfer_time_s(lo) <= link.transfer_time_s(hi));
+        prop_assert!(link.steady_state_time_s(lo) <= link.steady_state_time_s(hi));
+    }
+
+    #[test]
+    fn alveolink_throughput_never_exceeds_line_rate(
+        bytes in 1u64..200_000_000,
+        ports in 1usize..3,
+        packet in 64u32..9000,
+    ) {
+        let link = AlveoLink::new(ports, packet);
+        let gbps = link.throughput_gbps(bytes);
+        prop_assert!(gbps >= 0.0);
+        prop_assert!(gbps <= 100.0 * ports as f64 + 1e-9, "{gbps} Gbps on {ports} ports");
+    }
+
+    #[test]
+    fn cluster_node_accounting(n1 in 1usize..5, n2 in 1usize..5) {
+        let c = Cluster::with_nodes(Device::u55c(), vec![n1, n2], Topology::Ring);
+        prop_assert_eq!(c.total_fpgas(), n1 + n2);
+        let mut per_node = [0usize; 2];
+        for f in c.fpgas() {
+            per_node[c.node_of(f)] += 1;
+            prop_assert!(c.local_index(f) < [n1, n2][c.node_of(f)]);
+        }
+        prop_assert_eq!(per_node, [n1, n2]);
+        // dist symmetric and zero on the diagonal.
+        for a in c.fpgas() {
+            prop_assert_eq!(c.dist(a, a), 0.0);
+            for b in c.fpgas() {
+                prop_assert_eq!(c.dist(a, b), c.dist(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_node_transfers_never_beat_intra_node(bytes in 1u64..50_000_000) {
+        let c = Cluster::testbed();
+        let intra = c.transfer_time_s(FpgaId(0), FpgaId(1), bytes);
+        let inter = c.transfer_time_s(FpgaId(0), FpgaId(4), bytes);
+        prop_assert!(inter >= intra, "inter {inter} < intra {intra}");
+    }
+}

@@ -1,0 +1,333 @@
+//! The discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use tapacs_graph::{TaskGraph, TaskId, TaskKind};
+use tapacs_net::Cluster;
+
+use crate::metrics::SimReport;
+use crate::placement::Placement;
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Progress stopped before every task finished. Carries the stall time
+    /// and the names of unfinished tasks (bounded to the first 16).
+    Deadlock {
+        /// Simulated time at which no further event existed.
+        time_s: f64,
+        /// Names of unfinished tasks.
+        stuck_tasks: Vec<String>,
+    },
+    /// The inputs are structurally unusable (bad frequency, empty graph…).
+    InvalidInput(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time_s, stuck_tasks } => write!(
+                f,
+                "deadlock at t={time_s:.6}s; stuck tasks: {}",
+                stuck_tasks.join(", ")
+            ),
+            SimError::InvalidInput(msg) => write!(f, "invalid simulation input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A task firing completes.
+    Finish(usize),
+    /// A network block arrives at the consumer side of a FIFO.
+    Arrive(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, seq).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs the block-level simulation of a placed design.
+///
+/// # Errors
+///
+/// * [`SimError::InvalidInput`] for empty graphs, non-positive frequencies
+///   or a placement that does not cover the graph.
+/// * [`SimError::Deadlock`] when the dataflow stalls (mismatched block
+///   counts, undersized FIFOs around a cycle, …).
+pub fn simulate(
+    graph: &TaskGraph,
+    placement: &Placement,
+    cluster: &Cluster,
+) -> Result<SimReport, SimError> {
+    if graph.num_tasks() == 0 {
+        return Err(SimError::InvalidInput("graph has no tasks".into()));
+    }
+    if placement.fpga_of_task.len() != graph.num_tasks() {
+        return Err(SimError::InvalidInput(format!(
+            "placement covers {} tasks, graph has {}",
+            placement.fpga_of_task.len(),
+            graph.num_tasks()
+        )));
+    }
+    if placement.num_fpgas() > cluster.total_fpgas() {
+        return Err(SimError::InvalidInput(format!(
+            "placement references {} FPGAs, cluster has {}",
+            placement.num_fpgas(),
+            cluster.total_fpgas()
+        )));
+    }
+    for (i, &f) in placement.freq_mhz.iter().enumerate() {
+        if !(f > 0.0) {
+            return Err(SimError::InvalidInput(format!("FPGA {i} has frequency {f} MHz")));
+        }
+    }
+    for &f in &placement.fpga_of_task {
+        if f >= placement.num_fpgas() {
+            return Err(SimError::InvalidInput(format!("task assigned to unknown FPGA {f}")));
+        }
+    }
+
+    let n_tasks = graph.num_tasks();
+    let n_fifos = graph.num_fifos();
+
+    let mut running = vec![false; n_tasks];
+    let mut blocks_done = vec![0u64; n_tasks];
+    // Blocks ready at the consumer side (cycles may seed initial tokens).
+    let mut occupancy: Vec<usize> =
+        graph.fifos().map(|(_, f)| f.initial_blocks).collect();
+    // Blocks in flight over the network (count toward producer-side fill).
+    let mut in_flight = vec![0usize; n_fifos];
+
+    let mut hbm_free_at: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut link_free_at: HashMap<(usize, usize), f64> = HashMap::new();
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let mut report = SimReport {
+        makespan_s: 0.0,
+        total_events: 0,
+        total_firings: 0,
+        task_busy_s: vec![0.0; n_tasks],
+        fpga_busy_s: vec![0.0; placement.num_fpgas()],
+        fpga_last_finish_s: vec![0.0; placement.num_fpgas()],
+        inter_fpga_bytes: 0,
+        inter_node_bytes: 0,
+    };
+
+    let hbm = cluster.device().hbm().clone();
+
+    // Attempts to start task `t` at time `now`; returns true if it fired.
+    let try_fire = |t: usize,
+                    now: f64,
+                    running: &mut Vec<bool>,
+                    blocks_done: &[u64],
+                    occupancy: &mut Vec<usize>,
+                    in_flight: &[usize],
+                    hbm_free_at: &mut HashMap<(usize, usize), f64>,
+                    heap: &mut BinaryHeap<Event>,
+                    seq: &mut u64,
+                    report: &mut SimReport|
+     -> bool {
+        let tid = TaskId::from_index(t);
+        let task = graph.task(tid);
+        if running[t] || blocks_done[t] >= task.total_blocks {
+            return false;
+        }
+        let need = task.consume_per_firing as usize;
+        // Inputs available?
+        for &f in graph.in_fifos(tid) {
+            if occupancy[f.index()] < need {
+                return false;
+            }
+        }
+        // Output space available?
+        let produce = task.produce_per_firing as usize;
+        for &f in graph.out_fifos(tid) {
+            let fifo = graph.fifo(f);
+            if occupancy[f.index()] + in_flight[f.index()] + produce > fifo.depth_blocks {
+                return false;
+            }
+        }
+        // Consume inputs now; upstream space frees immediately.
+        for &f in graph.in_fifos(tid) {
+            occupancy[f.index()] -= need;
+        }
+        let freq_hz = placement.task_freq_mhz(tid) * 1e6;
+        let compute_s = task.cycles_per_block as f64 / freq_hz;
+        let mut finish = now + compute_s;
+        // External-memory service, serialized per channel.
+        if let TaskKind::HbmRead { channel, port_width_bits, buffer_bytes }
+        | TaskKind::HbmWrite { channel, port_width_bits, buffer_bytes } = task.kind
+        {
+            let bytes = if matches!(task.kind, TaskKind::HbmRead { .. }) {
+                graph
+                    .out_fifos(tid)
+                    .first()
+                    .map(|&f| graph.fifo(f).block_bytes)
+                    .unwrap_or(0)
+            } else {
+                graph
+                    .in_fifos(tid)
+                    .first()
+                    .map(|&f| graph.fifo(f).block_bytes * task.consume_per_firing)
+                    .unwrap_or(0)
+            };
+            if bytes > 0 {
+                let gbps = hbm.effective_port_gbps(port_width_bits, buffer_bytes);
+                let mem_s = bytes as f64 / (gbps * 1e9);
+                let fpga = placement.fpga_of_task[t];
+                let free = hbm_free_at.entry((fpga, channel)).or_insert(0.0);
+                let start = free.max(now);
+                *free = start + mem_s;
+                finish = finish.max(start + mem_s);
+            }
+        }
+        running[t] = true;
+        let busy = finish - now;
+        report.task_busy_s[t] += busy;
+        report.fpga_busy_s[placement.fpga_of_task[t]] += busy;
+        *seq += 1;
+        heap.push(Event { time: finish, seq: *seq, kind: EventKind::Finish(t) });
+        true
+    };
+
+    // Seed: try to fire everything at t = 0.
+    for t in 0..n_tasks {
+        try_fire(
+            t,
+            0.0,
+            &mut running,
+            &blocks_done,
+            &mut occupancy,
+            &in_flight,
+            &mut hbm_free_at,
+            &mut heap,
+            &mut seq,
+            &mut report,
+        );
+    }
+
+    let mut now = 0.0f64;
+    while let Some(ev) = heap.pop() {
+        now = ev.time;
+        report.total_events += 1;
+        // Tasks whose firing preconditions may have changed.
+        let mut worklist: Vec<usize> = Vec::new();
+        match ev.kind {
+            EventKind::Finish(t) => {
+                let tid = TaskId::from_index(t);
+                running[t] = false;
+                blocks_done[t] += 1;
+                report.total_firings += 1;
+                let fpga = placement.fpga_of_task[t];
+                report.fpga_last_finish_s[fpga] = report.fpga_last_finish_s[fpga].max(now);
+                // Deliver outputs.
+                let produce = graph.task(tid).produce_per_firing as usize;
+                for &f in graph.out_fifos(tid) {
+                    let fifo = graph.fifo(f);
+                    let (a, b) = (placement.fpga(fifo.src), placement.fpga(fifo.dst));
+                    if a == b {
+                        occupancy[f.index()] += produce;
+                        worklist.push(fifo.dst.index());
+                    } else {
+                        let ser = cluster.steady_serialization_s(a, b, fifo.block_bytes);
+                        let lat = cluster.link_latency_s(a, b);
+                        let key = (a.index(), b.index());
+                        for _ in 0..produce {
+                            in_flight[f.index()] += 1;
+                            let free = link_free_at.entry(key).or_insert(0.0);
+                            let start = free.max(now);
+                            *free = start + ser;
+                            if cluster.node_of(a) == cluster.node_of(b) {
+                                report.inter_fpga_bytes += fifo.block_bytes;
+                            } else {
+                                report.inter_node_bytes += fifo.block_bytes;
+                            }
+                            seq += 1;
+                            heap.push(Event {
+                                time: start + ser + lat,
+                                seq,
+                                kind: EventKind::Arrive(f.index()),
+                            });
+                        }
+                    }
+                }
+                // The task may fire again; upstream producers gained space
+                // when inputs were consumed at fire time, so poke them too.
+                worklist.push(t);
+                for &f in graph.in_fifos(tid) {
+                    worklist.push(graph.fifo(f).src.index());
+                }
+            }
+            EventKind::Arrive(f) => {
+                in_flight[f] -= 1;
+                occupancy[f] += 1;
+                let fifo = graph.fifo(tapacs_graph::FifoId::from_index(f));
+                worklist.push(fifo.dst.index());
+                // Space freed on the producer side.
+                worklist.push(fifo.src.index());
+            }
+        }
+        for t in worklist {
+            // Keep trying while the task can fire back-to-back at this
+            // instant (it cannot: firing marks it running). One attempt.
+            try_fire(
+                t,
+                now,
+                &mut running,
+                &blocks_done,
+                &mut occupancy,
+                &in_flight,
+                &mut hbm_free_at,
+                &mut heap,
+                &mut seq,
+                &mut report,
+            );
+        }
+    }
+
+    let unfinished: Vec<String> = graph
+        .tasks()
+        .filter(|(id, t)| blocks_done[id.index()] < t.total_blocks)
+        .map(|(_, t)| t.name.clone())
+        .take(16)
+        .collect();
+    if !unfinished.is_empty() {
+        return Err(SimError::Deadlock { time_s: now, stuck_tasks: unfinished });
+    }
+
+    report.makespan_s = now;
+    Ok(report)
+}

@@ -1,0 +1,35 @@
+//! Discrete-event dataflow simulator.
+//!
+//! The reproduction substitute for executing bitstreams on the paper's
+//! 8-card testbed: a block-level discrete-event simulation of a placed
+//! dataflow design. Tokens are data *blocks* (tens of KB), not RTL cycles —
+//! the paper's end-to-end latencies are throughput/bandwidth phenomena at
+//! that granularity.
+//!
+//! Semantics:
+//!
+//! * every task repeatedly consumes one block from each input FIFO, works
+//!   for `cycles_per_block / f_FPGA` seconds, and pushes one block to each
+//!   output FIFO, until it has completed `total_blocks` rounds;
+//! * HBM reader/writer tasks additionally occupy their bound HBM channel
+//!   for `block_bytes / effective_bandwidth` (port-width/buffer efficiency
+//!   per [`tapacs_fpga::HbmModel`]), and accesses on the same channel
+//!   serialize;
+//! * FIFOs are bounded (back-pressure); a FIFO whose endpoints were placed
+//!   on different FPGAs becomes a network channel: blocks arrive after the
+//!   cluster's link latency, and the directed link serializes block
+//!   transfers at AlveoLink steady-state bandwidth (intra-node) or the
+//!   staged 10 Gbps host path (inter-node);
+//! * the run ends when every task finished, or reports a deadlock with the
+//!   set of stuck tasks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod metrics;
+mod placement;
+
+pub use engine::{simulate, SimError};
+pub use metrics::SimReport;
+pub use placement::Placement;

@@ -1,0 +1,46 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics collected by a completed simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end latency in seconds (time of the last completion).
+    pub makespan_s: f64,
+    /// Number of discrete events processed.
+    pub total_events: u64,
+    /// Number of task firings.
+    pub total_firings: u64,
+    /// Busy seconds per task (indexed by task id).
+    pub task_busy_s: Vec<f64>,
+    /// Aggregate busy task-seconds per FPGA.
+    pub fpga_busy_s: Vec<f64>,
+    /// Time the last task on each FPGA finished.
+    pub fpga_last_finish_s: Vec<f64>,
+    /// Bytes moved between FPGAs on the same node.
+    pub inter_fpga_bytes: u64,
+    /// Bytes moved between FPGAs on different nodes (staged via hosts).
+    pub inter_node_bytes: u64,
+}
+
+impl SimReport {
+    /// Mean idle fraction of an FPGA's tasks: `1 - busy / (makespan × n)`
+    /// where `n` is the number of tasks placed there. A coarse signal for
+    /// the paper's "idle PE" discussions (§5.2, §5.5).
+    pub fn fpga_idle_fraction(&self, fpga: usize, tasks_on_fpga: usize) -> f64 {
+        if self.makespan_s <= 0.0 || tasks_on_fpga == 0 {
+            return 0.0;
+        }
+        (1.0 - self.fpga_busy_s[fpga] / (self.makespan_s * tasks_on_fpga as f64)).clamp(0.0, 1.0)
+    }
+
+    /// Speed-up of this run relative to a baseline latency.
+    pub fn speedup_over(&self, baseline_s: f64) -> f64 {
+        baseline_s / self.makespan_s
+    }
+
+    /// Total bytes that crossed any FPGA boundary.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.inter_fpga_bytes + self.inter_node_bytes
+    }
+}

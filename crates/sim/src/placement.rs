@@ -1,0 +1,103 @@
+//! Placement context: which FPGA runs each task and at what frequency.
+
+use serde::{Deserialize, Serialize};
+use tapacs_graph::{TaskGraph, TaskId};
+use tapacs_net::FpgaId;
+
+/// A placed design: task → FPGA assignment plus each FPGA's achieved clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// FPGA index per task (indexed by [`TaskId::index`]).
+    pub fpga_of_task: Vec<usize>,
+    /// Achieved design frequency per FPGA in MHz (indexed by FPGA id).
+    pub freq_mhz: Vec<f64>,
+}
+
+impl Placement {
+    /// Places every task of `graph` on FPGA 0 at `freq_mhz`.
+    pub fn single_fpga(graph: &TaskGraph, freq_mhz: f64) -> Self {
+        Self { fpga_of_task: vec![0; graph.num_tasks()], freq_mhz: vec![freq_mhz] }
+    }
+
+    /// Builds a placement from an explicit assignment and uniform frequency
+    /// across `num_fpgas` devices.
+    pub fn uniform(assignment: Vec<usize>, num_fpgas: usize, freq_mhz: f64) -> Self {
+        Self { fpga_of_task: assignment, freq_mhz: vec![freq_mhz; num_fpgas] }
+    }
+
+    /// FPGA hosting a task.
+    pub fn fpga(&self, task: TaskId) -> FpgaId {
+        FpgaId(self.fpga_of_task[task.index()])
+    }
+
+    /// Clock frequency (MHz) of the FPGA hosting a task.
+    pub fn task_freq_mhz(&self, task: TaskId) -> f64 {
+        self.freq_mhz[self.fpga_of_task[task.index()]]
+    }
+
+    /// Number of FPGAs referenced.
+    pub fn num_fpgas(&self) -> usize {
+        self.freq_mhz.len()
+    }
+
+    /// The design clock — the slowest FPGA's frequency (a multi-FPGA design
+    /// runs each card at its own closure frequency; end-to-end rates are
+    /// bounded by the slowest).
+    pub fn min_freq_mhz(&self) -> f64 {
+        self.freq_mhz.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Validates the placement against a graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task maps to an FPGA with no frequency entry or the
+    /// assignment length mismatches the graph.
+    pub fn assert_covers(&self, graph: &TaskGraph) {
+        assert_eq!(
+            self.fpga_of_task.len(),
+            graph.num_tasks(),
+            "placement must assign every task"
+        );
+        for &f in &self.fpga_of_task {
+            assert!(f < self.freq_mhz.len(), "task assigned to unknown FPGA {f}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_fpga::Resources;
+    use tapacs_graph::Task;
+
+    fn graph2() -> TaskGraph {
+        let mut g = TaskGraph::new("g");
+        g.add_task(Task::compute("a", Resources::ZERO));
+        g.add_task(Task::compute("b", Resources::ZERO));
+        g
+    }
+
+    #[test]
+    fn single_fpga_placement() {
+        let g = graph2();
+        let p = Placement::single_fpga(&g, 250.0);
+        p.assert_covers(&g);
+        assert_eq!(p.num_fpgas(), 1);
+        assert_eq!(p.task_freq_mhz(TaskId::from_index(1)), 250.0);
+    }
+
+    #[test]
+    fn min_freq() {
+        let p = Placement { fpga_of_task: vec![0, 1], freq_mhz: vec![300.0, 220.0] };
+        assert_eq!(p.min_freq_mhz(), 220.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown FPGA")]
+    fn bad_assignment_caught() {
+        let g = graph2();
+        let p = Placement { fpga_of_task: vec![0, 5], freq_mhz: vec![300.0] };
+        p.assert_covers(&g);
+    }
+}

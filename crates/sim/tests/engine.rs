@@ -1,0 +1,259 @@
+//! Behavioral tests of the discrete-event dataflow engine.
+
+use tapacs_fpga::{Device, Resources};
+use tapacs_graph::{Fifo, Task, TaskGraph};
+use tapacs_net::{Cluster, Topology};
+use tapacs_sim::{simulate, Placement, SimError};
+
+fn single_cluster() -> Cluster {
+    Cluster::single(Device::u55c())
+}
+
+fn compute(name: &str, cycles: u64, blocks: u64) -> Task {
+    Task::compute(name, Resources::new(1000, 1000, 1, 1, 0))
+        .with_cycles_per_block(cycles)
+        .with_total_blocks(blocks)
+}
+
+#[test]
+fn single_task_latency_is_cycles_over_freq() {
+    let mut g = TaskGraph::new("one");
+    g.add_task(compute("t", 300_000, 1));
+    let p = Placement::single_fpga(&g, 300.0);
+    let r = simulate(&g, &p, &single_cluster()).unwrap();
+    // 300_000 cycles at 300 MHz = 1 ms.
+    assert!((r.makespan_s - 1e-3).abs() < 1e-12, "got {}", r.makespan_s);
+    assert_eq!(r.total_firings, 1);
+}
+
+#[test]
+fn chain_pipelines_blocks() {
+    // Two stages, each 1000 cycles/block, 100 blocks: pipelined latency is
+    // ~ (100 + 1) × stage_time, not 2 × 100 × stage_time.
+    let mut g = TaskGraph::new("chain");
+    let a = g.add_task(compute("a", 1000, 100));
+    let b = g.add_task(compute("b", 1000, 100));
+    g.add_fifo(Fifo::new("ab", a, b, 512));
+    let p = Placement::single_fpga(&g, 100.0);
+    let r = simulate(&g, &p, &single_cluster()).unwrap();
+    let stage = 1000.0 / 100e6;
+    let expect = 101.0 * stage;
+    assert!((r.makespan_s - expect).abs() < stage * 0.01, "got {}", r.makespan_s);
+}
+
+#[test]
+fn slower_consumer_throttles_producer() {
+    let mut g = TaskGraph::new("throttle");
+    let a = g.add_task(compute("fast", 10, 50));
+    let b = g.add_task(compute("slow", 1000, 50));
+    g.add_fifo(Fifo::new("ab", a, b, 512).with_depth_blocks(2));
+    let p = Placement::single_fpga(&g, 100.0);
+    let r = simulate(&g, &p, &single_cluster()).unwrap();
+    // Dominated by the slow stage: ≈ 50 × 10 µs.
+    let slow_total = 50.0 * 1000.0 / 100e6;
+    assert!(r.makespan_s >= slow_total);
+    assert!(r.makespan_s < slow_total * 1.1);
+}
+
+#[test]
+fn hbm_reader_is_bandwidth_bound() {
+    // A reader streaming 64 MB in 64 KB blocks with a saturating port:
+    // 14.375 GB/s per channel → ~4.67 ms; compute is negligible.
+    let mut g = TaskGraph::new("hbm");
+    let blocks = 1024u64;
+    let r = g.add_task(
+        Task::hbm_read("rd", Resources::ZERO, 0, 512, 128 * 1024)
+            .with_cycles_per_block(1)
+            .with_total_blocks(blocks),
+    );
+    let c = g.add_task(compute("sink", 1, blocks));
+    g.add_fifo(Fifo::new("rc", r, c, 512).with_block_bytes(64 * 1024));
+    let p = Placement::single_fpga(&g, 300.0);
+    let rep = simulate(&g, &p, &single_cluster()).unwrap();
+    let expect = (blocks * 64 * 1024) as f64 / 14.375e9;
+    assert!(
+        (rep.makespan_s - expect).abs() / expect < 0.05,
+        "got {} expect {expect}",
+        rep.makespan_s
+    );
+}
+
+#[test]
+fn narrow_port_halves_hbm_bandwidth() {
+    let run = |width: u32, buffer: u64| {
+        let mut g = TaskGraph::new("hbm");
+        let r = g.add_task(
+            Task::hbm_read("rd", Resources::ZERO, 0, width, buffer)
+                .with_total_blocks(256),
+        );
+        let c = g.add_task(compute("sink", 1, 256));
+        g.add_fifo(Fifo::new("rc", r, c, width).with_block_bytes(64 * 1024));
+        let p = Placement::single_fpga(&g, 300.0);
+        simulate(&g, &p, &single_cluster()).unwrap().makespan_s
+    };
+    let fast = run(512, 128 * 1024);
+    let slow = run(256, 32 * 1024);
+    // §3: the narrow configuration reaches ~51.2% of bank bandwidth.
+    let ratio = slow / fast;
+    assert!((ratio - 1.0 / 0.512).abs() < 0.1, "ratio {ratio}");
+}
+
+#[test]
+fn contended_channel_serializes() {
+    // Two readers on one channel take ~2× the time of two readers on two
+    // channels.
+    let run = |channels: [usize; 2]| {
+        let mut g = TaskGraph::new("contend");
+        for (i, &ch) in channels.iter().enumerate() {
+            let r = g.add_task(
+                Task::hbm_read(format!("rd{i}"), Resources::ZERO, ch, 512, 128 * 1024)
+                    .with_total_blocks(128),
+            );
+            let c = g.add_task(compute(&format!("sink{i}"), 1, 128));
+            g.add_fifo(Fifo::new(format!("f{i}"), r, c, 512).with_block_bytes(64 * 1024));
+        }
+        let p = Placement::single_fpga(&g, 300.0);
+        simulate(&g, &p, &single_cluster()).unwrap().makespan_s
+    };
+    let shared = run([3, 3]);
+    let separate = run([3, 4]);
+    let ratio = shared / separate;
+    assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
+}
+
+#[test]
+fn network_edge_adds_latency_and_serialization() {
+    let cluster = Cluster::single_node(Device::u55c(), 2, Topology::Ring);
+    let mut g = TaskGraph::new("net");
+    let a = g.add_task(compute("a", 100, 16));
+    let b = g.add_task(compute("b", 100, 16));
+    g.add_fifo(Fifo::new("ab", a, b, 512).with_block_bytes(1 << 20));
+    // Same workload on one FPGA vs split across two.
+    let local = simulate(&g, &Placement::single_fpga(&g, 300.0), &cluster).unwrap();
+    let split = simulate(&g, &Placement::uniform(vec![0, 1], 2, 300.0), &cluster).unwrap();
+    assert!(split.makespan_s > local.makespan_s);
+    assert_eq!(split.inter_fpga_bytes, 16 << 20);
+    assert_eq!(local.inter_fpga_bytes, 0);
+    // 16 MB over ~97 Gbps ≈ 1.4 ms floor.
+    assert!(split.makespan_s > 1.3e-3);
+}
+
+#[test]
+fn inter_node_staging_is_ten_x_slower() {
+    let cluster = Cluster::testbed();
+    let mut g = TaskGraph::new("multinode");
+    let a = g.add_task(compute("a", 100, 8));
+    let b = g.add_task(compute("b", 100, 8));
+    g.add_fifo(Fifo::new("ab", a, b, 512).with_block_bytes(8 << 20));
+    let intra = simulate(&g, &Placement::uniform(vec![0, 1], 2, 300.0), &cluster).unwrap();
+    // FPGA 0 is on node 0, FPGA 4 on node 1.
+    let inter =
+        simulate(&g, &Placement { fpga_of_task: vec![0, 4], freq_mhz: vec![300.0; 5] }, &cluster)
+            .unwrap();
+    assert_eq!(inter.inter_node_bytes, 64 << 20);
+    assert_eq!(inter.inter_fpga_bytes, 0);
+    let ratio = inter.makespan_s / intra.makespan_s;
+    assert!(ratio > 5.0, "staging should dominate, ratio {ratio}");
+}
+
+#[test]
+fn deadlock_detected_on_mismatched_block_counts() {
+    let mut g = TaskGraph::new("deadlock");
+    let a = g.add_task(compute("a", 10, 5));
+    let b = g.add_task(compute("b", 10, 10)); // expects 10 blocks, gets 5
+    g.add_fifo(Fifo::new("ab", a, b, 512));
+    let p = Placement::single_fpga(&g, 300.0);
+    match simulate(&g, &p, &single_cluster()) {
+        Err(SimError::Deadlock { stuck_tasks, .. }) => {
+            assert_eq!(stuck_tasks, vec!["b".to_string()]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn cyclic_graph_with_initial_tokens_deadlocks_cleanly() {
+    // A pure cycle with no external producer can never fire.
+    let mut g = TaskGraph::new("cycle");
+    let a = g.add_task(compute("a", 10, 4));
+    let b = g.add_task(compute("b", 10, 4));
+    g.add_fifo(Fifo::new("ab", a, b, 32));
+    g.add_fifo(Fifo::new("ba", b, a, 32));
+    let p = Placement::single_fpga(&g, 300.0);
+    assert!(matches!(
+        simulate(&g, &p, &single_cluster()),
+        Err(SimError::Deadlock { .. })
+    ));
+}
+
+#[test]
+fn invalid_inputs_rejected() {
+    let mut g = TaskGraph::new("bad");
+    g.add_task(compute("a", 1, 1));
+    // Zero frequency.
+    let p = Placement::single_fpga(&g, 0.0);
+    assert!(matches!(
+        simulate(&g, &p, &single_cluster()),
+        Err(SimError::InvalidInput(_))
+    ));
+    // Empty graph.
+    let empty = TaskGraph::new("empty");
+    let pe = Placement::single_fpga(&empty, 300.0);
+    assert!(matches!(
+        simulate(&empty, &pe, &single_cluster()),
+        Err(SimError::InvalidInput(_))
+    ));
+    // Placement referencing more FPGAs than the cluster has.
+    let p2 = Placement { fpga_of_task: vec![1], freq_mhz: vec![300.0, 300.0] };
+    assert!(matches!(
+        simulate(&g, &p2, &single_cluster()),
+        Err(SimError::InvalidInput(_))
+    ));
+}
+
+#[test]
+fn fan_out_and_fan_in() {
+    // a → {b, c} → d, 32 blocks: completes, token conservation holds.
+    let mut g = TaskGraph::new("diamond");
+    let a = g.add_task(compute("a", 50, 32));
+    let b = g.add_task(compute("b", 100, 32));
+    let c = g.add_task(compute("c", 100, 32));
+    let d = g.add_task(compute("d", 50, 32));
+    g.add_fifo(Fifo::new("ab", a, b, 512));
+    g.add_fifo(Fifo::new("ac", a, c, 512));
+    g.add_fifo(Fifo::new("bd", b, d, 512));
+    g.add_fifo(Fifo::new("cd", c, d, 512));
+    let p = Placement::single_fpga(&g, 300.0);
+    let r = simulate(&g, &p, &single_cluster()).unwrap();
+    assert_eq!(r.total_firings, 4 * 32);
+    // Parallel branches should overlap: latency ≈ one branch, not two.
+    let branch = 32.0 * 100.0 / 300e6;
+    assert!(r.makespan_s < branch * 1.3, "got {}", r.makespan_s);
+}
+
+#[test]
+fn lower_frequency_scales_latency_linearly() {
+    let mut g = TaskGraph::new("freq");
+    let a = g.add_task(compute("a", 1000, 64));
+    let b = g.add_task(compute("b", 1000, 64));
+    g.add_fifo(Fifo::new("ab", a, b, 512));
+    let fast = simulate(&g, &Placement::single_fpga(&g, 300.0), &single_cluster()).unwrap();
+    let slow = simulate(&g, &Placement::single_fpga(&g, 150.0), &single_cluster()).unwrap();
+    let ratio = slow.makespan_s / fast.makespan_s;
+    assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+}
+
+#[test]
+fn idle_fraction_reports_starved_fpgas() {
+    // Producer on FPGA 0 feeds a bulk transfer to FPGA 1: FPGA 1 idles
+    // while the (single-block, huge) transfer is in flight.
+    let cluster = Cluster::single_node(Device::u55c(), 2, Topology::Ring);
+    let mut g = TaskGraph::new("idle");
+    let a = g.add_task(compute("a", 10_000, 1));
+    let b = g.add_task(compute("b", 10_000, 1));
+    g.add_fifo(Fifo::new("ab", a, b, 512).with_block_bytes(256 << 20).with_depth_blocks(1));
+    let p = Placement::uniform(vec![0, 1], 2, 300.0);
+    let r = simulate(&g, &p, &cluster).unwrap();
+    let idle_b = r.fpga_idle_fraction(1, 1);
+    assert!(idle_b > 0.9, "FPGA 1 should be mostly idle, got {idle_b}");
+}

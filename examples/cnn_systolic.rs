@@ -1,0 +1,59 @@
+//! AutoSA-style systolic CNN grids on 1-4 FPGAs (§5.5).
+//!
+//! Demonstrates which grids route on a single device and which need the
+//! TAPA-CS multi-FPGA flow (Table 8's resource wall).
+//!
+//! ```sh
+//! cargo run --release --example cnn_systolic
+//! ```
+
+use tapa_cs::apps::cnn::{self, CnnConfig};
+use tapa_cs::apps::suite::{paper_cluster, run_flow, suite_compiler};
+use tapa_cs::core::Flow;
+use tapa_cs::fpga::Device;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Functional sanity: the systolic evaluation matches direct conv.
+    let input: Vec<f32> = (0..256).map(|i| ((i * 37) % 11) as f32 - 5.0).collect();
+    let kernel: Vec<f32> = (0..9).map(|i| (i as f32) * 0.25 - 1.0).collect();
+    let a = cnn::conv2d_reference(&input, 16, &kernel, 3);
+    let b = cnn::conv2d_systolic(&input, 16, &kernel, 3);
+    let err: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max);
+    println!("systolic vs reference conv: max abs error {err:.2e}\n");
+
+    let device = Device::u55c();
+    println!("{:<8} {:>5} {:>8} {:>9} {:>10} {:>10}", "grid", "PEs", "DSP %", "fits 1?", "flow", "latency");
+    for (cols, flow) in [
+        (4usize, Flow::VitisHls),
+        (8, Flow::TapaSingle),
+        (12, Flow::TapaCs { n_fpgas: 2 }),
+        (16, Flow::TapaCs { n_fpgas: 3 }),
+        (20, Flow::TapaCs { n_fpgas: 4 }),
+    ] {
+        let cfg = CnnConfig { rows: 13, cols, n_fpgas: flow.n_fpgas() };
+        let total = cnn::grid_resources(&cfg);
+        let dsp_pct = total.dsp as f64 * 100.0 / device.resources().dsp as f64;
+        // Does a single device route it? Try the single-FPGA flow.
+        let single_graph = cnn::build(&CnnConfig { n_fpgas: 1, ..cfg });
+        let cluster1 = paper_cluster(1);
+        let fits_single =
+            suite_compiler(cluster1).compile(&single_graph, Flow::TapaSingle).is_ok();
+        let g = cnn::build(&cfg);
+        let (run, _) = run_flow(&g, flow)?;
+        println!(
+            "13x{:<5} {:>5} {:>7.1}% {:>9} {:>10} {:>8.3} ms",
+            cols,
+            cfg.pes(),
+            dsp_pct,
+            if fits_single { "yes" } else { "no" },
+            flow.label(),
+            run.latency_s * 1e3,
+        );
+    }
+    println!("\ninter-FPGA transfer volumes (Table 7):");
+    for cols in [4, 8, 12, 16, 20] {
+        let cfg = CnnConfig { rows: 13, cols, n_fpgas: 1 };
+        println!("  13x{cols:<3} → {:>6.2} MB", cfg.transfer_volume_mb());
+    }
+    Ok(())
+}

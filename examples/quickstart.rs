@@ -1,0 +1,70 @@
+//! Quickstart: build a small dataflow design, compile it for a 2-FPGA ring
+//! with TAPA-CS, and inspect the partition, floorplan, frequency and
+//! simulated latency.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tapa_cs::core::{Compiler, Flow};
+use tapa_cs::fpga::{Device, Resources};
+use tapa_cs::graph::{Fifo, Task, TaskGraph};
+use tapa_cs::net::{Cluster, Topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy streaming pipeline: HBM → 6 PEs → HBM. Each task carries the
+    // resource profile "parallel synthesis" would report.
+    let mut g = TaskGraph::new("quickstart");
+    let pe_res = Resources::new(60_000, 110_000, 90, 250, 12);
+    let rd = g.add_task(
+        Task::hbm_read("reader", Resources::new(30_000, 55_000, 40, 0, 8), 0, 512, 128 * 1024)
+            .with_total_blocks(256),
+    );
+    let mut prev = rd;
+    for i in 0..6 {
+        let pe = g.add_task(
+            Task::compute(format!("pe{i}"), pe_res)
+                .with_cycles_per_block(20_000)
+                .with_total_blocks(256),
+        );
+        g.add_fifo(Fifo::new(format!("link{i}"), prev, pe, 512).with_block_bytes(64 * 1024));
+        prev = pe;
+    }
+    let wr = g.add_task(
+        Task::hbm_write("writer", Resources::new(30_000, 55_000, 40, 0, 8), 1, 512, 128 * 1024)
+            .with_total_blocks(256),
+    );
+    g.add_fifo(Fifo::new("out", prev, wr, 512).with_block_bytes(64 * 1024));
+
+    // A 2-FPGA ring of Alveo U55C cards.
+    let cluster = Cluster::single_node(Device::u55c(), 2, Topology::Ring);
+    let compiler = Compiler::new(cluster.clone());
+
+    for flow in [Flow::VitisHls, Flow::TapaSingle, Flow::TapaCs { n_fpgas: 2 }] {
+        let design = compiler.compile(&g, flow)?;
+        let sim = design.simulate(&cluster)?;
+        println!(
+            "{:<5}  freq {:>5.0} MHz   latency {:>8.3} ms   cut {:>5} bits   net {:>6.2} MB",
+            flow.label(),
+            design.design_freq_mhz(),
+            sim.makespan_s * 1e3,
+            design.partition.cut_width_bits,
+            sim.inter_fpga_bytes as f64 / 1e6,
+        );
+    }
+
+    // Show where the 2-FPGA flow placed every task.
+    let design = compiler.compile(&g, Flow::TapaCs { n_fpgas: 2 })?;
+    println!("\ntask placement (FPGA / slot):");
+    for (id, t) in design.graph.tasks() {
+        let slot = design.slot_of_task[id.index()];
+        println!(
+            "  {:<12} → FPGA {}  slot ({},{})",
+            t.name,
+            design.placement.fpga_of_task[id.index()],
+            slot.row,
+            slot.col
+        );
+    }
+    Ok(())
+}

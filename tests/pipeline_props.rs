@@ -1,0 +1,136 @@
+//! Property-based integration tests over the compiler pipeline: for
+//! arbitrary random dataflow graphs, the partitioner/floorplanner/
+//! pipeliner invariants must hold.
+
+use proptest::prelude::*;
+use tapa_cs::core::floorplan::{floorplan, FloorplanConfig};
+use tapa_cs::core::partition::{comm_cost, partition, usable_capacity, PartitionConfig};
+use tapa_cs::core::pipeline::pipeline;
+use tapa_cs::fpga::{Device, Resources};
+use tapa_cs::graph::{algo, Fifo, Task, TaskGraph};
+use tapa_cs::net::{Cluster, Topology};
+
+/// Random connected-ish DAG of small tasks.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        let mut g = TaskGraph::new("prop");
+        let mut s = seed;
+        let mut rng = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let r = Resources::new(
+                    (5_000 + rng() % 60_000) as u64,
+                    (10_000 + rng() % 120_000) as u64,
+                    (rng() % 80) as u64,
+                    (rng() % 200) as u64,
+                    (rng() % 20) as u64,
+                );
+                g.add_task(Task::compute(format!("t{i}"), r))
+            })
+            .collect();
+        // Forward edges only (DAG), ~1.5 per node.
+        for i in 1..n {
+            let from = rng() % i;
+            let width = [32u32, 64, 128, 256, 512][rng() % 5];
+            g.add_fifo(Fifo::new(format!("e{i}"), ids[from], ids[i], width));
+            if rng() % 2 == 0 && i >= 2 {
+                let from2 = rng() % i;
+                g.add_fifo(Fifo::new(format!("x{i}"), ids[from2], ids[i], 64));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn partitioner_respects_thresholds_and_reports_true_cost(g in arb_graph()) {
+        let cluster = Cluster::single_node(Device::u55c(), 2, Topology::Ring);
+        let cfg = PartitionConfig { time_limit_s: 0.5, ..Default::default() };
+        let p = match partition(&g, &cluster, 2, &cfg) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // legitimately infeasible random instance
+        };
+        let cap = usable_capacity(&cluster, 2);
+        for used in &p.used {
+            prop_assert!(used.fits_within(&cap, cfg.threshold + 1e-9));
+        }
+        // Reported cost equals recomputed equation-2 cost.
+        let recomputed = comm_cost(&g, &cluster, &p.assignment);
+        prop_assert!((p.comm_cost - recomputed).abs() < 1e-9);
+        // Cut width consistent with assignment.
+        prop_assert_eq!(p.cut_width_bits, algo::cut_width_bits(&g, &p.assignment));
+    }
+
+    #[test]
+    fn floorplanner_places_every_task_in_bounds(g in arb_graph()) {
+        let device = Device::u55c();
+        let cfg = FloorplanConfig { time_limit_s: 0.5, ..Default::default() };
+        let assignment = vec![0usize; g.num_tasks()];
+        let fp = match floorplan(&g, &assignment, 1, &device, &[Resources::ZERO], &cfg) {
+            Ok(fp) => fp,
+            Err(_) => return Ok(()),
+        };
+        for slot in &fp.slot_of_task {
+            prop_assert!(slot.row < device.rows() && slot.col < device.cols());
+        }
+        // Per-slot accounting sums to the graph total.
+        let total: Resources = fp.slot_used[0].iter().copied().sum();
+        prop_assert_eq!(total, g.total_resources());
+    }
+
+    #[test]
+    fn pipelining_balances_every_reconvergent_path(g in arb_graph()) {
+        let device = Device::u55c();
+        let cfg = FloorplanConfig { time_limit_s: 0.5, ..Default::default() };
+        let assignment = vec![0usize; g.num_tasks()];
+        let fp = match floorplan(&g, &assignment, 1, &device, &[Resources::ZERO], &cfg) {
+            Ok(fp) => fp,
+            Err(_) => return Ok(()),
+        };
+        let rep = pipeline(&g, &assignment, &fp.slot_of_task);
+        prop_assert!(rep.balanced, "DAGs must always balance");
+        // The invariant: L(src) + stages(e) == L(dst) for every edge.
+        let layers = algo::topo_layers(&g).unwrap();
+        let mut dist = vec![0u32; g.num_tasks()];
+        for layer in &layers {
+            for &v in layer {
+                for &fid in g.in_fifos(v) {
+                    let f = g.fifo(fid);
+                    dist[v.index()] =
+                        dist[v.index()].max(dist[f.src.index()] + rep.stages(fid.index()));
+                }
+            }
+        }
+        for (fid, f) in g.fifos() {
+            prop_assert_eq!(
+                dist[f.src.index()] + rep.stages(fid.index()),
+                dist[f.dst.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_conserves_firings(g in arb_graph()) {
+        use tapa_cs::sim::{simulate, Placement};
+        // Give every task a uniform block count so the dataflow drains.
+        let mut g = g;
+        for t in g.task_ids().collect::<Vec<_>>() {
+            g.task_mut(t).total_blocks = 16;
+            g.task_mut(t).cycles_per_block = 100;
+        }
+        let cluster = Cluster::single(Device::u55c());
+        let p = Placement::single_fpga(&g, 300.0);
+        let rep = match simulate(&g, &p, &cluster) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // fan-in mismatches may legitimately deadlock
+        };
+        prop_assert_eq!(rep.total_firings, 16 * g.num_tasks() as u64);
+        prop_assert!(rep.makespan_s > 0.0);
+    }
+}
