@@ -71,12 +71,7 @@ impl CnnConfig {
 /// # Panics
 ///
 /// Panics if the kernel is larger than the input.
-pub fn conv2d_reference(
-    input: &[f32],
-    in_dim: usize,
-    kernel: &[f32],
-    k_dim: usize,
-) -> Vec<f32> {
+pub fn conv2d_reference(input: &[f32], in_dim: usize, kernel: &[f32], k_dim: usize) -> Vec<f32> {
     assert!(k_dim <= in_dim, "kernel larger than input");
     let out_dim = in_dim - k_dim + 1;
     let mut out = vec![0.0f32; out_dim * out_dim];
@@ -97,12 +92,7 @@ pub fn conv2d_reference(
 /// The same convolution evaluated the systolic way: im2col followed by an
 /// output-stationary matrix multiply, mirroring how the PE grid accumulates
 /// partial sums.
-pub fn conv2d_systolic(
-    input: &[f32],
-    in_dim: usize,
-    kernel: &[f32],
-    k_dim: usize,
-) -> Vec<f32> {
+pub fn conv2d_systolic(input: &[f32], in_dim: usize, kernel: &[f32], k_dim: usize) -> Vec<f32> {
     assert!(k_dim <= in_dim, "kernel larger than input");
     let out_dim = in_dim - k_dim + 1;
     let patch = k_dim * k_dim;
@@ -113,8 +103,7 @@ pub fn conv2d_systolic(
             let row = oy * out_dim + ox;
             for ky in 0..k_dim {
                 for kx in 0..k_dim {
-                    cols[row * patch + ky * k_dim + kx] =
-                        input[(oy + ky) * in_dim + (ox + kx)];
+                    cols[row * patch + ky * k_dim + kx] = input[(oy + ky) * in_dim + (ox + kx)];
                 }
             }
         }
@@ -162,8 +151,8 @@ pub fn build(cfg: &CnnConfig) -> TaskGraph {
     // Table 7's volume is the total crossing all boundaries; each of the
     // (n-1) boundaries carries rows × BLOCKS block transfers.
     let n_boundaries = (cfg.n_fpgas - 1).max(1) as f64;
-    let boundary_bytes = (cfg.transfer_volume_mb() * 1e6
-        / (n_boundaries * cfg.rows as f64 * BLOCKS as f64)) as u64;
+    let boundary_bytes =
+        (cfg.transfer_volume_mb() * 1e6 / (n_boundaries * cfg.rows as f64 * BLOCKS as f64)) as u64;
 
     let fpga_of_col = |c: usize| (c * cfg.n_fpgas / cfg.cols).min(cfg.n_fpgas - 1);
 
@@ -188,8 +177,7 @@ pub fn build(cfg: &CnnConfig) -> TaskGraph {
         let f = fpga_of_col(c);
         // Column weight feeder.
         let colfeed = g.add_task(
-            Task::compute(format!("f{f}_colfeed{c}"), feeder_resources())
-                .with_total_blocks(BLOCKS),
+            Task::compute(format!("f{f}_colfeed{c}"), feeder_resources()).with_total_blocks(BLOCKS),
         );
         let mut prev_in_col: Option<TaskId> = Some(colfeed);
         for r in 0..cfg.rows {
@@ -202,8 +190,7 @@ pub fn build(cfg: &CnnConfig) -> TaskGraph {
             // Weights flow down the column.
             if let Some(prev) = prev_in_col {
                 g.add_fifo(
-                    Fifo::new(format!("f{f}_w{r}_{c}"), prev, pe, 256)
-                        .with_block_bytes(16 * 1024),
+                    Fifo::new(format!("f{f}_w{r}_{c}"), prev, pe, 256).with_block_bytes(16 * 1024),
                 );
             }
             prev_in_col = Some(pe);
@@ -222,14 +209,11 @@ pub fn build(cfg: &CnnConfig) -> TaskGraph {
             } else {
                 32 * 1024
             };
-            g.add_fifo(
-                Fifo::new(format!("a{r}_{c}"), west, pe, 512).with_block_bytes(bytes),
-            );
+            g.add_fifo(Fifo::new(format!("a{r}_{c}"), west, pe, 512).with_block_bytes(bytes));
         }
         // Column drain (C results) every other PE pair.
         let drain = g.add_task(
-            Task::compute(format!("f{f}_drain{c}"), drain_resources())
-                .with_total_blocks(BLOCKS),
+            Task::compute(format!("f{f}_drain{c}"), drain_resources()).with_total_blocks(BLOCKS),
         );
         g.add_fifo(
             Fifo::new(format!("f{f}_dr{c}"), pe_ids[cfg.rows - 1][c], drain, 512)
@@ -246,9 +230,7 @@ pub fn build(cfg: &CnnConfig) -> TaskGraph {
             )
             .with_total_blocks(BLOCKS),
         );
-        g.add_fifo(
-            Fifo::new(format!("f{f}_out{c}"), drain, wr, 512).with_block_bytes(16 * 1024),
-        );
+        g.add_fifo(Fifo::new(format!("f{f}_out{c}"), drain, wr, 512).with_block_bytes(16 * 1024));
     }
     g
 }

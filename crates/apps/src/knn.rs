@@ -112,10 +112,8 @@ pub fn knn_streaming(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<(usize
     let mut best: Vec<(usize, f32)> = Vec::with_capacity(k + 1);
     for (i, p) in points.iter().enumerate() {
         let d = dist2(p, query);
-        let pos = best
-            .iter()
-            .position(|&(bi, bd)| d < bd || (d == bd && i < bi))
-            .unwrap_or(best.len());
+        let pos =
+            best.iter().position(|&(bi, bd)| d < bd || (d == bd && i < bi)).unwrap_or(best.len());
         if pos < k {
             best.insert(pos, (i, d));
             best.truncate(k);
@@ -144,10 +142,7 @@ fn yellow_resources(k: u32) -> Resources {
 /// last FPGA (§5.4).
 pub fn build(cfg: &KnnConfig) -> TaskGraph {
     assert!(cfg.n_fpgas > 0 && cfg.blue_per_fpga > 0, "invalid KNN config");
-    let mut g = TaskGraph::new(format!(
-        "knn-n{}-d{}-f{}",
-        cfg.n_points, cfg.dims, cfg.n_fpgas
-    ));
+    let mut g = TaskGraph::new(format!("knn-n{}-d{}-f{}", cfg.n_points, cfg.dims, cfg.n_fpgas));
 
     let total_blue = cfg.blue_per_fpga * cfg.n_fpgas;
     let bytes_per_blue = cfg.search_bytes() / total_blue as u64;

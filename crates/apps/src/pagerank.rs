@@ -124,10 +124,7 @@ fn pe_resources() -> Resources {
 /// feedback FIFO (a genuine dataflow cycle, as the paper highlights).
 pub fn build(cfg: &PageRankConfig) -> TaskGraph {
     assert!(cfg.n_fpgas > 0 && cfg.pes_per_fpga > 0, "invalid PageRank config");
-    let mut g = TaskGraph::new(format!(
-        "pagerank-{}-f{}",
-        cfg.network.name, cfg.n_fpgas
-    ));
+    let mut g = TaskGraph::new(format!("pagerank-{}-f{}", cfg.network.name, cfg.n_fpgas));
 
     // Work accounting. Every PE streams `pe_edge_blocks` 1-MB edge blocks;
     // the controller loop runs `rounds` broadcast rounds; the rank cache
@@ -146,15 +143,11 @@ pub fn build(cfg: &PageRankConfig) -> TaskGraph {
         Task::hbm_read("f0_vload", edge_port_resources(), 0, 512, 64 * 1024)
             .with_total_blocks(rounds),
     );
-    let router = g.add_task(
-        Task::compute("f0_router", estimate::control_module()).with_total_blocks(rounds),
-    );
-    g.add_fifo(
-        Fifo::new("f0_vl_rt", vloader, router, 512).with_block_bytes(bcast_block_bytes),
-    );
-    let controller = g.add_task(
-        Task::compute("f0_ctrl", estimate::control_module()).with_total_blocks(rounds),
-    );
+    let router = g
+        .add_task(Task::compute("f0_router", estimate::control_module()).with_total_blocks(rounds));
+    g.add_fifo(Fifo::new("f0_vl_rt", vloader, router, 512).with_block_bytes(bcast_block_bytes));
+    let controller =
+        g.add_task(Task::compute("f0_ctrl", estimate::control_module()).with_total_blocks(rounds));
     // Feedback cycle: controller credits the router, seeded with half the
     // rounds so the pipeline can start (latency-insensitive loop).
     let seed = (rounds as usize / 2).max(1);
@@ -208,8 +201,7 @@ pub fn build(cfg: &PageRankConfig) -> TaskGraph {
             );
             for (r, &rd) in readers.iter().enumerate() {
                 g.add_fifo(
-                    Fifo::new(format!("f{f}_pe{p}_e{r}"), rd, pe, 512)
-                        .with_block_bytes(BLOCK),
+                    Fifo::new(format!("f{f}_pe{p}_e{r}"), rd, pe, 512).with_block_bytes(BLOCK),
                 );
             }
             // Rank credits from the cache (deep: holds a full round's
@@ -283,12 +275,7 @@ mod tests {
         let edges: Vec<(u32, u32)> = (1..50).map(|i| (i, 0)).collect();
         let g = EdgeList { nodes: 50, edges };
         let r = pagerank(&g, 30);
-        let best = r
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = r.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(best, 0);
         assert!(r[0] > 10.0 * r[1]);
     }

@@ -218,9 +218,8 @@ pub fn build(cfg: &StencilConfig) -> TaskGraph {
     // iterations per PE; quantizing up would inflate sequential scaling).
     let iters_per_pe_pass =
         cfg.iterations_per_fpga() as f64 / (cfg.passes() * cfg.pes_per_fpga) as f64;
-    let pe_cycles = (superblock_points * iters_per_pe_pass
-        / pe_lanes(cfg.port_width_bits))
-    .ceil() as u64;
+    let pe_cycles =
+        (superblock_points * iters_per_pe_pass / pe_lanes(cfg.port_width_bits)).ceil() as u64;
     let buffer_bytes = if cfg.port_width_bits >= 512 { 128 * 1024 } else { 32 * 1024 };
 
     let mut prev_bulk: Option<TaskId> = None;
@@ -346,8 +345,7 @@ mod tests {
 
     #[test]
     fn table4_values() {
-        let rows: Vec<StencilStats> =
-            [64, 128, 256, 512].into_iter().map(workload_stats).collect();
+        let rows: Vec<StencilStats> = [64, 128, 256, 512].into_iter().map(workload_stats).collect();
         assert_eq!(rows[0].ops_per_byte, 208.0);
         assert_eq!(rows[1].ops_per_byte, 416.0);
         assert_eq!(rows[2].ops_per_byte, 832.0);

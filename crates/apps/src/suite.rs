@@ -124,12 +124,8 @@ pub fn build_for(bench: Benchmark, flow: Flow, param: u64) -> TaskGraph {
             let net = nets[(param as usize) % nets.len()];
             pagerank::build(&pagerank::PageRankConfig::paper(net, n))
         }
-        Benchmark::Knn => {
-            knn::build(&knn::KnnConfig::paper(4_000_000, param.max(2) as u32, n))
-        }
-        Benchmark::Cnn => {
-            cnn::build(&cnn::CnnConfig::paper(n, matches!(flow, Flow::TapaSingle)))
-        }
+        Benchmark::Knn => knn::build(&knn::KnnConfig::paper(4_000_000, param.max(2) as u32, n)),
+        Benchmark::Cnn => cnn::build(&cnn::CnnConfig::paper(n, matches!(flow, Flow::TapaSingle))),
     }
 }
 

@@ -1,0 +1,25 @@
+//! Error-path coverage for dataset lookup: an unknown dataset name must
+//! surface as a recoverable `None`, never a panic, and must not be matched
+//! loosely.
+
+use tapacs_apps::data;
+
+#[test]
+fn unknown_dataset_name_is_an_error_not_a_panic() {
+    for bogus in ["", "nope", "web-Googlee", "WEB-GOOGLE", "cit-patents", " web-Google"] {
+        assert!(
+            data::snap_network(bogus).is_none(),
+            "lookup of {bogus:?} should fail, not resolve"
+        );
+    }
+}
+
+#[test]
+fn known_dataset_names_all_resolve() {
+    for spec in data::snap_networks() {
+        let found =
+            data::snap_network(spec.name).unwrap_or_else(|| panic!("{} should resolve", spec.name));
+        assert_eq!(found, spec);
+        assert!(found.nodes > 0 && found.edges > 0);
+    }
+}

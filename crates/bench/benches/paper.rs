@@ -10,8 +10,8 @@ use tapacs_apps::suite::{build_for, run_flow, Benchmark};
 use tapacs_apps::{cnn, knn, pagerank, stencil};
 use tapacs_core::partition::{partition, PartitionConfig};
 use tapacs_core::Flow;
-use tapacs_net::{AlveoLink, Cluster, Topology};
 use tapacs_fpga::Device;
+use tapacs_net::{AlveoLink, Cluster, Topology};
 
 /// Fig. 8: the AlveoLink throughput model (pure analytics).
 fn fig8_alveolink(c: &mut Criterion) {

@@ -18,19 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "quick" => print!("{}", r::quick()),
             "all" => {
                 print!("{}", r::quick());
-                print!("{}\n", r::table3()?);
-                print!("{}\n", r::freq_summary()?);
-                print!("{}\n", r::fig10()?);
-                print!("{}\n", r::utilization_fig(tapacs_apps::suite::Benchmark::Stencil)?);
-                print!("{}\n", r::fig12()?);
-                print!("{}\n", r::utilization_fig(tapacs_apps::suite::Benchmark::PageRank)?);
-                print!("{}\n", r::fig14()?);
-                print!("{}\n", r::fig15()?);
-                print!("{}\n", r::utilization_fig(tapacs_apps::suite::Benchmark::Knn)?);
-                print!("{}\n", r::fig17()?);
-                print!("{}\n", r::overhead()?);
-                print!("{}\n", r::ablation()?);
-                print!("{}\n", r::multinode()?);
+                println!("{}", r::table3()?);
+                println!("{}", r::freq_summary()?);
+                println!("{}", r::fig10()?);
+                println!("{}", r::utilization_fig(tapacs_apps::suite::Benchmark::Stencil)?);
+                println!("{}", r::fig12()?);
+                println!("{}", r::utilization_fig(tapacs_apps::suite::Benchmark::PageRank)?);
+                println!("{}", r::fig14()?);
+                println!("{}", r::fig15()?);
+                println!("{}", r::utilization_fig(tapacs_apps::suite::Benchmark::Knn)?);
+                println!("{}", r::fig17()?);
+                println!("{}", r::overhead()?);
+                println!("{}", r::ablation()?);
+                println!("{}", r::multinode()?);
             }
             "table1" => print!("{}", r::table1()),
             "table2" => print!("{}", r::table2()),
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "multinode" => print!("{}", r::multinode()?),
             "packet_example" => print!("{}", r::packet_example()),
             "ablation" => print!("{}", r::ablation()?),
-            other => eprintln!("unknown experiment: {other}"),
+            other => return Err(format!("unknown experiment: {other}").into()),
         }
         println!();
     }

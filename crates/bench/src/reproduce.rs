@@ -4,9 +4,7 @@
 
 use std::fmt::Write as _;
 
-use tapacs_apps::suite::{
-    self, paper_flows, run_flow, table3_row, Benchmark,
-};
+use tapacs_apps::suite::{self, paper_flows, run_flow, table3_row, Benchmark};
 use tapacs_apps::{cnn, data, knn, pagerank, stencil};
 use tapacs_core::report::{prior_work, UtilizationReport};
 use tapacs_core::Flow;
@@ -66,7 +64,9 @@ pub fn table2() -> String {
 ///
 /// Propagates the first compile/simulate failure.
 pub fn table3() -> Result<String, Box<dyn std::error::Error>> {
-    let mut s = String::from("Table 3: speed-up normalized to F1-V\nBenchmark  F1-V   F1-T   F2     F3     F4\n");
+    let mut s = String::from(
+        "Table 3: speed-up normalized to F1-V\nBenchmark  F1-V   F1-T   F2     F3     F4\n",
+    );
     for bench in Benchmark::ALL {
         let row = table3_row(bench, 4)?;
         let _ = write!(s, "{:<10}", row.benchmark);
@@ -80,7 +80,9 @@ pub fn table3() -> Result<String, Box<dyn std::error::Error>> {
 
 /// Table 4: stencil compute intensity and inter-FPGA volume vs iterations.
 pub fn table4() -> String {
-    let mut s = String::from("Table 4: Stencil compute intensity (4096x4096)\nIters  Ops/Byte  Volume (MB)\n");
+    let mut s = String::from(
+        "Table 4: Stencil compute intensity (4096x4096)\nIters  Ops/Byte  Volume (MB)\n",
+    );
     for iters in [64, 128, 256, 512] {
         let st = stencil::workload_stats(iters);
         let _ = writeln!(s, "{:<6} {:<9.0} {:.2}", st.iterations, st.ops_per_byte, st.volume_mb);
@@ -90,7 +92,9 @@ pub fn table4() -> String {
 
 /// Table 5: PageRank networks.
 pub fn table5() -> String {
-    let mut s = String::from("Table 5: networks used to test PageRank\nNetwork             Nodes      Edges\n");
+    let mut s = String::from(
+        "Table 5: networks used to test PageRank\nNetwork             Nodes      Edges\n",
+    );
     for n in data::snap_networks() {
         let _ = writeln!(s, "{:<19} {:<10} {}", n.name, n.nodes, n.edges);
     }
@@ -151,7 +155,9 @@ pub fn table9() -> String {
 
 /// Table 10: prior communication stacks.
 pub fn table10() -> String {
-    let mut s = String::from("Table 10: communication stacks\nProject     Orchestration  Overhead%  GBps\n");
+    let mut s = String::from(
+        "Table 10: communication stacks\nProject     Orchestration  Overhead%  GBps\n",
+    );
     for r in protocol::prior_stacks() {
         let _ = writeln!(
             s,
@@ -168,7 +174,8 @@ pub fn table10() -> String {
 /// Figure 8: AlveoLink throughput vs transfer size.
 pub fn fig8() -> String {
     let link = AlveoLink::default();
-    let mut s = String::from("Figure 8: AlveoLink throughput vs transfer size\nBytes        Gbps\n");
+    let mut s =
+        String::from("Figure 8: AlveoLink throughput vs transfer size\nBytes        Gbps\n");
     for (b, gbps) in link.throughput_curve(10) {
         let _ = writeln!(s, "{:<12} {:.1}", b, gbps);
     }
@@ -181,7 +188,9 @@ pub fn fig8() -> String {
 ///
 /// Propagates the first compile/simulate failure.
 pub fn fig10() -> Result<String, Box<dyn std::error::Error>> {
-    let mut s = String::from("Figure 10: Stencil latency (s)\nIters  F1-V     F1-T     F2       F3       F4\n");
+    let mut s = String::from(
+        "Figure 10: Stencil latency (s)\nIters  F1-V     F1-T     F2       F3       F4\n",
+    );
     for iters in [64u64, 128, 256, 512] {
         let _ = write!(s, "{iters:<6}");
         let mut base = None;
@@ -241,7 +250,8 @@ pub fn fig12() -> Result<String, Box<dyn std::error::Error>> {
 ///
 /// Propagates the first compile/simulate failure.
 pub fn fig14() -> Result<String, Box<dyn std::error::Error>> {
-    let mut s = String::from("Figure 14: KNN speed-up vs D (N=4M, K=10)\nD     F1-T   F2     F3     F4\n");
+    let mut s =
+        String::from("Figure 14: KNN speed-up vs D (N=4M, K=10)\nD     F1-T   F2     F3     F4\n");
     for d in [2u32, 8, 32, 128] {
         let _ = write!(s, "{d:<5}");
         let mut base = None;
@@ -264,7 +274,8 @@ pub fn fig14() -> Result<String, Box<dyn std::error::Error>> {
 ///
 /// Propagates the first compile/simulate failure.
 pub fn fig15() -> Result<String, Box<dyn std::error::Error>> {
-    let mut s = String::from("Figure 15: KNN speed-up vs N (D=2, K=10)\nN     F1-T   F2     F3     F4\n");
+    let mut s =
+        String::from("Figure 15: KNN speed-up vs N (D=2, K=10)\nN     F1-T   F2     F3     F4\n");
     for n in [1u64, 2, 4, 8] {
         let _ = write!(s, "{:<5}", format!("{n}M"));
         let mut base = None;
@@ -312,7 +323,9 @@ pub fn fig17() -> Result<String, Box<dyn std::error::Error>> {
 ///
 /// Propagates the first compile/simulate failure.
 pub fn freq_summary() -> Result<String, Box<dyn std::error::Error>> {
-    let mut s = String::from("Achieved design frequency (MHz)\nBenchmark  F1-V   F1-T   F2     F3     F4\n");
+    let mut s = String::from(
+        "Achieved design frequency (MHz)\nBenchmark  F1-V   F1-T   F2     F3     F4\n",
+    );
     for bench in Benchmark::ALL {
         let row = table3_row(bench, 4)?;
         let _ = write!(s, "{:<10}", row.benchmark);
@@ -344,7 +357,12 @@ pub fn overhead() -> Result<String, Box<dyn std::error::Error>> {
             run.l2_s
         );
     }
-    for (cols, flow) in [(4, Flow::VitisHls), (8, Flow::TapaSingle), (12, Flow::TapaCs { n_fpgas: 2 }), (20, Flow::TapaCs { n_fpgas: 4 })] {
+    for (cols, flow) in [
+        (4, Flow::VitisHls),
+        (8, Flow::TapaSingle),
+        (12, Flow::TapaCs { n_fpgas: 2 }),
+        (20, Flow::TapaCs { n_fpgas: 4 }),
+    ] {
         let cfg = cnn::CnnConfig { rows: 13, cols, n_fpgas: flow.n_fpgas() };
         let g = cnn::build(&cfg);
         let (run, design) = run_flow(&g, flow)?;
@@ -438,7 +456,8 @@ pub fn ablation() -> Result<String, Box<dyn std::error::Error>> {
     let fcfg = FloorplanConfig { slot_threshold: 0.9, time_limit_s: 1.0, ..Default::default() };
     let timing = TimingModel::default();
 
-    let naive = floorplan_naive(&ins.graph, &ins.assignment, 1, &device, &ins.overhead_per_fpga, &fcfg)?;
+    let naive =
+        floorplan_naive(&ins.graph, &ins.assignment, 1, &device, &ins.overhead_per_fpga, &fcfg)?;
     let ilp = floorplan(&ins.graph, &ins.assignment, 1, &device, &ins.overhead_per_fpga, &fcfg)?;
 
     let mut s = String::from(

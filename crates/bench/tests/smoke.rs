@@ -1,0 +1,28 @@
+//! Smoke test for the `reproduce` paper-table path: `quick()` renders the
+//! static tables without touching the full compile/simulate matrix, so CI
+//! exercises the binary's default mode cheaply.
+
+use tapacs_bench::reproduce as r;
+
+#[test]
+fn quick_renders_all_four_benchmarks() {
+    let out = r::quick();
+    assert!(!out.is_empty(), "quick() produced no output");
+    for name in ["Stencil", "PageRank", "KNN", "CNN"] {
+        assert!(out.contains(name), "quick() output is missing benchmark {name:?}");
+    }
+}
+
+#[test]
+fn quick_renders_the_static_tables() {
+    let out = r::quick();
+    // The static (non-simulated) tables of the paper, in quick()'s order.
+    for table in [
+        "Table 1", "Table 2", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8", "Table 9",
+        "Table 10",
+    ] {
+        assert!(out.contains(table), "quick() output is missing {table:?}");
+    }
+    // Deterministic: two renders agree (CI reruns must not flake).
+    assert_eq!(out, r::quick());
+}

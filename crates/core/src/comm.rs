@@ -66,29 +66,25 @@ pub fn insert_comm(
         // Blocks actually traversing the channel: firings × fan-out.
         let src_task = graph.task(f.src);
         let blocks = src_task.total_blocks * src_task.produce_per_firing;
-        let send = out.add_task(
-            Task {
-                name: format!("{}_send", f.name),
-                kind: TaskKind::NetSend,
-                resources: estimate::net_endpoint_module(f.width_bits),
-                cycles_per_block: 4,
-                total_blocks: blocks,
-                consume_per_firing: 1,
-                produce_per_firing: 1,
-            },
-        );
+        let send = out.add_task(Task {
+            name: format!("{}_send", f.name),
+            kind: TaskKind::NetSend,
+            resources: estimate::net_endpoint_module(f.width_bits),
+            cycles_per_block: 4,
+            total_blocks: blocks,
+            consume_per_firing: 1,
+            produce_per_firing: 1,
+        });
         new_assign.push(fa);
-        let recv = out.add_task(
-            Task {
-                name: format!("{}_recv", f.name),
-                kind: TaskKind::NetRecv,
-                resources: estimate::net_endpoint_module(f.width_bits),
-                cycles_per_block: 4,
-                total_blocks: blocks,
-                consume_per_firing: 1,
-                produce_per_firing: 1,
-            },
-        );
+        let recv = out.add_task(Task {
+            name: format!("{}_recv", f.name),
+            kind: TaskKind::NetRecv,
+            resources: estimate::net_endpoint_module(f.width_bits),
+            cycles_per_block: 4,
+            total_blocks: blocks,
+            consume_per_firing: 1,
+            produce_per_firing: 1,
+        });
         new_assign.push(fb);
         out.add_fifo(
             Fifo::new(format!("{}_tx", f.name), f.src, send, f.width_bits)
@@ -109,22 +105,28 @@ pub fn insert_comm(
         );
     }
 
-    let ports_used: Vec<usize> = neighbors
-        .iter()
-        .map(|n| n.len().min(device.qsfp_ports()))
-        .collect();
+    let ports_used: Vec<usize> =
+        neighbors.iter().map(|n| n.len().min(device.qsfp_ports())).collect();
     let overhead_per_fpga: Vec<Resources> = ports_used
         .iter()
-        .map(|&p| {
-            if p == 0 {
-                Resources::ZERO
-            } else {
-                AlveoLink::resource_overhead_for(device, p)
-            }
-        })
+        .map(
+            |&p| {
+                if p == 0 {
+                    Resources::ZERO
+                } else {
+                    AlveoLink::resource_overhead_for(device, p)
+                }
+            },
+        )
         .collect();
 
-    CommInsertion { graph: out, assignment: new_assign, overhead_per_fpga, ports_used, channels_inserted }
+    CommInsertion {
+        graph: out,
+        assignment: new_assign,
+        overhead_per_fpga,
+        ports_used,
+        channels_inserted,
+    }
 }
 
 #[cfg(test)]
@@ -134,9 +136,12 @@ mod tests {
 
     fn simple_cut_graph() -> (TaskGraph, Vec<usize>) {
         let mut g = TaskGraph::new("g");
-        let a = g.add_task(Task::compute("a", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
-        let b = g.add_task(Task::compute("b", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
-        let c = g.add_task(Task::compute("c", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
+        let a =
+            g.add_task(Task::compute("a", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
+        let b =
+            g.add_task(Task::compute("b", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
+        let c =
+            g.add_task(Task::compute("c", Resources::new(10, 10, 0, 0, 0)).with_total_blocks(8));
         g.add_fifo(Fifo::new("ab", a, b, 512).with_block_bytes(1024));
         g.add_fifo(Fifo::new("bc", b, c, 256));
         (g, vec![0, 1, 1])
@@ -182,10 +187,7 @@ mod tests {
         assert_eq!(ins.ports_used[0], 2);
         assert_eq!(ins.ports_used[1], 1);
         // Overhead follows port count.
-        assert_eq!(
-            ins.overhead_per_fpga[0],
-            AlveoLink::resource_overhead_for(&Device::u55c(), 2)
-        );
+        assert_eq!(ins.overhead_per_fpga[0], AlveoLink::resource_overhead_for(&Device::u55c(), 2));
     }
 
     #[test]

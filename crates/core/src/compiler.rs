@@ -185,11 +185,7 @@ impl Compiler {
 
         // Step 4: communication-logic insertion.
         let CommInsertion {
-            graph: mut full_graph,
-            assignment,
-            overhead_per_fpga,
-            ports_used,
-            ..
+            graph: mut full_graph, assignment, overhead_per_fpga, ports_used, ..
         } = insert_comm(graph, &inter.assignment, &device, n);
 
         // Step 5: intra-FPGA floorplanning (equation 4) + HBM binding. The
@@ -207,7 +203,14 @@ impl Compiler {
                 &self.config.floorplan,
             )?
         } else {
-            floorplan(&full_graph, &assignment, n, &device, &overhead_per_fpga, &self.config.floorplan)?
+            floorplan(
+                &full_graph,
+                &assignment,
+                n,
+                &device,
+                &overhead_per_fpga,
+                &self.config.floorplan,
+            )?
         };
         let channels_used =
             rebind_hbm_channels(&mut full_graph, &assignment, &fp.slot_of_task, n, &device);
@@ -269,9 +272,7 @@ impl Compiler {
 /// Convenience: validates that a design fits a single device at the Vitis
 /// threshold — the paper's "can this be routed on one FPGA at all" check.
 pub fn fits_single_fpga(graph: &TaskGraph, cluster: &Cluster, threshold: f64) -> bool {
-    graph
-        .total_resources()
-        .fits_within(&usable_capacity(cluster, 1), threshold)
+    graph.total_resources().fits_within(&usable_capacity(cluster, 1), threshold)
 }
 
 #[cfg(test)]

@@ -325,10 +325,8 @@ fn solve_region_split(
         let free_total: f64 =
             free.iter().map(|&i| graph.task(tasks[i]).resources.get(kind) as f64).sum();
         if free_total > 0.0 {
-            let rem_low =
-                (cap_low.get(kind) as f64 - pinned_low.get(kind) as f64).max(0.0);
-            let rem_high =
-                (cap_high.get(kind) as f64 - pinned_high.get(kind) as f64).max(0.0);
+            let rem_low = (cap_low.get(kind) as f64 - pinned_low.get(kind) as f64).max(0.0);
+            let rem_high = (cap_high.get(kind) as f64 - pinned_high.get(kind) as f64).max(0.0);
             if rem_low + rem_high > 0.0 {
                 let share_high = rem_high / (rem_low + rem_high);
                 let load_free_high = LinExpr::sum(free.iter().map(|&i| {
@@ -460,9 +458,7 @@ fn greedy_slots(
         let res = graph.task(t).resources;
         let allowed = |s: SlotId| match graph.task(t).kind {
             // Memory adapters sit on the shoreline or one die above it.
-            TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. } => {
-                s.row <= device.hbm_row() + 1
-            }
+            TaskKind::HbmRead { .. } | TaskKind::HbmWrite { .. } => s.row <= device.hbm_row() + 1,
             TaskKind::NetSend | TaskKind::NetRecv => s.row != device.hbm_row(),
             _ => true,
         };
@@ -542,8 +538,7 @@ fn refine_fpga(
         if let TaskKind::HbmRead { port_width_bits, .. }
         | TaskKind::HbmWrite { port_width_bits, .. } = graph.task(t).kind
         {
-            c += port_width_bits as f64
-                * slot.row.abs_diff(device.hbm_row()) as f64;
+            c += port_width_bits as f64 * slot.row.abs_diff(device.hbm_row()) as f64;
         }
         c
     };
@@ -578,10 +573,8 @@ fn refine_fpga(
                 }
                 let d_wl = wirelength(t, cand, slot_of_task) - cur_wl;
                 let u_cur_before = used[idx(cur)].utilization(&caps[idx(cur)]).max();
-                let u_cur_after = used[idx(cur)]
-                    .saturating_sub(&res)
-                    .utilization(&caps[idx(cur)])
-                    .max();
+                let u_cur_after =
+                    used[idx(cur)].saturating_sub(&res).utilization(&caps[idx(cur)]).max();
                 let u_cand_before = used[idx(cand)].utilization(&caps[idx(cand)]).max();
                 let u_cand_after = after_cand.utilization(&caps[idx(cand)]).max();
                 let d_cong = congestion(u_cur_after) + congestion(u_cand_after)
@@ -640,10 +633,8 @@ pub fn floorplan_naive(
         let idx = |s: SlotId| s.row * device.cols() + s.col;
         // Pinned (memory/network) tasks place first: even Vitis routes AXI
         // ports to their shoreline before general logic.
-        let mut order: Vec<TaskId> = graph
-            .task_ids()
-            .filter(|t| assignment[t.index()] == fpga)
-            .collect();
+        let mut order: Vec<TaskId> =
+            graph.task_ids().filter(|t| assignment[t.index()] == fpga).collect();
         order.sort_by_key(|t| {
             let pinned = matches!(
                 graph.task(*t).kind,
@@ -784,9 +775,7 @@ mod tests {
             .unwrap();
         let total_wirelength: usize = g
             .fifos()
-            .map(|(_, f)| {
-                fp.slot_of_task[f.src.index()].manhattan(&fp.slot_of_task[f.dst.index()])
-            })
+            .map(|(_, f)| fp.slot_of_task[f.src.index()].manhattan(&fp.slot_of_task[f.dst.index()]))
             .sum();
         // 4 tasks, 3 edges on a 2×3 grid: good plans stay ≤ 4 total hops.
         assert!(total_wirelength <= 4, "wirelength {total_wirelength}");
@@ -820,8 +809,7 @@ mod tests {
         let mut g = TaskGraph::new("r");
         g.add_task(Task::compute("big", corner_cap.scale(0.7)));
         let reserved = corner_cap.scale(0.5);
-        let fp = floorplan(&g, &[0], 1, &device, &[reserved], &FloorplanConfig::default())
-            .unwrap();
+        let fp = floorplan(&g, &[0], 1, &device, &[reserved], &FloorplanConfig::default()).unwrap();
         assert_ne!(fp.slot_of_task[0], SlotId::new(device.rows() - 1, 1));
     }
 

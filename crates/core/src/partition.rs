@@ -225,10 +225,10 @@ impl Coarse {
             .fifos()
             .map(|(_, f)| (f.src.index(), f.dst.index(), f.width_bits as u64))
             .collect();
-        edge_list.sort_by(|a, b| b.2.cmp(&a.2));
+        edge_list.sort_by_key(|e| std::cmp::Reverse(e.2));
 
         // Union-find over tasks.
-        fn find(owner: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(owner: &mut [usize], mut x: usize) -> usize {
             while owner[x] != x {
                 owner[x] = owner[owner[x]];
                 x = owner[x];
@@ -236,8 +236,7 @@ impl Coarse {
             x
         }
 
-        let mut group_res: Vec<Resources> =
-            graph.tasks().map(|(_, t)| t.resources).collect();
+        let mut group_res: Vec<Resources> = graph.tasks().map(|(_, t)| t.resources).collect();
         // Half the per-device budget: merged nodes must stay easily placeable.
         let limit = cap.scale(threshold * 0.5);
 
@@ -323,9 +322,8 @@ fn bisect(
     let right = mid..range.end;
 
     // Supernodes currently owned by this range (identified by range.start).
-    let here: Vec<usize> = (0..coarse.nodes.len())
-        .filter(|&i| range.contains(&assign[i]))
-        .collect();
+    let here: Vec<usize> =
+        (0..coarse.nodes.len()).filter(|&i| range.contains(&assign[i])).collect();
     if !here.is_empty() {
         let side = solve_two_way(coarse, &here, left.len(), right.len(), cap, cfg)?;
         for (&sn, &s) in here.iter().zip(&side) {
@@ -551,16 +549,13 @@ fn refine(
     // Balance floor on the full graph's binding kind: moves must not
     // strip a device below its fair share.
     use tapacs_fpga::ResourceKind;
-    let binding = ResourceKind::ALL
-        .into_iter()
-        .filter(|k| cap.get(*k) > 0)
-        .max_by(|a, b| {
-            let ta: u64 = graph.tasks().map(|(_, t)| t.resources.get(*a)).sum();
-            let tb: u64 = graph.tasks().map(|(_, t)| t.resources.get(*b)).sum();
-            let ra = ta as f64 / cap.get(*a) as f64;
-            let rb = tb as f64 / cap.get(*b) as f64;
-            ra.partial_cmp(&rb).unwrap()
-        });
+    let binding = ResourceKind::ALL.into_iter().filter(|k| cap.get(*k) > 0).max_by(|a, b| {
+        let ta: u64 = graph.tasks().map(|(_, t)| t.resources.get(*a)).sum();
+        let tb: u64 = graph.tasks().map(|(_, t)| t.resources.get(*b)).sum();
+        let ra = ta as f64 / cap.get(*a) as f64;
+        let rb = tb as f64 / cap.get(*b) as f64;
+        ra.partial_cmp(&rb).unwrap()
+    });
     let floor = binding.map(|k| {
         let total: u64 = graph.tasks().map(|(_, t)| t.resources.get(k)).sum();
         (k, total as f64 / n_fpgas as f64 * (1.0 - cfg.balance_slack))
@@ -646,10 +641,8 @@ fn repair(
         };
         // Move the largest task off the overloaded device to the least
         // loaded feasible one.
-        let mut candidates: Vec<TaskId> = graph
-            .task_ids()
-            .filter(|t| assignment[t.index()] == over)
-            .collect();
+        let mut candidates: Vec<TaskId> =
+            graph.task_ids().filter(|t| assignment[t.index()] == over).collect();
         candidates.sort_by_key(|t| std::cmp::Reverse(graph.task(*t).resources.lut));
         let mut moved = false;
         'outer: for t in candidates {

@@ -53,8 +53,7 @@ pub fn pipeline(
     let mut crossing = vec![0u32; n_fifos];
     for (id, f) in graph.fifos() {
         if assignment[f.src.index()] == assignment[f.dst.index()] {
-            let hops =
-                slot_of_task[f.src.index()].manhattan(&slot_of_task[f.dst.index()]) as u32;
+            let hops = slot_of_task[f.src.index()].manhattan(&slot_of_task[f.dst.index()]) as u32;
             crossing[id.index()] = hops;
         }
     }
@@ -86,12 +85,15 @@ pub fn pipeline(
 
     let total_register_bits = graph
         .fifos()
-        .map(|(id, f)| {
-            (crossing[id.index()] + balancing[id.index()]) as u64 * f.width_bits as u64
-        })
+        .map(|(id, f)| (crossing[id.index()] + balancing[id.index()]) as u64 * f.width_bits as u64)
         .sum();
 
-    PipelineReport { crossing_regs: crossing, balancing_regs: balancing, total_register_bits, balanced }
+    PipelineReport {
+        crossing_regs: crossing,
+        balancing_regs: balancing,
+        total_register_bits,
+        balanced,
+    }
 }
 
 #[cfg(test)]
@@ -175,10 +177,7 @@ mod tests {
         assert_eq!(rep.stages(bd.index()), 2);
         assert_eq!(rep.stages(ad.index()), 4, "direct edge padded to match");
         // Path-sum invariant.
-        assert_eq!(
-            rep.stages(ab.index()) + rep.stages(bd.index()),
-            rep.stages(ad.index())
-        );
+        assert_eq!(rep.stages(ab.index()) + rep.stages(bd.index()), rep.stages(ad.index()));
     }
 
     #[test]
@@ -206,18 +205,17 @@ mod tests {
         for (i, &(a, b)) in edges.iter().enumerate() {
             g.add_fifo(Fifo::new(format!("e{i}"), ids[a], ids[b], 32));
         }
-        let slots: Vec<SlotId> =
-            (0..8).map(|i| SlotId::new(i % 3, i % 2)).collect();
+        let slots: Vec<SlotId> = (0..8).map(|i| SlotId::new(i % 3, i % 2)).collect();
         let rep = pipeline(&g, &[0; 8], &slots);
         // Recompute L from the report and check the invariant.
         let layers = algo::topo_layers(&g).unwrap();
-        let mut dist = vec![0u32; 8];
+        let mut dist = [0u32; 8];
         for layer in &layers {
             for &v in layer {
                 for &fid in g.in_fifos(v) {
                     let f = g.fifo(fid);
-                    dist[v.index()] = dist[v.index()]
-                        .max(dist[f.src.index()] + rep.stages(fid.index()));
+                    dist[v.index()] =
+                        dist[v.index()].max(dist[f.src.index()] + rep.stages(fid.index()));
                 }
             }
         }

@@ -49,11 +49,7 @@ impl TimingReport {
 
     /// Worst slot utilization across the whole design.
     pub fn worst_slot_utilization(&self) -> f64 {
-        self.slot_utilization
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0, f64::max)
+        self.slot_utilization.iter().flatten().copied().fold(0.0, f64::max)
     }
 }
 
@@ -66,6 +62,7 @@ impl TimingReport {
 ///
 /// [`CompileError::RoutingFailure`] when any slot exceeds
 /// [`ROUTABLE_LIMIT`].
+#[allow(clippy::too_many_arguments)] // mirrors the seven-step pipeline's hand-off
 pub fn analyze(
     graph: &TaskGraph,
     assignment: &[usize],
@@ -141,16 +138,17 @@ pub fn analyze(
         }
     }
 
-    let freq_mhz = critical_delay_ns
-        .iter()
-        .map(|&d| {
-            if d <= 0.0 {
-                device.fmax_mhz()
-            } else {
-                timing.frequency_mhz(d, device.fmax_mhz())
-            }
-        })
-        .collect();
+    let freq_mhz =
+        critical_delay_ns
+            .iter()
+            .map(|&d| {
+                if d <= 0.0 {
+                    device.fmax_mhz()
+                } else {
+                    timing.frequency_mhz(d, device.fmax_mhz())
+                }
+            })
+            .collect();
 
     Ok(TimingReport { freq_mhz, critical_delay_ns, critical_net, slot_utilization })
 }
@@ -195,10 +193,10 @@ mod tests {
         let g = small_graph(Resources::new(10_000, 20_000, 20, 40, 4));
         let slots = vec![SlotId::new(0, 0), SlotId::new(2, 1)];
         let t = TimingModel::default();
-        let piped = analyze(&g, &[0, 0], &slots, 1, &device(), true, &[Resources::ZERO], &t)
-            .unwrap();
-        let flat = analyze(&g, &[0, 0], &slots, 1, &device(), false, &[Resources::ZERO], &t)
-            .unwrap();
+        let piped =
+            analyze(&g, &[0, 0], &slots, 1, &device(), true, &[Resources::ZERO], &t).unwrap();
+        let flat =
+            analyze(&g, &[0, 0], &slots, 1, &device(), false, &[Resources::ZERO], &t).unwrap();
         assert!(flat.design_freq_mhz() <= piped.design_freq_mhz());
         assert_eq!(flat.critical_net[0].as_deref(), Some("ab"));
     }
@@ -254,17 +252,9 @@ mod tests {
         let g = small_graph(Resources::new(1_000, 2_000, 2, 4, 0));
         let slots = vec![SlotId::new(0, 0), SlotId::new(0, 0)];
         let extra = Resources::new(110_000, 170_000, 100, 0, 0);
-        let rep = analyze(
-            &g,
-            &[0, 0],
-            &slots,
-            1,
-            &device(),
-            true,
-            &[extra],
-            &TimingModel::default(),
-        )
-        .unwrap();
+        let rep =
+            analyze(&g, &[0, 0], &slots, 1, &device(), true, &[extra], &TimingModel::default())
+                .unwrap();
         let qsfp = (device().rows() - 1) * device().cols() + device().cols() - 1;
         assert!(rep.slot_utilization[0][qsfp] > 0.5);
     }

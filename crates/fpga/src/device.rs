@@ -264,9 +264,6 @@ mod tests {
     #[test]
     fn usable_resources_subtract_shell() {
         let d = Device::u55c();
-        assert_eq!(
-            d.usable_resources().lut,
-            d.resources().lut - d.platform_overhead().lut
-        );
+        assert_eq!(d.usable_resources().lut, d.resources().lut - d.platform_overhead().lut);
     }
 }

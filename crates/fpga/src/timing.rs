@@ -87,7 +87,12 @@ impl TimingModel {
     /// Worst per-segment delay of the same net once a pipeline register is
     /// inserted at every slot crossing (§4.6): each segment spans at most
     /// one hop and at most one die boundary.
-    pub fn pipelined_net_delay_ns(&self, hops: usize, die_crossings: usize, worst_util: f64) -> f64 {
+    pub fn pipelined_net_delay_ns(
+        &self,
+        hops: usize,
+        die_crossings: usize,
+        worst_util: f64,
+    ) -> f64 {
         if hops == 0 {
             return self.net_delay_ns(0, 0, worst_util);
         }

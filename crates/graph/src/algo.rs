@@ -17,8 +17,7 @@ pub fn topo_layers(g: &TaskGraph) -> Result<Vec<Vec<TaskId>>, Vec<TaskId>> {
     let n = g.num_tasks();
     let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(TaskId::from_index(i))).collect();
     let mut layers = Vec::new();
-    let mut frontier: Vec<TaskId> =
-        g.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+    let mut frontier: Vec<TaskId> = g.task_ids().filter(|t| indeg[t.index()] == 0).collect();
     let mut seen = 0usize;
     while !frontier.is_empty() {
         seen += frontier.len();
@@ -99,11 +98,8 @@ pub fn strongly_connected_components(g: &TaskGraph) -> Vec<Vec<TaskId>> {
                     v
                 }
             };
-            let succs: Vec<usize> = st
-                .g
-                .successors(TaskId::from_index(v))
-                .map(|t| t.index())
-                .collect();
+            let succs: Vec<usize> =
+                st.g.successors(TaskId::from_index(v)).map(|t| t.index()).collect();
             let mut descended = false;
             while pos[v] < succs.len() {
                 let w = succs[pos[v]];
@@ -186,10 +182,7 @@ pub fn cut_fifos(g: &TaskGraph, assignment: &[usize]) -> Vec<FifoId> {
 /// Total bit-width crossing the cut — the unweighted core of the paper's
 /// equation (2).
 pub fn cut_width_bits(g: &TaskGraph, assignment: &[usize]) -> u64 {
-    cut_fifos(g, assignment)
-        .into_iter()
-        .map(|f| g.fifo(f).width_bits as u64)
-        .sum()
+    cut_fifos(g, assignment).into_iter().map(|f| g.fifo(f).width_bits as u64).sum()
 }
 
 /// Longest path length (in `cycles_per_block` weight) through the DAG part
@@ -207,10 +200,7 @@ pub fn critical_path_cycles(g: &TaskGraph) -> u64 {
                     }
                 }
             }
-            g.task_ids()
-                .map(|t| dist[t.index()] + g.task(t).cycles_per_block)
-                .max()
-                .unwrap_or(0)
+            g.task_ids().map(|t| dist[t.index()] + g.task(t).cycles_per_block).max().unwrap_or(0)
         }
         Err(_) => {
             // Cyclic graph: fall back to the sum over the largest SCC as an

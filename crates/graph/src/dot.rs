@@ -20,9 +20,8 @@ use crate::task::TaskKind;
 /// assert!(out.contains("digraph"));
 /// ```
 pub fn to_dot(g: &TaskGraph, assignment: Option<&[usize]>) -> String {
-    const PALETTE: [&str; 8] = [
-        "#a6cee3", "#fdbf6f", "#b2df8a", "#fb9a99", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
-    ];
+    const PALETTE: [&str; 8] =
+        ["#a6cee3", "#fdbf6f", "#b2df8a", "#fb9a99", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"];
     let mut s = String::new();
     let _ = writeln!(s, "digraph \"{}\" {{", g.name());
     let _ = writeln!(s, "  rankdir=LR;");
@@ -32,9 +31,7 @@ pub fn to_dot(g: &TaskGraph, assignment: Option<&[usize]>) -> String {
             TaskKind::NetSend | TaskKind::NetRecv => "diamond",
             TaskKind::Compute => "ellipse",
         };
-        let color = assignment
-            .map(|a| PALETTE[a[id.index()] % PALETTE.len()])
-            .unwrap_or("#ffffff");
+        let color = assignment.map(|a| PALETTE[a[id.index()] % PALETTE.len()]).unwrap_or("#ffffff");
         let _ = writeln!(
             s,
             "  t{} [label=\"{}\", shape={}, style=filled, fillcolor=\"{}\"];",

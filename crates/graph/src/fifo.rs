@@ -95,9 +95,7 @@ mod tests {
 
     #[test]
     fn builders_clamp() {
-        let f = Fifo::new("f", TaskId(0), TaskId(1), 32)
-            .with_block_bytes(0)
-            .with_depth_blocks(0);
+        let f = Fifo::new("f", TaskId(0), TaskId(1), 32).with_block_bytes(0).with_depth_blocks(0);
         assert_eq!(f.block_bytes, 1);
         assert_eq!(f.depth_blocks, 1);
     }

@@ -186,9 +186,7 @@ mod tests {
 
     #[test]
     fn builder_clamps_to_one() {
-        let t = Task::compute("c", Resources::ZERO)
-            .with_cycles_per_block(0)
-            .with_total_blocks(0);
+        let t = Task::compute("c", Resources::ZERO).with_cycles_per_block(0).with_total_blocks(0);
         assert_eq!(t.cycles_per_block, 1);
         assert_eq!(t.total_blocks, 1);
     }

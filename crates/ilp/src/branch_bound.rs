@@ -131,10 +131,7 @@ pub(crate) fn solve(
 
         let v = node.relax[j];
         // Down child: x_j <= floor(v); up child: x_j >= ceil(v).
-        for (lo, hi) in [
-            (node.lower[j], v.floor()),
-            (v.ceil(), node.upper[j]),
-        ] {
+        for (lo, hi) in [(node.lower[j], v.floor()), (v.ceil(), node.upper[j])] {
             if lo > hi + 1e-9 {
                 continue;
             }
@@ -145,9 +142,8 @@ pub(crate) fn solve(
             match simplex::solve_with_bounds(&lp, &lower, &upper) {
                 LpOutcome::Optimal { values, objective } => {
                     let bound = to_min(objective);
-                    let dominated = incumbent
-                        .as_ref()
-                        .is_some_and(|(best, _)| bound >= *best - 1e-12);
+                    let dominated =
+                        incumbent.as_ref().is_some_and(|(best, _)| bound >= *best - 1e-12);
                     if !dominated {
                         heap.push(Node { bound, lower, upper, relax: values });
                     }
@@ -200,25 +196,19 @@ fn round_repair(model: &Model, relax: &[f64], integral: &[usize], _tol: f64) -> 
 mod tests {
     use std::time::Duration;
 
-    use crate::{Model, Sense, SolverConfig, SolveStatus, LinExpr};
+    use crate::{LinExpr, Model, Sense, SolveStatus, SolverConfig};
 
     #[test]
     fn knapsack_optimum() {
         // Items: (value, weight): (60,10) (100,20) (120,30), cap 50 → 220.
         let mut m = Model::new("knapsack");
         let items = [(60.0, 10.0), (100.0, 20.0), (120.0, 30.0)];
-        let vars: Vec<_> = items
-            .iter()
-            .enumerate()
-            .map(|(i, _)| m.binary(format!("x{i}")))
-            .collect();
-        let weight = LinExpr::sum(
-            vars.iter().zip(&items).map(|(&v, &(_, w))| LinExpr::term(v, w)),
-        );
+        let vars: Vec<_> =
+            items.iter().enumerate().map(|(i, _)| m.binary(format!("x{i}"))).collect();
+        let weight = LinExpr::sum(vars.iter().zip(&items).map(|(&v, &(_, w))| LinExpr::term(v, w)));
         m.add_le("cap", weight, 50.0);
-        let value = LinExpr::sum(
-            vars.iter().zip(&items).map(|(&v, &(val, _))| LinExpr::term(v, val)),
-        );
+        let value =
+            LinExpr::sum(vars.iter().zip(&items).map(|(&v, &(val, _))| LinExpr::term(v, val)));
         m.set_objective(Sense::Maximize, value);
         let sol = m.solve().unwrap();
         assert_eq!(sol.status, SolveStatus::Optimal);
@@ -289,11 +279,14 @@ mod tests {
         // with a zero budget we must still not panic.
         let mut m = Model::new("budget");
         let vars: Vec<_> = (0..12).map(|i| m.binary(format!("x{i}"))).collect();
-        let w = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, 1.0 + i as f64)));
+        let w =
+            LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, 1.0 + i as f64)));
         m.add_le("cap", w, 20.0);
         m.set_objective(
             Sense::Maximize,
-            LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, (i * i + 1) as f64))),
+            LinExpr::sum(
+                vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, (i * i + 1) as f64)),
+            ),
         );
         let cfg = SolverConfig { time_limit: Some(Duration::from_millis(0)), ..Default::default() };
         match m.solve_with(&cfg) {

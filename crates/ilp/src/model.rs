@@ -159,8 +159,7 @@ impl Model {
 
     /// Adds a `{0,1}` variable.
     pub fn binary(&mut self, name: impl Into<String>) -> VarId {
-        self.add_var(name, VarKind::Binary, 0.0, 1.0)
-            .expect("binary bounds are always valid")
+        self.add_var(name, VarKind::Binary, 0.0, 1.0).expect("binary bounds are always valid")
     }
 
     /// Adds a continuous variable in `[lower, upper]`.
@@ -170,8 +169,7 @@ impl Model {
     /// Panics if `lower > upper` — use [`Model::add_var`] for fallible
     /// construction.
     pub fn continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
-        self.add_var(name, VarKind::Continuous, lower, upper)
-            .expect("invalid continuous bounds")
+        self.add_var(name, VarKind::Continuous, lower, upper).expect("invalid continuous bounds")
     }
 
     /// Adds an integer variable in `[lower, upper]`.
@@ -180,8 +178,7 @@ impl Model {
     ///
     /// Panics if `lower > upper`.
     pub fn integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
-        self.add_var(name, VarKind::Integer, lower, upper)
-            .expect("invalid integer bounds")
+        self.add_var(name, VarKind::Integer, lower, upper).expect("invalid integer bounds")
     }
 
     /// Adds `expr <= rhs`.

@@ -296,8 +296,8 @@ pub(crate) fn solve_with_bounds(lp: &LpProblem, lower: &[f64], upper: &[f64]) ->
             if upper[j].is_finite() { upper[j] } else { values[j] },
         );
     }
-    let objective = lp.objective_offset
-        + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>();
+    let objective =
+        lp.objective_offset + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>();
     LpOutcome::Optimal { values, objective }
 }
 
@@ -542,14 +542,7 @@ mod tests {
     #[test]
     fn variable_bounds_respected() {
         // max x + y with 1 <= x <= 3, 0 <= y <= 2 → 5.
-        let p = lp(
-            2,
-            vec![1.0, 0.0],
-            vec![3.0, 2.0],
-            vec![],
-            vec![1.0, 1.0],
-            false,
-        );
+        let p = lp(2, vec![1.0, 0.0], vec![3.0, 2.0], vec![], vec![1.0, 1.0], false);
         let (x, obj) = optimal(solve(&p));
         assert!((obj - 5.0).abs() < 1e-6);
         assert!((x[0] - 3.0).abs() < 1e-6);

@@ -14,13 +14,9 @@ use tapacs_ilp::{IlpError, LinExpr, Model, Sense};
 fn knapsack_model(values: &[u32], weights: &[u32], cap: u32) -> (Model, Vec<tapacs_ilp::VarId>) {
     let mut m = Model::new("prop-knapsack");
     let vars: Vec<_> = (0..values.len()).map(|i| m.binary(format!("x{i}"))).collect();
-    let weight = LinExpr::sum(
-        vars.iter().zip(weights).map(|(&v, &w)| LinExpr::term(v, w as f64)),
-    );
+    let weight = LinExpr::sum(vars.iter().zip(weights).map(|(&v, &w)| LinExpr::term(v, w as f64)));
     m.add_le("cap", weight, cap as f64);
-    let value = LinExpr::sum(
-        vars.iter().zip(values).map(|(&v, &c)| LinExpr::term(v, c as f64)),
-    );
+    let value = LinExpr::sum(vars.iter().zip(values).map(|(&v, &c)| LinExpr::term(v, c as f64)));
     m.set_objective(Sense::Maximize, value);
     (m, vars)
 }

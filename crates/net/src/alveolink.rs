@@ -32,8 +32,7 @@ const LINE_RATE_BPS: f64 = 100e9;
 
 /// Resource overhead fractions per QSFP28 port (§5.6): LUT 2.04%,
 /// FF 2.94%, BRAM 2.06%, DSP 0%, URAM 0%.
-pub const OVERHEAD_FRACTIONS: [(f64, f64, f64, f64, f64); 1] =
-    [(0.0204, 0.0294, 0.0206, 0.0, 0.0)];
+pub const OVERHEAD_FRACTIONS: [(f64, f64, f64, f64, f64); 1] = [(0.0204, 0.0294, 0.0206, 0.0, 0.0)];
 
 /// An AlveoLink endpoint configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -142,8 +142,7 @@ impl Cluster {
         }
         let (na, nb) = (self.node_of(a), self.node_of(b));
         if na == nb {
-            self.intra_topology
-                .dist(self.local_index(a), self.local_index(b), self.node_size(a))
+            self.intra_topology.dist(self.local_index(a), self.local_index(b), self.node_size(a))
                 as f64
         } else {
             let gateway_a =
@@ -166,9 +165,11 @@ impl Cluster {
         }
         let (na, nb) = (self.node_of(a), self.node_of(b));
         if na == nb {
-            let hops = self
-                .intra_topology
-                .dist(self.local_index(a), self.local_index(b), self.node_size(a));
+            let hops = self.intra_topology.dist(
+                self.local_index(a),
+                self.local_index(b),
+                self.node_size(a),
+            );
             self.link.transfer_time_s(bytes)
                 + hops.saturating_sub(1) as f64 * self.link.rtt_us() * 1e-6 / 2.0
         } else {
@@ -196,9 +197,11 @@ impl Cluster {
         }
         let (na, nb) = (self.node_of(a), self.node_of(b));
         if na == nb {
-            let hops = self
-                .intra_topology
-                .dist(self.local_index(a), self.local_index(b), self.node_size(a));
+            let hops = self.intra_topology.dist(
+                self.local_index(a),
+                self.local_index(b),
+                self.node_size(a),
+            );
             hops as f64 * self.link.rtt_us() * 1e-6 / 2.0
         } else {
             self.staging_protocol.rtt_us() * 1e-6
@@ -217,10 +220,8 @@ impl Cluster {
         if self.node_of(a) == self.node_of(b) {
             self.link.steady_state_time_s(bytes)
         } else {
-            let slowest = self
-                .inter_protocol
-                .bandwidth_gbps()
-                .min(self.staging_protocol.bandwidth_gbps());
+            let slowest =
+                self.inter_protocol.bandwidth_gbps().min(self.staging_protocol.bandwidth_gbps());
             bytes as f64 * 8.0 / (slowest * 1e9)
         }
     }

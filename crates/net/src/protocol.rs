@@ -70,26 +70,10 @@ pub struct BandwidthTier {
 /// Table 9: the hierarchy of data-transfer bandwidths in multi-FPGA design.
 pub fn bandwidth_hierarchy() -> Vec<BandwidthTier> {
     vec![
-        BandwidthTier {
-            tier: "On-chip (SRAM)",
-            bytes_per_sec: 35e12,
-            paper_figure: "35TBps",
-        },
-        BandwidthTier {
-            tier: "Off-Chip (HBM)",
-            bytes_per_sec: 460e9,
-            paper_figure: "460GBps",
-        },
-        BandwidthTier {
-            tier: "Inter-FPGA",
-            bytes_per_sec: 100e9 / 8.0,
-            paper_figure: "100Gbps",
-        },
-        BandwidthTier {
-            tier: "Inter-Node",
-            bytes_per_sec: 10e9 / 8.0,
-            paper_figure: "10Gbps",
-        },
+        BandwidthTier { tier: "On-chip (SRAM)", bytes_per_sec: 35e12, paper_figure: "35TBps" },
+        BandwidthTier { tier: "Off-Chip (HBM)", bytes_per_sec: 460e9, paper_figure: "460GBps" },
+        BandwidthTier { tier: "Inter-FPGA", bytes_per_sec: 100e9 / 8.0, paper_figure: "100Gbps" },
+        BandwidthTier { tier: "Inter-Node", bytes_per_sec: 10e9 / 8.0, paper_figure: "10Gbps" },
     ]
 }
 
@@ -119,13 +103,48 @@ pub struct PriorStack {
 pub fn prior_stacks() -> Vec<PriorStack> {
     use Orchestration::{Device, Host};
     vec![
-        PriorStack { name: "TMD-MPI", orchestration: Host, resource_overhead_pct: Some(26.0), performance_gbps: 10.0 },
-        PriorStack { name: "Galapagos", orchestration: Device, resource_overhead_pct: Some(11.5), performance_gbps: 10.0 },
-        PriorStack { name: "SMI", orchestration: Device, resource_overhead_pct: Some(2.0), performance_gbps: 40.0 },
-        PriorStack { name: "EasyNet", orchestration: Device, resource_overhead_pct: Some(10.0), performance_gbps: 90.0 },
-        PriorStack { name: "ZRLMPI", orchestration: Host, resource_overhead_pct: None, performance_gbps: 10.0 },
-        PriorStack { name: "ACCL", orchestration: Host, resource_overhead_pct: Some(16.0), performance_gbps: 80.0 },
-        PriorStack { name: "AlveoLink", orchestration: Device, resource_overhead_pct: Some(5.0), performance_gbps: 90.0 },
+        PriorStack {
+            name: "TMD-MPI",
+            orchestration: Host,
+            resource_overhead_pct: Some(26.0),
+            performance_gbps: 10.0,
+        },
+        PriorStack {
+            name: "Galapagos",
+            orchestration: Device,
+            resource_overhead_pct: Some(11.5),
+            performance_gbps: 10.0,
+        },
+        PriorStack {
+            name: "SMI",
+            orchestration: Device,
+            resource_overhead_pct: Some(2.0),
+            performance_gbps: 40.0,
+        },
+        PriorStack {
+            name: "EasyNet",
+            orchestration: Device,
+            resource_overhead_pct: Some(10.0),
+            performance_gbps: 90.0,
+        },
+        PriorStack {
+            name: "ZRLMPI",
+            orchestration: Host,
+            resource_overhead_pct: None,
+            performance_gbps: 10.0,
+        },
+        PriorStack {
+            name: "ACCL",
+            orchestration: Host,
+            resource_overhead_pct: Some(16.0),
+            performance_gbps: 80.0,
+        },
+        PriorStack {
+            name: "AlveoLink",
+            orchestration: Device,
+            resource_overhead_pct: Some(5.0),
+            performance_gbps: 90.0,
+        },
     ]
 }
 
@@ -174,6 +193,8 @@ mod tests {
         let easynet = rows.iter().find(|r| r.name == "EasyNet").unwrap();
         assert_eq!(alveo.performance_gbps, easynet.performance_gbps);
         // "AlveoLink requires about half of the on-board resources" (§6.1).
-        assert!(alveo.resource_overhead_pct.unwrap() <= easynet.resource_overhead_pct.unwrap() / 2.0);
+        assert!(
+            alveo.resource_overhead_pct.unwrap() <= easynet.resource_overhead_pct.unwrap() / 2.0
+        );
     }
 }

@@ -61,10 +61,7 @@ impl Topology {
                 ri.abs_diff(rj) + ci.abs_diff(cj)
             }
             Topology::Hypercube => {
-                assert!(
-                    total_num.is_power_of_two(),
-                    "hypercube requires a power-of-two cluster"
-                );
+                assert!(total_num.is_power_of_two(), "hypercube requires a power-of-two cluster");
                 (i ^ j).count_ones() as usize
             }
         }

@@ -2,8 +2,8 @@
 //! monotone, cluster bookkeeping is consistent.
 
 use proptest::prelude::*;
-use tapacs_net::{AlveoLink, Cluster, FpgaId, Protocol, Topology};
 use tapacs_fpga::Device;
+use tapacs_net::{AlveoLink, Cluster, FpgaId, Protocol, Topology};
 
 fn topologies() -> Vec<Topology> {
     vec![

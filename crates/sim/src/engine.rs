@@ -28,11 +28,9 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { time_s, stuck_tasks } => write!(
-                f,
-                "deadlock at t={time_s:.6}s; stuck tasks: {}",
-                stuck_tasks.join(", ")
-            ),
+            SimError::Deadlock { time_s, stuck_tasks } => {
+                write!(f, "deadlock at t={time_s:.6}s; stuck tasks: {}", stuck_tasks.join(", "))
+            }
             SimError::InvalidInput(msg) => write!(f, "invalid simulation input: {msg}"),
         }
     }
@@ -108,7 +106,8 @@ pub fn simulate(
         )));
     }
     for (i, &f) in placement.freq_mhz.iter().enumerate() {
-        if !(f > 0.0) {
+        // partial_cmp so NaN frequencies are rejected along with f <= 0.
+        if f.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(SimError::InvalidInput(format!("FPGA {i} has frequency {f} MHz")));
         }
     }
@@ -124,8 +123,7 @@ pub fn simulate(
     let mut running = vec![false; n_tasks];
     let mut blocks_done = vec![0u64; n_tasks];
     // Blocks ready at the consumer side (cycles may seed initial tokens).
-    let mut occupancy: Vec<usize> =
-        graph.fifos().map(|(_, f)| f.initial_blocks).collect();
+    let mut occupancy: Vec<usize> = graph.fifos().map(|(_, f)| f.initial_blocks).collect();
     // Blocks in flight over the network (count toward producer-side fill).
     let mut in_flight = vec![0usize; n_fifos];
 
@@ -192,11 +190,7 @@ pub fn simulate(
         | TaskKind::HbmWrite { channel, port_width_bits, buffer_bytes } = task.kind
         {
             let bytes = if matches!(task.kind, TaskKind::HbmRead { .. }) {
-                graph
-                    .out_fifos(tid)
-                    .first()
-                    .map(|&f| graph.fifo(f).block_bytes)
-                    .unwrap_or(0)
+                graph.out_fifos(tid).first().map(|&f| graph.fifo(f).block_bytes).unwrap_or(0)
             } else {
                 graph
                     .in_fifos(tid)

@@ -54,11 +54,7 @@ impl Placement {
     /// Panics if a task maps to an FPGA with no frequency entry or the
     /// assignment length mismatches the graph.
     pub fn assert_covers(&self, graph: &TaskGraph) {
-        assert_eq!(
-            self.fpga_of_task.len(),
-            graph.num_tasks(),
-            "placement must assign every task"
-        );
+        assert_eq!(self.fpga_of_task.len(), graph.num_tasks(), "placement must assign every task");
         for &f in &self.fpga_of_task {
             assert!(f < self.freq_mhz.len(), "task assigned to unknown FPGA {f}");
         }

@@ -83,8 +83,7 @@ fn narrow_port_halves_hbm_bandwidth() {
     let run = |width: u32, buffer: u64| {
         let mut g = TaskGraph::new("hbm");
         let r = g.add_task(
-            Task::hbm_read("rd", Resources::ZERO, 0, width, buffer)
-                .with_total_blocks(256),
+            Task::hbm_read("rd", Resources::ZERO, 0, width, buffer).with_total_blocks(256),
         );
         let c = g.add_task(compute("sink", 1, 256));
         g.add_fifo(Fifo::new("rc", r, c, width).with_block_bytes(64 * 1024));
@@ -180,10 +179,7 @@ fn cyclic_graph_with_initial_tokens_deadlocks_cleanly() {
     g.add_fifo(Fifo::new("ab", a, b, 32));
     g.add_fifo(Fifo::new("ba", b, a, 32));
     let p = Placement::single_fpga(&g, 300.0);
-    assert!(matches!(
-        simulate(&g, &p, &single_cluster()),
-        Err(SimError::Deadlock { .. })
-    ));
+    assert!(matches!(simulate(&g, &p, &single_cluster()), Err(SimError::Deadlock { .. })));
 }
 
 #[test]
@@ -192,23 +188,14 @@ fn invalid_inputs_rejected() {
     g.add_task(compute("a", 1, 1));
     // Zero frequency.
     let p = Placement::single_fpga(&g, 0.0);
-    assert!(matches!(
-        simulate(&g, &p, &single_cluster()),
-        Err(SimError::InvalidInput(_))
-    ));
+    assert!(matches!(simulate(&g, &p, &single_cluster()), Err(SimError::InvalidInput(_))));
     // Empty graph.
     let empty = TaskGraph::new("empty");
     let pe = Placement::single_fpga(&empty, 300.0);
-    assert!(matches!(
-        simulate(&empty, &pe, &single_cluster()),
-        Err(SimError::InvalidInput(_))
-    ));
+    assert!(matches!(simulate(&empty, &pe, &single_cluster()), Err(SimError::InvalidInput(_))));
     // Placement referencing more FPGAs than the cluster has.
     let p2 = Placement { fpga_of_task: vec![1], freq_mhz: vec![300.0, 300.0] };
-    assert!(matches!(
-        simulate(&g, &p2, &single_cluster()),
-        Err(SimError::InvalidInput(_))
-    ));
+    assert!(matches!(simulate(&g, &p2, &single_cluster()), Err(SimError::InvalidInput(_))));
 }
 
 #[test]

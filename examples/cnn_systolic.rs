@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("systolic vs reference conv: max abs error {err:.2e}\n");
 
     let device = Device::u55c();
-    println!("{:<8} {:>5} {:>8} {:>9} {:>10} {:>10}", "grid", "PEs", "DSP %", "fits 1?", "flow", "latency");
+    println!(
+        "{:<8} {:>5} {:>8} {:>9} {:>10} {:>10}",
+        "grid", "PEs", "DSP %", "fits 1?", "flow", "latency"
+    );
     for (cols, flow) in [
         (4usize, Flow::VitisHls),
         (8, Flow::TapaSingle),
@@ -36,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Does a single device route it? Try the single-FPGA flow.
         let single_graph = cnn::build(&CnnConfig { n_fpgas: 1, ..cfg });
         let cluster1 = paper_cluster(1);
-        let fits_single =
-            suite_compiler(cluster1).compile(&single_graph, Flow::TapaSingle).is_ok();
+        let fits_single = suite_compiler(cluster1).compile(&single_graph, Flow::TapaSingle).is_ok();
         let g = cnn::build(&cfg);
         let (run, _) = run_flow(&g, flow)?;
         println!(

@@ -17,14 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The §3 bandwidth story first.
     let hbm = HbmModel::hbm2_16gb();
     println!("per-bank HBM bandwidth saturation (§3):");
-    println!(
-        "  256-bit / 32 KB  → {:>5.1}%",
-        hbm.port_efficiency(256, 32 * 1024) * 100.0
-    );
-    println!(
-        "  512-bit / 128 KB → {:>5.1}%\n",
-        hbm.port_efficiency(512, 128 * 1024) * 100.0
-    );
+    println!("  256-bit / 32 KB  → {:>5.1}%", hbm.port_efficiency(256, 32 * 1024) * 100.0);
+    println!("  512-bit / 128 KB → {:>5.1}%\n", hbm.port_efficiency(512, 128 * 1024) * 100.0);
 
     // K = 10, N = 4M, D = 8 across 1-4 FPGAs.
     println!("KNN N=4M D=8 K=10:");

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mass
     );
 
-    println!("{:<18} {:>6} {:>10} {:>10} {:>9}", "dataset", "flow", "freq MHz", "latency s", "speedup");
+    println!(
+        "{:<18} {:>6} {:>10} {:>10} {:>9}",
+        "dataset", "flow", "freq MHz", "latency s", "speedup"
+    );
     for net in data::snap_networks() {
         let mut baseline = None;
         for flow in [

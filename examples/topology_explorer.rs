@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.num_tasks(),
         g.num_fifos()
     );
-    println!("{:<14} {:>10} {:>12} {:>12} {:>8}", "topology", "diameter", "eq.2 cost", "cut bits", "L1 (s)");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>8}",
+        "topology", "diameter", "eq.2 cost", "cut bits", "L1 (s)"
+    );
     for topo in Topology::all_for_four() {
         let cluster = Cluster::single_node(Device::u55c(), 4, topo);
         let cfg = PartitionConfig { time_limit_s: 2.0, ..Default::default() };

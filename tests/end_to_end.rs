@@ -11,8 +11,8 @@ fn every_benchmark_compiles_and_simulates_on_two_fpgas() {
     for bench in Benchmark::ALL {
         let flow = Flow::TapaCs { n_fpgas: 2 };
         let graph = build_for(bench, flow, default_param(bench));
-        let (run, design) = run_flow(&graph, flow)
-            .unwrap_or_else(|e| panic!("{bench:?} failed: {e}"));
+        let (run, design) =
+            run_flow(&graph, flow).unwrap_or_else(|e| panic!("{bench:?} failed: {e}"));
         assert!(run.latency_s > 0.0, "{bench:?} latency");
         assert!(run.freq_mhz > 100.0 && run.freq_mhz <= 300.0, "{bench:?} freq {}", run.freq_mhz);
         assert_eq!(design.n_fpgas(), 2);
@@ -35,10 +35,7 @@ fn frequency_ordering_holds_per_benchmark() {
         // Vitis. (TAPA-single vs TAPA-CS ordering can wobble by a few MHz
         // when the multi-FPGA configuration uses heavier wide-port
         // modules; see EXPERIMENTS.md.)
-        assert!(
-            freqs[0] <= freqs[1] + 1e-6 && freqs[0] <= freqs[2] + 1e-6,
-            "{bench:?}: {freqs:?}"
-        );
+        assert!(freqs[0] <= freqs[1] + 1e-6 && freqs[0] <= freqs[2] + 1e-6, "{bench:?}: {freqs:?}");
     }
 }
 
@@ -88,10 +85,7 @@ fn stencil_gains_shrink_with_iterations() {
     };
     let s64 = speedup(64);
     let s512 = speedup(512);
-    assert!(
-        s512 < s64,
-        "gains must shrink as iterations grow: 64→{s64:.2}x, 512→{s512:.2}x"
-    );
+    assert!(s512 < s64, "gains must shrink as iterations grow: 64→{s64:.2}x, 512→{s512:.2}x");
 }
 
 #[test]

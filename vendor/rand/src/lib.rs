@@ -1,0 +1,208 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Implements the slice of the rand 0.8 API the workspace uses —
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen` and
+//! `Rng::gen_range` over half-open ranges — on top of a SplitMix64
+//! generator. Deterministic per seed, which is all the workspace relies on
+//! (dataset generation is seeded and tests assert reproducibility, not a
+//! specific stream). Swap for the real crate when a registry is reachable;
+//! generated datasets will change but every property still holds.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Minimal core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled from a uniform `u64` stream (stand-in for the
+/// `Standard` distribution).
+pub trait SampleStandard {
+    /// Maps one (or more) uniform draws to a value of `Self`.
+    fn sample_standard<G: FnMut() -> u64>(gen: &mut G) -> Self;
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<G: FnMut() -> u64>(gen: &mut G) -> Self {
+        gen()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<G: FnMut() -> u64>(gen: &mut G) -> Self {
+        (gen() >> 32) as u32
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample_standard<G: FnMut() -> u64>(gen: &mut G) -> Self {
+        gen() as usize
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<G: FnMut() -> u64>(gen: &mut G) -> Self {
+        gen() >> 63 == 1
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<G: FnMut() -> u64>(gen: &mut G) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (gen() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<G: FnMut() -> u64>(gen: &mut G) -> Self {
+        (gen() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled uniformly (stand-in for `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<G: FnMut() -> u64>(self, gen: &mut G) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: FnMut() -> u64>(self, gen: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (gen() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: FnMut() -> u64>(self, gen: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as SampleStandard>::sample_standard(gen);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// User-facing RNG methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value via the standard (uniform) distribution.
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        let mut draw = || self.next_u64();
+        T::sample_standard(&mut draw)
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: a SplitMix64 generator. Not
+    /// cryptographic, but statistically solid for dataset synthesis.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            lo |= x < 0.1;
+            hi |= x > 0.9;
+        }
+        assert!(lo && hi, "samples never reached the interval edges");
+    }
+}

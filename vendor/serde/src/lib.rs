@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! mirrors exactly the serde surface the workspace consumes: the
+//! `Serialize` / `Deserialize` traits (as empty marker traits) and the
+//! derive macros of the same names. No wire format is implemented; the
+//! workspace only *derives* the traits today. Replace with the real serde
+//! (the manifests already request `features = ["derive"]`) once a registry
+//! is reachable — no source changes will be needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,46 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! serde cannot be vendored. This proc-macro crate accepts the same derive
+//! syntax (`#[derive(Serialize, Deserialize)]`, including `#[serde(...)]`
+//! helper attributes) and emits empty marker-trait impls for the stub
+//! traits in the sibling `serde` crate. No (de)serialization code is
+//! generated — the workspace only uses the derives as API surface today.
+//! Swap both stubs for the real crates once a registry is reachable.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive is attached to.
+///
+/// Scans top-level tokens for the `struct`/`enum`/`union` keyword and takes
+/// the following identifier. Attribute contents (doc comments, `#[serde]`)
+/// live inside groups and are never seen at top level, so they cannot
+/// confuse the scan.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find type name in input");
+}
+
+/// Stub `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Stub `#[derive(Deserialize)]`: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
