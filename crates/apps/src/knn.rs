@@ -100,7 +100,7 @@ pub fn knn(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<(usize, f32)> {
     assert!(k > 0, "k must be positive");
     let mut scored: Vec<(usize, f32)> =
         points.iter().enumerate().map(|(i, p)| (i, dist2(p, query))).collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     scored
 }
@@ -227,6 +227,17 @@ mod tests {
         let a = knn(&pts, &q, 10);
         let b = knn_streaming(&pts, &q, 10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_survives_nan_distances() {
+        // A NaN coordinate poisons its distance; total_cmp sorts NaN last
+        // instead of panicking mid-sort.
+        let mut pts = data::random_points(50, 4, 7);
+        pts[13] = vec![f32::NAN, 0.0, 0.0, 0.0];
+        let res = knn(&pts, &[0.25; 4], 5);
+        assert_eq!(res.len(), 5);
+        assert!(res.iter().all(|&(i, d)| i != 13 && d.is_finite()));
     }
 
     #[test]

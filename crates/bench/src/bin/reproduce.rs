@@ -4,6 +4,7 @@
 //! cargo run --release -p tapacs-bench --bin reproduce -- quick   # static tables
 //! cargo run --release -p tapacs-bench --bin reproduce -- all    # full matrix
 //! cargo run --release -p tapacs-bench --bin reproduce -- table3 fig10 fig12
+//! cargo run --release -p tapacs-bench --bin reproduce -- list   # known names
 //! ```
 
 use tapacs_bench::reproduce as r;
@@ -15,6 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for w in wanted {
         match w {
+            "list" => {
+                for name in r::EXPERIMENTS {
+                    println!("{name}");
+                }
+            }
             "quick" => print!("{}", r::quick()),
             "all" => {
                 print!("{}", r::quick());
@@ -31,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{}", r::overhead()?);
                 println!("{}", r::ablation()?);
                 println!("{}", r::multinode()?);
+                println!("{}", r::solvers()?);
             }
             "table1" => print!("{}", r::table1()),
             "table2" => print!("{}", r::table2()),
@@ -57,7 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "multinode" => print!("{}", r::multinode()?),
             "packet_example" => print!("{}", r::packet_example()),
             "ablation" => print!("{}", r::ablation()?),
-            other => return Err(format!("unknown experiment: {other}").into()),
+            "solvers" => print!("{}", r::solvers()?),
+            other => {
+                return Err(format!(
+                    "unknown experiment: {other} (run `reproduce list` for the known names)"
+                )
+                .into())
+            }
         }
         println!();
     }

@@ -6,10 +6,43 @@ use std::fmt::Write as _;
 
 use tapacs_apps::suite::{self, paper_flows, run_flow, table3_row, Benchmark};
 use tapacs_apps::{cnn, data, knn, pagerank, stencil};
-use tapacs_core::report::{prior_work, UtilizationReport};
+use tapacs_core::report::{prior_work, SolverActivityReport, UtilizationReport};
 use tapacs_core::Flow;
 use tapacs_fpga::Device;
 use tapacs_net::{alveolink, protocol, AlveoLink};
+
+/// Every experiment name the `reproduce` binary accepts (the `list`
+/// subcommand prints these; keep in sync with the binary's dispatch).
+pub const EXPERIMENTS: &[&str] = &[
+    "quick",
+    "all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "freq",
+    "overhead",
+    "alveolink_overhead",
+    "multinode",
+    "packet_example",
+    "ablation",
+    "solvers",
+];
 
 fn check(b: bool) -> &'static str {
     if b {
@@ -490,6 +523,81 @@ pub fn ablation() -> Result<String, Box<dyn std::error::Error>> {
             );
         }
     }
+    Ok(s)
+}
+
+/// Solver-backend wall-clock comparison: compiles multi-FPGA designs with
+/// the sequential and parallel branch-and-bound backends (cache disabled
+/// for honest timing), then demonstrates the memo-cache on a repeated
+/// compile. On a multi-core host the parallel column should win; on one
+/// core the two columns converge while the cached re-compile still drops
+/// to near zero.
+///
+/// # Errors
+///
+/// Propagates the first compile failure.
+pub fn solvers() -> Result<String, Box<dyn std::error::Error>> {
+    use std::time::Instant;
+    use tapacs_core::{Compiler, CompilerConfig, SolverBackend, SolverOptions};
+    use tapacs_net::{Cluster, Topology};
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut s = format!(
+        "Solver backends: end-to-end compile wall-clock ({cores} core(s))\ndesign             flow  sequential(s)  parallel(s)  speedup\n"
+    );
+
+    let cluster = Cluster::single_node(Device::u55c(), 4, Topology::Ring);
+    let cases = [
+        ("stencil i256", suite::build_for(Benchmark::Stencil, Flow::TapaCs { n_fpgas: 2 }, 256), 2),
+        ("cnn 13x12", cnn::build(&cnn::CnnConfig { rows: 13, cols: 12, n_fpgas: 2 }), 2),
+        ("knn n4M d8", knn::build(&knn::KnnConfig::paper(4_000_000, 8, 4)), 4),
+    ];
+
+    let timed = |backend: SolverBackend,
+                 graph: &tapacs_graph::TaskGraph,
+                 n: usize|
+     -> Result<f64, Box<dyn std::error::Error>> {
+        let options = SolverOptions { backend, threads: 0, warm_start: true, cache: false };
+        let config = CompilerConfig { solver: options, ..CompilerConfig::default() };
+        let compiler = Compiler::with_config(cluster.clone(), config);
+        let t0 = Instant::now();
+        compiler.compile(graph, Flow::TapaCs { n_fpgas: n })?;
+        Ok(t0.elapsed().as_secs_f64())
+    };
+
+    for (name, graph, n) in &cases {
+        let seq = timed(SolverBackend::Sequential, graph, *n)?;
+        let par = timed(SolverBackend::Parallel, graph, *n)?;
+        let _ = writeln!(
+            s,
+            "{:<18} F{:<4} {:<14.3} {:<12.3} {:.2}x",
+            name,
+            n,
+            seq,
+            par,
+            seq / par.max(1e-9)
+        );
+    }
+
+    // Memo-cache demonstration: same design compiled twice with caching on.
+    let cache = tapacs_ilp::SolveCache::global();
+    cache.clear();
+    let options = SolverOptions { cache: true, ..SolverOptions::default() };
+    let config = CompilerConfig { solver: options, ..CompilerConfig::default() };
+    let compiler = Compiler::with_config(cluster.clone(), config);
+    let (name, graph, n) = &cases[0];
+    let t0 = Instant::now();
+    let design = compiler.compile(graph, Flow::TapaCs { n_fpgas: *n })?;
+    let cold = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    compiler.compile(graph, Flow::TapaCs { n_fpgas: *n })?;
+    let warm = t1.elapsed().as_secs_f64();
+    let _ = writeln!(
+        s,
+        "\nmemo-cache on {name}: cold {cold:.3}s, re-compile {warm:.3}s ({:.1}x)\n",
+        cold / warm.max(1e-9)
+    );
+    s.push_str(&SolverActivityReport::from_design(&design).render_table());
     Ok(s)
 }
 

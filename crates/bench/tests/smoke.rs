@@ -2,6 +2,8 @@
 //! static tables without touching the full compile/simulate matrix, so CI
 //! exercises the binary's default mode cheaply.
 
+use std::process::Command;
+
 use tapacs_bench::reproduce as r;
 
 #[test]
@@ -25,4 +27,63 @@ fn quick_renders_the_static_tables() {
     }
     // Deterministic: two renders agree (CI reruns must not flake).
     assert_eq!(out, r::quick());
+}
+
+#[test]
+fn list_subcommand_prints_every_experiment() {
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .arg("list")
+        .output()
+        .expect("reproduce binary must run");
+    assert!(out.status.success(), "list exited with {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in r::EXPERIMENTS {
+        assert!(stdout.lines().any(|l| l == *name), "`reproduce list` output is missing {name:?}");
+    }
+}
+
+#[test]
+fn every_static_experiment_name_dispatches() {
+    // `list` printing EXPERIMENTS is checked above, but that alone cannot
+    // catch a listed name with no dispatch arm. Run the binary on every
+    // *static* (non-compiling, sub-second) experiment in one invocation;
+    // an unmatched name would exit 1 with "unknown experiment".
+    let static_names = [
+        "table1",
+        "table2",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "table10",
+        "fig8",
+        "alveolink_overhead",
+        "packet_example",
+    ];
+    for name in static_names {
+        assert!(r::EXPERIMENTS.contains(&name), "{name} missing from EXPERIMENTS");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(static_names)
+        .output()
+        .expect("reproduce binary must run");
+    assert!(
+        out.status.success(),
+        "static experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_experiment_error_mentions_list() {
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .arg("definitely-not-an-experiment")
+        .output()
+        .expect("reproduce binary must run");
+    assert!(!out.status.success(), "unknown experiment must fail");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+    assert!(stderr.contains("reproduce list"), "stderr must point at `list`: {stderr}");
 }

@@ -6,6 +6,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 use tapacs_fpga::{SlotId, TimingModel, Utilization};
 use tapacs_graph::TaskGraph;
+use tapacs_ilp::SolverOptions;
 use tapacs_net::Cluster;
 use tapacs_sim::{simulate, Placement, SimError, SimReport};
 
@@ -15,6 +16,7 @@ use crate::floorplan::{floorplan, rebind_hbm_channels, FloorplanConfig};
 use crate::partition::{partition, usable_capacity, InterPartition, PartitionConfig};
 use crate::pipeline::{pipeline, PipelineReport};
 use crate::pnr::{analyze, TimingReport};
+use crate::report::LevelSolveStats;
 
 /// The compilation flows compared in the paper's evaluation (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +71,10 @@ pub struct CompilerConfig {
     /// accept higher utilization than the multi-FPGA partitioner, paying
     /// frequency instead).
     pub single_fpga_threshold: f64,
+    /// ILP solver backend/threads/caching, applied to *both* floorplanning
+    /// stages by [`Compiler::compile`] (call [`partition`] / [`floorplan`]
+    /// directly with per-stage [`SolverOptions`] for finer control).
+    pub solver: SolverOptions,
 }
 
 impl Default for CompilerConfig {
@@ -78,6 +84,7 @@ impl Default for CompilerConfig {
             floorplan: FloorplanConfig { slot_threshold: 0.9, ..Default::default() },
             timing: TimingModel::default(),
             single_fpga_threshold: 0.92,
+            solver: SolverOptions::default(),
         }
     }
 }
@@ -98,6 +105,9 @@ pub struct CompiledDesign {
     pub partition: InterPartition,
     /// Intra-FPGA floorplanning runtime (the paper's `L2`).
     pub floorplan_runtime: Duration,
+    /// Intra-FPGA floorplanner solve activity per bisection level (the
+    /// partitioner's lives in [`InterPartition::solve_stats`]).
+    pub floorplan_stats: Vec<LevelSolveStats>,
     /// Pipelining outcome.
     pub pipeline: PipelineReport,
     /// Virtual-P&R timing closure.
@@ -176,8 +186,11 @@ impl Compiler {
             self.cluster.total_fpgas()
         );
 
-        // Step 3: inter-FPGA floorplanning (equations 1-2).
+        // Step 3: inter-FPGA floorplanning (equations 1-2). The compiler's
+        // solver options override both stage configs so one knob controls
+        // the whole pipeline.
         let mut pcfg = self.config.partition.clone();
+        pcfg.solver = self.config.solver.clone();
         if n == 1 {
             pcfg.threshold = self.config.single_fpga_threshold;
         }
@@ -193,6 +206,8 @@ impl Compiler {
         // slot so the floorplanner sees the true remaining capacity. The
         // Vitis flow gets first-fit placement instead — it has no
         // dataflow-aware floorplanning.
+        let mut fcfg = self.config.floorplan.clone();
+        fcfg.solver = self.config.solver.clone();
         let fp = if matches!(flow, Flow::VitisHls) {
             crate::floorplan::floorplan_naive(
                 &full_graph,
@@ -200,17 +215,10 @@ impl Compiler {
                 n,
                 &device,
                 &overhead_per_fpga,
-                &self.config.floorplan,
+                &fcfg,
             )?
         } else {
-            floorplan(
-                &full_graph,
-                &assignment,
-                n,
-                &device,
-                &overhead_per_fpga,
-                &self.config.floorplan,
-            )?
+            floorplan(&full_graph, &assignment, n, &device, &overhead_per_fpga, &fcfg)?
         };
         let channels_used =
             rebind_hbm_channels(&mut full_graph, &assignment, &fp.slot_of_task, n, &device);
@@ -260,6 +268,7 @@ impl Compiler {
             slot_of_task: fp.slot_of_task,
             partition: inter,
             floorplan_runtime: fp.runtime,
+            floorplan_stats: fp.solve_stats,
             pipeline: pipe,
             timing,
             utilization,

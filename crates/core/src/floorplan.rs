@@ -24,14 +24,16 @@
 //! nearest channels, avoiding the lateral-routing congestion the paper
 //! warns about.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use tapacs_fpga::{Device, ResourceKind, Resources, SlotId};
 use tapacs_graph::{TaskGraph, TaskId, TaskKind};
-use tapacs_ilp::{IlpError, LinExpr, Model, Sense, SolverConfig};
+use tapacs_ilp::{IlpError, LinExpr, Model, Sense, SolverConfig, SolverOptions};
 
 use crate::error::CompileError;
+use crate::report::{aggregate_level_samples, LevelSolveStats};
 
 /// Tuning knobs for the intra-FPGA floorplanner.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,11 +46,20 @@ pub struct FloorplanConfig {
     pub refine_passes: usize,
     /// Balance slack for *unpinned* load across region halves.
     pub balance_slack: f64,
+    /// Solver backend, worker-thread count and caching for the region
+    /// split ILPs (also gates the concurrent recursion over the halves).
+    pub solver: SolverOptions,
 }
 
 impl Default for FloorplanConfig {
     fn default() -> Self {
-        Self { slot_threshold: 0.8, time_limit_s: 10.0, refine_passes: 3, balance_slack: 0.35 }
+        Self {
+            slot_threshold: 0.8,
+            time_limit_s: 10.0,
+            refine_passes: 3,
+            balance_slack: 0.35,
+            solver: SolverOptions::default(),
+        }
     }
 }
 
@@ -61,6 +72,11 @@ pub struct Floorplan {
     pub slot_used: Vec<Vec<Resources>>,
     /// Wall-clock spent (the paper's `L2` overhead, §5.6).
     pub runtime: Duration,
+    /// Region-split ILP activity per bisection level, summed over FPGAs.
+    /// Counts only solves whose placement was kept: empty for the naive
+    /// first-fit baseline, and FPGAs placed by the greedy fallback
+    /// contribute nothing.
+    pub solve_stats: Vec<LevelSolveStats>,
 }
 
 /// A rectangular slot-grid region `[row_lo, row_hi) × [col_lo, col_hi)`.
@@ -142,6 +158,7 @@ pub fn floorplan(
     assert_eq!(assignment.len(), graph.num_tasks(), "assignment must cover the graph");
     let start = Instant::now();
     let mut slot_of_task = vec![SlotId::new(0, 0); graph.num_tasks()];
+    let mut all_samples = Vec::new();
 
     for fpga in 0..n_fpgas {
         let tasks: Vec<TaskId> =
@@ -152,13 +169,25 @@ pub fn floorplan(
         let reserved = reserved_qsfp.get(fpga).copied().unwrap_or(Resources::ZERO);
         let ctx = FpgaCtx { device, cfg, reserved };
         let full = Region { row_lo: 0, row_hi: device.rows(), col_lo: 0, col_hi: device.cols() };
-        if let Err(CompileError::InsufficientResources { .. }) =
-            place_region(graph, &ctx, &tasks, full, &mut slot_of_task)
-        {
-            // Recursive bisection has no lookahead: a feasible row split can
-            // still be slot-infeasible (the platform slot is weaker). Fall
-            // back to direct greedy slot packing before giving up.
-            greedy_slots(graph, &ctx, &tasks, &mut slot_of_task)?;
+        // Per-FPGA sample buffer: kept only when bisection produced the
+        // placement, so solve_stats never reports work whose result was
+        // discarded for the greedy fallback (matching the partitioner).
+        let samples = Mutex::new(Vec::new());
+        match place_region(graph, &ctx, &tasks, full, 0, &samples) {
+            Ok(pairs) => {
+                for (t, slot) in pairs {
+                    slot_of_task[t.index()] = slot;
+                }
+                all_samples.extend(samples.into_inner().unwrap());
+            }
+            Err(CompileError::InsufficientResources { .. }) => {
+                // Recursive bisection has no lookahead: a feasible row split
+                // can still be slot-infeasible (the platform slot is
+                // weaker). Fall back to direct greedy slot packing before
+                // giving up.
+                greedy_slots(graph, &ctx, &tasks, &mut slot_of_task)?;
+            }
+            Err(other) => return Err(other),
         }
         refine_fpga(graph, &ctx, &tasks, &mut slot_of_task);
     }
@@ -171,26 +200,35 @@ pub fn floorplan(
         slot_used[assignment[id.index()]][s.row * device.cols() + s.col] += t.resources;
     }
 
-    Ok(Floorplan { slot_of_task, slot_used, runtime: start.elapsed() })
+    Ok(Floorplan {
+        slot_of_task,
+        slot_used,
+        runtime: start.elapsed(),
+        solve_stats: aggregate_level_samples(all_samples),
+    })
 }
 
-/// Recursively bisects `region`, assigning `tasks` to slots.
+/// Recursively bisects `region`, assigning `tasks` to slots. Returns
+/// `(task, slot)` pairs.
+///
+/// Like the inter-FPGA bisection, the two half-regions are independent once
+/// the split is solved, so under [`SolverOptions::parallel_recursion`] the
+/// low half is placed on a scoped worker thread while this thread places
+/// the high half; the merge is a deterministic concatenation.
 fn place_region(
     graph: &TaskGraph,
     ctx: &FpgaCtx<'_>,
     tasks: &[TaskId],
     region: Region,
-    slot_of_task: &mut [SlotId],
-) -> Result<(), CompileError> {
+    level: usize,
+    samples: &Mutex<Vec<(usize, f64)>>,
+) -> Result<Vec<(TaskId, SlotId)>, CompileError> {
     if tasks.is_empty() {
-        return Ok(());
+        return Ok(Vec::new());
     }
     if region.single() {
         let slot = SlotId::new(region.row_lo, region.col_lo);
-        for &t in tasks {
-            slot_of_task[t.index()] = slot;
-        }
-        return Ok(());
+        return Ok(tasks.iter().map(|&t| (t, slot)).collect());
     }
 
     // Split along the longer dimension (rows first: die boundaries are the
@@ -238,7 +276,9 @@ fn place_region(
         }
     };
 
+    let t0 = Instant::now();
     let side = solve_region_split(graph, ctx, tasks, &low, &high, pin)?;
+    samples.lock().unwrap().push((level, t0.elapsed().as_secs_f64()));
     let mut low_tasks = Vec::new();
     let mut high_tasks = Vec::new();
     for (&t, &s) in tasks.iter().zip(&side) {
@@ -248,8 +288,28 @@ fn place_region(
             low_tasks.push(t);
         }
     }
-    place_region(graph, ctx, &low_tasks, low, slot_of_task)?;
-    place_region(graph, ctx, &high_tasks, high, slot_of_task)
+
+    let concurrent = ctx.cfg.solver.parallel_recursion()
+        && !low.single()
+        && !high.single()
+        && !low_tasks.is_empty()
+        && !high_tasks.is_empty();
+    let (low_pairs, high_pairs) = if concurrent {
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| place_region(graph, ctx, &low_tasks, low, level + 1, samples));
+            let high_pairs = place_region(graph, ctx, &high_tasks, high, level + 1, samples);
+            let low_pairs = worker.join().expect("floorplan worker panicked");
+            (low_pairs, high_pairs)
+        })
+    } else {
+        (
+            place_region(graph, ctx, &low_tasks, low, level + 1, samples),
+            place_region(graph, ctx, &high_tasks, high, level + 1, samples),
+        )
+    };
+    let mut pairs = low_pairs?;
+    pairs.extend(high_pairs?);
+    Ok(pairs)
 }
 
 /// Two-way ILP split of `tasks` between `low` and `high` regions.
@@ -342,7 +402,7 @@ fn solve_region_split(
 
     m.set_objective(Sense::Minimize, objective);
     let solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
-    match m.solve_with(&solver_cfg) {
+    match m.solve_with_options(&solver_cfg, &cfg.solver) {
         Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
         Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {
             greedy_region_split(graph, tasks, &cap_low, &cap_high, &pin).ok_or_else(|| {
@@ -671,7 +731,7 @@ pub fn floorplan_naive(
         }
     }
 
-    Ok(Floorplan { slot_of_task, slot_used, runtime: start.elapsed() })
+    Ok(Floorplan { slot_of_task, slot_used, runtime: start.elapsed(), solve_stats: Vec::new() })
 }
 
 /// HBM channel binding exploration (§4.5): rebinds each FPGA's reader/

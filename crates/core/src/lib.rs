@@ -49,4 +49,5 @@ mod error;
 pub use compiler::{CompiledDesign, Compiler, CompilerConfig, Flow};
 pub use error::CompileError;
 pub use partition::{InterPartition, PartitionConfig};
-pub use report::{FrequencySummary, UtilizationReport};
+pub use report::{FrequencySummary, LevelSolveStats, SolverActivityReport, UtilizationReport};
+pub use tapacs_ilp::{SolverBackend, SolverOptions};

@@ -16,20 +16,26 @@
 //!    [`PartitionConfig::coarsen_to`] supernodes remain (the 493-module CNN
 //!    grid shrinks to under a hundred),
 //! 2. **recursive two-way ILP bisection** over device index ranges using
-//!    the [`tapacs_ilp`] branch-and-bound solver (cut width linearized with
-//!    one continuous variable per edge),
+//!    the pluggable [`tapacs_ilp`] solver backends (cut width linearized
+//!    with one continuous variable per edge). Bipartitioning makes the two
+//!    halves of every level *independent*, so under
+//!    [`SolverOptions::parallel_recursion`] they are solved concurrently on
+//!    scoped threads — the paper's divide-and-conquer scalability argument,
+//!    applied to compile time,
 //! 3. **project & refine** on the full graph: Kernighan–Lin-style single
 //!    task moves evaluated against the *true* topology distance and λ.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use tapacs_fpga::Resources;
 use tapacs_graph::{algo, TaskGraph, TaskId};
-use tapacs_ilp::{IlpError, LinExpr, Model, Sense, SolverConfig};
+use tapacs_ilp::{IlpError, LinExpr, Model, Sense, SolverConfig, SolverOptions};
 use tapacs_net::{AlveoLink, Cluster, FpgaId};
 
 use crate::error::CompileError;
+use crate::report::{aggregate_level_samples, LevelSolveStats};
 
 /// Tuning knobs for the inter-FPGA partitioner.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +52,9 @@ pub struct PartitionConfig {
     /// `(1 - slack) × fair_share` of the binding resource ("ensuring the
     /// compute-load between the multiple FPGAs is balanced", §4.1).
     pub balance_slack: f64,
+    /// Solver backend, worker-thread count and caching for the bisection
+    /// ILPs (also gates the concurrent recursion over the two halves).
+    pub solver: SolverOptions,
 }
 
 impl Default for PartitionConfig {
@@ -56,6 +65,7 @@ impl Default for PartitionConfig {
             coarsen_to: 96,
             refine_passes: 4,
             balance_slack: 0.35,
+            solver: SolverOptions::default(),
         }
     }
 }
@@ -73,6 +83,9 @@ pub struct InterPartition {
     pub used: Vec<Resources>,
     /// Wall-clock spent in this step (the paper's `L1` overhead, §5.6).
     pub runtime: Duration,
+    /// Two-way ILP activity per bisection level (empty when the greedy
+    /// fallback produced the assignment).
+    pub solve_stats: Vec<LevelSolveStats>,
 }
 
 /// Resources available for user logic per FPGA once the static platform
@@ -117,7 +130,7 @@ pub fn partition(
                 ),
             });
         }
-        return Ok(finish(graph, cluster, vec![0; graph.num_tasks()], 1, start));
+        return Ok(finish(graph, cluster, vec![0; graph.num_tasks()], 1, start, Vec::new()));
     }
 
     // Aggregate feasibility first: fail fast with a useful message.
@@ -140,16 +153,23 @@ pub fn partition(
     // multiway packing.
     let mut assignment = vec![0usize; graph.num_tasks()];
     let mut solved = false;
+    let mut solve_stats = Vec::new();
     for slack in [cfg.balance_slack, cfg.balance_slack * 0.4, 0.05] {
         let tighter = PartitionConfig { balance_slack: slack, ..cfg.clone() };
-        let mut coarse_assign = vec![0usize; coarse.nodes.len()];
-        match bisect(&coarse, &mut coarse_assign, 0..n_fpgas, &cap, &tighter) {
-            Ok(()) => {
+        let all: Vec<usize> = (0..coarse.nodes.len()).collect();
+        let samples = Mutex::new(Vec::new());
+        match bisect(&coarse, &all, 0..n_fpgas, &cap, &tighter, 0, &samples) {
+            Ok(pairs) => {
+                let mut coarse_assign = vec![0usize; coarse.nodes.len()];
+                for (sn, device) in pairs {
+                    coarse_assign[sn] = device;
+                }
                 for (sn, tasks) in coarse.members.iter().enumerate() {
                     for &t in tasks {
                         assignment[t.index()] = coarse_assign[sn];
                     }
                 }
+                solve_stats = aggregate_level_samples(samples.into_inner().unwrap());
                 solved = true;
                 break;
             }
@@ -165,7 +185,7 @@ pub fn partition(
     // Final feasibility repair + check.
     repair(graph, n_fpgas, &cap, cfg.threshold, &mut assignment)?;
 
-    Ok(finish(graph, cluster, assignment, n_fpgas, start))
+    Ok(finish(graph, cluster, assignment, n_fpgas, start, solve_stats))
 }
 
 fn finish(
@@ -174,6 +194,7 @@ fn finish(
     assignment: Vec<usize>,
     n_fpgas: usize,
     start: Instant,
+    solve_stats: Vec<LevelSolveStats>,
 ) -> InterPartition {
     let mut used = vec![Resources::ZERO; n_fpgas];
     for (id, t) in graph.tasks() {
@@ -185,6 +206,7 @@ fn finish(
         used,
         runtime: start.elapsed(),
         assignment,
+        solve_stats,
     }
 }
 
@@ -304,34 +326,68 @@ impl Coarse {
 // ILP bisection
 // --------------------------------------------------------------------------
 
-/// Recursively splits the supernodes assigned to `range` into two device
-/// groups with a two-way ILP, until every group is a single device.
+/// Recursively splits the supernodes in `here` across the device range with
+/// a two-way ILP per level, until every group is a single device. Returns
+/// `(supernode, device)` pairs.
+///
+/// The two halves of each split are independent subproblems; under
+/// [`SolverOptions::parallel_recursion`] the left half runs on a scoped
+/// worker thread while this thread descends into the right half. Merging is
+/// a deterministic concatenation, so the result is identical to the
+/// sequential recursion.
 fn bisect(
     coarse: &Coarse,
-    assign: &mut [usize],
+    here: &[usize],
     range: std::ops::Range<usize>,
     cap: &Resources,
     cfg: &PartitionConfig,
-) -> Result<(), CompileError> {
+    level: usize,
+    samples: &Mutex<Vec<(usize, f64)>>,
+) -> Result<Vec<(usize, usize)>, CompileError> {
     let len = range.len();
-    if len <= 1 {
-        return Ok(());
+    if len <= 1 || here.is_empty() {
+        return Ok(here.iter().map(|&sn| (sn, range.start)).collect());
     }
     let mid = range.start + len / 2;
     let left = range.start..mid;
     let right = mid..range.end;
 
-    // Supernodes currently owned by this range (identified by range.start).
-    let here: Vec<usize> =
-        (0..coarse.nodes.len()).filter(|&i| range.contains(&assign[i])).collect();
-    if !here.is_empty() {
-        let side = solve_two_way(coarse, &here, left.len(), right.len(), cap, cfg)?;
-        for (&sn, &s) in here.iter().zip(&side) {
-            assign[sn] = if s { right.start } else { left.start };
+    let t0 = Instant::now();
+    let side = solve_two_way(coarse, here, left.len(), right.len(), cap, cfg)?;
+    samples.lock().unwrap().push((level, t0.elapsed().as_secs_f64()));
+
+    let mut left_sns = Vec::new();
+    let mut right_sns = Vec::new();
+    for (&sn, &s) in here.iter().zip(&side) {
+        if s {
+            right_sns.push(sn);
+        } else {
+            left_sns.push(sn);
         }
     }
-    bisect(coarse, assign, left, cap, cfg)?;
-    bisect(coarse, assign, right, cap, cfg)
+
+    let concurrent = cfg.solver.parallel_recursion()
+        && left.len() > 1
+        && right.len() > 1
+        && !left_sns.is_empty()
+        && !right_sns.is_empty();
+    let (left_pairs, right_pairs) = if concurrent {
+        std::thread::scope(|s| {
+            let worker =
+                s.spawn(|| bisect(coarse, &left_sns, left.clone(), cap, cfg, level + 1, samples));
+            let right_pairs = bisect(coarse, &right_sns, right, cap, cfg, level + 1, samples);
+            let left_pairs = worker.join().expect("bisection worker panicked");
+            (left_pairs, right_pairs)
+        })
+    } else {
+        (
+            bisect(coarse, &left_sns, left, cap, cfg, level + 1, samples),
+            bisect(coarse, &right_sns, right, cap, cfg, level + 1, samples),
+        )
+    };
+    let mut pairs = left_pairs?;
+    pairs.extend(right_pairs?);
+    Ok(pairs)
 }
 
 /// Two-way ILP: returns `true` for supernodes on the right side.
@@ -403,7 +459,7 @@ fn solve_two_way(
 
     m.set_objective(Sense::Minimize, objective);
     let solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
-    match m.solve_with(&solver_cfg) {
+    match m.solve_with_options(&solver_cfg, &cfg.solver) {
         Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
         Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {
             // Best-effort greedy split before declaring the level
@@ -781,6 +837,38 @@ mod tests {
         assert!(p.cut_width_bits >= 3 * 512);
         // All four FPGAs host something (load must spread).
         assert!(p.used.iter().all(|u| !u.is_zero()));
+    }
+
+    #[test]
+    fn solve_stats_cover_every_bisection_level() {
+        let g = two_communities(8);
+        let p = partition(&g, &cluster(4), 4, &PartitionConfig::default()).unwrap();
+        // 4 devices → a top split (level 0) and two leaf splits (level 1).
+        let levels: Vec<usize> = p.solve_stats.iter().map(|s| s.level).collect();
+        assert_eq!(levels, vec![0, 1], "stats: {:?}", p.solve_stats);
+        assert_eq!(p.solve_stats[1].solves, 2);
+    }
+
+    #[test]
+    fn sequential_and_parallel_backends_find_the_same_cut() {
+        use tapacs_ilp::{SolverBackend, SolverOptions};
+        let g = two_communities(6);
+        let mut results = Vec::new();
+        for (backend, threads) in [
+            (SolverBackend::Sequential, 1),
+            (SolverBackend::Parallel, 1),
+            (SolverBackend::Parallel, 4),
+        ] {
+            let cfg = PartitionConfig {
+                solver: SolverOptions { backend, threads, cache: false, warm_start: true },
+                ..Default::default()
+            };
+            let p = partition(&g, &cluster(2), 2, &cfg).unwrap();
+            results.push(p.cut_width_bits);
+        }
+        // The optimal cut (the 32-bit bridge) is unique; every backend must
+        // find it.
+        assert_eq!(results, vec![32, 32, 32]);
     }
 
     #[test]

@@ -1,10 +1,93 @@
 //! Reporting helpers: the data behind the paper's tables and
 //! resource-utilization figures.
 
+use std::fmt::Write as _;
+
 use serde::{Deserialize, Serialize};
 use tapacs_fpga::{ResourceKind, Utilization};
+use tapacs_ilp::{CacheStats, SolveCache};
 
 use crate::compiler::CompiledDesign;
+
+/// Aggregated ILP activity at one bipartition recursion level.
+///
+/// Level 0 is the first (whole-cluster or whole-chip) split; each level
+/// below halves the device range or slot region. The paper's scalability
+/// argument is visible here: per-solve wall-clock shrinks as the recursion
+/// descends, and sibling solves at the same level run concurrently under
+/// the parallel backend.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelSolveStats {
+    /// Recursion depth (0 = top split).
+    pub level: usize,
+    /// Two-way ILP solves performed at this depth.
+    pub solves: usize,
+    /// Summed solve wall-clock at this depth, in seconds. Under the
+    /// parallel backend sibling solves overlap, so this exceeds the
+    /// critical-path time.
+    pub wall_s: f64,
+}
+
+/// Folds raw `(level, seconds)` samples into one row per level.
+pub(crate) fn aggregate_level_samples(mut samples: Vec<(usize, f64)>) -> Vec<LevelSolveStats> {
+    samples.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut rows: Vec<LevelSolveStats> = Vec::new();
+    for (level, wall_s) in samples {
+        match rows.last_mut() {
+            Some(row) if row.level == level => {
+                row.solves += 1;
+                row.wall_s += wall_s;
+            }
+            _ => rows.push(LevelSolveStats { level, solves: 1, wall_s }),
+        }
+    }
+    rows
+}
+
+/// Solver-side view of a compiled design: per-level ILP timings for both
+/// floorplanning stages plus the process-wide solve-cache counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverActivityReport {
+    /// Inter-FPGA partitioner (§4.3) solve timings per recursion level.
+    pub partition_levels: Vec<LevelSolveStats>,
+    /// Intra-FPGA floorplanner (§4.5) solve timings per recursion level.
+    pub floorplan_levels: Vec<LevelSolveStats>,
+    /// Memo-cache counters at report time (process-wide, not per-design).
+    pub cache: CacheStats,
+}
+
+impl SolverActivityReport {
+    /// Collects solver activity from a compiled design and the global
+    /// solve cache.
+    pub fn from_design(design: &CompiledDesign) -> Self {
+        Self {
+            partition_levels: design.partition.solve_stats.clone(),
+            floorplan_levels: design.floorplan_stats.clone(),
+            cache: SolveCache::global().stats(),
+        }
+    }
+
+    /// ASCII rendering: one row per (stage, level), then the cache line.
+    pub fn render_table(&self) -> String {
+        let mut s = String::from("stage      level  solves  wall(s)\n");
+        for (stage, rows) in
+            [("partition", &self.partition_levels), ("floorplan", &self.floorplan_levels)]
+        {
+            for r in rows {
+                let _ = writeln!(s, "{:<10} {:<6} {:<7} {:.3}", stage, r.level, r.solves, r.wall_s);
+            }
+        }
+        let _ = writeln!(
+            s,
+            "solve cache: {} hits / {} misses ({:.0}% hit rate), {} entries",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries
+        );
+        s
+    }
+}
 
 /// One FPGA's row in a Figure 11/13/16-style utilization chart.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -206,6 +289,29 @@ mod tests {
                 && r.generalizable;
             assert!(!all, "{} should not check every box", r.method);
         }
+    }
+
+    #[test]
+    fn level_samples_aggregate_in_order() {
+        let rows = aggregate_level_samples(vec![(1, 0.25), (0, 1.0), (1, 0.75), (2, 0.5)]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!((rows[0].level, rows[0].solves), (0, 1));
+        assert_eq!((rows[1].level, rows[1].solves), (1, 2));
+        assert!((rows[1].wall_s - 1.0).abs() < 1e-12);
+        assert_eq!((rows[2].level, rows[2].solves), (2, 1));
+    }
+
+    #[test]
+    fn solver_report_renders_levels_and_cache() {
+        let report = SolverActivityReport {
+            partition_levels: vec![LevelSolveStats { level: 0, solves: 1, wall_s: 0.125 }],
+            floorplan_levels: vec![LevelSolveStats { level: 1, solves: 4, wall_s: 0.5 }],
+            cache: CacheStats { hits: 3, misses: 1, entries: 1 },
+        };
+        let table = report.render_table();
+        assert!(table.contains("partition"));
+        assert!(table.contains("floorplan"));
+        assert!(table.contains("3 hits / 1 misses (75% hit rate)"), "{table}");
     }
 
     #[test]

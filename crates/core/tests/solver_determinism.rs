@@ -1,0 +1,74 @@
+//! End-to-end determinism of the compiler under the parallel solver
+//! backend: `compile()` must produce identical output for
+//! `SolverOptions { threads: 1 }` and the default (all-cores) options.
+//!
+//! This is the hard requirement behind making the parallel branch and
+//! bound's exploration trace independent of the worker count — a flaky
+//! floorplan would make every paper table nondeterministic.
+
+use tapacs_core::{Compiler, CompilerConfig, Flow, SolverBackend, SolverOptions};
+use tapacs_fpga::{Device, Resources};
+use tapacs_graph::{Fifo, Task, TaskGraph};
+use tapacs_net::{Cluster, Topology};
+
+/// An HBM-source → PE-chain → HBM-sink design that needs two FPGAs'
+/// worth of choices (mirrors the compiler tests' demo graph).
+fn demo_graph(pe_count: usize) -> TaskGraph {
+    let mut g = TaskGraph::new("determinism");
+    let io = Resources::new(30_000, 60_000, 60, 0, 20);
+    let pe_res = Resources::new(60_000, 120_000, 120, 400, 30);
+    let rd = g.add_task(Task::hbm_read("rd", io, 0, 512, 65_536).with_total_blocks(64));
+    let mut prev = rd;
+    for i in 0..pe_count {
+        let pe = g.add_task(
+            Task::compute(format!("pe{i}"), pe_res)
+                .with_cycles_per_block(1_000)
+                .with_total_blocks(64),
+        );
+        g.add_fifo(Fifo::new(format!("f{i}"), prev, pe, 512).with_block_bytes(65_536));
+        prev = pe;
+    }
+    let wr = g.add_task(Task::hbm_write("wr", io, 1, 512, 65_536).with_total_blocks(64));
+    g.add_fifo(Fifo::new("out", prev, wr, 512).with_block_bytes(65_536));
+    g
+}
+
+fn compile_with(options: SolverOptions, flow: Flow) -> tapacs_core::CompiledDesign {
+    let cluster = Cluster::single_node(Device::u55c(), 4, Topology::Ring);
+    let config = CompilerConfig { solver: options, ..CompilerConfig::default() };
+    Compiler::with_config(cluster, config).compile(&demo_graph(8), flow).unwrap()
+}
+
+fn assert_identical(a: &tapacs_core::CompiledDesign, b: &tapacs_core::CompiledDesign) {
+    assert_eq!(a.partition.assignment, b.partition.assignment, "task→FPGA assignment diverged");
+    assert_eq!(a.partition.cut_width_bits, b.partition.cut_width_bits);
+    assert_eq!(a.slot_of_task, b.slot_of_task, "slot placement diverged");
+    assert_eq!(a.timing.freq_mhz, b.timing.freq_mhz, "achieved frequency diverged");
+    assert_eq!(a.channels_used, b.channels_used);
+    assert_eq!(a.pipeline.total_register_bits, b.pipeline.total_register_bits);
+}
+
+#[test]
+fn one_thread_matches_default_parallelism() {
+    let flow = Flow::TapaCs { n_fpgas: 2 };
+    // Cache off on both sides: this compares live solves, not replays.
+    let base = SolverOptions {
+        backend: SolverBackend::Parallel,
+        warm_start: true,
+        cache: false,
+        threads: 0,
+    };
+    let default_like = compile_with(base.clone(), flow);
+    let single = compile_with(SolverOptions { threads: 1, ..base }, flow);
+    assert_identical(&default_like, &single);
+}
+
+#[test]
+fn default_options_are_reproducible_across_compiles() {
+    let flow = Flow::TapaCs { n_fpgas: 4 };
+    // Default options (parallel backend, cache on): a second compile must
+    // replay to the identical design, whatever the cache state.
+    let first = compile_with(SolverOptions::default(), flow);
+    let second = compile_with(SolverOptions::default(), flow);
+    assert_identical(&first, &second);
+}

@@ -42,6 +42,7 @@ pub(crate) fn solve(
     model: &Model,
     integral: &[usize],
     config: &SolverConfig,
+    warm_start: bool,
 ) -> Result<Solution, IlpError> {
     let lp = model.to_lp();
     let start = Instant::now();
@@ -70,10 +71,17 @@ pub(crate) fn solve(
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-direction obj, values)
     let mut nodes = 0usize;
 
-    // Try rounding the root relaxation for a cheap first incumbent.
+    // Seed the incumbent from the root relaxation: plain rounding, escalated
+    // to the greedy first-fit repair walk (the [`crate::HeuristicSolver`]
+    // heuristic) when warm-starting is on and rounding alone is infeasible.
     if let Some(rounded) = round_repair(model, &root.relax, integral, config.int_tol) {
         let obj = to_min(objective_of(&lp, &rounded));
         incumbent = Some((obj, rounded));
+    } else if warm_start {
+        if let Some(repaired) = crate::solver::greedy_repair(model, &lp, &root.relax, integral) {
+            let obj = to_min(objective_of(&lp, &repaired));
+            incumbent = Some((obj, repaired));
+        }
     }
 
     heap.push(root);
@@ -178,13 +186,18 @@ pub(crate) fn solve(
     }
 }
 
-fn objective_of(lp: &LpProblem, values: &[f64]) -> f64 {
+pub(crate) fn objective_of(lp: &LpProblem, values: &[f64]) -> f64 {
     lp.objective_offset + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>()
 }
 
 /// Rounds the integral coordinates of an LP point and keeps the result only
 /// if it is feasible. A deliberately cheap warm-start heuristic.
-fn round_repair(model: &Model, relax: &[f64], integral: &[usize], _tol: f64) -> Option<Vec<f64>> {
+pub(crate) fn round_repair(
+    model: &Model,
+    relax: &[f64],
+    integral: &[usize],
+    _tol: f64,
+) -> Option<Vec<f64>> {
     let mut values = relax.to_vec();
     for &j in integral {
         values[j] = values[j].round();

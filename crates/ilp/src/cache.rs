@@ -1,0 +1,267 @@
+//! Process-wide solve memo-cache.
+//!
+//! The TAPA-CS benchmark sweeps (`reproduce all`, the Criterion benches)
+//! compile the same designs repeatedly, and the recursive bipartitioner
+//! produces structurally identical subproblems across sweep points. Caching
+//! `canonical model → solution` turns those repeats into hash lookups.
+//!
+//! Keys are the full canonical byte encoding of the model (variables,
+//! constraints, objective), the budget-relevant [`SolverConfig`] fields and
+//! the backend [name](crate::Solver::name) — not a lossy hash — so a hit
+//! can never return the solution of a different model. Backends are part of
+//! the key because two exact solvers may legitimately return different
+//! (equally optimal) points, and replaying the wrong one would break the
+//! determinism guarantee.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::error::IlpError;
+use crate::model::{CmpOp, Model, Sense, SolverConfig, VarKind};
+use crate::solution::Solution;
+use crate::solver::Solver;
+
+/// Entries kept at most; inserts beyond this are dropped (the floorplanning
+/// workloads stay far below it, this only bounds pathological sweeps).
+const MAX_ENTRIES: usize = 8192;
+
+/// Snapshot of cache activity, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real solve.
+    pub misses: u64,
+    /// Solutions currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (`0` when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The memo-cache: canonical model key → [`Solution`].
+pub struct SolveCache {
+    inner: Mutex<HashMap<Vec<u8>, Solution>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache used by [`CachingSolver`].
+    pub fn global() -> &'static SolveCache {
+        static GLOBAL: OnceLock<SolveCache> = OnceLock::new();
+        GLOBAL.get_or_init(SolveCache::new)
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<Solution> {
+        let found = self.inner.lock().unwrap().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: Vec<u8>, solution: Solution) {
+        let mut guard = self.inner.lock().unwrap();
+        if guard.len() < MAX_ENTRIES {
+            guard.insert(key, solution);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().len(),
+        }
+    }
+
+    /// Drops every stored solution and zeroes the counters. Benchmarks call
+    /// this between timed runs so wall-clock comparisons stay honest.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Canonical byte encoding of `(backend, config, model)`. Structurally
+/// identical models encode identically regardless of variable/constraint
+/// names (names are diagnostic only and excluded on purpose).
+fn canonical_key(backend: &str, model: &Model, config: &SolverConfig) -> Vec<u8> {
+    let mut key = Vec::with_capacity(
+        64 + backend.len() + 17 * model.num_vars() + 32 * model.num_constraints(),
+    );
+    key.extend_from_slice(backend.as_bytes());
+    key.push(0xff);
+
+    // Budget-relevant config: a tighter budget may return a different
+    // (anytime) incumbent, so it must not share entries.
+    key.extend_from_slice(&config.max_nodes.to_le_bytes());
+    key.extend_from_slice(&config.int_tol.to_bits().to_le_bytes());
+    key.extend_from_slice(&config.mip_gap.to_bits().to_le_bytes());
+    match config.time_limit {
+        Some(limit) => {
+            key.push(1);
+            key.extend_from_slice(&limit.as_nanos().to_le_bytes());
+        }
+        None => key.push(0),
+    }
+
+    key.push(match model.sense {
+        Sense::Minimize => 0,
+        Sense::Maximize => 1,
+    });
+    let mut objective: Vec<(usize, f64)> =
+        model.objective.iter().map(|(v, c)| (v.index(), c)).collect();
+    objective.sort_unstable_by_key(|&(i, _)| i);
+    key.extend_from_slice(&model.objective.constant().to_bits().to_le_bytes());
+    for (index, coeff) in objective {
+        key.extend_from_slice(&index.to_le_bytes());
+        key.extend_from_slice(&coeff.to_bits().to_le_bytes());
+    }
+    key.push(0xfe);
+
+    for var in &model.vars {
+        key.push(match var.kind {
+            VarKind::Continuous => 0,
+            VarKind::Integer => 1,
+            VarKind::Binary => 2,
+        });
+        key.extend_from_slice(&var.lower.to_bits().to_le_bytes());
+        key.extend_from_slice(&var.upper.to_bits().to_le_bytes());
+    }
+    key.push(0xfd);
+
+    for constraint in &model.constraints {
+        key.push(match constraint.op {
+            CmpOp::Le => 0,
+            CmpOp::Ge => 1,
+            CmpOp::Eq => 2,
+        });
+        key.extend_from_slice(&constraint.rhs.to_bits().to_le_bytes());
+        let mut terms: Vec<(usize, f64)> =
+            constraint.expr.iter().map(|(v, c)| (v.index(), c)).collect();
+        terms.sort_unstable_by_key(|&(i, _)| i);
+        for (index, coeff) in terms {
+            key.extend_from_slice(&index.to_le_bytes());
+            key.extend_from_slice(&coeff.to_bits().to_le_bytes());
+        }
+        key.push(0xfc);
+    }
+    key
+}
+
+/// Decorator that memoizes an inner backend in the
+/// [global cache](SolveCache::global). Only successful solves are stored;
+/// error outcomes (infeasible models fail at the root LP) re-solve cheaply.
+pub struct CachingSolver {
+    inner: Box<dyn Solver>,
+}
+
+impl CachingSolver {
+    /// Wraps `inner` with memoization.
+    pub fn new(inner: Box<dyn Solver>) -> Self {
+        Self { inner }
+    }
+}
+
+impl Solver for CachingSolver {
+    fn name(&self) -> String {
+        format!("cached({})", self.inner.name())
+    }
+
+    fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
+        let key = canonical_key(&self.inner.name(), model, config);
+        let cache = SolveCache::global();
+        if let Some(hit) = cache.lookup(&key) {
+            return Ok(hit);
+        }
+        let solution = self.inner.solve(model, config)?;
+        cache.insert(key, solution.clone());
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sense, SequentialSolver};
+
+    /// The cache is process-global and the test harness runs tests
+    /// concurrently; serialize the tests that clear it or count deltas.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn model(scale: f64) -> Model {
+        let mut m = Model::new("cache-test");
+        let x = m.integer("x", 0.0, 9.0);
+        let y = m.integer("y", 0.0, 9.0);
+        m.add_le("c", 2.0 * x + 3.0 * y, 12.0 * scale);
+        m.set_objective(Sense::Maximize, 5.0 * x + 4.0 * y);
+        m
+    }
+
+    #[test]
+    fn repeat_solves_hit_and_names_do_not_matter() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let cache = SolveCache::global();
+        cache.clear();
+        let solver = CachingSolver::new(Box::new(SequentialSolver::default()));
+        let cfg = SolverConfig::default();
+
+        let first = solver.solve(&model(1.0), &cfg).unwrap();
+        let before = cache.stats();
+        // Same structure, different diagnostic names: must hit.
+        let mut renamed = Model::new("other-name");
+        let x = renamed.integer("a", 0.0, 9.0);
+        let y = renamed.integer("b", 0.0, 9.0);
+        renamed.add_le("k", 2.0 * x + 3.0 * y, 12.0);
+        renamed.set_objective(Sense::Maximize, 5.0 * x + 4.0 * y);
+        let second = solver.solve(&renamed, &cfg).unwrap();
+        let after = cache.stats();
+
+        assert_eq!(first.values, second.values);
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.entries, before.entries);
+    }
+
+    #[test]
+    fn different_models_do_not_collide() {
+        let a = canonical_key("seq", &model(1.0), &SolverConfig::default());
+        let b = canonical_key("seq", &model(2.0), &SolverConfig::default());
+        assert_ne!(a, b);
+        let c = canonical_key("par", &model(1.0), &SolverConfig::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let cache = SolveCache::global();
+        let solver = CachingSolver::new(Box::new(SequentialSolver::default()));
+        solver.solve(&model(1.0), &SolverConfig::default()).unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+}

@@ -3,10 +3,17 @@
 //! TAPA-CS formulates both its inter-FPGA partitioner and its intra-FPGA
 //! floorplanner as integer linear programs (the paper solves them with
 //! python-MIP or Gurobi). This crate is the reproduction's solver substrate:
-//! a dense two-phase primal [simplex](simplex) for the LP relaxation and a
-//! best-first [branch-and-bound](branch_bound) search for integrality, with
+//! a dense two-phase primal simplex for the LP relaxation and a
+//! best-first branch-and-bound search for integrality, with
 //! an anytime incumbent and a wall-clock deadline so large instances behave
 //! like a commercial solver under a time limit.
+//!
+//! Solving is pluggable through the [`Solver`] trait: the sequential branch
+//! and bound ([`SequentialSolver`]), a deterministic [`ParallelSolver`]
+//! that expands the open-node frontier on a worker pool, and a greedy
+//! [`HeuristicSolver`] used as a warm-start incumbent. [`SolverOptions`]
+//! selects a backend (and the process-wide [`SolveCache`] memoization) and
+//! is what the TAPA-CS compiler threads through its configuration structs.
 //!
 //! # Example
 //!
@@ -34,15 +41,21 @@
 #![warn(missing_docs)]
 
 mod branch_bound;
+mod cache;
 mod error;
 mod expr;
 mod model;
+mod parallel;
 mod simplex;
 mod solution;
+mod solver;
 
+pub use cache::{CacheStats, CachingSolver, SolveCache};
 pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Model, Sense, SolverConfig, VarId, VarKind};
+pub use parallel::ParallelSolver;
 pub use solution::{Solution, SolveStatus};
+pub use solver::{HeuristicSolver, SequentialSolver, Solver, SolverBackend, SolverOptions};
 
 pub(crate) use simplex::LpOutcome;

