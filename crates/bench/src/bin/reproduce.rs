@@ -5,12 +5,45 @@
 //! cargo run --release -p tapacs-bench --bin reproduce -- all    # full matrix
 //! cargo run --release -p tapacs-bench --bin reproduce -- table3 fig10 fig12
 //! cargo run --release -p tapacs-bench --bin reproduce -- list   # known names
+//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_3.json
 //! ```
 
 use tapacs_bench::reproduce as r;
 
+/// `bench [--smoke] [--json <path>]`: the compile-time sweep, written to
+/// `path` when given, stdout otherwise.
+fn run_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut json_path: Option<&str> = None;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                json_path =
+                    Some(it.next().ok_or("--json needs a file path (e.g. --json BENCH_3.json)")?);
+            }
+            other => return Err(format!("unknown bench option: {other}").into()),
+        }
+    }
+    let report = r::bench_json(smoke)?;
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &report)?;
+            println!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `bench` takes its own flags, so it dispatches before the multi-name
+    // experiment loop.
+    if args.first().map(String::as_str) == Some("bench") {
+        return run_bench(&args[1..]);
+    }
     let wanted: Vec<&str> =
         if args.is_empty() { vec!["quick"] } else { args.iter().map(|s| s.as_str()).collect() };
 
@@ -65,6 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "packet_example" => print!("{}", r::packet_example()),
             "ablation" => print!("{}", r::ablation()?),
             "solvers" => print!("{}", r::solvers()?),
+            "bench" => {
+                return Err("bench must be the first argument (it takes flags): \
+                                   reproduce bench [--smoke] [--json <path>]"
+                    .into())
+            }
             other => {
                 return Err(format!(
                     "unknown experiment: {other} (run `reproduce list` for the known names)"

@@ -42,6 +42,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "packet_example",
     "ablation",
     "solvers",
+    "bench",
 ];
 
 fn check(b: bool) -> &'static str {
@@ -528,10 +529,11 @@ pub fn ablation() -> Result<String, Box<dyn std::error::Error>> {
 
 /// Solver-backend wall-clock comparison: compiles multi-FPGA designs with
 /// the sequential and parallel branch-and-bound backends (cache disabled
-/// for honest timing), then demonstrates the memo-cache on a repeated
-/// compile. On a multi-core host the parallel column should win; on one
-/// core the two columns converge while the cached re-compile still drops
-/// to near zero.
+/// for honest timing), then compares the incremental LP engine (presolve +
+/// warm-started bounded simplex) against cold-start node solves, and
+/// finally demonstrates the memo-cache on a repeated compile. On a
+/// multi-core host the parallel column should win; on one core the two
+/// columns converge while the cached re-compile still drops to near zero.
 ///
 /// # Errors
 ///
@@ -539,6 +541,7 @@ pub fn ablation() -> Result<String, Box<dyn std::error::Error>> {
 pub fn solvers() -> Result<String, Box<dyn std::error::Error>> {
     use std::time::Instant;
     use tapacs_core::{Compiler, CompilerConfig, SolverBackend, SolverOptions};
+    use tapacs_ilp::SolveActivity;
     use tapacs_net::{Cluster, Topology};
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -557,7 +560,8 @@ pub fn solvers() -> Result<String, Box<dyn std::error::Error>> {
                  graph: &tapacs_graph::TaskGraph,
                  n: usize|
      -> Result<f64, Box<dyn std::error::Error>> {
-        let options = SolverOptions { backend, threads: 0, warm_start: true, cache: false };
+        let options =
+            SolverOptions { backend, threads: 0, cache: false, ..SolverOptions::default() };
         let config = CompilerConfig { solver: options, ..CompilerConfig::default() };
         let compiler = Compiler::with_config(cluster.clone(), config);
         let t0 = Instant::now();
@@ -579,6 +583,61 @@ pub fn solvers() -> Result<String, Box<dyn std::error::Error>> {
         );
     }
 
+    // LP-engine comparison on the same bundled designs: presolve +
+    // warm-started node solves vs the cold engine (every node re-runs
+    // phase 1 + phase 2 from the all-logical basis). Same sequential
+    // backend on both sides, so the delta is purely the engine.
+    let _ = write!(
+        s,
+        "\nLP engine: presolve + warm-started simplex vs cold start (sequential backend)\ndesign             cold iters  warm iters  fewer   warm hits\n"
+    );
+    let activity = SolveActivity::global();
+    let engine_run = |graph: &tapacs_graph::TaskGraph,
+                      n: usize,
+                      presolve: bool,
+                      warm_lp: bool|
+     -> Result<tapacs_ilp::SolveStats, Box<dyn std::error::Error>> {
+        let options = SolverOptions {
+            backend: SolverBackend::Sequential,
+            cache: false,
+            presolve,
+            warm_lp,
+            ..SolverOptions::default()
+        };
+        let config = CompilerConfig { solver: options, ..CompilerConfig::default() };
+        let compiler = Compiler::with_config(cluster.clone(), config);
+        let before = activity.snapshot();
+        compiler.compile(graph, Flow::TapaCs { n_fpgas: n })?;
+        Ok(activity.snapshot().since(&before))
+    };
+    let (mut total_cold, mut total_warm) = (0u64, 0u64);
+    for (name, graph, n) in &cases {
+        let cold = engine_run(graph, *n, false, false)?;
+        let warm = engine_run(graph, *n, true, true)?;
+        total_cold += cold.simplex_iterations;
+        total_warm += warm.simplex_iterations;
+        let fewer = format!(
+            "{:.2}x",
+            cold.simplex_iterations as f64 / warm.simplex_iterations.max(1) as f64
+        );
+        let _ = writeln!(
+            s,
+            "{:<18} {:<11} {:<11} {:<7} {}/{} ({:.0}%)",
+            name,
+            cold.simplex_iterations,
+            warm.simplex_iterations,
+            fewer,
+            warm.warm_hits,
+            warm.warm_attempts,
+            warm.warm_hit_rate() * 100.0,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "total: {total_cold} cold vs {total_warm} warm simplex iterations ({:.2}x fewer)",
+        total_cold as f64 / total_warm.max(1) as f64
+    );
+
     // Memo-cache demonstration: same design compiled twice with caching on.
     let cache = tapacs_ilp::SolveCache::global();
     cache.clear();
@@ -599,6 +658,139 @@ pub fn solvers() -> Result<String, Box<dyn std::error::Error>> {
     );
     s.push_str(&SolverActivityReport::from_design(&design).render_table());
     Ok(s)
+}
+
+/// One application's row in the compile-time sweep (`reproduce bench`).
+struct BenchApp {
+    app: &'static str,
+    flow: Flow,
+    graph: tapacs_graph::TaskGraph,
+}
+
+fn bench_apps(smoke: bool) -> Vec<BenchApp> {
+    let nets = data::snap_networks();
+    if smoke {
+        vec![
+            BenchApp {
+                app: "stencil",
+                flow: Flow::TapaCs { n_fpgas: 2 },
+                graph: stencil::build(&stencil::StencilConfig::paper(64, 2)),
+            },
+            BenchApp {
+                app: "cnn",
+                flow: Flow::TapaCs { n_fpgas: 2 },
+                graph: cnn::build(&cnn::CnnConfig { rows: 13, cols: 4, n_fpgas: 2 }),
+            },
+            BenchApp {
+                app: "pagerank",
+                flow: Flow::TapaCs { n_fpgas: 2 },
+                graph: pagerank::build(&pagerank::PageRankConfig::paper(nets[0], 2)),
+            },
+            BenchApp {
+                app: "knn",
+                flow: Flow::TapaCs { n_fpgas: 2 },
+                graph: knn::build(&knn::KnnConfig::paper(1_000_000, 2, 2)),
+            },
+        ]
+    } else {
+        vec![
+            BenchApp {
+                app: "stencil",
+                flow: Flow::TapaCs { n_fpgas: 2 },
+                graph: stencil::build(&stencil::StencilConfig::paper(256, 2)),
+            },
+            BenchApp {
+                app: "cnn",
+                flow: Flow::TapaCs { n_fpgas: 2 },
+                graph: cnn::build(&cnn::CnnConfig { rows: 13, cols: 12, n_fpgas: 2 }),
+            },
+            BenchApp {
+                app: "pagerank",
+                flow: Flow::TapaCs { n_fpgas: 4 },
+                graph: pagerank::build(&pagerank::PageRankConfig::paper(nets[0], 4)),
+            },
+            BenchApp {
+                app: "knn",
+                flow: Flow::TapaCs { n_fpgas: 4 },
+                graph: knn::build(&knn::KnnConfig::paper(4_000_000, 8, 4)),
+            },
+        ]
+    }
+}
+
+/// Compile-time sweep over the app suite (knn, cnn, pagerank, stencil),
+/// emitted as a machine-readable JSON report (`BENCH_3.json`): per-app
+/// wall-clock, LP solves, simplex iterations, warm-start hits and
+/// memo-cache counters. `smoke` shrinks every design so CI can exercise
+/// the full path in seconds.
+///
+/// # Errors
+///
+/// Propagates the first compile failure.
+pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
+    use std::time::Instant;
+    use tapacs_core::{Compiler, CompilerConfig, SolverOptions};
+    use tapacs_ilp::{SolveActivity, SolveCache};
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let activity = SolveActivity::global();
+    let cache = SolveCache::global();
+
+    let mut rows = String::new();
+    let (mut total_wall, mut total_solves, mut total_iters) = (0.0f64, 0u64, 0u64);
+    let (mut total_warm_hits, mut total_warm_attempts) = (0u64, 0u64);
+    let apps = bench_apps(smoke);
+    let n_apps = apps.len();
+    for (idx, case) in apps.into_iter().enumerate() {
+        // Clean counters per app so the rows are independent.
+        cache.clear();
+        activity.clear();
+        let cluster = suite::paper_cluster(case.flow.n_fpgas());
+        let config =
+            CompilerConfig { solver: SolverOptions::default(), ..CompilerConfig::default() };
+        let compiler = Compiler::with_config(cluster, config);
+        let t0 = Instant::now();
+        compiler.compile(&case.graph, case.flow)?;
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = activity.snapshot();
+        let cache_stats = cache.stats();
+
+        total_wall += wall;
+        total_solves += stats.lp_solves;
+        total_iters += stats.simplex_iterations;
+        total_warm_hits += stats.warm_hits;
+        total_warm_attempts += stats.warm_attempts;
+
+        let _ = write!(
+            rows,
+            "    {{\n      \"app\": \"{}\",\n      \"flow\": \"{}\",\n      \"tasks\": {},\n      \"wall_s\": {:.6},\n      \"lp_solves\": {},\n      \"simplex_iterations\": {},\n      \"phase1_iterations\": {},\n      \"warm_attempts\": {},\n      \"warm_hits\": {},\n      \"warm_hit_rate\": {:.4},\n      \"presolve_rows_removed\": {},\n      \"presolve_cols_fixed\": {},\n      \"presolve_bounds_tightened\": {},\n      \"cache_hits\": {},\n      \"cache_misses\": {}\n    }}{}\n",
+            case.app,
+            case.flow.label(),
+            case.graph.num_tasks(),
+            wall,
+            stats.lp_solves,
+            stats.simplex_iterations,
+            stats.phase1_iterations,
+            stats.warm_attempts,
+            stats.warm_hits,
+            stats.warm_hit_rate(),
+            stats.presolve_rows_removed,
+            stats.presolve_cols_fixed,
+            stats.presolve_bounds_tightened,
+            cache_stats.hits,
+            cache_stats.misses,
+            if idx + 1 < n_apps { "," } else { "" },
+        );
+    }
+
+    let total_hit_rate = if total_warm_attempts == 0 {
+        0.0
+    } else {
+        total_warm_hits as f64 / total_warm_attempts as f64
+    };
+    Ok(format!(
+        "{{\n  \"bench\": \"BENCH_3\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \"apps\": [\n{rows}  ],\n  \"totals\": {{\n    \"wall_s\": {total_wall:.6},\n    \"lp_solves\": {total_solves},\n    \"simplex_iterations\": {total_iters},\n    \"warm_hit_rate\": {total_hit_rate:.4}\n  }}\n}}\n"
+    ))
 }
 
 /// §7 (2): the packet-size example.

@@ -77,6 +77,35 @@ fn every_static_experiment_name_dispatches() {
 }
 
 #[test]
+fn bench_smoke_emits_machine_readable_json() {
+    let json = r::bench_json(true).expect("smoke bench must compile every app");
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+    for key in ["\"bench\": \"BENCH_3\"", "\"smoke\": true", "\"apps\"", "\"totals\"", "\"wall_s\""]
+    {
+        assert!(json.contains(key), "bench JSON is missing {key}: {json}");
+    }
+    for app in ["stencil", "cnn", "pagerank", "knn"] {
+        assert!(json.contains(&format!("\"app\": \"{app}\"")), "missing app {app}: {json}");
+    }
+    // The engine counters must reflect real work, not zeroed counters.
+    assert!(json.contains("\"lp_solves\""), "{json}");
+    assert!(!json.contains("\"lp_solves\": 0,"), "no app should solve zero LPs: {json}");
+}
+
+#[test]
+fn bench_subcommand_writes_json_file() {
+    let path = std::env::temp_dir().join(format!("tapacs-bench-smoke-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["bench", "--smoke", "--json", path.to_str().unwrap()])
+        .output()
+        .expect("reproduce binary must run");
+    assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
+    let written = std::fs::read_to_string(&path).expect("bench must write the JSON file");
+    assert!(written.contains("\"bench\": \"BENCH_3\""), "{written}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn unknown_experiment_error_mentions_list() {
     let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
         .arg("definitely-not-an-experiment")

@@ -860,7 +860,7 @@ mod tests {
             (SolverBackend::Parallel, 4),
         ] {
             let cfg = PartitionConfig {
-                solver: SolverOptions { backend, threads, cache: false, warm_start: true },
+                solver: SolverOptions { backend, threads, cache: false, ..Default::default() },
                 ..Default::default()
             };
             let p = partition(&g, &cluster(2), 2, &cfg).unwrap();

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 use tapacs_fpga::{ResourceKind, Utilization};
-use tapacs_ilp::{CacheStats, SolveCache};
+use tapacs_ilp::{CacheStats, SolveActivity, SolveCache, SolveStats};
 
 use crate::compiler::CompiledDesign;
 
@@ -54,20 +54,25 @@ pub struct SolverActivityReport {
     pub floorplan_levels: Vec<LevelSolveStats>,
     /// Memo-cache counters at report time (process-wide, not per-design).
     pub cache: CacheStats,
+    /// LP-engine counters at report time (process-wide, not per-design):
+    /// simplex iterations, warm-start hit rate, presolve reductions.
+    pub simplex: SolveStats,
 }
 
 impl SolverActivityReport {
     /// Collects solver activity from a compiled design and the global
-    /// solve cache.
+    /// solve cache / LP-engine counters.
     pub fn from_design(design: &CompiledDesign) -> Self {
         Self {
             partition_levels: design.partition.solve_stats.clone(),
             floorplan_levels: design.floorplan_stats.clone(),
             cache: SolveCache::global().stats(),
+            simplex: SolveActivity::global().snapshot(),
         }
     }
 
-    /// ASCII rendering: one row per (stage, level), then the cache line.
+    /// ASCII rendering: one row per (stage, level), then the cache and
+    /// LP-engine lines.
     pub fn render_table(&self) -> String {
         let mut s = String::from("stage      level  solves  wall(s)\n");
         for (stage, rows) in
@@ -84,6 +89,29 @@ impl SolverActivityReport {
             self.cache.misses,
             self.cache.hit_rate() * 100.0,
             self.cache.entries
+        );
+        let _ = writeln!(
+            s,
+            "LP engine: {} simplex iterations over {} solves ({:.1}/solve, {} in phase 1)",
+            self.simplex.simplex_iterations,
+            self.simplex.lp_solves,
+            self.simplex.iterations_per_solve(),
+            self.simplex.phase1_iterations,
+        );
+        let _ = writeln!(
+            s,
+            "warm starts: {}/{} hits ({:.0}% hit rate)",
+            self.simplex.warm_hits,
+            self.simplex.warm_attempts,
+            self.simplex.warm_hit_rate() * 100.0,
+        );
+        let _ = writeln!(
+            s,
+            "presolve: {} runs, {} rows removed, {} cols fixed, {} bounds tightened",
+            self.simplex.presolve_runs,
+            self.simplex.presolve_rows_removed,
+            self.simplex.presolve_cols_fixed,
+            self.simplex.presolve_bounds_tightened,
         );
         s
     }
@@ -302,16 +330,30 @@ mod tests {
     }
 
     #[test]
-    fn solver_report_renders_levels_and_cache() {
+    fn solver_report_renders_levels_cache_and_engine() {
         let report = SolverActivityReport {
             partition_levels: vec![LevelSolveStats { level: 0, solves: 1, wall_s: 0.125 }],
             floorplan_levels: vec![LevelSolveStats { level: 1, solves: 4, wall_s: 0.5 }],
             cache: CacheStats { hits: 3, misses: 1, entries: 1 },
+            simplex: SolveStats {
+                lp_solves: 10,
+                simplex_iterations: 55,
+                phase1_iterations: 5,
+                warm_attempts: 8,
+                warm_hits: 6,
+                presolve_runs: 2,
+                presolve_rows_removed: 4,
+                presolve_cols_fixed: 1,
+                presolve_bounds_tightened: 3,
+            },
         };
         let table = report.render_table();
         assert!(table.contains("partition"));
         assert!(table.contains("floorplan"));
         assert!(table.contains("3 hits / 1 misses (75% hit rate)"), "{table}");
+        assert!(table.contains("55 simplex iterations over 10 solves"), "{table}");
+        assert!(table.contains("6/8 hits (75% hit rate)"), "{table}");
+        assert!(table.contains("4 rows removed"), "{table}");
     }
 
     #[test]

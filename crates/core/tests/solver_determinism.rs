@@ -54,9 +54,9 @@ fn one_thread_matches_default_parallelism() {
     // Cache off on both sides: this compares live solves, not replays.
     let base = SolverOptions {
         backend: SolverBackend::Parallel,
-        warm_start: true,
         cache: false,
         threads: 0,
+        ..Default::default()
     };
     let default_like = compile_with(base.clone(), flow);
     let single = compile_with(SolverOptions { threads: 1, ..base }, flow);

@@ -1,23 +1,61 @@
 //! Best-first branch and bound over the simplex LP relaxation.
+//!
+//! Node solves are *incremental*: the model is presolved once at the root
+//! (see [`crate::presolve`]), nodes store sparse [`BoundChain`] deltas
+//! instead of cloned bound vectors, and every child LP warm-starts from
+//! its parent's optimal [`Basis`] so it typically re-solves in a handful
+//! of pivots instead of a full phase 1 + phase 2.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
-use crate::simplex::{self, LpOutcome, LpProblem};
+use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
+use crate::presolve::{self, PresolveOutcome, PresolvedLp};
+use crate::simplex::{self, Basis, LpOutcome, LpProblem};
 use crate::solution::{Solution, SolveStatus};
+
+/// Per-solve switches for the LP engine, threaded down from
+/// [`crate::SolverOptions`] (and its `TAPACS_PRESOLVE` / `TAPACS_LP_WARM`
+/// environment escape hatches).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SolveParams {
+    /// Seed the incumbent with the greedy first-fit repair heuristic when
+    /// plain rounding of the root relaxation is infeasible.
+    pub heuristic_seed: bool,
+    /// Run the root presolve before the search.
+    pub presolve: bool,
+    /// Warm-start child LPs from the parent basis.
+    pub warm_lp: bool,
+}
+
+impl SolveParams {
+    /// Defaults (everything on except the heuristic seed) with the
+    /// environment escape hatches applied — the configuration
+    /// [`Model::solve`](crate::Model::solve) runs under.
+    pub fn from_env() -> SolveParams {
+        SolveParams {
+            heuristic_seed: false,
+            presolve: crate::solver::env_flag("TAPACS_PRESOLVE").unwrap_or(true),
+            warm_lp: crate::solver::env_flag("TAPACS_LP_WARM").unwrap_or(true),
+        }
+    }
+}
 
 /// A live node in the search tree, ordered so the node with the most
 /// promising (lowest, in minimize direction) LP bound pops first.
 struct Node {
     /// LP relaxation bound in *minimize* direction.
     bound: f64,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    /// Fractional LP point (used to pick the branching variable).
+    /// Sparse bound state (deltas back to the presolved root).
+    chain: Arc<BoundChain>,
+    /// Fractional LP point in *reduced* space (picks the branching var).
     relax: Vec<f64>,
+    /// This node's optimal basis — the children's warm start.
+    basis: Arc<Basis>,
 }
 
 impl PartialEq for Node {
@@ -38,24 +76,51 @@ impl Ord for Node {
     }
 }
 
+/// Presolves `model`'s LP (or wraps it untouched when disabled) and
+/// derives the reduced-space indices of the integral variables.
+pub(crate) fn presolved_root(
+    full_lp: &LpProblem,
+    integral: &[usize],
+    enabled: bool,
+) -> Result<(PresolvedLp, Vec<usize>), IlpError> {
+    let mut is_int = vec![false; full_lp.n_vars];
+    for &j in integral {
+        is_int[j] = true;
+    }
+    let pre = if enabled {
+        match presolve::presolve(full_lp, &is_int) {
+            PresolveOutcome::Infeasible => return Err(IlpError::Infeasible),
+            PresolveOutcome::Reduced(p) => p,
+        }
+    } else {
+        PresolvedLp::identity(full_lp)
+    };
+    let red_integral =
+        pre.kept.iter().enumerate().filter(|&(_, &orig)| is_int[orig]).map(|(r, _)| r).collect();
+    Ok((pre, red_integral))
+}
+
 pub(crate) fn solve(
     model: &Model,
     integral: &[usize],
     config: &SolverConfig,
-    warm_start: bool,
+    params: SolveParams,
 ) -> Result<Solution, IlpError> {
-    let lp = model.to_lp();
+    let full_lp = model.to_lp();
     let start = Instant::now();
     // Internally we minimize; flip at the end if the model maximizes.
-    let to_min = |obj: f64| if lp.minimize { obj } else { -obj };
-    let from_min = |obj: f64| if lp.minimize { obj } else { -obj };
+    let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
+    let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
 
-    let root = match simplex::solve(&lp) {
-        LpOutcome::Optimal { values, objective } => Node {
+    let (pre, red_integral) = presolved_root(&full_lp, integral, params.presolve)?;
+    let lp = &pre.lp;
+
+    let root = match simplex::solve(lp) {
+        LpOutcome::Optimal { values, objective, basis } => Node {
             bound: to_min(objective),
-            lower: lp.lower.clone(),
-            upper: lp.upper.clone(),
+            chain: BoundChain::root(),
             relax: values,
+            basis: Arc::new(basis),
         },
         LpOutcome::Infeasible => return Err(IlpError::Infeasible),
         LpOutcome::Unbounded => {
@@ -68,23 +133,30 @@ pub(crate) fn solve(
     let root_bound = root.bound;
 
     let mut heap = BinaryHeap::new();
-    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-direction obj, values)
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-direction obj, full-space values)
     let mut nodes = 0usize;
 
     // Seed the incumbent from the root relaxation: plain rounding, escalated
     // to the greedy first-fit repair walk (the [`crate::HeuristicSolver`]
     // heuristic) when warm-starting is on and rounding alone is infeasible.
-    if let Some(rounded) = round_repair(model, &root.relax, integral, config.int_tol) {
-        let obj = to_min(objective_of(&lp, &rounded));
+    // Candidates live in the *original* variable space (postsolved).
+    let full_relax = pre.postsolve(&root.relax);
+    if let Some(rounded) = round_repair(model, &full_relax, integral, config.int_tol) {
+        let obj = to_min(objective_of(&full_lp, &rounded));
         incumbent = Some((obj, rounded));
-    } else if warm_start {
-        if let Some(repaired) = crate::solver::greedy_repair(model, &lp, &root.relax, integral) {
-            let obj = to_min(objective_of(&lp, &repaired));
+    } else if params.heuristic_seed {
+        if let Some(repaired) = crate::solver::greedy_repair(model, &full_lp, &full_relax, integral)
+        {
+            let obj = to_min(objective_of(&full_lp, &repaired));
             incumbent = Some((obj, repaired));
         }
     }
 
     heap.push(root);
+
+    // Scratch bound buffers, reused across every node expansion.
+    let mut lo_buf: Vec<f64> = Vec::with_capacity(lp.n_vars);
+    let mut hi_buf: Vec<f64> = Vec::with_capacity(lp.n_vars);
 
     let mut best_open_bound = root_bound;
     let mut budget_hit = false;
@@ -110,26 +182,18 @@ pub(crate) fn solve(
             }
         }
 
-        // Pick the most fractional integral variable.
-        let mut branch_var = None;
-        let mut best_frac = config.int_tol;
-        for &j in integral {
-            let v = node.relax[j];
-            let frac = (v - v.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch_var = Some(j);
+        let Some(j) = most_fractional(&node.relax, &red_integral, config.int_tol) else {
+            // Integral point: candidate incumbent (checked in full space).
+            let mut reduced = node.relax.clone();
+            for &k in &red_integral {
+                reduced[k] = reduced[k].round();
             }
-        }
-
-        let Some(j) = branch_var else {
-            // Integral point: candidate incumbent.
-            let mut values = node.relax.clone();
+            let mut values = pre.postsolve(&reduced);
             for &k in integral {
                 values[k] = values[k].round();
             }
             if model.is_feasible(&values, 1e-6) {
-                let obj = to_min(objective_of(&lp, &values));
+                let obj = to_min(objective_of(&full_lp, &values));
                 if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     incumbent = Some((obj, values));
                 }
@@ -137,27 +201,37 @@ pub(crate) fn solve(
             continue;
         };
 
-        let v = node.relax[j];
-        // Down child: x_j <= floor(v); up child: x_j >= ceil(v).
-        for (lo, hi) in [(node.lower[j], v.floor()), (v.ceil(), node.upper[j])] {
-            if lo > hi + 1e-9 {
-                continue;
-            }
-            let mut lower = node.lower.clone();
-            let mut upper = node.upper.clone();
-            lower[j] = lo.max(node.lower[j]);
-            upper[j] = hi.min(node.upper[j]);
-            match simplex::solve_with_bounds(&lp, &lower, &upper) {
-                LpOutcome::Optimal { values, objective } => {
-                    let bound = to_min(objective);
+        let warm = if params.warm_lp { Some(node.basis.as_ref()) } else { None };
+        let deadline = config.time_limit.map(|limit| (start, limit));
+        match expand_children(
+            lp,
+            &node.chain,
+            warm,
+            j,
+            node.relax[j],
+            deadline,
+            &mut lo_buf,
+            &mut hi_buf,
+        ) {
+            Expanded::Unbounded => return Err(IlpError::Unbounded),
+            Expanded::Children { children, timed_out } => {
+                for child in children {
+                    let bound = to_min(child.objective);
                     let dominated =
                         incumbent.as_ref().is_some_and(|(best, _)| bound >= *best - 1e-12);
                     if !dominated {
-                        heap.push(Node { bound, lower, upper, relax: values });
+                        heap.push(Node {
+                            bound,
+                            chain: child.chain,
+                            relax: child.relax,
+                            basis: child.basis,
+                        });
                     }
                 }
-                LpOutcome::Infeasible => {}
-                LpOutcome::Unbounded => return Err(IlpError::Unbounded),
+                if timed_out {
+                    budget_hit = true;
+                    break;
+                }
             }
         }
     }
@@ -207,7 +281,7 @@ pub(crate) fn round_repair(
 
 #[cfg(test)]
 mod tests {
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     use crate::{LinExpr, Model, Sense, SolveStatus, SolverConfig};
 
@@ -306,6 +380,33 @@ mod tests {
             Ok(sol) => assert!(m.is_feasible(&sol.values, 1e-6)),
             Err(e) => assert_eq!(e, crate::IlpError::NoIncumbent),
         }
+    }
+
+    #[test]
+    fn deadline_is_checked_before_child_solves() {
+        // A dense 26-item knapsack explodes into a deep tree; with a
+        // 5-millisecond deadline the expansion loop must bail out between
+        // child LP solves instead of finishing whole subtrees. The bound
+        // below is deliberately generous (hundreds of times the deadline)
+        // so it only catches gross overshoot, not scheduler noise.
+        let mut m = Model::new("deep");
+        let vars: Vec<_> = (0..26).map(|i| m.binary(format!("x{i}"))).collect();
+        let w = LinExpr::sum(
+            vars.iter().enumerate().map(|(i, &v)| LinExpr::term(v, 3.0 + ((i * 7) % 11) as f64)),
+        );
+        m.add_le("cap", w, 40.0);
+        m.set_objective(
+            Sense::Maximize,
+            LinExpr::sum(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| LinExpr::term(v, 5.0 + ((i * 13) % 17) as f64)),
+            ),
+        );
+        let cfg = SolverConfig { time_limit: Some(Duration::from_millis(5)), ..Default::default() };
+        let t0 = Instant::now();
+        let _ = m.solve_with(&cfg); // any outcome is fine; only timing matters
+        assert!(t0.elapsed() < Duration::from_secs(5), "deadline overshot: {:?}", t0.elapsed());
     }
 
     #[test]

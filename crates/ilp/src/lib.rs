@@ -15,6 +15,14 @@
 //! selects a backend (and the process-wide [`SolveCache`] memoization) and
 //! is what the TAPA-CS compiler threads through its configuration structs.
 //!
+//! Node solves are *incremental*: each model is presolved once at the root
+//! (bound tightening, row removal, fixed columns, dual fixing), nodes
+//! store sparse bound deltas instead of cloned bound vectors, and every
+//! child LP warm-starts from its parent's bounded-variable simplex basis.
+//! Engine activity (iterations, warm-start hits, presolve reductions) is
+//! observable through [`SolveActivity`]/[`SolveStats`]; `TAPACS_PRESOLVE=0`
+//! and `TAPACS_LP_WARM=0` switch the new machinery off.
+//!
 //! # Example
 //!
 //! Maximize `3x + 5y` subject to `x <= 4`, `2y <= 12`, `3x + 2y <= 18`
@@ -45,10 +53,13 @@ mod cache;
 mod error;
 mod expr;
 mod model;
+mod node;
 mod parallel;
+mod presolve;
 mod simplex;
 mod solution;
 mod solver;
+mod stats;
 
 pub use cache::{CacheStats, CachingSolver, SolveCache};
 pub use error::IlpError;
@@ -57,5 +68,6 @@ pub use model::{CmpOp, Model, Sense, SolverConfig, VarId, VarKind};
 pub use parallel::ParallelSolver;
 pub use solution::{Solution, SolveStatus};
 pub use solver::{HeuristicSolver, SequentialSolver, Solver, SolverBackend, SolverOptions};
+pub use stats::{SolveActivity, SolveStats};
 
 pub(crate) use simplex::LpOutcome;

@@ -310,7 +310,7 @@ impl Model {
         if integral.is_empty() {
             let lp = self.to_lp();
             match simplex::solve(&lp) {
-                crate::LpOutcome::Optimal { values, objective } => Ok(Solution {
+                crate::LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
                     status: SolveStatus::Optimal,
                     objective,
                     values,
@@ -321,7 +321,7 @@ impl Model {
                 crate::LpOutcome::Unbounded => Err(IlpError::Unbounded),
             }
         } else {
-            branch_bound::solve(self, &integral, config, false)
+            branch_bound::solve(self, &integral, config, branch_bound::SolveParams::from_env())
         }
     }
 

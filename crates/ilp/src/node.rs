@@ -1,0 +1,188 @@
+//! Sparse branch-and-bound node state.
+//!
+//! A search over thousands of nodes used to clone the full `lower`/`upper`
+//! vectors into every node. Since a branching step changes exactly one
+//! bound, nodes now store a [`BoundDelta`] chained to the parent through an
+//! [`Arc`] — resolving a node's bounds is one copy of the root vectors plus
+//! one walk up the (depth-length) chain, and sibling subtrees share their
+//! prefix. The same `Arc` plumbing carries the parent's optimal
+//! [`Basis`](crate::simplex::Basis) for warm-starting the child LP solves.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::simplex::{self, Basis, LpOutcome, LpProblem};
+
+/// One branching decision: `var`'s lower (or upper) bound moved to `value`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BoundDelta {
+    pub var: usize,
+    pub is_upper: bool,
+    pub value: f64,
+}
+
+/// A node's bound state as a delta chain back to the root. Deltas only
+/// ever tighten, so resolution is order-independent (`max` over lower
+/// deltas, `min` over upper deltas).
+#[derive(Debug)]
+pub(crate) struct BoundChain {
+    delta: Option<BoundDelta>,
+    parent: Option<Arc<BoundChain>>,
+}
+
+impl BoundChain {
+    /// The root node's (empty) chain.
+    pub fn root() -> Arc<BoundChain> {
+        Arc::new(BoundChain { delta: None, parent: None })
+    }
+
+    /// A child chain extending `parent` with one more tightened bound.
+    pub fn child(parent: &Arc<BoundChain>, delta: BoundDelta) -> Arc<BoundChain> {
+        Arc::new(BoundChain { delta: Some(delta), parent: Some(Arc::clone(parent)) })
+    }
+
+    /// Materializes this node's bounds into the reusable scratch buffers:
+    /// copies the root bounds, then applies every delta up the chain.
+    pub fn resolve(
+        &self,
+        root_lower: &[f64],
+        root_upper: &[f64],
+        lower: &mut Vec<f64>,
+        upper: &mut Vec<f64>,
+    ) {
+        lower.clear();
+        lower.extend_from_slice(root_lower);
+        upper.clear();
+        upper.extend_from_slice(root_upper);
+        let mut cur = Some(self);
+        while let Some(c) = cur {
+            if let Some(d) = &c.delta {
+                if d.is_upper {
+                    upper[d.var] = upper[d.var].min(d.value);
+                } else {
+                    lower[d.var] = lower[d.var].max(d.value);
+                }
+            }
+            cur = c.parent.as_deref();
+        }
+    }
+}
+
+/// One solved child of a branched node, in raw (not minimize-direction)
+/// objective terms.
+pub(crate) struct ChildNode {
+    pub objective: f64,
+    pub chain: Arc<BoundChain>,
+    pub relax: Vec<f64>,
+    pub basis: Arc<Basis>,
+}
+
+/// Outcome of expanding one node into its (up to two) children.
+pub(crate) enum Expanded {
+    /// Children in deterministic `[down, up]` order (infeasible ones
+    /// dropped). `timed_out` marks an expansion cut short by the deadline.
+    Children { children: Vec<ChildNode>, timed_out: bool },
+    /// A child LP was unbounded — modelling error, abort the solve.
+    Unbounded,
+}
+
+/// Solves the two branching children of a node: `branch_var <= floor(v)`
+/// and `branch_var >= ceil(v)`, warm-started from the node's basis when
+/// given. Shared by the sequential and parallel drivers so their branching
+/// semantics (bound arithmetic, deadline handling, chain construction)
+/// cannot drift apart — the backend-equivalence proptests depend on that.
+///
+/// `lower`/`upper` are reusable scratch buffers; they come back holding the
+/// *node's* bounds (every per-child tweak is restored).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_children(
+    lp: &LpProblem,
+    chain: &Arc<BoundChain>,
+    warm: Option<&Basis>,
+    branch_var: usize,
+    branch_value: f64,
+    deadline: Option<(Instant, Duration)>,
+    lower: &mut Vec<f64>,
+    upper: &mut Vec<f64>,
+) -> Expanded {
+    chain.resolve(&lp.lower, &lp.upper, lower, upper);
+    let j = branch_var;
+    let (node_lo, node_hi) = (lower[j], upper[j]);
+    let mut children = Vec::with_capacity(2);
+    for (is_upper, value) in [(true, branch_value.floor()), (false, branch_value.ceil())] {
+        let (lo, hi) =
+            if is_upper { (node_lo, value.min(node_hi)) } else { (value.max(node_lo), node_hi) };
+        if lo > hi + 1e-9 {
+            continue;
+        }
+        // Honor the deadline before *every* child LP solve, not only at
+        // node pops: a deep dive must not overshoot it by a subtree.
+        if let Some((start, limit)) = deadline {
+            if start.elapsed() >= limit {
+                return Expanded::Children { children, timed_out: true };
+            }
+        }
+        lower[j] = lo;
+        upper[j] = hi;
+        let outcome = simplex::solve_warm(lp, lower, upper, warm);
+        lower[j] = node_lo;
+        upper[j] = node_hi;
+        match outcome {
+            LpOutcome::Optimal { values, objective, basis } => {
+                children.push(ChildNode {
+                    objective,
+                    chain: BoundChain::child(chain, BoundDelta { var: j, is_upper, value }),
+                    relax: values,
+                    basis: Arc::new(basis),
+                });
+            }
+            LpOutcome::Infeasible => {}
+            LpOutcome::Unbounded => return Expanded::Unbounded,
+        }
+    }
+    Expanded::Children { children, timed_out: false }
+}
+
+/// Shared branching rule: the integral variable whose relaxation value is
+/// the most fractional (beyond `tol`), or `None` when the point is
+/// integral on every listed coordinate.
+pub(crate) fn most_fractional(relax: &[f64], integral: &[usize], tol: f64) -> Option<usize> {
+    let mut branch_var = None;
+    let mut best_frac = tol;
+    for &j in integral {
+        let v = relax[j];
+        let frac = (v - v.round()).abs();
+        if frac > best_frac {
+            best_frac = frac;
+            branch_var = Some(j);
+        }
+    }
+    branch_var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_resolution_applies_all_ancestors() {
+        let root = BoundChain::root();
+        let a = BoundChain::child(&root, BoundDelta { var: 0, is_upper: true, value: 3.0 });
+        let b = BoundChain::child(&a, BoundDelta { var: 1, is_upper: false, value: 2.0 });
+        let c = BoundChain::child(&b, BoundDelta { var: 0, is_upper: true, value: 1.0 });
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        c.resolve(&[0.0, 0.0], &[10.0, 10.0], &mut lo, &mut hi);
+        assert_eq!(lo, vec![0.0, 2.0]);
+        assert_eq!(hi, vec![1.0, 10.0]);
+        // Sibling state is untouched: resolving `b` sees only its own path.
+        b.resolve(&[0.0, 0.0], &[10.0, 10.0], &mut lo, &mut hi);
+        assert_eq!(hi, vec![3.0, 10.0]);
+    }
+
+    #[test]
+    fn most_fractional_picks_the_farthest_from_integer() {
+        let relax = [1.0, 2.5, 0.9, 3.1];
+        assert_eq!(most_fractional(&relax, &[0, 1, 2, 3], 1e-6), Some(1));
+        assert_eq!(most_fractional(&relax, &[0], 1e-6), None);
+    }
+}

@@ -11,6 +11,12 @@
 //! incumbent is the minimum over the candidate set no matter how worker
 //! updates interleave.
 //!
+//! Node solves are incremental exactly as in the sequential search: one
+//! root presolve, sparse [`BoundChain`] deltas instead of cloned bound
+//! vectors, and child LPs warm-started from the parent [`Basis`]. Both the
+//! chain and the basis are pure functions of the node, so warm starts do
+//! not disturb the thread-count independence.
+//!
 //! Only wall-clock expiry ([`SolverConfig::time_limit`]) can break this
 //! determinism, because the cut-off point then depends on machine speed.
 //! Every branch-and-bound solver has that caveat; TAPA-CS's bisection ILPs
@@ -32,13 +38,15 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::branch_bound::{objective_of, round_repair};
+use crate::branch_bound::{objective_of, presolved_root, round_repair, SolveParams};
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
-use crate::simplex::{self, LpOutcome, LpProblem};
+use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
+use crate::presolve::PresolvedLp;
+use crate::simplex::{self, Basis, LpOutcome, LpProblem};
 use crate::solution::{Solution, SolveStatus};
 
 /// Frontier nodes expanded per synchronous round. Fixed (never derived from
@@ -51,10 +59,12 @@ struct Node {
     /// LP relaxation bound in *minimize* direction.
     bound: f64,
     seq: u64,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    /// Fractional LP point (used to pick the branching variable).
+    /// Sparse bound state (deltas back to the presolved root).
+    chain: Arc<BoundChain>,
+    /// Fractional LP point in *reduced* space (picks the branching var).
     relax: Vec<f64>,
+    /// This node's optimal basis — the children's warm start.
+    basis: Arc<Basis>,
 }
 
 impl PartialEq for Node {
@@ -83,25 +93,26 @@ impl Ord for Node {
 /// A child produced by expanding a node; gets its `seq` at merge time.
 struct Child {
     bound: f64,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
+    chain: Arc<BoundChain>,
     relax: Vec<f64>,
+    basis: Arc<Basis>,
 }
 
-/// Outcome of expanding one batch slot. Pure function of the node, so slots
-/// can be computed on any worker without affecting the result.
+/// Outcome of expanding one batch slot. Pure function of the node (modulo
+/// deadline expiry), so slots can be computed on any worker without
+/// affecting the result.
 enum Expansion {
     /// The node's relaxation was integral: a candidate incumbent (already
     /// offered to the shared incumbent by the worker).
     Candidate,
     /// Children in deterministic `[down, up]` order (infeasible ones
-    /// dropped).
-    Children(Vec<Child>),
+    /// dropped). `timed_out` marks an expansion cut short by the deadline.
+    Children { children: Vec<Child>, timed_out: bool },
     /// A child LP was unbounded — modelling error, abort the solve.
     Unbounded,
 }
 
-/// The shared incumbent: minimize-direction objective plus point.
+/// The shared incumbent: minimize-direction objective plus full-space point.
 struct Incumbent {
     obj: f64,
     values: Vec<f64>,
@@ -140,64 +151,68 @@ fn offer(shared: &Mutex<Option<Incumbent>>, obj: f64, values: &[f64]) {
     }
 }
 
+/// Everything an expansion slot needs, shared read-only across workers.
+struct SearchCtx<'a> {
+    full_lp: &'a LpProblem,
+    pre: &'a PresolvedLp,
+    model: &'a Model,
+    integral: &'a [usize],
+    red_integral: &'a [usize],
+    config: &'a SolverConfig,
+    params: SolveParams,
+    start: Instant,
+}
+
 /// Expands one node: either reports an integral candidate (offered to the
-/// shared incumbent) or returns the branched children. No pruning happens
-/// here — children are pruned deterministically at merge time.
+/// shared incumbent) or returns the branched children (solved through the
+/// shared [`expand_children`] helper, so the branching semantics match the
+/// sequential driver exactly). No pruning happens here — children are
+/// pruned deterministically at merge time. `lo_buf`/`hi_buf` are per-worker
+/// scratch buffers.
 fn expand_node(
-    lp: &LpProblem,
-    model: &Model,
-    integral: &[usize],
-    config: &SolverConfig,
+    ctx: &SearchCtx<'_>,
     incumbent: &Mutex<Option<Incumbent>>,
     node: &Node,
+    lo_buf: &mut Vec<f64>,
+    hi_buf: &mut Vec<f64>,
 ) -> Expansion {
+    let lp = &ctx.pre.lp;
     let to_min = |obj: f64| if lp.minimize { obj } else { -obj };
 
-    // Pick the most fractional integral variable.
-    let mut branch_var = None;
-    let mut best_frac = config.int_tol;
-    for &j in integral {
-        let v = node.relax[j];
-        let frac = (v - v.round()).abs();
-        if frac > best_frac {
-            best_frac = frac;
-            branch_var = Some(j);
+    let Some(j) = most_fractional(&node.relax, ctx.red_integral, ctx.config.int_tol) else {
+        // Integral point: candidate incumbent (checked in full space).
+        let mut reduced = node.relax.clone();
+        for &k in ctx.red_integral {
+            reduced[k] = reduced[k].round();
         }
-    }
-
-    let Some(j) = branch_var else {
-        // Integral point: candidate incumbent.
-        let mut values = node.relax.clone();
-        for &k in integral {
+        let mut values = ctx.pre.postsolve(&reduced);
+        for &k in ctx.integral {
             values[k] = values[k].round();
         }
-        if model.is_feasible(&values, 1e-6) {
-            let obj = to_min(objective_of(lp, &values));
+        if ctx.model.is_feasible(&values, 1e-6) {
+            let obj = to_min(objective_of(ctx.full_lp, &values));
             offer(incumbent, obj, &values);
         }
         return Expansion::Candidate;
     };
 
-    let v = node.relax[j];
-    let mut children = Vec::with_capacity(2);
-    // Down child: x_j <= floor(v); up child: x_j >= ceil(v).
-    for (lo, hi) in [(node.lower[j], v.floor()), (v.ceil(), node.upper[j])] {
-        if lo > hi + 1e-9 {
-            continue;
-        }
-        let mut lower = node.lower.clone();
-        let mut upper = node.upper.clone();
-        lower[j] = lo.max(node.lower[j]);
-        upper[j] = hi.min(node.upper[j]);
-        match simplex::solve_with_bounds(lp, &lower, &upper) {
-            LpOutcome::Optimal { values, objective } => {
-                children.push(Child { bound: to_min(objective), lower, upper, relax: values });
-            }
-            LpOutcome::Infeasible => {}
-            LpOutcome::Unbounded => return Expansion::Unbounded,
-        }
+    let warm = if ctx.params.warm_lp { Some(node.basis.as_ref()) } else { None };
+    let deadline = ctx.config.time_limit.map(|limit| (ctx.start, limit));
+    match expand_children(lp, &node.chain, warm, j, node.relax[j], deadline, lo_buf, hi_buf) {
+        Expanded::Unbounded => Expansion::Unbounded,
+        Expanded::Children { children, timed_out } => Expansion::Children {
+            children: children
+                .into_iter()
+                .map(|c| Child {
+                    bound: to_min(c.objective),
+                    chain: c.chain,
+                    relax: c.relax,
+                    basis: c.basis,
+                })
+                .collect(),
+            timed_out,
+        },
     }
-    Expansion::Children(children)
 }
 
 pub(crate) fn solve(
@@ -205,21 +220,24 @@ pub(crate) fn solve(
     integral: &[usize],
     config: &SolverConfig,
     threads: usize,
-    warm_start: bool,
+    params: SolveParams,
 ) -> Result<Solution, IlpError> {
-    let lp = model.to_lp();
+    let full_lp = model.to_lp();
     let start = Instant::now();
     let workers = threads.max(1);
-    let to_min = |obj: f64| if lp.minimize { obj } else { -obj };
-    let from_min = |obj: f64| if lp.minimize { obj } else { -obj };
+    let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
+    let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
 
-    let root = match simplex::solve(&lp) {
-        LpOutcome::Optimal { values, objective } => Node {
+    let (pre, red_integral) = presolved_root(&full_lp, integral, params.presolve)?;
+    let lp = &pre.lp;
+
+    let root = match simplex::solve(lp) {
+        LpOutcome::Optimal { values, objective, basis } => Node {
             bound: to_min(objective),
             seq: 0,
-            lower: lp.lower.clone(),
-            upper: lp.upper.clone(),
+            chain: BoundChain::root(),
             relax: values,
+            basis: Arc::new(basis),
         },
         LpOutcome::Infeasible => return Err(IlpError::Infeasible),
         LpOutcome::Unbounded => return Err(IlpError::Unbounded),
@@ -227,21 +245,39 @@ pub(crate) fn solve(
     let root_bound = root.bound;
 
     let incumbent: Mutex<Option<Incumbent>> = Mutex::new(None);
-    if let Some(rounded) = round_repair(model, &root.relax, integral, config.int_tol) {
-        let obj = to_min(objective_of(&lp, &rounded));
+    let full_relax = pre.postsolve(&root.relax);
+    if let Some(rounded) = round_repair(model, &full_relax, integral, config.int_tol) {
+        let obj = to_min(objective_of(&full_lp, &rounded));
         offer(&incumbent, obj, &rounded);
-    } else if warm_start {
+    } else if params.heuristic_seed {
         // Greedy first-fit repair on the already-solved root relaxation —
         // the warm-start incumbent, at zero extra LP solves.
-        if let Some(repaired) = crate::solver::greedy_repair(model, &lp, &root.relax, integral) {
-            let obj = to_min(objective_of(&lp, &repaired));
+        if let Some(repaired) = crate::solver::greedy_repair(model, &full_lp, &full_relax, integral)
+        {
+            let obj = to_min(objective_of(&full_lp, &repaired));
             offer(&incumbent, obj, &repaired);
         }
     }
 
+    let ctx = SearchCtx {
+        full_lp: &full_lp,
+        pre: &pre,
+        model,
+        integral,
+        red_integral: &red_integral,
+        config,
+        params,
+        start,
+    };
+
     let mut heap = BinaryHeap::new();
     let mut next_seq = 1u64;
     heap.push(root);
+
+    // Main-thread scratch bound buffers (leader + single-worker rounds);
+    // spawned workers carry their own pair per chunk.
+    let mut lo_buf: Vec<f64> = Vec::with_capacity(lp.n_vars);
+    let mut hi_buf: Vec<f64> = Vec::with_capacity(lp.n_vars);
 
     let mut nodes = 0usize;
     let mut best_open_bound = root_bound;
@@ -299,7 +335,7 @@ pub(crate) fn solve(
         // thread-count independent.
         let mut results: Vec<Option<Expansion>> = Vec::new();
         results.resize_with(batch.len(), || None);
-        results[0] = Some(expand_node(&lp, model, integral, config, &incumbent, &batch[0]));
+        results[0] = Some(expand_node(&ctx, &incumbent, &batch[0], &mut lo_buf, &mut hi_buf));
         let bar = incumbent.lock().unwrap().as_ref().map(|i| i.obj);
         let survives = |node: &Node| {
             bar.is_none_or(|io| node.bound < io - config.mip_gap.max(1e-12) * io.abs().max(1.0))
@@ -309,7 +345,7 @@ pub(crate) fn solve(
         if active <= 1 {
             for (node, slot) in batch[1..].iter().zip(results[1..].iter_mut()) {
                 if survives(node) {
-                    *slot = Some(expand_node(&lp, model, integral, config, &incumbent, node));
+                    *slot = Some(expand_node(&ctx, &incumbent, node, &mut lo_buf, &mut hi_buf));
                 }
             }
         } else {
@@ -319,19 +355,21 @@ pub(crate) fn solve(
                     batch[1..].chunks(chunk).zip(results[1..].chunks_mut(chunk)).collect();
                 let (first_nodes, first_slots) = pairs.remove(0);
                 for (nodes_chunk, slots_chunk) in pairs {
-                    let (lp, incumbent, survives) = (&lp, &incumbent, &survives);
+                    let (ctx, incumbent, survives) = (&ctx, &incumbent, &survives);
                     s.spawn(move || {
+                        // One scratch pair per worker chunk, reused across
+                        // its nodes.
+                        let (mut lo, mut hi) = (Vec::new(), Vec::new());
                         for (node, slot) in nodes_chunk.iter().zip(slots_chunk.iter_mut()) {
                             if survives(node) {
-                                *slot =
-                                    Some(expand_node(lp, model, integral, config, incumbent, node));
+                                *slot = Some(expand_node(ctx, incumbent, node, &mut lo, &mut hi));
                             }
                         }
                     });
                 }
                 for (node, slot) in first_nodes.iter().zip(first_slots.iter_mut()) {
                     if survives(node) {
-                        *slot = Some(expand_node(&lp, model, integral, config, &incumbent, node));
+                        *slot = Some(expand_node(&ctx, &incumbent, node, &mut lo_buf, &mut hi_buf));
                     }
                 }
             });
@@ -345,22 +383,28 @@ pub(crate) fn solve(
             match expansion {
                 Expansion::Unbounded => return Err(IlpError::Unbounded),
                 Expansion::Candidate => {}
-                Expansion::Children(children) => {
+                Expansion::Children { children, timed_out } => {
+                    if timed_out {
+                        budget_hit = true;
+                    }
                     for child in children {
                         let dominated = merged_obj.is_some_and(|best| child.bound >= best - 1e-12);
                         if !dominated {
                             heap.push(Node {
                                 bound: child.bound,
                                 seq: next_seq,
-                                lower: child.lower,
-                                upper: child.upper,
+                                chain: child.chain,
                                 relax: child.relax,
+                                basis: child.basis,
                             });
                             next_seq += 1;
                         }
                     }
                 }
             }
+        }
+        if budget_hit {
+            break;
         }
     }
 
@@ -404,21 +448,31 @@ pub struct ParallelSolver {
     /// Seed the incumbent with [`crate::HeuristicSolver`]'s point before
     /// the search starts.
     pub warm_start: bool,
+    /// Run the root presolve (see [`crate::SolverOptions::presolve`]).
+    pub presolve: bool,
+    /// Warm-start child LPs from the parent basis.
+    pub warm_lp: bool,
 }
 
 impl Default for ParallelSolver {
     fn default() -> Self {
-        Self { threads: 0, warm_start: true }
+        Self { threads: 0, warm_start: true, presolve: true, warm_lp: true }
     }
 }
 
 impl crate::Solver for ParallelSolver {
     fn name(&self) -> String {
+        let mut name = String::from("parallel");
         if self.warm_start {
-            "parallel+warm".into()
-        } else {
-            "parallel".into()
+            name.push_str("+warm");
         }
+        if !self.presolve {
+            name.push_str("-nopresolve");
+        }
+        if !self.warm_lp {
+            name.push_str("-coldlp");
+        }
+        name
     }
 
     fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
@@ -431,7 +485,12 @@ impl crate::Solver for ParallelSolver {
         } else {
             self.threads
         };
-        solve(model, &integral, config, threads, self.warm_start)
+        let params = SolveParams {
+            heuristic_seed: self.warm_start,
+            presolve: self.presolve,
+            warm_lp: self.warm_lp,
+        };
+        solve(model, &integral, config, threads, params)
     }
 }
 
@@ -461,7 +520,9 @@ mod tests {
         let m = knapsack(12);
         let cfg = SolverConfig::default();
         let seq = m.solve_with(&cfg).unwrap();
-        let par = ParallelSolver { threads: 4, warm_start: false }.solve(&m, &cfg).unwrap();
+        let par = ParallelSolver { threads: 4, warm_start: false, ..Default::default() }
+            .solve(&m, &cfg)
+            .unwrap();
         assert!((seq.objective - par.objective).abs() < 1e-6);
     }
 
@@ -469,9 +530,9 @@ mod tests {
     fn identical_values_across_thread_counts() {
         let m = knapsack(14);
         let cfg = SolverConfig::default();
-        let one = ParallelSolver { threads: 1, warm_start: true }.solve(&m, &cfg).unwrap();
+        let one = ParallelSolver { threads: 1, ..Default::default() }.solve(&m, &cfg).unwrap();
         for threads in [2, 3, 8] {
-            let t = ParallelSolver { threads, warm_start: true }.solve(&m, &cfg).unwrap();
+            let t = ParallelSolver { threads, ..Default::default() }.solve(&m, &cfg).unwrap();
             assert_eq!(one.values, t.values, "threads={threads} diverged");
             assert_eq!(one.nodes_explored, t.nodes_explored);
         }

@@ -1,0 +1,525 @@
+//! Root presolve: shrinks a [`LpProblem`] once per model before branch and
+//! bound touches it.
+//!
+//! Four passes iterate to a fixpoint:
+//!
+//! 1. **Singleton rows** become variable bounds (rounded inward for
+//!    integral variables) and are removed.
+//! 2. **Empty and redundant rows** — rows whose activity range, computed
+//!    coefficient-wise from the variable bounds, can never violate the
+//!    relation — are removed; ranges that can never *satisfy* it prove the
+//!    model infeasible without a single simplex iteration.
+//! 3. **Fixed columns** (bounds pinched to a point) are substituted into
+//!    every row and dropped from the column space.
+//! 4. **Dual fixing** — the root-node reduced-cost argument run on signs
+//!    alone: when moving a variable towards one of its finite bounds can
+//!    neither hurt the (minimize-direction) objective nor violate any row,
+//!    some optimum has it at that bound, so it is fixed there. For
+//!    integral variables the bound is already integral after pass 1's
+//!    rounding, so the fixing is MIP-safe.
+//!
+//! The result is a [`PresolvedLp`]: the reduced problem plus a postsolve
+//! map back to original variable ids. Reductions are counted into the
+//! process-wide [`SolveActivity`](crate::SolveActivity).
+
+use crate::model::CmpOp;
+use crate::simplex::{LpProblem, LpRow};
+use crate::stats::SolveActivity;
+
+/// Absolute slack used when *removing* a row as redundant — deliberately
+/// far tighter than the solver's feasibility tolerance so a removed row can
+/// never re-appear as a violated constraint at postsolve time.
+const REDUNDANT_TOL: f64 = 1e-9;
+/// Integrality rounding guard for bound tightening.
+const INT_TOL: f64 = 1e-6;
+
+/// A presolved LP plus the map back to the original variable space.
+#[derive(Debug, Clone)]
+pub(crate) struct PresolvedLp {
+    /// The reduced problem (columns renumbered densely over kept
+    /// variables, rows substituted and filtered).
+    pub lp: LpProblem,
+    /// Original variable index of each reduced column.
+    pub kept: Vec<usize>,
+    /// Fixed value per original variable (`None` for kept columns).
+    fixed: Vec<Option<f64>>,
+    n_original: usize,
+}
+
+impl PresolvedLp {
+    /// The no-op reduction (presolve disabled): every column kept.
+    pub fn identity(lp: &LpProblem) -> PresolvedLp {
+        PresolvedLp {
+            lp: lp.clone(),
+            kept: (0..lp.n_vars).collect(),
+            fixed: vec![None; lp.n_vars],
+            n_original: lp.n_vars,
+        }
+    }
+
+    /// Maps a point of the reduced problem back to the original variable
+    /// space, filling presolve-fixed variables with their fixed values.
+    pub fn postsolve(&self, reduced: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(reduced.len(), self.kept.len());
+        let mut full = vec![0.0; self.n_original];
+        for (r, &orig) in self.kept.iter().enumerate() {
+            full[orig] = reduced[r];
+        }
+        for (j, fix) in self.fixed.iter().enumerate() {
+            if let Some(v) = fix {
+                full[j] = *v;
+            }
+        }
+        full
+    }
+}
+
+/// Result of presolving one model.
+pub(crate) enum PresolveOutcome {
+    /// The reductions proved the model infeasible.
+    Infeasible,
+    /// The reduced problem and its postsolve map.
+    Reduced(PresolvedLp),
+}
+
+struct WorkRow {
+    coeffs: Vec<(usize, f64)>,
+    op: CmpOp,
+    rhs: f64,
+    alive: bool,
+}
+
+/// Runs the presolve passes on `lp` to a fixpoint. `is_integral` flags the
+/// variables whose bounds must stay integral.
+pub(crate) fn presolve(lp: &LpProblem, is_integral: &[bool]) -> PresolveOutcome {
+    debug_assert_eq!(is_integral.len(), lp.n_vars);
+    let n = lp.n_vars;
+    let mut lower = lp.lower.clone();
+    let mut upper = lp.upper.clone();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    let mut rows: Vec<WorkRow> = lp
+        .rows
+        .iter()
+        .map(|r| WorkRow { coeffs: r.coeffs.clone(), op: r.op, rhs: r.rhs, alive: true })
+        .collect();
+
+    let mut rows_removed = 0u64;
+    let mut cols_fixed = 0u64;
+    let mut bounds_tightened = 0u64;
+
+    // Integral variables start with inward-rounded bounds.
+    for j in 0..n {
+        if is_integral[j] {
+            round_integral_bounds(j, &mut lower, &mut upper);
+        }
+    }
+
+    let mut changed = true;
+    let mut passes = 0;
+    while changed && passes < 16 {
+        changed = false;
+        passes += 1;
+
+        // Substitute fixed variables into every live row.
+        for row in rows.iter_mut().filter(|r| r.alive) {
+            row.coeffs.retain(|&(j, a)| {
+                if let Some(v) = fixed[j] {
+                    row.rhs -= a * v;
+                    false
+                } else {
+                    a != 0.0
+                }
+            });
+        }
+
+        // Row passes: empty, singleton, activity-based.
+        for row in rows.iter_mut().filter(|r| r.alive) {
+            if row.coeffs.is_empty() {
+                let ok = match row.op {
+                    CmpOp::Le => row.rhs >= -feas_slack(row.rhs),
+                    CmpOp::Ge => row.rhs <= feas_slack(row.rhs),
+                    CmpOp::Eq => row.rhs.abs() <= feas_slack(row.rhs),
+                };
+                if !ok {
+                    return PresolveOutcome::Infeasible;
+                }
+                row.alive = false;
+                rows_removed += 1;
+                changed = true;
+                continue;
+            }
+            if row.coeffs.len() == 1 {
+                let (j, a) = row.coeffs[0];
+                let bound = row.rhs / a;
+                let tighten_upper = matches!(
+                    (row.op, a > 0.0),
+                    (CmpOp::Le, true) | (CmpOp::Ge, false) | (CmpOp::Eq, _)
+                );
+                let tighten_lower = matches!(
+                    (row.op, a > 0.0),
+                    (CmpOp::Ge, true) | (CmpOp::Le, false) | (CmpOp::Eq, _)
+                );
+                if tighten_upper && bound < upper[j] - REDUNDANT_TOL {
+                    upper[j] = bound;
+                    bounds_tightened += 1;
+                }
+                if tighten_lower && bound > lower[j] + REDUNDANT_TOL {
+                    lower[j] = bound;
+                    bounds_tightened += 1;
+                }
+                if is_integral[j] {
+                    round_integral_bounds(j, &mut lower, &mut upper);
+                }
+                row.alive = false;
+                rows_removed += 1;
+                changed = true;
+                continue;
+            }
+
+            // Activity range from the bounds, coefficient-wise.
+            let mut min_act = 0.0f64;
+            let mut max_act = 0.0f64;
+            for &(j, a) in &row.coeffs {
+                let (lo_c, hi_c) = if a > 0.0 {
+                    (a * lower[j], a * upper[j])
+                } else {
+                    (a * upper[j], a * lower[j])
+                };
+                min_act += lo_c;
+                max_act += hi_c;
+            }
+            let slack = feas_slack(row.rhs);
+            let violated = match row.op {
+                CmpOp::Le => min_act > row.rhs + slack,
+                CmpOp::Ge => max_act < row.rhs - slack,
+                CmpOp::Eq => min_act > row.rhs + slack || max_act < row.rhs - slack,
+            };
+            if violated {
+                return PresolveOutcome::Infeasible;
+            }
+            let redundant = match row.op {
+                CmpOp::Le => max_act.is_finite() && max_act <= row.rhs + REDUNDANT_TOL,
+                CmpOp::Ge => min_act.is_finite() && min_act >= row.rhs - REDUNDANT_TOL,
+                CmpOp::Eq => {
+                    min_act.is_finite()
+                        && max_act.is_finite()
+                        && min_act >= row.rhs - REDUNDANT_TOL
+                        && max_act <= row.rhs + REDUNDANT_TOL
+                }
+            };
+            if redundant {
+                row.alive = false;
+                rows_removed += 1;
+                changed = true;
+            }
+        }
+
+        // Column passes: empty-interval detection, pinched-bound fixing.
+        for j in 0..n {
+            if fixed[j].is_some() {
+                continue;
+            }
+            if lower[j] > upper[j] + REDUNDANT_TOL {
+                return PresolveOutcome::Infeasible;
+            }
+            if upper[j] - lower[j] <= REDUNDANT_TOL {
+                let mut v = 0.5 * (lower[j] + upper[j]);
+                if is_integral[j] {
+                    v = v.round();
+                    if v < lower[j] - INT_TOL || v > upper[j] + INT_TOL {
+                        return PresolveOutcome::Infeasible;
+                    }
+                }
+                fixed[j] = Some(v);
+                cols_fixed += 1;
+                changed = true;
+            }
+        }
+
+        // Dual fixing: per-column sign safety over the live rows.
+        let mut dec_safe = vec![true; n];
+        let mut inc_safe = vec![true; n];
+        for row in rows.iter().filter(|r| r.alive) {
+            for &(j, a) in &row.coeffs {
+                match row.op {
+                    CmpOp::Le => {
+                        if a < 0.0 {
+                            dec_safe[j] = false;
+                        }
+                        if a > 0.0 {
+                            inc_safe[j] = false;
+                        }
+                    }
+                    CmpOp::Ge => {
+                        if a > 0.0 {
+                            dec_safe[j] = false;
+                        }
+                        if a < 0.0 {
+                            inc_safe[j] = false;
+                        }
+                    }
+                    CmpOp::Eq => {
+                        dec_safe[j] = false;
+                        inc_safe[j] = false;
+                    }
+                }
+            }
+        }
+        let sign = if lp.minimize { 1.0 } else { -1.0 };
+        for j in 0..n {
+            if fixed[j].is_some() {
+                continue;
+            }
+            let c = sign * lp.objective[j];
+            if c >= 0.0 && dec_safe[j] && lower[j].is_finite() {
+                fixed[j] = Some(lower[j]);
+                cols_fixed += 1;
+                changed = true;
+            } else if c <= 0.0 && inc_safe[j] && upper[j].is_finite() {
+                fixed[j] = Some(upper[j]);
+                cols_fixed += 1;
+                changed = true;
+            }
+        }
+    }
+
+    // Final substitution sweep (the loop may have capped out with fixes
+    // from its last pass still unapplied).
+    for row in rows.iter_mut().filter(|r| r.alive) {
+        row.coeffs.retain(|&(j, a)| {
+            if let Some(v) = fixed[j] {
+                row.rhs -= a * v;
+                false
+            } else {
+                a != 0.0
+            }
+        });
+        if row.coeffs.is_empty() {
+            let ok = match row.op {
+                CmpOp::Le => row.rhs >= -feas_slack(row.rhs),
+                CmpOp::Ge => row.rhs <= feas_slack(row.rhs),
+                CmpOp::Eq => row.rhs.abs() <= feas_slack(row.rhs),
+            };
+            if !ok {
+                return PresolveOutcome::Infeasible;
+            }
+            row.alive = false;
+            rows_removed += 1;
+        }
+    }
+
+    SolveActivity::global().record_presolve(rows_removed, cols_fixed, bounds_tightened);
+
+    // Build the reduced problem over the kept columns.
+    let kept: Vec<usize> = (0..n).filter(|&j| fixed[j].is_none()).collect();
+    let mut new_index = vec![usize::MAX; n];
+    for (r, &orig) in kept.iter().enumerate() {
+        new_index[orig] = r;
+    }
+    let mut offset = lp.objective_offset;
+    for (j, fix) in fixed.iter().enumerate() {
+        if let Some(v) = fix {
+            offset += lp.objective[j] * v;
+        }
+    }
+    let reduced = LpProblem {
+        n_vars: kept.len(),
+        lower: kept.iter().map(|&j| lower[j]).collect(),
+        upper: kept.iter().map(|&j| upper[j]).collect(),
+        rows: rows
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| LpRow {
+                coeffs: r.coeffs.iter().map(|&(j, a)| (new_index[j], a)).collect(),
+                op: r.op,
+                rhs: r.rhs,
+            })
+            .collect(),
+        objective: kept.iter().map(|&j| lp.objective[j]).collect(),
+        minimize: lp.minimize,
+        objective_offset: offset,
+    };
+    PresolveOutcome::Reduced(PresolvedLp { lp: reduced, kept, fixed, n_original: n })
+}
+
+/// Feasibility slack scaled to the row magnitude: generous when *proving*
+/// infeasibility (a false negative only costs simplex work).
+fn feas_slack(rhs: f64) -> f64 {
+    1e-6 * (1.0 + rhs.abs())
+}
+
+fn round_integral_bounds(j: usize, lower: &mut [f64], upper: &mut [f64]) {
+    if lower[j].is_finite() {
+        lower[j] = (lower[j] - INT_TOL).ceil();
+    }
+    if upper[j].is_finite() {
+        upper[j] = (upper[j] + INT_TOL).floor();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_lp(n: usize, rows: Vec<LpRow>, objective: Vec<f64>, minimize: bool) -> LpProblem {
+        LpProblem {
+            n_vars: n,
+            lower: vec![0.0; n],
+            upper: vec![10.0; n],
+            rows,
+            objective,
+            minimize,
+            objective_offset: 0.0,
+        }
+    }
+
+    fn reduced(out: PresolveOutcome) -> PresolvedLp {
+        match out {
+            PresolveOutcome::Reduced(p) => p,
+            PresolveOutcome::Infeasible => panic!("unexpected infeasibility"),
+        }
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds_and_vanish() {
+        // x0 <= 3 and x1 >= 2 as rows; the third row stays. Maximizing
+        // both keeps dual fixing out of the picture (increase is unsafe).
+        let lp = base_lp(
+            2,
+            vec![
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 3.0 },
+                LpRow { coeffs: vec![(1, 2.0)], op: CmpOp::Ge, rhs: 4.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Le, rhs: 8.0 },
+            ],
+            vec![-1.0, -1.0],
+            true,
+        );
+        let p = reduced(presolve(&lp, &[false, false]));
+        assert_eq!(p.lp.rows.len(), 1);
+        assert_eq!(p.lp.upper[0], 3.0);
+        assert_eq!(p.lp.lower[1], 2.0);
+    }
+
+    #[test]
+    fn integral_singleton_bounds_round_inward() {
+        // 2x <= 3 with x integer → x <= 1.
+        let lp = base_lp(
+            1,
+            vec![LpRow { coeffs: vec![(0, 2.0)], op: CmpOp::Le, rhs: 3.0 }],
+            vec![-1.0],
+            true,
+        );
+        let p = reduced(presolve(&lp, &[true]));
+        // Dual fixing then pins the (objective-improving) variable at its
+        // rounded upper bound.
+        let full = p.postsolve(&vec![0.0; p.lp.n_vars]);
+        assert_eq!(full[0], 1.0);
+    }
+
+    #[test]
+    fn coefficientwise_infeasibility_detected() {
+        // x0 + x1 >= 25 with both in [0, 10]: max activity 20 < 25.
+        let lp = base_lp(
+            2,
+            vec![LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Ge, rhs: 25.0 }],
+            vec![1.0, 1.0],
+            true,
+        );
+        assert!(matches!(presolve(&lp, &[false, false]), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn redundant_rows_removed() {
+        // x0 + x1 <= 1000 can never bind with both in [0, 10].
+        let lp = base_lp(
+            2,
+            vec![
+                LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Le, rhs: 1000.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, -1.0)], op: CmpOp::Eq, rhs: 0.0 },
+            ],
+            vec![1.0, 1.0],
+            true,
+        );
+        let p = reduced(presolve(&lp, &[false, false]));
+        assert_eq!(p.lp.rows.len(), 1);
+        assert!(matches!(p.lp.rows[0].op, CmpOp::Eq));
+    }
+
+    #[test]
+    fn fixed_columns_substitute_into_rows() {
+        // x0 == 4 (singleton eq) fixes the column; the second row's rhs
+        // folds and it collapses to the bound x1 >= 2. The third row keeps
+        // x1 and x2 alive (dual fixing cannot touch them: both are
+        // minimized with a >=-row pushing up).
+        let lp = base_lp(
+            3,
+            vec![
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Eq, rhs: 4.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Ge, rhs: 6.0 },
+                LpRow { coeffs: vec![(1, 1.0), (2, 1.0)], op: CmpOp::Ge, rhs: 5.0 },
+            ],
+            vec![0.0, 1.0, 1.0],
+            true,
+        );
+        let p = reduced(presolve(&lp, &[false, false, false]));
+        assert_eq!(p.kept, vec![1, 2]);
+        assert_eq!(p.lp.rows.len(), 1);
+        assert_eq!(p.lp.lower[0], 2.0);
+        let full = p.postsolve(&[2.5, 3.0]);
+        assert_eq!(full, vec![4.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn dual_fixing_pins_cost_only_columns() {
+        // min x0 with x0 appearing only in a <=-row with positive
+        // coefficient: decreasing is always safe → fixed at lower bound 0.
+        let lp = base_lp(
+            2,
+            vec![LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Le, rhs: 8.0 }],
+            vec![1.0, 0.0],
+            true,
+        );
+        let p = reduced(presolve(&lp, &[false, false]));
+        let full = p.postsolve(&vec![0.0; p.lp.n_vars]);
+        assert_eq!(full[0], 0.0);
+    }
+
+    #[test]
+    fn objective_offset_tracks_fixed_columns() {
+        // x0 == 4 fixed with objective coefficient 3 → offset 12 (x1 ends
+        // up dual-fixed too, but its objective coefficient is zero).
+        let lp = base_lp(
+            2,
+            vec![
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Eq, rhs: 4.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Ge, rhs: 5.0 },
+            ],
+            vec![3.0, 0.0],
+            true,
+        );
+        let p = reduced(presolve(&lp, &[false, false]));
+        assert!((p.lp.objective_offset - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinched_integer_interval_with_no_integer_is_infeasible() {
+        // 3 <= 2x <= 3 … i.e. x in [1.5, 1.5] with x integral.
+        let mut lp = base_lp(1, vec![], vec![1.0], true);
+        lp.lower[0] = 1.5;
+        lp.upper[0] = 1.5;
+        assert!(matches!(presolve(&lp, &[true]), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn identity_keeps_everything() {
+        let lp = base_lp(
+            3,
+            vec![LpRow { coeffs: vec![(0, 1.0), (1, 1.0), (2, 1.0)], op: CmpOp::Le, rhs: 5.0 }],
+            vec![1.0; 3],
+            true,
+        );
+        let p = PresolvedLp::identity(&lp);
+        assert_eq!(p.kept, vec![0, 1, 2]);
+        assert_eq!(p.postsolve(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+}

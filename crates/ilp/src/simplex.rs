@@ -1,16 +1,38 @@
-//! Dense two-phase primal simplex.
+//! Dense bounded-variable primal simplex with basis warm starts.
 //!
 //! The LP relaxations produced by the TAPA-CS partitioner/floorplanner are
 //! small and dense enough (hundreds to a few thousand rows/columns) that a
 //! dense tableau with Dantzig pricing and Bland's anti-cycling fallback is
-//! both simple and fast.
+//! both simple and fast. Two properties matter for branch and bound:
+//!
+//! * **Bounds are handled natively in the ratio test.** Finite lower/upper
+//!   bounds never materialize as extra constraint rows or split/shifted
+//!   columns, so tightening one branching bound leaves the tableau shape —
+//!   and therefore any saved [`Basis`] — unchanged between parent and child
+//!   nodes.
+//! * **Warm starts.** [`solve_warm`] refactorizes a parent basis against
+//!   the child's bounds and re-solves with the composite phase 1 (which is
+//!   a no-op when the parent point is still feasible) followed by phase 2.
+//!   A child that moved one bound typically re-solves in a handful of
+//!   pivots instead of a full phase 1 + phase 2 from the all-logical basis.
+//!
+//! Iteration counts and warm-start hits feed the process-wide
+//! [`SolveActivity`](crate::SolveActivity) counters.
 
 use crate::model::CmpOp;
+use crate::stats::SolveActivity;
 
 /// Feasibility / integrality tolerance used throughout the solver.
 pub(crate) const FEAS_TOL: f64 = 1e-7;
 /// Pivot magnitude tolerance.
 const EPS: f64 = 1e-9;
+/// Reduced-cost optimality tolerance.
+const RC_TOL: f64 = 1e-7;
+/// Minimum pivot magnitude accepted when refactorizing a warm basis.
+const REFACTOR_TOL: f64 = 1e-8;
+/// Total (phase 1) infeasibility above which a converged phase 1 reports
+/// the LP infeasible.
+const INFEAS_TOL: f64 = 1e-6;
 
 /// One constraint row in sparse form.
 #[derive(Debug, Clone)]
@@ -32,32 +54,57 @@ pub(crate) struct LpProblem {
     pub objective_offset: f64,
 }
 
+/// Status of one simplex column (structural or logical) — the unit of
+/// warm-start state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ColStatus {
+    /// Nonbasic at its (finite) lower bound.
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+    /// In the basis.
+    Basic,
+    /// Nonbasic free variable, parked at zero.
+    Free,
+}
+
+/// A basis snapshot: one [`ColStatus`] per column (`n_vars` structural
+/// columns followed by one logical column per row). Because bounds never
+/// change the tableau shape, a parent's basis is always dimensionally valid
+/// for its branch-and-bound children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Basis {
+    pub status: Vec<ColStatus>,
+}
+
 /// Outcome of an LP solve.
 #[derive(Debug, Clone)]
 pub(crate) enum LpOutcome {
-    Optimal { values: Vec<f64>, objective: f64 },
+    Optimal { values: Vec<f64>, objective: f64, basis: Basis },
     Infeasible,
     Unbounded,
 }
 
-/// How an original variable maps onto non-negative simplex columns.
-#[derive(Debug, Clone, Copy)]
-enum ColMap {
-    /// `x = z + shift` (finite lower bound).
-    Shifted { col: usize, shift: f64 },
-    /// `x = shift - z` (lower = -inf, finite upper).
-    Flipped { col: usize, shift: f64 },
-    /// `x = z_pos - z_neg` (free variable).
-    Split { pos: usize, neg: usize },
-}
-
-/// Solves `lp` with its stored bounds.
+/// Solves `lp` with its stored bounds, cold.
 pub(crate) fn solve(lp: &LpProblem) -> LpOutcome {
-    solve_with_bounds(lp, &lp.lower, &lp.upper)
+    solve_warm(lp, &lp.lower, &lp.upper, None)
 }
 
-/// Solves `lp` with overriding bounds (used by branch and bound).
+/// Solves `lp` with overriding bounds, cold.
+#[cfg(test)]
 pub(crate) fn solve_with_bounds(lp: &LpProblem, lower: &[f64], upper: &[f64]) -> LpOutcome {
+    solve_warm(lp, lower, upper, None)
+}
+
+/// Solves `lp` with overriding bounds, warm-starting from `warm` when
+/// given. A basis that fails to refactorize (or a solve that stalls out of
+/// it) falls back to a cold start; the outcome is exact either way.
+pub(crate) fn solve_warm(
+    lp: &LpProblem,
+    lower: &[f64],
+    upper: &[f64],
+    warm: Option<&Basis>,
+) -> LpOutcome {
     debug_assert_eq!(lower.len(), lp.n_vars);
     debug_assert_eq!(upper.len(), lp.n_vars);
 
@@ -68,385 +115,588 @@ pub(crate) fn solve_with_bounds(lp: &LpProblem, lower: &[f64], upper: &[f64]) ->
         }
     }
 
-    // --- Map variables onto non-negative columns -------------------------
-    let mut maps = Vec::with_capacity(lp.n_vars);
-    let mut n_cols = 0usize;
-    // Upper-bound rows to append (col, bound).
-    let mut ub_rows: Vec<(usize, f64)> = Vec::new();
-    for j in 0..lp.n_vars {
-        let (lo, hi) = (lower[j], upper[j]);
-        if lo.is_finite() {
-            let col = n_cols;
-            n_cols += 1;
-            maps.push(ColMap::Shifted { col, shift: lo });
-            if hi.is_finite() {
-                ub_rows.push((col, hi - lo));
+    let activity = SolveActivity::global();
+    // Pivots burned by a stalled warm attempt still count towards the
+    // solve's iteration total, so the warm-vs-cold comparisons stay honest
+    // exactly where warm starting performs worst.
+    let (mut wasted_p1, mut wasted_p2) = (0u64, 0u64);
+    if let Some(basis) = warm {
+        activity.record_warm_attempt();
+        let mut t = Tableau::build(lp, lower, upper);
+        if t.install(&basis.status) {
+            let out = t.run();
+            if !matches!(out, RunOutcome::Stalled) {
+                activity.record_warm_hit();
+                activity.record_lp_solve(t.phase1_iters, t.phase2_iters);
+                return t.extract(lp, lower, upper, out);
             }
-        } else if hi.is_finite() {
-            let col = n_cols;
-            n_cols += 1;
-            maps.push(ColMap::Flipped { col, shift: hi });
-        } else {
-            let pos = n_cols;
-            let neg = n_cols + 1;
-            n_cols += 2;
-            maps.push(ColMap::Split { pos, neg });
+            wasted_p1 = t.phase1_iters;
+            wasted_p2 = t.phase2_iters;
         }
+        // Refactorization failed or the solve stalled: fall through to a
+        // cold start. The attempt stays counted without a hit.
     }
 
-    // --- Build rows in terms of simplex columns ---------------------------
-    // Each entry: (dense coeffs over structural columns, op, rhs).
-    struct RawRow {
-        coeffs: Vec<f64>,
-        op: CmpOp,
-        rhs: f64,
-    }
-    let mut raw: Vec<RawRow> = Vec::with_capacity(lp.rows.len() + ub_rows.len());
-    for row in &lp.rows {
-        let mut coeffs = vec![0.0; n_cols];
-        let mut rhs = row.rhs;
-        for &(j, a) in &row.coeffs {
-            match maps[j] {
-                ColMap::Shifted { col, shift } => {
-                    coeffs[col] += a;
-                    rhs -= a * shift;
-                }
-                ColMap::Flipped { col, shift } => {
-                    coeffs[col] -= a;
-                    rhs -= a * shift;
-                }
-                ColMap::Split { pos, neg } => {
-                    coeffs[pos] += a;
-                    coeffs[neg] -= a;
-                }
-            }
-        }
-        raw.push(RawRow { coeffs, op: row.op, rhs });
-    }
-    for &(col, ub) in &ub_rows {
-        let mut coeffs = vec![0.0; n_cols];
-        coeffs[col] = 1.0;
-        raw.push(RawRow { coeffs, op: CmpOp::Le, rhs: ub });
-    }
+    let mut t = Tableau::build(lp, lower, upper);
+    let cold = t.cold_statuses();
+    let installed = t.install(&cold);
+    debug_assert!(installed, "the all-logical basis always refactorizes");
+    let out = t.run();
+    activity.record_lp_solve(t.phase1_iters + wasted_p1, t.phase2_iters + wasted_p2);
+    // A stalled cold solve signals numerical trouble; treat as infeasible
+    // (same convention as the previous two-phase implementation).
+    let out = if matches!(out, RunOutcome::Stalled) { RunOutcome::Infeasible } else { out };
+    t.extract(lp, lower, upper, out)
+}
 
-    // Row equilibration: scale each row so its largest coefficient is 1.
-    // Floorplanning rows mix unit cut indicators with ~1e6-LUT resource
-    // coefficients; without scaling, phase-1 feasibility tests drown in
-    // roundoff.
-    for r in raw.iter_mut() {
-        let m = r.coeffs.iter().fold(0.0f64, |a, &c| a.max(c.abs()));
-        if m > 1.0 {
-            let inv = 1.0 / m;
-            for c in r.coeffs.iter_mut() {
-                *c *= inv;
-            }
-            r.rhs *= inv;
-        }
-    }
+enum RunOutcome {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    Stalled,
+}
 
-    // Objective in simplex columns (internally always minimized).
-    let sign = if lp.minimize { 1.0 } else { -1.0 };
-    let mut cost = vec![0.0; n_cols];
-    for j in 0..lp.n_vars {
-        let c = sign * lp.objective[j];
-        if c == 0.0 {
-            continue;
-        }
-        match maps[j] {
-            ColMap::Shifted { col, .. } => cost[col] += c,
-            ColMap::Flipped { col, .. } => cost[col] -= c,
-            ColMap::Split { pos, neg } => {
-                cost[pos] += c;
-                cost[neg] -= c;
-            }
-        }
-    }
-
-    // --- Standard form: add slack/surplus/artificial columns --------------
-    let m = raw.len();
-    // Count extra columns.
-    let mut n_total = n_cols;
-    let mut slack_of_row = vec![usize::MAX; m];
-    let mut artificial_of_row = vec![usize::MAX; m];
-    for (i, r) in raw.iter_mut().enumerate() {
-        // Normalize to rhs >= 0.
-        if r.rhs < 0.0 {
-            for c in r.coeffs.iter_mut() {
-                *c = -*c;
-            }
-            r.rhs = -r.rhs;
-            r.op = match r.op {
-                CmpOp::Le => CmpOp::Ge,
-                CmpOp::Ge => CmpOp::Le,
-                CmpOp::Eq => CmpOp::Eq,
-            };
-        }
-        match r.op {
-            CmpOp::Le => {
-                slack_of_row[i] = n_total;
-                n_total += 1;
-            }
-            CmpOp::Ge => {
-                slack_of_row[i] = n_total; // surplus, coefficient -1
-                n_total += 1;
-                artificial_of_row[i] = n_total;
-                n_total += 1;
-            }
-            CmpOp::Eq => {
-                artificial_of_row[i] = n_total;
-                n_total += 1;
-            }
-        }
-    }
-
-    // Tableau: (m + 1) x (n_total + 1); last row = cost row, last col = rhs.
-    let width = n_total + 1;
-    let mut t = vec![0.0; (m + 1) * width];
-    let mut basis = vec![usize::MAX; m];
-    let artificial_start = {
-        // Artificials are interleaved; track a membership mask instead.
-        let mut is_artificial = vec![false; n_total];
-        for i in 0..m {
-            if artificial_of_row[i] != usize::MAX {
-                is_artificial[artificial_of_row[i]] = true;
-            }
-        }
-        is_artificial
-    };
-    let is_artificial = artificial_start;
-
-    for (i, r) in raw.iter().enumerate() {
-        let base = i * width;
-        t[base..base + n_cols].copy_from_slice(&r.coeffs);
-        t[base + n_total] = r.rhs;
-        match r.op {
-            CmpOp::Le => {
-                t[base + slack_of_row[i]] = 1.0;
-                basis[i] = slack_of_row[i];
-            }
-            CmpOp::Ge => {
-                t[base + slack_of_row[i]] = -1.0;
-                t[base + artificial_of_row[i]] = 1.0;
-                basis[i] = artificial_of_row[i];
-            }
-            CmpOp::Eq => {
-                t[base + artificial_of_row[i]] = 1.0;
-                basis[i] = artificial_of_row[i];
-            }
-        }
-    }
-
-    let mut tab = Tableau { m, n: n_total, width, t, basis, banned: vec![false; n_total] };
-
-    // --- Phase 1: minimize sum of artificials ------------------------------
-    let needs_phase1 = (0..m).any(|i| artificial_of_row[i] != usize::MAX);
-    if needs_phase1 {
-        // Cost row: 1 for artificials.
-        for j in 0..n_total {
-            tab.set_cost(j, if is_artificial[j] { 1.0 } else { 0.0 });
-        }
-        tab.set_cost_rhs(0.0);
-        tab.price_out();
-        if !tab.iterate() {
-            // Phase 1 objective is bounded below by 0 so unboundedness here
-            // signals numerical trouble; treat as infeasible.
-            return LpOutcome::Infeasible;
-        }
-        let phase1_obj = -tab.cost_rhs();
-        if phase1_obj > 1e-6 {
-            return LpOutcome::Infeasible;
-        }
-        // Ban artificials and drive them out of the basis.
-        for j in 0..n_total {
-            if is_artificial[j] {
-                tab.banned[j] = true;
-            }
-        }
-        tab.drive_out_banned();
-    }
-
-    // --- Phase 2: minimize real cost ---------------------------------------
-    for j in 0..n_total {
-        tab.set_cost(j, if is_artificial[j] { 0.0 } else { *cost.get(j).unwrap_or(&0.0) });
-    }
-    tab.set_cost_rhs(0.0);
-    tab.price_out();
-    if !tab.iterate() {
-        return LpOutcome::Unbounded;
-    }
-
-    // --- Extract solution ---------------------------------------------------
-    let mut z = vec![0.0; n_total];
-    for i in 0..m {
-        let b = tab.basis[i];
-        if b != usize::MAX {
-            z[b] = tab.t[i * tab.width + tab.n];
-        }
-    }
-    let mut values = vec![0.0; lp.n_vars];
-    for j in 0..lp.n_vars {
-        values[j] = match maps[j] {
-            ColMap::Shifted { col, shift } => z[col] + shift,
-            ColMap::Flipped { col, shift } => shift - z[col],
-            ColMap::Split { pos, neg } => z[pos] - z[neg],
-        };
-        // Clamp tiny bound violations from roundoff.
-        values[j] = values[j].clamp(
-            if lower[j].is_finite() { lower[j] } else { values[j] },
-            if upper[j].is_finite() { upper[j] } else { values[j] },
-        );
-    }
-    let objective =
-        lp.objective_offset + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>();
-    LpOutcome::Optimal { values, objective }
+enum Step {
+    /// The entering column travels to its opposite bound; no basis change.
+    Flip { delta: f64 },
+    /// The basic variable of `row` blocks first; pivot.
+    Pivot { row: usize, delta: f64 },
+    /// Nothing blocks.
+    Unbounded,
 }
 
 struct Tableau {
     m: usize,
+    /// Total columns: `n_struct` structural + `m` logical.
     n: usize,
-    width: usize,
-    /// Row-major `(m + 1) × width`; row `m` is the cost row.
-    t: Vec<f64>,
+    n_struct: usize,
+    /// Row-major `(m + 1) × n`; row `m` is the working reduced-cost row.
+    coef: Vec<f64>,
+    /// `B⁻¹ b`, maintained through pivots.
+    b: Vec<f64>,
+    /// Per-column bounds (structural from the caller, logical from the row
+    /// operator: `<=` → `[0, ∞)`, `>=` → `(-∞, 0]`, `==` → `[0, 0]`).
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 objective per column, in minimize direction.
+    cost: Vec<f64>,
+    /// Column basic in each row.
     basis: Vec<usize>,
-    banned: Vec<bool>,
+    status: Vec<ColStatus>,
+    /// Current value of every column (basic and nonbasic).
+    x: Vec<f64>,
+    phase1_iters: u64,
+    phase2_iters: u64,
 }
 
 impl Tableau {
-    fn set_cost(&mut self, j: usize, c: f64) {
-        self.t[self.m * self.width + j] = c;
+    fn build(lp: &LpProblem, lower: &[f64], upper: &[f64]) -> Tableau {
+        let m = lp.rows.len();
+        let n_struct = lp.n_vars;
+        let n = n_struct + m;
+
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        lo.extend_from_slice(lower);
+        hi.extend_from_slice(upper);
+        for row in &lp.rows {
+            let (l, u) = match row.op {
+                CmpOp::Le => (0.0, f64::INFINITY),
+                CmpOp::Ge => (f64::NEG_INFINITY, 0.0),
+                CmpOp::Eq => (0.0, 0.0),
+            };
+            lo.push(l);
+            hi.push(u);
+        }
+
+        let mut coef = vec![0.0; (m + 1) * n];
+        let mut b = vec![0.0; m];
+        for (i, row) in lp.rows.iter().enumerate() {
+            // Row equilibration: scale each row so its largest coefficient
+            // is 1. Floorplanning rows mix unit cut indicators with
+            // ~1e6-LUT resource coefficients; without scaling, phase-1
+            // feasibility tests drown in roundoff. Scaling depends only on
+            // the row data, never on node bounds, so warm-started children
+            // see the identical matrix.
+            let peak = row.coeffs.iter().fold(0.0f64, |a, &(_, c)| a.max(c.abs()));
+            let scale = if peak > 1.0 { 1.0 / peak } else { 1.0 };
+            for &(j, a) in &row.coeffs {
+                coef[i * n + j] += a * scale;
+            }
+            coef[i * n + n_struct + i] = 1.0;
+            b[i] = row.rhs * scale;
+        }
+
+        // Objective in minimize direction.
+        let sign = if lp.minimize { 1.0 } else { -1.0 };
+        let mut cost = vec![0.0; n];
+        for j in 0..n_struct {
+            cost[j] = sign * lp.objective[j];
+        }
+
+        Tableau {
+            m,
+            n,
+            n_struct,
+            coef,
+            b,
+            lower: lo,
+            upper: hi,
+            cost,
+            basis: vec![usize::MAX; m],
+            status: vec![ColStatus::Free; n],
+            x: vec![0.0; n],
+            phase1_iters: 0,
+            phase2_iters: 0,
+        }
     }
 
-    fn set_cost_rhs(&mut self, v: f64) {
-        self.t[self.m * self.width + self.n] = v;
+    /// The all-logical starting basis: structural columns at their nearest
+    /// finite bound, every logical column basic.
+    fn cold_statuses(&self) -> Vec<ColStatus> {
+        let mut s = Vec::with_capacity(self.n);
+        for j in 0..self.n_struct {
+            s.push(if self.lower[j].is_finite() {
+                ColStatus::AtLower
+            } else if self.upper[j].is_finite() {
+                ColStatus::AtUpper
+            } else {
+                ColStatus::Free
+            });
+        }
+        s.extend(std::iter::repeat_n(ColStatus::Basic, self.m));
+        s
     }
 
-    fn cost_rhs(&self) -> f64 {
-        self.t[self.m * self.width + self.n]
-    }
-
-    /// Makes reduced costs of basic columns zero by subtracting multiples of
-    /// their rows from the cost row.
-    fn price_out(&mut self) {
-        for i in 0..self.m {
-            let b = self.basis[i];
-            if b == usize::MAX {
+    /// Refactorizes the tableau around `statuses`' basic set (Gauss-Jordan
+    /// with partial pivoting, deterministic), adopts the nonbasic statuses
+    /// clamped to the *current* bounds, and recomputes the basic values.
+    /// Returns `false` when the set is not a valid basis for this matrix.
+    fn install(&mut self, statuses: &[ColStatus]) -> bool {
+        if statuses.len() != self.n {
+            return false;
+        }
+        let mut used = vec![false; self.m];
+        let mut n_basic = 0usize;
+        for j in 0..self.n {
+            if statuses[j] != ColStatus::Basic {
                 continue;
             }
-            let cb = self.t[self.m * self.width + b];
-            if cb.abs() > EPS {
-                let (head, cost_row) = self.t.split_at_mut(self.m * self.width);
-                let row = &head[i * self.width..(i + 1) * self.width];
-                for (cj, rj) in cost_row.iter_mut().zip(row) {
-                    *cj -= cb * rj;
-                }
+            n_basic += 1;
+            if n_basic > self.m {
+                return false;
             }
-        }
-    }
-
-    /// Runs simplex iterations to optimality. Returns `false` on
-    /// unboundedness.
-    fn iterate(&mut self) -> bool {
-        let bland_after = 20 * (self.m + self.n) + 1000;
-        let mut iters = 0usize;
-        loop {
-            iters += 1;
-            let bland = iters > bland_after;
-            let Some(enter) = self.choose_entering(bland) else {
-                return true; // optimal
-            };
-            let Some(leave_row) = self.choose_leaving(enter, bland) else {
-                return false; // unbounded
-            };
-            self.pivot(leave_row, enter);
-        }
-    }
-
-    fn choose_entering(&self, bland: bool) -> Option<usize> {
-        let cost_base = self.m * self.width;
-        if bland {
-            (0..self.n).find(|&j| !self.banned[j] && self.t[cost_base + j] < -EPS)
-        } else {
-            let mut best = None;
-            let mut best_c = -1e-7;
-            for j in 0..self.n {
-                if self.banned[j] {
+            let mut best_r = usize::MAX;
+            let mut best_a = REFACTOR_TOL;
+            for (r, r_used) in used.iter().enumerate() {
+                if *r_used {
                     continue;
                 }
-                let c = self.t[cost_base + j];
-                if c < best_c {
-                    best_c = c;
-                    best = Some(j);
+                let a = self.coef[r * self.n + j].abs();
+                if a > best_a {
+                    best_a = a;
+                    best_r = r;
                 }
             }
-            best
+            if best_r == usize::MAX {
+                return false; // singular basis
+            }
+            used[best_r] = true;
+            self.basis[best_r] = j;
+            self.eliminate(best_r, j);
         }
-    }
+        if n_basic != self.m {
+            return false;
+        }
 
-    fn choose_leaving(&self, enter: usize, bland: bool) -> Option<usize> {
-        let mut best_row = None;
-        let mut best_ratio = f64::INFINITY;
+        // Adopt nonbasic statuses; a status whose bound went infinite (only
+        // possible for a foreign basis) degrades to the nearest valid one.
+        self.status.copy_from_slice(statuses);
+        for j in 0..self.n {
+            match self.status[j] {
+                ColStatus::Basic => continue,
+                ColStatus::AtLower if !self.lower[j].is_finite() => {
+                    self.status[j] = if self.upper[j].is_finite() {
+                        ColStatus::AtUpper
+                    } else {
+                        ColStatus::Free
+                    };
+                }
+                ColStatus::AtUpper if !self.upper[j].is_finite() => {
+                    self.status[j] = if self.lower[j].is_finite() {
+                        ColStatus::AtLower
+                    } else {
+                        ColStatus::Free
+                    };
+                }
+                _ => {}
+            }
+            self.x[j] = match self.status[j] {
+                ColStatus::AtLower => self.lower[j],
+                ColStatus::AtUpper => self.upper[j],
+                _ => 0.0,
+            };
+        }
+
+        // Basic values: x_B = B⁻¹b − Σ_{nonbasic j} (B⁻¹A)_j · x_j.
+        let mut vals = self.b.clone();
+        for j in 0..self.n {
+            if self.status[j] == ColStatus::Basic {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for (i, v) in vals.iter_mut().enumerate() {
+                *v -= self.coef[i * self.n + j] * xj;
+            }
+        }
         for i in 0..self.m {
-            let a = self.t[i * self.width + enter];
-            if a > EPS {
-                let ratio = self.t[i * self.width + self.n] / a;
-                let better = ratio < best_ratio - EPS
-                    || (bland
-                        && (ratio - best_ratio).abs() <= EPS
-                        && best_row.is_some_and(|r: usize| self.basis[i] < self.basis[r]));
-                if better || best_row.is_none() && ratio.is_finite() {
-                    best_ratio = ratio;
-                    best_row = Some(i);
-                }
-            }
+            self.x[self.basis[i]] = vals[i];
         }
-        best_row
+        true
     }
 
-    fn pivot(&mut self, row: usize, col: usize) {
-        let w = self.width;
-        let pivot = self.t[row * w + col];
-        debug_assert!(pivot.abs() > EPS);
-        let inv = 1.0 / pivot;
-        for j in 0..w {
-            self.t[row * w + j] *= inv;
+    /// Pivot row operations: normalizes row `r` on `col` and eliminates
+    /// `col` from every other row including the working cost row and `b`.
+    fn eliminate(&mut self, r: usize, col: usize) {
+        let n = self.n;
+        let inv = 1.0 / self.coef[r * n + col];
+        for j in 0..n {
+            self.coef[r * n + j] *= inv;
         }
-        // Defensive exactness on the pivot column.
-        self.t[row * w + col] = 1.0;
+        self.coef[r * n + col] = 1.0;
+        self.b[r] *= inv;
         for i in 0..=self.m {
-            if i == row {
+            if i == r {
                 continue;
             }
-            let factor = self.t[i * w + col];
-            if factor.abs() > EPS {
-                // Manual split borrows: copy pivot row values as we go.
-                for j in 0..w {
-                    let pr = self.t[row * w + j];
-                    self.t[i * w + j] -= factor * pr;
-                }
-                self.t[i * w + col] = 0.0;
+            let f = self.coef[i * n + col];
+            if f.abs() <= EPS {
+                continue;
+            }
+            for j in 0..n {
+                let pr = self.coef[r * n + j];
+                self.coef[i * n + j] -= f * pr;
+            }
+            self.coef[i * n + col] = 0.0;
+            if i < self.m {
+                self.b[i] -= f * self.b[r];
             }
         }
-        self.basis[row] = col;
     }
 
-    /// After phase 1, pivots banned (artificial) columns out of the basis
-    /// when possible. Rows whose artificial cannot be driven out are
-    /// redundant (all structural coefficients ~0) and left inert at zero.
-    fn drive_out_banned(&mut self) {
-        for i in 0..self.m {
-            let b = self.basis[i];
-            if b == usize::MAX || !self.banned[b] {
-                continue;
-            }
-            let mut pivot_col = None;
+    fn run(&mut self) -> RunOutcome {
+        match self.phase1() {
+            RunOutcome::Optimal => {}
+            other => return other,
+        }
+        self.phase2()
+    }
+
+    /// Composite phase 1: minimizes the total bound violation of the basic
+    /// variables. A warm start whose point is still primal feasible exits
+    /// immediately; otherwise the piecewise-linear (convex) infeasibility
+    /// is driven to its global minimum, which is zero exactly when the box
+    /// is feasible.
+    fn phase1(&mut self) -> RunOutcome {
+        let bland_after = 20 * (self.m + self.n) + 1_000;
+        let cap = 200 * (self.m + self.n) as u64 + 50_000;
+        let base = self.m * self.n;
+        loop {
+            // Classify infeasible basics and rebuild the gradient row:
+            // d_j = Σ_{i: x_i < l_i} α_ij − Σ_{i: x_i > u_i} α_ij.
+            let mut infeas = 0.0f64;
             for j in 0..self.n {
-                if !self.banned[j] && self.t[i * self.width + j].abs() > 1e-7 {
-                    pivot_col = Some(j);
-                    break;
+                self.coef[base + j] = 0.0;
+            }
+            for i in 0..self.m {
+                let k = self.basis[i];
+                let xv = self.x[k];
+                if xv < self.lower[k] - FEAS_TOL {
+                    infeas += self.lower[k] - xv;
+                    for j in 0..self.n {
+                        let a = self.coef[i * self.n + j];
+                        self.coef[base + j] += a;
+                    }
+                } else if xv > self.upper[k] + FEAS_TOL {
+                    infeas += xv - self.upper[k];
+                    for j in 0..self.n {
+                        let a = self.coef[i * self.n + j];
+                        self.coef[base + j] -= a;
+                    }
                 }
             }
-            if let Some(j) = pivot_col {
-                self.pivot(i, j);
+            if infeas <= FEAS_TOL {
+                return RunOutcome::Optimal; // primal feasible
+            }
+
+            let bland = self.phase1_iters > bland_after as u64;
+            let Some((enter, dir)) = self.choose_entering(bland) else {
+                // Converged at the global minimum of the (convex)
+                // infeasibility; nonzero means the LP has no feasible point.
+                return if infeas > INFEAS_TOL {
+                    RunOutcome::Infeasible
+                } else {
+                    RunOutcome::Optimal
+                };
+            };
+            self.phase1_iters += 1;
+            if self.phase1_iters > cap {
+                return RunOutcome::Stalled;
+            }
+            match self.ratio_test(enter, dir, true, bland) {
+                // A descent direction of a function bounded below by zero
+                // always blocks; anything else is numerical trouble.
+                Step::Unbounded => return RunOutcome::Stalled,
+                step => self.apply(enter, dir, step),
+            }
+        }
+    }
+
+    fn phase2(&mut self) -> RunOutcome {
+        self.price_phase2();
+        let bland_after = 20 * (self.m + self.n) + 1_000;
+        // Stalling out of phase 2 discards a point phase 1 already proved
+        // feasible (a warm solve retries cold; a cold solve degrades to
+        // `Infeasible`), so this cap is a pure anti-livelock backstop set
+        // orders of magnitude above what Bland's rule needs to terminate —
+        // it must only ever fire on floating-point cycling.
+        let cap = 10_000 * (self.m + self.n) as u64 + 1_000_000;
+        loop {
+            let bland = self.phase2_iters > bland_after as u64;
+            let Some((enter, dir)) = self.choose_entering(bland) else {
+                return RunOutcome::Optimal;
+            };
+            self.phase2_iters += 1;
+            if self.phase2_iters > cap {
+                return RunOutcome::Stalled;
+            }
+            match self.ratio_test(enter, dir, false, bland) {
+                Step::Unbounded => return RunOutcome::Unbounded,
+                step => self.apply(enter, dir, step),
+            }
+        }
+    }
+
+    /// Zeroes the reduced costs of basic columns by subtracting multiples
+    /// of their rows from the cost row.
+    fn price_phase2(&mut self) {
+        let base = self.m * self.n;
+        for j in 0..self.n {
+            self.coef[base + j] = self.cost[j];
+        }
+        for i in 0..self.m {
+            let cb = self.coef[base + self.basis[i]];
+            if cb.abs() > EPS {
+                for j in 0..self.n {
+                    let a = self.coef[i * self.n + j];
+                    self.coef[base + j] -= cb * a;
+                }
+            }
+        }
+    }
+
+    /// Picks the entering column and direction from the working cost row:
+    /// a column at its lower bound (or free) enters increasing when its
+    /// reduced cost is negative, one at its upper bound (or free) enters
+    /// decreasing when positive. Dantzig pricing, Bland fallback.
+    fn choose_entering(&self, bland: bool) -> Option<(usize, f64)> {
+        let base = self.m * self.n;
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_score = RC_TOL;
+        for j in 0..self.n {
+            if self.status[j] == ColStatus::Basic {
+                continue;
+            }
+            // A column pinned by equal bounds can never move.
+            if self.upper[j] - self.lower[j] <= EPS {
+                continue;
+            }
+            let d = self.coef[base + j];
+            let can_up = matches!(self.status[j], ColStatus::AtLower | ColStatus::Free);
+            let can_down = matches!(self.status[j], ColStatus::AtUpper | ColStatus::Free);
+            if bland {
+                if can_up && d < -RC_TOL {
+                    return Some((j, 1.0));
+                }
+                if can_down && d > RC_TOL {
+                    return Some((j, -1.0));
+                }
+            } else {
+                if can_up && -d > best_score {
+                    best_score = -d;
+                    best = Some((j, 1.0));
+                }
+                if can_down && d > best_score {
+                    best_score = d;
+                    best = Some((j, -1.0));
+                }
+            }
+        }
+        best
+    }
+
+    /// Bounded-variable ratio test. The entering column moves by `delta`
+    /// in direction `dir`; blocking candidates are every basic variable's
+    /// nearer bound *and the entering column's own opposite bound* (a bound
+    /// flip — the move that replaces the old explicit upper-bound rows).
+    /// In phase 1, a basic variable that is currently outside its box
+    /// blocks at the violated bound it is travelling towards (the kink of
+    /// the piecewise-linear infeasibility).
+    fn ratio_test(&self, enter: usize, dir: f64, phase1: bool, bland: bool) -> Step {
+        let n = self.n;
+        let own_span = self.upper[enter] - self.lower[enter];
+        let mut best_delta = if own_span.is_finite() { own_span } else { f64::INFINITY };
+        let mut best_row = usize::MAX;
+        let mut best_pivot = 0.0f64;
+        for i in 0..self.m {
+            let alpha = self.coef[i * n + enter];
+            if alpha.abs() <= EPS {
+                continue;
+            }
+            let k = self.basis[i];
+            let xv = self.x[k];
+            let rate = -dir * alpha; // d x_k / d delta
+            let dist = if phase1 && xv < self.lower[k] - FEAS_TOL {
+                if rate > 0.0 {
+                    self.lower[k] - xv
+                } else {
+                    continue; // moving further out: charged by the gradient
+                }
+            } else if phase1 && xv > self.upper[k] + FEAS_TOL {
+                if rate < 0.0 {
+                    xv - self.upper[k]
+                } else {
+                    continue;
+                }
+            } else if rate > 0.0 {
+                if self.upper[k].is_finite() {
+                    (self.upper[k] - xv).max(0.0)
+                } else {
+                    continue;
+                }
+            } else if self.lower[k].is_finite() {
+                (xv - self.lower[k]).max(0.0)
+            } else {
+                continue;
+            };
+            let delta = dist / rate.abs();
+            let replace = if delta < best_delta - EPS {
+                true
+            } else if best_row != usize::MAX && delta <= best_delta + EPS {
+                // Tie: Bland picks the smallest basis column (anti-cycling),
+                // Dantzig mode prefers the larger pivot (stability).
+                if bland {
+                    self.basis[i] < self.basis[best_row]
+                } else {
+                    alpha.abs() > best_pivot
+                }
+            } else {
+                false
+            };
+            if replace {
+                best_delta = delta.min(best_delta);
+                best_row = i;
+                best_pivot = alpha.abs();
+            }
+        }
+        if best_row == usize::MAX {
+            if best_delta.is_finite() {
+                Step::Flip { delta: best_delta }
+            } else {
+                Step::Unbounded
+            }
+        } else {
+            Step::Pivot { row: best_row, delta: best_delta.max(0.0) }
+        }
+    }
+
+    fn apply(&mut self, enter: usize, dir: f64, step: Step) {
+        let (delta, pivot_row) = match step {
+            Step::Flip { delta } => (delta, None),
+            Step::Pivot { row, delta } => (delta, Some(row)),
+            Step::Unbounded => unreachable!("apply is never called on an unbounded step"),
+        };
+        if delta != 0.0 {
+            for i in 0..self.m {
+                let alpha = self.coef[i * self.n + enter];
+                if alpha.abs() > EPS {
+                    let k = self.basis[i];
+                    self.x[k] -= dir * alpha * delta;
+                }
+            }
+            self.x[enter] += dir * delta;
+        }
+        match pivot_row {
+            None => {
+                // Bound flip: snap to the opposite bound exactly.
+                self.status[enter] = match self.status[enter] {
+                    ColStatus::AtLower => ColStatus::AtUpper,
+                    ColStatus::AtUpper => ColStatus::AtLower,
+                    other => other, // free columns have no finite span
+                };
+                self.x[enter] = match self.status[enter] {
+                    ColStatus::AtLower => self.lower[enter],
+                    ColStatus::AtUpper => self.upper[enter],
+                    _ => self.x[enter],
+                };
+            }
+            Some(r) => {
+                let k = self.basis[r];
+                // The leaving variable snaps to whichever finite bound it
+                // blocked at (kills accumulated roundoff drift).
+                let (lo_fin, hi_fin) = (self.lower[k].is_finite(), self.upper[k].is_finite());
+                let to_lower = match (lo_fin, hi_fin) {
+                    (true, true) => {
+                        (self.x[k] - self.lower[k]).abs() <= (self.x[k] - self.upper[k]).abs()
+                    }
+                    (true, false) => true,
+                    (false, true) => false,
+                    (false, false) => {
+                        // A free basic variable never blocks; defensive only.
+                        self.status[k] = ColStatus::Free;
+                        self.basis[r] = enter;
+                        self.status[enter] = ColStatus::Basic;
+                        self.eliminate(r, enter);
+                        return;
+                    }
+                };
+                if to_lower {
+                    self.status[k] = ColStatus::AtLower;
+                    self.x[k] = self.lower[k];
+                } else {
+                    self.status[k] = ColStatus::AtUpper;
+                    self.x[k] = self.upper[k];
+                }
+                self.basis[r] = enter;
+                self.status[enter] = ColStatus::Basic;
+                self.eliminate(r, enter);
+            }
+        }
+    }
+
+    fn extract(&self, lp: &LpProblem, lower: &[f64], upper: &[f64], out: RunOutcome) -> LpOutcome {
+        match out {
+            RunOutcome::Infeasible | RunOutcome::Stalled => LpOutcome::Infeasible,
+            RunOutcome::Unbounded => LpOutcome::Unbounded,
+            RunOutcome::Optimal => {
+                let mut values = self.x[..lp.n_vars].to_vec();
+                for (j, v) in values.iter_mut().enumerate() {
+                    // Clamp tiny bound violations from roundoff.
+                    *v = v.clamp(
+                        if lower[j].is_finite() { lower[j] } else { *v },
+                        if upper[j].is_finite() { upper[j] } else { *v },
+                    );
+                }
+                let objective = lp.objective_offset
+                    + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>();
+                LpOutcome::Optimal {
+                    values,
+                    objective,
+                    basis: Basis { status: self.status.clone() },
+                }
             }
         }
     }
@@ -469,7 +719,14 @@ mod tests {
 
     fn optimal(out: LpOutcome) -> (Vec<f64>, f64) {
         match out {
-            LpOutcome::Optimal { values, objective } => (values, objective),
+            LpOutcome::Optimal { values, objective, .. } => (values, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    fn optimal_basis(out: LpOutcome) -> Basis {
+        match out {
+            LpOutcome::Optimal { basis, .. } => basis,
             other => panic!("expected optimal, got {other:?}"),
         }
     }
@@ -541,7 +798,8 @@ mod tests {
 
     #[test]
     fn variable_bounds_respected() {
-        // max x + y with 1 <= x <= 3, 0 <= y <= 2 → 5.
+        // max x + y with 1 <= x <= 3, 0 <= y <= 2 → 5, with no constraint
+        // rows at all: pure bound flips.
         let p = lp(2, vec![1.0, 0.0], vec![3.0, 2.0], vec![], vec![1.0, 1.0], false);
         let (x, obj) = optimal(solve(&p));
         assert!((obj - 5.0).abs() < 1e-6);
@@ -647,5 +905,88 @@ mod tests {
     fn empty_box_is_infeasible() {
         let p = lp(1, vec![0.0], vec![10.0], vec![], vec![1.0], false);
         assert!(matches!(solve_with_bounds(&p, &[5.0], &[4.0]), LpOutcome::Infeasible));
+    }
+
+    /// The knapsack LP the warm-start tests below share.
+    fn knapsack_lp() -> LpProblem {
+        lp(
+            3,
+            vec![0.0; 3],
+            vec![1.0; 3],
+            vec![LpRow { coeffs: vec![(0, 10.0), (1, 20.0), (2, 30.0)], op: CmpOp::Le, rhs: 50.0 }],
+            vec![60.0, 100.0, 120.0],
+            false,
+        )
+    }
+
+    #[test]
+    fn warm_start_matches_cold_after_bound_change() {
+        let p = knapsack_lp();
+        let basis = optimal_basis(solve(&p));
+        // Branch x2 down to 0 (the branching move the B&B performs).
+        let lower = vec![0.0; 3];
+        let upper = vec![1.0, 1.0, 0.0];
+        let (wx, wobj) = optimal(solve_warm(&p, &lower, &upper, Some(&basis)));
+        let (cx, cobj) = optimal(solve_with_bounds(&p, &lower, &upper));
+        assert!((wobj - cobj).abs() < 1e-6, "warm {wobj} vs cold {cobj}");
+        assert!(wx[2].abs() < 1e-9 && cx[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_same_bounds_reproduces_optimum() {
+        let p = knapsack_lp();
+        let out = solve(&p);
+        let basis = optimal_basis(out.clone());
+        let (_, cold_obj) = optimal(out);
+        let (_, warm_obj) =
+            optimal(solve_warm(&p, &p.lower.clone(), &p.upper.clone(), Some(&basis)));
+        assert!((warm_obj - cold_obj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_warm_basis_falls_back_to_cold() {
+        let p = knapsack_lp();
+        // Wrong length: refactorization must reject it and cold-solve.
+        let bogus = Basis { status: vec![ColStatus::AtLower; 2] };
+        let (_, obj) = optimal(solve_warm(&p, &p.lower.clone(), &p.upper.clone(), Some(&bogus)));
+        // No basic columns at all: also rejected.
+        let none_basic = Basis { status: vec![ColStatus::AtLower; 4] };
+        let (_, obj2) =
+            optimal(solve_warm(&p, &p.lower.clone(), &p.upper.clone(), Some(&none_basic)));
+        let (_, cold) = optimal(solve(&p));
+        assert!((obj - cold).abs() < 1e-9);
+        assert!((obj2 - cold).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_detects_child_infeasibility() {
+        // x + y >= 1.5 with x,y in [0,1]; fixing both to 0 is infeasible.
+        let p = lp(
+            2,
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Ge, rhs: 1.5 }],
+            vec![1.0, 1.0],
+            true,
+        );
+        let basis = optimal_basis(solve(&p));
+        let out = solve_warm(&p, &[0.0, 0.0], &[0.0, 0.0], Some(&basis));
+        assert!(matches!(out, LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn fixed_columns_never_cycle() {
+        // A column with equal bounds must be skipped by pricing.
+        let p = lp(
+            2,
+            vec![2.0, 0.0],
+            vec![2.0, 10.0],
+            vec![LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Le, rhs: 6.0 }],
+            vec![1.0, 1.0],
+            false,
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((obj - 6.0).abs() < 1e-6);
     }
 }

@@ -16,12 +16,23 @@
 //! `TAPACS_SOLVER_BACKEND` / `TAPACS_SOLVER_THREADS` environment overrides
 //! that CI uses to force single-threaded runs.
 
-use crate::branch_bound;
+use crate::branch_bound::{self, SolveParams};
 use crate::cache::CachingSolver;
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::simplex::{self, LpOutcome};
 use crate::solution::{Solution, SolveStatus};
+
+/// Parses a boolean environment flag (`0/false/off/no` vs `1/true/on/yes`);
+/// unset or unrecognized values return `None`.
+pub(crate) fn env_flag(name: &str) -> Option<bool> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "false" | "off" | "no" => Some(false),
+        "1" | "true" | "on" | "yes" => Some(true),
+        _ => None,
+    }
+}
 
 /// A mixed-integer solve strategy.
 ///
@@ -48,7 +59,7 @@ pub trait Solver: Send + Sync {
 pub(crate) fn solve_lp(model: &Model) -> Result<Solution, IlpError> {
     let lp = model.to_lp();
     match simplex::solve(&lp) {
-        LpOutcome::Optimal { values, objective } => Ok(Solution {
+        LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
             status: SolveStatus::Optimal,
             objective,
             values,
@@ -133,7 +144,7 @@ pub(crate) fn greedy_repair(
 pub(crate) fn heuristic_point(model: &Model, integral: &[usize]) -> Option<(Vec<f64>, f64)> {
     let lp = model.to_lp();
     let (relax, root_obj) = match simplex::solve(&lp) {
-        LpOutcome::Optimal { values, objective } => (values, objective),
+        LpOutcome::Optimal { values, objective, .. } => (values, objective),
         LpOutcome::Infeasible | LpOutcome::Unbounded => return None,
     };
     greedy_repair(model, &lp, &relax, integral).map(|point| (point, root_obj))
@@ -146,21 +157,31 @@ pub struct SequentialSolver {
     /// Seed the incumbent with [`HeuristicSolver`]'s point before the
     /// search starts.
     pub warm_start: bool,
+    /// Run the root presolve (see [`SolverOptions::presolve`]).
+    pub presolve: bool,
+    /// Warm-start child LPs from the parent basis.
+    pub warm_lp: bool,
 }
 
 impl Default for SequentialSolver {
     fn default() -> Self {
-        Self { warm_start: true }
+        Self { warm_start: true, presolve: true, warm_lp: true }
     }
 }
 
 impl Solver for SequentialSolver {
     fn name(&self) -> String {
+        let mut name = String::from("sequential");
         if self.warm_start {
-            "sequential+warm".into()
-        } else {
-            "sequential".into()
+            name.push_str("+warm");
         }
+        if !self.presolve {
+            name.push_str("-nopresolve");
+        }
+        if !self.warm_lp {
+            name.push_str("-coldlp");
+        }
+        name
     }
 
     fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
@@ -168,7 +189,12 @@ impl Solver for SequentialSolver {
         if integral.is_empty() {
             return solve_lp(model);
         }
-        branch_bound::solve(model, &integral, config, self.warm_start)
+        let params = SolveParams {
+            heuristic_seed: self.warm_start,
+            presolve: self.presolve,
+            warm_lp: self.warm_lp,
+        };
+        branch_bound::solve(model, &integral, config, params)
     }
 }
 
@@ -229,11 +255,14 @@ pub enum SolverBackend {
 ///
 /// # Environment overrides
 ///
-/// [`SolverOptions::default`] honours two variables so CI can pin the
+/// [`SolverOptions::default`] honours four variables so CI can pin the
 /// solver without touching code:
 ///
 /// * `TAPACS_SOLVER_BACKEND` — `sequential`, `parallel` or `heuristic`;
-/// * `TAPACS_SOLVER_THREADS` — worker count (`0` = all cores).
+/// * `TAPACS_SOLVER_THREADS` — worker count (`0` = all cores);
+/// * `TAPACS_PRESOLVE` — `0` disables the root presolve;
+/// * `TAPACS_LP_WARM` — `0` disables LP warm starts (every node solves
+///   cold, the pre-PR-3 behaviour).
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SolverOptions {
     /// Backend to run.
@@ -246,12 +275,24 @@ pub struct SolverOptions {
     pub warm_start: bool,
     /// Memoize solves in the process-wide [`crate::SolveCache`].
     pub cache: bool,
+    /// Run the root presolve (singleton rows, redundant rows, fixed
+    /// columns, dual fixing) once per model before branch and bound.
+    pub presolve: bool,
+    /// Warm-start every child LP from its parent's simplex basis instead
+    /// of re-running phase 1 + phase 2 from scratch.
+    pub warm_lp: bool,
 }
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        let mut options =
-            Self { backend: SolverBackend::Parallel, threads: 0, warm_start: true, cache: true };
+        let mut options = Self {
+            backend: SolverBackend::Parallel,
+            threads: 0,
+            warm_start: true,
+            cache: true,
+            presolve: true,
+            warm_lp: true,
+        };
         if let Ok(backend) = std::env::var("TAPACS_SOLVER_BACKEND") {
             match backend.trim().to_ascii_lowercase().as_str() {
                 "sequential" => options.backend = SolverBackend::Sequential,
@@ -264,6 +305,12 @@ impl Default for SolverOptions {
             if let Ok(n) = threads.trim().parse::<usize>() {
                 options.threads = n;
             }
+        }
+        if let Some(presolve) = env_flag("TAPACS_PRESOLVE") {
+            options.presolve = presolve;
+        }
+        if let Some(warm_lp) = env_flag("TAPACS_LP_WARM") {
+            options.warm_lp = warm_lp;
         }
         options
     }
@@ -299,10 +346,16 @@ impl SolverOptions {
     /// [`SolverOptions::cache`] is set.
     pub fn solver(&self) -> Box<dyn Solver> {
         let base: Box<dyn Solver> = match self.backend {
-            SolverBackend::Sequential => Box::new(SequentialSolver { warm_start: self.warm_start }),
+            SolverBackend::Sequential => Box::new(SequentialSolver {
+                warm_start: self.warm_start,
+                presolve: self.presolve,
+                warm_lp: self.warm_lp,
+            }),
             SolverBackend::Parallel => Box::new(crate::ParallelSolver {
                 threads: self.threads,
                 warm_start: self.warm_start,
+                presolve: self.presolve,
+                warm_lp: self.warm_lp,
             }),
             SolverBackend::Heuristic => Box::new(HeuristicSolver),
         };
@@ -346,8 +399,10 @@ mod tests {
     fn warm_started_sequential_matches_cold() {
         let m = cover_model();
         let cfg = SolverConfig::default();
-        let cold = SequentialSolver { warm_start: false }.solve(&m, &cfg).unwrap();
-        let warm = SequentialSolver { warm_start: true }.solve(&m, &cfg).unwrap();
+        let cold =
+            SequentialSolver { warm_start: false, ..Default::default() }.solve(&m, &cfg).unwrap();
+        let warm =
+            SequentialSolver { warm_start: true, ..Default::default() }.solve(&m, &cfg).unwrap();
         assert!((cold.objective - warm.objective).abs() < 1e-6);
         assert!((cold.objective - 2.0).abs() < 1e-6);
     }

@@ -1,0 +1,202 @@
+//! Process-wide LP-engine activity counters.
+//!
+//! The branch-and-bound searches fire thousands of LP solves per compile;
+//! per-solve timing lives in `core::report::LevelSolveStats`, but the
+//! *engine-level* story — how many simplex pivots those solves cost, how
+//! often a node re-solved from its parent basis instead of from scratch,
+//! and how much presolve shaved off each model — is aggregated here, in the
+//! same process-wide style as [`crate::SolveCache`]. `reproduce solvers`
+//! and `reproduce bench` read snapshots before/after a compile to report
+//! deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Immutable snapshot of [`SolveActivity`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct SolveStats {
+    /// Simplex runs (one per LP relaxation solved; cache hits don't count).
+    pub lp_solves: u64,
+    /// Total simplex iterations (phase 1 + phase 2 pivots and bound flips).
+    pub simplex_iterations: u64,
+    /// The phase-1 (feasibility restoration) share of the iterations.
+    pub phase1_iterations: u64,
+    /// LP solves that were offered a parent basis to warm-start from.
+    pub warm_attempts: u64,
+    /// Warm starts that held: the basis refactorized cleanly and the solve
+    /// finished from it without falling back to a cold start.
+    pub warm_hits: u64,
+    /// Models run through [`presolve`](crate::SolverOptions::presolve).
+    pub presolve_runs: u64,
+    /// Constraint rows removed as empty, singleton or redundant.
+    pub presolve_rows_removed: u64,
+    /// Variables fixed (empty domain interval or duality fixing).
+    pub presolve_cols_fixed: u64,
+    /// Variable bounds tightened by singleton rows.
+    pub presolve_bounds_tightened: u64,
+}
+
+impl SolveStats {
+    /// Fraction of warm-start attempts that held, in `[0, 1]` (`0` with no
+    /// attempts).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
+    }
+
+    /// Mean simplex iterations per LP solve (`0` with no solves).
+    pub fn iterations_per_solve(&self) -> f64 {
+        if self.lp_solves == 0 {
+            0.0
+        } else {
+            self.simplex_iterations as f64 / self.lp_solves as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for measuring
+    /// one compile between two snapshots.
+    #[must_use]
+    pub fn since(&self, earlier: &SolveStats) -> SolveStats {
+        SolveStats {
+            lp_solves: self.lp_solves.saturating_sub(earlier.lp_solves),
+            simplex_iterations: self.simplex_iterations.saturating_sub(earlier.simplex_iterations),
+            phase1_iterations: self.phase1_iterations.saturating_sub(earlier.phase1_iterations),
+            warm_attempts: self.warm_attempts.saturating_sub(earlier.warm_attempts),
+            warm_hits: self.warm_hits.saturating_sub(earlier.warm_hits),
+            presolve_runs: self.presolve_runs.saturating_sub(earlier.presolve_runs),
+            presolve_rows_removed: self
+                .presolve_rows_removed
+                .saturating_sub(earlier.presolve_rows_removed),
+            presolve_cols_fixed: self
+                .presolve_cols_fixed
+                .saturating_sub(earlier.presolve_cols_fixed),
+            presolve_bounds_tightened: self
+                .presolve_bounds_tightened
+                .saturating_sub(earlier.presolve_bounds_tightened),
+        }
+    }
+}
+
+/// The process-wide counter set behind [`SolveStats`].
+#[derive(Debug, Default)]
+pub struct SolveActivity {
+    lp_solves: AtomicU64,
+    simplex_iterations: AtomicU64,
+    phase1_iterations: AtomicU64,
+    warm_attempts: AtomicU64,
+    warm_hits: AtomicU64,
+    presolve_runs: AtomicU64,
+    presolve_rows_removed: AtomicU64,
+    presolve_cols_fixed: AtomicU64,
+    presolve_bounds_tightened: AtomicU64,
+}
+
+impl SolveActivity {
+    /// The process-wide collector the simplex and presolve feed.
+    pub fn global() -> &'static SolveActivity {
+        static GLOBAL: OnceLock<SolveActivity> = OnceLock::new();
+        GLOBAL.get_or_init(SolveActivity::default)
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> SolveStats {
+        SolveStats {
+            lp_solves: self.lp_solves.load(Ordering::Relaxed),
+            simplex_iterations: self.simplex_iterations.load(Ordering::Relaxed),
+            phase1_iterations: self.phase1_iterations.load(Ordering::Relaxed),
+            warm_attempts: self.warm_attempts.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            presolve_runs: self.presolve_runs.load(Ordering::Relaxed),
+            presolve_rows_removed: self.presolve_rows_removed.load(Ordering::Relaxed),
+            presolve_cols_fixed: self.presolve_cols_fixed.load(Ordering::Relaxed),
+            presolve_bounds_tightened: self.presolve_bounds_tightened.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter (benchmarks call this between timed runs).
+    pub fn clear(&self) {
+        self.lp_solves.store(0, Ordering::Relaxed);
+        self.simplex_iterations.store(0, Ordering::Relaxed);
+        self.phase1_iterations.store(0, Ordering::Relaxed);
+        self.warm_attempts.store(0, Ordering::Relaxed);
+        self.warm_hits.store(0, Ordering::Relaxed);
+        self.presolve_runs.store(0, Ordering::Relaxed);
+        self.presolve_rows_removed.store(0, Ordering::Relaxed);
+        self.presolve_cols_fixed.store(0, Ordering::Relaxed);
+        self.presolve_bounds_tightened.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lp_solve(&self, phase1_iters: u64, phase2_iters: u64) {
+        self.lp_solves.fetch_add(1, Ordering::Relaxed);
+        self.simplex_iterations.fetch_add(phase1_iters + phase2_iters, Ordering::Relaxed);
+        self.phase1_iterations.fetch_add(phase1_iters, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_warm_attempt(&self) {
+        self.warm_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_warm_hit(&self) {
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_presolve(
+        &self,
+        rows_removed: u64,
+        cols_fixed: u64,
+        bounds_tightened: u64,
+    ) {
+        self.presolve_runs.fetch_add(1, Ordering::Relaxed);
+        self.presolve_rows_removed.fetch_add(rows_removed, Ordering::Relaxed);
+        self.presolve_cols_fixed.fetch_add(cols_fixed, Ordering::Relaxed);
+        self.presolve_bounds_tightened.fetch_add(bounds_tightened, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_counters() {
+        let s = SolveStats::default();
+        assert_eq!(s.warm_hit_rate(), 0.0);
+        assert_eq!(s.iterations_per_solve(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_counterwise() {
+        let a = SolveStats {
+            lp_solves: 10,
+            simplex_iterations: 100,
+            warm_hits: 3,
+            ..Default::default()
+        };
+        let b =
+            SolveStats { lp_solves: 4, simplex_iterations: 40, warm_hits: 1, ..Default::default() };
+        let d = a.since(&b);
+        assert_eq!(d.lp_solves, 6);
+        assert_eq!(d.simplex_iterations, 60);
+        assert_eq!(d.warm_hits, 2);
+    }
+
+    #[test]
+    fn activity_counters_round_trip() {
+        let act = SolveActivity::default();
+        act.record_lp_solve(5, 7);
+        act.record_warm_attempt();
+        act.record_warm_hit();
+        act.record_presolve(2, 1, 3);
+        let s = act.snapshot();
+        assert_eq!(s.lp_solves, 1);
+        assert_eq!(s.simplex_iterations, 12);
+        assert_eq!(s.phase1_iterations, 5);
+        assert!((s.warm_hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(s.presolve_rows_removed, 2);
+        act.clear();
+        assert_eq!(act.snapshot(), SolveStats::default());
+    }
+}

@@ -9,6 +9,10 @@
 //! 5. Every solver backend — sequential, parallel at 1/2/4 threads, warm
 //!    started or not — agrees on the objective value, and the parallel
 //!    backend returns bit-identical points across thread counts.
+//! 6. The LP-engine toggles are semantically invisible: presolve-on vs
+//!    presolve-off and warm-started vs cold-started node solves agree on
+//!    the objective, and every returned point (postsolved back from the
+//!    reduced space) is feasible in the *original* variable space.
 
 use proptest::prelude::*;
 use tapacs_ilp::{
@@ -24,6 +28,23 @@ fn knapsack_model(values: &[u32], weights: &[u32], cap: u32) -> (Model, Vec<tapa
     let value = LinExpr::sum(vars.iter().zip(values).map(|(&v, &c)| LinExpr::term(v, c as f64)));
     m.set_objective(Sense::Maximize, value);
     (m, vars)
+}
+
+/// A model built to exercise every presolve pass: a knapsack body plus
+/// singleton rows (tightenable bounds), an equality tie between the first
+/// two variables, and a redundant row.
+fn presolve_rich_model(values: &[u32], weights: &[u32], cap: u32, bound: u32) -> Model {
+    let (mut m, vars) = knapsack_model(values, weights, cap);
+    // Singleton row: x0 <= bound/(bound+1) rounds to a 0/1 bound.
+    m.add_le("single", LinExpr::term(vars[0], 1.0), bound as f64 / (bound as f64 + 1.0));
+    if vars.len() >= 2 {
+        // Equality tie: x0 == x1 (kills dual fixing for both, keeps rows).
+        m.add_eq("tie", LinExpr::term(vars[0], 1.0) - LinExpr::term(vars[1], 1.0), 0.0);
+    }
+    // Redundant row: weights sum below an unreachable cap.
+    let weight = LinExpr::sum(vars.iter().zip(weights).map(|(&v, &w)| LinExpr::term(v, w as f64)));
+    m.add_le("slack", weight, 1e7);
+    m
 }
 
 proptest! {
@@ -133,12 +154,12 @@ proptest! {
         let cfg = SolverConfig::default();
 
         let backends: Vec<(&str, Box<dyn Solver>)> = vec![
-            ("sequential", Box::new(SequentialSolver { warm_start: false })),
-            ("sequential+warm", Box::new(SequentialSolver { warm_start: true })),
-            ("parallel-1", Box::new(ParallelSolver { threads: 1, warm_start: false })),
-            ("parallel-2", Box::new(ParallelSolver { threads: 2, warm_start: false })),
-            ("parallel-4", Box::new(ParallelSolver { threads: 4, warm_start: false })),
-            ("parallel-4+warm", Box::new(ParallelSolver { threads: 4, warm_start: true })),
+            ("sequential", Box::new(SequentialSolver { warm_start: false, ..Default::default() })),
+            ("sequential+warm", Box::new(SequentialSolver::default())),
+            ("parallel-1", Box::new(ParallelSolver { threads: 1, warm_start: false, ..Default::default() })),
+            ("parallel-2", Box::new(ParallelSolver { threads: 2, warm_start: false, ..Default::default() })),
+            ("parallel-4", Box::new(ParallelSolver { threads: 4, warm_start: false, ..Default::default() })),
+            ("parallel-4+warm", Box::new(ParallelSolver { threads: 4, ..Default::default() })),
         ];
         let reference = backends[0].1.solve(&m, &cfg).expect("all-zeros is feasible");
         for (name, solver) in &backends[1..] {
@@ -160,11 +181,73 @@ proptest! {
         let (m, _) = knapsack_model(&values, &weights, cap);
         let cfg = SolverConfig::default();
 
-        let one = ParallelSolver { threads: 1, warm_start: true }.solve(&m, &cfg).unwrap();
+        // Defaults: presolve and LP warm starts ON — the determinism
+        // guarantee must survive the incremental node solves.
+        let one = ParallelSolver { threads: 1, ..Default::default() }.solve(&m, &cfg).unwrap();
         for threads in [2usize, 4] {
-            let t = ParallelSolver { threads, warm_start: true }.solve(&m, &cfg).unwrap();
+            let t = ParallelSolver { threads, ..Default::default() }.solve(&m, &cfg).unwrap();
             prop_assert_eq!(&one.values, &t.values, "threads={} diverged", threads);
             prop_assert_eq!(one.nodes_explored, t.nodes_explored);
+        }
+    }
+
+    #[test]
+    fn presolve_and_warm_start_toggles_agree(
+        items in prop::collection::vec((1u32..50, 1u32..30), 2..9),
+        cap in 1u32..80,
+        bound in 0u32..2,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let m = presolve_rich_model(&values, &weights, cap, bound);
+        let cfg = SolverConfig::default();
+
+        let engines: Vec<(&str, SequentialSolver)> = vec![
+            ("presolve+warm", SequentialSolver::default()),
+            ("presolve+cold", SequentialSolver { warm_lp: false, ..Default::default() }),
+            ("raw+warm", SequentialSolver { presolve: false, ..Default::default() }),
+            ("raw+cold", SequentialSolver { presolve: false, warm_lp: false, ..Default::default() }),
+        ];
+        let reference = engines[0].1.solve(&m, &cfg).expect("all-zeros is feasible");
+        // Postsolve correctness: the returned point lives in the original
+        // variable space and satisfies the original model.
+        prop_assert_eq!(reference.values.len(), m.num_vars());
+        prop_assert!(m.is_feasible(&reference.values, 1e-6));
+        for (name, solver) in &engines[1..] {
+            let sol = solver.solve(&m, &cfg)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            prop_assert!(m.is_feasible(&sol.values, 1e-6),
+                "{name} returned a point infeasible in original space");
+            prop_assert!((sol.objective - reference.objective).abs() < 1e-6,
+                "{name} objective {} vs presolve+warm {}", sol.objective, reference.objective);
+        }
+    }
+
+    #[test]
+    fn presolve_agrees_on_infeasibility(
+        sizes in prop::collection::vec(1u32..10, 2..8),
+    ) {
+        // The equality-split family: whichever way each engine decides
+        // (solution or infeasible), they must decide the same way.
+        let total: u32 = sizes.iter().sum();
+        let build = || {
+            let mut m = Model::new("split");
+            let vars: Vec<_> = (0..sizes.len()).map(|i| m.binary(format!("x{i}"))).collect();
+            let load = LinExpr::sum(
+                vars.iter().zip(&sizes).map(|(&v, &s)| LinExpr::term(v, s as f64)),
+            );
+            m.add_eq("bal", load, (total / 2) as f64);
+            m.set_objective(Sense::Minimize, LinExpr::new());
+            m
+        };
+        let m = build();
+        let cfg = SolverConfig::default();
+        let with = SequentialSolver::default().solve(&m, &cfg);
+        let without = SequentialSolver { presolve: false, ..Default::default() }.solve(&m, &cfg);
+        match (&with, &without) {
+            (Ok(a), Ok(b)) => prop_assert!((a.objective - b.objective).abs() < 1e-6),
+            (Err(IlpError::Infeasible), Err(IlpError::Infeasible)) => {}
+            other => return Err(TestCaseError::fail(format!("engines disagree: {other:?}"))),
         }
     }
 
