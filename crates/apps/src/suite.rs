@@ -1,9 +1,17 @@
 //! The evaluation matrix (§5): builds each benchmark at the paper's
 //! configurations, runs the full compile pipeline for every flow and
 //! simulates the result — the engine behind Table 3 and Figures 10-17.
+//!
+//! Sweeps compile through [`run_flows_batch`]: every (graph, flow) point
+//! of a table or figure goes onto one shared
+//! [`BatchCompiler`] work queue, so the whole
+//! matrix shares the solve cache and fills the machine's cores instead of
+//! compiling point by point.
 
 use serde::{Deserialize, Serialize};
-use tapacs_core::{CompileError, CompiledDesign, Compiler, CompilerConfig, Flow};
+use tapacs_core::{
+    BatchCompiler, CompileError, CompileJob, CompiledDesign, Compiler, CompilerConfig, Flow,
+};
 use tapacs_fpga::Device;
 use tapacs_graph::TaskGraph;
 use tapacs_net::{Cluster, Topology};
@@ -78,11 +86,37 @@ pub fn paper_cluster(n_fpgas: usize) -> Cluster {
 
 /// Compiler configuration tuned for suite runs (bounded ILP budgets keep
 /// the full matrix tractable; the §5.6 overhead study raises them).
-pub fn suite_compiler(cluster: Cluster) -> Compiler {
+pub fn suite_config() -> CompilerConfig {
     let mut cfg = CompilerConfig::default();
     cfg.partition.time_limit_s = 1.0;
     cfg.floorplan.time_limit_s = 1.0;
-    Compiler::with_config(cluster, cfg)
+    cfg
+}
+
+/// A [`Compiler`] bound to `cluster` with [`suite_config`].
+pub fn suite_compiler(cluster: Cluster) -> Compiler {
+    Compiler::with_config(cluster, suite_config())
+}
+
+/// Simulates a compiled design on its paper cluster and folds the result
+/// into a [`FlowRun`].
+fn simulate_run(design: CompiledDesign) -> Result<(FlowRun, CompiledDesign), CompileError> {
+    let cluster = paper_cluster(design.n_fpgas());
+    let sim = design
+        .simulate(&cluster)
+        .map_err(|e| CompileError::Solver(format!("simulation failed: {e}")))?;
+    Ok((
+        FlowRun {
+            flow: design.flow,
+            freq_mhz: design.design_freq_mhz(),
+            latency_s: sim.makespan_s,
+            inter_fpga_bytes: sim.inter_fpga_bytes,
+            inter_node_bytes: sim.inter_node_bytes,
+            l1_s: design.partition.runtime.as_secs_f64(),
+            l2_s: design.floorplan_runtime.as_secs_f64(),
+        },
+        design,
+    ))
 }
 
 /// Compiles and simulates one already-built graph under one flow.
@@ -93,23 +127,67 @@ pub fn suite_compiler(cluster: Cluster) -> Compiler {
 /// [`CompileError::Solver`] with a diagnostic.
 pub fn run_flow(graph: &TaskGraph, flow: Flow) -> Result<(FlowRun, CompiledDesign), CompileError> {
     let cluster = paper_cluster(flow.n_fpgas());
-    let compiler = suite_compiler(cluster.clone());
-    let design = compiler.compile(graph, flow)?;
-    let sim = design
-        .simulate(&cluster)
-        .map_err(|e| CompileError::Solver(format!("simulation failed: {e}")))?;
-    Ok((
-        FlowRun {
-            flow,
-            freq_mhz: design.design_freq_mhz(),
-            latency_s: sim.makespan_s,
-            inter_fpga_bytes: sim.inter_fpga_bytes,
-            inter_node_bytes: sim.inter_node_bytes,
-            l1_s: design.partition.runtime.as_secs_f64(),
-            l2_s: design.floorplan_runtime.as_secs_f64(),
-        },
-        design,
-    ))
+    let compiler = suite_compiler(cluster);
+    simulate_run(compiler.compile(graph, flow)?)
+}
+
+/// Compiles every `(graph, flow)` sweep point as **one shared batch** —
+/// the sharded work queue fills the cores and cross-design solve-cache
+/// hits are shared across the whole sweep — then simulates each design.
+/// Results come back in input order.
+///
+/// Jobs run under [`suite_config`]'s 1-second per-level ILP budgets (the
+/// knob that keeps the full `reproduce all` matrix tractable, same as the
+/// sequential loops this replaces). A solve cut off by that budget is
+/// machine-speed dependent, and concurrent jobs contend for cores, so
+/// sweep numbers on heavily loaded or slow hosts can wobble for the
+/// largest designs — `reproduce batch` raises the budgets instead when it
+/// asserts bit-identical results.
+///
+/// # Errors
+///
+/// Propagates the *first* failing point's error (matching the sequential
+/// loops this replaces); the remaining points still compiled, they are
+/// just discarded.
+pub fn run_flows_batch(
+    points: Vec<(TaskGraph, Flow)>,
+) -> Result<Vec<(FlowRun, CompiledDesign)>, CompileError> {
+    let jobs: Vec<CompileJob> = points
+        .into_iter()
+        .map(|(graph, flow)| {
+            CompileJob::new(format!("{}/{}", graph.name(), flow.label()), graph, flow)
+                .on_cluster(paper_cluster(flow.n_fpgas()))
+        })
+        .collect();
+    let outcome = BatchCompiler::with_config(paper_cluster(1), suite_config()).compile(jobs);
+    outcome.results.into_iter().map(|result| simulate_run(result?)).collect()
+}
+
+/// Compiles a full `params × flows` grid as one shared batch and returns
+/// the runs grouped per parameter (one inner vector per `params` entry,
+/// ordered as `flows`). This is the scaffolding shared by the iteration /
+/// dimension / dataset sweeps of Figures 10, 14 and 15 and by Table 3.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure (see
+/// [`run_flows_batch`]).
+pub fn run_flow_grid<P: Copy>(
+    params: &[P],
+    flows: &[Flow],
+    build: impl Fn(P, Flow) -> TaskGraph,
+) -> Result<Vec<Vec<FlowRun>>, CompileError> {
+    let mut points = Vec::with_capacity(params.len() * flows.len());
+    for &param in params {
+        for &flow in flows {
+            points.push((build(param, flow), flow));
+        }
+    }
+    let runs = run_flows_batch(points)?;
+    Ok(runs
+        .chunks(flows.len())
+        .map(|chunk| chunk.iter().map(|(run, _)| run.clone()).collect())
+        .collect())
 }
 
 /// Builds the right graph for a benchmark/flow pair at the paper's
@@ -161,28 +239,47 @@ pub struct SpeedupRow {
 }
 
 /// Runs one benchmark across all flows at its default sweep point and
-/// normalizes to F1-V — one row of Table 3.
+/// normalizes to F1-V — one row of Table 3. The flows compile as one
+/// shared batch.
 ///
 /// # Errors
 ///
 /// Propagates the first compile/simulate failure.
 pub fn table3_row(bench: Benchmark, max_fpgas: usize) -> Result<SpeedupRow, CompileError> {
-    let param = default_param(bench);
-    let mut runs = Vec::new();
-    for flow in paper_flows(max_fpgas) {
-        let graph = build_for(bench, flow, param);
-        let (run, _) = run_flow(&graph, flow)?;
-        runs.push(run);
-    }
-    let base = runs[0].clone();
-    Ok(SpeedupRow {
-        benchmark: bench.name(),
-        speedups: runs.iter().map(|r| r.speedup_over(&base)).collect(),
-        freqs_mhz: runs.iter().map(|r| r.freq_mhz).collect(),
-    })
+    let rows = table3_rows(&[bench], max_fpgas)?;
+    Ok(rows.into_iter().next().expect("one bench in, one row out"))
 }
 
-/// Figure 12 data point: PageRank latency for one dataset across flows.
+/// Runs several benchmarks across all flows — the *whole* matrix goes onto
+/// one shared batch queue (|benches| × |flows| jobs), which is how
+/// `reproduce table3` compiles Table 3 as a single sweep.
+///
+/// # Errors
+///
+/// Propagates the first compile/simulate failure.
+pub fn table3_rows(
+    benches: &[Benchmark],
+    max_fpgas: usize,
+) -> Result<Vec<SpeedupRow>, CompileError> {
+    let flows = paper_flows(max_fpgas);
+    let grid =
+        run_flow_grid(benches, &flows, |bench, flow| build_for(bench, flow, default_param(bench)))?;
+    Ok(benches
+        .iter()
+        .zip(grid)
+        .map(|(bench, runs)| {
+            let base = runs[0].clone();
+            SpeedupRow {
+                benchmark: bench.name(),
+                speedups: runs.iter().map(|r| r.speedup_over(&base)).collect(),
+                freqs_mhz: runs.iter().map(|r| r.freq_mhz).collect(),
+            }
+        })
+        .collect())
+}
+
+/// Figure 12 data point: PageRank latency for one dataset across flows,
+/// compiled as one shared batch.
 ///
 /// # Errors
 ///
@@ -191,12 +288,11 @@ pub fn pagerank_dataset_runs(
     net: NetworkSpec,
     max_fpgas: usize,
 ) -> Result<Vec<FlowRun>, CompileError> {
-    let mut out = Vec::new();
-    for flow in paper_flows(max_fpgas) {
-        let g = pagerank::build(&pagerank::PageRankConfig::paper(net, flow.n_fpgas()));
-        out.push(run_flow(&g, flow)?.0);
-    }
-    Ok(out)
+    let points = paper_flows(max_fpgas)
+        .into_iter()
+        .map(|flow| (pagerank::build(&pagerank::PageRankConfig::paper(net, flow.n_fpgas())), flow))
+        .collect();
+    Ok(run_flows_batch(points)?.into_iter().map(|(run, _)| run).collect())
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! cargo run --release -p tapacs-bench --bin reproduce -- all    # full matrix
 //! cargo run --release -p tapacs-bench --bin reproduce -- table3 fig10 fig12
 //! cargo run --release -p tapacs-bench --bin reproduce -- list   # known names
-//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_3.json
+//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_4.json
+//! cargo run --release -p tapacs-bench --bin reproduce -- batch --smoke
 //! ```
 
 use tapacs_bench::reproduce as r;
@@ -21,7 +22,7 @@ fn run_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--smoke" => smoke = true,
             "--json" => {
                 json_path =
-                    Some(it.next().ok_or("--json needs a file path (e.g. --json BENCH_3.json)")?);
+                    Some(it.next().ok_or("--json needs a file path (e.g. --json BENCH_4.json)")?);
             }
             other => return Err(format!("unknown bench option: {other}").into()),
         }
@@ -37,12 +38,28 @@ fn run_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `batch [--smoke]`: the sharded multi-design batch-compile demo.
+fn run_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut smoke = false;
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown batch option: {other}").into()),
+        }
+    }
+    print!("{}", r::batch(smoke)?);
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `bench` takes its own flags, so it dispatches before the multi-name
-    // experiment loop.
+    // `bench` and `batch` take their own flags, so they dispatch before
+    // the multi-name experiment loop.
     if args.first().map(String::as_str) == Some("bench") {
         return run_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("batch") {
+        return run_batch(&args[1..]);
     }
     let wanted: Vec<&str> =
         if args.is_empty() { vec!["quick"] } else { args.iter().map(|s| s.as_str()).collect() };
@@ -71,6 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{}", r::ablation()?);
                 println!("{}", r::multinode()?);
                 println!("{}", r::solvers()?);
+                println!("{}", r::batch(false)?);
             }
             "table1" => print!("{}", r::table1()),
             "table2" => print!("{}", r::table2()),
@@ -101,6 +119,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "bench" => {
                 return Err("bench must be the first argument (it takes flags): \
                                    reproduce bench [--smoke] [--json <path>]"
+                    .into())
+            }
+            "batch" => {
+                return Err("batch must be the first argument (it takes flags): \
+                                   reproduce batch [--smoke]"
                     .into())
             }
             other => {

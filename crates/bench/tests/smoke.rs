@@ -3,8 +3,14 @@
 //! exercises the binary's default mode cheaply.
 
 use std::process::Command;
+use std::sync::Mutex;
 
 use tapacs_bench::reproduce as r;
+
+/// `bench_json` and `batch` both clear and snapshot the process-global
+/// solve cache / LP-engine counters; run them serially so neither pollutes
+/// the numbers the other reports.
+static GLOBAL_COUNTERS: Mutex<()> = Mutex::new(());
 
 #[test]
 fn quick_renders_all_four_benchmarks() {
@@ -78,10 +84,18 @@ fn every_static_experiment_name_dispatches() {
 
 #[test]
 fn bench_smoke_emits_machine_readable_json() {
+    let _serial = GLOBAL_COUNTERS.lock().unwrap();
     let json = r::bench_json(true).expect("smoke bench must compile every app");
     assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'), "{json}");
-    for key in ["\"bench\": \"BENCH_3\"", "\"smoke\": true", "\"apps\"", "\"totals\"", "\"wall_s\""]
-    {
+    for key in [
+        "\"bench\": \"BENCH_4\"",
+        "\"smoke\": true",
+        "\"apps\"",
+        "\"totals\"",
+        "\"wall_s\"",
+        "\"batch\"",
+        "\"speedup_estimate\"",
+    ] {
         assert!(json.contains(key), "bench JSON is missing {key}: {json}");
     }
     for app in ["stencil", "cnn", "pagerank", "knn"] {
@@ -101,8 +115,18 @@ fn bench_subcommand_writes_json_file() {
         .expect("reproduce binary must run");
     assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
     let written = std::fs::read_to_string(&path).expect("bench must write the JSON file");
-    assert!(written.contains("\"bench\": \"BENCH_3\""), "{written}");
+    assert!(written.contains("\"bench\": \"BENCH_4\""), "{written}");
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn batch_smoke_reports_speedup_and_determinism() {
+    let _serial = GLOBAL_COUNTERS.lock().unwrap();
+    let out = r::batch(true).expect("smoke batch must compile the sweep");
+    assert!(out.contains("sharded queue"), "{out}");
+    assert!(out.contains("cross-design solve-cache hit rate"), "{out}");
+    assert!(out.contains("bit-identical designs"), "{out}");
+    assert!(!out.contains("DETERMINISM VIOLATION"), "{out}");
 }
 
 #[test]

@@ -1,0 +1,530 @@
+//! Sharded multi-design batch compilation.
+//!
+//! The paper's evaluation compiles dozens of independent
+//! (benchmark × flow × cluster-size) points; compiling them one after
+//! another leaves most cores idle and re-solves structurally identical
+//! bisection ILPs from scratch. [`BatchCompiler`] turns a whole sweep into
+//! one shared work queue:
+//!
+//! * jobs are pulled off a deterministic atomic queue by scoped worker
+//!   threads (the same `std::thread::scope` sharding the parallel
+//!   branch-and-bound backend uses), so the sweep's wall-clock approaches
+//!   the longest single job instead of the sum;
+//! * every job shares the process-wide [`SolveCache`], so a bisection ILP
+//!   solved for one design answers instantly for every structurally
+//!   identical sibling in the sweep (cross-design hits);
+//! * each job compiles under its own scoped [`SolveActivity`] handle, so
+//!   LP-engine
+//!   counters are attributed per job even while jobs interleave, and merge
+//!   into the aggregated [`BatchReport`];
+//! * results come back in **input order** as per-job
+//!   `Result<CompiledDesign, CompileError>` — one infeasible design fails
+//!   its own slot, never the queue — and are bit-identical to a sequential
+//!   loop for every thread count, because each job's compile is itself
+//!   deterministic and jobs share no mutable state beyond the (replay-safe)
+//!   solve cache.
+//!
+//! `TAPACS_BATCH_THREADS` pins the queue's worker count from the
+//! environment (CI uses `1` to cross-check determinism).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use tapacs_graph::TaskGraph;
+use tapacs_ilp::{CacheStats, SolveActivity, SolveCache, SolveStats};
+use tapacs_net::Cluster;
+
+use crate::compiler::{CompiledDesign, Compiler, CompilerConfig, Flow};
+use crate::error::CompileError;
+use crate::stage::{CompileOverrides, Stage, StageTiming};
+
+/// One design to compile: a graph, a flow, and optional per-job cluster /
+/// config / stage overrides (falling back to the [`BatchCompiler`]'s
+/// defaults when absent).
+#[derive(Debug, Clone)]
+pub struct CompileJob {
+    /// Label used in reports (`"stencil/F2"`, …).
+    pub name: String,
+    /// The design's task graph.
+    pub graph: TaskGraph,
+    /// The flow to compile it under.
+    pub flow: Flow,
+    /// Cluster override (defaults to the batch compiler's cluster).
+    pub cluster: Option<Cluster>,
+    /// Config override (defaults to the batch compiler's config).
+    pub config: Option<CompilerConfig>,
+    /// Per-stage overrides (see [`CompileOverrides`]).
+    pub overrides: CompileOverrides,
+}
+
+impl CompileJob {
+    /// A job with no per-job overrides.
+    pub fn new(name: impl Into<String>, graph: TaskGraph, flow: Flow) -> Self {
+        Self {
+            name: name.into(),
+            graph,
+            flow,
+            cluster: None,
+            config: None,
+            overrides: CompileOverrides::default(),
+        }
+    }
+
+    /// Compiles this job against its own cluster instead of the batch
+    /// default (sweeps mixing cluster sizes need this).
+    #[must_use]
+    pub fn on_cluster(mut self, cluster: Cluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Compiles this job with its own compiler configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: CompilerConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Applies per-stage overrides to this job.
+    #[must_use]
+    pub fn with_overrides(mut self, overrides: CompileOverrides) -> Self {
+        self.overrides = overrides;
+        self
+    }
+}
+
+/// Per-job slice of the [`BatchReport`].
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's label.
+    pub name: String,
+    /// The job's flow.
+    pub flow: Flow,
+    /// End-to-end compile wall-clock of this job.
+    pub wall: Duration,
+    /// Wall-clock per executed stage.
+    pub timings: Vec<StageTiming>,
+    /// The stage that failed, when the job failed.
+    pub failed_stage: Option<Stage>,
+    /// LP-engine activity attributed to this job (scoped handle).
+    pub engine: SolveStats,
+}
+
+/// Summed wall-clock of one stage across every job of a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTotal {
+    /// The stage.
+    pub stage: Stage,
+    /// Jobs that executed it.
+    pub jobs: usize,
+    /// Summed wall-clock across those jobs.
+    pub wall: Duration,
+}
+
+/// Aggregated outcome of one [`BatchCompiler::compile`] run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Worker threads the queue actually used.
+    pub threads: usize,
+    /// Wall-clock of the whole batch.
+    pub wall: Duration,
+    /// Estimated sequential wall-clock: the sum of per-job compile times
+    /// as measured inside this batch. An *estimate* because cache sharing
+    /// and core contention differ in a true sequential loop.
+    pub sequential_estimate: Duration,
+    /// One report per job, in input order.
+    pub jobs: Vec<JobReport>,
+    /// Per-stage wall-clock totals across the batch, in stage order.
+    pub stage_totals: Vec<StageTotal>,
+    /// Solve-cache lookups during the batch (process-wide delta —
+    /// cross-design hits show up here).
+    pub cache: CacheStats,
+    /// Merged LP-engine counters over every job's scoped handle.
+    pub engine: SolveStats,
+}
+
+impl BatchReport {
+    /// `sequential_estimate / wall`: how much the shared queue beat the
+    /// sum of its parts (≈ 1.0 on one worker).
+    pub fn speedup_estimate(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            self.sequential_estimate.as_secs_f64() / wall
+        }
+    }
+
+    /// Jobs that compiled successfully.
+    pub fn succeeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.failed_stage.is_none()).count()
+    }
+
+    /// ASCII rendering: one row per job, stage totals, cache and engine
+    /// lines.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("job                     flow   wall(s)  outcome\n");
+        for j in &self.jobs {
+            let outcome = match j.failed_stage {
+                None => "ok".to_string(),
+                Some(stage) => format!("failed at {stage}"),
+            };
+            let _ = writeln!(
+                s,
+                "{:<23} {:<6} {:<8.3} {}",
+                j.name,
+                j.flow.label(),
+                j.wall.as_secs_f64(),
+                outcome
+            );
+        }
+        s.push_str("stage totals: ");
+        let mut first = true;
+        for t in &self.stage_totals {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let _ = write!(s, "{} {:.3}s/{}", t.stage, t.wall.as_secs_f64(), t.jobs);
+        }
+        s.push('\n');
+        let _ = writeln!(
+            s,
+            "batch: {} job(s) on {} thread(s) in {:.3}s (sequential estimate {:.3}s, {:.2}x)",
+            self.jobs.len(),
+            self.threads,
+            self.wall.as_secs_f64(),
+            self.sequential_estimate.as_secs_f64(),
+            self.speedup_estimate(),
+        );
+        let _ = writeln!(
+            s,
+            "solve cache: {} hits / {} misses ({:.0}% hit rate) across the batch",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+        );
+        let _ = writeln!(
+            s,
+            "LP engine: {} simplex iterations over {} solves, warm starts {}/{} ({:.0}%)",
+            self.engine.simplex_iterations,
+            self.engine.lp_solves,
+            self.engine.warm_hits,
+            self.engine.warm_attempts,
+            self.engine.warm_hit_rate() * 100.0,
+        );
+        s
+    }
+}
+
+/// Results plus the aggregated report of one batch run.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-job outcome, in input order.
+    pub results: Vec<Result<CompiledDesign, CompileError>>,
+    /// The aggregated batch report.
+    pub report: BatchReport,
+}
+
+/// The sharded multi-design compile engine. See the [module](self) docs.
+#[derive(Debug, Clone)]
+pub struct BatchCompiler {
+    cluster: Cluster,
+    config: CompilerConfig,
+    threads: usize,
+}
+
+impl BatchCompiler {
+    /// A batch compiler with default configuration. The worker count
+    /// honours `TAPACS_BATCH_THREADS` when set (`0` or unset = all cores).
+    pub fn new(cluster: Cluster) -> Self {
+        Self::with_config(cluster, CompilerConfig::default())
+    }
+
+    /// A batch compiler with an explicit default configuration.
+    pub fn with_config(cluster: Cluster, config: CompilerConfig) -> Self {
+        let threads = std::env::var("TAPACS_BATCH_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        Self { cluster, config, threads }
+    }
+
+    /// Pins the worker-thread count (`0` =
+    /// [`std::thread::available_parallelism`]), overriding the
+    /// environment.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count a batch of `jobs` designs would use.
+    pub fn resolved_threads(&self, jobs: usize) -> usize {
+        let hw = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        hw.clamp(1, jobs.max(1))
+    }
+
+    /// Compiles one job under its own scoped activity handle.
+    /// `solver_share` is the slice of the machine this job's *internal*
+    /// solver parallelism may claim (cores / batch workers): with both the
+    /// queue and the per-job parallel branch and bound defaulting to "all
+    /// cores", an evaluation sweep would otherwise run `workers × cores`
+    /// runnable threads. The cap only applies to auto (`threads == 0`)
+    /// solver options — an explicit pin (including `TAPACS_SOLVER_THREADS`)
+    /// is respected — and cannot change any result: the parallel backend
+    /// is bit-identical for every thread count.
+    fn run_job(
+        &self,
+        job: &CompileJob,
+        solver_share: usize,
+    ) -> (Result<CompiledDesign, CompileError>, JobReport) {
+        let activity = Arc::new(SolveActivity::default());
+        let cluster = job.cluster.as_ref().unwrap_or(&self.cluster);
+        let mut config = job.config.as_ref().unwrap_or(&self.config).clone();
+        if config.solver.threads == 0 && solver_share > 0 {
+            config.solver.threads = solver_share;
+        }
+        let compiler = Compiler::with_config(cluster.clone(), config);
+        let t0 = Instant::now();
+        let ctx = SolveActivity::scoped(&activity, || {
+            compiler.compile_staged_with(&job.graph, job.flow, job.overrides.clone())
+        });
+        let wall = t0.elapsed();
+        let report = JobReport {
+            name: job.name.clone(),
+            flow: job.flow,
+            wall,
+            timings: ctx.timings.clone(),
+            failed_stage: ctx.failed_stage(),
+            engine: activity.snapshot(),
+        };
+        (ctx.into_result(), report)
+    }
+
+    /// Runs every job over the sharded work queue and returns per-job
+    /// results **in input order** plus the aggregated [`BatchReport`].
+    ///
+    /// Infeasible or otherwise failing designs occupy their own `Err`
+    /// slot; the queue always drains completely.
+    pub fn compile(&self, jobs: Vec<CompileJob>) -> BatchOutcome {
+        let n = jobs.len();
+        let threads = self.resolved_threads(n);
+        let cache_before = SolveCache::global().stats();
+        let t0 = Instant::now();
+
+        let mut slots: Vec<OnceLock<(Result<CompiledDesign, CompileError>, JobReport)>> =
+            Vec::new();
+        slots.resize_with(n, OnceLock::new);
+
+        if threads <= 1 {
+            // Sequential queue: each job may use the whole machine
+            // internally (`0` leaves solver auto-threading untouched).
+            for (job, slot) in jobs.iter().zip(&slots) {
+                let _ = slot.set(self.run_job(job, 0));
+            }
+        } else {
+            // Split the machine between queue workers: each concurrent job
+            // gets `cores / workers` internal solver threads (see
+            // `run_job`) instead of every job claiming all cores at once.
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let solver_share = (cores / threads).max(1);
+            // Deterministic sharding: workers pop the next unclaimed job
+            // index; each index is processed exactly once and its result
+            // lands in its own slot, so the output order — and every
+            // individual design — is independent of the interleaving.
+            // Attribution note: every solve of a job runs inside that
+            // job's own scope (scopes replace, they do not stack), so a
+            // scope installed around the whole batch intentionally sees
+            // nothing — batch-wide numbers come from `BatchReport::engine`.
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let (jobs, slots, next) = (&jobs, &slots, &next);
+                    s.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let _ = slots[i].set(self.run_job(job, solver_share));
+                    });
+                }
+            });
+        }
+
+        let wall = t0.elapsed();
+        let cache = SolveCache::global().stats().since(&cache_before);
+
+        let mut results = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for slot in slots {
+            let (result, report) = slot.into_inner().expect("every queued job must complete");
+            results.push(result);
+            reports.push(report);
+        }
+
+        let sequential_estimate = reports.iter().map(|r| r.wall).sum();
+        let engine = reports.iter().fold(SolveStats::default(), |acc, r| acc.merged(&r.engine));
+        let stage_totals = Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let mut jobs = 0;
+                let mut total = Duration::ZERO;
+                for r in &reports {
+                    for t in &r.timings {
+                        if t.stage == stage {
+                            jobs += 1;
+                            total += t.wall;
+                        }
+                    }
+                }
+                (jobs > 0).then_some(StageTotal { stage, jobs, wall: total })
+            })
+            .collect();
+
+        BatchOutcome {
+            results,
+            report: BatchReport {
+                threads,
+                wall,
+                sequential_estimate,
+                jobs: reports,
+                stage_totals,
+                cache,
+                engine,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapacs_fpga::{Device, Resources};
+    use tapacs_graph::{Fifo, Task};
+    use tapacs_net::Topology;
+
+    fn chain_graph(name: &str, pes: usize, pe: Resources) -> TaskGraph {
+        let mut g = TaskGraph::new(name);
+        let io = Resources::new(30_000, 60_000, 60, 0, 20);
+        let rd = g.add_task(Task::hbm_read("rd", io, 0, 512, 65_536).with_total_blocks(64));
+        let mut prev = rd;
+        for i in 0..pes {
+            let t = g.add_task(
+                Task::compute(format!("pe{i}"), pe)
+                    .with_cycles_per_block(1_000)
+                    .with_total_blocks(64),
+            );
+            g.add_fifo(Fifo::new(format!("f{i}"), prev, t, 512).with_block_bytes(65_536));
+            prev = t;
+        }
+        let wr = g.add_task(Task::hbm_write("wr", io, 1, 512, 65_536).with_total_blocks(64));
+        g.add_fifo(Fifo::new("out", prev, wr, 512).with_block_bytes(65_536));
+        g
+    }
+
+    fn cluster4() -> Cluster {
+        Cluster::single_node(Device::u55c(), 4, Topology::Ring)
+    }
+
+    fn demo_jobs() -> Vec<CompileJob> {
+        let pe = Resources::new(40_000, 80_000, 100, 200, 10);
+        vec![
+            CompileJob::new("a", chain_graph("a", 6, pe), Flow::TapaCs { n_fpgas: 2 }),
+            CompileJob::new("b", chain_graph("b", 4, pe), Flow::TapaSingle),
+            CompileJob::new("c", chain_graph("c", 6, pe), Flow::TapaCs { n_fpgas: 4 }),
+        ]
+    }
+
+    #[test]
+    fn batch_results_arrive_in_input_order() {
+        let outcome = BatchCompiler::new(cluster4()).threads(2).compile(demo_jobs());
+        assert_eq!(outcome.results.len(), 3);
+        let flows: Vec<usize> =
+            outcome.results.iter().map(|r| r.as_ref().unwrap().n_fpgas()).collect();
+        assert_eq!(flows, vec![2, 1, 4]);
+        assert_eq!(outcome.report.jobs[1].name, "b");
+        assert_eq!(outcome.report.succeeded(), 3);
+    }
+
+    #[test]
+    fn failing_job_does_not_abort_the_queue() {
+        let mut jobs = demo_jobs();
+        // A flow larger than the cluster: per-job ClusterTooSmall.
+        jobs.insert(
+            1,
+            CompileJob::new(
+                "too-big",
+                chain_graph("d", 4, Resources::new(40_000, 80_000, 100, 200, 10)),
+                Flow::TapaCs { n_fpgas: 9 },
+            ),
+        );
+        let outcome = BatchCompiler::new(cluster4()).threads(2).compile(jobs);
+        assert_eq!(outcome.results.len(), 4);
+        assert!(matches!(
+            outcome.results[1],
+            Err(CompileError::ClusterTooSmall { needed: 9, available: 4 })
+        ));
+        assert_eq!(outcome.report.jobs[1].failed_stage, Some(Stage::Validate));
+        // The other three still compiled.
+        assert_eq!(outcome.report.succeeded(), 3);
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop_bit_for_bit() {
+        // Cache off so every batch run solves live — with a warm global
+        // cache the comparison would only verify replay, not concurrent
+        // solving.
+        let mut config = CompilerConfig::default();
+        config.solver.cache = false;
+        let jobs = demo_jobs();
+        let compiler = Compiler::with_config(cluster4(), config.clone());
+        let reference: Vec<_> =
+            jobs.iter().map(|j| compiler.compile(&j.graph, j.flow).unwrap()).collect();
+        for threads in [1, 2, 3] {
+            let outcome = BatchCompiler::with_config(cluster4(), config.clone())
+                .threads(threads)
+                .compile(jobs.clone());
+            for (r, want) in outcome.results.iter().zip(&reference) {
+                let got = r.as_ref().unwrap();
+                assert_eq!(got.placement.fpga_of_task, want.placement.fpga_of_task);
+                assert_eq!(got.slot_of_task, want.slot_of_task);
+                assert_eq!(got.timing.freq_mhz, want.timing.freq_mhz);
+            }
+        }
+    }
+
+    #[test]
+    fn report_aggregates_stages_and_engine() {
+        // Cache off: a warm global cache would replay every solve and
+        // leave the scoped engine counters legitimately at zero.
+        let mut config = CompilerConfig::default();
+        config.solver.cache = false;
+        let outcome =
+            BatchCompiler::with_config(cluster4(), config).threads(2).compile(demo_jobs());
+        let report = &outcome.report;
+        assert!(report.engine.lp_solves > 0, "jobs must record scoped LP activity");
+        for job in &report.jobs {
+            assert_eq!(job.timings.len(), Stage::ALL.len(), "{}: all stages run", job.name);
+        }
+        let partition = report.stage_totals.iter().find(|t| t.stage == Stage::Partition).unwrap();
+        assert_eq!(partition.jobs, 3);
+        assert!(report.sequential_estimate >= report.wall || report.threads == 1);
+        let table = report.render_table();
+        assert!(table.contains("batch: 3 job(s)"), "{table}");
+        assert!(table.contains("solve cache"), "{table}");
+    }
+
+    #[test]
+    fn env_pins_worker_count() {
+        // `threads()` overrides whatever the constructor read from the env.
+        let b = BatchCompiler::new(cluster4()).threads(1);
+        assert_eq!(b.resolved_threads(8), 1);
+        let many = BatchCompiler::new(cluster4()).threads(16);
+        assert_eq!(many.resolved_threads(2), 2, "never more workers than jobs");
+    }
+}

@@ -1,22 +1,28 @@
 //! The seven-step TAPA-CS compiler pipeline (Figure 5) and the evaluation
 //! flows.
+//!
+//! Compilation runs as an explicit staged pipeline (see [`crate::stage`]):
+//! [`Compiler::compile`] is a thin wrapper over
+//! [`Compiler::compile_staged`] that discards the per-stage record and
+//! returns the classic `Result`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use tapacs_fpga::{SlotId, TimingModel, Utilization};
+use tapacs_fpga::{Resources, SlotId, TimingModel, Utilization};
 use tapacs_graph::TaskGraph;
 use tapacs_ilp::SolverOptions;
 use tapacs_net::Cluster;
 use tapacs_sim::{simulate, Placement, SimError, SimReport};
 
-use crate::comm::{insert_comm, CommInsertion};
+use crate::comm::insert_comm;
 use crate::error::CompileError;
-use crate::floorplan::{floorplan, rebind_hbm_channels, FloorplanConfig};
+use crate::floorplan::{floorplan, floorplan_naive, rebind_hbm_channels, FloorplanConfig};
 use crate::partition::{partition, usable_capacity, InterPartition, PartitionConfig};
 use crate::pipeline::{pipeline, PipelineReport};
 use crate::pnr::{analyze, TimingReport};
 use crate::report::LevelSolveStats;
+use crate::stage::{CompileContext, CompileOverrides, Stage, StageTiming};
 
 /// The compilation flows compared in the paper's evaluation (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,6 +125,8 @@ pub struct CompiledDesign {
     pub channels_used: Vec<usize>,
     /// QSFP28 ports used per FPGA.
     pub ports_used: Vec<usize>,
+    /// Wall-clock per executed pipeline stage, in execution order.
+    pub stage_timings: Vec<StageTiming>,
 }
 
 impl CompiledDesign {
@@ -175,106 +183,194 @@ impl Compiler {
     /// # Errors
     ///
     /// Any [`CompileError`]: infeasible partitions, unroutable slots, or
-    /// solver failures.
+    /// solver failures. For per-stage attribution use
+    /// [`Compiler::compile_staged`] instead.
     pub fn compile(&self, graph: &TaskGraph, flow: Flow) -> Result<CompiledDesign, CompileError> {
-        graph.validate()?;
+        self.compile_staged(graph, flow).into_result()
+    }
+
+    /// Runs the staged pipeline and returns the full [`CompileContext`]:
+    /// per-stage wall-clock, every intermediate artifact, and — on failure
+    /// — the stage that rejected the design with the artifacts produced
+    /// before it still inspectable.
+    pub fn compile_staged(&self, graph: &TaskGraph, flow: Flow) -> CompileContext {
+        self.compile_staged_with(graph, flow, CompileOverrides::default())
+    }
+
+    /// [`Compiler::compile_staged`] with per-stage overrides: seed a
+    /// precomputed partition (the [`Stage::Partition`] stage is skipped),
+    /// force the naive or ILP floorplanner, or toggle interconnect
+    /// pipelining independently of the flow.
+    pub fn compile_staged_with(
+        &self,
+        graph: &TaskGraph,
+        flow: Flow,
+        overrides: CompileOverrides,
+    ) -> CompileContext {
+        let pipelined = overrides.pipelined.unwrap_or_else(|| flow.pipelined());
+        let naive = overrides.naive_floorplan.unwrap_or(matches!(flow, Flow::VitisHls));
+        let mut ctx = CompileContext::new(flow, pipelined);
         let device = self.cluster.device().clone();
         let n = flow.n_fpgas();
-        assert!(
-            n >= 1 && n <= self.cluster.total_fpgas(),
-            "flow needs {n} FPGAs, cluster has {}",
-            self.cluster.total_fpgas()
-        );
 
-        // Step 3: inter-FPGA floorplanning (equations 1-2). The compiler's
-        // solver options override both stage configs so one knob controls
-        // the whole pipeline.
-        let mut pcfg = self.config.partition.clone();
-        pcfg.solver = self.config.solver.clone();
-        if n == 1 {
-            pcfg.threshold = self.config.single_fpga_threshold;
+        // -- Validate ------------------------------------------------------
+        let t0 = Instant::now();
+        let valid = graph
+            .validate()
+            .map_err(CompileError::from)
+            .and_then(|()| {
+                let available = self.cluster.total_fpgas();
+                if n >= 1 && n <= available {
+                    Ok(())
+                } else {
+                    Err(CompileError::ClusterTooSmall { needed: n, available })
+                }
+            })
+            .and_then(|()| {
+                // A seeded partition must cover the graph and stay inside
+                // the flow's devices, or downstream stages would panic on
+                // out-of-bounds indexing — per-job errors, not aborts.
+                let Some(inter) = &overrides.partition else { return Ok(()) };
+                if inter.assignment.len() != graph.num_tasks() {
+                    return Err(CompileError::InvalidOverride {
+                        detail: format!(
+                            "seeded partition assigns {} task(s), graph has {}",
+                            inter.assignment.len(),
+                            graph.num_tasks()
+                        ),
+                    });
+                }
+                match inter.assignment.iter().find(|&&f| f >= n) {
+                    Some(&f) => Err(CompileError::InvalidOverride {
+                        detail: format!("seeded partition uses FPGA {f}, flow spans {n}"),
+                    }),
+                    None => Ok(()),
+                }
+            });
+        ctx.record(Stage::Validate, t0.elapsed());
+        if let Err(e) = valid {
+            return ctx.failed(Stage::Validate, e);
         }
-        let inter = partition(graph, &self.cluster, n, &pcfg)?;
 
-        // Step 4: communication-logic insertion.
-        let CommInsertion {
-            graph: mut full_graph, assignment, overhead_per_fpga, ports_used, ..
-        } = insert_comm(graph, &inter.assignment, &device, n);
+        // -- Partition: inter-FPGA floorplanning (equations 1-2) -----------
+        // The compiler's solver options override both stage configs so one
+        // knob controls the whole pipeline.
+        match overrides.partition {
+            Some(inter) => ctx.partition = Some(inter),
+            None => {
+                let mut pcfg = self.config.partition.clone();
+                pcfg.solver = self.config.solver.clone();
+                if n == 1 {
+                    pcfg.threshold = self.config.single_fpga_threshold;
+                }
+                let t0 = Instant::now();
+                let result = partition(graph, &self.cluster, n, &pcfg);
+                ctx.record(Stage::Partition, t0.elapsed());
+                match result {
+                    Ok(inter) => ctx.partition = Some(inter),
+                    Err(e) => return ctx.failed(Stage::Partition, e),
+                }
+            }
+        }
 
-        // Step 5: intra-FPGA floorplanning (equation 4) + HBM binding. The
-        // networking IP's footprint is reserved out of each QSFP corner
+        // -- CommInsert: communication-logic insertion ---------------------
+        let t0 = Instant::now();
+        let inter_assignment = &ctx.partition.as_ref().expect("partition artifact set").assignment;
+        ctx.comm = Some(insert_comm(graph, inter_assignment, &device, n));
+        ctx.record(Stage::CommInsert, t0.elapsed());
+
+        // -- Floorplan: intra-FPGA floorplanning (equation 4) + HBM binding.
+        // The networking IP's footprint is reserved out of each QSFP corner
         // slot so the floorplanner sees the true remaining capacity. The
         // Vitis flow gets first-fit placement instead — it has no
         // dataflow-aware floorplanning.
         let mut fcfg = self.config.floorplan.clone();
         fcfg.solver = self.config.solver.clone();
-        let fp = if matches!(flow, Flow::VitisHls) {
-            crate::floorplan::floorplan_naive(
-                &full_graph,
-                &assignment,
-                n,
-                &device,
-                &overhead_per_fpga,
-                &fcfg,
-            )?
-        } else {
-            floorplan(&full_graph, &assignment, n, &device, &overhead_per_fpga, &fcfg)?
+        let t0 = Instant::now();
+        let result = {
+            let comm = ctx.comm.as_ref().expect("comm artifact set");
+            let plan = if naive { floorplan_naive } else { floorplan };
+            plan(&comm.graph, &comm.assignment, n, &device, &comm.overhead_per_fpga, &fcfg)
         };
-        let channels_used =
-            rebind_hbm_channels(&mut full_graph, &assignment, &fp.slot_of_task, n, &device);
-
-        // Step 6: interconnect pipelining + cut-set balancing.
-        let pipe = if flow.pipelined() {
-            pipeline(&full_graph, &assignment, &fp.slot_of_task)
-        } else {
-            PipelineReport {
-                crossing_regs: vec![0; full_graph.num_fifos()],
-                balancing_regs: vec![0; full_graph.num_fifos()],
-                total_register_bits: 0,
-                balanced: false,
+        let fp = match result {
+            Ok(fp) => fp,
+            Err(e) => {
+                ctx.record(Stage::Floorplan, t0.elapsed());
+                return ctx.failed(Stage::Floorplan, e);
             }
         };
-
-        // Step 7: virtual place-and-route.
-        let timing = analyze(
-            &full_graph,
-            &assignment,
-            &fp.slot_of_task,
-            n,
-            &device,
-            flow.pipelined(),
-            &overhead_per_fpga,
-            &self.config.timing,
-        )?;
-
-        // Whole-card utilization (user logic + net IP + platform shell).
-        let mut used = vec![tapacs_fpga::Resources::ZERO; n];
-        for (id, t) in full_graph.tasks() {
-            used[assignment[id.index()]] += t.resources;
+        {
+            let comm = ctx.comm.as_mut().expect("comm artifact set");
+            ctx.channels_used = Some(rebind_hbm_channels(
+                &mut comm.graph,
+                &comm.assignment,
+                &fp.slot_of_task,
+                n,
+                &device,
+            ));
         }
-        let utilization = (0..n)
-            .map(|f| {
-                (used[f] + overhead_per_fpga[f] + device.platform_overhead())
-                    .utilization(&device.resources())
-            })
-            .collect();
+        ctx.floorplan = Some(fp);
+        ctx.record(Stage::Floorplan, t0.elapsed());
 
-        let placement = Placement { fpga_of_task: assignment, freq_mhz: timing.freq_mhz.clone() };
+        // -- Pipeline: interconnect pipelining + cut-set balancing ---------
+        let t0 = Instant::now();
+        {
+            let comm = ctx.comm.as_ref().expect("comm artifact set");
+            let fp = ctx.floorplan.as_ref().expect("floorplan artifact set");
+            ctx.pipeline = Some(if pipelined {
+                pipeline(&comm.graph, &comm.assignment, &fp.slot_of_task)
+            } else {
+                PipelineReport {
+                    crossing_regs: vec![0; comm.graph.num_fifos()],
+                    balancing_regs: vec![0; comm.graph.num_fifos()],
+                    total_register_bits: 0,
+                    balanced: false,
+                }
+            });
+        }
+        ctx.record(Stage::Pipeline, t0.elapsed());
 
-        Ok(CompiledDesign {
-            flow,
-            graph: full_graph,
-            placement,
-            slot_of_task: fp.slot_of_task,
-            partition: inter,
-            floorplan_runtime: fp.runtime,
-            floorplan_stats: fp.solve_stats,
-            pipeline: pipe,
-            timing,
-            utilization,
-            channels_used,
-            ports_used,
-        })
+        // -- Timing: virtual place-and-route -------------------------------
+        let t0 = Instant::now();
+        let result = {
+            let comm = ctx.comm.as_ref().expect("comm artifact set");
+            let fp = ctx.floorplan.as_ref().expect("floorplan artifact set");
+            analyze(
+                &comm.graph,
+                &comm.assignment,
+                &fp.slot_of_task,
+                n,
+                &device,
+                pipelined,
+                &comm.overhead_per_fpga,
+                &self.config.timing,
+            )
+        };
+        ctx.record(Stage::Timing, t0.elapsed());
+        match result {
+            Ok(timing) => ctx.timing = Some(timing),
+            Err(e) => return ctx.failed(Stage::Timing, e),
+        }
+
+        // -- Utilization: whole-card accounting (user + net IP + shell) ----
+        let t0 = Instant::now();
+        {
+            let comm = ctx.comm.as_ref().expect("comm artifact set");
+            let mut used = vec![Resources::ZERO; n];
+            for (id, t) in comm.graph.tasks() {
+                used[comm.assignment[id.index()]] += t.resources;
+            }
+            ctx.utilization = Some(
+                (0..n)
+                    .map(|f| {
+                        (used[f] + comm.overhead_per_fpga[f] + device.platform_overhead())
+                            .utilization(&device.resources())
+                    })
+                    .collect(),
+            );
+        }
+        ctx.record(Stage::Utilization, t0.elapsed());
+        ctx
     }
 }
 

@@ -24,6 +24,23 @@ pub enum CompileError {
     },
     /// The ILP solver could not find any feasible point in budget.
     Solver(String),
+    /// The flow requests more FPGAs than the bound cluster provides (or
+    /// zero). Batch jobs must fail per-job on this instead of aborting the
+    /// whole queue, so it is an error, not a panic.
+    ClusterTooSmall {
+        /// FPGAs the flow needs.
+        needed: usize,
+        /// FPGAs the cluster has.
+        available: usize,
+    },
+    /// A caller-supplied stage override is inconsistent with the job —
+    /// e.g. a seeded partition whose assignment does not cover the graph
+    /// or names an FPGA the flow does not span. Checked up front so batch
+    /// jobs fail per-job instead of panicking deep in the pipeline.
+    InvalidOverride {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -39,6 +56,12 @@ impl fmt::Display for CompileError {
                 worst_utilization * 100.0
             ),
             CompileError::Solver(msg) => write!(f, "ILP solver: {msg}"),
+            CompileError::ClusterTooSmall { needed, available } => {
+                write!(f, "flow needs {needed} FPGA(s), cluster has {available}")
+            }
+            CompileError::InvalidOverride { detail } => {
+                write!(f, "invalid stage override: {detail}")
+            }
         }
     }
 }

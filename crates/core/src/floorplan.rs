@@ -295,8 +295,15 @@ fn place_region(
         && !low_tasks.is_empty()
         && !high_tasks.is_empty();
     let (low_pairs, high_pairs) = if concurrent {
+        // Per-job solve-activity scopes are thread-local; re-install the
+        // caller's scope on the worker so batch attribution stays correct.
+        let scope = tapacs_ilp::SolveActivity::current_scope();
         std::thread::scope(|s| {
-            let worker = s.spawn(|| place_region(graph, ctx, &low_tasks, low, level + 1, samples));
+            let worker = s.spawn(|| {
+                tapacs_ilp::SolveActivity::scoped_opt(scope, || {
+                    place_region(graph, ctx, &low_tasks, low, level + 1, samples)
+                })
+            });
             let high_pairs = place_region(graph, ctx, &high_tasks, high, level + 1, samples);
             let low_pairs = worker.join().expect("floorplan worker panicked");
             (low_pairs, high_pairs)

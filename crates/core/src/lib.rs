@@ -29,12 +29,17 @@
 //! [`Compiler`] orchestrates all of it for the three flows compared in the
 //! evaluation: `F1-V` (Vitis-like: no floorplanning, no pipelining),
 //! `F1-T` (TAPA/AutoBridge single FPGA) and `F2..F8` (TAPA-CS multi-FPGA).
+//! It does so as an explicit [`stage`]d pipeline — per-stage wall-clock,
+//! error attribution and stage overrides via
+//! [`Compiler::compile_staged`] — and whole evaluation sweeps run as one
+//! sharded work queue through [`batch::BatchCompiler`].
 //!
 //! [`tapacs_apps`-style]: crate
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod comm;
 pub mod compiler;
 pub mod estimate;
@@ -43,11 +48,14 @@ pub mod partition;
 pub mod pipeline;
 pub mod pnr;
 pub mod report;
+pub mod stage;
 
 mod error;
 
+pub use batch::{BatchCompiler, BatchOutcome, BatchReport, CompileJob, JobReport, StageTotal};
 pub use compiler::{CompiledDesign, Compiler, CompilerConfig, Flow};
 pub use error::CompileError;
 pub use partition::{InterPartition, PartitionConfig};
 pub use report::{FrequencySummary, LevelSolveStats, SolverActivityReport, UtilizationReport};
+pub use stage::{CompileContext, CompileOverrides, Stage, StageFailure, StageTiming};
 pub use tapacs_ilp::{SolverBackend, SolverOptions};

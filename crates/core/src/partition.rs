@@ -372,9 +372,15 @@ fn bisect(
         && !left_sns.is_empty()
         && !right_sns.is_empty();
     let (left_pairs, right_pairs) = if concurrent {
+        // Per-job solve-activity scopes are thread-local; re-install the
+        // caller's scope on the worker so batch attribution stays correct.
+        let scope = tapacs_ilp::SolveActivity::current_scope();
         std::thread::scope(|s| {
-            let worker =
-                s.spawn(|| bisect(coarse, &left_sns, left.clone(), cap, cfg, level + 1, samples));
+            let worker = s.spawn(|| {
+                tapacs_ilp::SolveActivity::scoped_opt(scope, || {
+                    bisect(coarse, &left_sns, left.clone(), cap, cfg, level + 1, samples)
+                })
+            });
             let right_pairs = bisect(coarse, &right_sns, right, cap, cfg, level + 1, samples);
             let left_pairs = worker.join().expect("bisection worker panicked");
             (left_pairs, right_pairs)

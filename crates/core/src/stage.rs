@@ -1,0 +1,278 @@
+//! The staged compile pipeline: named stages, per-stage wall-clock and
+//! error attribution.
+//!
+//! [`Compiler::compile`](crate::Compiler::compile) used to be a monolithic
+//! function: one opaque `Result` out, no way to see *where* the time went
+//! or *which* step rejected a design. The staged pipeline splits it into
+//! the paper's explicit steps ([`Stage`]) and threads every intermediate
+//! artifact through a [`CompileContext`]:
+//!
+//! * each stage records its wall-clock ([`StageTiming`]),
+//! * a failing stage is attributed by name ([`StageFailure`]) and every
+//!   artifact produced *before* it stays inspectable on the context,
+//! * callers can override individual stages ([`CompileOverrides`]) — seed a
+//!   precomputed partition, force the naive floorplanner, or toggle
+//!   interconnect pipelining independently of the flow — which is what the
+//!   `reproduce ablation` experiment is built on.
+//!
+//! The batch engine ([`crate::batch`]) runs one context per job and folds
+//! the stage timings into its aggregated report.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use tapacs_fpga::Utilization;
+
+use crate::comm::CommInsertion;
+use crate::compiler::{CompiledDesign, Flow};
+use crate::error::CompileError;
+use crate::floorplan::Floorplan;
+use crate::partition::InterPartition;
+use crate::pipeline::PipelineReport;
+use crate::pnr::TimingReport;
+
+/// One named stage of the compile pipeline, in execution order (the
+/// paper's Figure 5 steps 3–7 plus input validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Graph validation plus cluster-capacity checks.
+    Validate,
+    /// Step 3: inter-FPGA floorplanning (the paper's `L1`).
+    Partition,
+    /// Step 4: communication-logic insertion.
+    CommInsert,
+    /// Step 5: intra-FPGA floorplanning + HBM channel binding (`L2`).
+    Floorplan,
+    /// Step 6: interconnect pipelining + cut-set balancing.
+    Pipeline,
+    /// Step 7: virtual place-and-route timing closure.
+    Timing,
+    /// Whole-card utilization accounting.
+    Utilization,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Validate,
+        Stage::Partition,
+        Stage::CommInsert,
+        Stage::Floorplan,
+        Stage::Pipeline,
+        Stage::Timing,
+        Stage::Utilization,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Validate => "validate",
+            Stage::Partition => "partition",
+            Stage::CommInsert => "comm-insert",
+            Stage::Floorplan => "floorplan",
+            Stage::Pipeline => "pipeline",
+            Stage::Timing => "timing",
+            Stage::Utilization => "utilization",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-clock of one executed stage. Stages skipped by an override record
+/// no timing, so the vector doubles as the list of stages actually run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// The stage that ran.
+    pub stage: Stage,
+    /// Its wall-clock.
+    pub wall: Duration,
+}
+
+/// A compile failure attributed to the stage that raised it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageFailure {
+    /// The stage that failed.
+    pub stage: Stage,
+    /// The underlying error.
+    pub error: CompileError,
+}
+
+impl std::fmt::Display for StageFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stage {}: {}", self.stage, self.error)
+    }
+}
+
+impl std::error::Error for StageFailure {}
+
+/// Per-stage overrides: pre-seed an artifact or force a stage variant that
+/// the flow would not pick on its own. `Default` overrides nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOverrides {
+    /// Use this inter-FPGA partition instead of running the partitioner
+    /// (the [`Stage::Partition`] stage is skipped entirely). The assignment
+    /// must cover the input graph.
+    pub partition: Option<InterPartition>,
+    /// Force the naive first-fit floorplanner (`Some(true)`) or the ILP
+    /// floorplanner (`Some(false)`) regardless of the flow.
+    pub naive_floorplan: Option<bool>,
+    /// Force interconnect pipelining on or off regardless of the flow.
+    pub pipelined: Option<bool>,
+}
+
+impl CompileOverrides {
+    /// True when no stage is overridden (the plain compile path).
+    pub fn is_empty(&self) -> bool {
+        self.partition.is_none() && self.naive_floorplan.is_none() && self.pipelined.is_none()
+    }
+}
+
+/// Every artifact the staged pipeline produced, plus timing and failure
+/// attribution. On success all artifact fields are populated and
+/// [`CompileContext::into_result`] assembles the [`CompiledDesign`]; on
+/// failure the fields written *before* the failing stage stay available
+/// for inspection.
+#[derive(Debug, Clone)]
+pub struct CompileContext {
+    /// The flow being compiled.
+    pub flow: Flow,
+    /// Whether slot crossings are pipelined (flow default or override).
+    pub pipelined: bool,
+    /// Wall-clock per executed stage, in execution order.
+    pub timings: Vec<StageTiming>,
+    /// The failing stage and its error, if any stage failed.
+    pub failure: Option<StageFailure>,
+    /// Inter-FPGA partition (after [`Stage::Partition`], or the override).
+    pub partition: Option<InterPartition>,
+    /// Communication-logic insertion (after [`Stage::CommInsert`]); the
+    /// embedded graph carries the rebound HBM channels once
+    /// [`Stage::Floorplan`] has run.
+    pub comm: Option<CommInsertion>,
+    /// Intra-FPGA floorplan (after [`Stage::Floorplan`]).
+    pub floorplan: Option<Floorplan>,
+    /// Distinct HBM channels bound per FPGA (after [`Stage::Floorplan`]).
+    pub channels_used: Option<Vec<usize>>,
+    /// Pipelining outcome (after [`Stage::Pipeline`]).
+    pub pipeline: Option<PipelineReport>,
+    /// Virtual-P&R timing closure (after [`Stage::Timing`]).
+    pub timing: Option<TimingReport>,
+    /// Whole-card utilization per FPGA (after [`Stage::Utilization`]).
+    pub utilization: Option<Vec<Utilization>>,
+}
+
+impl CompileContext {
+    pub(crate) fn new(flow: Flow, pipelined: bool) -> Self {
+        Self {
+            flow,
+            pipelined,
+            timings: Vec::new(),
+            failure: None,
+            partition: None,
+            comm: None,
+            floorplan: None,
+            channels_used: None,
+            pipeline: None,
+            timing: None,
+            utilization: None,
+        }
+    }
+
+    /// Records `stage`'s wall-clock.
+    pub(crate) fn record(&mut self, stage: Stage, wall: Duration) {
+        self.timings.push(StageTiming { stage, wall });
+    }
+
+    /// Marks the context failed at `stage` and returns it (for tail
+    /// position in the pipeline driver).
+    pub(crate) fn failed(mut self, stage: Stage, error: CompileError) -> Self {
+        self.failure = Some(StageFailure { stage, error });
+        self
+    }
+
+    /// The stage that failed, if any.
+    pub fn failed_stage(&self) -> Option<Stage> {
+        self.failure.as_ref().map(|f| f.stage)
+    }
+
+    /// Wall-clock of `stage`, when it ran.
+    pub fn stage_wall(&self, stage: Stage) -> Option<Duration> {
+        self.timings.iter().find(|t| t.stage == stage).map(|t| t.wall)
+    }
+
+    /// Summed wall-clock over every executed stage.
+    pub fn total_wall(&self) -> Duration {
+        self.timings.iter().map(|t| t.wall).sum()
+    }
+
+    /// Consumes the context into the classic compile result: the assembled
+    /// [`CompiledDesign`] on success, the failing stage's error otherwise
+    /// (use [`CompileContext::failure`] first when the stage name matters).
+    ///
+    /// # Errors
+    ///
+    /// The [`CompileError`] of the failing stage.
+    pub fn into_result(self) -> Result<CompiledDesign, CompileError> {
+        if let Some(failure) = self.failure {
+            return Err(failure.error);
+        }
+        // Invariant: no failure ⇒ every stage ran ⇒ every artifact is set.
+        let comm = self.comm.expect("comm-insert artifact missing on success");
+        let fp = self.floorplan.expect("floorplan artifact missing on success");
+        let timing = self.timing.expect("timing artifact missing on success");
+        let placement = tapacs_sim::Placement {
+            fpga_of_task: comm.assignment,
+            freq_mhz: timing.freq_mhz.clone(),
+        };
+        Ok(CompiledDesign {
+            flow: self.flow,
+            graph: comm.graph,
+            placement,
+            slot_of_task: fp.slot_of_task,
+            partition: self.partition.expect("partition artifact missing on success"),
+            floorplan_runtime: fp.runtime,
+            floorplan_stats: fp.solve_stats,
+            pipeline: self.pipeline.expect("pipeline artifact missing on success"),
+            timing,
+            utilization: self.utilization.expect("utilization artifact missing on success"),
+            channels_used: self.channels_used.expect("channel binding missing on success"),
+            ports_used: comm.ports_used,
+            stage_timings: self.timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_and_names() {
+        assert_eq!(Stage::ALL.len(), 7);
+        assert!(Stage::Validate < Stage::Partition);
+        assert_eq!(Stage::Floorplan.name(), "floorplan");
+        assert_eq!(Stage::CommInsert.to_string(), "comm-insert");
+    }
+
+    #[test]
+    fn failure_display_names_the_stage() {
+        let f = StageFailure {
+            stage: Stage::Floorplan,
+            error: CompileError::InsufficientResources { detail: "x".into() },
+        };
+        let s = f.to_string();
+        assert!(s.contains("floorplan"), "{s}");
+        assert!(s.contains("does not fit"), "{s}");
+    }
+
+    #[test]
+    fn empty_overrides_report_empty() {
+        assert!(CompileOverrides::default().is_empty());
+        let o = CompileOverrides { pipelined: Some(false), ..Default::default() };
+        assert!(!o.is_empty());
+    }
+}

@@ -39,6 +39,18 @@ fn solver_variant_prefixes_the_message() {
 }
 
 #[test]
+fn cluster_too_small_reports_both_counts() {
+    let e = CompileError::ClusterTooSmall { needed: 8, available: 4 };
+    assert_eq!(e.to_string(), "flow needs 8 FPGA(s), cluster has 4");
+}
+
+#[test]
+fn invalid_override_carries_the_detail() {
+    let e = CompileError::InvalidOverride { detail: "seeded partition assigns 3 task(s)".into() };
+    assert_eq!(e.to_string(), "invalid stage override: seeded partition assigns 3 task(s)");
+}
+
+#[test]
 fn compile_error_is_a_std_error() {
     // The pipeline returns these through `Box<dyn Error>` in the binary.
     let e: Box<dyn std::error::Error> = Box::new(CompileError::Solver("x".into()));

@@ -47,6 +47,18 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counter-wise difference `self - earlier` (saturating), for measuring
+    /// the lookups of one batch between two snapshots. `entries` keeps the
+    /// later absolute value (it is a level, not a counter).
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
 }
 
 /// The memo-cache: canonical model key → [`Solution`].

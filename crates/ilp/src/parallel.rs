@@ -350,21 +350,29 @@ pub(crate) fn solve(
             }
         } else {
             let chunk = followers.div_ceil(active);
+            // Per-job activity scopes are thread-local: hand the caller's
+            // scope to every spawned worker so batch-level attribution
+            // survives the internal parallelism.
+            let scope = crate::stats::SolveActivity::current_scope();
             std::thread::scope(|s| {
                 let mut pairs: Vec<(&[Node], &mut [Option<Expansion>])> =
                     batch[1..].chunks(chunk).zip(results[1..].chunks_mut(chunk)).collect();
                 let (first_nodes, first_slots) = pairs.remove(0);
                 for (nodes_chunk, slots_chunk) in pairs {
                     let (ctx, incumbent, survives) = (&ctx, &incumbent, &survives);
+                    let scope = scope.clone();
                     s.spawn(move || {
-                        // One scratch pair per worker chunk, reused across
-                        // its nodes.
-                        let (mut lo, mut hi) = (Vec::new(), Vec::new());
-                        for (node, slot) in nodes_chunk.iter().zip(slots_chunk.iter_mut()) {
-                            if survives(node) {
-                                *slot = Some(expand_node(ctx, incumbent, node, &mut lo, &mut hi));
+                        crate::stats::SolveActivity::scoped_opt(scope, || {
+                            // One scratch pair per worker chunk, reused
+                            // across its nodes.
+                            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+                            for (node, slot) in nodes_chunk.iter().zip(slots_chunk.iter_mut()) {
+                                if survives(node) {
+                                    *slot =
+                                        Some(expand_node(ctx, incumbent, node, &mut lo, &mut hi));
+                                }
                             }
-                        }
+                        });
                     });
                 }
                 for (node, slot) in first_nodes.iter().zip(first_slots.iter_mut()) {

@@ -24,7 +24,6 @@
 
 use crate::model::CmpOp;
 use crate::simplex::{LpProblem, LpRow};
-use crate::stats::SolveActivity;
 
 /// Absolute slack used when *removing* a row as redundant — deliberately
 /// far tighter than the solver's feasibility tolerance so a removed row can
@@ -308,7 +307,7 @@ pub(crate) fn presolve(lp: &LpProblem, is_integral: &[bool]) -> PresolveOutcome 
         }
     }
 
-    SolveActivity::global().record_presolve(rows_removed, cols_fixed, bounds_tightened);
+    crate::stats::record(|a| a.record_presolve(rows_removed, cols_fixed, bounds_tightened));
 
     // Build the reduced problem over the kept columns.
     let kept: Vec<usize> = (0..n).filter(|&j| fixed[j].is_none()).collect();

@@ -20,7 +20,7 @@
 //! [`SolveActivity`](crate::SolveActivity) counters.
 
 use crate::model::CmpOp;
-use crate::stats::SolveActivity;
+use crate::stats;
 
 /// Feasibility / integrality tolerance used throughout the solver.
 pub(crate) const FEAS_TOL: f64 = 1e-7;
@@ -115,19 +115,20 @@ pub(crate) fn solve_warm(
         }
     }
 
-    let activity = SolveActivity::global();
     // Pivots burned by a stalled warm attempt still count towards the
     // solve's iteration total, so the warm-vs-cold comparisons stay honest
     // exactly where warm starting performs worst.
     let (mut wasted_p1, mut wasted_p2) = (0u64, 0u64);
     if let Some(basis) = warm {
-        activity.record_warm_attempt();
+        stats::record(|a| a.record_warm_attempt());
         let mut t = Tableau::build(lp, lower, upper);
         if t.install(&basis.status) {
             let out = t.run();
             if !matches!(out, RunOutcome::Stalled) {
-                activity.record_warm_hit();
-                activity.record_lp_solve(t.phase1_iters, t.phase2_iters);
+                stats::record(|a| {
+                    a.record_warm_hit();
+                    a.record_lp_solve(t.phase1_iters, t.phase2_iters);
+                });
                 return t.extract(lp, lower, upper, out);
             }
             wasted_p1 = t.phase1_iters;
@@ -142,7 +143,7 @@ pub(crate) fn solve_warm(
     let installed = t.install(&cold);
     debug_assert!(installed, "the all-logical basis always refactorizes");
     let out = t.run();
-    activity.record_lp_solve(t.phase1_iters + wasted_p1, t.phase2_iters + wasted_p2);
+    stats::record(|a| a.record_lp_solve(t.phase1_iters + wasted_p1, t.phase2_iters + wasted_p2));
     // A stalled cold solve signals numerical trouble; treat as infeasible
     // (same convention as the previous two-phase implementation).
     let out = if matches!(out, RunOutcome::Stalled) { RunOutcome::Infeasible } else { out };

@@ -1,4 +1,5 @@
-//! Process-wide LP-engine activity counters.
+//! LP-engine activity counters: a process-wide collector plus scoped
+//! per-job handles.
 //!
 //! The branch-and-bound searches fire thousands of LP solves per compile;
 //! per-solve timing lives in `core::report::LevelSolveStats`, but the
@@ -8,9 +9,19 @@
 //! same process-wide style as [`crate::SolveCache`]. `reproduce solvers`
 //! and `reproduce bench` read snapshots before/after a compile to report
 //! deltas.
+//!
+//! Snapshot deltas break down when several compiles run *concurrently*
+//! (the batch engine interleaves their solves on one set of process-global
+//! counters), so recording is additionally **scoped**: a caller installs a
+//! per-job [`SolveActivity`] handle with [`SolveActivity::scoped`], every
+//! solve recorded inside the closure feeds the handle *and* the global
+//! collector, and code that fans work out to threads re-installs
+//! [`SolveActivity::current_scope`] on each worker so the attribution
+//! survives the crate's internal parallelism.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Immutable snapshot of [`SolveActivity`] counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -56,6 +67,24 @@ impl SolveStats {
         }
     }
 
+    /// Counter-wise sum `self + other`, for folding per-job handles into a
+    /// batch-level total.
+    #[must_use]
+    pub fn merged(&self, other: &SolveStats) -> SolveStats {
+        SolveStats {
+            lp_solves: self.lp_solves + other.lp_solves,
+            simplex_iterations: self.simplex_iterations + other.simplex_iterations,
+            phase1_iterations: self.phase1_iterations + other.phase1_iterations,
+            warm_attempts: self.warm_attempts + other.warm_attempts,
+            warm_hits: self.warm_hits + other.warm_hits,
+            presolve_runs: self.presolve_runs + other.presolve_runs,
+            presolve_rows_removed: self.presolve_rows_removed + other.presolve_rows_removed,
+            presolve_cols_fixed: self.presolve_cols_fixed + other.presolve_cols_fixed,
+            presolve_bounds_tightened: self.presolve_bounds_tightened
+                + other.presolve_bounds_tightened,
+        }
+    }
+
     /// Counter-wise difference `self - earlier` (saturating), for measuring
     /// one compile between two snapshots.
     #[must_use]
@@ -94,11 +123,68 @@ pub struct SolveActivity {
     presolve_bounds_tightened: AtomicU64,
 }
 
+thread_local! {
+    /// The scoped per-job collector installed by [`SolveActivity::scoped`].
+    static SCOPE: RefCell<Option<Arc<SolveActivity>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed scope on drop, so a panicking closure
+/// cannot leak its handle into unrelated work on the same thread.
+struct ScopeGuard(Option<Arc<SolveActivity>>);
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| *s.borrow_mut() = self.0.take());
+    }
+}
+
+/// Records one event into the global collector and, when present, the
+/// scoped per-job handle. The indirection is what lets concurrent batch
+/// jobs keep separate counters while `reproduce solvers`-style snapshot
+/// deltas on the global collector keep working unchanged. The scope is
+/// read by reference inside a single TLS access — this runs 1-3 times per
+/// LP solve, so no per-event `Arc` clone.
+pub(crate) fn record(f: impl Fn(&SolveActivity)) {
+    f(SolveActivity::global());
+    SCOPE.with(|s| {
+        if let Some(scope) = s.borrow().as_deref() {
+            f(scope);
+        }
+    });
+}
+
 impl SolveActivity {
     /// The process-wide collector the simplex and presolve feed.
     pub fn global() -> &'static SolveActivity {
         static GLOBAL: OnceLock<SolveActivity> = OnceLock::new();
         GLOBAL.get_or_init(SolveActivity::default)
+    }
+
+    /// Runs `f` with `handle` installed as this thread's scoped collector:
+    /// every LP solve, warm-start attempt and presolve recorded inside `f`
+    /// feeds `handle` in addition to [`SolveActivity::global`]. Scopes
+    /// nest; the previous handle is restored when `f` returns (or panics).
+    ///
+    /// Code inside the `tapacs_ilp` solvers that spawns worker threads
+    /// re-installs [`SolveActivity::current_scope`] on each worker, so a
+    /// scope installed around a whole compile captures the solves of the
+    /// parallel branch and bound too.
+    pub fn scoped<R>(handle: &Arc<SolveActivity>, f: impl FnOnce() -> R) -> R {
+        Self::scoped_opt(Some(Arc::clone(handle)), f)
+    }
+
+    /// [`SolveActivity::scoped`] with an optional handle — `None` runs `f`
+    /// with scoped recording cleared. This is the form thread-spawning code
+    /// uses to propagate [`SolveActivity::current_scope`] onto workers.
+    pub fn scoped_opt<R>(handle: Option<Arc<SolveActivity>>, f: impl FnOnce() -> R) -> R {
+        let previous = SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), handle));
+        let _guard = ScopeGuard(previous);
+        f()
+    }
+
+    /// The per-job handle installed on this thread, if any.
+    pub fn current_scope() -> Option<Arc<SolveActivity>> {
+        SCOPE.with(|s| s.borrow().clone())
     }
 
     /// Current counters.
@@ -181,6 +267,52 @@ mod tests {
         assert_eq!(d.lp_solves, 6);
         assert_eq!(d.simplex_iterations, 60);
         assert_eq!(d.warm_hits, 2);
+    }
+
+    #[test]
+    fn merged_adds_counterwise() {
+        let a = SolveStats { lp_solves: 3, warm_attempts: 2, warm_hits: 1, ..Default::default() };
+        let b = SolveStats { lp_solves: 5, warm_attempts: 4, warm_hits: 4, ..Default::default() };
+        let m = a.merged(&b);
+        assert_eq!(m.lp_solves, 8);
+        assert_eq!(m.warm_attempts, 6);
+        assert_eq!(m.warm_hits, 5);
+    }
+
+    #[test]
+    fn scoped_handle_sees_only_its_own_records() {
+        let job = Arc::new(SolveActivity::default());
+        let global_before = SolveActivity::global().snapshot();
+        SolveActivity::scoped(&job, || {
+            record(|a| a.record_lp_solve(2, 3));
+            record(|a| a.record_warm_attempt());
+        });
+        // Recorded outside the scope: global only.
+        record(|a| a.record_lp_solve(1, 1));
+        let seen = job.snapshot();
+        assert_eq!(seen.lp_solves, 1);
+        assert_eq!(seen.simplex_iterations, 5);
+        assert_eq!(seen.warm_attempts, 1);
+        // The global collector got everything (at least — other tests run
+        // concurrently on the same process-wide counters).
+        let global_delta = SolveActivity::global().snapshot().since(&global_before);
+        assert!(global_delta.lp_solves >= 2);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = Arc::new(SolveActivity::default());
+        let inner = Arc::new(SolveActivity::default());
+        SolveActivity::scoped(&outer, || {
+            record(|a| a.record_warm_attempt());
+            SolveActivity::scoped(&inner, || record(|a| a.record_warm_attempt()));
+            // Restored: this lands on `outer` again.
+            record(|a| a.record_warm_attempt());
+            assert!(SolveActivity::current_scope().is_some());
+        });
+        assert!(SolveActivity::current_scope().is_none());
+        assert_eq!(outer.snapshot().warm_attempts, 2);
+        assert_eq!(inner.snapshot().warm_attempts, 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```
 
 use tapa_cs::apps::knn::{self, KnnConfig};
-use tapa_cs::apps::suite::{paper_flows, run_flow};
+use tapa_cs::apps::suite::{paper_flows, run_flows_batch};
 use tapa_cs::fpga::HbmModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,23 +20,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  256-bit / 32 KB  → {:>5.1}%", hbm.port_efficiency(256, 32 * 1024) * 100.0);
     println!("  512-bit / 128 KB → {:>5.1}%\n", hbm.port_efficiency(512, 128 * 1024) * 100.0);
 
-    // K = 10, N = 4M, D = 8 across 1-4 FPGAs.
+    // K = 10, N = 4M, D = 8 across 1-4 FPGAs: the whole scaling sweep
+    // compiles as ONE shared batch (sharded work queue + shared solve
+    // cache) instead of flow by flow.
     println!("KNN N=4M D=8 K=10:");
-    let mut baseline = None;
-    for flow in paper_flows(4) {
-        let cfg = KnnConfig::paper(4_000_000, 8, flow.n_fpgas());
-        let g = knn::build(&cfg);
-        let (run, design) = run_flow(&g, flow)?;
-        let base = *baseline.get_or_insert(run.latency_s);
+    let configs: Vec<KnnConfig> =
+        paper_flows(4).iter().map(|f| KnnConfig::paper(4_000_000, 8, f.n_fpgas())).collect();
+    let points =
+        configs.iter().zip(paper_flows(4)).map(|(cfg, flow)| (knn::build(cfg), flow)).collect();
+    let runs = run_flows_batch(points)?;
+    let baseline = runs[0].0.latency_s;
+    for ((run, design), cfg) in runs.iter().zip(&configs) {
         println!(
             "  {:<5} port {:>3}b/{:>4}KB  blue {:>2}  freq {:>3.0} MHz  latency {:>7.3} ms  speed-up {:>4.2}x  cut {:>4} bits",
-            flow.label(),
+            run.flow.label(),
             cfg.port_width_bits,
             cfg.buffer_bytes / 1024,
-            cfg.blue_per_fpga * flow.n_fpgas(),
+            cfg.blue_per_fpga * run.flow.n_fpgas(),
             run.freq_mhz,
             run.latency_s * 1e3,
-            base / run.latency_s,
+            baseline / run.latency_s,
             design.partition.cut_width_bits,
         );
     }

@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use tapa_cs::core::{Compiler, Flow};
+use tapa_cs::core::{BatchCompiler, CompileJob, Flow};
 use tapa_cs::fpga::{Device, Resources};
 use tapa_cs::graph::{Fifo, Task, TaskGraph};
 use tapa_cs::net::{Cluster, Topology};
@@ -36,25 +36,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     g.add_fifo(Fifo::new("out", prev, wr, 512).with_block_bytes(64 * 1024));
 
-    // A 2-FPGA ring of Alveo U55C cards.
+    // A 2-FPGA ring of Alveo U55C cards. The three flows compile as one
+    // shared batch: a sharded work queue over scoped worker threads, with
+    // the solve cache shared across the designs.
     let cluster = Cluster::single_node(Device::u55c(), 2, Topology::Ring);
-    let compiler = Compiler::new(cluster.clone());
-
-    for flow in [Flow::VitisHls, Flow::TapaSingle, Flow::TapaCs { n_fpgas: 2 }] {
-        let design = compiler.compile(&g, flow)?;
+    let jobs = [Flow::VitisHls, Flow::TapaSingle, Flow::TapaCs { n_fpgas: 2 }]
+        .map(|flow| CompileJob::new(flow.label(), g.clone(), flow))
+        .to_vec();
+    let outcome = BatchCompiler::new(cluster.clone()).compile(jobs);
+    let mut designs = Vec::new();
+    for result in outcome.results {
+        let design = result?;
         let sim = design.simulate(&cluster)?;
         println!(
             "{:<5}  freq {:>5.0} MHz   latency {:>8.3} ms   cut {:>5} bits   net {:>6.2} MB",
-            flow.label(),
+            design.flow.label(),
             design.design_freq_mhz(),
             sim.makespan_s * 1e3,
             design.partition.cut_width_bits,
             sim.inter_fpga_bytes as f64 / 1e6,
         );
+        designs.push(design);
     }
 
-    // Show where the 2-FPGA flow placed every task.
-    let design = compiler.compile(&g, Flow::TapaCs { n_fpgas: 2 })?;
+    // Show where the 2-FPGA flow placed every task, and where the compile
+    // time went (the staged pipeline records per-stage wall-clock on every
+    // compiled design) — straight off the batch result, no recompile.
+    let design = designs.pop().expect("three jobs in, three designs out");
+    println!("\ncompile stages:");
+    for t in &design.stage_timings {
+        println!("  {:<12} {:>8.3} ms", t.stage.name(), t.wall.as_secs_f64() * 1e3);
+    }
     println!("\ntask placement (FPGA / slot):");
     for (id, t) in design.graph.tasks() {
         let slot = design.slot_of_task[id.index()];

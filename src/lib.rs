@@ -33,8 +33,9 @@ pub use tapacs_ilp as ilp;
 pub use tapacs_net as net;
 pub use tapacs_sim as sim;
 
-// The solver-selection surface, re-exported at the root: these are the
-// types callers touch to pick a backend, pin a thread count, or inspect
-// the solve cache without digging into the crate hierarchy.
-pub use tapacs_core::SolverActivityReport;
+// The solver-selection and batch-compile surface, re-exported at the
+// root: these are the types callers touch to pick a backend, pin a thread
+// count, inspect the solve cache, or compile a multi-design sweep without
+// digging into the crate hierarchy.
+pub use tapacs_core::{BatchCompiler, CompileJob, SolverActivityReport};
 pub use tapacs_ilp::{SolveCache, Solver, SolverBackend, SolverOptions};
