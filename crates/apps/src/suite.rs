@@ -10,7 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 use tapacs_core::{
-    BatchCompiler, CompileError, CompileJob, CompiledDesign, Compiler, CompilerConfig, Flow,
+    BatchCompiler, CompileError, CompileJob, CompiledDesign, Compiler, CompilerConfig, DseConfig,
+    Flow,
 };
 use tapacs_fpga::Device;
 use tapacs_graph::TaskGraph;
@@ -96,6 +97,40 @@ pub fn suite_config() -> CompilerConfig {
 /// A [`Compiler`] bound to `cluster` with [`suite_config`].
 pub fn suite_compiler(cluster: Cluster) -> Compiler {
     Compiler::with_config(cluster, suite_config())
+}
+
+/// The standard design-space-exploration grid for a benchmark — what
+/// `reproduce dse` sweeps. One fixed design (the benchmark's 2-FPGA paper
+/// build, so every cluster shape compiles the *same* graph) explored over
+/// cluster shapes × partition thresholds × slot ceilings; `smoke` shrinks
+/// the grid and the design to the CI size.
+///
+/// The ILP budgets are generous (30 s per bisection level, like
+/// `reproduce batch`) because the sweep asserts bit-identical frontiers
+/// across runs, and a solve cut off by its deadline is machine-speed
+/// dependent. Release-build points finish in milliseconds regardless.
+pub fn dse_grid(bench: Benchmark, smoke: bool) -> DseConfig {
+    let graph = match bench {
+        Benchmark::Stencil => {
+            stencil::build(&stencil::StencilConfig::paper(if smoke { 64 } else { 256 }, 2))
+        }
+        other => build_for(other, Flow::TapaCs { n_fpgas: 2 }, default_param(other)),
+    };
+    let mut config = DseConfig::new(format!("{}-dse", bench.name()), graph, paper_cluster(4));
+    let mut base = suite_config();
+    base.partition.time_limit_s = 30.0;
+    base.floorplan.time_limit_s = 30.0;
+    config.base = base;
+    if smoke {
+        config.cluster_shapes = vec![1, 2];
+        config.partition_thresholds = vec![0.7, 0.85];
+        config.slot_thresholds = vec![0.9];
+    } else {
+        config.cluster_shapes = vec![1, 2, 3, 4];
+        config.partition_thresholds = vec![0.6, 0.7, 0.8];
+        config.slot_thresholds = vec![0.8, 0.9];
+    }
+    config
 }
 
 /// Simulates a compiled design on its paper cluster and folds the result

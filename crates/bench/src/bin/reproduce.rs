@@ -5,8 +5,9 @@
 //! cargo run --release -p tapacs-bench --bin reproduce -- all    # full matrix
 //! cargo run --release -p tapacs-bench --bin reproduce -- table3 fig10 fig12
 //! cargo run --release -p tapacs-bench --bin reproduce -- list   # known names
-//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_4.json
+//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_5.json
 //! cargo run --release -p tapacs-bench --bin reproduce -- batch --smoke
+//! cargo run --release -p tapacs-bench --bin reproduce -- dse --smoke --cache-dir .tapacs-cache
 //! ```
 
 use tapacs_bench::reproduce as r;
@@ -51,6 +52,28 @@ fn run_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `dse [--smoke] [--cache-dir <dir>]`: the design-space exploration sweep
+/// with the disk-persistent solve cache (`TAPACS_CACHE_DIR` is the
+/// fallback when the flag is absent).
+fn run_dse(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut smoke = false;
+    let mut cache_dir: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next().ok_or("--cache-dir needs a directory (e.g. --cache-dir .cache)")?,
+                );
+            }
+            other => return Err(format!("unknown dse option: {other}").into()),
+        }
+    }
+    print!("{}", r::dse(smoke, cache_dir.map(std::path::Path::new))?);
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `bench` and `batch` take their own flags, so they dispatch before
@@ -60,6 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("dse") {
+        return run_dse(&args[1..]);
     }
     let wanted: Vec<&str> =
         if args.is_empty() { vec!["quick"] } else { args.iter().map(|s| s.as_str()).collect() };
@@ -89,6 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{}", r::multinode()?);
                 println!("{}", r::solvers()?);
                 println!("{}", r::batch(false)?);
+                println!("{}", r::dse(false, None)?);
             }
             "table1" => print!("{}", r::table1()),
             "table2" => print!("{}", r::table2()),
@@ -124,6 +151,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "batch" => {
                 return Err("batch must be the first argument (it takes flags): \
                                    reproduce batch [--smoke]"
+                    .into())
+            }
+            "dse" => {
+                return Err("dse must be the first argument (it takes flags): \
+                                   reproduce dse [--smoke] [--cache-dir <dir>]"
                     .into())
             }
             other => {

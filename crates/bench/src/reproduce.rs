@@ -43,6 +43,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation",
     "solvers",
     "batch",
+    "dse",
     "bench",
 ];
 
@@ -840,6 +841,109 @@ pub fn batch(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
     Ok(s)
 }
 
+/// Design-space exploration over the batch engine with the disk-persistent
+/// solve cache (`reproduce dse`): sweeps cluster shapes × partition
+/// thresholds × slot ceilings over one design as a single batch, prunes to
+/// the Pareto frontier (frequency / utilization slack / inter-FPGA cut),
+/// persists the solve cache, then re-runs the sweep from the reloaded
+/// cache and proves (a) a warm-start hit rate and (b) a bit-identical
+/// frontier. With a `cache_dir` (or `TAPACS_CACHE_DIR`) that already holds
+/// a cache file, even the *first* sweep starts warm — the cross-process
+/// payoff CI exercises by running this twice against a shared directory.
+///
+/// # Errors
+///
+/// Propagates cache-persistence I/O failures; compile failures of
+/// individual grid points are part of the report, not errors.
+pub fn dse(
+    smoke: bool,
+    cache_dir: Option<&std::path::Path>,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use tapacs_core::dse::explore;
+    use tapacs_ilp::{cache_dir_from_env, SolveCache};
+
+    let config = suite::dse_grid(Benchmark::Stencil, smoke);
+    let cache = SolveCache::global();
+    // Self-contained: drop whatever earlier experiments left in memory so
+    // the reported hit rates are attributable to this sweep + the disk.
+    cache.clear();
+
+    // Persistence directory: flag → environment → ephemeral temp dir (the
+    // demo still proves the disk round trip, it just cannot span runs).
+    let (dir, source) = match cache_dir {
+        Some(d) => (d.to_path_buf(), "--cache-dir"),
+        None => match cache_dir_from_env() {
+            Some(d) => (d, "TAPACS_CACHE_DIR"),
+            None => (
+                std::env::temp_dir().join(format!("tapacs-dse-cache-{}", std::process::id())),
+                "ephemeral",
+            ),
+        },
+    };
+    std::fs::create_dir_all(&dir)?;
+    let file = SolveCache::file_in(&dir);
+
+    let mut s = String::from("Design-space exploration over the batch engine\n");
+    let _ = writeln!(s, "cache file: {} ({source})", file.display());
+    let mut preloaded = 0u64;
+    if file.exists() {
+        // A rejected file (corrupt, truncated, stale version) downgrades
+        // to a cold start — exploration must never fail on bad cache state.
+        match cache.load_from(&file) {
+            Ok(n) => preloaded = n,
+            Err(e) => {
+                let _ = writeln!(s, "persisted cache rejected ({e}); starting cold");
+            }
+        }
+    }
+
+    let first = explore(&config);
+    s.push_str(&first.render_table());
+    let warm_start = preloaded > 0 && first.cache.hits > 0;
+    let _ = writeln!(
+        s,
+        "starting solve-cache hit rate: {:.1}% ({} hits / {} misses, {} entries preloaded)",
+        first.cache.hit_rate() * 100.0,
+        first.cache.hits,
+        first.cache.misses,
+        preloaded,
+    );
+    let _ = writeln!(s, "disk warm start: {}", if warm_start { "yes" } else { "no (cold cache)" });
+
+    let stored = cache.save_to(&file)?;
+    let _ = writeln!(s, "persisted {} entries to {}", stored, file.display());
+
+    // Prove the round trip inside this process too: drop the in-memory
+    // cache, reload from disk, sweep again.
+    cache.clear();
+    let reloaded = cache.load_from(&file)?;
+    let second = explore(&config);
+    let _ = writeln!(
+        s,
+        "re-run from persisted cache: {} entries reloaded, hit rate {:.1}% ({} hits / {} misses)",
+        reloaded,
+        second.cache.hit_rate() * 100.0,
+        second.cache.hits,
+        second.cache.misses,
+    );
+    let identical = first.frontier_signature() == second.frontier_signature();
+    let _ = writeln!(s, "frontier signature: {}", first.frontier_signature());
+    let _ = writeln!(
+        s,
+        "bit-identical Pareto frontier across both sweeps: {}",
+        if identical { "yes" } else { "NO — DETERMINISM VIOLATION" },
+    );
+    if source == "ephemeral" {
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_dir(&dir);
+        let _ = writeln!(
+            s,
+            "(ephemeral cache dir removed; pass --cache-dir or set TAPACS_CACHE_DIR to persist across runs)"
+        );
+    }
+    Ok(s)
+}
+
 /// One application's row in the compile-time sweep (`reproduce bench`).
 struct BenchApp {
     app: &'static str,
@@ -899,12 +1003,13 @@ fn bench_apps(smoke: bool) -> Vec<BenchApp> {
 }
 
 /// Compile-time sweep over the app suite (knn, cnn, pagerank, stencil),
-/// emitted as a machine-readable JSON report (`BENCH_4.json`): per-app
+/// emitted as a machine-readable JSON report (`BENCH_5.json`): per-app
 /// wall-clock, LP solves, simplex iterations, warm-start hits and
-/// memo-cache counters, plus the wall-clock of the same sweep compiled as
-/// one sharded batch (`"batch"` section) so the multi-design trajectory
-/// is tracked per PR. `smoke` shrinks every design so CI can exercise the
-/// full path in seconds.
+/// memo-cache counters, the wall-clock of the same sweep compiled as one
+/// sharded batch (`"batch"` section), and the design-space-exploration
+/// sweep with its disk-warm re-run (`"dse"` section) so both multi-design
+/// trajectories are tracked per PR. `smoke` shrinks every design so CI can
+/// exercise the full path in seconds.
 ///
 /// # Errors
 ///
@@ -998,8 +1103,37 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
         b.cache.hit_rate(),
     );
 
+    // The DSE sweep: cold, then persisted to disk, reloaded and re-swept —
+    // the warm-vs-cold wall-clock and hit-rate trajectory tracked per PR.
+    cache.clear();
+    activity.clear();
+    let dse_cfg = suite::dse_grid(Benchmark::Stencil, smoke);
+    let cold = tapacs_core::dse::explore(&dse_cfg);
+    let dse_dir = std::env::temp_dir().join(format!("tapacs-bench-dse-{}", std::process::id()));
+    std::fs::create_dir_all(&dse_dir)?;
+    let dse_file = SolveCache::file_in(&dse_dir);
+    let dse_stored = cache.save_to(&dse_file)?;
+    cache.clear();
+    let dse_loaded = cache.load_from(&dse_file)?;
+    let warm = tapacs_core::dse::explore(&dse_cfg);
+    let _ = std::fs::remove_file(&dse_file);
+    let _ = std::fs::remove_dir(&dse_dir);
+    let dse = format!(
+        "  \"dse\": {{\n    \"points\": {},\n    \"frontier\": {},\n    \"dominated\": {},\n    \"failed\": {},\n    \"wall_s\": {:.6},\n    \"warm_wall_s\": {:.6},\n    \"warm_cache_hit_rate\": {:.4},\n    \"cache_loads\": {},\n    \"cache_stores\": {},\n    \"frontier_identical\": {}\n  }}",
+        cold.outcomes.len(),
+        cold.frontier.len(),
+        cold.dominated(),
+        cold.failed(),
+        cold.wall.as_secs_f64(),
+        warm.wall.as_secs_f64(),
+        warm.cache.hit_rate(),
+        dse_loaded,
+        dse_stored,
+        cold.frontier_signature() == warm.frontier_signature(),
+    );
+
     Ok(format!(
-        "{{\n  \"bench\": \"BENCH_4\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \"apps\": [\n{rows}  ],\n  \"totals\": {{\n    \"wall_s\": {total_wall:.6},\n    \"lp_solves\": {total_solves},\n    \"simplex_iterations\": {total_iters},\n    \"warm_hit_rate\": {total_hit_rate:.4}\n  }},\n{batch}\n}}\n"
+        "{{\n  \"bench\": \"BENCH_5\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \"apps\": [\n{rows}  ],\n  \"totals\": {{\n    \"wall_s\": {total_wall:.6},\n    \"lp_solves\": {total_solves},\n    \"simplex_iterations\": {total_iters},\n    \"warm_hit_rate\": {total_hit_rate:.4}\n  }},\n{batch},\n{dse}\n}}\n"
     ))
 }
 

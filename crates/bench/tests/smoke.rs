@@ -88,13 +88,15 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = r::bench_json(true).expect("smoke bench must compile every app");
     assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'), "{json}");
     for key in [
-        "\"bench\": \"BENCH_4\"",
+        "\"bench\": \"BENCH_5\"",
         "\"smoke\": true",
         "\"apps\"",
         "\"totals\"",
         "\"wall_s\"",
         "\"batch\"",
         "\"speedup_estimate\"",
+        "\"dse\"",
+        "\"frontier_identical\": true",
     ] {
         assert!(json.contains(key), "bench JSON is missing {key}: {json}");
     }
@@ -115,7 +117,7 @@ fn bench_subcommand_writes_json_file() {
         .expect("reproduce binary must run");
     assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
     let written = std::fs::read_to_string(&path).expect("bench must write the JSON file");
-    assert!(written.contains("\"bench\": \"BENCH_4\""), "{written}");
+    assert!(written.contains("\"bench\": \"BENCH_5\""), "{written}");
     let _ = std::fs::remove_file(&path);
 }
 
@@ -127,6 +129,60 @@ fn batch_smoke_reports_speedup_and_determinism() {
     assert!(out.contains("cross-design solve-cache hit rate"), "{out}");
     assert!(out.contains("bit-identical designs"), "{out}");
     assert!(!out.contains("DETERMINISM VIOLATION"), "{out}");
+}
+
+#[test]
+fn dse_is_listed_and_smoke_runs_in_process() {
+    let _serial = GLOBAL_COUNTERS.lock().unwrap();
+    assert!(r::EXPERIMENTS.contains(&"dse"), "dse missing from EXPERIMENTS");
+    let dir = std::env::temp_dir().join(format!("tapacs-dse-smoke-{}", std::process::id()));
+    let out = r::dse(true, Some(&dir)).expect("dse smoke must run");
+    assert!(out.contains("DSE sweep"), "{out}");
+    assert!(out.contains("frontier:"), "{out}");
+    assert!(out.contains("disk warm start: no (cold cache)"), "first run starts cold: {out}");
+    assert!(out.contains("bit-identical Pareto frontier across both sweeps: yes"), "{out}");
+    assert!(!out.contains("DETERMINISM VIOLATION"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance path: a second `reproduce dse --smoke` against a
+/// persisted cache dir must start warm (>0% hit rate before any solve of
+/// its own is cached) and reproduce the first run's frontier bit for bit.
+#[test]
+fn dse_second_run_against_persisted_cache_starts_warm() {
+    // Serialize against the compile-heavy in-process tests: on a loaded
+    // (especially 1-core) host, concurrent compiles can push a
+    // deadline-bound ILP past its budget in one subprocess but not the
+    // other, and the anytime incumbent then legitimately differs.
+    let _serial = GLOBAL_COUNTERS.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("tapacs-dse-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+            .args(["dse", "--smoke", "--cache-dir", dir.to_str().unwrap()])
+            .output()
+            .expect("reproduce binary must run");
+        assert!(out.status.success(), "dse failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert!(first.contains("disk warm start: no (cold cache)"), "{first}");
+    assert!(second.contains("disk warm start: yes"), "{second}");
+    assert!(
+        !second.contains("starting solve-cache hit rate: 0.0%"),
+        "second run must report a >0% starting hit rate: {second}"
+    );
+    // Bit-identical frontier across the two *processes*: the printed
+    // signature lines must agree exactly.
+    let signature = |out: &str| {
+        out.lines()
+            .find(|l| l.starts_with("frontier signature: "))
+            .expect("signature line")
+            .to_string()
+    };
+    assert_eq!(signature(&first), signature(&second), "frontier diverged across processes");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -42,6 +42,7 @@
 pub mod batch;
 pub mod comm;
 pub mod compiler;
+pub mod dse;
 pub mod estimate;
 pub mod floorplan;
 pub mod partition;
@@ -54,6 +55,7 @@ mod error;
 
 pub use batch::{BatchCompiler, BatchOutcome, BatchReport, CompileJob, JobReport, StageTotal};
 pub use compiler::{CompiledDesign, Compiler, CompilerConfig, Flow};
+pub use dse::{DseConfig, DseOutcome, DsePoint, DseReport, DseScore};
 pub use error::CompileError;
 pub use partition::{InterPartition, PartitionConfig};
 pub use report::{FrequencySummary, LevelSolveStats, SolverActivityReport, UtilizationReport};

@@ -1,4 +1,4 @@
-//! Process-wide solve memo-cache.
+//! Process-wide solve memo-cache, spillable to disk.
 //!
 //! The TAPA-CS benchmark sweeps (`reproduce all`, the Criterion benches)
 //! compile the same designs repeatedly, and the recursive bipartitioner
@@ -12,14 +12,29 @@
 //! the key because two exact solvers may legitimately return different
 //! (equally optimal) points, and replaying the wrong one would break the
 //! determinism guarantee.
+//!
+//! # Persistence
+//!
+//! [`SolveCache::save_to`] / [`SolveCache::load_from`] spill the cache to a
+//! versioned, checksummed binary file and merge it back, so repeated sweeps
+//! (the `reproduce dse` design-space exploration, CI) start warm across
+//! *processes*, not just within one. The format is deliberately strict: a
+//! magic tag, a format version, the entries sorted by key (so identical
+//! caches serialize to identical bytes), and a trailing FNV-1a checksum
+//! over everything before it. A truncated, bit-flipped or
+//! version-incompatible file is rejected with [`CacheFileError`] — never a
+//! panic, never a partial merge — and the caller simply runs cold.
+//! `TAPACS_CACHE_DIR` (see [`cache_dir_from_env`]) is the conventional
+//! location callers persist into.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::error::IlpError;
 use crate::model::{CmpOp, Model, Sense, SolverConfig, VarKind};
-use crate::solution::Solution;
+use crate::solution::{Solution, SolveStatus};
 use crate::solver::Solver;
 
 /// Entries kept at most; inserts beyond this are dropped (the floorplanning
@@ -35,10 +50,17 @@ pub struct CacheStats {
     pub misses: u64,
     /// Solutions currently stored.
     pub entries: usize,
+    /// Entries merged in from persisted cache files
+    /// ([`SolveCache::load_from`]), cumulative.
+    pub loads: u64,
+    /// Entries written out to persisted cache files
+    /// ([`SolveCache::save_to`]), cumulative.
+    pub stores: u64,
 }
 
 impl CacheStats {
-    /// Hit ratio in `[0, 1]` (`0` when no lookups happened).
+    /// Hit ratio in `[0, 1]`. Guaranteed finite: an empty cache (no
+    /// lookups at all) reports `0.0`, never `0/0 = NaN`.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -57,8 +79,160 @@ impl CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             entries: self.entries,
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
         }
     }
+}
+
+/// Why a persisted cache file was rejected. Every variant is a graceful
+/// "run cold" outcome — loading never panics and never merges a partial
+/// or corrupt file.
+#[derive(Debug)]
+pub enum CacheFileError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with the cache magic tag (not a cache file).
+    BadMagic,
+    /// The file was written by an incompatible format version (stale).
+    BadVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The trailing checksum does not match the content (bit rot or a
+    /// partial write).
+    BadChecksum,
+    /// The file ends before its declared content does.
+    Truncated,
+}
+
+impl std::fmt::Display for CacheFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheFileError::Io(e) => write!(f, "cache file I/O error: {e}"),
+            CacheFileError::BadMagic => write!(f, "not a solve-cache file (bad magic)"),
+            CacheFileError::BadVersion { found, expected } => {
+                write!(f, "stale solve-cache format v{found} (this build reads v{expected})")
+            }
+            CacheFileError::BadChecksum => write!(f, "solve-cache checksum mismatch (corrupt)"),
+            CacheFileError::Truncated => write!(f, "solve-cache file is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CacheFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CacheFileError {
+    fn from(e: std::io::Error) -> Self {
+        CacheFileError::Io(e)
+    }
+}
+
+/// Conventional file name of a persisted solve cache inside a cache
+/// directory (see [`SolveCache::file_in`]).
+pub const SOLVE_CACHE_FILE: &str = "solve-cache.bin";
+
+/// The cache directory from the `TAPACS_CACHE_DIR` environment variable
+/// (`None` when unset or empty).
+pub fn cache_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os("TAPACS_CACHE_DIR").filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Magic tag opening every persisted cache file.
+const FILE_MAGIC: &[u8; 8] = b"TAPACSSC";
+/// Format version written and accepted by this build. Bump on any change
+/// to the entry encoding; old files are then rejected as stale instead of
+/// being misparsed.
+const FILE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit over `bytes` — the file checksum. Not cryptographic;
+/// guards against truncation and bit rot, not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Bounds-checked little-endian reader over a cache file's payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CacheFileError> {
+        let end = self.pos.checked_add(n).ok_or(CacheFileError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CacheFileError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CacheFileError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CacheFileError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    fn usize(&mut self) -> Result<usize, CacheFileError> {
+        usize::try_from(self.u64()?).map_err(|_| CacheFileError::Truncated)
+    }
+
+    fn f64(&mut self) -> Result<f64, CacheFileError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+fn encode_solution(out: &mut Vec<u8>, s: &Solution) {
+    out.push(match s.status {
+        SolveStatus::Optimal => 0,
+        SolveStatus::Feasible => 1,
+    });
+    out.extend_from_slice(&s.objective.to_bits().to_le_bytes());
+    out.extend_from_slice(&s.best_bound.to_bits().to_le_bytes());
+    out.extend_from_slice(&(s.nodes_explored as u64).to_le_bytes());
+    out.extend_from_slice(&(s.values.len() as u64).to_le_bytes());
+    for v in &s.values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_solution(c: &mut Cursor<'_>) -> Result<Solution, CacheFileError> {
+    let status = match c.u8()? {
+        0 => SolveStatus::Optimal,
+        1 => SolveStatus::Feasible,
+        _ => return Err(CacheFileError::Truncated),
+    };
+    let objective = c.f64()?;
+    let best_bound = c.f64()?;
+    let nodes_explored = c.usize()?;
+    let n_values = c.usize()?;
+    // Refuse to allocate more than the remaining payload could hold, so a
+    // corrupt length can never balloon memory before the bounds check hits.
+    if n_values > c.bytes.len().saturating_sub(c.pos) / 8 {
+        return Err(CacheFileError::Truncated);
+    }
+    let mut values = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        values.push(c.f64()?);
+    }
+    Ok(Solution { status, objective, best_bound, nodes_explored, values })
 }
 
 /// The memo-cache: canonical model key → [`Solution`].
@@ -66,14 +240,26 @@ pub struct SolveCache {
     inner: Mutex<HashMap<Vec<u8>, Solution>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    loads: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SolveCache {
-    fn new() -> Self {
+    /// A fresh, empty cache. The compiler shares the [global](Self::global)
+    /// one; standalone instances are mainly for tests and tools.
+    pub fn new() -> Self {
         Self {
             inner: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
         }
     }
 
@@ -105,6 +291,8 @@ impl SolveCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.inner.lock().unwrap().len(),
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
         }
     }
 
@@ -114,6 +302,123 @@ impl SolveCache {
         self.inner.lock().unwrap().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.loads.store(0, Ordering::Relaxed);
+        self.stores.store(0, Ordering::Relaxed);
+    }
+
+    /// The conventional cache-file path inside `dir` (see
+    /// [`SOLVE_CACHE_FILE`]).
+    pub fn file_in(dir: &Path) -> PathBuf {
+        dir.join(SOLVE_CACHE_FILE)
+    }
+
+    /// Serializes every entry to `path` and returns how many were written
+    /// (also added to [`CacheStats::stores`]).
+    ///
+    /// Entries are sorted by key before encoding, so two caches with the
+    /// same content always produce byte-identical files, and the write goes
+    /// through a sibling temp file + rename so a crash mid-write can never
+    /// leave a half-written cache behind (it leaves the old file, or none).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFileError::Io`] when the file cannot be written.
+    pub fn save_to(&self, path: &Path) -> Result<u64, CacheFileError> {
+        let mut payload = Vec::with_capacity(4096);
+        payload.extend_from_slice(FILE_MAGIC);
+        payload.extend_from_slice(&FILE_VERSION.to_le_bytes());
+        let written = {
+            let guard = self.inner.lock().unwrap();
+            let mut entries: Vec<(&Vec<u8>, &Solution)> = guard.iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            payload.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (key, solution) in &entries {
+                payload.extend_from_slice(&(key.len() as u64).to_le_bytes());
+                payload.extend_from_slice(key);
+                encode_solution(&mut payload, solution);
+            }
+            entries.len() as u64
+        };
+        let checksum = fnv1a64(&payload);
+        payload.extend_from_slice(&checksum.to_le_bytes());
+
+        // Unique temp name per writer: concurrent savers into the same
+        // cache dir (two processes sharing `TAPACS_CACHE_DIR`, or two
+        // threads) must never interleave writes on one temp file — each
+        // writes its own and the atomic rename decides who wins whole.
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &payload)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        self.stores.fetch_add(written, Ordering::Relaxed);
+        Ok(written)
+    }
+
+    /// Parses `path` and merges its entries into this cache, returning how
+    /// many were merged (also added to [`CacheStats::loads`]). Lookup
+    /// counters (`hits`/`misses`) are untouched — loading is not a lookup.
+    ///
+    /// The whole file is validated (magic, version, checksum, bounds)
+    /// *before* anything is merged: a rejected file leaves the cache
+    /// exactly as it was. Entries beyond the capacity bound
+    /// are dropped, mirroring live inserts.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFileError`] for unreadable, truncated, corrupt or
+    /// version-incompatible files. None of them panic, and none merge
+    /// partial content.
+    pub fn load_from(&self, path: &Path) -> Result<u64, CacheFileError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < FILE_MAGIC.len() + 4 + 8 + 8 {
+            return Err(CacheFileError::Truncated);
+        }
+        if &bytes[..FILE_MAGIC.len()] != FILE_MAGIC {
+            return Err(CacheFileError::BadMagic);
+        }
+        let (content, tail) = bytes.split_at(bytes.len() - 8);
+        let checksum = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a64(content) != checksum {
+            return Err(CacheFileError::BadChecksum);
+        }
+        let mut cursor = Cursor { bytes: content, pos: FILE_MAGIC.len() };
+        let version = u32::from_le_bytes(cursor.take(4)?.try_into().expect("4-byte slice"));
+        if version != FILE_VERSION {
+            return Err(CacheFileError::BadVersion { found: version, expected: FILE_VERSION });
+        }
+        let count = cursor.usize()?;
+        let mut entries = Vec::with_capacity(count.min(MAX_ENTRIES));
+        for _ in 0..count {
+            let key_len = cursor.usize()?;
+            let key = cursor.take(key_len)?.to_vec();
+            let solution = decode_solution(&mut cursor)?;
+            entries.push((key, solution));
+        }
+        if cursor.pos != content.len() {
+            // Trailing garbage protected by the checksum would mean the
+            // writer and reader disagree on the format — reject it.
+            return Err(CacheFileError::Truncated);
+        }
+
+        let mut merged = 0u64;
+        let mut guard = self.inner.lock().unwrap();
+        for (key, solution) in entries {
+            if guard.len() >= MAX_ENTRIES {
+                break;
+            }
+            guard.insert(key, solution);
+            merged += 1;
+        }
+        drop(guard);
+        self.loads.fetch_add(merged, Ordering::Relaxed);
+        Ok(merged)
     }
 }
 
@@ -275,5 +580,131 @@ mod tests {
         cache.clear();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!((stats.loads, stats.stores), (0, 0));
+    }
+
+    /// Regression: every rate on an empty cache must be a finite number,
+    /// never `0/0 = NaN` (reports format these with `{:.0}%`, and a NaN
+    /// would also poison JSON output).
+    #[test]
+    fn empty_cache_rates_are_finite() {
+        let empty = CacheStats::default();
+        assert!(empty.hit_rate().is_finite());
+        assert_eq!(empty.hit_rate(), 0.0);
+        let delta = empty.since(&empty);
+        assert!(delta.hit_rate().is_finite());
+        assert_eq!((delta.hits, delta.misses, delta.loads, delta.stores), (0, 0, 0, 0));
+        // A fresh instance (no lookups, no persistence traffic) too.
+        let fresh = SolveCache::new().stats();
+        assert!(fresh.hit_rate().is_finite());
+        assert_eq!(fresh.hit_rate(), 0.0);
+    }
+
+    fn tmp_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tapacs-cache-test-{}-{tag}.bin", std::process::id()))
+    }
+
+    /// Populates a standalone cache through the public persistence path:
+    /// solve on the global cache is not needed — instances encode and
+    /// decode independently of it.
+    fn populated_cache(n: usize) -> SolveCache {
+        let cache = SolveCache::new();
+        for i in 0..n {
+            let m = model(1.0 + i as f64);
+            let sol = m.solve().unwrap();
+            cache.insert(canonical_key("seq", &m, &SolverConfig::default()), sol);
+        }
+        cache
+    }
+
+    #[test]
+    fn save_load_round_trips_byte_identically() {
+        let cache = populated_cache(3);
+        let path = tmp_file("roundtrip");
+        let written = cache.save_to(&path).unwrap();
+        assert_eq!(written, 3);
+        assert_eq!(cache.stats().stores, 3);
+
+        let reloaded = SolveCache::new();
+        assert_eq!(reloaded.load_from(&path).unwrap(), 3);
+        let stats = reloaded.stats();
+        assert_eq!((stats.entries, stats.loads), (3, 3));
+        assert_eq!((stats.hits, stats.misses), (0, 0), "loading is not a lookup");
+
+        // Same content ⇒ byte-identical file, regardless of map order.
+        let path2 = tmp_file("roundtrip2");
+        reloaded.save_to(&path2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&path2).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn corrupt_and_stale_files_are_rejected_without_merging() {
+        let cache = populated_cache(2);
+        let path = tmp_file("corrupt");
+        cache.save_to(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let target = SolveCache::new();
+        let expect_rejected = |bytes: &[u8], what: &str| {
+            std::fs::write(&path, bytes).unwrap();
+            let err = target.load_from(&path).expect_err(what);
+            // Graceful: typed error, and nothing was merged.
+            assert_eq!(target.stats().entries, 0, "{what} must not merge: {err}");
+            assert_eq!(target.stats().loads, 0, "{what} must not count loads");
+        };
+
+        // Truncations at every interesting boundary.
+        expect_rejected(&[], "empty file");
+        expect_rejected(&good[..good.len() / 2], "half file");
+        expect_rejected(&good[..good.len() - 1], "one byte short");
+        // A single flipped bit anywhere trips the checksum.
+        let mut flipped = good.clone();
+        flipped[good.len() / 3] ^= 0x10;
+        expect_rejected(&flipped, "bit flip");
+        // Wrong magic and stale version.
+        let mut magic = good.clone();
+        magic[0] ^= 0xff;
+        expect_rejected(&magic, "bad magic");
+        // A *well-formed* file from a future format version: re-seal the
+        // checksum so the rejection is specifically BadVersion, not a
+        // checksum artifact.
+        let mut stale = good.clone();
+        stale[FILE_MAGIC.len()] = FILE_VERSION as u8 + 1;
+        let seal = fnv1a64(&stale[..stale.len() - 8]).to_le_bytes();
+        let len = stale.len();
+        stale[len - 8..].copy_from_slice(&seal);
+        expect_rejected(&stale, "stale version");
+        assert!(matches!(
+            {
+                std::fs::write(&path, &stale).unwrap();
+                target.load_from(&path)
+            },
+            Err(CacheFileError::BadVersion { found, expected: FILE_VERSION })
+                if found == u32::from(FILE_VERSION as u8 + 1)
+        ));
+
+        // The intact file still loads after all that rejection.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(target.load_from(&path).unwrap(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = SolveCache::new()
+            .load_from(Path::new("/nonexistent/tapacs-no-such-cache.bin"))
+            .expect_err("missing file");
+        assert!(matches!(err, CacheFileError::Io(_)), "{err}");
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn file_in_and_env_helpers() {
+        assert_eq!(
+            SolveCache::file_in(Path::new("/tmp/x")),
+            Path::new("/tmp/x").join(SOLVE_CACHE_FILE)
+        );
     }
 }

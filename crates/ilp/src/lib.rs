@@ -61,7 +61,9 @@ mod solution;
 mod solver;
 mod stats;
 
-pub use cache::{CacheStats, CachingSolver, SolveCache};
+pub use cache::{
+    cache_dir_from_env, CacheFileError, CacheStats, CachingSolver, SolveCache, SOLVE_CACHE_FILE,
+};
 pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Model, Sense, SolverConfig, VarId, VarKind};

@@ -11,7 +11,12 @@ pub enum SolveStatus {
 }
 
 /// Result of a successful solve.
-#[derive(Debug, Clone)]
+///
+/// The derived `PartialEq` compares `f64`s by *value* (IEEE semantics:
+/// `-0.0 == 0.0`, `NaN != NaN`) — what the determinism checks compare.
+/// Where the persistence tests need bit-exactness they compare the
+/// serialized bytes, which encode `f64::to_bits`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     /// Whether optimality was proven.
     pub status: SolveStatus,

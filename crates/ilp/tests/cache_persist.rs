@@ -1,0 +1,146 @@
+//! Property tests for the disk-persistent solve cache.
+//!
+//! Invariants over randomly generated model sets:
+//! 1. `save → load` round-trips the cache **bit-identically**: re-solving
+//!    every model against the reloaded cache hits and returns the exact
+//!    solution of the original solve, and re-saving the reloaded cache
+//!    reproduces the file byte for byte.
+//! 2. A truncated or bit-flipped cache file is rejected with a typed
+//!    error — no panic, no partial merge — and solving afterwards produces
+//!    exactly the cold-cache results.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use tapacs_ilp::{
+    CacheFileError, CachingSolver, LinExpr, Model, Sense, SequentialSolver, Solution, SolveCache,
+    Solver, SolverConfig,
+};
+
+/// The cache under test is process-global and the harness runs proptest
+/// cases from multiple tests concurrently; serialize everything that
+/// clears or counts it.
+static GLOBAL_CACHE: Mutex<()> = Mutex::new(());
+
+fn tmp_file(tag: &str, case: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("tapacs-cache-prop-{}-{tag}-{case}.bin", std::process::id()))
+}
+
+/// A small always-feasible knapsack (all-zeros satisfies it).
+fn knapsack(values: &[u32], weights: &[u32], cap: u32) -> Model {
+    let mut m = Model::new("persist-prop");
+    let vars: Vec<_> = (0..values.len()).map(|i| m.binary(format!("x{i}"))).collect();
+    let weight = LinExpr::sum(vars.iter().zip(weights).map(|(&v, &w)| LinExpr::term(v, w as f64)));
+    m.add_le("cap", weight, cap as f64);
+    let value = LinExpr::sum(vars.iter().zip(values).map(|(&v, &c)| LinExpr::term(v, c as f64)));
+    m.set_objective(Sense::Maximize, value);
+    m
+}
+
+/// Distinct random models (distinct caps ⇒ distinct canonical keys).
+fn models(items: &[(u32, u32)], caps: &[u32]) -> Vec<Model> {
+    let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+    let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+    caps.iter().map(|&cap| knapsack(&values, &weights, cap)).collect()
+}
+
+fn solve_all(solver: &CachingSolver, models: &[Model]) -> Vec<Solution> {
+    let cfg = SolverConfig::default();
+    models.iter().map(|m| solver.solve(m, &cfg).expect("all-zeros is feasible")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn save_load_round_trips_bit_identically(
+        items in prop::collection::vec((1u32..50, 1u32..30), 2..7),
+        caps in prop::collection::vec(1u32..100, 1..5),
+        case in 0u64..1_000_000,
+    ) {
+        let _serial = GLOBAL_CACHE.lock().unwrap();
+        let cache = SolveCache::global();
+        cache.clear();
+        let solver = CachingSolver::new(Box::new(SequentialSolver::default()));
+        let ms = models(&items, &caps);
+        let originals = solve_all(&solver, &ms);
+
+        let path = tmp_file("roundtrip", case);
+        let written = cache.save_to(&path).unwrap();
+        prop_assert_eq!(written as usize, cache.stats().entries);
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Wipe memory, reload from disk: every solve must now answer from
+        // the cache with the *exact* original solution.
+        cache.clear();
+        let loaded = cache.load_from(&path).unwrap();
+        prop_assert_eq!(loaded, written);
+        let before = cache.stats();
+        let replayed = solve_all(&solver, &ms);
+        let after = cache.stats();
+        prop_assert_eq!(&replayed, &originals, "reloaded cache must replay bit-identically");
+        prop_assert_eq!(after.hits - before.hits, ms.len() as u64,
+            "every re-solve must hit the reloaded cache");
+        prop_assert_eq!(after.misses, before.misses);
+
+        // And the reloaded cache re-serializes to the identical file.
+        let path2 = tmp_file("roundtrip-resave", case);
+        cache.save_to(&path2).unwrap();
+        prop_assert_eq!(bytes, std::fs::read(&path2).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn corrupt_files_rejected_and_results_match_cold_run(
+        items in prop::collection::vec((1u32..50, 1u32..30), 2..6),
+        caps in prop::collection::vec(1u32..80, 1..4),
+        damage_at in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+        truncate in 0u8..2,
+        case in 0u64..1_000_000,
+    ) {
+        let _serial = GLOBAL_CACHE.lock().unwrap();
+        let cache = SolveCache::global();
+        cache.clear();
+        let solver = CachingSolver::new(Box::new(SequentialSolver::default()));
+        let ms = models(&items, &caps);
+        let originals = solve_all(&solver, &ms);
+
+        let path = tmp_file("corrupt", case);
+        cache.save_to(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Damage the file at a random position: truncate there, or flip
+        // one bit there.
+        let pos = ((good.len() as f64 * damage_at) as usize).min(good.len() - 1);
+        let damaged = if truncate == 1 {
+            good[..pos].to_vec()
+        } else {
+            let mut d = good.clone();
+            d[pos] ^= 1 << flip_bit;
+            d
+        };
+        std::fs::write(&path, &damaged).unwrap();
+
+        cache.clear();
+        let result = cache.load_from(&path);
+        prop_assert!(result.is_err(), "damaged file must be rejected");
+        prop_assert!(matches!(
+            result,
+            Err(CacheFileError::Truncated
+                | CacheFileError::BadChecksum
+                | CacheFileError::BadMagic
+                | CacheFileError::BadVersion { .. })
+        ));
+        let stats = cache.stats();
+        prop_assert_eq!(stats.entries, 0, "rejection must not merge anything");
+        prop_assert_eq!(stats.loads, 0);
+
+        // Solving after the rejection equals the cold-cache run exactly.
+        let cold = solve_all(&solver, &ms);
+        prop_assert_eq!(&cold, &originals, "post-rejection solves must match the cold run");
+        let _ = std::fs::remove_file(&path);
+    }
+}
