@@ -1003,7 +1003,7 @@ fn bench_apps(smoke: bool) -> Vec<BenchApp> {
 }
 
 /// Compile-time sweep over the app suite (knn, cnn, pagerank, stencil),
-/// emitted as a machine-readable JSON report (`BENCH_5.json`): per-app
+/// emitted as a machine-readable JSON report (`BENCH_6.json`): per-app
 /// wall-clock, LP solves, simplex iterations, warm-start hits and
 /// memo-cache counters, the wall-clock of the same sweep compiled as one
 /// sharded batch (`"batch"` section), and the design-space-exploration
@@ -1050,7 +1050,7 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
 
         let _ = write!(
             rows,
-            "    {{\n      \"app\": \"{}\",\n      \"flow\": \"{}\",\n      \"tasks\": {},\n      \"wall_s\": {:.6},\n      \"lp_solves\": {},\n      \"simplex_iterations\": {},\n      \"phase1_iterations\": {},\n      \"warm_attempts\": {},\n      \"warm_hits\": {},\n      \"warm_hit_rate\": {:.4},\n      \"presolve_rows_removed\": {},\n      \"presolve_cols_fixed\": {},\n      \"presolve_bounds_tightened\": {},\n      \"cache_hits\": {},\n      \"cache_misses\": {}\n    }}{}\n",
+            "    {{\n      \"app\": \"{}\",\n      \"flow\": \"{}\",\n      \"tasks\": {},\n      \"wall_s\": {:.6},\n      \"lp_solves\": {},\n      \"simplex_iterations\": {},\n      \"phase1_iterations\": {},\n      \"warm_attempts\": {},\n      \"warm_hits\": {},\n      \"warm_hit_rate\": {:.4},\n      \"lu_factorizations\": {},\n      \"lu_fill_nnz\": {},\n      \"eta_updates\": {},\n      \"eta_nnz\": {},\n      \"refactor_triggers\": {},\n      \"presolve_rows_removed\": {},\n      \"presolve_cols_fixed\": {},\n      \"presolve_bounds_tightened\": {},\n      \"cache_hits\": {},\n      \"cache_misses\": {}\n    }}{}\n",
             case.app,
             case.flow.label(),
             case.graph.num_tasks(),
@@ -1061,6 +1061,11 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
             stats.warm_attempts,
             stats.warm_hits,
             stats.warm_hit_rate(),
+            stats.lu_factorizations,
+            stats.lu_fill_nnz,
+            stats.eta_updates,
+            stats.eta_nnz,
+            stats.refactor_triggers,
             stats.presolve_rows_removed,
             stats.presolve_cols_fixed,
             stats.presolve_bounds_tightened,
@@ -1133,7 +1138,7 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
     );
 
     Ok(format!(
-        "{{\n  \"bench\": \"BENCH_5\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \"apps\": [\n{rows}  ],\n  \"totals\": {{\n    \"wall_s\": {total_wall:.6},\n    \"lp_solves\": {total_solves},\n    \"simplex_iterations\": {total_iters},\n    \"warm_hit_rate\": {total_hit_rate:.4}\n  }},\n{batch},\n{dse}\n}}\n"
+        "{{\n  \"bench\": \"BENCH_6\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \"apps\": [\n{rows}  ],\n  \"totals\": {{\n    \"wall_s\": {total_wall:.6},\n    \"lp_solves\": {total_solves},\n    \"simplex_iterations\": {total_iters},\n    \"warm_hit_rate\": {total_hit_rate:.4}\n  }},\n{batch},\n{dse}\n}}\n"
     ))
 }
 

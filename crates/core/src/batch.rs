@@ -513,7 +513,11 @@ mod tests {
         }
         let partition = report.stage_totals.iter().find(|t| t.stage == Stage::Partition).unwrap();
         assert_eq!(partition.jobs, 3);
-        assert!(report.sequential_estimate >= report.wall || report.threads == 1);
+        // The estimate sums per-job walls only; with sub-millisecond solves
+        // the batch wall is dominated by worker spawn/teardown, so compare
+        // with a small scheduling-overhead allowance.
+        let overhead = Duration::from_millis(50);
+        assert!(report.sequential_estimate + overhead >= report.wall || report.threads == 1);
         let table = report.render_table();
         assert!(table.contains("batch: 3 job(s)"), "{table}");
         assert!(table.contains("solve cache"), "{table}");

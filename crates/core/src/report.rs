@@ -107,6 +107,15 @@ impl SolverActivityReport {
         );
         let _ = writeln!(
             s,
+            "basis LU: {} factorizations ({} fill-in nnz), {} eta updates ({} nnz), {} refactor triggers",
+            self.simplex.lu_factorizations,
+            self.simplex.lu_fill_nnz,
+            self.simplex.eta_updates,
+            self.simplex.eta_nnz,
+            self.simplex.refactor_triggers,
+        );
+        let _ = writeln!(
+            s,
             "presolve: {} runs, {} rows removed, {} cols fixed, {} bounds tightened",
             self.simplex.presolve_runs,
             self.simplex.presolve_rows_removed,
@@ -345,6 +354,11 @@ mod tests {
                 presolve_rows_removed: 4,
                 presolve_cols_fixed: 1,
                 presolve_bounds_tightened: 3,
+                lu_factorizations: 12,
+                lu_fill_nnz: 90,
+                eta_updates: 30,
+                eta_nnz: 120,
+                refactor_triggers: 1,
             },
         };
         let table = report.render_table();
@@ -354,6 +368,8 @@ mod tests {
         assert!(table.contains("55 simplex iterations over 10 solves"), "{table}");
         assert!(table.contains("6/8 hits (75% hit rate)"), "{table}");
         assert!(table.contains("4 rows removed"), "{table}");
+        assert!(table.contains("12 factorizations (90 fill-in nnz)"), "{table}");
+        assert!(table.contains("30 eta updates (120 nnz), 1 refactor triggers"), "{table}");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
 use crate::presolve::{self, PresolveOutcome, PresolvedLp};
-use crate::simplex::{self, Basis, LpOutcome, LpProblem};
+use crate::simplex::{Basis, LpEngine, LpOutcome, LpProblem, PreparedLp};
 use crate::solution::{Solution, SolveStatus};
 
 /// Per-solve switches for the LP engine, threaded down from
@@ -30,6 +30,8 @@ pub(crate) struct SolveParams {
     pub presolve: bool,
     /// Warm-start child LPs from the parent basis.
     pub warm_lp: bool,
+    /// Which simplex engine runs the node LP relaxations.
+    pub lp_engine: LpEngine,
 }
 
 impl SolveParams {
@@ -41,6 +43,7 @@ impl SolveParams {
             heuristic_seed: false,
             presolve: crate::solver::env_flag("TAPACS_PRESOLVE").unwrap_or(true),
             warm_lp: crate::solver::env_flag("TAPACS_LP_WARM").unwrap_or(true),
+            lp_engine: LpEngine::from_env(),
         }
     }
 }
@@ -114,8 +117,11 @@ pub(crate) fn solve(
 
     let (pre, red_integral) = presolved_root(&full_lp, integral, params.presolve)?;
     let lp = &pre.lp;
+    // One shared prepared form (sparse matrix for the default engine) for
+    // the root and every node solve of this search.
+    let prep = PreparedLp::new(lp, params.lp_engine);
 
-    let root = match simplex::solve(lp) {
+    let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
         LpOutcome::Optimal { values, objective, basis } => Node {
             bound: to_min(objective),
             chain: BoundChain::root(),
@@ -204,7 +210,7 @@ pub(crate) fn solve(
         let warm = if params.warm_lp { Some(node.basis.as_ref()) } else { None };
         let deadline = config.time_limit.map(|limit| (start, limit));
         match expand_children(
-            lp,
+            &prep,
             &node.chain,
             warm,
             j,

@@ -3,7 +3,9 @@
 //! TAPA-CS formulates both its inter-FPGA partitioner and its intra-FPGA
 //! floorplanner as integer linear programs (the paper solves them with
 //! python-MIP or Gurobi). This crate is the reproduction's solver substrate:
-//! a dense two-phase primal simplex for the LP relaxation and a
+//! a sparse revised two-phase primal simplex for the LP relaxation (with a
+//! dense-tableau oracle behind [`LpEngine::Dense`] /
+//! `TAPACS_LP_ENGINE=dense`) and a
 //! best-first branch-and-bound search for integrality, with
 //! an anytime incumbent and a wall-clock deadline so large instances behave
 //! like a commercial solver under a time limit.
@@ -50,15 +52,18 @@
 
 mod branch_bound;
 mod cache;
+mod dense;
 mod error;
 mod expr;
 mod model;
 mod node;
 mod parallel;
 mod presolve;
+mod revised;
 mod simplex;
 mod solution;
 mod solver;
+mod sparse;
 mod stats;
 
 pub use cache::{
@@ -68,6 +73,7 @@ pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Model, Sense, SolverConfig, VarId, VarKind};
 pub use parallel::ParallelSolver;
+pub use simplex::LpEngine;
 pub use solution::{Solution, SolveStatus};
 pub use solver::{HeuristicSolver, SequentialSolver, Solver, SolverBackend, SolverOptions};
 pub use stats::{SolveActivity, SolveStats};

@@ -309,7 +309,7 @@ impl Model {
         let integral = self.integral_vars();
         if integral.is_empty() {
             let lp = self.to_lp();
-            match simplex::solve(&lp) {
+            match simplex::solve(&lp, crate::LpEngine::from_env()) {
                 crate::LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
                     status: SolveStatus::Optimal,
                     objective,

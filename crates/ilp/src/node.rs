@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::simplex::{self, Basis, LpOutcome, LpProblem};
+use crate::simplex::{Basis, LpOutcome, PreparedLp, FEAS_TOL};
 
 /// One branching decision: `var`'s lower (or upper) bound moved to `value`.
 #[derive(Debug, Clone, Copy)]
@@ -96,7 +96,7 @@ pub(crate) enum Expanded {
 /// *node's* bounds (every per-child tweak is restored).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_children(
-    lp: &LpProblem,
+    prep: &PreparedLp<'_>,
     chain: &Arc<BoundChain>,
     warm: Option<&Basis>,
     branch_var: usize,
@@ -105,6 +105,7 @@ pub(crate) fn expand_children(
     lower: &mut Vec<f64>,
     upper: &mut Vec<f64>,
 ) -> Expanded {
+    let lp = prep.lp;
     chain.resolve(&lp.lower, &lp.upper, lower, upper);
     let j = branch_var;
     let (node_lo, node_hi) = (lower[j], upper[j]);
@@ -112,7 +113,10 @@ pub(crate) fn expand_children(
     for (is_upper, value) in [(true, branch_value.floor()), (false, branch_value.ceil())] {
         let (lo, hi) =
             if is_upper { (node_lo, value.min(node_hi)) } else { (value.max(node_lo), node_hi) };
-        if lo > hi + 1e-9 {
+        // An empty child box is pruned with the same tolerance the solver's
+        // own bound-sanity check uses, so the two paths cannot disagree on
+        // which children exist.
+        if lo > hi + FEAS_TOL {
             continue;
         }
         // Honor the deadline before *every* child LP solve, not only at
@@ -124,7 +128,7 @@ pub(crate) fn expand_children(
         }
         lower[j] = lo;
         upper[j] = hi;
-        let outcome = simplex::solve_warm(lp, lower, upper, warm);
+        let outcome = prep.solve_warm(lower, upper, warm);
         lower[j] = node_lo;
         upper[j] = node_hi;
         match outcome {

@@ -46,7 +46,7 @@ use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
 use crate::presolve::PresolvedLp;
-use crate::simplex::{self, Basis, LpOutcome, LpProblem};
+use crate::simplex::{Basis, LpEngine, LpOutcome, LpProblem, PreparedLp};
 use crate::solution::{Solution, SolveStatus};
 
 /// Frontier nodes expanded per synchronous round. Fixed (never derived from
@@ -155,6 +155,7 @@ fn offer(shared: &Mutex<Option<Incumbent>>, obj: f64, values: &[f64]) {
 struct SearchCtx<'a> {
     full_lp: &'a LpProblem,
     pre: &'a PresolvedLp,
+    prep: &'a PreparedLp<'a>,
     model: &'a Model,
     integral: &'a [usize],
     red_integral: &'a [usize],
@@ -198,7 +199,7 @@ fn expand_node(
 
     let warm = if ctx.params.warm_lp { Some(node.basis.as_ref()) } else { None };
     let deadline = ctx.config.time_limit.map(|limit| (ctx.start, limit));
-    match expand_children(lp, &node.chain, warm, j, node.relax[j], deadline, lo_buf, hi_buf) {
+    match expand_children(ctx.prep, &node.chain, warm, j, node.relax[j], deadline, lo_buf, hi_buf) {
         Expanded::Unbounded => Expansion::Unbounded,
         Expanded::Children { children, timed_out } => Expansion::Children {
             children: children
@@ -230,8 +231,11 @@ pub(crate) fn solve(
 
     let (pre, red_integral) = presolved_root(&full_lp, integral, params.presolve)?;
     let lp = &pre.lp;
+    // One shared prepared form (sparse matrix for the default engine) for
+    // the root and every node solve — workers borrow it read-only.
+    let prep = PreparedLp::new(lp, params.lp_engine);
 
-    let root = match simplex::solve(lp) {
+    let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
         LpOutcome::Optimal { values, objective, basis } => Node {
             bound: to_min(objective),
             seq: 0,
@@ -262,6 +266,7 @@ pub(crate) fn solve(
     let ctx = SearchCtx {
         full_lp: &full_lp,
         pre: &pre,
+        prep: &prep,
         model,
         integral,
         red_integral: &red_integral,
@@ -460,11 +465,19 @@ pub struct ParallelSolver {
     pub presolve: bool,
     /// Warm-start child LPs from the parent basis.
     pub warm_lp: bool,
+    /// Which simplex engine runs the node LP relaxations.
+    pub lp_engine: LpEngine,
 }
 
 impl Default for ParallelSolver {
     fn default() -> Self {
-        Self { threads: 0, warm_start: true, presolve: true, warm_lp: true }
+        Self {
+            threads: 0,
+            warm_start: true,
+            presolve: true,
+            warm_lp: true,
+            lp_engine: LpEngine::from_env(),
+        }
     }
 }
 
@@ -480,13 +493,17 @@ impl crate::Solver for ParallelSolver {
         if !self.warm_lp {
             name.push_str("-coldlp");
         }
+        if self.lp_engine == LpEngine::Dense {
+            name.push_str("-denselp");
+        }
         name
     }
 
     fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
         let integral = model.integral_vars();
         if integral.is_empty() {
-            return crate::solver::solve_lp(model);
+            // Honor the configured engine even on the pure-LP fast path.
+            return crate::solver::solve_lp(model, self.lp_engine);
         }
         let threads = if self.threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -497,6 +514,7 @@ impl crate::Solver for ParallelSolver {
             heuristic_seed: self.warm_start,
             presolve: self.presolve,
             warm_lp: self.warm_lp,
+            lp_engine: self.lp_engine,
         };
         solve(model, &integral, config, threads, params)
     }

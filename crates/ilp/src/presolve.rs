@@ -23,7 +23,7 @@
 //! process-wide [`SolveActivity`](crate::SolveActivity).
 
 use crate::model::CmpOp;
-use crate::simplex::{LpProblem, LpRow};
+use crate::simplex::{LpProblem, LpRow, TOL};
 
 /// Absolute slack used when *removing* a row as redundant — deliberately
 /// far tighter than the solver's feasibility tolerance so a removed row can
@@ -344,7 +344,7 @@ pub(crate) fn presolve(lp: &LpProblem, is_integral: &[bool]) -> PresolveOutcome 
 /// Feasibility slack scaled to the row magnitude: generous when *proving*
 /// infeasibility (a false negative only costs simplex work).
 fn feas_slack(rhs: f64) -> f64 {
-    1e-6 * (1.0 + rhs.abs())
+    TOL.infeasible * (1.0 + rhs.abs())
 }
 
 fn round_integral_bounds(j: usize, lower: &mut [f64], upper: &mut [f64]) {

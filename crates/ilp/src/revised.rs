@@ -1,0 +1,1035 @@
+//! Sparse revised simplex with product-form basis updates (the default
+//! engine).
+//!
+//! Instead of maintaining the full `B⁻¹A` tableau, each solve keeps the
+//! basis as an *eta file*: a sequence of elementary Gauss-Jordan operators
+//! such that applying them in order (FTRAN) computes `B⁻¹v` and applying
+//! them transposed in reverse (BTRAN) computes `B⁻ᵀv`. Installing a basis
+//! factorizes it by sparse elimination with partial pivoting — processing
+//! columns in ascending index exactly like the dense oracle's Gauss-Jordan,
+//! so both engines claim the same pivot rows — and every simplex pivot
+//! appends one more eta. After [`REFACTOR_UPDATES`] update etas the chain
+//! is refactorized from scratch (a deterministic trigger, so parallel
+//! drivers replay identical arithmetic), which also re-snaps the basic
+//! values and sheds accumulated drift.
+//!
+//! The payoff is asymptotic: a branch-and-bound child whose basis is
+//! mostly logical columns factorizes in O(nnz of the structural basics)
+//! (logical columns claim rows with *empty* etas), prices in O(nnz) per
+//! iteration, and never touches an O(m·n) tableau. On the floorplanning
+//! workloads this replaces ~8M flops of per-node Gauss-Jordan with a few
+//! thousand.
+
+use crate::simplex::{
+    cold_statuses_for, ColStatus, EngineCore, RunOutcome, Step, DEGEN_BLAND_AFTER, PRICE_BAND, TOL,
+};
+use crate::sparse::SparseLp;
+
+/// Update etas tolerated before a deterministic mid-solve refactorization.
+///
+/// Refactorizing re-snaps the basic values from a fresh factorization, which
+/// sheds the drift the dense oracle's tableau keeps accumulating — so any
+/// solve that trips this limit stops being decision-for-decision identical
+/// to the oracle. The limit is therefore a pure anti-pathology backstop,
+/// set well above the longest solve in the reproduction workloads (their
+/// update chains stay under a few hundred etas); typical branch-and-bound
+/// node solves re-install after a handful of pivots and never come close.
+pub(crate) const REFACTOR_UPDATES: usize = 1024;
+
+/// A memoized factorization: the eta file and row assignment produced by
+/// [`Revised::factorize`] for one exact `(model, statuses)` pair. Replaying
+/// it yields bit-for-bit the arrays a fresh factorization would compute —
+/// branch-and-bound siblings install their parent's final basis
+/// back-to-back on the same thread, so a single entry removes about half
+/// of all factorization work.
+#[derive(Default)]
+struct FactorMemo {
+    valid: bool,
+    prep_id: u64,
+    statuses: Vec<ColStatus>,
+    basis: Vec<usize>,
+    eta_pos: Vec<u32>,
+    eta_inv: Vec<f64>,
+    eta_ptr: Vec<u32>,
+    eta_row: Vec<u32>,
+    eta_val: Vec<f64>,
+}
+
+/// Per-thread reusable solve state. A B&B run performs hundreds of
+/// thousands of node solves, each a fresh [`Revised`]; recycling the
+/// buffers (and the factorization memo) between them removes the dozen
+/// allocations plus zero-fills a solve would otherwise pay.
+#[derive(Default)]
+struct RevScratch {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<ColStatus>,
+    x: Vec<f64>,
+    basis: Vec<usize>,
+    eta_pos: Vec<u32>,
+    eta_inv: Vec<f64>,
+    eta_ptr: Vec<u32>,
+    eta_row: Vec<u32>,
+    eta_val: Vec<f64>,
+    w: Vec<f64>,
+    touched: Vec<u32>,
+    y: Vec<f64>,
+    used: Vec<bool>,
+    cands: Vec<u32>,
+    rhs: Vec<f64>,
+    memo: FactorMemo,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<RevScratch> =
+        std::cell::RefCell::new(RevScratch::default());
+}
+
+pub(crate) struct Revised<'a> {
+    sp: &'a SparseLp,
+    /// Per-column bounds: structural from the caller, logical from the row
+    /// operators.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<ColStatus>,
+    /// Current value of every column (basic and nonbasic).
+    x: Vec<f64>,
+    /// Column basic in each row.
+    basis: Vec<usize>,
+    /// The eta file, pooled: eta `e` pivots on row `eta_pos[e]` with
+    /// reciprocal pivot `eta_inv[e]` and off-pivot entries
+    /// `eta_row/eta_val[eta_ptr[e]..eta_ptr[e+1]]`. Entries
+    /// `0..factor_etas` come from the factorization, the rest are updates.
+    eta_pos: Vec<u32>,
+    eta_inv: Vec<f64>,
+    eta_ptr: Vec<u32>,
+    eta_row: Vec<u32>,
+    eta_val: Vec<f64>,
+    factor_etas: usize,
+    /// FTRAN scratch (kept all-zero between uses) and the rows it touched.
+    w: Vec<f64>,
+    touched: Vec<u32>,
+    /// BTRAN scratch (the pricing vector `y`).
+    y: Vec<f64>,
+    /// Row-claimed scratch for the factorization.
+    used: Vec<bool>,
+    /// Columns the entering scan needs to price: everything not pinned by
+    /// (effectively) equal bounds. Bounds are per-solve constants, so this
+    /// is built once per solve instead of being re-tested every iteration.
+    cands: Vec<u32>,
+    /// Basic-value recompute scratch (avoids a per-install allocation).
+    rhs: Vec<f64>,
+    /// The owning [`PreparedLp`](crate::simplex::PreparedLp)'s unique id —
+    /// the model half of the factorization-memo key.
+    prep_id: u64,
+    memo: FactorMemo,
+    /// The engine's eta arrays are the memo's, on loan (returned at drop).
+    memo_borrowed: bool,
+    /// The factor prefix of the eta arrays should be stored into the memo
+    /// at drop (snapshot halves already taken at factorization time).
+    memo_pending: bool,
+    degen_streak: u32,
+    phase1_iters: u64,
+    phase2_iters: u64,
+    // Factorization counters, flushed once per solve by the driver.
+    lu_factorizations: u64,
+    lu_fill_nnz: u64,
+    eta_updates: u64,
+    eta_nnz: u64,
+    refactor_triggers: u64,
+}
+
+impl<'a> Revised<'a> {
+    pub(crate) fn new(sp: &'a SparseLp, lower: &[f64], upper: &[f64], prep_id: u64) -> Revised<'a> {
+        let (m, n) = (sp.m, sp.n);
+        let mut sc = SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
+        sc.lower.clear();
+        sc.lower.extend_from_slice(lower);
+        sc.lower.extend_from_slice(&sp.logical_lower);
+        sc.upper.clear();
+        sc.upper.extend_from_slice(upper);
+        sc.upper.extend_from_slice(&sp.logical_upper);
+        sc.status.clear();
+        sc.status.resize(n, ColStatus::Free);
+        sc.x.clear();
+        sc.x.resize(n, 0.0);
+        sc.basis.clear();
+        sc.basis.resize(m, usize::MAX);
+        sc.eta_pos.clear();
+        sc.eta_inv.clear();
+        sc.eta_ptr.clear();
+        sc.eta_ptr.push(0);
+        sc.eta_row.clear();
+        sc.eta_val.clear();
+        sc.w.clear();
+        sc.w.resize(m, 0.0);
+        sc.touched.clear();
+        sc.y.clear();
+        sc.y.resize(m, 0.0);
+        sc.used.clear();
+        sc.used.resize(m, false);
+        sc.cands.clear();
+        for j in 0..n {
+            // Matches the old inline skip (`span <= pivot` → pinned), with
+            // an ill-posed NaN span also treated as movable.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(sc.upper[j] - sc.lower[j] <= TOL.pivot) {
+                sc.cands.push(j as u32);
+            }
+        }
+        Revised {
+            sp,
+            lower: std::mem::take(&mut sc.lower),
+            upper: std::mem::take(&mut sc.upper),
+            status: std::mem::take(&mut sc.status),
+            x: std::mem::take(&mut sc.x),
+            basis: std::mem::take(&mut sc.basis),
+            eta_pos: std::mem::take(&mut sc.eta_pos),
+            eta_inv: std::mem::take(&mut sc.eta_inv),
+            eta_ptr: std::mem::take(&mut sc.eta_ptr),
+            eta_row: std::mem::take(&mut sc.eta_row),
+            eta_val: std::mem::take(&mut sc.eta_val),
+            factor_etas: 0,
+            w: std::mem::take(&mut sc.w),
+            touched: std::mem::take(&mut sc.touched),
+            y: std::mem::take(&mut sc.y),
+            used: std::mem::take(&mut sc.used),
+            cands: std::mem::take(&mut sc.cands),
+            rhs: std::mem::take(&mut sc.rhs),
+            prep_id,
+            memo: std::mem::take(&mut sc.memo),
+            memo_borrowed: false,
+            memo_pending: false,
+            degen_streak: 0,
+            phase1_iters: 0,
+            phase2_iters: 0,
+            lu_factorizations: 0,
+            lu_fill_nnz: 0,
+            eta_updates: 0,
+            eta_nnz: 0,
+            refactor_triggers: 0,
+        }
+    }
+
+    fn n_etas(&self) -> usize {
+        self.eta_pos.len()
+    }
+
+    /// Applies the eta file to `v` in place: `v ← B⁻¹v`.
+    fn ftran_dense(&self, v: &mut [f64]) {
+        for e in 0..self.n_etas() {
+            let pos = self.eta_pos[e] as usize;
+            let wp = v[pos];
+            if wp == 0.0 {
+                continue;
+            }
+            let t = wp * self.eta_inv[e];
+            v[pos] = t;
+            let (s, e) = (self.eta_ptr[e] as usize, self.eta_ptr[e + 1] as usize);
+            for (&r, &val) in self.eta_row[s..e].iter().zip(&self.eta_val[s..e]) {
+                v[r as usize] -= val * t;
+            }
+        }
+    }
+
+    /// Sparse FTRAN of matrix column `j` into `self.w` (which must be
+    /// all-zero on entry): scatters the column, applies the eta file, and
+    /// leaves `self.touched` holding every possibly-nonzero row, sorted
+    /// ascending — the scan order the ratio test and the factorization's
+    /// pivot search rely on for dense-oracle-identical tie-breaking.
+    fn ftran_col(&mut self, j: usize) {
+        self.touched.clear();
+        let (rows, vals) = self.sp.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            self.w[r as usize] = v;
+            self.touched.push(r);
+        }
+        for e in 0..self.n_etas() {
+            let pos = self.eta_pos[e] as usize;
+            let wp = self.w[pos];
+            if wp == 0.0 {
+                continue;
+            }
+            let t = wp * self.eta_inv[e];
+            self.w[pos] = t;
+            let (s, e) = (self.eta_ptr[e] as usize, self.eta_ptr[e + 1] as usize);
+            for (&rr, &val) in self.eta_row[s..e].iter().zip(&self.eta_val[s..e]) {
+                let r = rr as usize;
+                if self.w[r] == 0.0 {
+                    // New fill (or a cancelled entry — dedup below).
+                    self.touched.push(rr);
+                }
+                self.w[r] -= val * t;
+            }
+        }
+        self.touched.sort_unstable();
+        self.touched.dedup();
+    }
+
+    /// Like [`ftran_col`](Self::ftran_col) but leaves `touched` unsorted and
+    /// possibly duplicated — enough for consumers that only need the set of
+    /// nonzero rows, not a deterministic scan order.
+    fn ftran_col_unsorted(&mut self, j: usize) {
+        self.touched.clear();
+        let (rows, vals) = self.sp.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            self.w[r as usize] = v;
+            self.touched.push(r);
+        }
+        for e in 0..self.n_etas() {
+            let pos = self.eta_pos[e] as usize;
+            let wp = self.w[pos];
+            if wp == 0.0 {
+                continue;
+            }
+            let t = wp * self.eta_inv[e];
+            self.w[pos] = t;
+            let (s, e) = (self.eta_ptr[e] as usize, self.eta_ptr[e + 1] as usize);
+            for (&rr, &val) in self.eta_row[s..e].iter().zip(&self.eta_val[s..e]) {
+                let r = rr as usize;
+                if self.w[r] == 0.0 {
+                    self.touched.push(rr);
+                }
+                self.w[r] -= val * t;
+            }
+        }
+    }
+
+    /// Zeroes the scratch entries `ftran_col` populated.
+    fn clear_w(&mut self) {
+        for &r in &self.touched {
+            self.w[r as usize] = 0.0;
+        }
+    }
+
+    /// Applies the transposed eta file in reverse to `self.y`: `y ← B⁻ᵀy`.
+    fn btran(&mut self) {
+        let y = &mut self.y[..];
+        for e in (0..self.eta_pos.len()).rev() {
+            let (s, t) = (self.eta_ptr[e] as usize, self.eta_ptr[e + 1] as usize);
+            let mut dot = 0.0;
+            for (&r, &val) in self.eta_row[s..t].iter().zip(&self.eta_val[s..t]) {
+                dot += val * y[r as usize];
+            }
+            let pos = self.eta_pos[e] as usize;
+            y[pos] = (y[pos] - dot) * self.eta_inv[e];
+        }
+    }
+
+    /// Appends an eta built from the current `self.w` pivoting on `pos`,
+    /// returning its off-pivot nonzero count. Entries at or below the
+    /// pivot tolerance are dropped — the same per-row skip the dense
+    /// engine's `eliminate` applies.
+    fn push_eta(&mut self, pos: usize) -> u64 {
+        let inv = 1.0 / self.w[pos];
+        let before = self.eta_row.len();
+        for &rr in &self.touched {
+            let r = rr as usize;
+            if r == pos {
+                continue;
+            }
+            let v = self.w[r];
+            if v.abs() > TOL.pivot {
+                self.eta_row.push(rr);
+                self.eta_val.push(v);
+            }
+        }
+        let fill = (self.eta_row.len() - before) as u64;
+        if fill == 0 && inv == 1.0 {
+            // Identity operator (a basic logical column claiming its own
+            // untouched row): applying it is a bit-exact no-op in both
+            // FTRAN (`w[pos] * 1.0`) and BTRAN (`(y[pos] - 0.0) * 1.0`),
+            // so don't store it — every later transform would scan its
+            // header for nothing. Mostly-logical warm bases shrink from
+            // m etas to one per structural basic.
+            return 0;
+        }
+        self.eta_pos.push(pos as u32);
+        self.eta_inv.push(inv);
+        self.eta_ptr.push(self.eta_row.len() as u32);
+        fill
+    }
+
+    /// Factorizes the basic set of `self.status` into a fresh eta file:
+    /// columns in ascending index, each FTRANed through the etas built so
+    /// far, claiming the unclaimed row with the largest magnitude (ties to
+    /// the smallest row index, floor `TOL.refactor`) — the same elimination
+    /// order and pivot choice as the dense oracle's Gauss-Jordan, in sparse
+    /// form. A basic *logical* column that reaches its own unclaimed row
+    /// untouched claims it with an empty eta, so the all-logical cold basis
+    /// (and the mostly-logical bases of warm-started children) factorizes
+    /// in O(nnz of the structural basics).
+    fn factorize(&mut self) -> bool {
+        let m = self.sp.m;
+        self.eta_pos.clear();
+        self.eta_inv.clear();
+        self.eta_ptr.clear();
+        self.eta_ptr.push(0);
+        self.eta_row.clear();
+        self.eta_val.clear();
+        self.factor_etas = 0;
+        self.used.fill(false);
+        self.lu_factorizations += 1;
+        let mut n_basic = 0usize;
+        for j in 0..self.sp.n {
+            if self.status[j] != ColStatus::Basic {
+                continue;
+            }
+            n_basic += 1;
+            if n_basic > m {
+                return false;
+            }
+            self.ftran_col(j);
+            let mut best_r = usize::MAX;
+            let mut best_a = TOL.refactor;
+            for &rr in &self.touched {
+                let r = rr as usize;
+                if self.used[r] {
+                    continue;
+                }
+                let a = self.w[r].abs();
+                if a > best_a {
+                    best_a = a;
+                    best_r = r;
+                }
+            }
+            if best_r == usize::MAX {
+                self.clear_w();
+                return false; // singular basis
+            }
+            self.used[best_r] = true;
+            self.basis[best_r] = j;
+            self.lu_fill_nnz += self.push_eta(best_r);
+            self.clear_w();
+        }
+        if n_basic != m {
+            return false;
+        }
+        self.factor_etas = self.n_etas();
+        true
+    }
+
+    /// [`factorize`](Self::factorize) with a single-entry per-thread memo:
+    /// if the thread's last factorization was of this exact model and
+    /// status vector, its eta file and row assignment are replayed verbatim
+    /// — the same floats a fresh factorization would produce, since the
+    /// factorization depends on nothing else. The memoized hit is not
+    /// counted as a factorization (`lu_factorizations` reports work done,
+    /// not bases installed).
+    fn factorize_cached(&mut self) -> bool {
+        if self.memo.valid && self.memo.prep_id == self.prep_id && self.memo.statuses == self.status
+        {
+            // Steal the memoized eta file wholesale instead of copying it;
+            // update etas only ever append past `factor_etas`, so `drop`
+            // can truncate the file back to the factor prefix and return
+            // it. The memo is marked invalid while its arrays are on loan.
+            std::mem::swap(&mut self.eta_pos, &mut self.memo.eta_pos);
+            std::mem::swap(&mut self.eta_inv, &mut self.memo.eta_inv);
+            std::mem::swap(&mut self.eta_ptr, &mut self.memo.eta_ptr);
+            std::mem::swap(&mut self.eta_row, &mut self.memo.eta_row);
+            std::mem::swap(&mut self.eta_val, &mut self.memo.eta_val);
+            self.basis.clone_from(&self.memo.basis);
+            self.factor_etas = self.n_etas();
+            self.memo.valid = false;
+            self.memo_borrowed = true;
+            return true;
+        }
+        self.memo.valid = false;
+        self.memo_borrowed = false;
+        self.memo_pending = false;
+        if !self.factorize() {
+            return false;
+        }
+        // Snapshot the small key/value halves now (pivots will mutate both
+        // `status` and `basis`); the eta arrays themselves move over in
+        // `drop`, once the solve is done with them.
+        self.memo.prep_id = self.prep_id;
+        self.memo.statuses.clone_from(&self.status);
+        self.memo.basis.clone_from(&self.basis);
+        self.memo_pending = true;
+        true
+    }
+
+    /// Refactorizes the current basis and recomputes the basic values from
+    /// the (unchanged) nonbasic point:
+    /// `x_B = B⁻¹b − Σ_nonbasic (B⁻¹A_j)·x_j`. The subtraction runs over
+    /// *transformed* columns in ascending index — the exact operation order
+    /// of the dense oracle's install — so the two engines start a warm
+    /// solve from bit-identical basic values.
+    fn refactorize(&mut self) -> bool {
+        if !self.factorize_cached() {
+            return false;
+        }
+        let mut rhs = std::mem::take(&mut self.rhs);
+        rhs.clear();
+        rhs.extend_from_slice(&self.sp.b);
+        self.ftran_dense(&mut rhs);
+        for j in 0..self.sp.n {
+            if self.status[j] == ColStatus::Basic {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            // Row order within one column's subtraction never mixes
+            // accumulators, so the unsorted transform is bit-identical to
+            // the oracle's row sweep; zeroing `w` as rows are consumed
+            // makes duplicate `touched` entries subtract nothing.
+            self.ftran_col_unsorted(j);
+            for idx in 0..self.touched.len() {
+                let r = self.touched[idx] as usize;
+                let wv = self.w[r];
+                if wv != 0.0 {
+                    rhs[r] -= wv * xj;
+                    self.w[r] = 0.0;
+                }
+            }
+            self.touched.clear();
+        }
+        for i in 0..self.sp.m {
+            self.x[self.basis[i]] = rhs[i];
+        }
+        self.rhs = rhs;
+        true
+    }
+
+    /// Runs the deterministic refactorization trigger: once the update-eta
+    /// chain outgrows [`REFACTOR_UPDATES`], rebuild it. `false` means the
+    /// (previously valid) basis went numerically singular — stall.
+    fn refactor_if_due(&mut self) -> bool {
+        if self.n_etas() - self.factor_etas < REFACTOR_UPDATES {
+            return true;
+        }
+        self.refactor_triggers += 1;
+        self.refactorize()
+    }
+
+    /// The pricing dot product `y·A_j` for column `j`. The production scan
+    /// inlines this into [`choose_entering`](Self::choose_entering); tests
+    /// keep it as the readable reference form.
+    #[cfg(test)]
+    fn price_col(&self, j: usize) -> f64 {
+        if j >= self.sp.n_struct {
+            return self.y[j - self.sp.n_struct];
+        }
+        let (rows, vals) = self.sp.col(j);
+        let mut dot = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            dot += v * self.y[r as usize];
+        }
+        dot
+    }
+
+    /// Identical selection rule to the dense engine, with the reduced cost
+    /// computed from the pricing vector instead of a maintained row:
+    /// phase 1 prices `d_j = y·A_j` (`y = B⁻ᵀσ`), phase 2
+    /// `d_j = c_j − y·A_j` (`y = B⁻ᵀc_B`).
+    fn choose_entering(&self, use_cost: bool, bland: bool) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_score = TOL.dual;
+        let n_struct = self.sp.n_struct;
+        // `cands` already excludes columns pinned by equal bounds.
+        for &ju in &self.cands {
+            let j = ju as usize;
+            let st = self.status[j];
+            if st == ColStatus::Basic {
+                continue;
+            }
+            let dot = if j < n_struct {
+                let (s, e) = (self.sp.col_ptr[j] as usize, self.sp.col_ptr[j + 1] as usize);
+                let mut d = 0.0;
+                for (&r, &v) in self.sp.row_ix[s..e].iter().zip(&self.sp.val[s..e]) {
+                    d += v * self.y[r as usize];
+                }
+                d
+            } else {
+                self.y[j - n_struct]
+            };
+            let d = if use_cost { self.sp.cost[j] - dot } else { dot };
+            let can_up = matches!(st, ColStatus::AtLower | ColStatus::Free);
+            let can_down = matches!(st, ColStatus::AtUpper | ColStatus::Free);
+            if bland {
+                if can_up && d < -TOL.dual {
+                    return Some((j, 1.0));
+                }
+                if can_down && d > TOL.dual {
+                    return Some((j, -1.0));
+                }
+            } else {
+                // Banded argmax (see PRICE_BAND): only a clearly better
+                // score displaces the incumbent, so near-equal candidates
+                // resolve to the lowest index in both engines.
+                if can_up && -d > best_score + PRICE_BAND * best_score {
+                    best_score = -d;
+                    best = Some((j, 1.0));
+                }
+                if can_down && d > best_score + PRICE_BAND * best_score {
+                    best_score = d;
+                    best = Some((j, -1.0));
+                }
+            }
+        }
+        best
+    }
+
+    /// Bounded-variable ratio test over the FTRANed entering column in
+    /// `self.w` — the same rule, tie-breaks and scan order (ascending row)
+    /// as the dense engine, restricted to the touched (nonzero) rows.
+    fn ratio_test(&self, enter: usize, dir: f64, phase1: bool, bland: bool) -> Step {
+        let own_span = self.upper[enter] - self.lower[enter];
+        let mut best_delta = if own_span.is_finite() { own_span } else { f64::INFINITY };
+        let mut best_row = usize::MAX;
+        let mut best_pivot = 0.0f64;
+        for &ri in &self.touched {
+            let i = ri as usize;
+            let alpha = self.w[i];
+            if alpha.abs() <= TOL.pivot {
+                continue;
+            }
+            let k = self.basis[i];
+            let xv = self.x[k];
+            let rate = -dir * alpha; // d x_k / d delta
+            let dist = if phase1 && xv < self.lower[k] - TOL.feas {
+                if rate > 0.0 {
+                    self.lower[k] - xv
+                } else {
+                    continue; // moving further out: charged by the gradient
+                }
+            } else if phase1 && xv > self.upper[k] + TOL.feas {
+                if rate < 0.0 {
+                    xv - self.upper[k]
+                } else {
+                    continue;
+                }
+            } else if rate > 0.0 {
+                if self.upper[k].is_finite() {
+                    (self.upper[k] - xv).max(0.0)
+                } else {
+                    continue;
+                }
+            } else if self.lower[k].is_finite() {
+                (xv - self.lower[k]).max(0.0)
+            } else {
+                continue;
+            };
+            let delta = dist / rate.abs();
+            let replace = if delta < best_delta - TOL.pivot {
+                true
+            } else if best_row != usize::MAX && delta <= best_delta + TOL.pivot {
+                // Tie: Bland picks the smallest basis column (anti-cycling),
+                // Dantzig mode prefers the larger pivot (stability).
+                if bland {
+                    self.basis[i] < self.basis[best_row]
+                } else {
+                    alpha.abs() > best_pivot
+                }
+            } else {
+                false
+            };
+            if replace {
+                best_delta = delta.min(best_delta);
+                best_row = i;
+                best_pivot = alpha.abs();
+            }
+        }
+        if best_row == usize::MAX {
+            if best_delta.is_finite() {
+                Step::Flip { delta: best_delta }
+            } else {
+                Step::Unbounded
+            }
+        } else {
+            Step::Pivot { row: best_row, delta: best_delta.max(0.0) }
+        }
+    }
+
+    /// Applies a ratio-test step: moves the point along the FTRANed
+    /// entering column, snaps the leaving/flipping variable to its bound,
+    /// and (on a pivot) appends the update eta. Consumes `self.w`.
+    fn apply(&mut self, enter: usize, dir: f64, step: Step) {
+        self.degen_streak = if step.is_degenerate() { self.degen_streak + 1 } else { 0 };
+        let (delta, pivot_row) = match step {
+            Step::Flip { delta } => (delta, None),
+            Step::Pivot { row, delta } => (delta, Some(row)),
+            Step::Unbounded => unreachable!("apply is never called on an unbounded step"),
+        };
+        if delta != 0.0 {
+            for idx in 0..self.touched.len() {
+                let i = self.touched[idx] as usize;
+                let alpha = self.w[i];
+                if alpha.abs() > TOL.pivot {
+                    let k = self.basis[i];
+                    self.x[k] -= dir * alpha * delta;
+                }
+            }
+            self.x[enter] += dir * delta;
+        }
+        match pivot_row {
+            None => {
+                // Bound flip: snap to the opposite bound exactly.
+                self.status[enter] = match self.status[enter] {
+                    ColStatus::AtLower => ColStatus::AtUpper,
+                    ColStatus::AtUpper => ColStatus::AtLower,
+                    other => other, // free columns have no finite span
+                };
+                self.x[enter] = match self.status[enter] {
+                    ColStatus::AtLower => self.lower[enter],
+                    ColStatus::AtUpper => self.upper[enter],
+                    _ => self.x[enter],
+                };
+            }
+            Some(r) => {
+                let k = self.basis[r];
+                // The leaving variable snaps to whichever finite bound it
+                // blocked at (kills accumulated roundoff drift).
+                let (lo_fin, hi_fin) = (self.lower[k].is_finite(), self.upper[k].is_finite());
+                let to_lower = match (lo_fin, hi_fin) {
+                    (true, true) => {
+                        (self.x[k] - self.lower[k]).abs() <= (self.x[k] - self.upper[k]).abs()
+                    }
+                    (true, false) => true,
+                    (false, true) => false,
+                    (false, false) => {
+                        // A free basic variable never blocks; defensive only.
+                        self.status[k] = ColStatus::Free;
+                        self.pivot_basis(r, enter);
+                        return;
+                    }
+                };
+                if to_lower {
+                    self.status[k] = ColStatus::AtLower;
+                    self.x[k] = self.lower[k];
+                } else {
+                    self.status[k] = ColStatus::AtUpper;
+                    self.x[k] = self.upper[k];
+                }
+                self.pivot_basis(r, enter);
+                return;
+            }
+        }
+        self.clear_w();
+    }
+
+    /// Basis bookkeeping of a pivot: `enter` becomes basic in row `r` and
+    /// the update eta (built from `self.w`) joins the file.
+    fn pivot_basis(&mut self, r: usize, enter: usize) {
+        self.basis[r] = enter;
+        self.status[enter] = ColStatus::Basic;
+        self.eta_updates += 1;
+        self.eta_nnz += self.push_eta(r);
+        self.clear_w();
+    }
+
+    /// Composite phase 1 (same scheme as the dense engine): minimize the
+    /// total bound violation of the basic variables, pricing with
+    /// `y = B⁻ᵀσ` where `σ_i = ±1` flags the violated basics.
+    fn phase1(&mut self) -> RunOutcome {
+        let (m, n) = (self.sp.m, self.sp.n);
+        let bland_after = (20 * (m + n) + 1_000) as u64;
+        let cap = 200 * (m + n) as u64 + 50_000;
+        loop {
+            if !self.refactor_if_due() {
+                return RunOutcome::Stalled;
+            }
+            let mut infeas = 0.0f64;
+            let mut any = false;
+            for i in 0..m {
+                let k = self.basis[i];
+                let xv = self.x[k];
+                self.y[i] = if xv < self.lower[k] - TOL.feas {
+                    infeas += self.lower[k] - xv;
+                    any = true;
+                    1.0
+                } else if xv > self.upper[k] + TOL.feas {
+                    infeas += xv - self.upper[k];
+                    any = true;
+                    -1.0
+                } else {
+                    0.0
+                };
+            }
+            if infeas <= TOL.feas {
+                return RunOutcome::Optimal; // primal feasible
+            }
+            debug_assert!(any);
+            self.btran();
+            let bland = self.phase1_iters > bland_after || self.degen_streak >= DEGEN_BLAND_AFTER;
+            let Some((enter, dir)) = self.choose_entering(false, bland) else {
+                // Converged at the global minimum of the (convex)
+                // infeasibility; nonzero means the LP has no feasible point.
+                return if infeas > TOL.infeasible {
+                    RunOutcome::Infeasible
+                } else {
+                    RunOutcome::Optimal
+                };
+            };
+            self.phase1_iters += 1;
+            if self.phase1_iters > cap {
+                return RunOutcome::Stalled;
+            }
+            self.ftran_col(enter);
+            match self.ratio_test(enter, dir, true, bland) {
+                // A descent direction of a function bounded below by zero
+                // always blocks; anything else is numerical trouble.
+                Step::Unbounded => {
+                    self.clear_w();
+                    return RunOutcome::Stalled;
+                }
+                step => self.apply(enter, dir, step),
+            }
+        }
+    }
+
+    fn phase2(&mut self) -> RunOutcome {
+        let (m, n) = (self.sp.m, self.sp.n);
+        let bland_after = (20 * (m + n) + 1_000) as u64;
+        // Same anti-livelock backstop as the dense engine; see there.
+        let cap = 10_000 * (m + n) as u64 + 1_000_000;
+        loop {
+            if !self.refactor_if_due() {
+                return RunOutcome::Stalled;
+            }
+            // y = B⁻ᵀ c_B; reduced costs then price against the originals,
+            // so (unlike a maintained dense cost row) they carry no
+            // accumulated elimination roundoff.
+            for i in 0..m {
+                self.y[i] = self.sp.cost[self.basis[i]];
+            }
+            self.btran();
+            let bland = self.phase2_iters > bland_after || self.degen_streak >= DEGEN_BLAND_AFTER;
+            let Some((enter, dir)) = self.choose_entering(true, bland) else {
+                return RunOutcome::Optimal;
+            };
+            self.phase2_iters += 1;
+            if self.phase2_iters > cap {
+                return RunOutcome::Stalled;
+            }
+            self.ftran_col(enter);
+            match self.ratio_test(enter, dir, false, bland) {
+                Step::Unbounded => {
+                    self.clear_w();
+                    return RunOutcome::Unbounded;
+                }
+                step => self.apply(enter, dir, step),
+            }
+        }
+    }
+}
+
+impl Drop for Revised<'_> {
+    /// Returns every buffer (and the factorization memo) to the thread's
+    /// scratch slot for the next solve to reuse. If this solve factorized
+    /// a basis (or borrowed the memo's factorization), the eta file is
+    /// truncated back to its factor prefix — update etas only ever append
+    /// past it — and moved into the memo for the sibling install to hit.
+    fn drop(&mut self) {
+        if self.memo_borrowed || self.memo_pending {
+            let fe = self.factor_etas;
+            self.eta_pos.truncate(fe);
+            self.eta_inv.truncate(fe);
+            self.eta_ptr.truncate(fe + 1);
+            let cut = self.eta_ptr.last().copied().unwrap_or(0) as usize;
+            self.eta_row.truncate(cut);
+            self.eta_val.truncate(cut);
+            std::mem::swap(&mut self.eta_pos, &mut self.memo.eta_pos);
+            std::mem::swap(&mut self.eta_inv, &mut self.memo.eta_inv);
+            std::mem::swap(&mut self.eta_ptr, &mut self.memo.eta_ptr);
+            std::mem::swap(&mut self.eta_row, &mut self.memo.eta_row);
+            std::mem::swap(&mut self.eta_val, &mut self.memo.eta_val);
+            self.memo.valid = true;
+        }
+        let sc = RevScratch {
+            lower: std::mem::take(&mut self.lower),
+            upper: std::mem::take(&mut self.upper),
+            status: std::mem::take(&mut self.status),
+            x: std::mem::take(&mut self.x),
+            basis: std::mem::take(&mut self.basis),
+            eta_pos: std::mem::take(&mut self.eta_pos),
+            eta_inv: std::mem::take(&mut self.eta_inv),
+            eta_ptr: std::mem::take(&mut self.eta_ptr),
+            eta_row: std::mem::take(&mut self.eta_row),
+            eta_val: std::mem::take(&mut self.eta_val),
+            w: std::mem::take(&mut self.w),
+            touched: std::mem::take(&mut self.touched),
+            y: std::mem::take(&mut self.y),
+            used: std::mem::take(&mut self.used),
+            cands: std::mem::take(&mut self.cands),
+            rhs: std::mem::take(&mut self.rhs),
+            memo: std::mem::take(&mut self.memo),
+        };
+        SCRATCH.with(|c| *c.borrow_mut() = sc);
+    }
+}
+
+impl EngineCore for Revised<'_> {
+    fn cold_statuses(&self) -> Vec<ColStatus> {
+        cold_statuses_for(&self.lower, &self.upper, self.sp.n_struct, self.sp.m)
+    }
+
+    fn install(&mut self, statuses: &[ColStatus]) -> bool {
+        if statuses.len() != self.sp.n {
+            return false;
+        }
+        self.status.copy_from_slice(statuses);
+        // Adopt nonbasic statuses; a status whose bound went infinite (only
+        // possible for a foreign basis) degrades to the nearest valid one.
+        for j in 0..self.sp.n {
+            match self.status[j] {
+                ColStatus::Basic => continue,
+                ColStatus::AtLower if !self.lower[j].is_finite() => {
+                    self.status[j] = if self.upper[j].is_finite() {
+                        ColStatus::AtUpper
+                    } else {
+                        ColStatus::Free
+                    };
+                }
+                ColStatus::AtUpper if !self.upper[j].is_finite() => {
+                    self.status[j] = if self.lower[j].is_finite() {
+                        ColStatus::AtLower
+                    } else {
+                        ColStatus::Free
+                    };
+                }
+                _ => {}
+            }
+            self.x[j] = match self.status[j] {
+                ColStatus::AtLower => self.lower[j],
+                ColStatus::AtUpper => self.upper[j],
+                _ => 0.0,
+            };
+        }
+        self.refactorize()
+    }
+
+    fn run(&mut self) -> RunOutcome {
+        match self.phase1() {
+            RunOutcome::Optimal => {}
+            other => return other,
+        }
+        self.phase2()
+    }
+
+    fn iters(&self) -> (u64, u64) {
+        (self.phase1_iters, self.phase2_iters)
+    }
+
+    fn solution(&self) -> (&[f64], &[ColStatus]) {
+        (&self.x, &self.status)
+    }
+
+    fn lu_totals(&self) -> Option<[u64; 5]> {
+        Some([
+            self.lu_factorizations,
+            self.lu_fill_nnz,
+            self.eta_updates,
+            self.eta_nnz,
+            self.refactor_triggers,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CmpOp;
+    use crate::simplex::{LpProblem, LpRow};
+
+    fn prep(rows: Vec<LpRow>, n: usize, upper: f64) -> (LpProblem, SparseLp) {
+        let lp = LpProblem {
+            n_vars: n,
+            lower: vec![0.0; n],
+            upper: vec![upper; n],
+            rows,
+            objective: vec![1.0; n],
+            minimize: true,
+            objective_offset: 0.0,
+        };
+        let sp = SparseLp::build(&lp);
+        (lp, sp)
+    }
+
+    #[test]
+    fn cold_basis_factorizes_with_empty_etas() {
+        let (lp, sp) = prep(
+            vec![
+                LpRow { coeffs: vec![(0, 1.0), (1, 2.0)], op: CmpOp::Le, rhs: 4.0 },
+                LpRow { coeffs: vec![(1, 1.0)], op: CmpOp::Ge, rhs: 1.0 },
+            ],
+            2,
+            10.0,
+        );
+        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id());
+        let cold = e.cold_statuses();
+        assert!(e.install(&cold));
+        // All-logical basis: every column claims its own row with an
+        // identity operator, and identity etas are elided entirely.
+        assert_eq!(e.n_etas(), 0);
+        assert_eq!(e.eta_row.len(), 0);
+        assert_eq!(e.basis, vec![2, 3]);
+        assert_eq!(e.lu_totals().unwrap()[1], 0, "no fill for logical columns");
+    }
+
+    #[test]
+    fn ftran_btran_invert_each_other() {
+        let (lp, sp) = prep(
+            vec![
+                LpRow { coeffs: vec![(0, 2.0), (1, 1.0)], op: CmpOp::Eq, rhs: 3.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, 3.0)], op: CmpOp::Eq, rhs: 4.0 },
+            ],
+            2,
+            10.0,
+        );
+        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id());
+        // Make both structural columns basic (a 2×2 nonsingular basis).
+        let statuses =
+            vec![ColStatus::Basic, ColStatus::Basic, ColStatus::AtLower, ColStatus::AtLower];
+        assert!(e.install(&statuses));
+        // FTRAN of basis column i must reproduce the unit vector of the
+        // row that column claimed.
+        for (row, &col) in e.basis.clone().iter().enumerate() {
+            e.ftran_col(col);
+            for i in 0..sp.m {
+                let expect = if i == row { 1.0 } else { 0.0 };
+                assert!((e.w[i] - expect).abs() < 1e-12, "col {col} row {i}: {}", e.w[i]);
+            }
+            e.clear_w();
+        }
+        // BTRAN: y = B⁻ᵀ v ⇔ Bᵀ y = v, checked via y·A_col = v[row(col)].
+        e.y.copy_from_slice(&[5.0, -7.0]);
+        let v = e.y.clone();
+        e.btran();
+        for (row, &col) in e.basis.clone().iter().enumerate() {
+            let dot = e.price_col(col);
+            assert!((dot - v[row]).abs() < 1e-9, "col {col}: {dot} vs {}", v[row]);
+        }
+    }
+
+    #[test]
+    fn refactor_trigger_fires_deterministically() {
+        // A solve long enough to exceed REFACTOR_UPDATES pivots would
+        // refactorize; here just drive the trigger path directly.
+        let (lp, sp) =
+            prep(vec![LpRow { coeffs: vec![(0, 0.5)], op: CmpOp::Le, rhs: 5.0 }], 1, 10.0);
+        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id());
+        let cold = e.cold_statuses();
+        assert!(e.install(&cold));
+        let factorizations_before = e.lu_factorizations;
+        // Fake a long update chain by scattering the scratch directly (a
+        // 0.5 pivot keeps every eta non-identity, so they are actually
+        // stored): the trigger must refactorize.
+        for _ in 0..REFACTOR_UPDATES {
+            e.w[0] = 0.5;
+            e.touched.clear();
+            e.touched.push(0);
+            e.push_eta(0);
+            e.clear_w();
+        }
+        assert!(e.refactor_if_due());
+        assert_eq!(e.refactor_triggers, 1);
+        // The memo only captures the eta file when the engine is dropped,
+        // so an in-lifetime rebuild factorizes (and counts) afresh.
+        assert_eq!(e.lu_factorizations, factorizations_before + 1);
+        assert_eq!(e.n_etas() - e.factor_etas, 0, "update chain reset");
+    }
+}

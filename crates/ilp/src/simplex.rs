@@ -1,38 +1,101 @@
-//! Dense bounded-variable primal simplex with basis warm starts.
+//! Bounded-variable primal simplex: engine dispatch, shared types and the
+//! warm-start orchestration.
 //!
-//! The LP relaxations produced by the TAPA-CS partitioner/floorplanner are
-//! small and dense enough (hundreds to a few thousand rows/columns) that a
-//! dense tableau with Dantzig pricing and Bland's anti-cycling fallback is
-//! both simple and fast. Two properties matter for branch and bound:
+//! Two interchangeable engines solve the LP relaxations:
+//!
+//! * [`revised`](crate::revised) (default) — a revised simplex over the
+//!   sparse CSC matrix built once per model by [`SparseLp`]. Each solve
+//!   factorizes its starting basis with a sparse product-form elimination
+//!   (logical columns claim rows with empty etas, so a mostly-slack
+//!   floorplan basis factorizes in O(nnz of the structural basics)),
+//!   appends one eta per pivot, and refactorizes on a deterministic
+//!   update-count trigger. Iteration cost is O(nnz), not O(m·n).
+//! * [`dense`](crate::dense) — the original dense-tableau implementation,
+//!   kept behind `TAPACS_LP_ENGINE=dense` as the differential-testing
+//!   oracle for the sparse path.
+//!
+//! Both engines share every numerical decision rule — the [`Tolerances`]
+//! set, Dantzig pricing with Bland fallback, the anti-cycling guard that
+//! forces Bland's rule after [`DEGEN_BLAND_AFTER`] consecutive degenerate
+//! pivots, the bounded-variable ratio test and its tie-breaks — so they
+//! agree on verdicts and, in practice, on the entire branch-and-bound node
+//! tree. Two properties matter for branch and bound:
 //!
 //! * **Bounds are handled natively in the ratio test.** Finite lower/upper
 //!   bounds never materialize as extra constraint rows or split/shifted
-//!   columns, so tightening one branching bound leaves the tableau shape —
+//!   columns, so tightening one branching bound leaves the column set —
 //!   and therefore any saved [`Basis`] — unchanged between parent and child
 //!   nodes.
-//! * **Warm starts.** [`solve_warm`] refactorizes a parent basis against
-//!   the child's bounds and re-solves with the composite phase 1 (which is
-//!   a no-op when the parent point is still feasible) followed by phase 2.
-//!   A child that moved one bound typically re-solves in a handful of
-//!   pivots instead of a full phase 1 + phase 2 from the all-logical basis.
+//! * **Warm starts.** [`PreparedLp::solve_warm`] refactorizes a parent
+//!   basis against the child's bounds and re-solves with the composite
+//!   phase 1 (a no-op when the parent point is still feasible) followed by
+//!   phase 2. A child that moved one bound typically re-solves in a
+//!   handful of pivots instead of a full cold start.
 //!
-//! Iteration counts and warm-start hits feed the process-wide
-//! [`SolveActivity`](crate::SolveActivity) counters.
+//! Iteration counts, warm-start hits and factorization work feed the
+//! process-wide [`SolveActivity`](crate::SolveActivity) counters.
 
 use crate::model::CmpOp;
+use crate::sparse::SparseLp;
 use crate::stats;
+use crate::{dense, revised};
 
-/// Feasibility / integrality tolerance used throughout the solver.
-pub(crate) const FEAS_TOL: f64 = 1e-7;
-/// Pivot magnitude tolerance.
-const EPS: f64 = 1e-9;
-/// Reduced-cost optimality tolerance.
-const RC_TOL: f64 = 1e-7;
-/// Minimum pivot magnitude accepted when refactorizing a warm basis.
-const REFACTOR_TOL: f64 = 1e-8;
-/// Total (phase 1) infeasibility above which a converged phase 1 reports
-/// the LP infeasible.
-const INFEAS_TOL: f64 = 1e-6;
+/// The numerical tolerances every simplex decision goes through, unified
+/// here so the two engines (and the warm and cold paths inside each) can
+/// never disagree on a verdict. They used to be five ad-hoc constants; a
+/// point could pass the ratio test at the pivot tolerance yet flip between
+/// "feasible" and "infeasible" depending on which path classified it.
+///
+/// | field        | value  | gates                                           |
+/// |--------------|--------|-------------------------------------------------|
+/// | `feas`       | `1e-7` | bound-violation test of a basic variable        |
+/// | `pivot`      | `1e-9` | smallest usable pivot / "column can move" span  |
+/// | `dual`       | `1e-7` | reduced-cost optimality (pricing)               |
+/// | `refactor`   | `1e-8` | smallest pivot accepted when factorizing a basis|
+/// | `infeasible` | `1e-6` | total phase-1 violation that condemns the LP    |
+///
+/// `infeasible` is deliberately looser than `feas`: it must match the
+/// `1e-6` integrality/feasibility checks of the MIP layer
+/// ([`Model::is_feasible`](crate::Model)), so a relaxation the branch and
+/// bound would accept is never condemned by phase 1.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tolerances {
+    /// Bound-violation tolerance for basic variables (phase-1 membership).
+    pub feas: f64,
+    /// Pivot magnitude floor; also the minimum span of a movable column.
+    pub pivot: f64,
+    /// Reduced-cost threshold below which a column is not worth entering.
+    pub dual: f64,
+    /// Minimum pivot magnitude accepted when (re)factorizing a basis.
+    pub refactor: f64,
+    /// Total converged phase-1 violation above which the LP is infeasible.
+    pub infeasible: f64,
+}
+
+/// The one tolerance set both engines use.
+pub(crate) const TOL: Tolerances =
+    Tolerances { feas: 1e-7, pivot: 1e-9, dual: 1e-7, refactor: 1e-8, infeasible: 1e-6 };
+
+/// Feasibility tolerance re-exported for the crate's bound checks.
+pub(crate) const FEAS_TOL: f64 = TOL.feas;
+
+/// Consecutive degenerate pivots (steps of zero length) tolerated before
+/// pricing switches to Bland's rule until the iterate moves again. Dantzig
+/// pricing can cycle on degenerate vertices (Beale's example) — without
+/// this guard such a solve only "terminates" by burning its iteration cap,
+/// which the deadline then reports as a timeout instead of an optimum.
+pub(crate) const DEGEN_BLAND_AFTER: u32 = 40;
+
+/// Relative tie band for Dantzig pricing: a candidate must beat the
+/// incumbent best score by more than this *relative* margin to displace
+/// it; anything closer is a tie and the earlier (lower-index) column
+/// stays. On the combinatorial LPs this crate solves, many columns share
+/// the exact same reduced cost, and the two engines compute those costs
+/// through different (mathematically equal) formulas — a strict `>` would
+/// let last-ulp roundoff pick different columns per engine and send the
+/// branch-and-bound trees apart. Real score gaps are either zero or far
+/// above this band.
+pub(crate) const PRICE_BAND: f64 = 1e-9;
 
 /// One constraint row in sparse form.
 #[derive(Debug, Clone)]
@@ -70,7 +133,7 @@ pub(crate) enum ColStatus {
 
 /// A basis snapshot: one [`ColStatus`] per column (`n_vars` structural
 /// columns followed by one logical column per row). Because bounds never
-/// change the tableau shape, a parent's basis is always dimensionally valid
+/// change the column set, a parent's basis is always dimensionally valid
 /// for its branch-and-bound children.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Basis {
@@ -85,79 +148,38 @@ pub(crate) enum LpOutcome {
     Unbounded,
 }
 
-/// Solves `lp` with its stored bounds, cold.
-pub(crate) fn solve(lp: &LpProblem) -> LpOutcome {
-    solve_warm(lp, &lp.lower, &lp.upper, None)
+/// Which simplex implementation solves the LP relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LpEngine {
+    /// Sparse revised simplex with product-form basis updates (default).
+    Sparse,
+    /// Dense-tableau simplex — the original engine, kept as the
+    /// differential-testing oracle (`TAPACS_LP_ENGINE=dense`).
+    Dense,
 }
 
-/// Solves `lp` with overriding bounds, cold.
-#[cfg(test)]
-pub(crate) fn solve_with_bounds(lp: &LpProblem, lower: &[f64], upper: &[f64]) -> LpOutcome {
-    solve_warm(lp, lower, upper, None)
-}
-
-/// Solves `lp` with overriding bounds, warm-starting from `warm` when
-/// given. A basis that fails to refactorize (or a solve that stalls out of
-/// it) falls back to a cold start; the outcome is exact either way.
-pub(crate) fn solve_warm(
-    lp: &LpProblem,
-    lower: &[f64],
-    upper: &[f64],
-    warm: Option<&Basis>,
-) -> LpOutcome {
-    debug_assert_eq!(lower.len(), lp.n_vars);
-    debug_assert_eq!(upper.len(), lp.n_vars);
-
-    // Quick bound sanity: an empty box is infeasible.
-    for j in 0..lp.n_vars {
-        if lower[j] > upper[j] + FEAS_TOL {
-            return LpOutcome::Infeasible;
+impl LpEngine {
+    /// Reads `TAPACS_LP_ENGINE` (`dense` selects the oracle engine; any
+    /// other value, or unset, selects the sparse default).
+    pub fn from_env() -> LpEngine {
+        match std::env::var("TAPACS_LP_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("dense") => LpEngine::Dense,
+            _ => LpEngine::Sparse,
         }
     }
-
-    // Pivots burned by a stalled warm attempt still count towards the
-    // solve's iteration total, so the warm-vs-cold comparisons stay honest
-    // exactly where warm starting performs worst.
-    let (mut wasted_p1, mut wasted_p2) = (0u64, 0u64);
-    if let Some(basis) = warm {
-        stats::record(|a| a.record_warm_attempt());
-        let mut t = Tableau::build(lp, lower, upper);
-        if t.install(&basis.status) {
-            let out = t.run();
-            if !matches!(out, RunOutcome::Stalled) {
-                stats::record(|a| {
-                    a.record_warm_hit();
-                    a.record_lp_solve(t.phase1_iters, t.phase2_iters);
-                });
-                return t.extract(lp, lower, upper, out);
-            }
-            wasted_p1 = t.phase1_iters;
-            wasted_p2 = t.phase2_iters;
-        }
-        // Refactorization failed or the solve stalled: fall through to a
-        // cold start. The attempt stays counted without a hit.
-    }
-
-    let mut t = Tableau::build(lp, lower, upper);
-    let cold = t.cold_statuses();
-    let installed = t.install(&cold);
-    debug_assert!(installed, "the all-logical basis always refactorizes");
-    let out = t.run();
-    stats::record(|a| a.record_lp_solve(t.phase1_iters + wasted_p1, t.phase2_iters + wasted_p2));
-    // A stalled cold solve signals numerical trouble; treat as infeasible
-    // (same convention as the previous two-phase implementation).
-    let out = if matches!(out, RunOutcome::Stalled) { RunOutcome::Infeasible } else { out };
-    t.extract(lp, lower, upper, out)
 }
 
-enum RunOutcome {
+/// How one simplex run ended (engine-internal verdict).
+pub(crate) enum RunOutcome {
     Optimal,
     Infeasible,
     Unbounded,
+    /// Iteration cap or numerical trouble; the caller retries or degrades.
     Stalled,
 }
 
-enum Step {
+/// One ratio-test result, shared by both engines.
+pub(crate) enum Step {
     /// The entering column travels to its opposite bound; no basis change.
     Flip { delta: f64 },
     /// The basic variable of `row` blocks first; pivot.
@@ -166,546 +188,230 @@ enum Step {
     Unbounded,
 }
 
-struct Tableau {
-    m: usize,
-    /// Total columns: `n_struct` structural + `m` logical.
-    n: usize,
-    n_struct: usize,
-    /// Row-major `(m + 1) × n`; row `m` is the working reduced-cost row.
-    coef: Vec<f64>,
-    /// `B⁻¹ b`, maintained through pivots.
-    b: Vec<f64>,
-    /// Per-column bounds (structural from the caller, logical from the row
-    /// operator: `<=` → `[0, ∞)`, `>=` → `(-∞, 0]`, `==` → `[0, 0]`).
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    /// Phase-2 objective per column, in minimize direction.
-    cost: Vec<f64>,
-    /// Column basic in each row.
-    basis: Vec<usize>,
-    status: Vec<ColStatus>,
-    /// Current value of every column (basic and nonbasic).
-    x: Vec<f64>,
-    phase1_iters: u64,
-    phase2_iters: u64,
+impl Step {
+    /// A pivot that moved the iterate by (essentially) nothing — the unit
+    /// the [`DEGEN_BLAND_AFTER`] anti-cycling guard counts. Bound flips
+    /// always travel the full (positive) span between the bounds.
+    pub fn is_degenerate(&self) -> bool {
+        matches!(self, Step::Pivot { delta, .. } if *delta <= TOL.pivot)
+    }
 }
 
-impl Tableau {
-    fn build(lp: &LpProblem, lower: &[f64], upper: &[f64]) -> Tableau {
-        let m = lp.rows.len();
-        let n_struct = lp.n_vars;
-        let n = n_struct + m;
-
-        let mut lo = Vec::with_capacity(n);
-        let mut hi = Vec::with_capacity(n);
-        lo.extend_from_slice(lower);
-        hi.extend_from_slice(upper);
-        for row in &lp.rows {
-            let (l, u) = match row.op {
-                CmpOp::Le => (0.0, f64::INFINITY),
-                CmpOp::Ge => (f64::NEG_INFINITY, 0.0),
-                CmpOp::Eq => (0.0, 0.0),
-            };
-            lo.push(l);
-            hi.push(u);
-        }
-
-        let mut coef = vec![0.0; (m + 1) * n];
-        let mut b = vec![0.0; m];
-        for (i, row) in lp.rows.iter().enumerate() {
-            // Row equilibration: scale each row so its largest coefficient
-            // is 1. Floorplanning rows mix unit cut indicators with
-            // ~1e6-LUT resource coefficients; without scaling, phase-1
-            // feasibility tests drown in roundoff. Scaling depends only on
-            // the row data, never on node bounds, so warm-started children
-            // see the identical matrix.
-            let peak = row.coeffs.iter().fold(0.0f64, |a, &(_, c)| a.max(c.abs()));
-            let scale = if peak > 1.0 { 1.0 / peak } else { 1.0 };
-            for &(j, a) in &row.coeffs {
-                coef[i * n + j] += a * scale;
-            }
-            coef[i * n + n_struct + i] = 1.0;
-            b[i] = row.rhs * scale;
-        }
-
-        // Objective in minimize direction.
-        let sign = if lp.minimize { 1.0 } else { -1.0 };
-        let mut cost = vec![0.0; n];
-        for j in 0..n_struct {
-            cost[j] = sign * lp.objective[j];
-        }
-
-        Tableau {
-            m,
-            n,
-            n_struct,
-            coef,
-            b,
-            lower: lo,
-            upper: hi,
-            cost,
-            basis: vec![usize::MAX; m],
-            status: vec![ColStatus::Free; n],
-            x: vec![0.0; n],
-            phase1_iters: 0,
-            phase2_iters: 0,
-        }
+/// What [`drive`] needs from an engine: install a basis, run the two
+/// phases, and expose the solution state. Engines are single-use — `drive`
+/// constructs a fresh one per installation attempt.
+pub(crate) trait EngineCore {
+    /// The all-logical starting basis for the current bounds.
+    fn cold_statuses(&self) -> Vec<ColStatus>;
+    /// Factorizes `statuses`' basic set and adopts the nonbasic statuses
+    /// (clamped to the current bounds). `false` when not a valid basis.
+    fn install(&mut self, statuses: &[ColStatus]) -> bool;
+    /// Composite phase 1 then phase 2.
+    fn run(&mut self) -> RunOutcome;
+    /// `(phase1, phase2)` iterations performed so far.
+    fn iters(&self) -> (u64, u64);
+    /// Current point and statuses (for [`extract_outcome`]).
+    fn solution(&self) -> (&[f64], &[ColStatus]);
+    /// Factorization counters accumulated by this engine instance, in
+    /// [`SolveActivity::record_lu`](crate::stats) argument order; `None`
+    /// for engines without a factorization (dense).
+    fn lu_totals(&self) -> Option<[u64; 5]> {
+        None
     }
+}
 
-    /// The all-logical starting basis: structural columns at their nearest
-    /// finite bound, every logical column basic.
-    fn cold_statuses(&self) -> Vec<ColStatus> {
-        let mut s = Vec::with_capacity(self.n);
-        for j in 0..self.n_struct {
-            s.push(if self.lower[j].is_finite() {
-                ColStatus::AtLower
-            } else if self.upper[j].is_finite() {
-                ColStatus::AtUpper
-            } else {
-                ColStatus::Free
-            });
-        }
-        s.extend(std::iter::repeat_n(ColStatus::Basic, self.m));
-        s
-    }
-
-    /// Refactorizes the tableau around `statuses`' basic set (Gauss-Jordan
-    /// with partial pivoting, deterministic), adopts the nonbasic statuses
-    /// clamped to the *current* bounds, and recomputes the basic values.
-    /// Returns `false` when the set is not a valid basis for this matrix.
-    fn install(&mut self, statuses: &[ColStatus]) -> bool {
-        if statuses.len() != self.n {
-            return false;
-        }
-        let mut used = vec![false; self.m];
-        let mut n_basic = 0usize;
-        for j in 0..self.n {
-            if statuses[j] != ColStatus::Basic {
-                continue;
-            }
-            n_basic += 1;
-            if n_basic > self.m {
-                return false;
-            }
-            let mut best_r = usize::MAX;
-            let mut best_a = REFACTOR_TOL;
-            for (r, r_used) in used.iter().enumerate() {
-                if *r_used {
-                    continue;
-                }
-                let a = self.coef[r * self.n + j].abs();
-                if a > best_a {
-                    best_a = a;
-                    best_r = r;
-                }
-            }
-            if best_r == usize::MAX {
-                return false; // singular basis
-            }
-            used[best_r] = true;
-            self.basis[best_r] = j;
-            self.eliminate(best_r, j);
-        }
-        if n_basic != self.m {
-            return false;
-        }
-
-        // Adopt nonbasic statuses; a status whose bound went infinite (only
-        // possible for a foreign basis) degrades to the nearest valid one.
-        self.status.copy_from_slice(statuses);
-        for j in 0..self.n {
-            match self.status[j] {
-                ColStatus::Basic => continue,
-                ColStatus::AtLower if !self.lower[j].is_finite() => {
-                    self.status[j] = if self.upper[j].is_finite() {
-                        ColStatus::AtUpper
-                    } else {
-                        ColStatus::Free
-                    };
-                }
-                ColStatus::AtUpper if !self.upper[j].is_finite() => {
-                    self.status[j] = if self.lower[j].is_finite() {
-                        ColStatus::AtLower
-                    } else {
-                        ColStatus::Free
-                    };
-                }
-                _ => {}
-            }
-            self.x[j] = match self.status[j] {
-                ColStatus::AtLower => self.lower[j],
-                ColStatus::AtUpper => self.upper[j],
-                _ => 0.0,
-            };
-        }
-
-        // Basic values: x_B = B⁻¹b − Σ_{nonbasic j} (B⁻¹A)_j · x_j.
-        let mut vals = self.b.clone();
-        for j in 0..self.n {
-            if self.status[j] == ColStatus::Basic {
-                continue;
-            }
-            let xj = self.x[j];
-            if xj == 0.0 {
-                continue;
-            }
-            for (i, v) in vals.iter_mut().enumerate() {
-                *v -= self.coef[i * self.n + j] * xj;
-            }
-        }
-        for i in 0..self.m {
-            self.x[self.basis[i]] = vals[i];
-        }
-        true
-    }
-
-    /// Pivot row operations: normalizes row `r` on `col` and eliminates
-    /// `col` from every other row including the working cost row and `b`.
-    fn eliminate(&mut self, r: usize, col: usize) {
-        let n = self.n;
-        let inv = 1.0 / self.coef[r * n + col];
-        for j in 0..n {
-            self.coef[r * n + j] *= inv;
-        }
-        self.coef[r * n + col] = 1.0;
-        self.b[r] *= inv;
-        for i in 0..=self.m {
-            if i == r {
-                continue;
-            }
-            let f = self.coef[i * n + col];
-            if f.abs() <= EPS {
-                continue;
-            }
-            for j in 0..n {
-                let pr = self.coef[r * n + j];
-                self.coef[i * n + j] -= f * pr;
-            }
-            self.coef[i * n + col] = 0.0;
-            if i < self.m {
-                self.b[i] -= f * self.b[r];
-            }
-        }
-    }
-
-    fn run(&mut self) -> RunOutcome {
-        match self.phase1() {
-            RunOutcome::Optimal => {}
-            other => return other,
-        }
-        self.phase2()
-    }
-
-    /// Composite phase 1: minimizes the total bound violation of the basic
-    /// variables. A warm start whose point is still primal feasible exits
-    /// immediately; otherwise the piecewise-linear (convex) infeasibility
-    /// is driven to its global minimum, which is zero exactly when the box
-    /// is feasible.
-    fn phase1(&mut self) -> RunOutcome {
-        let bland_after = 20 * (self.m + self.n) + 1_000;
-        let cap = 200 * (self.m + self.n) as u64 + 50_000;
-        let base = self.m * self.n;
-        loop {
-            // Classify infeasible basics and rebuild the gradient row:
-            // d_j = Σ_{i: x_i < l_i} α_ij − Σ_{i: x_i > u_i} α_ij.
-            let mut infeas = 0.0f64;
-            for j in 0..self.n {
-                self.coef[base + j] = 0.0;
-            }
-            for i in 0..self.m {
-                let k = self.basis[i];
-                let xv = self.x[k];
-                if xv < self.lower[k] - FEAS_TOL {
-                    infeas += self.lower[k] - xv;
-                    for j in 0..self.n {
-                        let a = self.coef[i * self.n + j];
-                        self.coef[base + j] += a;
-                    }
-                } else if xv > self.upper[k] + FEAS_TOL {
-                    infeas += xv - self.upper[k];
-                    for j in 0..self.n {
-                        let a = self.coef[i * self.n + j];
-                        self.coef[base + j] -= a;
-                    }
-                }
-            }
-            if infeas <= FEAS_TOL {
-                return RunOutcome::Optimal; // primal feasible
-            }
-
-            let bland = self.phase1_iters > bland_after as u64;
-            let Some((enter, dir)) = self.choose_entering(bland) else {
-                // Converged at the global minimum of the (convex)
-                // infeasibility; nonzero means the LP has no feasible point.
-                return if infeas > INFEAS_TOL {
-                    RunOutcome::Infeasible
-                } else {
-                    RunOutcome::Optimal
-                };
-            };
-            self.phase1_iters += 1;
-            if self.phase1_iters > cap {
-                return RunOutcome::Stalled;
-            }
-            match self.ratio_test(enter, dir, true, bland) {
-                // A descent direction of a function bounded below by zero
-                // always blocks; anything else is numerical trouble.
-                Step::Unbounded => return RunOutcome::Stalled,
-                step => self.apply(enter, dir, step),
-            }
-        }
-    }
-
-    fn phase2(&mut self) -> RunOutcome {
-        self.price_phase2();
-        let bland_after = 20 * (self.m + self.n) + 1_000;
-        // Stalling out of phase 2 discards a point phase 1 already proved
-        // feasible (a warm solve retries cold; a cold solve degrades to
-        // `Infeasible`), so this cap is a pure anti-livelock backstop set
-        // orders of magnitude above what Bland's rule needs to terminate —
-        // it must only ever fire on floating-point cycling.
-        let cap = 10_000 * (self.m + self.n) as u64 + 1_000_000;
-        loop {
-            let bland = self.phase2_iters > bland_after as u64;
-            let Some((enter, dir)) = self.choose_entering(bland) else {
-                return RunOutcome::Optimal;
-            };
-            self.phase2_iters += 1;
-            if self.phase2_iters > cap {
-                return RunOutcome::Stalled;
-            }
-            match self.ratio_test(enter, dir, false, bland) {
-                Step::Unbounded => return RunOutcome::Unbounded,
-                step => self.apply(enter, dir, step),
-            }
-        }
-    }
-
-    /// Zeroes the reduced costs of basic columns by subtracting multiples
-    /// of their rows from the cost row.
-    fn price_phase2(&mut self) {
-        let base = self.m * self.n;
-        for j in 0..self.n {
-            self.coef[base + j] = self.cost[j];
-        }
-        for i in 0..self.m {
-            let cb = self.coef[base + self.basis[i]];
-            if cb.abs() > EPS {
-                for j in 0..self.n {
-                    let a = self.coef[i * self.n + j];
-                    self.coef[base + j] -= cb * a;
-                }
-            }
-        }
-    }
-
-    /// Picks the entering column and direction from the working cost row:
-    /// a column at its lower bound (or free) enters increasing when its
-    /// reduced cost is negative, one at its upper bound (or free) enters
-    /// decreasing when positive. Dantzig pricing, Bland fallback.
-    fn choose_entering(&self, bland: bool) -> Option<(usize, f64)> {
-        let base = self.m * self.n;
-        let mut best: Option<(usize, f64)> = None;
-        let mut best_score = RC_TOL;
-        for j in 0..self.n {
-            if self.status[j] == ColStatus::Basic {
-                continue;
-            }
-            // A column pinned by equal bounds can never move.
-            if self.upper[j] - self.lower[j] <= EPS {
-                continue;
-            }
-            let d = self.coef[base + j];
-            let can_up = matches!(self.status[j], ColStatus::AtLower | ColStatus::Free);
-            let can_down = matches!(self.status[j], ColStatus::AtUpper | ColStatus::Free);
-            if bland {
-                if can_up && d < -RC_TOL {
-                    return Some((j, 1.0));
-                }
-                if can_down && d > RC_TOL {
-                    return Some((j, -1.0));
-                }
-            } else {
-                if can_up && -d > best_score {
-                    best_score = -d;
-                    best = Some((j, 1.0));
-                }
-                if can_down && d > best_score {
-                    best_score = d;
-                    best = Some((j, -1.0));
-                }
-            }
-        }
-        best
-    }
-
-    /// Bounded-variable ratio test. The entering column moves by `delta`
-    /// in direction `dir`; blocking candidates are every basic variable's
-    /// nearer bound *and the entering column's own opposite bound* (a bound
-    /// flip — the move that replaces the old explicit upper-bound rows).
-    /// In phase 1, a basic variable that is currently outside its box
-    /// blocks at the violated bound it is travelling towards (the kink of
-    /// the piecewise-linear infeasibility).
-    fn ratio_test(&self, enter: usize, dir: f64, phase1: bool, bland: bool) -> Step {
-        let n = self.n;
-        let own_span = self.upper[enter] - self.lower[enter];
-        let mut best_delta = if own_span.is_finite() { own_span } else { f64::INFINITY };
-        let mut best_row = usize::MAX;
-        let mut best_pivot = 0.0f64;
-        for i in 0..self.m {
-            let alpha = self.coef[i * n + enter];
-            if alpha.abs() <= EPS {
-                continue;
-            }
-            let k = self.basis[i];
-            let xv = self.x[k];
-            let rate = -dir * alpha; // d x_k / d delta
-            let dist = if phase1 && xv < self.lower[k] - FEAS_TOL {
-                if rate > 0.0 {
-                    self.lower[k] - xv
-                } else {
-                    continue; // moving further out: charged by the gradient
-                }
-            } else if phase1 && xv > self.upper[k] + FEAS_TOL {
-                if rate < 0.0 {
-                    xv - self.upper[k]
-                } else {
-                    continue;
-                }
-            } else if rate > 0.0 {
-                if self.upper[k].is_finite() {
-                    (self.upper[k] - xv).max(0.0)
-                } else {
-                    continue;
-                }
-            } else if self.lower[k].is_finite() {
-                (xv - self.lower[k]).max(0.0)
-            } else {
-                continue;
-            };
-            let delta = dist / rate.abs();
-            let replace = if delta < best_delta - EPS {
-                true
-            } else if best_row != usize::MAX && delta <= best_delta + EPS {
-                // Tie: Bland picks the smallest basis column (anti-cycling),
-                // Dantzig mode prefers the larger pivot (stability).
-                if bland {
-                    self.basis[i] < self.basis[best_row]
-                } else {
-                    alpha.abs() > best_pivot
-                }
-            } else {
-                false
-            };
-            if replace {
-                best_delta = delta.min(best_delta);
-                best_row = i;
-                best_pivot = alpha.abs();
-            }
-        }
-        if best_row == usize::MAX {
-            if best_delta.is_finite() {
-                Step::Flip { delta: best_delta }
-            } else {
-                Step::Unbounded
-            }
+/// The shared cold-start statuses: structural columns at their nearest
+/// finite bound, every logical column basic.
+pub(crate) fn cold_statuses_for(
+    lower: &[f64],
+    upper: &[f64],
+    n_struct: usize,
+    m: usize,
+) -> Vec<ColStatus> {
+    let mut s = Vec::with_capacity(n_struct + m);
+    for j in 0..n_struct {
+        s.push(if lower[j].is_finite() {
+            ColStatus::AtLower
+        } else if upper[j].is_finite() {
+            ColStatus::AtUpper
         } else {
-            Step::Pivot { row: best_row, delta: best_delta.max(0.0) }
+            ColStatus::Free
+        });
+    }
+    s.extend(std::iter::repeat_n(ColStatus::Basic, m));
+    s
+}
+
+/// Turns an engine's final state into the caller-facing [`LpOutcome`]:
+/// clamps roundoff past the bounds and re-prices the point against the
+/// *original* (unscaled) objective.
+pub(crate) fn extract_outcome(
+    lp: &LpProblem,
+    lower: &[f64],
+    upper: &[f64],
+    x: &[f64],
+    status: &[ColStatus],
+    out: RunOutcome,
+) -> LpOutcome {
+    match out {
+        RunOutcome::Infeasible | RunOutcome::Stalled => LpOutcome::Infeasible,
+        RunOutcome::Unbounded => LpOutcome::Unbounded,
+        RunOutcome::Optimal => {
+            let mut values = x[..lp.n_vars].to_vec();
+            for (j, v) in values.iter_mut().enumerate() {
+                // Clamp tiny bound violations from roundoff.
+                *v = v.clamp(
+                    if lower[j].is_finite() { lower[j] } else { *v },
+                    if upper[j].is_finite() { upper[j] } else { *v },
+                );
+            }
+            let objective = lp.objective_offset
+                + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>();
+            LpOutcome::Optimal { values, objective, basis: Basis { status: status.to_vec() } }
         }
     }
+}
 
-    fn apply(&mut self, enter: usize, dir: f64, step: Step) {
-        let (delta, pivot_row) = match step {
-            Step::Flip { delta } => (delta, None),
-            Step::Pivot { row, delta } => (delta, Some(row)),
-            Step::Unbounded => unreachable!("apply is never called on an unbounded step"),
+/// An LP prepared for repeated node solves: the borrowed problem plus the
+/// engine-specific immutable state that every solve shares. For the sparse
+/// engine that is the scaled CSC matrix — built **once** per model, because
+/// branch and bound only ever changes bounds, never the matrix.
+pub(crate) struct PreparedLp<'a> {
+    pub lp: &'a LpProblem,
+    engine: LpEngine,
+    sparse: Option<SparseLp>,
+    /// Process-unique id, the model half of the sparse engine's
+    /// per-thread factorization-memo key.
+    id: u64,
+}
+
+/// A process-unique id for anything that keys per-thread caches by model.
+pub(crate) fn next_prep_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl<'a> PreparedLp<'a> {
+    /// Prepares `lp` for `engine`.
+    pub fn new(lp: &'a LpProblem, engine: LpEngine) -> PreparedLp<'a> {
+        let sparse = match engine {
+            LpEngine::Sparse => Some(SparseLp::build(lp)),
+            LpEngine::Dense => None,
         };
-        if delta != 0.0 {
-            for i in 0..self.m {
-                let alpha = self.coef[i * self.n + enter];
-                if alpha.abs() > EPS {
-                    let k = self.basis[i];
-                    self.x[k] -= dir * alpha * delta;
-                }
+        PreparedLp { lp, engine, sparse, id: next_prep_id() }
+    }
+
+    /// Solves with overriding bounds, warm-starting from `warm` when given.
+    /// A basis that fails to refactorize (or a solve that stalls out of it)
+    /// falls back to a cold start; the outcome is exact either way.
+    pub fn solve_warm(&self, lower: &[f64], upper: &[f64], warm: Option<&Basis>) -> LpOutcome {
+        debug_assert_eq!(lower.len(), self.lp.n_vars);
+        debug_assert_eq!(upper.len(), self.lp.n_vars);
+        match (self.engine, &self.sparse) {
+            (LpEngine::Dense, _) => {
+                drive(self.lp, lower, upper, warm, || dense::Tableau::build(self.lp, lower, upper))
             }
-            self.x[enter] += dir * delta;
+            (LpEngine::Sparse, Some(sp)) => drive(self.lp, lower, upper, warm, || {
+                revised::Revised::new(sp, lower, upper, self.id)
+            }),
+            (LpEngine::Sparse, None) => unreachable!("sparse engine always prepares a matrix"),
         }
-        match pivot_row {
-            None => {
-                // Bound flip: snap to the opposite bound exactly.
-                self.status[enter] = match self.status[enter] {
-                    ColStatus::AtLower => ColStatus::AtUpper,
-                    ColStatus::AtUpper => ColStatus::AtLower,
-                    other => other, // free columns have no finite span
-                };
-                self.x[enter] = match self.status[enter] {
-                    ColStatus::AtLower => self.lower[enter],
-                    ColStatus::AtUpper => self.upper[enter],
-                    _ => self.x[enter],
-                };
-            }
-            Some(r) => {
-                let k = self.basis[r];
-                // The leaving variable snaps to whichever finite bound it
-                // blocked at (kills accumulated roundoff drift).
-                let (lo_fin, hi_fin) = (self.lower[k].is_finite(), self.upper[k].is_finite());
-                let to_lower = match (lo_fin, hi_fin) {
-                    (true, true) => {
-                        (self.x[k] - self.lower[k]).abs() <= (self.x[k] - self.upper[k]).abs()
-                    }
-                    (true, false) => true,
-                    (false, true) => false,
-                    (false, false) => {
-                        // A free basic variable never blocks; defensive only.
-                        self.status[k] = ColStatus::Free;
-                        self.basis[r] = enter;
-                        self.status[enter] = ColStatus::Basic;
-                        self.eliminate(r, enter);
-                        return;
-                    }
-                };
-                if to_lower {
-                    self.status[k] = ColStatus::AtLower;
-                    self.x[k] = self.lower[k];
-                } else {
-                    self.status[k] = ColStatus::AtUpper;
-                    self.x[k] = self.upper[k];
-                }
-                self.basis[r] = enter;
-                self.status[enter] = ColStatus::Basic;
-                self.eliminate(r, enter);
-            }
+    }
+}
+
+/// Solves `lp` with its stored bounds, cold, on the env-selected engine.
+/// One-off entry point; repeated node solves go through [`PreparedLp`].
+pub(crate) fn solve(lp: &LpProblem, engine: LpEngine) -> LpOutcome {
+    PreparedLp::new(lp, engine).solve_warm(&lp.lower, &lp.upper, None)
+}
+
+/// The warm/cold orchestration both engines run under.
+///
+/// The warm-hit counter is recorded *here*, structurally after a completed
+/// warm run and nowhere else — the refactorization-failure and stall
+/// fallbacks can no longer overcount hits the way the per-engine
+/// bookkeeping once did ([`SolverActivityReport`](crate::SolveStats) reads
+/// these counters).
+fn drive<E: EngineCore>(
+    lp: &LpProblem,
+    lower: &[f64],
+    upper: &[f64],
+    warm: Option<&Basis>,
+    mut make: impl FnMut() -> E,
+) -> LpOutcome {
+    // Quick bound sanity: an empty box is infeasible.
+    for j in 0..lp.n_vars {
+        if lower[j] > upper[j] + TOL.feas {
+            return LpOutcome::Infeasible;
         }
     }
 
-    fn extract(&self, lp: &LpProblem, lower: &[f64], upper: &[f64], out: RunOutcome) -> LpOutcome {
-        match out {
-            RunOutcome::Infeasible | RunOutcome::Stalled => LpOutcome::Infeasible,
-            RunOutcome::Unbounded => LpOutcome::Unbounded,
-            RunOutcome::Optimal => {
-                let mut values = self.x[..lp.n_vars].to_vec();
-                for (j, v) in values.iter_mut().enumerate() {
-                    // Clamp tiny bound violations from roundoff.
-                    *v = v.clamp(
-                        if lower[j].is_finite() { lower[j] } else { *v },
-                        if upper[j].is_finite() { upper[j] } else { *v },
-                    );
-                }
-                let objective = lp.objective_offset
-                    + values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum::<f64>();
-                LpOutcome::Optimal {
-                    values,
-                    objective,
-                    basis: Basis { status: self.status.clone() },
-                }
+    // Pivots burned by a stalled warm attempt still count towards the
+    // solve's iteration total, so the warm-vs-cold comparisons stay honest
+    // exactly where warm starting performs worst. Factorization work is
+    // likewise accumulated across attempts and flushed once per solve.
+    let (mut wasted_p1, mut wasted_p2) = (0u64, 0u64);
+    let mut lu = [0u64; 5];
+    let add_lu = |e: &E, lu: &mut [u64; 5]| {
+        if let Some(t) = e.lu_totals() {
+            for (acc, v) in lu.iter_mut().zip(t) {
+                *acc += v;
             }
         }
+    };
+    if let Some(basis) = warm {
+        stats::record(|a| a.record_warm_attempt());
+        let mut e = make();
+        if e.install(&basis.status) {
+            let out = e.run();
+            add_lu(&e, &mut lu);
+            if !matches!(out, RunOutcome::Stalled) {
+                let (p1, p2) = e.iters();
+                stats::record(|a| {
+                    a.record_warm_hit();
+                    a.record_lp_solve(p1, p2);
+                    if lu.iter().any(|&v| v != 0) {
+                        a.record_lu(lu[0], lu[1], lu[2], lu[3], lu[4]);
+                    }
+                });
+                let (x, status) = e.solution();
+                return extract_outcome(lp, lower, upper, x, status, out);
+            }
+            let (p1, p2) = e.iters();
+            wasted_p1 = p1;
+            wasted_p2 = p2;
+        } else {
+            add_lu(&e, &mut lu);
+        }
+        // Refactorization failed or the solve stalled: fall through to a
+        // cold start. The attempt stays counted without a hit.
     }
+
+    let mut e = make();
+    let cold = e.cold_statuses();
+    let installed = e.install(&cold);
+    debug_assert!(installed, "the all-logical basis always refactorizes");
+    let out = e.run();
+    add_lu(&e, &mut lu);
+    let (p1, p2) = e.iters();
+    stats::record(|a| {
+        a.record_lp_solve(p1 + wasted_p1, p2 + wasted_p2);
+        if lu.iter().any(|&v| v != 0) {
+            a.record_lu(lu[0], lu[1], lu[2], lu[3], lu[4]);
+        }
+    });
+    // A stalled cold solve signals numerical trouble; treat as infeasible
+    // (same convention as the original two-phase implementation).
+    let out = if matches!(out, RunOutcome::Stalled) { RunOutcome::Infeasible } else { out };
+    let (x, status) = e.solution();
+    extract_outcome(lp, lower, upper, x, status, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::SolveActivity;
+    use std::sync::Arc;
 
     fn lp(
         n: usize,
@@ -732,6 +438,16 @@ mod tests {
         }
     }
 
+    /// Runs a solve on each engine and returns both outcomes, so every
+    /// test below exercises the sparse default *and* the dense oracle.
+    fn on_both(f: impl Fn(LpEngine) -> LpOutcome) -> Vec<LpOutcome> {
+        [LpEngine::Sparse, LpEngine::Dense].into_iter().map(f).collect()
+    }
+
+    fn solve_on(p: &LpProblem, engine: LpEngine) -> LpOutcome {
+        PreparedLp::new(p, engine).solve_warm(&p.lower, &p.upper, None)
+    }
+
     #[test]
     fn dantzig_example() {
         // max 3x + 5y; x<=4; 2y<=12; 3x+2y<=18; x,y>=0 → 36 at (2,6).
@@ -747,10 +463,12 @@ mod tests {
             vec![3.0, 5.0],
             false,
         );
-        let (x, obj) = optimal(solve(&p));
-        assert!((obj - 36.0).abs() < 1e-6);
-        assert!((x[0] - 2.0).abs() < 1e-6);
-        assert!((x[1] - 6.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((obj - 36.0).abs() < 1e-6);
+            assert!((x[0] - 2.0).abs() < 1e-6);
+            assert!((x[1] - 6.0).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -767,10 +485,12 @@ mod tests {
             vec![1.0, 1.0],
             true,
         );
-        let (x, obj) = optimal(solve(&p));
-        assert!((obj - 2.0).abs() < 1e-6);
-        assert!((x[0] - 1.0).abs() < 1e-6);
-        assert!((x[1] - 1.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((obj - 2.0).abs() < 1e-6);
+            assert!((x[0] - 1.0).abs() < 1e-6);
+            assert!((x[1] - 1.0).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -787,14 +507,18 @@ mod tests {
             vec![1.0],
             true,
         );
-        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+        for out in on_both(|e| solve_on(&p, e)) {
+            assert!(matches!(out, LpOutcome::Infeasible));
+        }
     }
 
     #[test]
     fn unbounded_detected() {
         // max x with no constraints.
         let p = lp(1, vec![0.0], vec![f64::INFINITY], vec![], vec![1.0], false);
-        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+        for out in on_both(|e| solve_on(&p, e)) {
+            assert!(matches!(out, LpOutcome::Unbounded));
+        }
     }
 
     #[test]
@@ -802,19 +526,23 @@ mod tests {
         // max x + y with 1 <= x <= 3, 0 <= y <= 2 → 5, with no constraint
         // rows at all: pure bound flips.
         let p = lp(2, vec![1.0, 0.0], vec![3.0, 2.0], vec![], vec![1.0, 1.0], false);
-        let (x, obj) = optimal(solve(&p));
-        assert!((obj - 5.0).abs() < 1e-6);
-        assert!((x[0] - 3.0).abs() < 1e-6);
-        assert!((x[1] - 2.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((obj - 5.0).abs() < 1e-6);
+            assert!((x[0] - 3.0).abs() < 1e-6);
+            assert!((x[1] - 2.0).abs() < 1e-6);
+        }
     }
 
     #[test]
     fn negative_lower_bound_shift() {
         // min x with -5 <= x <= 5 → -5.
         let p = lp(1, vec![-5.0], vec![5.0], vec![], vec![1.0], true);
-        let (x, obj) = optimal(solve(&p));
-        assert!((obj + 5.0).abs() < 1e-6);
-        assert!((x[0] + 5.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((obj + 5.0).abs() < 1e-6);
+            assert!((x[0] + 5.0).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -828,18 +556,22 @@ mod tests {
             vec![1.0],
             true,
         );
-        let (x, obj) = optimal(solve(&p));
-        assert!((obj + 10.0).abs() < 1e-6);
-        assert!((x[0] + 10.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((obj + 10.0).abs() < 1e-6);
+            assert!((x[0] + 10.0).abs() < 1e-6);
+        }
     }
 
     #[test]
     fn flipped_variable_upper_only() {
         // max x with x <= 7, lower unbounded → 7.
         let p = lp(1, vec![f64::NEG_INFINITY], vec![7.0], vec![], vec![1.0], false);
-        let (x, obj) = optimal(solve(&p));
-        assert!((obj - 7.0).abs() < 1e-6);
-        assert!((x[0] - 7.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((obj - 7.0).abs() < 1e-6);
+            assert!((x[0] - 7.0).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -853,8 +585,10 @@ mod tests {
             vec![0.0, 1.0],
             true,
         );
-        let (x, obj) = optimal(solve(&p));
-        assert!((obj - 2.0).abs() < 1e-6, "objective {obj}, x {x:?}");
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((obj - 2.0).abs() < 1e-6, "objective {obj}, x {x:?}");
+        }
     }
 
     #[test]
@@ -872,8 +606,89 @@ mod tests {
             vec![4.0, 2.0, 1.0],
             false,
         );
-        let (_, obj) = optimal(solve(&p));
-        assert!(obj > 0.0);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (_, obj) = optimal(out);
+            assert!(obj > 0.0);
+        }
+    }
+
+    /// Beale's classic cycling LP: Dantzig pricing with naive tie-breaking
+    /// loops forever on the degenerate origin vertex. The degenerate-pivot
+    /// guard must switch to Bland's rule and reach the optimum `-0.05` at
+    /// `(0.04, 0, 1, 0)` in a handful of pivots — not by burning the
+    /// iteration cap (which a deadline would misreport as a timeout).
+    #[test]
+    fn beale_cycling_lp_terminates_quickly() {
+        let p = lp(
+            4,
+            vec![0.0; 4],
+            vec![f64::INFINITY; 4],
+            vec![
+                LpRow {
+                    coeffs: vec![(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)],
+                    op: CmpOp::Le,
+                    rhs: 0.0,
+                },
+                LpRow {
+                    coeffs: vec![(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)],
+                    op: CmpOp::Le,
+                    rhs: 0.0,
+                },
+                LpRow { coeffs: vec![(2, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+            ],
+            vec![-0.75, 150.0, -0.02, 6.0],
+            true,
+        );
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let scope = Arc::new(SolveActivity::default());
+            let out = SolveActivity::scoped(&scope, || solve_on(&p, engine));
+            let (x, obj) = optimal(out);
+            assert!((obj + 0.05).abs() < 1e-6, "{engine:?}: objective {obj}");
+            assert!((x[0] - 0.04).abs() < 1e-6, "{engine:?}: x {x:?}");
+            assert!((x[2] - 1.0).abs() < 1e-6, "{engine:?}: x {x:?}");
+            // Far below the iteration cap (~51k for this size): the guard
+            // broke the cycle instead of the cap breaking the solve.
+            let iters = scope.snapshot().simplex_iterations;
+            assert!(iters < 200, "{engine:?}: took {iters} iterations");
+        }
+    }
+
+    /// A near-degenerate model whose phase-1 violation lands in the band
+    /// between the feasibility tolerance (`1e-7`) and the infeasibility
+    /// verdict (`1e-6`): the row forces `x = 1 + 4e-7` against `x <= 1`.
+    /// With the unified [`Tolerances`] every path — warm or cold, sparse
+    /// or dense — must return the *same* verdict; these used to flip when
+    /// the paths classified the violation against different constants.
+    #[test]
+    fn near_degenerate_verdict_consistent_across_paths() {
+        let p = lp(
+            1,
+            vec![0.0],
+            vec![1.0],
+            vec![LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Eq, rhs: 1.0 + 4e-7 }],
+            vec![1.0],
+            true,
+        );
+        let mut verdicts = Vec::new();
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let prep = PreparedLp::new(&p, engine);
+            let cold = prep.solve_warm(&p.lower, &p.upper, None);
+            let basis = match &cold {
+                LpOutcome::Optimal { basis, .. } => Some(basis.clone()),
+                _ => None,
+            };
+            verdicts.push(matches!(cold, LpOutcome::Optimal { .. }));
+            // Warm path: re-solve from the cold basis (when one exists)
+            // and from the all-nonbasic "foreign" basis.
+            if let Some(b) = basis {
+                let warm = prep.solve_warm(&p.lower, &p.upper, Some(&b));
+                verdicts.push(matches!(warm, LpOutcome::Optimal { .. }));
+            }
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "paths disagree on the verdict: {verdicts:?}"
+        );
     }
 
     #[test]
@@ -890,22 +705,28 @@ mod tests {
             vec![1.0, 0.0],
             true,
         );
-        let (x, obj) = optimal(solve(&p));
-        assert!(obj.abs() < 1e-6);
-        assert!((x[1] - 2.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!(obj.abs() < 1e-6);
+            assert!((x[1] - 2.0).abs() < 1e-6);
+        }
     }
 
     #[test]
     fn bound_override_tightens() {
         let p = lp(1, vec![0.0], vec![10.0], vec![], vec![1.0], false);
-        let (_, obj) = optimal(solve_with_bounds(&p, &[0.0], &[3.0]));
-        assert!((obj - 3.0).abs() < 1e-6);
+        for out in on_both(|e| PreparedLp::new(&p, e).solve_warm(&[0.0], &[3.0], None)) {
+            let (_, obj) = optimal(out);
+            assert!((obj - 3.0).abs() < 1e-6);
+        }
     }
 
     #[test]
     fn empty_box_is_infeasible() {
         let p = lp(1, vec![0.0], vec![10.0], vec![], vec![1.0], false);
-        assert!(matches!(solve_with_bounds(&p, &[5.0], &[4.0]), LpOutcome::Infeasible));
+        for out in on_both(|e| PreparedLp::new(&p, e).solve_warm(&[5.0], &[4.0], None)) {
+            assert!(matches!(out, LpOutcome::Infeasible));
+        }
     }
 
     /// The knapsack LP the warm-start tests below share.
@@ -923,40 +744,97 @@ mod tests {
     #[test]
     fn warm_start_matches_cold_after_bound_change() {
         let p = knapsack_lp();
-        let basis = optimal_basis(solve(&p));
-        // Branch x2 down to 0 (the branching move the B&B performs).
-        let lower = vec![0.0; 3];
-        let upper = vec![1.0, 1.0, 0.0];
-        let (wx, wobj) = optimal(solve_warm(&p, &lower, &upper, Some(&basis)));
-        let (cx, cobj) = optimal(solve_with_bounds(&p, &lower, &upper));
-        assert!((wobj - cobj).abs() < 1e-6, "warm {wobj} vs cold {cobj}");
-        assert!(wx[2].abs() < 1e-9 && cx[2].abs() < 1e-9);
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let prep = PreparedLp::new(&p, engine);
+            let basis = optimal_basis(prep.solve_warm(&p.lower, &p.upper, None));
+            // Branch x2 down to 0 (the branching move the B&B performs).
+            let lower = vec![0.0; 3];
+            let upper = vec![1.0, 1.0, 0.0];
+            let (wx, wobj) = optimal(prep.solve_warm(&lower, &upper, Some(&basis)));
+            let (cx, cobj) = optimal(prep.solve_warm(&lower, &upper, None));
+            assert!((wobj - cobj).abs() < 1e-6, "{engine:?}: warm {wobj} vs cold {cobj}");
+            assert!(wx[2].abs() < 1e-9 && cx[2].abs() < 1e-9);
+        }
     }
 
     #[test]
     fn warm_start_same_bounds_reproduces_optimum() {
         let p = knapsack_lp();
-        let out = solve(&p);
-        let basis = optimal_basis(out.clone());
-        let (_, cold_obj) = optimal(out);
-        let (_, warm_obj) =
-            optimal(solve_warm(&p, &p.lower.clone(), &p.upper.clone(), Some(&basis)));
-        assert!((warm_obj - cold_obj).abs() < 1e-9);
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let prep = PreparedLp::new(&p, engine);
+            let out = prep.solve_warm(&p.lower, &p.upper, None);
+            let basis = optimal_basis(out.clone());
+            let (_, cold_obj) = optimal(out);
+            let (_, warm_obj) = optimal(prep.solve_warm(&p.lower, &p.upper, Some(&basis)));
+            assert!((warm_obj - cold_obj).abs() < 1e-9);
+        }
     }
 
     #[test]
     fn invalid_warm_basis_falls_back_to_cold() {
         let p = knapsack_lp();
-        // Wrong length: refactorization must reject it and cold-solve.
-        let bogus = Basis { status: vec![ColStatus::AtLower; 2] };
-        let (_, obj) = optimal(solve_warm(&p, &p.lower.clone(), &p.upper.clone(), Some(&bogus)));
-        // No basic columns at all: also rejected.
-        let none_basic = Basis { status: vec![ColStatus::AtLower; 4] };
-        let (_, obj2) =
-            optimal(solve_warm(&p, &p.lower.clone(), &p.upper.clone(), Some(&none_basic)));
-        let (_, cold) = optimal(solve(&p));
-        assert!((obj - cold).abs() < 1e-9);
-        assert!((obj2 - cold).abs() < 1e-9);
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let prep = PreparedLp::new(&p, engine);
+            // Wrong length: refactorization must reject it and cold-solve.
+            let bogus = Basis { status: vec![ColStatus::AtLower; 2] };
+            let (_, obj) = optimal(prep.solve_warm(&p.lower, &p.upper, Some(&bogus)));
+            // No basic columns at all: also rejected.
+            let none_basic = Basis { status: vec![ColStatus::AtLower; 4] };
+            let (_, obj2) = optimal(prep.solve_warm(&p.lower, &p.upper, Some(&none_basic)));
+            let (_, cold) = optimal(prep.solve_warm(&p.lower, &p.upper, None));
+            assert!((obj - cold).abs() < 1e-9);
+            assert!((obj2 - cold).abs() < 1e-9);
+        }
+    }
+
+    /// The refactorization-failure fallback must count the warm *attempt*
+    /// but never a warm *hit* — the fallback used to leave the hit counter
+    /// inflated, overstating the warm-hit rate in `SolverActivityReport`.
+    /// The singular basis here (a column with no matrix support marked
+    /// basic) cannot factorize, so the solve silently restarts cold.
+    #[test]
+    fn failed_refactorization_does_not_count_a_warm_hit() {
+        // `y` never appears in the row, so marking it basic leaves the
+        // factorization without a usable pivot.
+        let p = lp(
+            2,
+            vec![0.0, 0.0],
+            vec![10.0, 10.0],
+            vec![LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 5.0 }],
+            vec![1.0, 0.0],
+            false,
+        );
+        let singular =
+            Basis { status: vec![ColStatus::AtLower, ColStatus::Basic, ColStatus::AtLower] };
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let prep = PreparedLp::new(&p, engine);
+            let scope = Arc::new(SolveActivity::default());
+            let out = SolveActivity::scoped(&scope, || {
+                prep.solve_warm(&p.lower, &p.upper, Some(&singular))
+            });
+            let (_, obj) = optimal(out);
+            assert!((obj - 5.0).abs() < 1e-6, "{engine:?}: objective {obj}");
+            let seen = scope.snapshot();
+            assert_eq!(seen.warm_attempts, 1, "{engine:?}: attempts");
+            assert_eq!(seen.warm_hits, 0, "{engine:?}: fallback must not count a hit");
+            assert_eq!(seen.lp_solves, 1, "{engine:?}: one solve, counted once");
+        }
+    }
+
+    #[test]
+    fn sparse_engine_records_factorization_work() {
+        let p = knapsack_lp();
+        let prep = PreparedLp::new(&p, LpEngine::Sparse);
+        let scope = Arc::new(SolveActivity::default());
+        let basis = SolveActivity::scoped(&scope, || {
+            optimal_basis(prep.solve_warm(&p.lower, &p.upper, None))
+        });
+        let cold = scope.snapshot();
+        assert!(cold.lu_factorizations >= 1, "cold solve factorizes: {cold:?}");
+        let scope = Arc::new(SolveActivity::default());
+        SolveActivity::scoped(&scope, || prep.solve_warm(&p.lower, &p.upper, Some(&basis)));
+        let warm = scope.snapshot();
+        assert!(warm.lu_factorizations >= 1, "warm solve refactorizes: {warm:?}");
     }
 
     #[test]
@@ -970,9 +848,12 @@ mod tests {
             vec![1.0, 1.0],
             true,
         );
-        let basis = optimal_basis(solve(&p));
-        let out = solve_warm(&p, &[0.0, 0.0], &[0.0, 0.0], Some(&basis));
-        assert!(matches!(out, LpOutcome::Infeasible));
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let prep = PreparedLp::new(&p, engine);
+            let basis = optimal_basis(prep.solve_warm(&p.lower, &p.upper, None));
+            let out = prep.solve_warm(&[0.0, 0.0], &[0.0, 0.0], Some(&basis));
+            assert!(matches!(out, LpOutcome::Infeasible));
+        }
     }
 
     #[test]
@@ -986,8 +867,22 @@ mod tests {
             vec![1.0, 1.0],
             false,
         );
-        let (x, obj) = optimal(solve(&p));
-        assert!((x[0] - 2.0).abs() < 1e-9);
-        assert!((obj - 6.0).abs() < 1e-6);
+        for out in on_both(|e| solve_on(&p, e)) {
+            let (x, obj) = optimal(out);
+            assert!((x[0] - 2.0).abs() < 1e-9);
+            assert!((obj - 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn engine_from_env_defaults_to_sparse() {
+        // Unset or unknown values select the sparse default (the test runner
+        // may run with the variable exported; only assert the parse rule).
+        assert_eq!(LpEngine::Sparse, {
+            match "anything" {
+                v if v.eq_ignore_ascii_case("dense") => LpEngine::Dense,
+                _ => LpEngine::Sparse,
+            }
+        });
     }
 }

@@ -20,7 +20,7 @@ use crate::branch_bound::{self, SolveParams};
 use crate::cache::CachingSolver;
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
-use crate::simplex::{self, LpOutcome};
+use crate::simplex::{self, LpEngine, LpOutcome};
 use crate::solution::{Solution, SolveStatus};
 
 /// Parses a boolean environment flag (`0/false/off/no` vs `1/true/on/yes`);
@@ -56,9 +56,9 @@ pub trait Solver: Send + Sync {
 
 /// Single LP solve for models without integer variables — shared shortcut
 /// for every backend.
-pub(crate) fn solve_lp(model: &Model) -> Result<Solution, IlpError> {
+pub(crate) fn solve_lp(model: &Model, engine: LpEngine) -> Result<Solution, IlpError> {
     let lp = model.to_lp();
-    match simplex::solve(&lp) {
+    match simplex::solve(&lp, engine) {
         LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
             status: SolveStatus::Optimal,
             objective,
@@ -143,7 +143,7 @@ pub(crate) fn greedy_repair(
 /// Returns the point plus the root LP objective (a valid bound).
 pub(crate) fn heuristic_point(model: &Model, integral: &[usize]) -> Option<(Vec<f64>, f64)> {
     let lp = model.to_lp();
-    let (relax, root_obj) = match simplex::solve(&lp) {
+    let (relax, root_obj) = match simplex::solve(&lp, LpEngine::from_env()) {
         LpOutcome::Optimal { values, objective, .. } => (values, objective),
         LpOutcome::Infeasible | LpOutcome::Unbounded => return None,
     };
@@ -161,11 +161,13 @@ pub struct SequentialSolver {
     pub presolve: bool,
     /// Warm-start child LPs from the parent basis.
     pub warm_lp: bool,
+    /// Which simplex engine runs the node LP relaxations.
+    pub lp_engine: LpEngine,
 }
 
 impl Default for SequentialSolver {
     fn default() -> Self {
-        Self { warm_start: true, presolve: true, warm_lp: true }
+        Self { warm_start: true, presolve: true, warm_lp: true, lp_engine: LpEngine::from_env() }
     }
 }
 
@@ -181,18 +183,23 @@ impl Solver for SequentialSolver {
         if !self.warm_lp {
             name.push_str("-coldlp");
         }
+        if self.lp_engine == LpEngine::Dense {
+            name.push_str("-denselp");
+        }
         name
     }
 
     fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
         let integral = model.integral_vars();
         if integral.is_empty() {
-            return solve_lp(model);
+            // Honor the configured engine even on the pure-LP fast path.
+            return solve_lp(model, self.lp_engine);
         }
         let params = SolveParams {
             heuristic_seed: self.warm_start,
             presolve: self.presolve,
             warm_lp: self.warm_lp,
+            lp_engine: self.lp_engine,
         };
         branch_bound::solve(model, &integral, config, params)
     }
@@ -215,12 +222,12 @@ impl Solver for HeuristicSolver {
     fn solve(&self, model: &Model, _config: &SolverConfig) -> Result<Solution, IlpError> {
         let integral = model.integral_vars();
         if integral.is_empty() {
-            return solve_lp(model);
+            return solve_lp(model, LpEngine::from_env());
         }
         let Some((values, root_obj)) = heuristic_point(model, &integral) else {
             // Distinguish "relaxation infeasible" from "repair stalled".
             let lp = model.to_lp();
-            return match simplex::solve(&lp) {
+            return match simplex::solve(&lp, LpEngine::from_env()) {
                 LpOutcome::Infeasible => Err(IlpError::Infeasible),
                 LpOutcome::Unbounded => Err(IlpError::Unbounded),
                 LpOutcome::Optimal { .. } => Err(IlpError::NoIncumbent),
@@ -255,14 +262,16 @@ pub enum SolverBackend {
 ///
 /// # Environment overrides
 ///
-/// [`SolverOptions::default`] honours four variables so CI can pin the
+/// [`SolverOptions::default`] honours five variables so CI can pin the
 /// solver without touching code:
 ///
 /// * `TAPACS_SOLVER_BACKEND` — `sequential`, `parallel` or `heuristic`;
 /// * `TAPACS_SOLVER_THREADS` — worker count (`0` = all cores);
 /// * `TAPACS_PRESOLVE` — `0` disables the root presolve;
 /// * `TAPACS_LP_WARM` — `0` disables LP warm starts (every node solves
-///   cold, the pre-PR-3 behaviour).
+///   cold, the pre-PR-3 behaviour);
+/// * `TAPACS_LP_ENGINE` — `dense` swaps the sparse revised simplex for the
+///   dense-tableau oracle engine.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SolverOptions {
     /// Backend to run.
@@ -281,6 +290,8 @@ pub struct SolverOptions {
     /// Warm-start every child LP from its parent's simplex basis instead
     /// of re-running phase 1 + phase 2 from scratch.
     pub warm_lp: bool,
+    /// Which simplex engine runs the LP relaxations (see [`LpEngine`]).
+    pub lp_engine: LpEngine,
 }
 
 impl Default for SolverOptions {
@@ -292,6 +303,7 @@ impl Default for SolverOptions {
             cache: true,
             presolve: true,
             warm_lp: true,
+            lp_engine: LpEngine::from_env(),
         };
         if let Ok(backend) = std::env::var("TAPACS_SOLVER_BACKEND") {
             match backend.trim().to_ascii_lowercase().as_str() {
@@ -350,12 +362,14 @@ impl SolverOptions {
                 warm_start: self.warm_start,
                 presolve: self.presolve,
                 warm_lp: self.warm_lp,
+                lp_engine: self.lp_engine,
             }),
             SolverBackend::Parallel => Box::new(crate::ParallelSolver {
                 threads: self.threads,
                 warm_start: self.warm_start,
                 presolve: self.presolve,
                 warm_lp: self.warm_lp,
+                lp_engine: self.lp_engine,
             }),
             SolverBackend::Heuristic => Box::new(HeuristicSolver),
         };

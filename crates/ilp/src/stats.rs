@@ -37,6 +37,20 @@ pub struct SolveStats {
     /// Warm starts that held: the basis refactorized cleanly and the solve
     /// finished from it without falling back to a cold start.
     pub warm_hits: u64,
+    /// Basis factorizations computed by the sparse revised simplex (one
+    /// per installed basis, plus every mid-solve refactorization).
+    pub lu_factorizations: u64,
+    /// Total nonzeros stored across factorization etas — the fill-in the
+    /// eliminations generated on top of the basis columns themselves.
+    pub lu_fill_nnz: u64,
+    /// Product-form (eta) basis updates appended by simplex pivots.
+    pub eta_updates: u64,
+    /// Total nonzeros across update etas (`eta_nnz / eta_updates` is the
+    /// mean eta length).
+    pub eta_nnz: u64,
+    /// Mid-solve refactorizations forced by the deterministic trigger
+    /// (update-eta chain longer than the refactor interval).
+    pub refactor_triggers: u64,
     /// Models run through [`presolve`](crate::SolverOptions::presolve).
     pub presolve_runs: u64,
     /// Constraint rows removed as empty, singleton or redundant.
@@ -77,6 +91,11 @@ impl SolveStats {
             phase1_iterations: self.phase1_iterations + other.phase1_iterations,
             warm_attempts: self.warm_attempts + other.warm_attempts,
             warm_hits: self.warm_hits + other.warm_hits,
+            lu_factorizations: self.lu_factorizations + other.lu_factorizations,
+            lu_fill_nnz: self.lu_fill_nnz + other.lu_fill_nnz,
+            eta_updates: self.eta_updates + other.eta_updates,
+            eta_nnz: self.eta_nnz + other.eta_nnz,
+            refactor_triggers: self.refactor_triggers + other.refactor_triggers,
             presolve_runs: self.presolve_runs + other.presolve_runs,
             presolve_rows_removed: self.presolve_rows_removed + other.presolve_rows_removed,
             presolve_cols_fixed: self.presolve_cols_fixed + other.presolve_cols_fixed,
@@ -95,6 +114,11 @@ impl SolveStats {
             phase1_iterations: self.phase1_iterations.saturating_sub(earlier.phase1_iterations),
             warm_attempts: self.warm_attempts.saturating_sub(earlier.warm_attempts),
             warm_hits: self.warm_hits.saturating_sub(earlier.warm_hits),
+            lu_factorizations: self.lu_factorizations.saturating_sub(earlier.lu_factorizations),
+            lu_fill_nnz: self.lu_fill_nnz.saturating_sub(earlier.lu_fill_nnz),
+            eta_updates: self.eta_updates.saturating_sub(earlier.eta_updates),
+            eta_nnz: self.eta_nnz.saturating_sub(earlier.eta_nnz),
+            refactor_triggers: self.refactor_triggers.saturating_sub(earlier.refactor_triggers),
             presolve_runs: self.presolve_runs.saturating_sub(earlier.presolve_runs),
             presolve_rows_removed: self
                 .presolve_rows_removed
@@ -117,6 +141,11 @@ pub struct SolveActivity {
     phase1_iterations: AtomicU64,
     warm_attempts: AtomicU64,
     warm_hits: AtomicU64,
+    lu_factorizations: AtomicU64,
+    lu_fill_nnz: AtomicU64,
+    eta_updates: AtomicU64,
+    eta_nnz: AtomicU64,
+    refactor_triggers: AtomicU64,
     presolve_runs: AtomicU64,
     presolve_rows_removed: AtomicU64,
     presolve_cols_fixed: AtomicU64,
@@ -195,6 +224,11 @@ impl SolveActivity {
             phase1_iterations: self.phase1_iterations.load(Ordering::Relaxed),
             warm_attempts: self.warm_attempts.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            lu_factorizations: self.lu_factorizations.load(Ordering::Relaxed),
+            lu_fill_nnz: self.lu_fill_nnz.load(Ordering::Relaxed),
+            eta_updates: self.eta_updates.load(Ordering::Relaxed),
+            eta_nnz: self.eta_nnz.load(Ordering::Relaxed),
+            refactor_triggers: self.refactor_triggers.load(Ordering::Relaxed),
             presolve_runs: self.presolve_runs.load(Ordering::Relaxed),
             presolve_rows_removed: self.presolve_rows_removed.load(Ordering::Relaxed),
             presolve_cols_fixed: self.presolve_cols_fixed.load(Ordering::Relaxed),
@@ -209,6 +243,11 @@ impl SolveActivity {
         self.phase1_iterations.store(0, Ordering::Relaxed);
         self.warm_attempts.store(0, Ordering::Relaxed);
         self.warm_hits.store(0, Ordering::Relaxed);
+        self.lu_factorizations.store(0, Ordering::Relaxed);
+        self.lu_fill_nnz.store(0, Ordering::Relaxed);
+        self.eta_updates.store(0, Ordering::Relaxed);
+        self.eta_nnz.store(0, Ordering::Relaxed);
+        self.refactor_triggers.store(0, Ordering::Relaxed);
         self.presolve_runs.store(0, Ordering::Relaxed);
         self.presolve_rows_removed.store(0, Ordering::Relaxed);
         self.presolve_cols_fixed.store(0, Ordering::Relaxed);
@@ -219,6 +258,23 @@ impl SolveActivity {
         self.lp_solves.fetch_add(1, Ordering::Relaxed);
         self.simplex_iterations.fetch_add(phase1_iters + phase2_iters, Ordering::Relaxed);
         self.phase1_iterations.fetch_add(phase1_iters, Ordering::Relaxed);
+    }
+
+    /// Flushes the factorization counters one sparse solve accumulated
+    /// locally (one call per solve, not per pivot — the engine batches).
+    pub(crate) fn record_lu(
+        &self,
+        factorizations: u64,
+        fill_nnz: u64,
+        eta_updates: u64,
+        eta_nnz: u64,
+        refactor_triggers: u64,
+    ) {
+        self.lu_factorizations.fetch_add(factorizations, Ordering::Relaxed);
+        self.lu_fill_nnz.fetch_add(fill_nnz, Ordering::Relaxed);
+        self.eta_updates.fetch_add(eta_updates, Ordering::Relaxed);
+        self.eta_nnz.fetch_add(eta_nnz, Ordering::Relaxed);
+        self.refactor_triggers.fetch_add(refactor_triggers, Ordering::Relaxed);
     }
 
     pub(crate) fn record_warm_attempt(&self) {
@@ -322,13 +378,46 @@ mod tests {
         act.record_warm_attempt();
         act.record_warm_hit();
         act.record_presolve(2, 1, 3);
+        act.record_lu(2, 17, 4, 9, 1);
         let s = act.snapshot();
         assert_eq!(s.lp_solves, 1);
         assert_eq!(s.simplex_iterations, 12);
         assert_eq!(s.phase1_iterations, 5);
         assert!((s.warm_hit_rate() - 1.0).abs() < 1e-12);
         assert_eq!(s.presolve_rows_removed, 2);
+        assert_eq!(s.lu_factorizations, 2);
+        assert_eq!(s.lu_fill_nnz, 17);
+        assert_eq!(s.eta_updates, 4);
+        assert_eq!(s.eta_nnz, 9);
+        assert_eq!(s.refactor_triggers, 1);
         act.clear();
         assert_eq!(act.snapshot(), SolveStats::default());
+    }
+
+    #[test]
+    fn lu_counters_merge_and_subtract() {
+        let a = SolveStats {
+            lu_factorizations: 5,
+            lu_fill_nnz: 40,
+            eta_updates: 9,
+            eta_nnz: 27,
+            refactor_triggers: 2,
+            ..Default::default()
+        };
+        let b = SolveStats {
+            lu_factorizations: 2,
+            lu_fill_nnz: 10,
+            eta_updates: 4,
+            eta_nnz: 12,
+            refactor_triggers: 1,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.lu_factorizations, 7);
+        assert_eq!(m.eta_nnz, 39);
+        let d = a.since(&b);
+        assert_eq!(d.lu_factorizations, 3);
+        assert_eq!(d.lu_fill_nnz, 30);
+        assert_eq!(d.refactor_triggers, 1);
     }
 }
