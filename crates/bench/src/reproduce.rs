@@ -1003,13 +1003,17 @@ fn bench_apps(smoke: bool) -> Vec<BenchApp> {
 }
 
 /// Compile-time sweep over the app suite (knn, cnn, pagerank, stencil),
-/// emitted as a machine-readable JSON report (`BENCH_6.json`): per-app
-/// wall-clock, LP solves, simplex iterations, warm-start hits and
-/// memo-cache counters, the wall-clock of the same sweep compiled as one
-/// sharded batch (`"batch"` section), and the design-space-exploration
-/// sweep with its disk-warm re-run (`"dse"` section) so both multi-design
-/// trajectories are tracked per PR. `smoke` shrinks every design so CI can
-/// exercise the full path in seconds.
+/// emitted as a machine-readable JSON report (`BENCH_7.json`): per-app
+/// wall-clock, LP solves, simplex iterations, warm-start hits, LP-engine
+/// counters (including the fast-parity devex / Forrest–Tomlin /
+/// fill-refactorization counters) and memo-cache counters — the whole
+/// sweep run **twice**, once per [`tapacs_ilp::LpParity`] mode, so the
+/// exact-vs-fast delta is committed and trackable. A `"parity"` section
+/// cross-checks the achieved design frequencies between the two modes
+/// (they must agree to a relative 1e-6 — same optimal objectives, possibly
+/// different but equally good floorplans). The `"batch"` and `"dse"`
+/// sections track the two multi-design trajectories as before. `smoke`
+/// shrinks every design so CI can exercise the full path in seconds.
 ///
 /// # Errors
 ///
@@ -1017,69 +1021,102 @@ fn bench_apps(smoke: bool) -> Vec<BenchApp> {
 pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
     use std::time::Instant;
     use tapacs_core::{BatchCompiler, CompileJob, Compiler, CompilerConfig, SolverOptions};
-    use tapacs_ilp::{SolveActivity, SolveCache};
+    use tapacs_ilp::{LpParity, SolveActivity, SolveCache};
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let activity = SolveActivity::global();
     let cache = SolveCache::global();
 
-    let mut rows = String::new();
-    let (mut total_wall, mut total_solves, mut total_iters) = (0.0f64, 0u64, 0u64);
-    let (mut total_warm_hits, mut total_warm_attempts) = (0u64, 0u64);
-    let apps = bench_apps(smoke);
-    let n_apps = apps.len();
-    for (idx, case) in apps.into_iter().enumerate() {
-        // Clean counters per app so the rows are independent.
-        cache.clear();
-        activity.clear();
-        let cluster = suite::paper_cluster(case.flow.n_fpgas());
-        let config =
-            CompilerConfig { solver: SolverOptions::default(), ..CompilerConfig::default() };
-        let compiler = Compiler::with_config(cluster, config);
-        let t0 = Instant::now();
-        compiler.compile(&case.graph, case.flow)?;
-        let wall = t0.elapsed().as_secs_f64();
-        let stats = activity.snapshot();
-        let cache_stats = cache.stats();
+    // One full per-app sweep under `parity`: JSON rows, totals line and the
+    // achieved design frequency per app (the parity cross-check payload).
+    let sweep =
+        |parity: LpParity| -> Result<(String, String, Vec<f64>), Box<dyn std::error::Error>> {
+            let mut rows = String::new();
+            let mut freqs = Vec::new();
+            let (mut total_wall, mut total_solves, mut total_iters) = (0.0f64, 0u64, 0u64);
+            let (mut total_warm_hits, mut total_warm_attempts) = (0u64, 0u64);
+            let apps = bench_apps(smoke);
+            let n_apps = apps.len();
+            for (idx, case) in apps.into_iter().enumerate() {
+                // Clean counters per app so the rows are independent.
+                cache.clear();
+                activity.clear();
+                let cluster = suite::paper_cluster(case.flow.n_fpgas());
+                let solver = SolverOptions { lp_parity: parity, ..SolverOptions::default() };
+                let config = CompilerConfig { solver, ..CompilerConfig::default() };
+                let compiler = Compiler::with_config(cluster, config);
+                let t0 = Instant::now();
+                let design = compiler.compile(&case.graph, case.flow)?;
+                let wall = t0.elapsed().as_secs_f64();
+                let stats = activity.snapshot();
+                let cache_stats = cache.stats();
+                freqs.push(design.design_freq_mhz());
 
-        total_wall += wall;
-        total_solves += stats.lp_solves;
-        total_iters += stats.simplex_iterations;
-        total_warm_hits += stats.warm_hits;
-        total_warm_attempts += stats.warm_attempts;
+                total_wall += wall;
+                total_solves += stats.lp_solves;
+                total_iters += stats.simplex_iterations;
+                total_warm_hits += stats.warm_hits;
+                total_warm_attempts += stats.warm_attempts;
 
-        let _ = write!(
-            rows,
-            "    {{\n      \"app\": \"{}\",\n      \"flow\": \"{}\",\n      \"tasks\": {},\n      \"wall_s\": {:.6},\n      \"lp_solves\": {},\n      \"simplex_iterations\": {},\n      \"phase1_iterations\": {},\n      \"warm_attempts\": {},\n      \"warm_hits\": {},\n      \"warm_hit_rate\": {:.4},\n      \"lu_factorizations\": {},\n      \"lu_fill_nnz\": {},\n      \"eta_updates\": {},\n      \"eta_nnz\": {},\n      \"refactor_triggers\": {},\n      \"presolve_rows_removed\": {},\n      \"presolve_cols_fixed\": {},\n      \"presolve_bounds_tightened\": {},\n      \"cache_hits\": {},\n      \"cache_misses\": {}\n    }}{}\n",
-            case.app,
-            case.flow.label(),
-            case.graph.num_tasks(),
-            wall,
-            stats.lp_solves,
-            stats.simplex_iterations,
-            stats.phase1_iterations,
-            stats.warm_attempts,
-            stats.warm_hits,
-            stats.warm_hit_rate(),
-            stats.lu_factorizations,
-            stats.lu_fill_nnz,
-            stats.eta_updates,
-            stats.eta_nnz,
-            stats.refactor_triggers,
-            stats.presolve_rows_removed,
-            stats.presolve_cols_fixed,
-            stats.presolve_bounds_tightened,
-            cache_stats.hits,
-            cache_stats.misses,
-            if idx + 1 < n_apps { "," } else { "" },
+                let _ = write!(
+                rows,
+                "        {{\n          \"app\": \"{}\",\n          \"flow\": \"{}\",\n          \"tasks\": {},\n          \"wall_s\": {:.6},\n          \"design_freq_mhz\": {:.4},\n          \"lp_solves\": {},\n          \"simplex_iterations\": {},\n          \"phase1_iterations\": {},\n          \"warm_attempts\": {},\n          \"warm_hits\": {},\n          \"warm_hit_rate\": {:.4},\n          \"lu_factorizations\": {},\n          \"lu_fill_nnz\": {},\n          \"eta_updates\": {},\n          \"eta_nnz\": {},\n          \"refactor_triggers\": {},\n          \"refactor_fill_triggers\": {},\n          \"devex_resets\": {},\n          \"ft_replacements\": {},\n          \"presolve_rows_removed\": {},\n          \"presolve_cols_fixed\": {},\n          \"presolve_bounds_tightened\": {},\n          \"cache_hits\": {},\n          \"cache_misses\": {}\n        }}{}\n",
+                case.app,
+                case.flow.label(),
+                case.graph.num_tasks(),
+                wall,
+                design.design_freq_mhz(),
+                stats.lp_solves,
+                stats.simplex_iterations,
+                stats.phase1_iterations,
+                stats.warm_attempts,
+                stats.warm_hits,
+                stats.warm_hit_rate(),
+                stats.lu_factorizations,
+                stats.lu_fill_nnz,
+                stats.eta_updates,
+                stats.eta_nnz,
+                stats.refactor_triggers,
+                stats.refactor_fill_triggers,
+                stats.devex_resets,
+                stats.ft_replacements,
+                stats.presolve_rows_removed,
+                stats.presolve_cols_fixed,
+                stats.presolve_bounds_tightened,
+                cache_stats.hits,
+                cache_stats.misses,
+                if idx + 1 < n_apps { "," } else { "" },
+            );
+            }
+            let total_hit_rate = if total_warm_attempts == 0 {
+                0.0
+            } else {
+                total_warm_hits as f64 / total_warm_attempts as f64
+            };
+            let totals = format!(
+            "      \"totals\": {{\n        \"wall_s\": {total_wall:.6},\n        \"lp_solves\": {total_solves},\n        \"simplex_iterations\": {total_iters},\n        \"warm_hit_rate\": {total_hit_rate:.4}\n      }}"
         );
-    }
+            Ok((rows, totals, freqs))
+        };
 
-    let total_hit_rate = if total_warm_attempts == 0 {
-        0.0
-    } else {
-        total_warm_hits as f64 / total_warm_attempts as f64
-    };
+    let (exact_rows, exact_totals, exact_freqs) = sweep(LpParity::Exact)?;
+    let (fast_rows, fast_totals, fast_freqs) = sweep(LpParity::Fast)?;
+    let modes = format!(
+        "  \"modes\": {{\n    \"exact\": {{\n      \"apps\": [\n{exact_rows}      ],\n{exact_totals}\n    }},\n    \"fast\": {{\n      \"apps\": [\n{fast_rows}      ],\n{fast_totals}\n    }}\n  }}"
+    );
+
+    // Parity cross-check: the two modes must land on the same achieved
+    // frequency per app (both searches are exact; fast mode only reorders
+    // arithmetic inside the LP engine).
+    let max_freq_delta = exact_freqs
+        .iter()
+        .zip(&fast_freqs)
+        .map(|(a, b)| ((a - b) / a.abs().max(1.0)).abs())
+        .fold(0.0f64, f64::max);
+    let parity = format!(
+        "  \"parity\": {{\n    \"max_rel_freq_delta\": {max_freq_delta:.3e},\n    \"within_tolerance\": {}\n  }}",
+        max_freq_delta <= 1e-6
+    );
 
     // The same sweep once more, as one sharded batch: the headline
     // multi-design number tracked across PRs.
@@ -1138,7 +1175,7 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
     );
 
     Ok(format!(
-        "{{\n  \"bench\": \"BENCH_6\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n  \"apps\": [\n{rows}  ],\n  \"totals\": {{\n    \"wall_s\": {total_wall:.6},\n    \"lp_solves\": {total_solves},\n    \"simplex_iterations\": {total_iters},\n    \"warm_hit_rate\": {total_hit_rate:.4}\n  }},\n{batch},\n{dse}\n}}\n"
+        "{{\n  \"bench\": \"BENCH_7\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n{modes},\n{parity},\n{batch},\n{dse}\n}}\n"
     ))
 }
 

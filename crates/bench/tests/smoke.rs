@@ -88,11 +88,16 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = r::bench_json(true).expect("smoke bench must compile every app");
     assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'), "{json}");
     for key in [
-        "\"bench\": \"BENCH_6\"",
+        "\"bench\": \"BENCH_7\"",
         "\"smoke\": true",
+        "\"modes\"",
+        "\"exact\"",
+        "\"fast\"",
         "\"apps\"",
         "\"totals\"",
         "\"wall_s\"",
+        "\"parity\"",
+        "\"within_tolerance\": true",
         "\"batch\"",
         "\"speedup_estimate\"",
         "\"dse\"",
@@ -117,7 +122,7 @@ fn bench_subcommand_writes_json_file() {
         .expect("reproduce binary must run");
     assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
     let written = std::fs::read_to_string(&path).expect("bench must write the JSON file");
-    assert!(written.contains("\"bench\": \"BENCH_6\""), "{written}");
+    assert!(written.contains("\"bench\": \"BENCH_7\""), "{written}");
     let _ = std::fs::remove_file(&path);
 }
 

@@ -33,6 +33,7 @@ use tapacs_graph::{TaskGraph, TaskId, TaskKind};
 use tapacs_ilp::{IlpError, LinExpr, Model, Sense, SolverConfig, SolverOptions};
 
 use crate::error::CompileError;
+use crate::partition::gcd;
 use crate::report::{aggregate_level_samples, LevelSolveStats};
 
 /// Tuning knobs for the intra-FPGA floorplanner.
@@ -356,8 +357,12 @@ fn solve_region_split(
         x.push(v);
     }
 
-    // Cut objective over edges internal to this task set.
+    // Cut objective over edges internal to this task set. Every integral
+    // assignment forces each cut indicator to 0 or 1, so the objective of
+    // any integer-feasible point is a sum of edge widths — a multiple of
+    // their gcd, which the solver exploits as a bound-tightening lattice.
     let mut objective = LinExpr::new();
+    let mut width_gcd: u64 = 0;
     for (fid, f) in graph.fifos() {
         let (Some(&a), Some(&b)) = (local.get(&f.src), local.get(&f.dst)) else {
             continue;
@@ -369,6 +374,7 @@ fn solve_region_split(
         m.add_ge(format!("c1_{}", fid.index()), LinExpr::term(y, 1.0) - x[a] + x[b], 0.0);
         m.add_ge(format!("c2_{}", fid.index()), LinExpr::term(y, 1.0) - x[b] + x[a], 0.0);
         objective.add_term(y, f.width_bits as f64);
+        width_gcd = gcd(width_gcd, f.width_bits as u64);
     }
 
     let cap_low = ctx.region_capacity(low);
@@ -408,7 +414,8 @@ fn solve_region_split(
     }
 
     m.set_objective(Sense::Minimize, objective);
-    let solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
+    let mut solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
+    solver_cfg.objective_granularity = width_gcd as f64;
     match m.solve_with_options(&solver_cfg, &cfg.solver) {
         Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
         Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {

@@ -413,8 +413,11 @@ fn solve_two_way(
         x.push(m.binary(format!("x{sn}")));
     }
 
-    // Cut indicators for edges inside this group.
+    // Cut indicators for edges inside this group. As in the floorplanner's
+    // split, integral assignments force every indicator to 0 or 1, so
+    // feasible objectives live on the lattice of the edge-weight gcd.
     let mut objective = LinExpr::new();
+    let mut weight_gcd: u64 = 0;
     for &(a, b, w) in &coarse.edges {
         let (la, lb) = (local[a], local[b]);
         if la == usize::MAX || lb == usize::MAX {
@@ -424,6 +427,7 @@ fn solve_two_way(
         m.add_ge(format!("c1_{a}_{b}"), LinExpr::term(y, 1.0) - x[la] + x[lb], 0.0);
         m.add_ge(format!("c2_{a}_{b}"), LinExpr::term(y, 1.0) - x[lb] + x[la], 0.0);
         objective.add_term(y, w as f64);
+        weight_gcd = gcd(weight_gcd, w);
     }
 
     // Resource thresholds per side, per kind (equation 1).
@@ -464,7 +468,8 @@ fn solve_two_way(
     }
 
     m.set_objective(Sense::Minimize, objective);
-    let solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
+    let mut solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
+    solver_cfg.objective_granularity = weight_gcd as f64;
     match m.solve_with_options(&solver_cfg, &cfg.solver) {
         Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
         Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {
@@ -478,6 +483,16 @@ fn solve_two_way(
             )
         }
         Err(e) => Err(CompileError::Solver(e.to_string())),
+    }
+}
+
+/// Euclidean gcd with `gcd(0, x) = x`, so it folds cleanly over a weight
+/// list starting from zero (an empty list yields 0 = "no lattice known").
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
     }
 }
 

@@ -359,6 +359,9 @@ mod tests {
                 eta_updates: 30,
                 eta_nnz: 120,
                 refactor_triggers: 1,
+                refactor_fill_triggers: 0,
+                ft_replacements: 7,
+                devex_resets: 0,
             },
         };
         let table = report.render_table();

@@ -15,7 +15,7 @@ use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
 use crate::presolve::{self, PresolveOutcome, PresolvedLp};
-use crate::simplex::{Basis, LpEngine, LpOutcome, LpProblem, PreparedLp};
+use crate::simplex::{Basis, LpEngine, LpOutcome, LpParity, LpProblem, PreparedLp};
 use crate::solution::{Solution, SolveStatus};
 
 /// Per-solve switches for the LP engine, threaded down from
@@ -32,6 +32,8 @@ pub(crate) struct SolveParams {
     pub warm_lp: bool,
     /// Which simplex engine runs the node LP relaxations.
     pub lp_engine: LpEngine,
+    /// Oracle-parity contract for the sparse engine (see [`LpParity`]).
+    pub lp_parity: LpParity,
 }
 
 impl SolveParams {
@@ -44,6 +46,7 @@ impl SolveParams {
             presolve: crate::solver::env_flag("TAPACS_PRESOLVE").unwrap_or(true),
             warm_lp: crate::solver::env_flag("TAPACS_LP_WARM").unwrap_or(true),
             lp_engine: LpEngine::from_env(),
+            lp_parity: LpParity::from_env(),
         }
     }
 }
@@ -103,6 +106,23 @@ pub(crate) fn presolved_root(
     Ok((pre, red_integral))
 }
 
+/// Bound-tightening closure for [`SolverConfig::objective_granularity`]:
+/// rounds a min-direction LP bound up to the next multiple of the declared
+/// granularity (the identity when unset). The relative backoff keeps a
+/// bound that is numerically a hair *above* a lattice point from being
+/// rounded one granule too far, which would prune unsoundly. Sign flips
+/// preserve the lattice, so the same closure serves maximize models.
+pub(crate) fn granularity_tightener(gran: f64) -> impl Fn(f64) -> f64 + Copy {
+    move |bound: f64| {
+        if gran > 0.0 && bound.is_finite() {
+            let eps = 1e-6 * bound.abs().max(1.0);
+            gran * ((bound - eps) / gran).ceil()
+        } else {
+            bound
+        }
+    }
+}
+
 pub(crate) fn solve(
     model: &Model,
     integral: &[usize],
@@ -119,7 +139,7 @@ pub(crate) fn solve(
     let lp = &pre.lp;
     // One shared prepared form (sparse matrix for the default engine) for
     // the root and every node solve of this search.
-    let prep = PreparedLp::new(lp, params.lp_engine);
+    let prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
 
     let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
         LpOutcome::Optimal { values, objective, basis } => Node {
@@ -164,14 +184,20 @@ pub(crate) fn solve(
     let mut lo_buf: Vec<f64> = Vec::with_capacity(lp.n_vars);
     let mut hi_buf: Vec<f64> = Vec::with_capacity(lp.n_vars);
 
+    let tighten = granularity_tightener(config.objective_granularity);
+
     let mut best_open_bound = root_bound;
     let mut budget_hit = false;
     while let Some(node) = heap.pop() {
         best_open_bound = node.bound;
         if let Some((inc_obj, _)) = &incumbent {
             // Prune: this node (and with best-first, all remaining) cannot
-            // beat the incumbent.
-            if node.bound >= *inc_obj - config.mip_gap.max(1e-12) * inc_obj.abs().max(1.0) {
+            // beat the incumbent. The granularity-tightened bound is used
+            // only for this comparison — stored bounds (and thus expansion
+            // order) stay raw, so tightening never changes which incumbent
+            // the search returns, only how early it stops proving.
+            if tighten(node.bound) >= *inc_obj - config.mip_gap.max(1e-12) * inc_obj.abs().max(1.0)
+            {
                 best_open_bound = *inc_obj;
                 break;
             }
@@ -224,7 +250,7 @@ pub(crate) fn solve(
                 for child in children {
                     let bound = to_min(child.objective);
                     let dominated =
-                        incumbent.as_ref().is_some_and(|(best, _)| bound >= *best - 1e-12);
+                        incumbent.as_ref().is_some_and(|(best, _)| tighten(bound) >= *best - 1e-12);
                     if !dominated {
                         heap.push(Node {
                             bound,
@@ -320,6 +346,43 @@ mod tests {
         m.set_objective(Sense::Maximize, x.into());
         let sol = m.solve().unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn granularity_tightener_rounds_bounds_up_to_the_lattice() {
+        let t = crate::branch_bound::granularity_tightener(64.0);
+        assert_eq!(t(5460.12), 5504.0);
+        assert_eq!(t(5504.0), 5504.0, "exact lattice points are fixed points");
+        assert_eq!(t(-3.5), 0.0, "negative bounds round toward zero");
+        assert_eq!(t(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        let off = crate::branch_bound::granularity_tightener(0.0);
+        assert_eq!(off(5460.12), 5460.12, "granularity 0 disables tightening");
+    }
+
+    #[test]
+    fn declared_objective_granularity_prunes_without_changing_the_optimum() {
+        // min 7x + 7y, x + y ≥ 1.5, integer: the LP bound 10.5 is off the
+        // objective lattice {0, 7, 14, …}; declaring granularity 7 lifts it
+        // to the true optimum 14 so the plateau prunes earlier.
+        let build = || {
+            let mut m = Model::new("gran");
+            let x = m.integer("x", 0.0, 3.0);
+            let y = m.integer("y", 0.0, 3.0);
+            m.add_ge("c", x + y, 1.5);
+            m.set_objective(Sense::Minimize, 7.0 * x + 7.0 * y);
+            m
+        };
+        let base = build().solve().unwrap();
+        let config = SolverConfig { objective_granularity: 7.0, ..SolverConfig::default() };
+        let tightened = build().solve_with(&config).unwrap();
+        assert!((base.objective - 14.0).abs() < 1e-6, "got {}", base.objective);
+        assert!((tightened.objective - base.objective).abs() < 1e-9);
+        assert!(
+            tightened.nodes_explored <= base.nodes_explored,
+            "lattice pruning must never expand the search: {} vs {}",
+            tightened.nodes_explored,
+            base.nodes_explored
+        );
     }
 
     #[test]

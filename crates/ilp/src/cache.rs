@@ -437,6 +437,9 @@ fn canonical_key(backend: &str, model: &Model, config: &SolverConfig) -> Vec<u8>
     key.extend_from_slice(&config.max_nodes.to_le_bytes());
     key.extend_from_slice(&config.int_tol.to_bits().to_le_bytes());
     key.extend_from_slice(&config.mip_gap.to_bits().to_le_bytes());
+    // Granularity changes which nodes prune, hence which anytime incumbent
+    // a budgeted solve returns — different lattices must not share entries.
+    key.extend_from_slice(&config.objective_granularity.to_bits().to_le_bytes());
     match config.time_limit {
         Some(limit) => {
             key.push(1);
@@ -569,6 +572,11 @@ mod tests {
         assert_ne!(a, b);
         let c = canonical_key("par", &model(1.0), &SolverConfig::default());
         assert_ne!(a, c);
+        // Different objective lattices may prune to different anytime
+        // incumbents under a budget — they must not share entries either.
+        let gran = SolverConfig { objective_granularity: 64.0, ..SolverConfig::default() };
+        let d = canonical_key("seq", &model(1.0), &gran);
+        assert_ne!(a, d);
     }
 
     #[test]

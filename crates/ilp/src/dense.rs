@@ -7,6 +7,12 @@
 //! (pricing, ratio test, tie-breaks, the degenerate-pivot Bland guard) are
 //! shared with [`revised`](crate::revised) through the constants and
 //! helpers in [`simplex`](crate::simplex).
+//!
+//! The [`LpParity`](crate::LpParity) switch does not reach this engine: the
+//! dense tableau *is* the exact reference that `TAPACS_LP_PARITY=exact`
+//! replays, so it has no fast path — devex pricing, Forrest–Tomlin eta
+//! replacement and the dual-simplex warm re-solve live only in the sparse
+//! engine.
 
 use crate::simplex::{
     cold_statuses_for, ColStatus, EngineCore, LpProblem, RunOutcome, Step, DEGEN_BLAND_AFTER,

@@ -73,7 +73,7 @@ pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Model, Sense, SolverConfig, VarId, VarKind};
 pub use parallel::ParallelSolver;
-pub use simplex::LpEngine;
+pub use simplex::{LpEngine, LpParity};
 pub use solution::{Solution, SolveStatus};
 pub use solver::{HeuristicSolver, SequentialSolver, Solver, SolverBackend, SolverOptions};
 pub use stats::{SolveActivity, SolveStats};

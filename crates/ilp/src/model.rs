@@ -82,6 +82,16 @@ pub struct SolverConfig {
     pub int_tol: f64,
     /// Relative gap at which the search stops early.
     pub mip_gap: f64,
+    /// Modeler-declared objective granularity: every integer-feasible point
+    /// has an objective that is a multiple of this value (`0.0` = unknown,
+    /// the default). When set, branch and bound rounds each node's LP bound
+    /// up to the next multiple before *pruning* comparisons, which can
+    /// collapse the plateau proof on weak relaxations (the bisection models
+    /// set it to the gcd of their edge widths). Stored node bounds and the
+    /// expansion order are untouched, so the incumbent trajectory — and
+    /// therefore the returned solution — is unchanged. Declaring a value
+    /// that does not divide every reachable objective makes pruning unsound.
+    pub objective_granularity: f64,
 }
 
 impl Default for SolverConfig {
@@ -91,6 +101,7 @@ impl Default for SolverConfig {
             max_nodes: 200_000,
             int_tol: 1e-6,
             mip_gap: 1e-9,
+            objective_granularity: 0.0,
         }
     }
 }
@@ -309,7 +320,7 @@ impl Model {
         let integral = self.integral_vars();
         if integral.is_empty() {
             let lp = self.to_lp();
-            match simplex::solve(&lp, crate::LpEngine::from_env()) {
+            match simplex::solve(&lp, crate::LpEngine::from_env(), crate::LpParity::from_env()) {
                 crate::LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
                     status: SolveStatus::Optimal,
                     objective,

@@ -46,7 +46,7 @@ use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
 use crate::presolve::PresolvedLp;
-use crate::simplex::{Basis, LpEngine, LpOutcome, LpProblem, PreparedLp};
+use crate::simplex::{Basis, LpEngine, LpOutcome, LpParity, LpProblem, PreparedLp};
 use crate::solution::{Solution, SolveStatus};
 
 /// Frontier nodes expanded per synchronous round. Fixed (never derived from
@@ -233,7 +233,7 @@ pub(crate) fn solve(
     let lp = &pre.lp;
     // One shared prepared form (sparse matrix for the default engine) for
     // the root and every node solve — workers borrow it read-only.
-    let prep = PreparedLp::new(lp, params.lp_engine);
+    let prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
 
     let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
         LpOutcome::Optimal { values, objective, basis } => Node {
@@ -275,6 +275,8 @@ pub(crate) fn solve(
         start,
     };
 
+    let tighten = crate::branch_bound::granularity_tightener(config.objective_granularity);
+
     let mut heap = BinaryHeap::new();
     let mut next_seq = 1u64;
     heap.push(root);
@@ -305,7 +307,10 @@ pub(crate) fn solve(
         while batch.len() < width {
             let Some(top) = heap.peek() else { break };
             if let Some(io) = inc_obj {
-                if top.bound >= io - config.mip_gap.max(1e-12) * io.abs().max(1.0) {
+                // Same granularity-tightened pruning as the sequential
+                // search: only the comparison is tightened, never the
+                // stored bound, so heap order stays thread-count invariant.
+                if tighten(top.bound) >= io - config.mip_gap.max(1e-12) * io.abs().max(1.0) {
                     gap_closed = true;
                     break;
                 }
@@ -343,7 +348,9 @@ pub(crate) fn solve(
         results[0] = Some(expand_node(&ctx, &incumbent, &batch[0], &mut lo_buf, &mut hi_buf));
         let bar = incumbent.lock().unwrap().as_ref().map(|i| i.obj);
         let survives = |node: &Node| {
-            bar.is_none_or(|io| node.bound < io - config.mip_gap.max(1e-12) * io.abs().max(1.0))
+            bar.is_none_or(|io| {
+                tighten(node.bound) < io - config.mip_gap.max(1e-12) * io.abs().max(1.0)
+            })
         };
         let followers = batch.len() - 1;
         let active = workers.min(followers);
@@ -401,7 +408,8 @@ pub(crate) fn solve(
                         budget_hit = true;
                     }
                     for child in children {
-                        let dominated = merged_obj.is_some_and(|best| child.bound >= best - 1e-12);
+                        let dominated =
+                            merged_obj.is_some_and(|best| tighten(child.bound) >= best - 1e-12);
                         if !dominated {
                             heap.push(Node {
                                 bound: child.bound,
@@ -467,6 +475,8 @@ pub struct ParallelSolver {
     pub warm_lp: bool,
     /// Which simplex engine runs the node LP relaxations.
     pub lp_engine: LpEngine,
+    /// Oracle-parity contract for the sparse engine (see [`LpParity`]).
+    pub lp_parity: LpParity,
 }
 
 impl Default for ParallelSolver {
@@ -477,6 +487,7 @@ impl Default for ParallelSolver {
             presolve: true,
             warm_lp: true,
             lp_engine: LpEngine::from_env(),
+            lp_parity: LpParity::from_env(),
         }
     }
 }
@@ -496,6 +507,9 @@ impl crate::Solver for ParallelSolver {
         if self.lp_engine == LpEngine::Dense {
             name.push_str("-denselp");
         }
+        if self.lp_parity == LpParity::Fast {
+            name.push_str("+fastlp");
+        }
         name
     }
 
@@ -503,7 +517,7 @@ impl crate::Solver for ParallelSolver {
         let integral = model.integral_vars();
         if integral.is_empty() {
             // Honor the configured engine even on the pure-LP fast path.
-            return crate::solver::solve_lp(model, self.lp_engine);
+            return crate::solver::solve_lp(model, self.lp_engine, self.lp_parity);
         }
         let threads = if self.threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -515,6 +529,7 @@ impl crate::Solver for ParallelSolver {
             presolve: self.presolve,
             warm_lp: self.warm_lp,
             lp_engine: self.lp_engine,
+            lp_parity: self.lp_parity,
         };
         solve(model, &integral, config, threads, params)
     }

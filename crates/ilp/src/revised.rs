@@ -21,20 +21,48 @@
 //! thousand.
 
 use crate::simplex::{
-    cold_statuses_for, ColStatus, EngineCore, RunOutcome, Step, DEGEN_BLAND_AFTER, PRICE_BAND, TOL,
+    cold_statuses_for, ColStatus, EngineCore, LpParity, RunOutcome, Step, DEGEN_BLAND_AFTER,
+    PRICE_BAND, TOL,
 };
 use crate::sparse::SparseLp;
 
-/// Update etas tolerated before a deterministic mid-solve refactorization.
+/// Update etas tolerated before a deterministic mid-solve refactorization
+/// (exact parity).
 ///
 /// Refactorizing re-snaps the basic values from a fresh factorization, which
 /// sheds the drift the dense oracle's tableau keeps accumulating — so any
 /// solve that trips this limit stops being decision-for-decision identical
-/// to the oracle. The limit is therefore a pure anti-pathology backstop,
-/// set well above the longest solve in the reproduction workloads (their
-/// update chains stay under a few hundred etas); typical branch-and-bound
-/// node solves re-install after a handful of pivots and never come close.
+/// to the oracle. In exact mode the limit is therefore a pure
+/// anti-pathology backstop, set well above the longest solve in the
+/// reproduction workloads (their update chains stay under a few hundred
+/// etas); typical branch-and-bound node solves re-install after a handful
+/// of pivots and never come close.
 pub(crate) const REFACTOR_UPDATES: usize = 1024;
+
+/// Update-eta *fill* (off-pivot nonzeros past the factor prefix) tolerated
+/// before a mid-solve refactorization in exact parity. Like
+/// [`REFACTOR_UPDATES`] this is an anti-pathology backstop — it exists so a
+/// chain of few-but-dense etas (which the update-count trigger never sees)
+/// cannot grow FTRAN/BTRAN cost without bound — sized so no bundled
+/// workload ever trips it.
+pub(crate) const REFACTOR_FILL: usize = 1 << 20;
+
+/// Update etas tolerated under fast parity before refactorizing. Fast mode
+/// is free to re-snap basic values mid-solve, so it refactorizes early and
+/// often: a short eta file is what keeps FTRAN/BTRAN per-iteration cost
+/// flat over a long solve.
+pub(crate) const FAST_REFACTOR_UPDATES: usize = 64;
+
+/// Minimum fast-parity update-fill budget; the effective budget is
+/// `max(this, 4 × (factor fill + m))`, i.e. refactorize once the update
+/// etas carry a few times the factorization's own weight.
+pub(crate) const FAST_REFACTOR_FILL_MIN: usize = 1024;
+
+/// Devex reference weight above which the whole framework resets to unit
+/// weights (and [`SolveStats::devex_resets`](crate::SolveStats) counts
+/// one). Growing weights mean the reference framework has drifted too far
+/// from the current basis for the steepest-edge approximation to hold.
+const DEVEX_RESET_ABOVE: f64 = 1e8;
 
 /// A memoized factorization: the eta file and row assignment produced by
 /// [`Revised::factorize`] for one exact `(model, statuses)` pair. Replaying
@@ -77,6 +105,9 @@ struct RevScratch {
     used: Vec<bool>,
     cands: Vec<u32>,
     rhs: Vec<f64>,
+    devex: Vec<f64>,
+    dual_d: Vec<f64>,
+    dual_alpha: Vec<f64>,
     memo: FactorMemo,
 }
 
@@ -119,6 +150,20 @@ pub(crate) struct Revised<'a> {
     cands: Vec<u32>,
     /// Basic-value recompute scratch (avoids a per-install allocation).
     rhs: Vec<f64>,
+    /// Devex reference weights, one per column (fast parity only; empty in
+    /// exact mode). Reset to the unit framework at every basis install.
+    devex: Vec<f64>,
+    /// Reduced-cost scratch for the dual simplex (fast parity only; empty
+    /// in exact mode). Holds `d_j = c_j − y·A_j` per candidate column.
+    dual_d: Vec<f64>,
+    /// Pivot-row scratch for the dual simplex (fast parity only; empty in
+    /// exact mode). Holds `α_j = ρ·A_j` from the current pivot's entering
+    /// scan, reused by the rank-one reduced-cost update after the pivot.
+    dual_alpha: Vec<f64>,
+    /// Arithmetic-parity contract this solve runs under (see
+    /// [`LpParity`]): exact replays the dense oracle bit for bit, fast
+    /// unlocks devex pricing, eta replacement and eager refactorization.
+    parity: LpParity,
     /// The owning [`PreparedLp`](crate::simplex::PreparedLp)'s unique id —
     /// the model half of the factorization-memo key.
     prep_id: u64,
@@ -137,10 +182,19 @@ pub(crate) struct Revised<'a> {
     eta_updates: u64,
     eta_nnz: u64,
     refactor_triggers: u64,
+    refactor_fill_triggers: u64,
+    devex_resets: u64,
+    ft_replacements: u64,
 }
 
 impl<'a> Revised<'a> {
-    pub(crate) fn new(sp: &'a SparseLp, lower: &[f64], upper: &[f64], prep_id: u64) -> Revised<'a> {
+    pub(crate) fn new(
+        sp: &'a SparseLp,
+        lower: &[f64],
+        upper: &[f64],
+        prep_id: u64,
+        parity: LpParity,
+    ) -> Revised<'a> {
         let (m, n) = (sp.m, sp.n);
         let mut sc = SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
         sc.lower.clear();
@@ -168,6 +222,14 @@ impl<'a> Revised<'a> {
         sc.y.resize(m, 0.0);
         sc.used.clear();
         sc.used.resize(m, false);
+        sc.devex.clear();
+        sc.dual_d.clear();
+        sc.dual_alpha.clear();
+        if parity == LpParity::Fast {
+            sc.devex.resize(n, 1.0);
+            sc.dual_d.resize(n, 0.0);
+            sc.dual_alpha.resize(n, 0.0);
+        }
         sc.cands.clear();
         for j in 0..n {
             // Matches the old inline skip (`span <= pivot` → pinned), with
@@ -196,6 +258,10 @@ impl<'a> Revised<'a> {
             used: std::mem::take(&mut sc.used),
             cands: std::mem::take(&mut sc.cands),
             rhs: std::mem::take(&mut sc.rhs),
+            devex: std::mem::take(&mut sc.devex),
+            dual_d: std::mem::take(&mut sc.dual_d),
+            dual_alpha: std::mem::take(&mut sc.dual_alpha),
+            parity,
             prep_id,
             memo: std::mem::take(&mut sc.memo),
             memo_borrowed: false,
@@ -208,6 +274,9 @@ impl<'a> Revised<'a> {
             eta_updates: 0,
             eta_nnz: 0,
             refactor_triggers: 0,
+            refactor_fill_triggers: 0,
+            devex_resets: 0,
+            ft_replacements: 0,
         }
     }
 
@@ -452,10 +521,15 @@ impl<'a> Revised<'a> {
 
     /// Refactorizes the current basis and recomputes the basic values from
     /// the (unchanged) nonbasic point:
-    /// `x_B = B⁻¹b − Σ_nonbasic (B⁻¹A_j)·x_j`. The subtraction runs over
-    /// *transformed* columns in ascending index — the exact operation order
-    /// of the dense oracle's install — so the two engines start a warm
-    /// solve from bit-identical basic values.
+    /// `x_B = B⁻¹b − Σ_nonbasic (B⁻¹A_j)·x_j`. Under exact parity the
+    /// subtraction runs over *transformed* columns in ascending index — the
+    /// exact operation order of the dense oracle's install — so the two
+    /// engines start a warm solve from bit-identical basic values. Fast
+    /// parity computes the mathematically identical
+    /// `x_B = B⁻¹(b − Σ_nonbasic A_j·x_j)` instead: subtract the *raw*
+    /// sparse columns first, then one FTRAN of the residual — O(nnz) plus a
+    /// single eta-file pass, where the oracle order pays a full eta-file
+    /// pass per nonbasic column.
     fn refactorize(&mut self) -> bool {
         if !self.factorize_cached() {
             return false;
@@ -463,29 +537,47 @@ impl<'a> Revised<'a> {
         let mut rhs = std::mem::take(&mut self.rhs);
         rhs.clear();
         rhs.extend_from_slice(&self.sp.b);
-        self.ftran_dense(&mut rhs);
-        for j in 0..self.sp.n {
-            if self.status[j] == ColStatus::Basic {
-                continue;
-            }
-            let xj = self.x[j];
-            if xj == 0.0 {
-                continue;
-            }
-            // Row order within one column's subtraction never mixes
-            // accumulators, so the unsorted transform is bit-identical to
-            // the oracle's row sweep; zeroing `w` as rows are consumed
-            // makes duplicate `touched` entries subtract nothing.
-            self.ftran_col_unsorted(j);
-            for idx in 0..self.touched.len() {
-                let r = self.touched[idx] as usize;
-                let wv = self.w[r];
-                if wv != 0.0 {
-                    rhs[r] -= wv * xj;
-                    self.w[r] = 0.0;
+        if self.parity == LpParity::Fast {
+            for j in 0..self.sp.n {
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                let xj = self.x[j];
+                if xj == 0.0 {
+                    continue;
+                }
+                let (rows, vals) = self.sp.col(j);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    rhs[r as usize] -= v * xj;
                 }
             }
-            self.touched.clear();
+            self.ftran_dense(&mut rhs);
+        } else {
+            self.ftran_dense(&mut rhs);
+            for j in 0..self.sp.n {
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                let xj = self.x[j];
+                if xj == 0.0 {
+                    continue;
+                }
+                // Row order within one column's subtraction never mixes
+                // accumulators, so the unsorted transform is bit-identical
+                // to the oracle's row sweep; zeroing `w` as rows are
+                // consumed makes duplicate `touched` entries subtract
+                // nothing.
+                self.ftran_col_unsorted(j);
+                for idx in 0..self.touched.len() {
+                    let r = self.touched[idx] as usize;
+                    let wv = self.w[r];
+                    if wv != 0.0 {
+                        rhs[r] -= wv * xj;
+                        self.w[r] = 0.0;
+                    }
+                }
+                self.touched.clear();
+            }
         }
         for i in 0..self.sp.m {
             self.x[self.basis[i]] = rhs[i];
@@ -494,21 +586,41 @@ impl<'a> Revised<'a> {
         true
     }
 
-    /// Runs the deterministic refactorization trigger: once the update-eta
-    /// chain outgrows [`REFACTOR_UPDATES`], rebuild it. `false` means the
-    /// (previously valid) basis went numerically singular — stall.
+    /// Off-pivot nonzeros stored by the update etas (everything past the
+    /// factor prefix).
+    fn update_fill(&self) -> usize {
+        let factor_nnz = self.eta_ptr.get(self.factor_etas).copied().unwrap_or(0) as usize;
+        self.eta_row.len() - factor_nnz
+    }
+
+    /// Runs the deterministic refactorization triggers: rebuild the eta
+    /// file once the update chain outgrows the parity mode's update-count
+    /// budget *or* its fill (`eta_nnz`) budget — few-but-dense etas grow
+    /// FTRAN/BTRAN cost just as surely as many sparse ones, and the count
+    /// trigger alone never sees them. `false` means the (previously valid)
+    /// basis went numerically singular — stall.
     fn refactor_if_due(&mut self) -> bool {
-        if self.n_etas() - self.factor_etas < REFACTOR_UPDATES {
-            return true;
+        let updates = self.n_etas() - self.factor_etas;
+        let (update_limit, fill_budget) = match self.parity {
+            LpParity::Exact => (REFACTOR_UPDATES, REFACTOR_FILL),
+            LpParity::Fast => {
+                let factor_nnz = self.eta_ptr.get(self.factor_etas).copied().unwrap_or(0) as usize;
+                (FAST_REFACTOR_UPDATES, (4 * (factor_nnz + self.sp.m)).max(FAST_REFACTOR_FILL_MIN))
+            }
+        };
+        if updates < update_limit {
+            if self.update_fill() <= fill_budget {
+                return true;
+            }
+            self.refactor_fill_triggers += 1;
         }
         self.refactor_triggers += 1;
         self.refactorize()
     }
 
-    /// The pricing dot product `y·A_j` for column `j`. The production scan
-    /// inlines this into [`choose_entering`](Self::choose_entering); tests
-    /// keep it as the readable reference form.
-    #[cfg(test)]
+    /// The pricing dot product `y·A_j` for column `j`. The primal scans
+    /// inline this into [`choose_entering`](Self::choose_entering); the
+    /// dual simplex and tests use it directly.
     fn price_col(&self, j: usize) -> f64 {
         if j >= self.sp.n_struct {
             return self.y[j - self.sp.n_struct];
@@ -571,6 +683,82 @@ impl<'a> Revised<'a> {
             }
         }
         best
+    }
+
+    /// Fast-parity pricing: devex, a reference-framework approximation of
+    /// steepest edge. Candidates are ranked by `d²/γ_j`, where `γ_j`
+    /// estimates `‖B⁻¹A_j‖²` relative to the reference framework installed
+    /// at the last basis install — dividing out the column norm steers the
+    /// solve along edges that actually move the objective, which is what
+    /// shrinks iteration counts (and with them branch-and-bound trees) on
+    /// the near-degenerate floorplanning LPs. The scan itself is the same
+    /// deterministic ascending-index pass as the Dantzig rule, with strict
+    /// `>` so ties keep the lowest index: the choice is a pure function of
+    /// the node, never of thread count or timing.
+    fn choose_entering_devex(&self, use_cost: bool, bland: bool) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_score = 0.0f64;
+        let n_struct = self.sp.n_struct;
+        for &ju in &self.cands {
+            let j = ju as usize;
+            let st = self.status[j];
+            if st == ColStatus::Basic {
+                continue;
+            }
+            let dot = if j < n_struct {
+                let (s, e) = (self.sp.col_ptr[j] as usize, self.sp.col_ptr[j + 1] as usize);
+                let mut d = 0.0;
+                for (&r, &v) in self.sp.row_ix[s..e].iter().zip(&self.sp.val[s..e]) {
+                    d += v * self.y[r as usize];
+                }
+                d
+            } else {
+                self.y[j - n_struct]
+            };
+            let d = if use_cost { self.sp.cost[j] - dot } else { dot };
+            let can_up = matches!(st, ColStatus::AtLower | ColStatus::Free);
+            let can_down = matches!(st, ColStatus::AtUpper | ColStatus::Free);
+            if bland {
+                if can_up && d < -TOL.dual {
+                    return Some((j, 1.0));
+                }
+                if can_down && d > TOL.dual {
+                    return Some((j, -1.0));
+                }
+                continue;
+            }
+            let improves_up = can_up && d < -TOL.dual;
+            let improves_down = can_down && d > TOL.dual;
+            if !improves_up && !improves_down {
+                continue;
+            }
+            let score = (d * d) / self.devex[j];
+            if score > best_score {
+                best_score = score;
+                best = Some((j, if improves_up { 1.0 } else { -1.0 }));
+            }
+        }
+        best
+    }
+
+    /// Devex weight maintenance after the ratio test chose pivot row `r`
+    /// for entering column `enter` (whose FTRANed form is still in
+    /// `self.w`): the leaving variable re-enters the nonbasic set with
+    /// weight `max(γ_q/α², 1)` — the textbook devex update restricted to
+    /// the leaving column, which costs one division instead of a full
+    /// pivot-row pass. A weight beyond [`DEVEX_RESET_ABOVE`] means the
+    /// reference framework no longer resembles the basis; reset every
+    /// weight to 1 (re-reference) and count it.
+    fn devex_update(&mut self, enter: usize, r: usize) {
+        let alpha = self.w[r];
+        let leaving = self.basis[r];
+        let gamma = (self.devex[enter] / (alpha * alpha)).max(1.0);
+        if gamma > DEVEX_RESET_ABOVE {
+            self.devex.fill(1.0);
+            self.devex_resets += 1;
+        } else {
+            self.devex[leaving] = gamma;
+        }
     }
 
     /// Bounded-variable ratio test over the FTRANed entering column in
@@ -680,6 +868,9 @@ impl<'a> Revised<'a> {
                 };
             }
             Some(r) => {
+                if self.parity == LpParity::Fast {
+                    self.devex_update(enter, r);
+                }
                 let k = self.basis[r];
                 // The leaving variable snaps to whichever finite bound it
                 // blocked at (kills accumulated roundoff drift).
@@ -712,13 +903,72 @@ impl<'a> Revised<'a> {
     }
 
     /// Basis bookkeeping of a pivot: `enter` becomes basic in row `r` and
-    /// the update eta (built from `self.w`) joins the file.
+    /// the update eta (built from `self.w`) joins the file — or, under fast
+    /// parity, *replaces* the previous eta when both pivot on the same row.
     fn pivot_basis(&mut self, r: usize, enter: usize) {
         self.basis[r] = enter;
         self.status[enter] = ColStatus::Basic;
         self.eta_updates += 1;
-        self.eta_nnz += self.push_eta(r);
+        if self.parity == LpParity::Fast && self.try_replace_eta(r) {
+            self.ft_replacements += 1;
+        } else {
+            self.eta_nnz += self.push_eta(r);
+        }
         self.clear_w();
+    }
+
+    /// Forrest–Tomlin-style eta replacement: when the update eta about to
+    /// be built from `self.w` pivots on the same row as the newest eta in
+    /// the file, the two elementary operators compose into a *single* eta
+    /// (column-eta matrices with a common pivot row are closed under
+    /// multiplication: `E₂E₁` has reciprocal `inv₁·inv₂` and off-pivot
+    /// entries `v₁[r]·w[p] + w[r]`). Popping the old eta and pushing the
+    /// composition keeps the file from growing monotonically through the
+    /// enter-then-immediately-leave churn of degenerate vertices — the
+    /// dominant growth mode on the floorplanning LPs. Returns `false`
+    /// (append as usual) when the rows differ or the composed pivot would
+    /// be numerically unusable.
+    fn try_replace_eta(&mut self, pos: usize) -> bool {
+        let n = self.n_etas();
+        if n == self.factor_etas {
+            return false; // no update eta to replace
+        }
+        let last = n - 1;
+        if self.eta_pos[last] as usize != pos {
+            return false;
+        }
+        let wp = self.w[pos];
+        let inv_old = self.eta_inv[last];
+        // Composed reciprocal is inv_old/wp; its pivot (the value push_eta
+        // will invert) is wp/inv_old. Refuse a pivot the factorization
+        // itself would refuse.
+        let composed_pivot = wp / inv_old;
+        if !composed_pivot.is_finite() || composed_pivot.abs() <= TOL.refactor {
+            return false;
+        }
+        // Fold the old eta's entries into `w`, scaled by wp (see above).
+        let (s, e) = (self.eta_ptr[last] as usize, self.eta_ptr[last + 1] as usize);
+        for idx in s..e {
+            let r = self.eta_row[idx] as usize;
+            if self.w[r] == 0.0 {
+                self.touched.push(self.eta_row[idx]);
+            }
+            self.w[r] += self.eta_val[idx] * wp;
+        }
+        // `touched` may now repeat rows (an old-eta row that had cancelled
+        // to exactly zero in `w` was re-pushed); push_eta walks it verbatim,
+        // so dedup before building the composed eta.
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        // Pop the old eta and push the composition in its place.
+        self.eta_pos.pop();
+        self.eta_inv.pop();
+        self.eta_ptr.pop();
+        self.eta_row.truncate(s);
+        self.eta_val.truncate(s);
+        self.w[pos] = composed_pivot;
+        self.eta_nnz += self.push_eta(pos);
+        true
     }
 
     /// Composite phase 1 (same scheme as the dense engine): minimize the
@@ -755,7 +1005,12 @@ impl<'a> Revised<'a> {
             debug_assert!(any);
             self.btran();
             let bland = self.phase1_iters > bland_after || self.degen_streak >= DEGEN_BLAND_AFTER;
-            let Some((enter, dir)) = self.choose_entering(false, bland) else {
+            let entering = if self.parity == LpParity::Fast {
+                self.choose_entering_devex(false, bland)
+            } else {
+                self.choose_entering(false, bland)
+            };
+            let Some((enter, dir)) = entering else {
                 // Converged at the global minimum of the (convex)
                 // infeasibility; nonzero means the LP has no feasible point.
                 return if infeas > TOL.infeasible {
@@ -798,7 +1053,12 @@ impl<'a> Revised<'a> {
             }
             self.btran();
             let bland = self.phase2_iters > bland_after || self.degen_streak >= DEGEN_BLAND_AFTER;
-            let Some((enter, dir)) = self.choose_entering(true, bland) else {
+            let entering = if self.parity == LpParity::Fast {
+                self.choose_entering_devex(true, bland)
+            } else {
+                self.choose_entering(true, bland)
+            };
+            let Some((enter, dir)) = entering else {
                 return RunOutcome::Optimal;
             };
             self.phase2_iters += 1;
@@ -813,6 +1073,190 @@ impl<'a> Revised<'a> {
                 }
                 step => self.apply(enter, dir, step),
             }
+        }
+    }
+
+    /// Fast-parity dual simplex repair. A branch-and-bound child differs
+    /// from its parent only in one tightened variable bound, so the
+    /// parent's optimal basis stays *dual* feasible (reduced costs never
+    /// involve bounds) while a handful of basics drift out of range; the
+    /// dual simplex repairs exactly that in a few pivots where the
+    /// composite phase 1 + phase 2 pair re-derives optimality from
+    /// scratch. Best-effort by design: it returns without a verdict and
+    /// [`run`](Self::run) always continues into the primal phases, which
+    /// on a repaired basis reduce to one feasibility sweep and one pricing
+    /// pass — and which remain the authority on infeasibility and on any
+    /// dual drift the incremental updates below accumulate. Repairs stop
+    /// early on a dual-infeasible start (cold bases, stalled parents),
+    /// when no entering column exists (dual unbounded ⇒ primal
+    /// infeasible, proved by phase 1 with its established tolerances), on
+    /// any numerically suspect pivot, or past the iteration cap. Every
+    /// choice here is a pure function of the installed floats, so the
+    /// stopping decision — like the pivots themselves — is deterministic
+    /// across thread counts.
+    fn dual_repair(&mut self) {
+        let m = self.sp.m;
+        let cap = (4 * m + 100) as u64;
+        let mut iters = 0u64;
+        if !self.refactor_if_due() {
+            return;
+        }
+        // Reduced costs d = c_N − c_B B⁻¹N, priced once against the
+        // originals; each pivot below maintains them with the standard
+        // rank-one update instead of re-pricing the whole column set.
+        for i in 0..m {
+            self.y[i] = self.sp.cost[self.basis[i]];
+        }
+        self.btran();
+        for &ju in &self.cands {
+            let j = ju as usize;
+            let st = self.status[j];
+            if st == ColStatus::Basic {
+                continue;
+            }
+            let d = self.sp.cost[j] - self.price_col(j);
+            let infeasible = match st {
+                ColStatus::AtLower => d < -TOL.dual,
+                ColStatus::AtUpper => d > TOL.dual,
+                ColStatus::Free => d.abs() > TOL.dual,
+                ColStatus::Basic => unreachable!(),
+            };
+            if infeasible {
+                return;
+            }
+            self.dual_d[j] = d;
+        }
+        loop {
+            if !self.refactor_if_due() {
+                return;
+            }
+            // Leaving row: the basic variable with the largest bound
+            // violation (dual Dantzig); strict `>` keeps the lowest row on
+            // ties. None violated means primal feasibility is restored.
+            let mut row = usize::MAX;
+            let mut worst = TOL.feas;
+            let mut below = false;
+            for i in 0..m {
+                let k = self.basis[i];
+                if self.x[k] < self.lower[k] - worst {
+                    worst = self.lower[k] - self.x[k];
+                    row = i;
+                    below = true;
+                } else if self.x[k] > self.upper[k] + worst {
+                    worst = self.x[k] - self.upper[k];
+                    row = i;
+                    below = false;
+                }
+            }
+            if row == usize::MAX {
+                return;
+            }
+            iters += 1;
+            if iters > cap {
+                return;
+            }
+            // ρ = B⁻ᵀe_row prices the pivot row: α_j = ρ·A_j.
+            self.y.fill(0.0);
+            self.y[row] = 1.0;
+            self.btran();
+            // Dual ratio test: the leaving basic must move back toward its
+            // violated bound (up when below, down when above), entering
+            // columns may only leave a lower bound upward / an upper bound
+            // downward, and x_row moves by −dir·α per unit step — which
+            // fixes the admissible sign of α per status. Among admissible
+            // columns the smallest |d_j|/|α_j| preserves every other
+            // reduced-cost sign; near-ties prefer the larger pivot
+            // (stability), then the lower index (the scan order).
+            let mut enter = usize::MAX;
+            let mut enter_dir = 0.0f64;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for &ju in &self.cands {
+                let j = ju as usize;
+                let st = self.status[j];
+                if st == ColStatus::Basic {
+                    continue;
+                }
+                let alpha = self.price_col(j);
+                self.dual_alpha[j] = alpha;
+                if alpha.abs() <= TOL.pivot {
+                    continue;
+                }
+                let dir = match st {
+                    ColStatus::AtLower => 1.0,
+                    ColStatus::AtUpper => -1.0,
+                    // A free column can enter either way; pick the
+                    // direction that moves the leaving variable home.
+                    ColStatus::Free => {
+                        if below == (alpha < 0.0) {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                    ColStatus::Basic => unreachable!(),
+                };
+                // Required: dir·α < 0 when below (x_row rises), > 0 when
+                // above (x_row falls).
+                if below != (dir * alpha < 0.0) {
+                    continue;
+                }
+                // Sign-clamped |d|: a reduced cost within tolerance of the
+                // wrong side counts as zero (a dual-degenerate pivot), not
+                // as a negative ratio.
+                let d_mag = match st {
+                    ColStatus::AtLower => self.dual_d[j].max(0.0),
+                    ColStatus::AtUpper => (-self.dual_d[j]).max(0.0),
+                    _ => self.dual_d[j].abs(),
+                };
+                let ratio = d_mag / alpha.abs();
+                let replace = if ratio < best_ratio - 1e-12 {
+                    true
+                } else if enter != usize::MAX && ratio <= best_ratio + 1e-12 {
+                    alpha.abs() > best_alpha
+                } else {
+                    false
+                };
+                if replace {
+                    best_ratio = ratio.min(best_ratio);
+                    enter = j;
+                    enter_dir = dir;
+                    best_alpha = alpha.abs();
+                }
+            }
+            if enter == usize::MAX {
+                // Dual unbounded ⇒ primal infeasible, but tolerance
+                // subtleties make phase 1 the authority on that verdict.
+                return;
+            }
+            self.ftran_col(enter);
+            let aw = self.w[row];
+            let rate = -enter_dir * aw;
+            // The FTRANed pivot must agree with the priced row both in
+            // magnitude and in the direction it moves the leaving basic.
+            if aw.abs() <= TOL.pivot || below != (rate > 0.0) {
+                self.clear_w();
+                return;
+            }
+            let k = self.basis[row];
+            let dist = if below { self.lower[k] - self.x[k] } else { self.x[k] - self.upper[k] };
+            let delta = dist / rate.abs();
+            // Dual step length, fixed before `apply` flips statuses: the
+            // new pricing vector is y' = y + θρ with θ = d_q/α_q, so every
+            // reduced cost moves by d'_j = d_j − θ·α_j (the entering
+            // column's lands on 0, the leaving variable's on −θ since its
+            // pivot-row coefficient is 1 by B⁻¹B = I).
+            let theta = self.dual_d[enter] / self.dual_alpha[enter];
+            self.phase2_iters += 1;
+            self.apply(enter, enter_dir, Step::Pivot { row, delta });
+            for &ju in &self.cands {
+                let j = ju as usize;
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                self.dual_d[j] -= theta * self.dual_alpha[j];
+            }
+            self.dual_d[k] = -theta;
         }
     }
 }
@@ -856,6 +1300,9 @@ impl Drop for Revised<'_> {
             used: std::mem::take(&mut self.used),
             cands: std::mem::take(&mut self.cands),
             rhs: std::mem::take(&mut self.rhs),
+            devex: std::mem::take(&mut self.devex),
+            dual_d: std::mem::take(&mut self.dual_d),
+            dual_alpha: std::mem::take(&mut self.dual_alpha),
             memo: std::mem::take(&mut self.memo),
         };
         SCRATCH.with(|c| *c.borrow_mut() = sc);
@@ -903,6 +1350,9 @@ impl EngineCore for Revised<'_> {
     }
 
     fn run(&mut self) -> RunOutcome {
+        if self.parity == LpParity::Fast {
+            self.dual_repair();
+        }
         match self.phase1() {
             RunOutcome::Optimal => {}
             other => return other,
@@ -918,13 +1368,16 @@ impl EngineCore for Revised<'_> {
         (&self.x, &self.status)
     }
 
-    fn lu_totals(&self) -> Option<[u64; 5]> {
+    fn lu_totals(&self) -> Option<[u64; 8]> {
         Some([
             self.lu_factorizations,
             self.lu_fill_nnz,
             self.eta_updates,
             self.eta_nnz,
             self.refactor_triggers,
+            self.refactor_fill_triggers,
+            self.devex_resets,
+            self.ft_replacements,
         ])
     }
 }
@@ -959,7 +1412,13 @@ mod tests {
             2,
             10.0,
         );
-        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id());
+        let mut e = Revised::new(
+            &sp,
+            &lp.lower,
+            &lp.upper,
+            crate::simplex::next_prep_id(),
+            LpParity::Exact,
+        );
         let cold = e.cold_statuses();
         assert!(e.install(&cold));
         // All-logical basis: every column claims its own row with an
@@ -980,7 +1439,13 @@ mod tests {
             2,
             10.0,
         );
-        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id());
+        let mut e = Revised::new(
+            &sp,
+            &lp.lower,
+            &lp.upper,
+            crate::simplex::next_prep_id(),
+            LpParity::Exact,
+        );
         // Make both structural columns basic (a 2×2 nonsingular basis).
         let statuses =
             vec![ColStatus::Basic, ColStatus::Basic, ColStatus::AtLower, ColStatus::AtLower];
@@ -1008,28 +1473,226 @@ mod tests {
     #[test]
     fn refactor_trigger_fires_deterministically() {
         // A solve long enough to exceed REFACTOR_UPDATES pivots would
-        // refactorize; here just drive the trigger path directly.
-        let (lp, sp) =
-            prep(vec![LpRow { coeffs: vec![(0, 0.5)], op: CmpOp::Le, rhs: 5.0 }], 1, 10.0);
-        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id());
+        // refactorize; here just drive the trigger path directly — in both
+        // parity modes (fast trips its tighter update budget).
+        for (parity, limit) in
+            [(LpParity::Exact, REFACTOR_UPDATES), (LpParity::Fast, FAST_REFACTOR_UPDATES)]
+        {
+            let (lp, sp) =
+                prep(vec![LpRow { coeffs: vec![(0, 0.5)], op: CmpOp::Le, rhs: 5.0 }], 1, 10.0);
+            let mut e =
+                Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
+            let cold = e.cold_statuses();
+            assert!(e.install(&cold));
+            let factorizations_before = e.lu_factorizations;
+            // Fake a long update chain by scattering the scratch directly (a
+            // 0.5 pivot keeps every eta non-identity, so they are actually
+            // stored): the trigger must refactorize.
+            for _ in 0..limit {
+                e.w[0] = 0.5;
+                e.touched.clear();
+                e.touched.push(0);
+                e.push_eta(0);
+                e.clear_w();
+            }
+            assert!(e.refactor_if_due());
+            assert_eq!(e.refactor_triggers, 1, "{parity:?}");
+            assert_eq!(e.refactor_fill_triggers, 0, "{parity:?}: count trigger, not fill");
+            // The memo only captures the eta file when the engine is
+            // dropped, so an in-lifetime rebuild factorizes (and counts)
+            // afresh.
+            assert_eq!(e.lu_factorizations, factorizations_before + 1, "{parity:?}");
+            assert_eq!(e.n_etas() - e.factor_etas, 0, "{parity:?}: update chain reset");
+        }
+    }
+
+    /// Fabricates an update chain of `count` etas, each with `m - 10`
+    /// off-pivot entries, on a fresh engine over an `m`-row model, then runs
+    /// the trigger. Shared by the fill-trigger tests of both parity modes.
+    fn force_fill_refactor(m: usize, parity: LpParity, count: usize) -> (u64, u64, u64) {
+        let rows: Vec<LpRow> =
+            (0..m).map(|_| LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1e9 }).collect();
+        let (lp, sp) = prep(rows, 1, 10.0);
+        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
         let cold = e.cold_statuses();
         assert!(e.install(&cold));
-        let factorizations_before = e.lu_factorizations;
-        // Fake a long update chain by scattering the scratch directly (a
-        // 0.5 pivot keeps every eta non-identity, so they are actually
-        // stored): the trigger must refactorize.
-        for _ in 0..REFACTOR_UPDATES {
-            e.w[0] = 0.5;
+        let fill_per_eta = m - 10;
+        for _ in 0..count {
             e.touched.clear();
-            e.touched.push(0);
+            for r in 0..=fill_per_eta {
+                e.w[r] = 0.5;
+                e.touched.push(r as u32);
+            }
             e.push_eta(0);
             e.clear_w();
         }
         assert!(e.refactor_if_due());
-        assert_eq!(e.refactor_triggers, 1);
-        // The memo only captures the eta file when the engine is dropped,
-        // so an in-lifetime rebuild factorizes (and counts) afresh.
-        assert_eq!(e.lu_factorizations, factorizations_before + 1);
-        assert_eq!(e.n_etas() - e.factor_etas, 0, "update chain reset");
+        assert_eq!(e.n_etas() - e.factor_etas, 0, "{parity:?}: update chain reset");
+        (e.refactor_triggers, e.refactor_fill_triggers, e.lu_factorizations)
+    }
+
+    /// The dead path ISSUE 7 fixes: an update chain of few-but-dense etas
+    /// never trips the update-count trigger, so before the `eta_nnz` budget
+    /// existed it grew FTRAN/BTRAN cost without bound. Both parity modes
+    /// must now refactorize on fill alone (exact far later than fast — its
+    /// budget is a pure backstop).
+    #[test]
+    fn fill_trigger_forces_midsolve_refactorization_exact() {
+        // 1019 etas × 1030 nnz ≈ 1.05M > REFACTOR_FILL, updates < 1024.
+        let (triggers, fill_triggers, factorizations) =
+            force_fill_refactor(1040, LpParity::Exact, 1019);
+        assert_eq!(triggers, 1);
+        assert_eq!(fill_triggers, 1, "fill, not update count, must have fired");
+        assert_eq!(factorizations, 2, "install + forced refactorization");
+    }
+
+    #[test]
+    fn fill_trigger_forces_midsolve_refactorization_fast() {
+        // Budget for m=40, empty factor prefix: max(1024, 4·40) = 1024;
+        // 35 etas × 30 nnz = 1050 > 1024, updates < 64.
+        let (triggers, fill_triggers, factorizations) = force_fill_refactor(40, LpParity::Fast, 35);
+        assert_eq!(triggers, 1);
+        assert_eq!(fill_triggers, 1, "fill, not update count, must have fired");
+        assert_eq!(factorizations, 2, "install + forced refactorization");
+    }
+
+    /// The Forrest–Tomlin-style composition must be *exact* operator
+    /// algebra: replacing two same-row etas with their composition leaves
+    /// FTRAN results bit-for-bit unchanged up to the reordered arithmetic
+    /// (here: equal to 1e-12).
+    #[test]
+    fn ft_replacement_composes_same_row_etas() {
+        let (lp, sp) = prep(
+            vec![
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+                LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+            ],
+            1,
+            10.0,
+        );
+        let mut e =
+            Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), LpParity::Fast);
+        let cold = e.cold_statuses();
+        assert!(e.install(&cold));
+        assert_eq!(e.n_etas(), 0, "all-logical basis: empty factor prefix");
+        // First update eta: w = [2, 1, 0] pivoting row 0 → inv 0.5, {1: 1}.
+        e.touched.clear();
+        e.w[0] = 2.0;
+        e.w[1] = 1.0;
+        e.touched.extend_from_slice(&[0, 1]);
+        e.push_eta(0);
+        e.clear_w();
+        // Second pivot on the same row: w = [4, 0, 3]. Sequential
+        // application of E1 then E2 to e_0 gives [0.125, -0.5, -0.375].
+        e.touched.clear();
+        e.w[0] = 4.0;
+        e.w[2] = 3.0;
+        e.touched.extend_from_slice(&[0, 2]);
+        assert!(e.try_replace_eta(0));
+        e.clear_w();
+        assert_eq!(e.n_etas(), 1, "two same-row etas composed into one");
+        assert!((e.eta_inv[0] - 0.125).abs() < 1e-15);
+        let mut v = vec![1.0, 0.0, 0.0];
+        e.ftran_dense(&mut v);
+        assert!((v[0] - 0.125).abs() < 1e-12, "{v:?}");
+        assert!((v[1] + 0.5).abs() < 1e-12, "{v:?}");
+        assert!((v[2] + 0.375).abs() < 1e-12, "{v:?}");
+    }
+
+    /// A different pivot row must *not* replace (the algebra only holds for
+    /// a common pivot row), and exact parity never replaces at all.
+    #[test]
+    fn ft_replacement_requires_same_row_and_fast_parity() {
+        for parity in [LpParity::Exact, LpParity::Fast] {
+            let (lp, sp) = prep(
+                vec![
+                    LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+                    LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1.0 },
+                ],
+                1,
+                10.0,
+            );
+            let mut e =
+                Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
+            let cold = e.cold_statuses();
+            assert!(e.install(&cold));
+            for pos in [0usize, 1] {
+                e.touched.clear();
+                e.w[pos] = 0.5;
+                e.touched.push(pos as u32);
+                if parity == LpParity::Fast && pos == 1 {
+                    // Different pivot row: composition must refuse.
+                    assert!(!e.try_replace_eta(pos));
+                }
+                e.push_eta(pos);
+                e.clear_w();
+            }
+            assert_eq!(e.n_etas(), 2, "{parity:?}: both etas appended");
+        }
+    }
+
+    /// The branch-and-bound warm-start shape: a parent-optimal basis whose
+    /// basic value violates a *tightened child bound* stays dual feasible,
+    /// so fast parity must repair it with dual pivots alone — zero phase-1
+    /// iterations — while exact parity reaches the same vertex through the
+    /// composite phases.
+    #[test]
+    fn dual_repair_fixes_tightened_bound_without_phase1() {
+        // min x0 + x1  s.t.  x0 + x1 ≥ 4,  0 ≤ x ≤ 10. Parent optimum:
+        // x0 basic at 4, x1 and the surplus logical nonbasic.
+        let (mut lp, sp) = prep(
+            vec![LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], op: CmpOp::Ge, rhs: 4.0 }],
+            2,
+            10.0,
+        );
+        let parent = vec![ColStatus::Basic, ColStatus::AtLower, ColStatus::AtUpper];
+        // Child branch: x0 ≤ 3 makes the parent basis primal infeasible
+        // (x0 = 4 > 3) but leaves every reduced cost dual feasible.
+        lp.upper[0] = 3.0;
+        for parity in [LpParity::Fast, LpParity::Exact] {
+            let mut e =
+                Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
+            assert!(e.install(&parent));
+            assert_eq!(e.x[0], 4.0, "{parity:?}: warm basic value precedes repair");
+            assert!(matches!(e.run(), RunOutcome::Optimal), "{parity:?}");
+            let obj: f64 = (0..sp.n).map(|j| sp.cost[j] * e.x[j]).sum();
+            assert!((obj - 4.0).abs() < 1e-9, "{parity:?}: objective {obj}");
+            if parity == LpParity::Fast {
+                // One dual pivot: x1 enters, x0 leaves exactly at its new
+                // upper bound. Phase 1 never ran.
+                assert_eq!(e.phase1_iters, 0, "dual repair must skip phase 1");
+                assert!(e.phase2_iters >= 1);
+                assert_eq!((e.x[0], e.x[1]), (3.0, 1.0));
+            } else {
+                assert!(e.dual_d.is_empty(), "exact parity allocates no dual scratch");
+            }
+        }
+    }
+
+    /// A dual-infeasible warm start (negative reduced cost at lower bound)
+    /// must make `dual_repair` bail *before* any pivot so the primal
+    /// phases — the only path with an infeasibility proof — take over.
+    #[test]
+    fn dual_repair_bails_to_phases_on_dual_infeasible_start() {
+        let lp = LpProblem {
+            n_vars: 1,
+            lower: vec![0.0],
+            upper: vec![10.0],
+            rows: vec![LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 5.0 }],
+            objective: vec![-1.0],
+            minimize: true,
+            objective_offset: 0.0,
+        };
+        let sp = SparseLp::build(&lp);
+        let mut e =
+            Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), LpParity::Fast);
+        let cold = e.cold_statuses();
+        assert!(e.install(&cold));
+        // Cold logical basis prices d₀ = −1 at lower: run() must fall
+        // through to the phases and still maximize x0 against the row.
+        assert!(matches!(e.run(), RunOutcome::Optimal));
+        assert_eq!(e.x[0], 5.0);
+        assert!(e.phase2_iters >= 1, "the primal phase performed the pivot");
     }
 }

@@ -169,6 +169,48 @@ impl LpEngine {
     }
 }
 
+/// Arithmetic-parity contract of the sparse engine against the dense
+/// tableau oracle.
+///
+/// In [`LpParity::Exact`] mode (the default) every sparse solve replays the
+/// oracle's Gauss-Jordan operation for operation: same pivot rows,
+/// bit-identical basic values, identical branch-and-bound node trees. That
+/// contract is what the cross-engine differential tests and CI solve-count
+/// assertions rely on — but it forbids exactly the arithmetic that makes a
+/// revised simplex fast. [`LpParity::Fast`] drops bit equality for a
+/// bounded-objective contract (agreement to `1e-6`) and unlocks:
+///
+/// * **devex pricing** (a reference-framework steepest-edge approximation)
+///   in place of the banded Dantzig rule;
+/// * **Forrest–Tomlin-style eta replacement** — consecutive pivots on the
+///   same row compose into one eta instead of appending, so the eta file
+///   stops growing monotonically;
+/// * **fill-triggered mid-solve refactorization** (`eta_nnz` budget, not
+///   just update count) with a single-FTRAN basic-value recompute.
+///
+/// Fast mode stays fully deterministic: every entering/leaving choice is a
+/// pure function of the node's model and bounds, so results are
+/// bit-identical across `TAPACS_SOLVER_THREADS` values — only the
+/// *oracle-replay* guarantee is relaxed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LpParity {
+    /// Bit-identical oracle replay (default).
+    Exact,
+    /// Reordered arithmetic, bounded objective tolerance vs the oracle.
+    Fast,
+}
+
+impl LpParity {
+    /// Reads `TAPACS_LP_PARITY` (`fast` relaxes oracle parity; any other
+    /// value, or unset, keeps the exact default).
+    pub fn from_env() -> LpParity {
+        match std::env::var("TAPACS_LP_PARITY") {
+            Ok(v) if v.eq_ignore_ascii_case("fast") => LpParity::Fast,
+            _ => LpParity::Exact,
+        }
+    }
+}
+
 /// How one simplex run ended (engine-internal verdict).
 pub(crate) enum RunOutcome {
     Optimal,
@@ -215,7 +257,7 @@ pub(crate) trait EngineCore {
     /// Factorization counters accumulated by this engine instance, in
     /// [`SolveActivity::record_lu`](crate::stats) argument order; `None`
     /// for engines without a factorization (dense).
-    fn lu_totals(&self) -> Option<[u64; 5]> {
+    fn lu_totals(&self) -> Option<[u64; 8]> {
         None
     }
 }
@@ -279,6 +321,7 @@ pub(crate) fn extract_outcome(
 pub(crate) struct PreparedLp<'a> {
     pub lp: &'a LpProblem,
     engine: LpEngine,
+    parity: LpParity,
     sparse: Option<SparseLp>,
     /// Process-unique id, the model half of the sparse engine's
     /// per-thread factorization-memo key.
@@ -292,13 +335,14 @@ pub(crate) fn next_prep_id() -> u64 {
 }
 
 impl<'a> PreparedLp<'a> {
-    /// Prepares `lp` for `engine`.
-    pub fn new(lp: &'a LpProblem, engine: LpEngine) -> PreparedLp<'a> {
+    /// Prepares `lp` for `engine` under `parity`. The dense oracle ignores
+    /// the parity switch — it *is* the exact reference arithmetic.
+    pub fn new(lp: &'a LpProblem, engine: LpEngine, parity: LpParity) -> PreparedLp<'a> {
         let sparse = match engine {
             LpEngine::Sparse => Some(SparseLp::build(lp)),
             LpEngine::Dense => None,
         };
-        PreparedLp { lp, engine, sparse, id: next_prep_id() }
+        PreparedLp { lp, engine, parity, sparse, id: next_prep_id() }
     }
 
     /// Solves with overriding bounds, warm-starting from `warm` when given.
@@ -312,17 +356,17 @@ impl<'a> PreparedLp<'a> {
                 drive(self.lp, lower, upper, warm, || dense::Tableau::build(self.lp, lower, upper))
             }
             (LpEngine::Sparse, Some(sp)) => drive(self.lp, lower, upper, warm, || {
-                revised::Revised::new(sp, lower, upper, self.id)
+                revised::Revised::new(sp, lower, upper, self.id, self.parity)
             }),
             (LpEngine::Sparse, None) => unreachable!("sparse engine always prepares a matrix"),
         }
     }
 }
 
-/// Solves `lp` with its stored bounds, cold, on the env-selected engine.
+/// Solves `lp` with its stored bounds, cold, on the given engine/parity.
 /// One-off entry point; repeated node solves go through [`PreparedLp`].
-pub(crate) fn solve(lp: &LpProblem, engine: LpEngine) -> LpOutcome {
-    PreparedLp::new(lp, engine).solve_warm(&lp.lower, &lp.upper, None)
+pub(crate) fn solve(lp: &LpProblem, engine: LpEngine, parity: LpParity) -> LpOutcome {
+    PreparedLp::new(lp, engine, parity).solve_warm(&lp.lower, &lp.upper, None)
 }
 
 /// The warm/cold orchestration both engines run under.
@@ -351,8 +395,8 @@ fn drive<E: EngineCore>(
     // exactly where warm starting performs worst. Factorization work is
     // likewise accumulated across attempts and flushed once per solve.
     let (mut wasted_p1, mut wasted_p2) = (0u64, 0u64);
-    let mut lu = [0u64; 5];
-    let add_lu = |e: &E, lu: &mut [u64; 5]| {
+    let mut lu = [0u64; 8];
+    let add_lu = |e: &E, lu: &mut [u64; 8]| {
         if let Some(t) = e.lu_totals() {
             for (acc, v) in lu.iter_mut().zip(t) {
                 *acc += v;
@@ -371,7 +415,7 @@ fn drive<E: EngineCore>(
                     a.record_warm_hit();
                     a.record_lp_solve(p1, p2);
                     if lu.iter().any(|&v| v != 0) {
-                        a.record_lu(lu[0], lu[1], lu[2], lu[3], lu[4]);
+                        a.record_lu(&lu);
                     }
                 });
                 let (x, status) = e.solution();
@@ -397,7 +441,7 @@ fn drive<E: EngineCore>(
     stats::record(|a| {
         a.record_lp_solve(p1 + wasted_p1, p2 + wasted_p2);
         if lu.iter().any(|&v| v != 0) {
-            a.record_lu(lu[0], lu[1], lu[2], lu[3], lu[4]);
+            a.record_lu(&lu);
         }
     });
     // A stalled cold solve signals numerical trouble; treat as infeasible
@@ -438,14 +482,24 @@ mod tests {
         }
     }
 
-    /// Runs a solve on each engine and returns both outcomes, so every
-    /// test below exercises the sparse default *and* the dense oracle.
-    fn on_both(f: impl Fn(LpEngine) -> LpOutcome) -> Vec<LpOutcome> {
-        [LpEngine::Sparse, LpEngine::Dense].into_iter().map(f).collect()
+    /// Every engine/parity combination worth differential coverage: the
+    /// sparse engine in both parity modes plus the dense oracle (which is
+    /// always exact).
+    const CONFIGS: [(LpEngine, LpParity); 3] = [
+        (LpEngine::Sparse, LpParity::Exact),
+        (LpEngine::Sparse, LpParity::Fast),
+        (LpEngine::Dense, LpParity::Exact),
+    ];
+
+    /// Runs a solve on each engine/parity configuration, so every test
+    /// below exercises the sparse default, its fast-parity variant *and*
+    /// the dense oracle.
+    fn on_both(f: impl Fn(LpEngine, LpParity) -> LpOutcome) -> Vec<LpOutcome> {
+        CONFIGS.into_iter().map(|(e, p)| f(e, p)).collect()
     }
 
-    fn solve_on(p: &LpProblem, engine: LpEngine) -> LpOutcome {
-        PreparedLp::new(p, engine).solve_warm(&p.lower, &p.upper, None)
+    fn solve_on(p: &LpProblem, engine: LpEngine, parity: LpParity) -> LpOutcome {
+        PreparedLp::new(p, engine, parity).solve_warm(&p.lower, &p.upper, None)
     }
 
     #[test]
@@ -463,7 +517,7 @@ mod tests {
             vec![3.0, 5.0],
             false,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((obj - 36.0).abs() < 1e-6);
             assert!((x[0] - 2.0).abs() < 1e-6);
@@ -485,7 +539,7 @@ mod tests {
             vec![1.0, 1.0],
             true,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((obj - 2.0).abs() < 1e-6);
             assert!((x[0] - 1.0).abs() < 1e-6);
@@ -507,7 +561,7 @@ mod tests {
             vec![1.0],
             true,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             assert!(matches!(out, LpOutcome::Infeasible));
         }
     }
@@ -516,7 +570,7 @@ mod tests {
     fn unbounded_detected() {
         // max x with no constraints.
         let p = lp(1, vec![0.0], vec![f64::INFINITY], vec![], vec![1.0], false);
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             assert!(matches!(out, LpOutcome::Unbounded));
         }
     }
@@ -526,7 +580,7 @@ mod tests {
         // max x + y with 1 <= x <= 3, 0 <= y <= 2 → 5, with no constraint
         // rows at all: pure bound flips.
         let p = lp(2, vec![1.0, 0.0], vec![3.0, 2.0], vec![], vec![1.0, 1.0], false);
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((obj - 5.0).abs() < 1e-6);
             assert!((x[0] - 3.0).abs() < 1e-6);
@@ -538,7 +592,7 @@ mod tests {
     fn negative_lower_bound_shift() {
         // min x with -5 <= x <= 5 → -5.
         let p = lp(1, vec![-5.0], vec![5.0], vec![], vec![1.0], true);
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((obj + 5.0).abs() < 1e-6);
             assert!((x[0] + 5.0).abs() < 1e-6);
@@ -556,7 +610,7 @@ mod tests {
             vec![1.0],
             true,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((obj + 10.0).abs() < 1e-6);
             assert!((x[0] + 10.0).abs() < 1e-6);
@@ -567,7 +621,7 @@ mod tests {
     fn flipped_variable_upper_only() {
         // max x with x <= 7, lower unbounded → 7.
         let p = lp(1, vec![f64::NEG_INFINITY], vec![7.0], vec![], vec![1.0], false);
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((obj - 7.0).abs() < 1e-6);
             assert!((x[0] - 7.0).abs() < 1e-6);
@@ -585,7 +639,7 @@ mod tests {
             vec![0.0, 1.0],
             true,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((obj - 2.0).abs() < 1e-6, "objective {obj}, x {x:?}");
         }
@@ -606,7 +660,7 @@ mod tests {
             vec![4.0, 2.0, 1.0],
             false,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (_, obj) = optimal(out);
             assert!(obj > 0.0);
         }
@@ -639,9 +693,9 @@ mod tests {
             vec![-0.75, 150.0, -0.02, 6.0],
             true,
         );
-        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+        for (engine, parity) in CONFIGS {
             let scope = Arc::new(SolveActivity::default());
-            let out = SolveActivity::scoped(&scope, || solve_on(&p, engine));
+            let out = SolveActivity::scoped(&scope, || solve_on(&p, engine, parity));
             let (x, obj) = optimal(out);
             assert!((obj + 0.05).abs() < 1e-6, "{engine:?}: objective {obj}");
             assert!((x[0] - 0.04).abs() < 1e-6, "{engine:?}: x {x:?}");
@@ -670,8 +724,8 @@ mod tests {
             true,
         );
         let mut verdicts = Vec::new();
-        for engine in [LpEngine::Sparse, LpEngine::Dense] {
-            let prep = PreparedLp::new(&p, engine);
+        for (engine, parity) in CONFIGS {
+            let prep = PreparedLp::new(&p, engine, parity);
             let cold = prep.solve_warm(&p.lower, &p.upper, None);
             let basis = match &cold {
                 LpOutcome::Optimal { basis, .. } => Some(basis.clone()),
@@ -705,7 +759,7 @@ mod tests {
             vec![1.0, 0.0],
             true,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!(obj.abs() < 1e-6);
             assert!((x[1] - 2.0).abs() < 1e-6);
@@ -715,7 +769,7 @@ mod tests {
     #[test]
     fn bound_override_tightens() {
         let p = lp(1, vec![0.0], vec![10.0], vec![], vec![1.0], false);
-        for out in on_both(|e| PreparedLp::new(&p, e).solve_warm(&[0.0], &[3.0], None)) {
+        for out in on_both(|e, pa| PreparedLp::new(&p, e, pa).solve_warm(&[0.0], &[3.0], None)) {
             let (_, obj) = optimal(out);
             assert!((obj - 3.0).abs() < 1e-6);
         }
@@ -724,7 +778,7 @@ mod tests {
     #[test]
     fn empty_box_is_infeasible() {
         let p = lp(1, vec![0.0], vec![10.0], vec![], vec![1.0], false);
-        for out in on_both(|e| PreparedLp::new(&p, e).solve_warm(&[5.0], &[4.0], None)) {
+        for out in on_both(|e, pa| PreparedLp::new(&p, e, pa).solve_warm(&[5.0], &[4.0], None)) {
             assert!(matches!(out, LpOutcome::Infeasible));
         }
     }
@@ -744,8 +798,8 @@ mod tests {
     #[test]
     fn warm_start_matches_cold_after_bound_change() {
         let p = knapsack_lp();
-        for engine in [LpEngine::Sparse, LpEngine::Dense] {
-            let prep = PreparedLp::new(&p, engine);
+        for (engine, parity) in CONFIGS {
+            let prep = PreparedLp::new(&p, engine, parity);
             let basis = optimal_basis(prep.solve_warm(&p.lower, &p.upper, None));
             // Branch x2 down to 0 (the branching move the B&B performs).
             let lower = vec![0.0; 3];
@@ -760,8 +814,8 @@ mod tests {
     #[test]
     fn warm_start_same_bounds_reproduces_optimum() {
         let p = knapsack_lp();
-        for engine in [LpEngine::Sparse, LpEngine::Dense] {
-            let prep = PreparedLp::new(&p, engine);
+        for (engine, parity) in CONFIGS {
+            let prep = PreparedLp::new(&p, engine, parity);
             let out = prep.solve_warm(&p.lower, &p.upper, None);
             let basis = optimal_basis(out.clone());
             let (_, cold_obj) = optimal(out);
@@ -773,8 +827,8 @@ mod tests {
     #[test]
     fn invalid_warm_basis_falls_back_to_cold() {
         let p = knapsack_lp();
-        for engine in [LpEngine::Sparse, LpEngine::Dense] {
-            let prep = PreparedLp::new(&p, engine);
+        for (engine, parity) in CONFIGS {
+            let prep = PreparedLp::new(&p, engine, parity);
             // Wrong length: refactorization must reject it and cold-solve.
             let bogus = Basis { status: vec![ColStatus::AtLower; 2] };
             let (_, obj) = optimal(prep.solve_warm(&p.lower, &p.upper, Some(&bogus)));
@@ -806,8 +860,8 @@ mod tests {
         );
         let singular =
             Basis { status: vec![ColStatus::AtLower, ColStatus::Basic, ColStatus::AtLower] };
-        for engine in [LpEngine::Sparse, LpEngine::Dense] {
-            let prep = PreparedLp::new(&p, engine);
+        for (engine, parity) in CONFIGS {
+            let prep = PreparedLp::new(&p, engine, parity);
             let scope = Arc::new(SolveActivity::default());
             let out = SolveActivity::scoped(&scope, || {
                 prep.solve_warm(&p.lower, &p.upper, Some(&singular))
@@ -824,7 +878,7 @@ mod tests {
     #[test]
     fn sparse_engine_records_factorization_work() {
         let p = knapsack_lp();
-        let prep = PreparedLp::new(&p, LpEngine::Sparse);
+        let prep = PreparedLp::new(&p, LpEngine::Sparse, LpParity::Exact);
         let scope = Arc::new(SolveActivity::default());
         let basis = SolveActivity::scoped(&scope, || {
             optimal_basis(prep.solve_warm(&p.lower, &p.upper, None))
@@ -848,8 +902,8 @@ mod tests {
             vec![1.0, 1.0],
             true,
         );
-        for engine in [LpEngine::Sparse, LpEngine::Dense] {
-            let prep = PreparedLp::new(&p, engine);
+        for (engine, parity) in CONFIGS {
+            let prep = PreparedLp::new(&p, engine, parity);
             let basis = optimal_basis(prep.solve_warm(&p.lower, &p.upper, None));
             let out = prep.solve_warm(&[0.0, 0.0], &[0.0, 0.0], Some(&basis));
             assert!(matches!(out, LpOutcome::Infeasible));
@@ -867,7 +921,7 @@ mod tests {
             vec![1.0, 1.0],
             false,
         );
-        for out in on_both(|e| solve_on(&p, e)) {
+        for out in on_both(|e, pa| solve_on(&p, e, pa)) {
             let (x, obj) = optimal(out);
             assert!((x[0] - 2.0).abs() < 1e-9);
             assert!((obj - 6.0).abs() < 1e-6);

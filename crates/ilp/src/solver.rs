@@ -20,7 +20,7 @@ use crate::branch_bound::{self, SolveParams};
 use crate::cache::CachingSolver;
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
-use crate::simplex::{self, LpEngine, LpOutcome};
+use crate::simplex::{self, LpEngine, LpOutcome, LpParity};
 use crate::solution::{Solution, SolveStatus};
 
 /// Parses a boolean environment flag (`0/false/off/no` vs `1/true/on/yes`);
@@ -56,9 +56,13 @@ pub trait Solver: Send + Sync {
 
 /// Single LP solve for models without integer variables — shared shortcut
 /// for every backend.
-pub(crate) fn solve_lp(model: &Model, engine: LpEngine) -> Result<Solution, IlpError> {
+pub(crate) fn solve_lp(
+    model: &Model,
+    engine: LpEngine,
+    parity: LpParity,
+) -> Result<Solution, IlpError> {
     let lp = model.to_lp();
-    match simplex::solve(&lp, engine) {
+    match simplex::solve(&lp, engine, parity) {
         LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
             status: SolveStatus::Optimal,
             objective,
@@ -143,7 +147,7 @@ pub(crate) fn greedy_repair(
 /// Returns the point plus the root LP objective (a valid bound).
 pub(crate) fn heuristic_point(model: &Model, integral: &[usize]) -> Option<(Vec<f64>, f64)> {
     let lp = model.to_lp();
-    let (relax, root_obj) = match simplex::solve(&lp, LpEngine::from_env()) {
+    let (relax, root_obj) = match simplex::solve(&lp, LpEngine::from_env(), LpParity::from_env()) {
         LpOutcome::Optimal { values, objective, .. } => (values, objective),
         LpOutcome::Infeasible | LpOutcome::Unbounded => return None,
     };
@@ -163,11 +167,19 @@ pub struct SequentialSolver {
     pub warm_lp: bool,
     /// Which simplex engine runs the node LP relaxations.
     pub lp_engine: LpEngine,
+    /// Oracle-parity contract for the sparse engine (see [`LpParity`]).
+    pub lp_parity: LpParity,
 }
 
 impl Default for SequentialSolver {
     fn default() -> Self {
-        Self { warm_start: true, presolve: true, warm_lp: true, lp_engine: LpEngine::from_env() }
+        Self {
+            warm_start: true,
+            presolve: true,
+            warm_lp: true,
+            lp_engine: LpEngine::from_env(),
+            lp_parity: LpParity::from_env(),
+        }
     }
 }
 
@@ -186,6 +198,9 @@ impl Solver for SequentialSolver {
         if self.lp_engine == LpEngine::Dense {
             name.push_str("-denselp");
         }
+        if self.lp_parity == LpParity::Fast {
+            name.push_str("+fastlp");
+        }
         name
     }
 
@@ -193,13 +208,14 @@ impl Solver for SequentialSolver {
         let integral = model.integral_vars();
         if integral.is_empty() {
             // Honor the configured engine even on the pure-LP fast path.
-            return solve_lp(model, self.lp_engine);
+            return solve_lp(model, self.lp_engine, self.lp_parity);
         }
         let params = SolveParams {
             heuristic_seed: self.warm_start,
             presolve: self.presolve,
             warm_lp: self.warm_lp,
             lp_engine: self.lp_engine,
+            lp_parity: self.lp_parity,
         };
         branch_bound::solve(model, &integral, config, params)
     }
@@ -222,12 +238,12 @@ impl Solver for HeuristicSolver {
     fn solve(&self, model: &Model, _config: &SolverConfig) -> Result<Solution, IlpError> {
         let integral = model.integral_vars();
         if integral.is_empty() {
-            return solve_lp(model, LpEngine::from_env());
+            return solve_lp(model, LpEngine::from_env(), LpParity::from_env());
         }
         let Some((values, root_obj)) = heuristic_point(model, &integral) else {
             // Distinguish "relaxation infeasible" from "repair stalled".
             let lp = model.to_lp();
-            return match simplex::solve(&lp, LpEngine::from_env()) {
+            return match simplex::solve(&lp, LpEngine::from_env(), LpParity::from_env()) {
                 LpOutcome::Infeasible => Err(IlpError::Infeasible),
                 LpOutcome::Unbounded => Err(IlpError::Unbounded),
                 LpOutcome::Optimal { .. } => Err(IlpError::NoIncumbent),
@@ -271,7 +287,10 @@ pub enum SolverBackend {
 /// * `TAPACS_LP_WARM` — `0` disables LP warm starts (every node solves
 ///   cold, the pre-PR-3 behaviour);
 /// * `TAPACS_LP_ENGINE` — `dense` swaps the sparse revised simplex for the
-///   dense-tableau oracle engine.
+///   dense-tableau oracle engine;
+/// * `TAPACS_LP_PARITY` — `fast` relaxes the sparse engine's bit-identical
+///   oracle-replay contract to a ≤1e-6 objective tolerance in exchange for
+///   devex pricing and Forrest–Tomlin eta replacement (see [`LpParity`]).
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SolverOptions {
     /// Backend to run.
@@ -292,6 +311,8 @@ pub struct SolverOptions {
     pub warm_lp: bool,
     /// Which simplex engine runs the LP relaxations (see [`LpEngine`]).
     pub lp_engine: LpEngine,
+    /// Oracle-parity contract for the sparse engine (see [`LpParity`]).
+    pub lp_parity: LpParity,
 }
 
 impl Default for SolverOptions {
@@ -304,6 +325,7 @@ impl Default for SolverOptions {
             presolve: true,
             warm_lp: true,
             lp_engine: LpEngine::from_env(),
+            lp_parity: LpParity::from_env(),
         };
         if let Ok(backend) = std::env::var("TAPACS_SOLVER_BACKEND") {
             match backend.trim().to_ascii_lowercase().as_str() {
@@ -363,6 +385,7 @@ impl SolverOptions {
                 presolve: self.presolve,
                 warm_lp: self.warm_lp,
                 lp_engine: self.lp_engine,
+                lp_parity: self.lp_parity,
             }),
             SolverBackend::Parallel => Box::new(crate::ParallelSolver {
                 threads: self.threads,
@@ -370,6 +393,7 @@ impl SolverOptions {
                 presolve: self.presolve,
                 warm_lp: self.warm_lp,
                 lp_engine: self.lp_engine,
+                lp_parity: self.lp_parity,
             }),
             SolverBackend::Heuristic => Box::new(HeuristicSolver),
         };
@@ -438,5 +462,27 @@ mod tests {
     fn resolved_threads_never_zero() {
         assert!(SolverOptions::default().resolved_threads() >= 1);
         assert_eq!(SolverOptions::parallel(3).resolved_threads(), 3);
+    }
+
+    /// The solve cache keys on `Solver::name()`: the two parity modes run
+    /// different pivot sequences under a budget, so their names — and hence
+    /// their cache keys — must never collide.
+    #[test]
+    fn parity_modes_produce_distinct_solver_names() {
+        use crate::{LpParity, ParallelSolver};
+        let seq = |parity| SequentialSolver { lp_parity: parity, ..SequentialSolver::default() };
+        let par = |parity| ParallelSolver { lp_parity: parity, ..ParallelSolver::default() };
+        for (exact, fast) in [
+            (seq(LpParity::Exact).name(), seq(LpParity::Fast).name()),
+            (par(LpParity::Exact).name(), par(LpParity::Fast).name()),
+        ] {
+            assert_ne!(exact, fast);
+            assert_eq!(fast, format!("{exact}+fastlp"), "fast mode is the suffixed name");
+            assert!(!exact.contains("fastlp"), "exact name stays unsuffixed: {exact}");
+        }
+        // Through SolverOptions (the compiler's path) the suffix survives
+        // the caching wrapper, so disk entries split by parity too.
+        let opts = |parity| SolverOptions { lp_parity: parity, ..SolverOptions::default() };
+        assert_ne!(opts(LpParity::Exact).solver().name(), opts(LpParity::Fast).solver().name());
     }
 }

@@ -49,8 +49,19 @@ pub struct SolveStats {
     /// mean eta length).
     pub eta_nnz: u64,
     /// Mid-solve refactorizations forced by the deterministic trigger
-    /// (update-eta chain longer than the refactor interval).
+    /// (update-eta chain longer than the refactor interval, or eta fill
+    /// past the parity mode's `eta_nnz` budget).
     pub refactor_triggers: u64,
+    /// The subset of [`refactor_triggers`](SolveStats::refactor_triggers)
+    /// caused by eta-file fill rather than update count.
+    pub refactor_fill_triggers: u64,
+    /// Devex reference-framework resets under `TAPACS_LP_PARITY=fast`
+    /// (weights regrown past the stability ceiling and re-primed to 1).
+    pub devex_resets: u64,
+    /// Forrest–Tomlin-style eta replacements under `TAPACS_LP_PARITY=fast`:
+    /// pivots whose update eta *composed into* the previous same-row eta
+    /// instead of appending, keeping the eta file from growing.
+    pub ft_replacements: u64,
     /// Models run through [`presolve`](crate::SolverOptions::presolve).
     pub presolve_runs: u64,
     /// Constraint rows removed as empty, singleton or redundant.
@@ -96,6 +107,9 @@ impl SolveStats {
             eta_updates: self.eta_updates + other.eta_updates,
             eta_nnz: self.eta_nnz + other.eta_nnz,
             refactor_triggers: self.refactor_triggers + other.refactor_triggers,
+            refactor_fill_triggers: self.refactor_fill_triggers + other.refactor_fill_triggers,
+            devex_resets: self.devex_resets + other.devex_resets,
+            ft_replacements: self.ft_replacements + other.ft_replacements,
             presolve_runs: self.presolve_runs + other.presolve_runs,
             presolve_rows_removed: self.presolve_rows_removed + other.presolve_rows_removed,
             presolve_cols_fixed: self.presolve_cols_fixed + other.presolve_cols_fixed,
@@ -119,6 +133,11 @@ impl SolveStats {
             eta_updates: self.eta_updates.saturating_sub(earlier.eta_updates),
             eta_nnz: self.eta_nnz.saturating_sub(earlier.eta_nnz),
             refactor_triggers: self.refactor_triggers.saturating_sub(earlier.refactor_triggers),
+            refactor_fill_triggers: self
+                .refactor_fill_triggers
+                .saturating_sub(earlier.refactor_fill_triggers),
+            devex_resets: self.devex_resets.saturating_sub(earlier.devex_resets),
+            ft_replacements: self.ft_replacements.saturating_sub(earlier.ft_replacements),
             presolve_runs: self.presolve_runs.saturating_sub(earlier.presolve_runs),
             presolve_rows_removed: self
                 .presolve_rows_removed
@@ -146,6 +165,9 @@ pub struct SolveActivity {
     eta_updates: AtomicU64,
     eta_nnz: AtomicU64,
     refactor_triggers: AtomicU64,
+    refactor_fill_triggers: AtomicU64,
+    devex_resets: AtomicU64,
+    ft_replacements: AtomicU64,
     presolve_runs: AtomicU64,
     presolve_rows_removed: AtomicU64,
     presolve_cols_fixed: AtomicU64,
@@ -229,6 +251,9 @@ impl SolveActivity {
             eta_updates: self.eta_updates.load(Ordering::Relaxed),
             eta_nnz: self.eta_nnz.load(Ordering::Relaxed),
             refactor_triggers: self.refactor_triggers.load(Ordering::Relaxed),
+            refactor_fill_triggers: self.refactor_fill_triggers.load(Ordering::Relaxed),
+            devex_resets: self.devex_resets.load(Ordering::Relaxed),
+            ft_replacements: self.ft_replacements.load(Ordering::Relaxed),
             presolve_runs: self.presolve_runs.load(Ordering::Relaxed),
             presolve_rows_removed: self.presolve_rows_removed.load(Ordering::Relaxed),
             presolve_cols_fixed: self.presolve_cols_fixed.load(Ordering::Relaxed),
@@ -248,6 +273,9 @@ impl SolveActivity {
         self.eta_updates.store(0, Ordering::Relaxed);
         self.eta_nnz.store(0, Ordering::Relaxed);
         self.refactor_triggers.store(0, Ordering::Relaxed);
+        self.refactor_fill_triggers.store(0, Ordering::Relaxed);
+        self.devex_resets.store(0, Ordering::Relaxed);
+        self.ft_replacements.store(0, Ordering::Relaxed);
         self.presolve_runs.store(0, Ordering::Relaxed);
         self.presolve_rows_removed.store(0, Ordering::Relaxed);
         self.presolve_cols_fixed.store(0, Ordering::Relaxed);
@@ -262,19 +290,18 @@ impl SolveActivity {
 
     /// Flushes the factorization counters one sparse solve accumulated
     /// locally (one call per solve, not per pivot — the engine batches).
-    pub(crate) fn record_lu(
-        &self,
-        factorizations: u64,
-        fill_nnz: u64,
-        eta_updates: u64,
-        eta_nnz: u64,
-        refactor_triggers: u64,
-    ) {
-        self.lu_factorizations.fetch_add(factorizations, Ordering::Relaxed);
-        self.lu_fill_nnz.fetch_add(fill_nnz, Ordering::Relaxed);
-        self.eta_updates.fetch_add(eta_updates, Ordering::Relaxed);
-        self.eta_nnz.fetch_add(eta_nnz, Ordering::Relaxed);
-        self.refactor_triggers.fetch_add(refactor_triggers, Ordering::Relaxed);
+    /// The array matches [`EngineCore::lu_totals`](crate::simplex) order:
+    /// factorizations, fill_nnz, eta_updates, eta_nnz, refactor_triggers,
+    /// refactor_fill_triggers, devex_resets, ft_replacements.
+    pub(crate) fn record_lu(&self, lu: &[u64; 8]) {
+        self.lu_factorizations.fetch_add(lu[0], Ordering::Relaxed);
+        self.lu_fill_nnz.fetch_add(lu[1], Ordering::Relaxed);
+        self.eta_updates.fetch_add(lu[2], Ordering::Relaxed);
+        self.eta_nnz.fetch_add(lu[3], Ordering::Relaxed);
+        self.refactor_triggers.fetch_add(lu[4], Ordering::Relaxed);
+        self.refactor_fill_triggers.fetch_add(lu[5], Ordering::Relaxed);
+        self.devex_resets.fetch_add(lu[6], Ordering::Relaxed);
+        self.ft_replacements.fetch_add(lu[7], Ordering::Relaxed);
     }
 
     pub(crate) fn record_warm_attempt(&self) {
@@ -378,7 +405,7 @@ mod tests {
         act.record_warm_attempt();
         act.record_warm_hit();
         act.record_presolve(2, 1, 3);
-        act.record_lu(2, 17, 4, 9, 1);
+        act.record_lu(&[2, 17, 4, 9, 1, 1, 3, 6]);
         let s = act.snapshot();
         assert_eq!(s.lp_solves, 1);
         assert_eq!(s.simplex_iterations, 12);
@@ -390,6 +417,9 @@ mod tests {
         assert_eq!(s.eta_updates, 4);
         assert_eq!(s.eta_nnz, 9);
         assert_eq!(s.refactor_triggers, 1);
+        assert_eq!(s.refactor_fill_triggers, 1);
+        assert_eq!(s.devex_resets, 3);
+        assert_eq!(s.ft_replacements, 6);
         act.clear();
         assert_eq!(act.snapshot(), SolveStats::default());
     }
@@ -402,6 +432,9 @@ mod tests {
             eta_updates: 9,
             eta_nnz: 27,
             refactor_triggers: 2,
+            refactor_fill_triggers: 1,
+            devex_resets: 4,
+            ft_replacements: 8,
             ..Default::default()
         };
         let b = SolveStats {
@@ -410,14 +443,23 @@ mod tests {
             eta_updates: 4,
             eta_nnz: 12,
             refactor_triggers: 1,
+            refactor_fill_triggers: 1,
+            devex_resets: 1,
+            ft_replacements: 3,
             ..Default::default()
         };
         let m = a.merged(&b);
         assert_eq!(m.lu_factorizations, 7);
         assert_eq!(m.eta_nnz, 39);
+        assert_eq!(m.refactor_fill_triggers, 2);
+        assert_eq!(m.devex_resets, 5);
+        assert_eq!(m.ft_replacements, 11);
         let d = a.since(&b);
         assert_eq!(d.lu_factorizations, 3);
         assert_eq!(d.lu_fill_nnz, 30);
         assert_eq!(d.refactor_triggers, 1);
+        assert_eq!(d.refactor_fill_triggers, 0);
+        assert_eq!(d.devex_resets, 3);
+        assert_eq!(d.ft_replacements, 5);
     }
 }
