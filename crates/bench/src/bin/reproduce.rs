@@ -52,6 +52,19 @@ fn run_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `faults [--smoke]`: the deterministic fault-injection chaos sweep.
+fn run_faults(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut smoke = false;
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown faults option: {other}").into()),
+        }
+    }
+    print!("{}", r::faults(smoke)?);
+    Ok(())
+}
+
 /// `dse [--smoke] [--cache-dir <dir>]`: the design-space exploration sweep
 /// with the disk-persistent solve cache (`TAPACS_CACHE_DIR` is the
 /// fallback when the flag is absent).
@@ -87,6 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if args.first().map(String::as_str) == Some("dse") {
         return run_dse(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("faults") {
+        return run_faults(&args[1..]);
+    }
     let wanted: Vec<&str> =
         if args.is_empty() { vec!["quick"] } else { args.iter().map(|s| s.as_str()).collect() };
 
@@ -116,6 +132,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{}", r::solvers()?);
                 println!("{}", r::batch(false)?);
                 println!("{}", r::dse(false, None)?);
+                println!("{}", r::faults(false)?);
             }
             "table1" => print!("{}", r::table1()),
             "table2" => print!("{}", r::table2()),
@@ -156,6 +173,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "dse" => {
                 return Err("dse must be the first argument (it takes flags): \
                                    reproduce dse [--smoke] [--cache-dir <dir>]"
+                    .into())
+            }
+            "faults" => {
+                return Err("faults must be the first argument (it takes flags): \
+                                   reproduce faults [--smoke]"
                     .into())
             }
             other => {

@@ -27,12 +27,16 @@
 //! `TAPACS_BATCH_THREADS` pins the queue's worker count from the
 //! environment (CI uses `1` to cross-check determinism).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use tapacs_graph::TaskGraph;
-use tapacs_ilp::{CacheStats, SolveActivity, SolveCache, SolveStats};
+use tapacs_ilp::{
+    fault_fires, CacheStats, FaultKind, SolveActivity, SolveCache, SolveStats,
+    INJECTED_PANIC_MARKER,
+};
 use tapacs_net::Cluster;
 
 use crate::compiler::{CompiledDesign, Compiler, CompilerConfig, Flow};
@@ -105,8 +109,19 @@ pub struct JobReport {
     pub wall: Duration,
     /// Wall-clock per executed stage.
     pub timings: Vec<StageTiming>,
-    /// The stage that failed, when the job failed.
+    /// The stage that failed, when the job failed. A worker panic caught
+    /// before the first stage ran leaves this `None` even though
+    /// [`failed`](Self::failed) is set.
     pub failed_stage: Option<Stage>,
+    /// Whether the job failed (stage error *or* isolated worker panic).
+    pub failed: bool,
+    /// Whether the failure was a worker panic caught at the job boundary
+    /// (implies [`failed`](Self::failed); the result slot holds
+    /// [`CompileError::WorkerPanicked`]).
+    pub panicked: bool,
+    /// Whether the compiled design is marked degraded: some ILP stage fell
+    /// back to its heuristic incumbent after a solver timeout.
+    pub degraded: bool,
     /// LP-engine activity attributed to this job (scoped handle).
     pub engine: SolveStats,
 }
@@ -156,9 +171,25 @@ impl BatchReport {
         }
     }
 
-    /// Jobs that compiled successfully.
+    /// Jobs that compiled successfully (degraded results count: they
+    /// produced a valid design).
     pub fn succeeded(&self) -> usize {
-        self.jobs.iter().filter(|j| j.failed_stage.is_none()).count()
+        self.jobs.iter().filter(|j| !j.failed).count()
+    }
+
+    /// Jobs that compiled but carry a degraded (heuristic-fallback) result.
+    pub fn degraded(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.failed && j.degraded).count()
+    }
+
+    /// Jobs that failed (stage errors and isolated worker panics alike).
+    pub fn failed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.failed).count()
+    }
+
+    /// Jobs whose failure was an isolated worker panic.
+    pub fn panicked(&self) -> usize {
+        self.jobs.iter().filter(|j| j.panicked).count()
     }
 
     /// ASCII rendering: one row per job, stage totals, cache and engine
@@ -167,9 +198,17 @@ impl BatchReport {
         use std::fmt::Write as _;
         let mut s = String::from("job                     flow   wall(s)  outcome\n");
         for j in &self.jobs {
-            let outcome = match j.failed_stage {
-                None => "ok".to_string(),
-                Some(stage) => format!("failed at {stage}"),
+            let outcome = if j.panicked {
+                match j.failed_stage {
+                    Some(stage) => format!("panicked during {stage}"),
+                    None => "panicked".to_string(),
+                }
+            } else if let Some(stage) = j.failed_stage {
+                format!("failed at {stage}")
+            } else if j.degraded {
+                "ok (degraded)".to_string()
+            } else {
+                "ok".to_string()
             };
             let _ = writeln!(
                 s,
@@ -226,6 +265,18 @@ pub struct BatchOutcome {
     pub results: Vec<Result<CompiledDesign, CompileError>>,
     /// The aggregated batch report.
     pub report: BatchReport,
+}
+
+/// Best-effort string form of a caught panic payload (panics almost always
+/// carry `&str` or `String`).
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The sharded multi-design compile engine. See the [module](self) docs.
@@ -291,21 +342,83 @@ impl BatchCompiler {
         if config.solver.threads == 0 && solver_share > 0 {
             config.solver.threads = solver_share;
         }
+        // Injected solver timeout: zero ILP budget forces deterministic
+        // deadline expiry, so the degradation ladder takes over (the job
+        // still succeeds, marked degraded).
+        if fault_fires(FaultKind::Timeout, &job.name) {
+            config.partition.time_limit_s = 0.0;
+            config.floorplan.time_limit_s = 0.0;
+        }
         let compiler = Compiler::with_config(cluster.clone(), config);
         let t0 = Instant::now();
-        let ctx = SolveActivity::scoped(&activity, || {
-            compiler.compile_staged_with(&job.graph, job.flow, job.overrides.clone())
-        });
+        // Injected stage failure: the job fails per-job, like any organic
+        // stage error, without running the pipeline.
+        if fault_fires(FaultKind::Stage, &job.name) {
+            let report = JobReport {
+                name: job.name.clone(),
+                flow: job.flow,
+                wall: t0.elapsed(),
+                timings: Vec::new(),
+                failed_stage: Some(Stage::Partition),
+                failed: true,
+                panicked: false,
+                degraded: false,
+                engine: activity.snapshot(),
+            };
+            let err = CompileError::Solver(format!("injected stage fault: {}", job.name));
+            return (Err(err), report);
+        }
+        // Panic isolation: a panic anywhere in the pipeline (organic or
+        // injected) is caught at the job boundary, attributed to the stage
+        // that was executing, and converted into this job's error — the
+        // worker thread survives and the rest of the sweep is unaffected.
+        crate::stage::set_current_stage(None);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if fault_fires(FaultKind::Panic, &job.name) {
+                panic!("{INJECTED_PANIC_MARKER}: {}", job.name);
+            }
+            SolveActivity::scoped(&activity, || {
+                compiler.compile_staged_with(&job.graph, job.flow, job.overrides.clone())
+            })
+        }));
         let wall = t0.elapsed();
-        let report = JobReport {
-            name: job.name.clone(),
-            flow: job.flow,
-            wall,
-            timings: ctx.timings.clone(),
-            failed_stage: ctx.failed_stage(),
-            engine: activity.snapshot(),
-        };
-        (ctx.into_result(), report)
+        match caught {
+            Ok(ctx) => {
+                let degraded = ctx.partition.as_ref().is_some_and(|p| p.degraded)
+                    || ctx.floorplan.as_ref().is_some_and(|f| f.degraded);
+                let report = JobReport {
+                    name: job.name.clone(),
+                    flow: job.flow,
+                    wall,
+                    timings: ctx.timings.clone(),
+                    failed_stage: ctx.failed_stage(),
+                    failed: ctx.failure.is_some(),
+                    panicked: false,
+                    degraded,
+                    engine: activity.snapshot(),
+                };
+                (ctx.into_result(), report)
+            }
+            Err(payload) => {
+                let stage = crate::stage::current_stage();
+                crate::stage::set_current_stage(None);
+                let report = JobReport {
+                    name: job.name.clone(),
+                    flow: job.flow,
+                    wall,
+                    timings: Vec::new(),
+                    failed_stage: stage,
+                    failed: true,
+                    panicked: true,
+                    degraded: false,
+                    engine: activity.snapshot(),
+                };
+                // `&*`: downcast the boxed payload, not the box itself.
+                let err =
+                    CompileError::WorkerPanicked { stage, payload: payload_string(&*payload) };
+                (Err(err), report)
+            }
+        }
     }
 
     /// Runs every job over the sharded work queue and returns per-job
@@ -350,10 +463,31 @@ impl BatchCompiler {
                     s.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        let _ = slots[i].set(self.run_job(job, solver_share));
+                        // Second isolation layer: `run_job` catches panics
+                        // itself, but if one still escapes (a double fault
+                        // in the handler, say) the worker dies *quietly* —
+                        // `thread::scope` would otherwise re-raise at join
+                        // and abort the whole sweep. The unfilled slot is
+                        // re-run by the straggler pass below.
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| self.run_job(job, solver_share)));
+                        match result {
+                            Ok(r) => {
+                                let _ = slots[i].set(r);
+                            }
+                            Err(_) => break,
+                        }
                     });
                 }
             });
+            // Worker-respawn equivalent: any jobs orphaned by a dead worker
+            // are finished on this thread (each job's compile is
+            // deterministic, so where it runs cannot change its result).
+            for (job, slot) in jobs.iter().zip(&slots) {
+                if slot.get().is_none() {
+                    let _ = slot.set(self.run_job(job, solver_share));
+                }
+            }
         }
 
         let wall = t0.elapsed();

@@ -109,6 +109,12 @@ pub struct CompiledDesign {
     pub slot_of_task: Vec<SlotId>,
     /// Inter-FPGA partitioning outcome (`L1` runtime inside).
     pub partition: InterPartition,
+    /// `true` when any ILP stage fell back to its heuristic incumbent
+    /// after a solver timeout (the graceful-degradation ladder): the
+    /// design is valid but not the solver's proven-or-best answer.
+    /// Degraded results never enter DSE Pareto frontiers.
+    #[serde(default)]
+    pub degraded: bool,
     /// Intra-FPGA floorplanning runtime (the paper's `L2`).
     pub floorplan_runtime: Duration,
     /// Intra-FPGA floorplanner solve activity per bisection level (the
@@ -214,6 +220,7 @@ impl Compiler {
         let n = flow.n_fpgas();
 
         // -- Validate ------------------------------------------------------
+        crate::stage::set_current_stage(Some(Stage::Validate));
         let t0 = Instant::now();
         let valid = graph
             .validate()
@@ -255,6 +262,7 @@ impl Compiler {
         // -- Partition: inter-FPGA floorplanning (equations 1-2) -----------
         // The compiler's solver options override both stage configs so one
         // knob controls the whole pipeline.
+        crate::stage::set_current_stage(Some(Stage::Partition));
         match overrides.partition {
             Some(inter) => ctx.partition = Some(inter),
             None => {
@@ -274,6 +282,7 @@ impl Compiler {
         }
 
         // -- CommInsert: communication-logic insertion ---------------------
+        crate::stage::set_current_stage(Some(Stage::CommInsert));
         let t0 = Instant::now();
         let inter_assignment = &ctx.partition.as_ref().expect("partition artifact set").assignment;
         ctx.comm = Some(insert_comm(graph, inter_assignment, &device, n));
@@ -284,6 +293,7 @@ impl Compiler {
         // slot so the floorplanner sees the true remaining capacity. The
         // Vitis flow gets first-fit placement instead — it has no
         // dataflow-aware floorplanning.
+        crate::stage::set_current_stage(Some(Stage::Floorplan));
         let mut fcfg = self.config.floorplan.clone();
         fcfg.solver = self.config.solver.clone();
         let t0 = Instant::now();
@@ -313,6 +323,7 @@ impl Compiler {
         ctx.record(Stage::Floorplan, t0.elapsed());
 
         // -- Pipeline: interconnect pipelining + cut-set balancing ---------
+        crate::stage::set_current_stage(Some(Stage::Pipeline));
         let t0 = Instant::now();
         {
             let comm = ctx.comm.as_ref().expect("comm artifact set");
@@ -331,6 +342,7 @@ impl Compiler {
         ctx.record(Stage::Pipeline, t0.elapsed());
 
         // -- Timing: virtual place-and-route -------------------------------
+        crate::stage::set_current_stage(Some(Stage::Timing));
         let t0 = Instant::now();
         let result = {
             let comm = ctx.comm.as_ref().expect("comm artifact set");
@@ -353,6 +365,7 @@ impl Compiler {
         }
 
         // -- Utilization: whole-card accounting (user + net IP + shell) ----
+        crate::stage::set_current_stage(Some(Stage::Utilization));
         let t0 = Instant::now();
         {
             let comm = ctx.comm.as_ref().expect("comm artifact set");
@@ -370,6 +383,7 @@ impl Compiler {
             );
         }
         ctx.record(Stage::Utilization, t0.elapsed());
+        crate::stage::set_current_stage(None);
         ctx
     }
 }

@@ -194,6 +194,11 @@ pub struct DseOutcome {
     pub point: DsePoint,
     /// Its score, when the point compiled.
     pub score: Option<DseScore>,
+    /// Whether the compiled design is degraded (heuristic fallback after a
+    /// solver timeout). Degraded points keep their score in the report but
+    /// are deterministically excluded from the Pareto frontier: a
+    /// non-proven score must not displace a clean one.
+    pub degraded: bool,
     /// The compile error, when it did not.
     pub error: Option<String>,
     /// Compile wall-clock of this point inside the batch.
@@ -221,14 +226,19 @@ pub struct DseReport {
 }
 
 impl DseReport {
-    /// Points that compiled and were pruned as dominated.
+    /// Points that compiled cleanly and were pruned as dominated.
     pub fn dominated(&self) -> usize {
-        self.succeeded() - self.frontier.len()
+        self.succeeded() - self.degraded() - self.frontier.len()
     }
 
     /// Points that compiled.
     pub fn succeeded(&self) -> usize {
         self.outcomes.iter().filter(|o| o.score.is_some()).count()
+    }
+
+    /// Points that compiled degraded (excluded from the frontier).
+    pub fn degraded(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.score.is_some() && o.degraded).count()
     }
 
     /// Points that failed to compile (kept in the report, not aborted).
@@ -276,6 +286,13 @@ impl DseReport {
             let mark = if self.frontier.contains(&i) { '*' } else { ' ' };
             match (&o.score, &o.error) {
                 (Some(score), _) => {
+                    let outcome = if self.frontier.contains(&i) {
+                        "frontier"
+                    } else if o.degraded {
+                        "degraded"
+                    } else {
+                        "dominated"
+                    };
                     let _ = writeln!(
                         s,
                         "{mark} {:<21} {:<10.0} {:<7.3} {:<10} {}",
@@ -283,7 +300,7 @@ impl DseReport {
                         score.freq_mhz,
                         score.util_slack,
                         score.cut_width_bits,
-                        if self.frontier.contains(&i) { "frontier" } else { "dominated" }
+                        outcome
                     );
                 }
                 (None, err) => {
@@ -301,9 +318,10 @@ impl DseReport {
         }
         let _ = writeln!(
             s,
-            "frontier: {} point(s), {} dominated, {} failed; solve cache {} hits / {} misses ({:.0}% hit rate)",
+            "frontier: {} point(s), {} dominated, {} degraded, {} failed; solve cache {} hits / {} misses ({:.0}% hit rate)",
             self.frontier.len(),
             self.dominated(),
+            self.degraded(),
             self.failed(),
             self.cache.hits,
             self.cache.misses,
@@ -334,13 +352,27 @@ pub fn explore(config: &DseConfig) -> DseReport {
         .zip(&outcome.results)
         .zip(&outcome.report.jobs)
         .map(|((point, result), job)| match result {
-            Ok(design) => {
-                DseOutcome { point, score: Some(DseScore::of(design)), error: None, wall: job.wall }
-            }
-            Err(e) => DseOutcome { point, score: None, error: Some(e.to_string()), wall: job.wall },
+            Ok(design) => DseOutcome {
+                point,
+                score: Some(DseScore::of(design)),
+                degraded: design.degraded,
+                error: None,
+                wall: job.wall,
+            },
+            Err(e) => DseOutcome {
+                point,
+                score: None,
+                degraded: false,
+                error: Some(e.to_string()),
+                wall: job.wall,
+            },
         })
         .collect();
-    let scores: Vec<Option<DseScore>> = outcomes.iter().map(|o| o.score).collect();
+    // Degraded points are masked out of the frontier computation entirely:
+    // they neither join it nor dominate a clean point (their scores are
+    // heuristic incumbents, not the solver's answer).
+    let scores: Vec<Option<DseScore>> =
+        outcomes.iter().map(|o| if o.degraded { None } else { o.score }).collect();
     let frontier = pareto_frontier(&scores);
 
     DseReport {

@@ -2,6 +2,8 @@ use std::fmt;
 
 use tapacs_graph::GraphError;
 
+use crate::stage::Stage;
+
 /// Errors surfaced by the compiler pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
@@ -33,6 +35,18 @@ pub enum CompileError {
         /// FPGAs the cluster has.
         available: usize,
     },
+    /// The job's compile panicked inside a batch worker. The panic was
+    /// caught at the job boundary ([`crate::BatchCompiler`] isolates it),
+    /// so the rest of the sweep completed; this variant carries what is
+    /// known about the fault for the failed slot.
+    WorkerPanicked {
+        /// The pipeline stage that was executing when the panic unwound,
+        /// when the stage marker was set (a panic before the first stage
+        /// has none).
+        stage: Option<Stage>,
+        /// The panic payload, when it was a string (the usual case).
+        payload: String,
+    },
     /// A caller-supplied stage override is inconsistent with the job —
     /// e.g. a seeded partition whose assignment does not cover the graph
     /// or names an FPGA the flow does not span. Checked up front so batch
@@ -59,6 +73,10 @@ impl fmt::Display for CompileError {
             CompileError::ClusterTooSmall { needed, available } => {
                 write!(f, "flow needs {needed} FPGA(s), cluster has {available}")
             }
+            CompileError::WorkerPanicked { stage, payload } => match stage {
+                Some(stage) => write!(f, "worker panicked during {stage}: {payload}"),
+                None => write!(f, "worker panicked: {payload}"),
+            },
             CompileError::InvalidOverride { detail } => {
                 write!(f, "invalid stage override: {detail}")
             }

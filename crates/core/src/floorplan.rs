@@ -24,6 +24,7 @@
 //! nearest channels, avoiding the lateral-routing congestion the paper
 //! warns about.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -78,6 +79,11 @@ pub struct Floorplan {
     /// first-fit baseline, and FPGAs placed by the greedy fallback
     /// contribute nothing.
     pub solve_stats: Vec<LevelSolveStats>,
+    /// `true` when some region-split ILP timed out and the degradation
+    /// ladder substituted a heuristic incumbent (see
+    /// [`InterPartition::degraded`](crate::partition::InterPartition)).
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// A rectangular slot-grid region `[row_lo, row_hi) × [col_lo, col_hi)`.
@@ -160,6 +166,7 @@ pub fn floorplan(
     let start = Instant::now();
     let mut slot_of_task = vec![SlotId::new(0, 0); graph.num_tasks()];
     let mut all_samples = Vec::new();
+    let degraded = AtomicBool::new(false);
 
     for fpga in 0..n_fpgas {
         let tasks: Vec<TaskId> =
@@ -174,12 +181,12 @@ pub fn floorplan(
         // placement, so solve_stats never reports work whose result was
         // discarded for the greedy fallback (matching the partitioner).
         let samples = Mutex::new(Vec::new());
-        match place_region(graph, &ctx, &tasks, full, 0, &samples) {
+        match place_region(graph, &ctx, &tasks, full, 0, &samples, &degraded) {
             Ok(pairs) => {
                 for (t, slot) in pairs {
                     slot_of_task[t.index()] = slot;
                 }
-                all_samples.extend(samples.into_inner().unwrap());
+                all_samples.extend(samples.into_inner().unwrap_or_else(|e| e.into_inner()));
             }
             Err(CompileError::InsufficientResources { .. }) => {
                 // Recursive bisection has no lookahead: a feasible row split
@@ -206,6 +213,7 @@ pub fn floorplan(
         slot_used,
         runtime: start.elapsed(),
         solve_stats: aggregate_level_samples(all_samples),
+        degraded: degraded.load(Ordering::Relaxed),
     })
 }
 
@@ -223,6 +231,7 @@ fn place_region(
     region: Region,
     level: usize,
     samples: &Mutex<Vec<(usize, f64)>>,
+    degraded: &AtomicBool,
 ) -> Result<Vec<(TaskId, SlotId)>, CompileError> {
     if tasks.is_empty() {
         return Ok(Vec::new());
@@ -278,8 +287,8 @@ fn place_region(
     };
 
     let t0 = Instant::now();
-    let side = solve_region_split(graph, ctx, tasks, &low, &high, pin)?;
-    samples.lock().unwrap().push((level, t0.elapsed().as_secs_f64()));
+    let side = solve_region_split(graph, ctx, tasks, &low, &high, pin, degraded)?;
+    samples.lock().unwrap_or_else(|e| e.into_inner()).push((level, t0.elapsed().as_secs_f64()));
     let mut low_tasks = Vec::new();
     let mut high_tasks = Vec::new();
     for (&t, &s) in tasks.iter().zip(&side) {
@@ -302,17 +311,23 @@ fn place_region(
         std::thread::scope(|s| {
             let worker = s.spawn(|| {
                 tapacs_ilp::SolveActivity::scoped_opt(scope, || {
-                    place_region(graph, ctx, &low_tasks, low, level + 1, samples)
+                    place_region(graph, ctx, &low_tasks, low, level + 1, samples, degraded)
                 })
             });
-            let high_pairs = place_region(graph, ctx, &high_tasks, high, level + 1, samples);
-            let low_pairs = worker.join().expect("floorplan worker panicked");
+            let high_pairs =
+                place_region(graph, ctx, &high_tasks, high, level + 1, samples, degraded);
+            // Re-raise a worker panic with its original payload so the
+            // batch engine's job-level isolation can attribute it.
+            let low_pairs = match worker.join() {
+                Ok(pairs) => pairs,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             (low_pairs, high_pairs)
         })
     } else {
         (
-            place_region(graph, ctx, &low_tasks, low, level + 1, samples),
-            place_region(graph, ctx, &high_tasks, high, level + 1, samples),
+            place_region(graph, ctx, &low_tasks, low, level + 1, samples, degraded),
+            place_region(graph, ctx, &high_tasks, high, level + 1, samples, degraded),
         )
     };
     let mut pairs = low_pairs?;
@@ -328,6 +343,7 @@ fn solve_region_split(
     low: &Region,
     high: &Region,
     pin: impl Fn(&TaskKind) -> Option<bool>,
+    degraded: &AtomicBool,
 ) -> Result<Vec<bool>, CompileError> {
     let cfg = ctx.cfg;
     let mut m = Model::new("intra-fpga-bisection");
@@ -417,8 +433,21 @@ fn solve_region_split(
     let mut solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
     solver_cfg.objective_granularity = width_gcd as f64;
     match m.solve_with_options(&solver_cfg, &cfg.solver) {
-        Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
-        Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {
+        Ok(sol) => {
+            // Propagate the degradation ladder's mark (see the
+            // partitioner's `solve_two_way`).
+            if sol.degraded {
+                degraded.store(true, Ordering::Relaxed);
+            }
+            Ok(x.iter().map(|&v| sol.is_set(v)).collect())
+        }
+        Err(err @ (IlpError::Infeasible | IlpError::NoIncumbent)) => {
+            // As in the partitioner's `solve_two_way`: a greedy stand-in
+            // for an exhausted budget is a degradation, a greedy answer to
+            // a proven-infeasible ILP is the organic path.
+            if matches!(err, IlpError::NoIncumbent) {
+                degraded.store(true, Ordering::Relaxed);
+            }
             greedy_region_split(graph, tasks, &cap_low, &cap_high, &pin).ok_or_else(|| {
                 CompileError::InsufficientResources {
                     detail: format!(
@@ -745,7 +774,13 @@ pub fn floorplan_naive(
         }
     }
 
-    Ok(Floorplan { slot_of_task, slot_used, runtime: start.elapsed(), solve_stats: Vec::new() })
+    Ok(Floorplan {
+        slot_of_task,
+        slot_used,
+        runtime: start.elapsed(),
+        solve_stats: Vec::new(),
+        degraded: false,
+    })
 }
 
 /// HBM channel binding exploration (§4.5): rebinds each FPGA's reader/

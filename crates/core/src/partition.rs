@@ -25,6 +25,7 @@
 //! 3. **project & refine** on the full graph: Kernighan–Lin-style single
 //!    task moves evaluated against the *true* topology distance and λ.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -86,6 +87,11 @@ pub struct InterPartition {
     /// Two-way ILP activity per bisection level (empty when the greedy
     /// fallback produced the assignment).
     pub solve_stats: Vec<LevelSolveStats>,
+    /// `true` when some bisection ILP timed out and the degradation ladder
+    /// substituted a heuristic incumbent: the partition is feasible but
+    /// not the solver's proven-or-best answer.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Resources available for user logic per FPGA once the static platform
@@ -114,7 +120,14 @@ pub fn partition(
     n_fpgas: usize,
     cfg: &PartitionConfig,
 ) -> Result<InterPartition, CompileError> {
-    assert!(n_fpgas >= 1 && n_fpgas <= cluster.total_fpgas(), "invalid FPGA count");
+    // The FPGA count is job input (batch sweeps feed arbitrary flows), so
+    // an invalid count is a per-job error, never a panic.
+    if n_fpgas < 1 || n_fpgas > cluster.total_fpgas() {
+        return Err(CompileError::ClusterTooSmall {
+            needed: n_fpgas,
+            available: cluster.total_fpgas(),
+        });
+    }
     let start = Instant::now();
     graph.validate()?;
 
@@ -130,7 +143,7 @@ pub fn partition(
                 ),
             });
         }
-        return Ok(finish(graph, cluster, vec![0; graph.num_tasks()], 1, start, Vec::new()));
+        return Ok(finish(graph, cluster, vec![0; graph.num_tasks()], 1, start, Vec::new(), false));
     }
 
     // Aggregate feasibility first: fail fast with a useful message.
@@ -154,11 +167,15 @@ pub fn partition(
     let mut assignment = vec![0usize; graph.num_tasks()];
     let mut solved = false;
     let mut solve_stats = Vec::new();
+    let mut degraded = false;
     for slack in [cfg.balance_slack, cfg.balance_slack * 0.4, 0.05] {
         let tighter = PartitionConfig { balance_slack: slack, ..cfg.clone() };
         let all: Vec<usize> = (0..coarse.nodes.len()).collect();
         let samples = Mutex::new(Vec::new());
-        match bisect(&coarse, &all, 0..n_fpgas, &cap, &tighter, 0, &samples) {
+        // Fresh flag per attempt: a degraded *failed* attempt must not
+        // taint a clean later one.
+        let attempt_degraded = AtomicBool::new(false);
+        match bisect(&coarse, &all, 0..n_fpgas, &cap, &tighter, 0, &samples, &attempt_degraded) {
             Ok(pairs) => {
                 let mut coarse_assign = vec![0usize; coarse.nodes.len()];
                 for (sn, device) in pairs {
@@ -169,7 +186,9 @@ pub fn partition(
                         assignment[t.index()] = coarse_assign[sn];
                     }
                 }
-                solve_stats = aggregate_level_samples(samples.into_inner().unwrap());
+                let samples = samples.into_inner().unwrap_or_else(|e| e.into_inner());
+                solve_stats = aggregate_level_samples(samples);
+                degraded = attempt_degraded.load(Ordering::Relaxed);
                 solved = true;
                 break;
             }
@@ -185,7 +204,7 @@ pub fn partition(
     // Final feasibility repair + check.
     repair(graph, n_fpgas, &cap, cfg.threshold, &mut assignment)?;
 
-    Ok(finish(graph, cluster, assignment, n_fpgas, start, solve_stats))
+    Ok(finish(graph, cluster, assignment, n_fpgas, start, solve_stats, degraded))
 }
 
 fn finish(
@@ -195,6 +214,7 @@ fn finish(
     n_fpgas: usize,
     start: Instant,
     solve_stats: Vec<LevelSolveStats>,
+    degraded: bool,
 ) -> InterPartition {
     let mut used = vec![Resources::ZERO; n_fpgas];
     for (id, t) in graph.tasks() {
@@ -207,6 +227,7 @@ fn finish(
         runtime: start.elapsed(),
         assignment,
         solve_stats,
+        degraded,
     }
 }
 
@@ -335,6 +356,7 @@ impl Coarse {
 /// worker thread while this thread descends into the right half. Merging is
 /// a deterministic concatenation, so the result is identical to the
 /// sequential recursion.
+#[allow(clippy::too_many_arguments)]
 fn bisect(
     coarse: &Coarse,
     here: &[usize],
@@ -343,6 +365,7 @@ fn bisect(
     cfg: &PartitionConfig,
     level: usize,
     samples: &Mutex<Vec<(usize, f64)>>,
+    degraded: &AtomicBool,
 ) -> Result<Vec<(usize, usize)>, CompileError> {
     let len = range.len();
     if len <= 1 || here.is_empty() {
@@ -353,8 +376,8 @@ fn bisect(
     let right = mid..range.end;
 
     let t0 = Instant::now();
-    let side = solve_two_way(coarse, here, left.len(), right.len(), cap, cfg)?;
-    samples.lock().unwrap().push((level, t0.elapsed().as_secs_f64()));
+    let side = solve_two_way(coarse, here, left.len(), right.len(), cap, cfg, degraded)?;
+    samples.lock().unwrap_or_else(|e| e.into_inner()).push((level, t0.elapsed().as_secs_f64()));
 
     let mut left_sns = Vec::new();
     let mut right_sns = Vec::new();
@@ -378,17 +401,23 @@ fn bisect(
         std::thread::scope(|s| {
             let worker = s.spawn(|| {
                 tapacs_ilp::SolveActivity::scoped_opt(scope, || {
-                    bisect(coarse, &left_sns, left.clone(), cap, cfg, level + 1, samples)
+                    bisect(coarse, &left_sns, left.clone(), cap, cfg, level + 1, samples, degraded)
                 })
             });
-            let right_pairs = bisect(coarse, &right_sns, right, cap, cfg, level + 1, samples);
-            let left_pairs = worker.join().expect("bisection worker panicked");
+            let right_pairs =
+                bisect(coarse, &right_sns, right, cap, cfg, level + 1, samples, degraded);
+            // Re-raise a worker panic with its original payload so the
+            // batch engine's job-level isolation can attribute it.
+            let left_pairs = match worker.join() {
+                Ok(pairs) => pairs,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             (left_pairs, right_pairs)
         })
     } else {
         (
-            bisect(coarse, &left_sns, left, cap, cfg, level + 1, samples),
-            bisect(coarse, &right_sns, right, cap, cfg, level + 1, samples),
+            bisect(coarse, &left_sns, left, cap, cfg, level + 1, samples, degraded),
+            bisect(coarse, &right_sns, right, cap, cfg, level + 1, samples, degraded),
         )
     };
     let mut pairs = left_pairs?;
@@ -404,6 +433,7 @@ fn solve_two_way(
     right_devices: usize,
     cap: &Resources,
     cfg: &PartitionConfig,
+    degraded: &AtomicBool,
 ) -> Result<Vec<bool>, CompileError> {
     let mut m = Model::new("inter-fpga-bisection");
     let mut local = vec![usize::MAX; coarse.nodes.len()];
@@ -471,10 +501,27 @@ fn solve_two_way(
     let mut solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
     solver_cfg.objective_granularity = weight_gcd as f64;
     match m.solve_with_options(&solver_cfg, &cfg.solver) {
-        Ok(sol) => Ok(x.iter().map(|&v| sol.is_set(v)).collect()),
-        Err(IlpError::Infeasible) | Err(IlpError::NoIncumbent) => {
+        Ok(sol) => {
+            // The degradation ladder turns a timed-out ILP into a heuristic
+            // incumbent marked `degraded`; propagate the mark so the
+            // partition (and ultimately the DSE point) is not mistaken for
+            // a proven result.
+            if sol.degraded {
+                degraded.store(true, Ordering::Relaxed);
+            }
+            Ok(x.iter().map(|&v| sol.is_set(v)).collect())
+        }
+        Err(err @ (IlpError::Infeasible | IlpError::NoIncumbent)) => {
             // Best-effort greedy split before declaring the level
-            // unsolvable (the ILP may also simply have run out of budget).
+            // unsolvable. A proven-infeasible ILP reaches this arm on the
+            // organic path (deterministic whatever the budget), but an
+            // exhausted budget (`NoIncumbent` past the heuristic rung)
+            // means the greedy stand-in replaces an answer the ILP would
+            // otherwise have produced — that substitution must carry the
+            // degraded mark like any other ladder fallback.
+            if matches!(err, IlpError::NoIncumbent) {
+                degraded.store(true, Ordering::Relaxed);
+            }
             let weights: Vec<Resources> = here.iter().map(|&sn| coarse.nodes[sn]).collect();
             greedy_two_way(&weights, cap, left_devices, right_devices, cfg.threshold).ok_or(
                 CompileError::InsufficientResources {
@@ -631,7 +678,9 @@ fn refine(
         let tb: u64 = graph.tasks().map(|(_, t)| t.resources.get(*b)).sum();
         let ra = ta as f64 / cap.get(*a) as f64;
         let rb = tb as f64 / cap.get(*b) as f64;
-        ra.partial_cmp(&rb).unwrap()
+        // total_cmp: ratios are finite here, but a NaN from degenerate
+        // job input must not panic a batch worker.
+        ra.total_cmp(&rb)
     });
     let floor = binding.map(|k| {
         let total: u64 = graph.tasks().map(|(_, t)| t.resources.get(k)).sum();
@@ -726,7 +775,7 @@ fn repair(
             let res = graph.task(t).resources;
             let mut order: Vec<usize> = (0..n_fpgas).filter(|&f| f != over).collect();
             order.sort_by(|&a, &b| {
-                used[a].utilization(cap).max().partial_cmp(&used[b].utilization(cap).max()).unwrap()
+                used[a].utilization(cap).max().total_cmp(&used[b].utilization(cap).max())
             });
             for f in order {
                 if (used[f] + res).fits_within(cap, threshold) {

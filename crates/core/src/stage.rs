@@ -83,6 +83,25 @@ impl std::fmt::Display for Stage {
     }
 }
 
+thread_local! {
+    /// The stage currently executing on this thread, for panic
+    /// attribution: the staged driver sets it as it enters each stage, and
+    /// the batch engine's `catch_unwind` handler reads it after a panic
+    /// unwound past the stage's stack frames (a panicking stage cannot
+    /// report itself).
+    static CURRENT_STAGE: std::cell::Cell<Option<Stage>> = const { std::cell::Cell::new(None) };
+}
+
+/// Marks `stage` (or nothing) as executing on this thread.
+pub(crate) fn set_current_stage(stage: Option<Stage>) {
+    CURRENT_STAGE.with(|s| s.set(stage));
+}
+
+/// The stage executing on this thread, if the staged driver is mid-stage.
+pub(crate) fn current_stage() -> Option<Stage> {
+    CURRENT_STAGE.with(std::cell::Cell::get)
+}
+
 /// Wall-clock of one executed stage. Stages skipped by an override record
 /// no timing, so the vector doubles as the list of stages actually run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -224,6 +243,8 @@ impl CompileContext {
         let comm = self.comm.expect("comm-insert artifact missing on success");
         let fp = self.floorplan.expect("floorplan artifact missing on success");
         let timing = self.timing.expect("timing artifact missing on success");
+        let partition = self.partition.expect("partition artifact missing on success");
+        let degraded = partition.degraded || fp.degraded;
         let placement = tapacs_sim::Placement {
             fpga_of_task: comm.assignment,
             freq_mhz: timing.freq_mhz.clone(),
@@ -233,7 +254,8 @@ impl CompileContext {
             graph: comm.graph,
             placement,
             slot_of_task: fp.slot_of_task,
-            partition: self.partition.expect("partition artifact missing on success"),
+            partition,
+            degraded,
             floorplan_runtime: fp.runtime,
             floorplan_stats: fp.solve_stats,
             pipeline: self.pipeline.expect("pipeline artifact missing on success"),

@@ -1,0 +1,316 @@
+//! Property tests for the fault-tolerant batch pipeline.
+//!
+//! Random fault-injection specs over shuffled batches must uphold the
+//! robustness contract whatever the spec says:
+//! 1. Panicked jobs are isolated to a typed [`CompileError::WorkerPanicked`]
+//!    and every *non-faulted* job's design is bit-identical to a
+//!    fault-free reference run.
+//! 2. Injected solver timeouts degrade (heuristic fallback, flagged) —
+//!    they never abort the sweep.
+//! 3. The persistent solve-cache file is never corrupted by injected save
+//!    faults: a save either succeeds (and round-trips) or fails leaving
+//!    the previous file byte-identical.
+//! 4. Degraded points never enter a DSE Pareto frontier, and a faulted
+//!    exploration is deterministic run-to-run.
+//!
+//! The fault registry and the solve cache are process-global, so every
+//! test here serializes on one mutex and disarms the registry on exit.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use tapacs_core::dse::explore;
+use tapacs_core::{BatchCompiler, CompileError, CompileJob, CompiledDesign, DseConfig, Flow};
+use tapacs_fpga::{Device, Resources};
+use tapacs_graph::{Fifo, Task, TaskGraph};
+use tapacs_ilp::{install_faults, FaultRegistry, SolveCache, INJECTED_PANIC_MARKER};
+use tapacs_net::{Cluster, Topology};
+
+static GLOBAL_FAULTS: Mutex<()> = Mutex::new(());
+
+/// Disarms the process-wide registry even when an assertion bails early.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        install_faults(None);
+    }
+}
+
+fn arm(spec: &str) {
+    install_faults(Some(Arc::new(FaultRegistry::parse(spec).expect("test spec parses"))));
+}
+
+/// The determinism-suite demo graph: HBM source → PE chain → HBM sink.
+fn demo_graph(name: &str, pe_count: usize) -> TaskGraph {
+    let mut g = TaskGraph::new(name);
+    let io = Resources::new(30_000, 60_000, 60, 0, 20);
+    let pe_res = Resources::new(60_000, 120_000, 120, 400, 30);
+    let rd = g.add_task(Task::hbm_read("rd", io, 0, 512, 65_536).with_total_blocks(64));
+    let mut prev = rd;
+    for i in 0..pe_count {
+        let pe = g.add_task(
+            Task::compute(format!("pe{i}"), pe_res)
+                .with_cycles_per_block(1_000)
+                .with_total_blocks(64),
+        );
+        g.add_fifo(Fifo::new(format!("f{i}"), prev, pe, 512).with_block_bytes(65_536));
+        prev = pe;
+    }
+    let wr = g.add_task(Task::hbm_write("wr", io, 1, 512, 65_536).with_total_blocks(64));
+    g.add_fifo(Fifo::new("out", prev, wr, 512).with_block_bytes(65_536));
+    g
+}
+
+fn cluster() -> Cluster {
+    Cluster::single_node(Device::u55c(), 4, Topology::Ring)
+}
+
+/// Job names chosen so no name is a substring of another (the `@substr`
+/// selector must hit exactly one job).
+const NAMES: [&str; 6] = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"];
+
+fn same(a: &CompiledDesign, b: &CompiledDesign) -> bool {
+    a.partition.assignment == b.partition.assignment
+        && a.slot_of_task == b.slot_of_task
+        && a.timing.freq_mhz == b.timing.freq_mhz
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Contract 1 + 2: random panic/timeout subsets over a shuffled batch.
+    #[test]
+    fn non_faulted_jobs_bit_identical_under_random_faults(
+        n_jobs in 3usize..6,
+        panic_mask in prop::collection::vec(any::<bool>(), 6..7),
+        timeout_mask in prop::collection::vec(any::<bool>(), 6..7),
+        order_keys in prop::collection::vec(any::<u32>(), 6..7),
+        threads in 1usize..5,
+    ) {
+        let _serial = GLOBAL_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+        let _disarm = Disarm;
+
+        // Shuffle the job order by the random sort keys; the design each
+        // job compiles to must not depend on its position in the queue.
+        let mut idx: Vec<usize> = (0..n_jobs).collect();
+        idx.sort_by_key(|&i| order_keys[i]);
+        let jobs: Vec<CompileJob> = idx
+            .iter()
+            .map(|&i| {
+                // `3 + i` keeps every graph structurally distinct: a
+                // duplicate would answer its solves from the shared cache
+                // and never reach the (fault-injected) solver at all.
+                CompileJob::new(NAMES[i], demo_graph(NAMES[i], 3 + i), Flow::TapaCs { n_fpgas: 2 })
+            })
+            .collect();
+
+        let mut spec = String::from("7:");
+        for &i in &idx {
+            if panic_mask[i] {
+                spec.push_str(&format!("panic@{};", NAMES[i]));
+            } else if timeout_mask[i] {
+                spec.push_str(&format!("timeout@{};", NAMES[i]));
+            }
+        }
+        let any_faults = spec.len() > 2;
+
+        install_faults(None);
+        SolveCache::global().clear();
+        let reference = BatchCompiler::new(cluster()).threads(1).compile(jobs.clone());
+        for result in &reference.results {
+            prop_assert!(result.is_ok(), "fault-free reference must compile");
+        }
+
+        if any_faults {
+            arm(&spec);
+        }
+        SolveCache::global().clear();
+        let faulted = BatchCompiler::new(cluster()).threads(threads).compile(jobs);
+
+        for (pos, &i) in idx.iter().enumerate() {
+            let job = &faulted.report.jobs[pos];
+            let result = &faulted.results[pos];
+            prop_assert_eq!(job.name.as_str(), NAMES[i]);
+            if panic_mask[i] && any_faults {
+                prop_assert!(job.panicked, "{} must be reported panicked", job.name);
+                prop_assert!(
+                    matches!(result, Err(CompileError::WorkerPanicked { .. })),
+                    "{} must fail with WorkerPanicked, got {result:?}",
+                    job.name
+                );
+            } else if timeout_mask[i] && any_faults {
+                // An expired solver budget must never abort the sweep. It
+                // also doesn't *guarantee* degradation: a model small
+                // enough for presolve alone never polls the deadline and
+                // still proves optimality. The contract is that the job
+                // flag and the design flag agree, and that a non-degraded
+                // outcome really is the reference design.
+                prop_assert!(!job.failed, "{} must degrade, not fail", job.name);
+                match result {
+                    Ok(d) => {
+                        prop_assert_eq!(
+                            d.degraded, job.degraded,
+                            "{}'s design and job report disagree on degradation", job.name
+                        );
+                        if !d.degraded {
+                            let Ok(r) = &reference.results[pos] else {
+                                return Err(TestCaseError::fail("reference must compile"));
+                            };
+                            prop_assert!(
+                                same(d, r),
+                                "{} solved to optimality under the fault but diverged",
+                                job.name
+                            );
+                        }
+                    }
+                    Err(e) => prop_assert!(false, "{} must still compile: {e}", job.name),
+                }
+            } else {
+                prop_assert!(!job.failed && !job.degraded, "{} must stay clean", job.name);
+                match (result, &reference.results[pos]) {
+                    (Ok(a), Ok(b)) => prop_assert!(
+                        same(a, b),
+                        "non-faulted {} diverged from the fault-free reference",
+                        job.name
+                    ),
+                    _ => prop_assert!(false, "{} must compile in both runs", job.name),
+                }
+            }
+        }
+    }
+
+    /// Contract 3: an injected-save-fault budget either lets the bounded
+    /// retry through (file round-trips) or exhausts it (previous file is
+    /// byte-identical — the temp-write + atomic-rename never half-writes).
+    #[test]
+    fn cache_file_never_corrupted_by_injected_save_faults(
+        budget in 0u32..6,
+        case in 0u64..1_000_000,
+    ) {
+        let _serial = GLOBAL_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+        let _disarm = Disarm;
+        install_faults(None);
+
+        let cache = SolveCache::global();
+        cache.clear();
+        // Populate the cache with a real compile's solves.
+        let _ = BatchCompiler::new(cluster()).threads(1).compile(vec![CompileJob::new(
+            "seed",
+            demo_graph("seed", 3),
+            Flow::TapaCs { n_fpgas: 2 },
+        )]);
+
+        let path = std::env::temp_dir()
+            .join(format!("tapacs-fault-prop-{}-{case}.bin", std::process::id()));
+        let entries = cache.save_to(&path).expect("clean save succeeds");
+        let good = std::fs::read(&path).unwrap();
+
+        arm(&format!("7:cacheio@save*{budget}"));
+        let retried = cache.save_to(&path);
+        install_faults(None);
+
+        // 1 initial attempt + 3 retries: budgets of up to 3 are outlived.
+        if budget <= 3 {
+            prop_assert_eq!(*retried.as_ref().unwrap(), entries, "retried save loses entries");
+        } else {
+            prop_assert!(retried.is_err(), "budget {budget} must exhaust the retries");
+            prop_assert_eq!(
+                &std::fs::read(&path).unwrap(),
+                &good,
+                "failed save must leave the previous file byte-identical"
+            );
+        }
+        cache.clear();
+        prop_assert_eq!(cache.load_from(&path).unwrap(), entries);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Deterministic spot check of panic isolation: the injected panic payload
+/// reaches the typed error verbatim, the panicking job is the *only*
+/// casualty, and the survivors match a fault-free compile bit for bit.
+#[test]
+fn injected_panic_is_typed_and_isolated() {
+    let _serial = GLOBAL_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let _disarm = Disarm;
+
+    let jobs: Vec<CompileJob> = ["alpha", "bravo", "charlie"]
+        .iter()
+        .map(|&n| CompileJob::new(n, demo_graph(n, 4), Flow::TapaCs { n_fpgas: 2 }))
+        .collect();
+
+    install_faults(None);
+    SolveCache::global().clear();
+    let reference = BatchCompiler::new(cluster()).threads(1).compile(jobs.clone());
+
+    arm("1:panic@bravo");
+    SolveCache::global().clear();
+    let faulted = BatchCompiler::new(cluster()).threads(2).compile(jobs);
+    install_faults(None);
+
+    match &faulted.results[1] {
+        Err(CompileError::WorkerPanicked { payload, .. }) => {
+            assert!(
+                payload.contains(INJECTED_PANIC_MARKER),
+                "panic payload must survive into the typed error: {payload}"
+            );
+        }
+        other => panic!("bravo must fail with WorkerPanicked, got {other:?}"),
+    }
+    assert!(faulted.report.jobs[1].panicked && faulted.report.jobs[1].failed);
+    assert_eq!(faulted.report.panicked(), 1);
+    assert_eq!(faulted.report.failed(), 1);
+    for i in [0usize, 2] {
+        let (Ok(a), Ok(b)) = (&faulted.results[i], &reference.results[i]) else {
+            panic!("survivor {i} must compile in both runs");
+        };
+        assert!(same(a, b), "survivor {i} diverged from the fault-free reference");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Contract 4: degraded points never enter the Pareto frontier, and a
+    /// faulted exploration is deterministic run-to-run.
+    #[test]
+    fn degraded_points_never_enter_frontier(permille in 200u32..900, seed in 0u64..1_000) {
+        let _serial = GLOBAL_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+        let _disarm = Disarm;
+
+        let mut config = DseConfig::new("fault-dse", demo_graph("dse", 4), cluster());
+        // A small grid keeps the debug-build sweep quick; two shapes and
+        // two slot ceilings still give the frontier something to prune.
+        config.cluster_shapes = vec![1, 2];
+        config.partition_thresholds = vec![0.7];
+        config.slot_thresholds = vec![0.8, 0.9];
+
+        arm(&format!("{seed}:timeout%{permille}"));
+        SolveCache::global().clear();
+        let first = explore(&config);
+        SolveCache::global().clear();
+        let second = explore(&config);
+        install_faults(None);
+
+        for &i in &first.frontier {
+            prop_assert!(
+                !first.outcomes[i].degraded,
+                "degraded point {} entered the frontier",
+                first.outcomes[i].point.label()
+            );
+        }
+        prop_assert_eq!(first.degraded(), second.degraded());
+        prop_assert_eq!(
+            first.frontier_signature(),
+            second.frontier_signature(),
+            "faulted exploration must be deterministic"
+        );
+        // Every degraded outcome still carries a score (it compiled) —
+        // exclusion from the frontier is the only penalty.
+        for o in &first.outcomes {
+            if o.degraded {
+                prop_assert!(o.score.is_some(), "degraded {} lost its score", o.point.label());
+            }
+        }
+    }
+}

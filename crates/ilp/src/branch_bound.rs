@@ -9,8 +9,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use std::time::Instant;
 
+use crate::cancel::CancellationToken;
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
@@ -130,7 +130,11 @@ pub(crate) fn solve(
     params: SolveParams,
 ) -> Result<Solution, IlpError> {
     let full_lp = model.to_lp();
-    let start = Instant::now();
+    // One effective token per solve: external cancel + time limit fused.
+    // Every deadline decision below goes through it, so the simplex inner
+    // loops, the node-expansion loop and this driver all observe the same
+    // signal with bounded latency.
+    let token = config.deadline_token();
     // Internally we minimize; flip at the end if the model maximizes.
     let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
     let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
@@ -139,7 +143,8 @@ pub(crate) fn solve(
     let lp = &pre.lp;
     // One shared prepared form (sparse matrix for the default engine) for
     // the root and every node solve of this search.
-    let prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
+    let mut prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
+    prep.set_cancel(token.clone());
 
     let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
         LpOutcome::Optimal { values, objective, basis } => Node {
@@ -155,6 +160,9 @@ pub(crate) fn solve(
             // signals a modelling error.
             return Err(IlpError::Unbounded);
         }
+        // Cancelled before the root relaxation finished: there is nothing
+        // to fall back on yet.
+        LpOutcome::Cancelled => return Err(cancel_error(token.as_ref())),
     };
     let root_bound = root.bound;
 
@@ -207,11 +215,9 @@ pub(crate) fn solve(
             budget_hit = true;
             break;
         }
-        if let Some(limit) = config.time_limit {
-            if start.elapsed() >= limit {
-                budget_hit = true;
-                break;
-            }
+        if token.as_ref().is_some_and(CancellationToken::is_cancelled) {
+            budget_hit = true;
+            break;
         }
 
         let Some(j) = most_fractional(&node.relax, &red_integral, config.int_tol) else {
@@ -234,14 +240,13 @@ pub(crate) fn solve(
         };
 
         let warm = if params.warm_lp { Some(node.basis.as_ref()) } else { None };
-        let deadline = config.time_limit.map(|limit| (start, limit));
         match expand_children(
             &prep,
             &node.chain,
             warm,
             j,
             node.relax[j],
-            deadline,
+            token.as_ref(),
             &mut lo_buf,
             &mut hi_buf,
         ) {
@@ -268,6 +273,13 @@ pub(crate) fn solve(
         }
     }
 
+    // An external cancel aborts outright — the caller no longer wants the
+    // answer, so even an incumbent is discarded. Deadline expiry instead
+    // degrades below (the anytime contract).
+    if token.as_ref().is_some_and(CancellationToken::cancelled_externally) {
+        return Err(IlpError::Cancelled);
+    }
+
     let exhausted = heap.is_empty() && !budget_hit;
     match incumbent {
         Some((obj, values)) => {
@@ -280,6 +292,11 @@ pub(crate) fn solve(
                 values,
                 nodes_explored: nodes,
                 best_bound: from_min(if exhausted { obj } else { best_open_bound }),
+                // A budget-truncated incumbent is an *anytime* result: how
+                // good it is depends on when the clock stopped. Marking it
+                // degraded keeps it out of the persistent solve cache and
+                // out of Pareto frontiers.
+                degraded: budget_hit && !proven,
             })
         }
         None => {
@@ -289,6 +306,16 @@ pub(crate) fn solve(
                 Err(IlpError::NoIncumbent)
             }
         }
+    }
+}
+
+/// Maps a tripped token to the right error: external cancel aborts with
+/// [`IlpError::Cancelled`]; a deadline expiry is a spent budget.
+pub(crate) fn cancel_error(token: Option<&CancellationToken>) -> IlpError {
+    if token.is_some_and(CancellationToken::cancelled_externally) {
+        IlpError::Cancelled
+    } else {
+        IlpError::NoIncumbent
     }
 }
 

@@ -26,6 +26,18 @@
 //! panic, never a partial merge — and the caller simply runs cold.
 //! `TAPACS_CACHE_DIR` (see [`cache_dir_from_env`]) is the conventional
 //! location callers persist into.
+//!
+//! # Robustness
+//!
+//! Cache IO is allowed to be flaky without failing a sweep: transient
+//! [`CacheFileError::Io`] failures are retried a bounded number of times
+//! with a short deterministic backoff, and a file rejected as corrupt or
+//! stale is *quarantined* — renamed to `<name>.quarantined` next to the
+//! original — so the evidence survives for inspection, the next
+//! [`SolveCache::save_to`] writes a fresh valid file, and the sweep simply
+//! runs cold. Degraded solutions (see [`Solution::degraded`]) are never
+//! inserted: a fallback point must not masquerade as the exact backend's
+//! answer on the next warm run.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -151,8 +163,59 @@ pub fn cache_dir_from_env() -> Option<PathBuf> {
 const FILE_MAGIC: &[u8; 8] = b"TAPACSSC";
 /// Format version written and accepted by this build. Bump on any change
 /// to the entry encoding; old files are then rejected as stale instead of
-/// being misparsed.
-const FILE_VERSION: u32 = 1;
+/// being misparsed. v2 added the [`Solution::degraded`] byte.
+const FILE_VERSION: u32 = 2;
+
+/// Transient-IO retry attempts after the first failure.
+const IO_RETRIES: u32 = 3;
+
+/// Deterministic bounded backoff before retry `attempt` (1-based):
+/// 1 ms, 2 ms, 4 ms — long enough to ride out transient FS hiccups,
+/// bounded so a genuinely broken disk costs a sweep milliseconds, and a
+/// pure function of the attempt index so runs stay reproducible.
+fn backoff_delay(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(1u64 << (attempt - 1).min(8))
+}
+
+/// Runs `op`, retrying [`CacheFileError::Io`] failures up to [`IO_RETRIES`]
+/// times with [`backoff_delay`]. Non-IO errors (corruption, staleness) are
+/// returned immediately — retrying cannot fix those.
+fn with_io_retry<T>(
+    mut op: impl FnMut() -> Result<T, CacheFileError>,
+) -> Result<T, CacheFileError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Err(CacheFileError::Io(_)) if attempt < IO_RETRIES => {
+                attempt += 1;
+                std::thread::sleep(backoff_delay(attempt));
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Injected IO failure hook for the cache paths (`cacheio@load` /
+/// `cacheio@save` in the `TAPACS_FAULTS` grammar). No-op unless a fault
+/// registry is armed.
+fn injected_io(site: &str) -> Result<(), CacheFileError> {
+    if crate::fault::fault_fires(crate::fault::FaultKind::CacheIo, site) {
+        return Err(CacheFileError::Io(std::io::Error::other(format!(
+            "injected cache {site} fault"
+        ))));
+    }
+    Ok(())
+}
+
+/// Moves a corrupt or stale cache file aside to `<name>.quarantined`
+/// (overwriting any previous quarantine) so the next save can write a
+/// clean file while the bad bytes stay inspectable. Never deletes; a
+/// failed rename is ignored — quarantining is best-effort.
+fn quarantine(path: &Path) {
+    let mut target = path.as_os_str().to_os_string();
+    target.push(".quarantined");
+    let _ = std::fs::rename(path, &target);
+}
 
 /// FNV-1a 64-bit over `bytes` — the file checksum. Not cryptographic;
 /// guards against truncation and bit rot, not adversaries.
@@ -204,6 +267,7 @@ fn encode_solution(out: &mut Vec<u8>, s: &Solution) {
         SolveStatus::Optimal => 0,
         SolveStatus::Feasible => 1,
     });
+    out.push(u8::from(s.degraded));
     out.extend_from_slice(&s.objective.to_bits().to_le_bytes());
     out.extend_from_slice(&s.best_bound.to_bits().to_le_bytes());
     out.extend_from_slice(&(s.nodes_explored as u64).to_le_bytes());
@@ -219,6 +283,11 @@ fn decode_solution(c: &mut Cursor<'_>) -> Result<Solution, CacheFileError> {
         1 => SolveStatus::Feasible,
         _ => return Err(CacheFileError::Truncated),
     };
+    let degraded = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CacheFileError::Truncated),
+    };
     let objective = c.f64()?;
     let best_bound = c.f64()?;
     let nodes_explored = c.usize()?;
@@ -232,7 +301,7 @@ fn decode_solution(c: &mut Cursor<'_>) -> Result<Solution, CacheFileError> {
     for _ in 0..n_values {
         values.push(c.f64()?);
     }
-    Ok(Solution { status, objective, best_bound, nodes_explored, values })
+    Ok(Solution { status, objective, best_bound, nodes_explored, values, degraded })
 }
 
 /// The memo-cache: canonical model key → [`Solution`].
@@ -320,9 +389,15 @@ impl SolveCache {
     /// through a sibling temp file + rename so a crash mid-write can never
     /// leave a half-written cache behind (it leaves the old file, or none).
     ///
+    /// Transient IO failures are retried with a short deterministic
+    /// backoff (see the module's *Robustness* notes); entries flagged
+    /// [`Solution::degraded`] never reach the map (see
+    /// [`CachingSolver`]) so they are never persisted either.
+    ///
     /// # Errors
     ///
-    /// [`CacheFileError::Io`] when the file cannot be written.
+    /// [`CacheFileError::Io`] when the file still cannot be written after
+    /// the retries.
     pub fn save_to(&self, path: &Path) -> Result<u64, CacheFileError> {
         let mut payload = Vec::with_capacity(4096);
         payload.extend_from_slice(FILE_MAGIC);
@@ -347,35 +422,29 @@ impl SolveCache {
         // threads) must never interleave writes on one temp file — each
         // writes its own and the atomic rename decides who wins whole.
         static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
-        let tmp = path.with_extension(format!(
-            "tmp.{}.{}",
-            std::process::id(),
-            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::write(&tmp, &payload)?;
-        if let Err(e) = std::fs::rename(&tmp, path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e.into());
-        }
+        with_io_retry(|| {
+            injected_io("save")?;
+            let tmp = path.with_extension(format!(
+                "tmp.{}.{}",
+                std::process::id(),
+                SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::write(&tmp, &payload)?;
+            if let Err(e) = std::fs::rename(&tmp, path) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e.into());
+            }
+            Ok(())
+        })?;
         self.stores.fetch_add(written, Ordering::Relaxed);
         Ok(written)
     }
 
-    /// Parses `path` and merges its entries into this cache, returning how
-    /// many were merged (also added to [`CacheStats::loads`]). Lookup
-    /// counters (`hits`/`misses`) are untouched — loading is not a lookup.
-    ///
-    /// The whole file is validated (magic, version, checksum, bounds)
-    /// *before* anything is merged: a rejected file leaves the cache
-    /// exactly as it was. Entries beyond the capacity bound
-    /// are dropped, mirroring live inserts.
-    ///
-    /// # Errors
-    ///
-    /// [`CacheFileError`] for unreadable, truncated, corrupt or
-    /// version-incompatible files. None of them panic, and none merge
-    /// partial content.
-    pub fn load_from(&self, path: &Path) -> Result<u64, CacheFileError> {
+    /// Reads and fully validates one cache file (magic, version, checksum,
+    /// bounds), returning its decoded entries. Pure with respect to the
+    /// cache — nothing is merged here.
+    fn read_entries(path: &Path) -> Result<Vec<(Vec<u8>, Solution)>, CacheFileError> {
+        injected_io("load")?;
         let bytes = std::fs::read(path)?;
         if bytes.len() < FILE_MAGIC.len() + 4 + 8 + 8 {
             return Err(CacheFileError::Truncated);
@@ -406,6 +475,39 @@ impl SolveCache {
             // writer and reader disagree on the format — reject it.
             return Err(CacheFileError::Truncated);
         }
+        Ok(entries)
+    }
+
+    /// Parses `path` and merges its entries into this cache, returning how
+    /// many were merged (also added to [`CacheStats::loads`]). Lookup
+    /// counters (`hits`/`misses`) are untouched — loading is not a lookup.
+    ///
+    /// The whole file is validated (magic, version, checksum, bounds)
+    /// *before* anything is merged: a rejected file leaves the cache
+    /// exactly as it was. Entries beyond the capacity bound
+    /// are dropped, mirroring live inserts.
+    ///
+    /// Transient IO failures are retried with a short deterministic
+    /// backoff; a file rejected as corrupt or stale (anything but
+    /// [`CacheFileError::Io`]) is quarantined to `<name>.quarantined`
+    /// before the error is returned, so the next save starts clean and
+    /// the bad bytes stay inspectable.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFileError`] for unreadable, truncated, corrupt or
+    /// version-incompatible files. None of them panic, and none merge
+    /// partial content.
+    pub fn load_from(&self, path: &Path) -> Result<u64, CacheFileError> {
+        let entries = match with_io_retry(|| Self::read_entries(path)) {
+            Ok(entries) => entries,
+            Err(e) => {
+                if !matches!(e, CacheFileError::Io(_)) {
+                    quarantine(path);
+                }
+                return Err(e);
+            }
+        };
 
         let mut merged = 0u64;
         let mut guard = self.inner.lock().unwrap();
@@ -518,7 +620,12 @@ impl Solver for CachingSolver {
             return Ok(hit);
         }
         let solution = self.inner.solve(model, config)?;
-        cache.insert(key, solution.clone());
+        // A degraded (budget-truncated) point is whatever the clock allowed,
+        // not a function of the model — replaying it on a later run would
+        // freeze an accident of timing into the cache.
+        if !solution.degraded {
+            cache.insert(key, solution.clone());
+        }
         Ok(solution)
     }
 }

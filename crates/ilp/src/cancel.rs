@@ -1,0 +1,211 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancellationToken`] unifies the two ways a solve can be asked to
+//! stop: an externally raised flag (a client abandons the job) and a
+//! wall-clock deadline (the classic `time_limit`). Both surface through a
+//! single cheap [`CancellationToken::is_cancelled`] poll that the simplex
+//! inner loops, the branch-and-bound drivers, and the batch work queue all
+//! check cooperatively — there is no preemption; code observes the token
+//! and unwinds at the next safe point.
+//!
+//! Tokens form a tree: [`CancellationToken::child_with_timeout`] derives a
+//! token that trips when *either* its own deadline expires or any ancestor
+//! is cancelled. The solver uses this to express "this job's time limit"
+//! as a child of "the whole sweep's token", so cancelling the sweep stops
+//! every in-flight solve without each call site knowing about sweeps.
+//!
+//! The distinction between the two trip causes matters downstream: a
+//! deadline expiry feeds the graceful-degradation ladder (fall back to the
+//! heuristic incumbent, mark the result degraded), while an external
+//! [`CancellationToken::cancel`] aborts outright — see
+//! [`CancellationToken::cancelled_externally`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    /// Raised by [`CancellationToken::cancel`]; never by deadlines.
+    flag: AtomicBool,
+    /// Wall-clock point after which the token reads as cancelled.
+    deadline: Option<Instant>,
+    /// Cancellation (but not deadlines) propagates down from ancestors.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(p) => p.is_cancelled(),
+            None => false,
+        }
+    }
+
+    fn flagged(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.parent.as_ref().is_some_and(|p| p.flagged())
+    }
+}
+
+/// A cooperatively checked cancellation signal, cheap to clone and share
+/// across threads.
+///
+/// Cloning yields a handle to the *same* token: `cancel()` through any
+/// clone trips all of them. Deadlines are fixed at construction.
+#[derive(Debug, Clone)]
+pub struct CancellationToken {
+    inner: Arc<Inner>,
+}
+
+impl CancellationToken {
+    /// A token that never trips until [`CancellationToken::cancel`] is
+    /// called.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: None, parent: None }),
+        }
+    }
+
+    /// A token that trips `limit` from now (or earlier, if cancelled).
+    pub fn with_timeout(limit: Duration) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(limit),
+                parent: None,
+            }),
+        }
+    }
+
+    /// Derives a token that trips when this token trips *or* `limit`
+    /// elapses from now. `None` derives a plain child (ancestor
+    /// cancellation only).
+    pub fn child_with_timeout(&self, limit: Option<Duration>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: limit.and_then(|l| Instant::now().checked_add(l)),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Raises the external-cancel flag. Idempotent; visible to every clone
+    /// and every descendant token.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has tripped (external cancel on self or any
+    /// ancestor, or any deadline on the chain has passed). This is the
+    /// poll the hot loops call; it is a couple of atomic loads plus an
+    /// `Instant::now()` when a deadline is set.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+
+    /// Whether the token was tripped by an explicit [`cancel`] (on itself
+    /// or an ancestor) rather than by a deadline. The degradation ladder
+    /// uses this: deadline expiry degrades to the heuristic incumbent,
+    /// external cancellation aborts the solve outright.
+    ///
+    /// [`cancel`]: CancellationToken::cancel
+    pub fn cancelled_externally(&self) -> bool {
+        self.inner.flagged()
+    }
+}
+
+impl Default for CancellationToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The effective token for one solve: the caller's token (if any) narrowed
+/// by the config's `time_limit` (if any). Returns `None` when neither is
+/// set — the solve runs unbounded and the hot loops skip polling entirely.
+pub(crate) fn effective_token(
+    cancel: Option<&CancellationToken>,
+    time_limit: Option<Duration>,
+) -> Option<CancellationToken> {
+    match (cancel, time_limit) {
+        (Some(tok), Some(limit)) => Some(tok.child_with_timeout(Some(limit))),
+        (Some(tok), None) => Some(tok.clone()),
+        (None, Some(limit)) => Some(CancellationToken::with_timeout(limit)),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancellationToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.cancelled_externally());
+    }
+
+    #[test]
+    fn cancel_trips_every_clone() {
+        let t = CancellationToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.cancelled_externally());
+    }
+
+    #[test]
+    fn zero_timeout_trips_immediately() {
+        let t = CancellationToken::with_timeout(Duration::ZERO);
+        assert!(t.is_cancelled());
+        // ... but a deadline is not an external cancel.
+        assert!(!t.cancelled_externally());
+    }
+
+    #[test]
+    fn long_timeout_does_not_trip() {
+        let t = CancellationToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn child_inherits_parent_cancel() {
+        let parent = CancellationToken::new();
+        let child = parent.child_with_timeout(Some(Duration::from_secs(3600)));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(child.cancelled_externally());
+    }
+
+    #[test]
+    fn child_deadline_does_not_trip_parent() {
+        let parent = CancellationToken::new();
+        let child = parent.child_with_timeout(Some(Duration::ZERO));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+        assert!(!child.cancelled_externally());
+    }
+
+    #[test]
+    fn effective_token_combinations() {
+        assert!(effective_token(None, None).is_none());
+        let t = effective_token(None, Some(Duration::ZERO)).unwrap();
+        assert!(t.is_cancelled() && !t.cancelled_externally());
+        let ext = CancellationToken::new();
+        let t = effective_token(Some(&ext), Some(Duration::from_secs(3600))).unwrap();
+        assert!(!t.is_cancelled());
+        ext.cancel();
+        assert!(t.is_cancelled() && t.cancelled_externally());
+    }
+}

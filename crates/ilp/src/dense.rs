@@ -14,9 +14,10 @@
 //! replacement and the dual-simplex warm re-solve live only in the sparse
 //! engine.
 
+use crate::cancel::CancellationToken;
 use crate::simplex::{
-    cold_statuses_for, ColStatus, EngineCore, LpProblem, RunOutcome, Step, DEGEN_BLAND_AFTER,
-    PRICE_BAND, TOL,
+    cold_statuses_for, CancelProbe, ColStatus, EngineCore, LpProblem, RunOutcome, Step,
+    DEGEN_BLAND_AFTER, PRICE_BAND, TOL,
 };
 
 pub(crate) struct Tableau {
@@ -43,6 +44,7 @@ pub(crate) struct Tableau {
     degen_streak: u32,
     phase1_iters: u64,
     phase2_iters: u64,
+    cancel: CancelProbe,
 }
 
 impl Tableau {
@@ -101,6 +103,7 @@ impl Tableau {
             degen_streak: 0,
             phase1_iters: 0,
             phase2_iters: 0,
+            cancel: CancelProbe::default(),
         }
     }
 
@@ -143,6 +146,9 @@ impl Tableau {
         let cap = 200 * (self.m + self.n) as u64 + 50_000;
         let base = self.m * self.n;
         loop {
+            if self.cancel.tripped() {
+                return RunOutcome::Cancelled;
+            }
             // Classify infeasible basics and rebuild the gradient row:
             // d_j = Σ_{i: x_i < l_i} α_ij − Σ_{i: x_i > u_i} α_ij.
             let mut infeas = 0.0f64;
@@ -203,6 +209,9 @@ impl Tableau {
         // it must only ever fire on floating-point cycling.
         let cap = 10_000 * (self.m + self.n) as u64 + 1_000_000;
         loop {
+            if self.cancel.tripped() {
+                return RunOutcome::Cancelled;
+            }
             let bland = self.phase2_iters > bland_after || self.degen_streak >= DEGEN_BLAND_AFTER;
             let Some((enter, dir)) = self.choose_entering(bland) else {
                 return RunOutcome::Optimal;
@@ -513,6 +522,10 @@ impl EngineCore for Tableau {
             self.x[self.basis[i]] = vals[i];
         }
         true
+    }
+
+    fn set_cancel(&mut self, cancel: CancellationToken) {
+        self.cancel.arm(Some(cancel));
     }
 
     fn run(&mut self) -> RunOutcome {

@@ -12,6 +12,12 @@ pub enum IlpError {
     NoIncumbent,
     /// The model is structurally invalid (bad bounds, unknown variable, …).
     InvalidModel(String),
+    /// The solve was cancelled externally through its
+    /// [`CancellationToken`](crate::CancellationToken) before finishing.
+    /// Distinct from [`IlpError::NoIncumbent`]: a deadline expiry degrades
+    /// (the budget ran out), an external cancel aborts (the caller no
+    /// longer wants the answer).
+    Cancelled,
 }
 
 impl fmt::Display for IlpError {
@@ -23,6 +29,7 @@ impl fmt::Display for IlpError {
                 write!(f, "budget exhausted before a feasible integer point was found")
             }
             IlpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            IlpError::Cancelled => write!(f, "solve cancelled by caller"),
         }
     }
 }

@@ -52,9 +52,11 @@
 
 mod branch_bound;
 mod cache;
+mod cancel;
 mod dense;
 mod error;
 mod expr;
+mod fault;
 mod model;
 mod node;
 mod parallel;
@@ -69,13 +71,19 @@ mod stats;
 pub use cache::{
     cache_dir_from_env, CacheFileError, CacheStats, CachingSolver, SolveCache, SOLVE_CACHE_FILE,
 };
+pub use cancel::CancellationToken;
 pub use error::IlpError;
 pub use expr::LinExpr;
+pub use fault::{
+    fault_fires, fault_registry, install_faults, FaultKind, FaultRegistry, INJECTED_PANIC_MARKER,
+};
 pub use model::{CmpOp, Model, Sense, SolverConfig, VarId, VarKind};
 pub use parallel::ParallelSolver;
 pub use simplex::{LpEngine, LpParity};
 pub use solution::{Solution, SolveStatus};
-pub use solver::{HeuristicSolver, SequentialSolver, Solver, SolverBackend, SolverOptions};
+pub use solver::{
+    DegradingSolver, HeuristicSolver, SequentialSolver, Solver, SolverBackend, SolverOptions,
+};
 pub use stats::{SolveActivity, SolveStats};
 
 pub(crate) use simplex::LpOutcome;

@@ -1,6 +1,7 @@
 use std::time::Duration;
 
 use crate::branch_bound;
+use crate::cancel::{effective_token, CancellationToken};
 use crate::error::IlpError;
 use crate::expr::LinExpr;
 use crate::simplex::{self, LpProblem, LpRow};
@@ -92,6 +93,13 @@ pub struct SolverConfig {
     /// therefore the returned solution — is unchanged. Declaring a value
     /// that does not divide every reachable objective makes pruning unsound.
     pub objective_granularity: f64,
+    /// Optional external cancellation token. The solver polls it
+    /// cooperatively (simplex inner loops, node expansion) and combines it
+    /// with `time_limit` into one effective deadline token. Cancelling it
+    /// returns [`IlpError::Cancelled`] instead of an incumbent. Token
+    /// identity is deliberately *not* part of the solve-cache key —
+    /// cancellation changes when a solve stops, not what it computes.
+    pub cancel: Option<CancellationToken>,
 }
 
 impl Default for SolverConfig {
@@ -102,6 +110,7 @@ impl Default for SolverConfig {
             int_tol: 1e-6,
             mip_gap: 1e-9,
             objective_granularity: 0.0,
+            cancel: None,
         }
     }
 }
@@ -110,6 +119,13 @@ impl SolverConfig {
     /// Config with a specific wall-clock deadline.
     pub fn with_time_limit(limit: Duration) -> Self {
         Self { time_limit: Some(limit), ..Self::default() }
+    }
+
+    /// The effective cancellation token for one solve under this config:
+    /// the caller's token (if any) narrowed by `time_limit` (if any), or
+    /// `None` when the solve is unbounded.
+    pub(crate) fn deadline_token(&self) -> Option<CancellationToken> {
+        effective_token(self.cancel.as_ref(), self.time_limit)
     }
 }
 
@@ -320,16 +336,32 @@ impl Model {
         let integral = self.integral_vars();
         if integral.is_empty() {
             let lp = self.to_lp();
-            match simplex::solve(&lp, crate::LpEngine::from_env(), crate::LpParity::from_env()) {
+            let token = config.deadline_token();
+            match simplex::solve(
+                &lp,
+                crate::LpEngine::from_env(),
+                crate::LpParity::from_env(),
+                token.clone(),
+            ) {
                 crate::LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
                     status: SolveStatus::Optimal,
                     objective,
                     values,
                     nodes_explored: 0,
                     best_bound: objective,
+                    degraded: false,
                 }),
                 crate::LpOutcome::Infeasible => Err(IlpError::Infeasible),
                 crate::LpOutcome::Unbounded => Err(IlpError::Unbounded),
+                // A pure LP has no incumbent to degrade to: external cancel
+                // aborts, deadline expiry reports a spent budget.
+                crate::LpOutcome::Cancelled => {
+                    if token.as_ref().is_some_and(CancellationToken::cancelled_externally) {
+                        Err(IlpError::Cancelled)
+                    } else {
+                        Err(IlpError::NoIncumbent)
+                    }
+                }
             }
         } else {
             branch_bound::solve(self, &integral, config, branch_bound::SolveParams::from_env())

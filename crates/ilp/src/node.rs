@@ -9,8 +9,8 @@
 //! [`Basis`](crate::simplex::Basis) for warm-starting the child LP solves.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
+use crate::cancel::CancellationToken;
 use crate::simplex::{Basis, LpOutcome, PreparedLp, FEAS_TOL};
 
 /// One branching decision: `var`'s lower (or upper) bound moved to `value`.
@@ -101,7 +101,7 @@ pub(crate) fn expand_children(
     warm: Option<&Basis>,
     branch_var: usize,
     branch_value: f64,
-    deadline: Option<(Instant, Duration)>,
+    token: Option<&CancellationToken>,
     lower: &mut Vec<f64>,
     upper: &mut Vec<f64>,
 ) -> Expanded {
@@ -119,12 +119,10 @@ pub(crate) fn expand_children(
         if lo > hi + FEAS_TOL {
             continue;
         }
-        // Honor the deadline before *every* child LP solve, not only at
-        // node pops: a deep dive must not overshoot it by a subtree.
-        if let Some((start, limit)) = deadline {
-            if start.elapsed() >= limit {
-                return Expanded::Children { children, timed_out: true };
-            }
+        // Honor the token before *every* child LP solve, not only at node
+        // pops: a deep dive must not overshoot the deadline by a subtree.
+        if token.is_some_and(CancellationToken::is_cancelled) {
+            return Expanded::Children { children, timed_out: true };
         }
         lower[j] = lo;
         upper[j] = hi;
@@ -142,6 +140,9 @@ pub(crate) fn expand_children(
             }
             LpOutcome::Infeasible => {}
             LpOutcome::Unbounded => return Expanded::Unbounded,
+            // A cancelled child LP keeps the children solved so far; the
+            // driver treats the node like a deadline-truncated expansion.
+            LpOutcome::Cancelled => return Expanded::Children { children, timed_out: true },
         }
     }
     Expanded::Children { children, timed_out: false }

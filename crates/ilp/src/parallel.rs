@@ -39,9 +39,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
-use crate::branch_bound::{objective_of, presolved_root, round_repair, SolveParams};
+use crate::branch_bound::{cancel_error, objective_of, presolved_root, round_repair, SolveParams};
+use crate::cancel::CancellationToken;
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::node::{expand_children, most_fractional, BoundChain, Expanded};
@@ -161,7 +161,10 @@ struct SearchCtx<'a> {
     red_integral: &'a [usize],
     config: &'a SolverConfig,
     params: SolveParams,
-    start: Instant,
+    /// Deadline/cancel token shared by every slot (see
+    /// [`SolverConfig::cancel`]); `None` when the solve is unbounded in time
+    /// and nobody can cancel it.
+    token: Option<CancellationToken>,
 }
 
 /// Expands one node: either reports an integral candidate (offered to the
@@ -198,8 +201,8 @@ fn expand_node(
     };
 
     let warm = if ctx.params.warm_lp { Some(node.basis.as_ref()) } else { None };
-    let deadline = ctx.config.time_limit.map(|limit| (ctx.start, limit));
-    match expand_children(ctx.prep, &node.chain, warm, j, node.relax[j], deadline, lo_buf, hi_buf) {
+    let token = ctx.token.as_ref();
+    match expand_children(ctx.prep, &node.chain, warm, j, node.relax[j], token, lo_buf, hi_buf) {
         Expanded::Unbounded => Expansion::Unbounded,
         Expanded::Children { children, timed_out } => Expansion::Children {
             children: children
@@ -224,7 +227,10 @@ pub(crate) fn solve(
     params: SolveParams,
 ) -> Result<Solution, IlpError> {
     let full_lp = model.to_lp();
-    let start = Instant::now();
+    // One token for the whole search: the configured deadline fused with any
+    // caller-supplied cancellation, polled at round boundaries, before every
+    // child LP solve, and inside the simplex iteration loops.
+    let token = config.deadline_token();
     let workers = threads.max(1);
     let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
     let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
@@ -233,7 +239,8 @@ pub(crate) fn solve(
     let lp = &pre.lp;
     // One shared prepared form (sparse matrix for the default engine) for
     // the root and every node solve — workers borrow it read-only.
-    let prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
+    let mut prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
+    prep.set_cancel(token.clone());
 
     let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
         LpOutcome::Optimal { values, objective, basis } => Node {
@@ -245,6 +252,7 @@ pub(crate) fn solve(
         },
         LpOutcome::Infeasible => return Err(IlpError::Infeasible),
         LpOutcome::Unbounded => return Err(IlpError::Unbounded),
+        LpOutcome::Cancelled => return Err(cancel_error(token.as_ref())),
     };
     let root_bound = root.bound;
 
@@ -272,7 +280,7 @@ pub(crate) fn solve(
         red_integral: &red_integral,
         config,
         params,
-        start,
+        token: token.clone(),
     };
 
     let tighten = crate::branch_bound::granularity_tightener(config.objective_granularity);
@@ -329,11 +337,9 @@ pub(crate) fn solve(
             budget_hit = true;
             break;
         }
-        if let Some(limit) = config.time_limit {
-            if start.elapsed() >= limit {
-                budget_hit = true;
-                break;
-            }
+        if token.as_ref().is_some_and(CancellationToken::is_cancelled) {
+            budget_hit = true;
+            break;
         }
 
         // Leader-follower round. The round leader (the single best node —
@@ -429,6 +435,13 @@ pub(crate) fn solve(
         }
     }
 
+    // An external cancel aborts outright — the caller asked the job to stop,
+    // so even an incumbent on hand is not returned. Deadline expiry instead
+    // degrades to the anytime incumbent below.
+    if token.as_ref().is_some_and(CancellationToken::cancelled_externally) {
+        return Err(IlpError::Cancelled);
+    }
+
     let exhausted = heap.is_empty() && !budget_hit;
     match incumbent.into_inner().unwrap() {
         Some(Incumbent { obj, values }) => {
@@ -441,6 +454,9 @@ pub(crate) fn solve(
                 values,
                 nodes_explored: nodes,
                 best_bound: from_min(if exhausted { obj } else { best_open_bound }),
+                // Anytime result cut short by the budget: usable, but kept
+                // out of the persistent cache and Pareto frontiers.
+                degraded: budget_hit && !proven,
             })
         }
         None => {
@@ -517,7 +533,12 @@ impl crate::Solver for ParallelSolver {
         let integral = model.integral_vars();
         if integral.is_empty() {
             // Honor the configured engine even on the pure-LP fast path.
-            return crate::solver::solve_lp(model, self.lp_engine, self.lp_parity);
+            return crate::solver::solve_lp(
+                model,
+                self.lp_engine,
+                self.lp_parity,
+                config.deadline_token(),
+            );
         }
         let threads = if self.threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)

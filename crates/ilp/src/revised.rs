@@ -20,9 +20,10 @@
 //! workloads this replaces ~8M flops of per-node Gauss-Jordan with a few
 //! thousand.
 
+use crate::cancel::CancellationToken;
 use crate::simplex::{
-    cold_statuses_for, ColStatus, EngineCore, LpParity, RunOutcome, Step, DEGEN_BLAND_AFTER,
-    PRICE_BAND, TOL,
+    cold_statuses_for, CancelProbe, ColStatus, EngineCore, LpParity, RunOutcome, Step,
+    DEGEN_BLAND_AFTER, PRICE_BAND, TOL,
 };
 use crate::sparse::SparseLp;
 
@@ -176,6 +177,10 @@ pub(crate) struct Revised<'a> {
     degen_streak: u32,
     phase1_iters: u64,
     phase2_iters: u64,
+    /// Cooperative cancellation, polled in every pivot loop — including
+    /// the fast-parity dual repair, whose iterations would otherwise run
+    /// outside any deadline check.
+    cancel: CancelProbe,
     // Factorization counters, flushed once per solve by the driver.
     lu_factorizations: u64,
     lu_fill_nnz: u64,
@@ -269,6 +274,7 @@ impl<'a> Revised<'a> {
             degen_streak: 0,
             phase1_iters: 0,
             phase2_iters: 0,
+            cancel: CancelProbe::default(),
             lu_factorizations: 0,
             lu_fill_nnz: 0,
             eta_updates: 0,
@@ -979,6 +985,9 @@ impl<'a> Revised<'a> {
         let bland_after = (20 * (m + n) + 1_000) as u64;
         let cap = 200 * (m + n) as u64 + 50_000;
         loop {
+            if self.cancel.tripped() {
+                return RunOutcome::Cancelled;
+            }
             if !self.refactor_if_due() {
                 return RunOutcome::Stalled;
             }
@@ -1042,6 +1051,9 @@ impl<'a> Revised<'a> {
         // Same anti-livelock backstop as the dense engine; see there.
         let cap = 10_000 * (m + n) as u64 + 1_000_000;
         loop {
+            if self.cancel.tripped() {
+                return RunOutcome::Cancelled;
+            }
             if !self.refactor_if_due() {
                 return RunOutcome::Stalled;
             }
@@ -1127,6 +1139,14 @@ impl<'a> Revised<'a> {
             self.dual_d[j] = d;
         }
         loop {
+            // Deadline-overshoot guard: the repair runs *before* phase 1,
+            // so without its own poll a long repair would delay the first
+            // deadline check by its full length. Bailing out without a
+            // verdict is always safe — the primal phases (which poll the
+            // same probe) take over and report the cancellation.
+            if self.cancel.tripped() {
+                return;
+            }
             if !self.refactor_if_due() {
                 return;
             }
@@ -1347,6 +1367,10 @@ impl EngineCore for Revised<'_> {
             };
         }
         self.refactorize()
+    }
+
+    fn set_cancel(&mut self, cancel: CancellationToken) {
+        self.cancel.arm(Some(cancel));
     }
 
     fn run(&mut self) -> RunOutcome {

@@ -35,6 +35,7 @@
 //! Iteration counts, warm-start hits and factorization work feed the
 //! process-wide [`SolveActivity`](crate::SolveActivity) counters.
 
+use crate::cancel::CancellationToken;
 use crate::model::CmpOp;
 use crate::sparse::SparseLp;
 use crate::stats;
@@ -143,9 +144,17 @@ pub(crate) struct Basis {
 /// Outcome of an LP solve.
 #[derive(Debug, Clone)]
 pub(crate) enum LpOutcome {
-    Optimal { values: Vec<f64>, objective: f64, basis: Basis },
+    Optimal {
+        values: Vec<f64>,
+        objective: f64,
+        basis: Basis,
+    },
     Infeasible,
     Unbounded,
+    /// The cancellation token tripped mid-solve; no verdict was reached.
+    /// Never conflated with [`LpOutcome::Infeasible`] — a cancelled LP
+    /// must not condemn a branch-and-bound subtree.
+    Cancelled,
 }
 
 /// Which simplex implementation solves the LP relaxations.
@@ -218,6 +227,40 @@ pub(crate) enum RunOutcome {
     Unbounded,
     /// Iteration cap or numerical trouble; the caller retries or degrades.
     Stalled,
+    /// The cancellation token tripped; the engine stopped cooperatively.
+    Cancelled,
+}
+
+/// How many inner simplex iterations may pass between polls of the
+/// cancellation token. Bounds worst-case cancel latency to
+/// `CANCEL_CHECK_EVERY × one-pivot cost` in *every* engine loop — phase 1,
+/// phase 2, devex pricing refreshes, and the fast-parity dual repair all
+/// count against the same budget.
+pub(crate) const CANCEL_CHECK_EVERY: u64 = 64;
+
+/// Shared per-engine poll helper: counts iterations and polls `cancel`
+/// every [`CANCEL_CHECK_EVERY`]-th call. Engines embed one and call
+/// [`CancelProbe::tripped`] at the top of each pivot loop.
+#[derive(Debug, Default)]
+pub(crate) struct CancelProbe {
+    cancel: Option<CancellationToken>,
+    ticks: u64,
+}
+
+impl CancelProbe {
+    /// Arms the probe (no-op when `cancel` is `None`).
+    pub fn arm(&mut self, cancel: Option<CancellationToken>) {
+        self.cancel = cancel;
+    }
+
+    /// One loop iteration: `true` when the token has tripped. Polls the
+    /// token on the first call and then every [`CANCEL_CHECK_EVERY`]-th.
+    pub fn tripped(&mut self) -> bool {
+        let Some(tok) = &self.cancel else { return false };
+        let poll = self.ticks % CANCEL_CHECK_EVERY == 0;
+        self.ticks += 1;
+        poll && tok.is_cancelled()
+    }
 }
 
 /// One ratio-test result, shared by both engines.
@@ -248,6 +291,10 @@ pub(crate) trait EngineCore {
     /// Factorizes `statuses`' basic set and adopts the nonbasic statuses
     /// (clamped to the current bounds). `false` when not a valid basis.
     fn install(&mut self, statuses: &[ColStatus]) -> bool;
+    /// Arms cooperative cancellation: the engine's iteration loops must
+    /// poll the token at least every [`CANCEL_CHECK_EVERY`] pivots and
+    /// return [`RunOutcome::Cancelled`] when it trips.
+    fn set_cancel(&mut self, cancel: CancellationToken);
     /// Composite phase 1 then phase 2.
     fn run(&mut self) -> RunOutcome;
     /// `(phase1, phase2)` iterations performed so far.
@@ -298,6 +345,7 @@ pub(crate) fn extract_outcome(
     match out {
         RunOutcome::Infeasible | RunOutcome::Stalled => LpOutcome::Infeasible,
         RunOutcome::Unbounded => LpOutcome::Unbounded,
+        RunOutcome::Cancelled => LpOutcome::Cancelled,
         RunOutcome::Optimal => {
             let mut values = x[..lp.n_vars].to_vec();
             for (j, v) in values.iter_mut().enumerate() {
@@ -326,6 +374,8 @@ pub(crate) struct PreparedLp<'a> {
     /// Process-unique id, the model half of the sparse engine's
     /// per-thread factorization-memo key.
     id: u64,
+    /// Cooperative cancellation, polled inside every engine's pivot loops.
+    cancel: Option<CancellationToken>,
 }
 
 /// A process-unique id for anything that keys per-thread caches by model.
@@ -342,7 +392,13 @@ impl<'a> PreparedLp<'a> {
             LpEngine::Sparse => Some(SparseLp::build(lp)),
             LpEngine::Dense => None,
         };
-        PreparedLp { lp, engine, parity, sparse, id: next_prep_id() }
+        PreparedLp { lp, engine, parity, sparse, id: next_prep_id(), cancel: None }
+    }
+
+    /// Arms cooperative cancellation for every subsequent
+    /// [`PreparedLp::solve_warm`] on this prepared model.
+    pub fn set_cancel(&mut self, cancel: Option<CancellationToken>) {
+        self.cancel = cancel;
     }
 
     /// Solves with overriding bounds, warm-starting from `warm` when given.
@@ -353,11 +409,15 @@ impl<'a> PreparedLp<'a> {
         debug_assert_eq!(upper.len(), self.lp.n_vars);
         match (self.engine, &self.sparse) {
             (LpEngine::Dense, _) => {
-                drive(self.lp, lower, upper, warm, || dense::Tableau::build(self.lp, lower, upper))
+                drive(self.lp, lower, upper, warm, self.cancel.as_ref(), || {
+                    dense::Tableau::build(self.lp, lower, upper)
+                })
             }
-            (LpEngine::Sparse, Some(sp)) => drive(self.lp, lower, upper, warm, || {
-                revised::Revised::new(sp, lower, upper, self.id, self.parity)
-            }),
+            (LpEngine::Sparse, Some(sp)) => {
+                drive(self.lp, lower, upper, warm, self.cancel.as_ref(), || {
+                    revised::Revised::new(sp, lower, upper, self.id, self.parity)
+                })
+            }
             (LpEngine::Sparse, None) => unreachable!("sparse engine always prepares a matrix"),
         }
     }
@@ -365,8 +425,15 @@ impl<'a> PreparedLp<'a> {
 
 /// Solves `lp` with its stored bounds, cold, on the given engine/parity.
 /// One-off entry point; repeated node solves go through [`PreparedLp`].
-pub(crate) fn solve(lp: &LpProblem, engine: LpEngine, parity: LpParity) -> LpOutcome {
-    PreparedLp::new(lp, engine, parity).solve_warm(&lp.lower, &lp.upper, None)
+pub(crate) fn solve(
+    lp: &LpProblem,
+    engine: LpEngine,
+    parity: LpParity,
+    cancel: Option<CancellationToken>,
+) -> LpOutcome {
+    let mut prep = PreparedLp::new(lp, engine, parity);
+    prep.set_cancel(cancel);
+    prep.solve_warm(&lp.lower, &lp.upper, None)
 }
 
 /// The warm/cold orchestration both engines run under.
@@ -381,6 +448,7 @@ fn drive<E: EngineCore>(
     lower: &[f64],
     upper: &[f64],
     warm: Option<&Basis>,
+    cancel: Option<&CancellationToken>,
     mut make: impl FnMut() -> E,
 ) -> LpOutcome {
     // Quick bound sanity: an empty box is infeasible.
@@ -389,6 +457,13 @@ fn drive<E: EngineCore>(
             return LpOutcome::Infeasible;
         }
     }
+    let mut make = || {
+        let mut e = make();
+        if let Some(tok) = cancel {
+            e.set_cancel(tok.clone());
+        }
+        e
+    };
 
     // Pivots burned by a stalled warm attempt still count towards the
     // solve's iteration total, so the warm-vs-cold comparisons stay honest
@@ -409,6 +484,19 @@ fn drive<E: EngineCore>(
         if e.install(&basis.status) {
             let out = e.run();
             add_lu(&e, &mut lu);
+            if matches!(out, RunOutcome::Cancelled) {
+                // No cold fallback: the caller asked the solve to stop.
+                // The attempt stays counted without a hit (nothing was
+                // completed), but the burned pivots are still recorded.
+                let (p1, p2) = e.iters();
+                stats::record(|a| {
+                    a.record_lp_solve(p1, p2);
+                    if lu.iter().any(|&v| v != 0) {
+                        a.record_lu(&lu);
+                    }
+                });
+                return LpOutcome::Cancelled;
+            }
             if !matches!(out, RunOutcome::Stalled) {
                 let (p1, p2) = e.iters();
                 stats::record(|a| {

@@ -28,6 +28,11 @@ pub struct Solution {
     pub nodes_explored: usize,
     /// Best proven bound on the objective (equals `objective` when optimal).
     pub best_bound: f64,
+    /// `true` when the solution came from the graceful-degradation ladder
+    /// (time budget expired and a heuristic/anytime incumbent was returned
+    /// instead of a full search result). Degraded solutions are excluded
+    /// from the persistent solve cache and from Pareto frontiers.
+    pub degraded: bool,
 }
 
 impl Solution {

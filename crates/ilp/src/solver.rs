@@ -16,8 +16,9 @@
 //! `TAPACS_SOLVER_BACKEND` / `TAPACS_SOLVER_THREADS` environment overrides
 //! that CI uses to force single-threaded runs.
 
-use crate::branch_bound::{self, SolveParams};
+use crate::branch_bound::{self, cancel_error, SolveParams};
 use crate::cache::CachingSolver;
+use crate::cancel::CancellationToken;
 use crate::error::IlpError;
 use crate::model::{Model, SolverConfig};
 use crate::simplex::{self, LpEngine, LpOutcome, LpParity};
@@ -60,18 +61,21 @@ pub(crate) fn solve_lp(
     model: &Model,
     engine: LpEngine,
     parity: LpParity,
+    cancel: Option<CancellationToken>,
 ) -> Result<Solution, IlpError> {
     let lp = model.to_lp();
-    match simplex::solve(&lp, engine, parity) {
+    match simplex::solve(&lp, engine, parity, cancel.clone()) {
         LpOutcome::Optimal { values, objective, .. } => Ok(Solution {
             status: SolveStatus::Optimal,
             objective,
             values,
             nodes_explored: 0,
             best_bound: objective,
+            degraded: false,
         }),
         LpOutcome::Infeasible => Err(IlpError::Infeasible),
         LpOutcome::Unbounded => Err(IlpError::Unbounded),
+        LpOutcome::Cancelled => Err(cancel_error(cancel.as_ref())),
     }
 }
 
@@ -147,10 +151,11 @@ pub(crate) fn greedy_repair(
 /// Returns the point plus the root LP objective (a valid bound).
 pub(crate) fn heuristic_point(model: &Model, integral: &[usize]) -> Option<(Vec<f64>, f64)> {
     let lp = model.to_lp();
-    let (relax, root_obj) = match simplex::solve(&lp, LpEngine::from_env(), LpParity::from_env()) {
-        LpOutcome::Optimal { values, objective, .. } => (values, objective),
-        LpOutcome::Infeasible | LpOutcome::Unbounded => return None,
-    };
+    let (relax, root_obj) =
+        match simplex::solve(&lp, LpEngine::from_env(), LpParity::from_env(), None) {
+            LpOutcome::Optimal { values, objective, .. } => (values, objective),
+            LpOutcome::Infeasible | LpOutcome::Unbounded | LpOutcome::Cancelled => return None,
+        };
     greedy_repair(model, &lp, &relax, integral).map(|point| (point, root_obj))
 }
 
@@ -208,7 +213,7 @@ impl Solver for SequentialSolver {
         let integral = model.integral_vars();
         if integral.is_empty() {
             // Honor the configured engine even on the pure-LP fast path.
-            return solve_lp(model, self.lp_engine, self.lp_parity);
+            return solve_lp(model, self.lp_engine, self.lp_parity, config.deadline_token());
         }
         let params = SolveParams {
             heuristic_seed: self.warm_start,
@@ -238,15 +243,19 @@ impl Solver for HeuristicSolver {
     fn solve(&self, model: &Model, _config: &SolverConfig) -> Result<Solution, IlpError> {
         let integral = model.integral_vars();
         if integral.is_empty() {
-            return solve_lp(model, LpEngine::from_env(), LpParity::from_env());
+            // Deliberately token-free: the heuristic is the degradation
+            // ladder's last rung, so it must stay usable after a deadline
+            // has already expired.
+            return solve_lp(model, LpEngine::from_env(), LpParity::from_env(), None);
         }
         let Some((values, root_obj)) = heuristic_point(model, &integral) else {
             // Distinguish "relaxation infeasible" from "repair stalled".
             let lp = model.to_lp();
-            return match simplex::solve(&lp, LpEngine::from_env(), LpParity::from_env()) {
+            return match simplex::solve(&lp, LpEngine::from_env(), LpParity::from_env(), None) {
                 LpOutcome::Infeasible => Err(IlpError::Infeasible),
                 LpOutcome::Unbounded => Err(IlpError::Unbounded),
-                LpOutcome::Optimal { .. } => Err(IlpError::NoIncumbent),
+                // Unreachable without a token; grouped with "no point found".
+                LpOutcome::Cancelled | LpOutcome::Optimal { .. } => Err(IlpError::NoIncumbent),
             };
         };
         let objective = model.objective.eval(&values);
@@ -257,6 +266,7 @@ impl Solver for HeuristicSolver {
             values,
             nodes_explored: 0,
             best_bound: root_obj,
+            degraded: false,
         })
     }
 }
@@ -278,7 +288,7 @@ pub enum SolverBackend {
 ///
 /// # Environment overrides
 ///
-/// [`SolverOptions::default`] honours five variables so CI can pin the
+/// [`SolverOptions::default`] honours these variables so CI can pin the
 /// solver without touching code:
 ///
 /// * `TAPACS_SOLVER_BACKEND` — `sequential`, `parallel` or `heuristic`;
@@ -290,7 +300,9 @@ pub enum SolverBackend {
 ///   dense-tableau oracle engine;
 /// * `TAPACS_LP_PARITY` — `fast` relaxes the sparse engine's bit-identical
 ///   oracle-replay contract to a ≤1e-6 objective tolerance in exchange for
-///   devex pricing and Forrest–Tomlin eta replacement (see [`LpParity`]).
+///   devex pricing and Forrest–Tomlin eta replacement (see [`LpParity`]);
+/// * `TAPACS_DEGRADE` — `0` disables the heuristic fallback on timeout
+///   (see [`SolverOptions::degrade`]).
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SolverOptions {
     /// Backend to run.
@@ -313,6 +325,11 @@ pub struct SolverOptions {
     pub lp_engine: LpEngine,
     /// Oracle-parity contract for the sparse engine (see [`LpParity`]).
     pub lp_parity: LpParity,
+    /// Graceful-degradation ladder: when the exact search times out with no
+    /// incumbent, fall back to [`HeuristicSolver`] and mark the solution
+    /// [`Solution::degraded`] instead of failing the solve. External
+    /// cancellation still aborts. Disable with `TAPACS_DEGRADE=0`.
+    pub degrade: bool,
 }
 
 impl Default for SolverOptions {
@@ -326,6 +343,7 @@ impl Default for SolverOptions {
             warm_lp: true,
             lp_engine: LpEngine::from_env(),
             lp_parity: LpParity::from_env(),
+            degrade: true,
         };
         if let Ok(backend) = std::env::var("TAPACS_SOLVER_BACKEND") {
             match backend.trim().to_ascii_lowercase().as_str() {
@@ -345,6 +363,9 @@ impl Default for SolverOptions {
         }
         if let Some(warm_lp) = env_flag("TAPACS_LP_WARM") {
             options.warm_lp = warm_lp;
+        }
+        if let Some(degrade) = env_flag("TAPACS_DEGRADE") {
+            options.degrade = degrade;
         }
         options
     }
@@ -377,7 +398,12 @@ impl SolverOptions {
     }
 
     /// Builds the configured backend, wrapped in the memo cache when
-    /// [`SolverOptions::cache`] is set.
+    /// [`SolverOptions::cache`] is set and in the degradation ladder when
+    /// [`SolverOptions::degrade`] is set.
+    ///
+    /// The [`DegradingSolver`] wraps *outside* the cache: cache keys stay a
+    /// pure function of the exact backend, and degraded fallback points are
+    /// never memoized as if they were that backend's answer.
     pub fn solver(&self) -> Box<dyn Solver> {
         let base: Box<dyn Solver> = match self.backend {
             SolverBackend::Sequential => Box::new(SequentialSolver {
@@ -397,10 +423,63 @@ impl SolverOptions {
             }),
             SolverBackend::Heuristic => Box::new(HeuristicSolver),
         };
-        if self.cache {
-            Box::new(CachingSolver::new(base))
+        let cached: Box<dyn Solver> =
+            if self.cache { Box::new(CachingSolver::new(base)) } else { base };
+        // Wrapping the heuristic in itself would be pointless.
+        if self.degrade && !matches!(self.backend, SolverBackend::Heuristic) {
+            Box::new(DegradingSolver::new(cached))
         } else {
-            base
+            cached
+        }
+    }
+}
+
+/// The graceful-degradation ladder, packaged as a [`Solver`] wrapper.
+///
+/// Delegates to the inner solver; when that search exhausts its budget with
+/// *no incumbent at all* ([`IlpError::NoIncumbent`]), it retries with
+/// [`HeuristicSolver`] and marks the fallback point
+/// [`Solution::degraded`] — a timed-out sweep job then reports "degraded"
+/// instead of "failed". Cancellation semantics are preserved: an externally
+/// cancelled solve aborts with [`IlpError::Cancelled`] and never falls back,
+/// because the caller asked for *no* answer, not a cheaper one.
+///
+/// Always wrap this *outside* [`CachingSolver`]: the cache keys on the inner
+/// backend's name, and degraded points must never be memoized (see
+/// [`SolverOptions::solver`]).
+pub struct DegradingSolver {
+    inner: Box<dyn Solver>,
+}
+
+impl DegradingSolver {
+    /// Wraps `inner` in the degradation ladder.
+    pub fn new(inner: Box<dyn Solver>) -> Self {
+        Self { inner }
+    }
+}
+
+impl Solver for DegradingSolver {
+    fn name(&self) -> String {
+        // Transparent for reporting: the ladder does not change what the
+        // backend computes on the non-degraded path. (It must not feed a
+        // CachingSolver, so this name is never a cache key.)
+        self.inner.name()
+    }
+
+    fn solve(&self, model: &Model, config: &SolverConfig) -> Result<Solution, IlpError> {
+        match self.inner.solve(model, config) {
+            Err(IlpError::NoIncumbent) => {
+                if config.cancel.as_ref().is_some_and(CancellationToken::cancelled_externally) {
+                    return Err(IlpError::Cancelled);
+                }
+                // The heuristic's own status is kept truthful (it may even
+                // prove optimality at the root); `degraded` alone records
+                // that the ladder produced this point.
+                let mut fallback = HeuristicSolver.solve(model, config)?;
+                fallback.degraded = true;
+                Ok(fallback)
+            }
+            other => other,
         }
     }
 }

@@ -141,6 +141,28 @@ proptest! {
         // Solving after the rejection equals the cold-cache run exactly.
         let cold = solve_all(&solver, &ms);
         prop_assert_eq!(&cold, &originals, "post-rejection solves must match the cold run");
+
+        // The rejected file was quarantined — moved to `<name>.quarantined`
+        // with the damaged bytes intact — so the next save writes a clean
+        // file that loads every entry back.
+        let quarantined = {
+            let mut t = path.as_os_str().to_os_string();
+            t.push(".quarantined");
+            PathBuf::from(t)
+        };
+        prop_assert!(!path.exists(), "rejected file must be moved aside");
+        prop_assert!(quarantined.exists(), "rejected file must be quarantined, not deleted");
+        prop_assert_eq!(
+            std::fs::read(&quarantined).unwrap(),
+            damaged,
+            "quarantine must preserve the damaged bytes for inspection"
+        );
+        let saved = cache.save_to(&path).unwrap();
+        cache.clear();
+        prop_assert_eq!(cache.load_from(&path).unwrap(), saved,
+            "post-quarantine save must produce a valid file");
+
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantined);
     }
 }
