@@ -133,6 +133,43 @@ pub fn dse_grid(bench: Benchmark, smoke: bool) -> DseConfig {
     config
 }
 
+/// Named grids for the adaptive successive-halving explorer (`reproduce
+/// dse-search`). The name — not a serialized blob — is the contract
+/// between the parent driver and its out-of-process shard workers: a
+/// worker rebuilds the identical grid from the spec string and addresses
+/// points by grid index, so the two sides only ever exchange indices.
+///
+/// * `stencil-smoke` / `stencil-full`: the [`dse_grid`] CI grids (4 and
+///   24 points) — small enough that the ladder must reproduce the
+///   exhaustive frontier signature bit-identically.
+/// * `stencil-10k`: a generated 10 000-point grid (4 cluster shapes ×
+///   50 partition thresholds × 50 slot ceilings at 0.01 steps, distinct
+///   at the 3-decimal label precision) over the full-size stencil — the
+///   scale where truncated rungs beat exhaustive wall-clock.
+pub fn dse_search_grid(spec: &str) -> Option<DseConfig> {
+    match spec {
+        "stencil-smoke" => Some(dse_grid(Benchmark::Stencil, true)),
+        "stencil-full" => Some(dse_grid(Benchmark::Stencil, false)),
+        "stencil-10k" => {
+            let mut config = dse_grid(Benchmark::Stencil, false);
+            config.name = "stencil-10k".to_string();
+            config.cluster_shapes = vec![1, 2, 3, 4];
+            config.partition_thresholds = (0..50).map(|i| 0.50 + f64::from(i) * 0.01).collect();
+            config.slot_thresholds = (0..50).map(|i| 0.50 + f64::from(i) * 0.01).collect();
+            // The tight-threshold band (T near 0.50) is pathological on
+            // purpose: deep, often near-infeasible branch-and-bound that
+            // burns seconds to minutes per point at the full-effort 30 s
+            // per-level limits inherited from [`dse_grid`]. That heavy
+            // tail is exactly what successive halving exists to dodge —
+            // the exhaustive baseline has to pay it, the rung ladder
+            // triages it at a 100 ms budget and drops persistent
+            // stragglers after bounded strikes.
+            Some(config)
+        }
+        _ => None,
+    }
+}
+
 /// Simulates a compiled design on its paper cluster and folds the result
 /// into a [`FlowRun`].
 fn simulate_run(design: CompiledDesign) -> Result<(FlowRun, CompiledDesign), CompileError> {

@@ -5,7 +5,7 @@
 //! cargo run --release -p tapacs-bench --bin reproduce -- all    # full matrix
 //! cargo run --release -p tapacs-bench --bin reproduce -- table3 fig10 fig12
 //! cargo run --release -p tapacs-bench --bin reproduce -- list   # known names
-//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_7.json
+//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_8.json
 //! cargo run --release -p tapacs-bench --bin reproduce -- batch --smoke
 //! cargo run --release -p tapacs-bench --bin reproduce -- dse --smoke --cache-dir .tapacs-cache
 //! ```
@@ -87,8 +87,58 @@ fn run_dse(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `dse-search [--smoke] [--shards N] [--grid <spec>] [--cache-dir <dir>]`:
+/// the adaptive successive-halving DSE ladder. With `--shards N > 1` the
+/// rungs run as N real worker processes (this binary re-invoked through
+/// the hidden `dse-search-shard` subcommand), merging solve-cache shards
+/// between rungs.
+fn run_dse_search(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut smoke = false;
+    let mut shards = 1usize;
+    let mut grid: Option<String> = None;
+    let mut cache_dir: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--shards" => {
+                shards = it.next().ok_or("--shards needs a count (e.g. --shards 2)")?.parse()?;
+            }
+            "--grid" => {
+                grid =
+                    Some(it.next().ok_or("--grid needs a spec (e.g. --grid stencil-10k)")?.clone());
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next().ok_or("--cache-dir needs a directory (e.g. --cache-dir .cache)")?,
+                );
+            }
+            other => return Err(format!("unknown dse-search option: {other}").into()),
+        }
+    }
+    let worker = std::env::current_exe()?;
+    print!(
+        "{}",
+        tapacs_bench::dse_search::dse_search(
+            smoke,
+            shards,
+            grid.as_deref(),
+            cache_dir.map(std::path::Path::new),
+            Some(&worker),
+        )?
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker entry: one rung shard, spawned by `dse-search` itself.
+    if args.first().map(String::as_str) == Some("dse-search-shard") {
+        return tapacs_bench::dse_search::run_shard_worker(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("dse-search") {
+        return run_dse_search(&args[1..]);
+    }
     // `bench` and `batch` take their own flags, so they dispatch before
     // the multi-name experiment loop.
     if args.first().map(String::as_str) == Some("bench") {
@@ -173,6 +223,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "dse" => {
                 return Err("dse must be the first argument (it takes flags): \
                                    reproduce dse [--smoke] [--cache-dir <dir>]"
+                    .into())
+            }
+            "dse-search" => {
+                return Err("dse-search must be the first argument (it takes flags): \
+                                   reproduce dse-search [--smoke] [--shards N] [--grid <spec>] [--cache-dir <dir>]"
                     .into())
             }
             "faults" => {

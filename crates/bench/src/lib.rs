@@ -12,4 +12,5 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dse_search;
 pub mod reproduce;

@@ -44,6 +44,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "solvers",
     "batch",
     "dse",
+    "dse-search",
     "faults",
     "bench",
 ];
@@ -1325,7 +1326,7 @@ fn bench_apps(smoke: bool) -> Vec<BenchApp> {
 }
 
 /// Compile-time sweep over the app suite (knn, cnn, pagerank, stencil),
-/// emitted as a machine-readable JSON report (`BENCH_7.json`): per-app
+/// emitted as a machine-readable JSON report (`BENCH_8.json`): per-app
 /// wall-clock, LP solves, simplex iterations, warm-start hits, LP-engine
 /// counters (including the fast-parity devex / Forrest–Tomlin /
 /// fill-refactorization counters) and memo-cache counters — the whole
@@ -1496,8 +1497,14 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
         cold.frontier_signature() == warm.frontier_signature(),
     );
 
+    // The adaptive successive-halving trajectory: rung survivor counts,
+    // cache-resume hit rates and the exhaustive-vs-adaptive walls.
+    cache.clear();
+    activity.clear();
+    let dse_search = crate::dse_search::bench_json_section(smoke)?;
+
     Ok(format!(
-        "{{\n  \"bench\": \"BENCH_7\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n{modes},\n{parity},\n{batch},\n{dse}\n}}\n"
+        "{{\n  \"bench\": \"BENCH_8\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n{modes},\n{parity},\n{batch},\n{dse},\n{dse_search}\n}}\n"
     ))
 }
 

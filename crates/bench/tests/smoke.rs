@@ -88,7 +88,7 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = r::bench_json(true).expect("smoke bench must compile every app");
     assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'), "{json}");
     for key in [
-        "\"bench\": \"BENCH_7\"",
+        "\"bench\": \"BENCH_8\"",
         "\"smoke\": true",
         "\"modes\"",
         "\"exact\"",
@@ -102,6 +102,9 @@ fn bench_smoke_emits_machine_readable_json() {
         "\"speedup_estimate\"",
         "\"dse\"",
         "\"frontier_identical\": true",
+        "\"dse_search\"",
+        "\"frontier_matches_exhaustive\": true",
+        "\"resume_hit_rate\"",
     ] {
         assert!(json.contains(key), "bench JSON is missing {key}: {json}");
     }
@@ -122,7 +125,7 @@ fn bench_subcommand_writes_json_file() {
         .expect("reproduce binary must run");
     assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
     let written = std::fs::read_to_string(&path).expect("bench must write the JSON file");
-    assert!(written.contains("\"bench\": \"BENCH_7\""), "{written}");
+    assert!(written.contains("\"bench\": \"BENCH_8\""), "{written}");
     let _ = std::fs::remove_file(&path);
 }
 
@@ -187,6 +190,60 @@ fn dse_second_run_against_persisted_cache_starts_warm() {
             .to_string()
     };
     assert_eq!(signature(&first), signature(&second), "frontier diverged across processes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dse_search_smoke_matches_exhaustive_with_emulated_shards() {
+    let _serial = GLOBAL_COUNTERS.lock().unwrap();
+    assert!(r::EXPERIMENTS.contains(&"dse-search"), "dse-search missing from EXPERIMENTS");
+    let dir = std::env::temp_dir().join(format!("tapacs-dse-search-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // worker = None → the 2 shards run through the in-process emulation,
+    // still persisting and merging per-shard cache files.
+    let out = tapacs_bench::dse_search::dse_search(true, 2, None, Some(&dir), None)
+        .expect("dse-search smoke must run");
+    assert!(out.contains("adaptive DSE"), "{out}");
+    assert!(out.contains("matches exhaustive frontier: yes (bit-identical)"), "{out}");
+    assert!(out.contains("cache-resume hit rate"), "{out}");
+    assert!(out.contains("conflicts: 0"), "{out}");
+    assert!(out.contains("exhaustive vs adaptive wall:"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance path: two sharded `reproduce dse-search --smoke
+/// --shards 2` runs against one cache dir spawn real worker processes,
+/// agree on the frontier signature bit for bit, and the second run
+/// resumes from the first run's persisted shards.
+#[test]
+fn dse_search_sharded_runs_agree_and_resume_from_disk() {
+    let _serial = GLOBAL_COUNTERS.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("tapacs-dse-search-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+            .args(["dse-search", "--smoke", "--shards", "2", "--cache-dir", dir.to_str().unwrap()])
+            .output()
+            .expect("reproduce binary must run");
+        assert!(
+            out.status.success(),
+            "dse-search failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert!(first.contains("persisted cache preloaded: 0 entries"), "{first}");
+    assert!(!second.contains("persisted cache preloaded: 0 entries"), "{second}");
+    assert!(second.contains("matches exhaustive frontier: yes (bit-identical)"), "{second}");
+    let signature = |out: &str| {
+        out.lines()
+            .find(|l| l.starts_with("frontier signature: "))
+            .expect("signature line")
+            .to_string()
+    };
+    assert_eq!(signature(&first), signature(&second), "frontier diverged across sharded runs");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

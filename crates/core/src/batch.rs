@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use tapacs_graph::TaskGraph;
 use tapacs_ilp::{
-    fault_fires, CacheStats, FaultKind, SolveActivity, SolveCache, SolveStats,
+    fault_fires, CacheStats, CancellationToken, FaultKind, SolveActivity, SolveCache, SolveStats,
     INJECTED_PANIC_MARKER,
 };
 use tapacs_net::Cluster;
@@ -60,6 +60,14 @@ pub struct CompileJob {
     pub config: Option<CompilerConfig>,
     /// Per-stage overrides (see [`CompileOverrides`]).
     pub overrides: CompileOverrides,
+    /// Wall-clock budget for this job. When set, a deadline
+    /// [`CancellationToken`] is armed at job start and threaded into every
+    /// ILP solve; expiry feeds the degradation ladder (the job completes
+    /// with greedy/heuristic stand-ins, marked degraded) and the job is
+    /// reported in the [`BatchReport::budget_expired`] bucket. The
+    /// adaptive DSE rungs use this to bound a sweep's wall-clock on
+    /// pathological points.
+    pub budget: Option<Duration>,
 }
 
 impl CompileJob {
@@ -72,6 +80,7 @@ impl CompileJob {
             cluster: None,
             config: None,
             overrides: CompileOverrides::default(),
+            budget: None,
         }
     }
 
@@ -94,6 +103,13 @@ impl CompileJob {
     #[must_use]
     pub fn with_overrides(mut self, overrides: CompileOverrides) -> Self {
         self.overrides = overrides;
+        self
+    }
+
+    /// Bounds this job's compile wall-clock (see [`CompileJob::budget`]).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
         self
     }
 }
@@ -122,6 +138,13 @@ pub struct JobReport {
     /// Whether the compiled design is marked degraded: some ILP stage fell
     /// back to its heuristic incumbent after a solver timeout.
     pub degraded: bool,
+    /// Whether the job's [`CompileJob::budget`] deadline expired before it
+    /// finished cleanly: the design completed through the degradation
+    /// ladder, truncated by the budget rather than by a solver's own time
+    /// limit. Distinct from [`failed`](Self::failed) — the job produced a
+    /// design — and excluded from the sequential estimate (its wall
+    /// measures the budget, not the compile).
+    pub budget_expired: bool,
     /// LP-engine activity attributed to this job (scoped handle).
     pub engine: SolveStats,
 }
@@ -147,7 +170,16 @@ pub struct BatchReport {
     /// Estimated sequential wall-clock: the sum of per-job compile times
     /// as measured inside this batch. An *estimate* because cache sharing
     /// and core contention differ in a true sequential loop.
+    ///
+    /// Budget-expired jobs are excluded: their wall measures the budget
+    /// that cut them off, not what a sequential full compile would have
+    /// cost, so summing them would inflate the estimate (and the claimed
+    /// speedup) with made-up work. Their truncated walls are tracked in
+    /// [`budget_expired_wall`](Self::budget_expired_wall) instead.
     pub sequential_estimate: Duration,
+    /// Summed wall-clock of budget-expired jobs (kept out of
+    /// [`sequential_estimate`](Self::sequential_estimate)).
+    pub budget_expired_wall: Duration,
     /// One report per job, in input order.
     pub jobs: Vec<JobReport>,
     /// Per-stage wall-clock totals across the batch, in stage order.
@@ -177,9 +209,17 @@ impl BatchReport {
         self.jobs.iter().filter(|j| !j.failed).count()
     }
 
-    /// Jobs that compiled but carry a degraded (heuristic-fallback) result.
+    /// Jobs that compiled but carry a degraded (heuristic-fallback) result
+    /// for reasons *other* than a job-budget expiry — those are counted in
+    /// [`budget_expired`](Self::budget_expired); the buckets are disjoint.
     pub fn degraded(&self) -> usize {
-        self.jobs.iter().filter(|j| !j.failed && j.degraded).count()
+        self.jobs.iter().filter(|j| !j.failed && j.degraded && !j.budget_expired).count()
+    }
+
+    /// Jobs cut off by their [`CompileJob::budget`] deadline (a distinct
+    /// bucket: they produced a degraded design, they did not fail).
+    pub fn budget_expired(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.failed && j.budget_expired).count()
     }
 
     /// Jobs that failed (stage errors and isolated worker panics alike).
@@ -205,6 +245,8 @@ impl BatchReport {
                 }
             } else if let Some(stage) = j.failed_stage {
                 format!("failed at {stage}")
+            } else if j.budget_expired {
+                "ok (budget expired)".to_string()
             } else if j.degraded {
                 "ok (degraded)".to_string()
             } else {
@@ -238,6 +280,14 @@ impl BatchReport {
             self.sequential_estimate.as_secs_f64(),
             self.speedup_estimate(),
         );
+        if self.budget_expired() > 0 {
+            let _ = writeln!(
+                s,
+                "budget expired: {} job(s), {:.3}s truncated wall (excluded from the estimate)",
+                self.budget_expired(),
+                self.budget_expired_wall.as_secs_f64(),
+            );
+        }
         let _ = writeln!(
             s,
             "solve cache: {} hits / {} misses ({:.0}% hit rate) across the batch",
@@ -349,6 +399,15 @@ impl BatchCompiler {
             config.partition.time_limit_s = 0.0;
             config.floorplan.time_limit_s = 0.0;
         }
+        // Arm the per-job budget deadline: one token shared by every ILP
+        // solve of this job. Deadline expiry (never an external cancel) is
+        // handled by the degradation ladder, so the job still completes —
+        // truncated, marked degraded, and binned as budget-expired below.
+        let budget_token = job.budget.map(CancellationToken::with_timeout);
+        if let Some(token) = &budget_token {
+            config.partition.cancel = Some(token.clone());
+            config.floorplan.cancel = Some(token.clone());
+        }
         let compiler = Compiler::with_config(cluster.clone(), config);
         let t0 = Instant::now();
         // Injected stage failure: the job fails per-job, like any organic
@@ -363,6 +422,7 @@ impl BatchCompiler {
                 failed: true,
                 panicked: false,
                 degraded: false,
+                budget_expired: false,
                 engine: activity.snapshot(),
             };
             let err = CompileError::Solver(format!("injected stage fault: {}", job.name));
@@ -386,6 +446,13 @@ impl BatchCompiler {
             Ok(ctx) => {
                 let degraded = ctx.partition.as_ref().is_some_and(|p| p.degraded)
                     || ctx.floorplan.as_ref().is_some_and(|f| f.degraded);
+                // Budget-expired = the deadline tripped *and* the design
+                // went through the degradation ladder. A job that finished
+                // cleanly just before the deadline stays a clean success.
+                let budget_expired = degraded
+                    && budget_token
+                        .as_ref()
+                        .is_some_and(|t| t.is_cancelled() && !t.cancelled_externally());
                 let report = JobReport {
                     name: job.name.clone(),
                     flow: job.flow,
@@ -395,6 +462,7 @@ impl BatchCompiler {
                     failed: ctx.failure.is_some(),
                     panicked: false,
                     degraded,
+                    budget_expired,
                     engine: activity.snapshot(),
                 };
                 (ctx.into_result(), report)
@@ -411,6 +479,7 @@ impl BatchCompiler {
                     failed: true,
                     panicked: true,
                     degraded: false,
+                    budget_expired: false,
                     engine: activity.snapshot(),
                 };
                 // `&*`: downcast the boxed payload, not the box itself.
@@ -501,7 +570,9 @@ impl BatchCompiler {
             reports.push(report);
         }
 
-        let sequential_estimate = reports.iter().map(|r| r.wall).sum();
+        let sequential_estimate =
+            reports.iter().filter(|r| !r.budget_expired).map(|r| r.wall).sum();
+        let budget_expired_wall = reports.iter().filter(|r| r.budget_expired).map(|r| r.wall).sum();
         let engine = reports.iter().fold(SolveStats::default(), |acc, r| acc.merged(&r.engine));
         let stage_totals = Stage::ALL
             .iter()
@@ -526,6 +597,7 @@ impl BatchCompiler {
                 threads,
                 wall,
                 sequential_estimate,
+                budget_expired_wall,
                 jobs: reports,
                 stage_totals,
                 cache,
@@ -655,6 +727,52 @@ mod tests {
         let table = report.render_table();
         assert!(table.contains("batch: 3 job(s)"), "{table}");
         assert!(table.contains("solve cache"), "{table}");
+    }
+
+    #[test]
+    fn zero_budget_expires_deterministically_and_stays_out_of_the_estimate() {
+        // Cache off so the budgeted job cannot complete by replaying a
+        // sibling's cached solves before its deadline is even consulted.
+        let mut config = CompilerConfig::default();
+        config.solver.cache = false;
+        let mut jobs = demo_jobs();
+        jobs[1] = jobs[1].clone().with_budget(Duration::ZERO);
+        let outcome = BatchCompiler::with_config(cluster4(), config).threads(2).compile(jobs);
+        let report = &outcome.report;
+
+        // The budgeted job still produced a design — truncated, degraded,
+        // and binned separately from both `failed` and `degraded`.
+        assert!(outcome.results[1].is_ok(), "budget expiry must not fail the job");
+        assert!(report.jobs[1].budget_expired && report.jobs[1].degraded);
+        assert_eq!((report.budget_expired(), report.failed(), report.degraded()), (1, 0, 0));
+        assert_eq!(report.succeeded(), 3);
+
+        // Its truncated wall is excluded from the sequential estimate.
+        let full_walls: Duration =
+            report.jobs.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, j)| j.wall).sum();
+        assert_eq!(report.sequential_estimate, full_walls);
+        assert_eq!(report.budget_expired_wall, report.jobs[1].wall);
+        let table = report.render_table();
+        assert!(table.contains("ok (budget expired)"), "{table}");
+        assert!(table.contains("budget expired: 1 job(s)"), "{table}");
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let mut config = CompilerConfig::default();
+        config.solver.cache = false;
+        let generous: Vec<CompileJob> =
+            demo_jobs().into_iter().map(|j| j.with_budget(Duration::from_secs(3600))).collect();
+        let reference =
+            BatchCompiler::with_config(cluster4(), config.clone()).threads(2).compile(demo_jobs());
+        let budgeted = BatchCompiler::with_config(cluster4(), config).threads(2).compile(generous);
+        assert_eq!(budgeted.report.budget_expired(), 0);
+        for (b, r) in budgeted.results.iter().zip(&reference.results) {
+            let (b, r) = (b.as_ref().unwrap(), r.as_ref().unwrap());
+            assert_eq!(b.placement.fpga_of_task, r.placement.fpga_of_task);
+            assert_eq!(b.slot_of_task, r.slot_of_task);
+            assert_eq!(b.timing.freq_mhz, r.timing.freq_mhz);
+        }
     }
 
     #[test]

@@ -35,8 +35,10 @@ use tapacs_graph::TaskGraph;
 use tapacs_ilp::CacheStats;
 use tapacs_net::Cluster;
 
-use crate::batch::{BatchCompiler, CompileJob};
+use crate::batch::{BatchCompiler, BatchReport, CompileJob};
 use crate::compiler::{CompiledDesign, CompilerConfig, Flow};
+
+pub mod search;
 
 /// One grid point of the exploration: a cluster shape plus the two
 /// utilization thresholds the paper's floorplanners are most sensitive to.
@@ -109,19 +111,36 @@ impl DseConfig {
         }
     }
 
-    /// The grid, enumerated deterministically (shape-major, then partition
-    /// threshold, then slot threshold — the axis order of the config).
-    pub fn points(&self) -> Vec<DsePoint> {
-        let mut points =
-            Vec::with_capacity(self.cluster_shapes.len() * self.partition_thresholds.len());
-        for &n_fpgas in &self.cluster_shapes {
-            for &partition_threshold in &self.partition_thresholds {
-                for &slot_threshold in &self.slot_thresholds {
-                    points.push(DsePoint { n_fpgas, partition_threshold, slot_threshold });
-                }
-            }
+    /// Grid cardinality (`shapes × partition thresholds × slot
+    /// thresholds`) without enumerating anything.
+    pub fn num_points(&self) -> usize {
+        self.cluster_shapes.len() * self.partition_thresholds.len() * self.slot_thresholds.len()
+    }
+
+    /// The grid point at `index` in the deterministic enumeration order
+    /// (shape-major, then partition threshold, then slot threshold — the
+    /// axis order of the config), computed in O(1) from index arithmetic.
+    /// `None` past the end.
+    pub fn point(&self, index: usize) -> Option<DsePoint> {
+        if index >= self.num_points() {
+            return None;
         }
-        points
+        let slots = self.slot_thresholds.len();
+        let parts = self.partition_thresholds.len();
+        Some(DsePoint {
+            n_fpgas: self.cluster_shapes[index / (parts * slots)],
+            partition_threshold: self.partition_thresholds[(index / slots) % parts],
+            slot_threshold: self.slot_thresholds[index % slots],
+        })
+    }
+
+    /// The grid, enumerated deterministically as a **lazy** exact-size
+    /// iterator: points are materialized one at a time from
+    /// [`point`](Self::point), so million-point spaces cost nothing to
+    /// walk and nothing to skip through — the adaptive search
+    /// ([`search`]) never holds more than one rung's survivors in memory.
+    pub fn points(&self) -> GridPoints<'_> {
+        GridPoints { cfg: self, next: 0, total: self.num_points() }
     }
 
     /// The compiler configuration of one grid point: the base config with
@@ -134,6 +153,34 @@ impl DseConfig {
         cfg
     }
 }
+
+/// Lazy iterator over a [`DseConfig`] grid; see [`DseConfig::points`].
+#[derive(Debug, Clone)]
+pub struct GridPoints<'a> {
+    cfg: &'a DseConfig,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for GridPoints<'_> {
+    type Item = DsePoint;
+
+    fn next(&mut self) -> Option<DsePoint> {
+        if self.next >= self.total {
+            return None;
+        }
+        let p = self.cfg.point(self.next).expect("index below num_points");
+        self.next += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for GridPoints<'_> {}
 
 /// The three exploration objectives of one compiled point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,6 +246,12 @@ pub struct DseOutcome {
     /// are deterministically excluded from the Pareto frontier: a
     /// non-proven score must not displace a clean one.
     pub degraded: bool,
+    /// Whether a per-job compile budget cut the point off before it could
+    /// finish cleanly (see [`crate::batch::CompileJob::budget`]; implies
+    /// [`degraded`](Self::degraded)). The adaptive search treats such
+    /// points as *unfinished* — never promoted by score, but eligible to
+    /// resume at the next rung's larger budget.
+    pub budget_expired: bool,
     /// The compile error, when it did not.
     pub error: Option<String>,
     /// Compile wall-clock of this point inside the batch.
@@ -271,16 +324,56 @@ impl DseReport {
         tokens.join(";")
     }
 
-    /// ASCII rendering: one row per point (frontier rows marked `*`), then
-    /// the accounting summary.
-    pub fn render_table(&self) -> String {
-        let mut s = format!(
+    /// The one-line sweep header shared by [`Self::render_table`] and
+    /// [`Self::render_summary`].
+    fn render_header(&self) -> String {
+        format!(
             "DSE sweep `{}`: {} point(s) on {} thread(s) in {:.3}s\n",
             self.name,
             self.outcomes.len(),
             self.threads,
             self.wall.as_secs_f64()
-        );
+        )
+    }
+
+    /// The accounting tail shared by [`Self::render_table`] and
+    /// [`Self::render_summary`].
+    fn render_accounting(&self) -> String {
+        format!(
+            "frontier: {} point(s), {} dominated, {} degraded, {} failed; solve cache {} hits / {} misses ({:.0}% hit rate)\n",
+            self.frontier.len(),
+            self.dominated(),
+            self.degraded(),
+            self.failed(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+        )
+    }
+
+    /// Compact ASCII rendering for wide grids: the sweep header, the
+    /// number of *distinct* frontier score tuples (wide generated grids
+    /// tie heavily, so per-point rows carry little information), and the
+    /// accounting summary — no per-point rows.
+    pub fn render_summary(&self) -> String {
+        let mut s = self.render_header();
+        let mut tuples: Vec<(u64, u64, u64)> = self
+            .frontier
+            .iter()
+            .filter_map(|&i| self.outcomes[i].score)
+            .map(|sc| (sc.freq_mhz.to_bits(), sc.util_slack.to_bits(), sc.cut_width_bits))
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        let _ = writeln!(s, "  distinct frontier score tuples: {}", tuples.len());
+        s.push_str(&self.render_accounting());
+        s
+    }
+
+    /// ASCII rendering: one row per point (frontier rows marked `*`), then
+    /// the accounting summary.
+    pub fn render_table(&self) -> String {
+        let mut s = self.render_header();
         s.push_str("  point                 freq(MHz)  slack   cut(bits)  outcome\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             let mark = if self.frontier.contains(&i) { '*' } else { ' ' };
@@ -316,31 +409,32 @@ impl DseReport {
                 }
             }
         }
-        let _ = writeln!(
-            s,
-            "frontier: {} point(s), {} dominated, {} degraded, {} failed; solve cache {} hits / {} misses ({:.0}% hit rate)",
-            self.frontier.len(),
-            self.dominated(),
-            self.degraded(),
-            self.failed(),
-            self.cache.hits,
-            self.cache.misses,
-            self.cache.hit_rate() * 100.0,
-        );
+        s.push_str(&self.render_accounting());
         s
     }
 }
 
-/// Compiles every grid point of `config` as one shared batch sweep, scores
-/// the results and prunes to the Pareto frontier. Failing points occupy
-/// their own outcome slot; the sweep never aborts.
-pub fn explore(config: &DseConfig) -> DseReport {
-    let points = config.points();
+/// Compiles a set of grid points (by grid index) as one shared batch
+/// sweep, optionally bounding every job by `budget`. Returns outcomes in
+/// the order of `indices` plus the raw [`BatchReport`]. Shared by the
+/// exhaustive [`explore`] (all points, no budget) and the adaptive
+/// [`search`] rungs (survivors only, rung budget).
+pub(crate) fn compile_indexed(
+    config: &DseConfig,
+    indices: &[usize],
+    budget: Option<Duration>,
+) -> (Vec<DseOutcome>, BatchReport) {
+    let points: Vec<DsePoint> =
+        indices.iter().map(|&i| config.point(i).expect("grid index in range")).collect();
     let jobs: Vec<CompileJob> = points
         .iter()
         .map(|p| {
-            CompileJob::new(p.label(), config.graph.clone(), p.flow())
-                .with_config(config.config_for(p))
+            let job = CompileJob::new(p.label(), config.graph.clone(), p.flow())
+                .with_config(config.config_for(p));
+            match budget {
+                Some(b) => job.with_budget(b),
+                None => job,
+            }
         })
         .collect();
     let outcome = BatchCompiler::with_config(config.cluster.clone(), config.base.clone())
@@ -356,6 +450,7 @@ pub fn explore(config: &DseConfig) -> DseReport {
                 point,
                 score: Some(DseScore::of(design)),
                 degraded: design.degraded,
+                budget_expired: job.budget_expired,
                 error: None,
                 wall: job.wall,
             },
@@ -363,26 +458,40 @@ pub fn explore(config: &DseConfig) -> DseReport {
                 point,
                 score: None,
                 degraded: false,
+                budget_expired: job.budget_expired,
                 error: Some(e.to_string()),
                 wall: job.wall,
             },
         })
         .collect();
+    (outcomes, outcome.report)
+}
+
+/// Builds a [`DseReport`] from evaluated outcomes: computes the frontier
+/// with degraded points masked out (they neither join it nor dominate).
+pub(crate) fn report_from_outcomes(
+    name: String,
+    outcomes: Vec<DseOutcome>,
+    threads: usize,
+    wall: Duration,
+    cache: CacheStats,
+) -> DseReport {
     // Degraded points are masked out of the frontier computation entirely:
     // they neither join it nor dominate a clean point (their scores are
     // heuristic incumbents, not the solver's answer).
     let scores: Vec<Option<DseScore>> =
         outcomes.iter().map(|o| if o.degraded { None } else { o.score }).collect();
     let frontier = pareto_frontier(&scores);
+    DseReport { name, outcomes, frontier, threads, wall, cache }
+}
 
-    DseReport {
-        name: config.name.clone(),
-        outcomes,
-        frontier,
-        threads: outcome.report.threads,
-        wall: outcome.report.wall,
-        cache: outcome.report.cache,
-    }
+/// Compiles every grid point of `config` as one shared batch sweep, scores
+/// the results and prunes to the Pareto frontier. Failing points occupy
+/// their own outcome slot; the sweep never aborts.
+pub fn explore(config: &DseConfig) -> DseReport {
+    let indices: Vec<usize> = (0..config.num_points()).collect();
+    let (outcomes, report) = compile_indexed(config, &indices, None);
+    report_from_outcomes(config.name.clone(), outcomes, report.threads, report.wall, report.cache)
 }
 
 #[cfg(test)]
@@ -430,16 +539,42 @@ mod tests {
         cfg.cluster_shapes = vec![1, 2];
         cfg.partition_thresholds = vec![0.7, 0.9];
         cfg.slot_thresholds = vec![0.9];
-        let points = cfg.points();
+        assert_eq!(cfg.num_points(), 4);
+        assert_eq!(cfg.points().len(), 4, "exact-size iterator");
+        let points: Vec<DsePoint> = cfg.points().collect();
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].label(), "F1/T0.700/S0.900");
         assert_eq!(points[0].flow(), Flow::TapaSingle);
         assert_eq!(points[3].label(), "F2/T0.900/S0.900");
         assert_eq!(points[3].flow(), Flow::TapaCs { n_fpgas: 2 });
+        // Random access agrees with the iterator at every index.
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(cfg.point(i).unwrap(), *p);
+        }
+        assert_eq!(cfg.point(4), None);
         let c = cfg.config_for(&points[1]);
         assert_eq!(c.partition.threshold, 0.9);
         assert_eq!(c.single_fpga_threshold, 0.9);
         assert_eq!(c.floorplan.slot_threshold, 0.9);
+    }
+
+    /// The iterator is lazy: a grid far beyond any allocatable size can be
+    /// constructed, sized and sampled without materializing anything.
+    #[test]
+    fn huge_grids_enumerate_lazily() {
+        let cluster = Cluster::single_node(Device::u55c(), 4, Topology::Ring);
+        let mut cfg = DseConfig::new("huge", TaskGraph::new("empty"), cluster);
+        cfg.cluster_shapes = (1..=4).cycle().take(1_000).collect();
+        cfg.partition_thresholds = (0..1_000).map(|i| 0.5 + i as f64 * 1e-4).collect();
+        cfg.slot_thresholds = (0..1_000).map(|i| 0.5 + i as f64 * 1e-4).collect();
+        assert_eq!(cfg.num_points(), 1_000_000_000);
+        let mut it = cfg.points();
+        assert_eq!(it.len(), 1_000_000_000);
+        let first = it.next().unwrap();
+        assert_eq!(first, cfg.point(0).unwrap());
+        // A far-out index is O(1), no walk required.
+        let far = cfg.point(999_999_999).unwrap();
+        assert_eq!(far.n_fpgas, 4);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct FloorplanConfig {
     /// Solver backend, worker-thread count and caching for the region
     /// split ILPs (also gates the concurrent recursion over the halves).
     pub solver: SolverOptions,
+    /// Job-level cancellation token threaded into every region-split
+    /// solve; see [`crate::partition::PartitionConfig::cancel`] for the
+    /// semantics (deadline → degradation ladder, cache-resume on replay).
+    #[serde(skip)]
+    pub cancel: Option<tapacs_ilp::CancellationToken>,
 }
 
 impl Default for FloorplanConfig {
@@ -61,6 +66,7 @@ impl Default for FloorplanConfig {
             refine_passes: 3,
             balance_slack: 0.35,
             solver: SolverOptions::default(),
+            cancel: None,
         }
     }
 }
@@ -432,6 +438,7 @@ fn solve_region_split(
     m.set_objective(Sense::Minimize, objective);
     let mut solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
     solver_cfg.objective_granularity = width_gcd as f64;
+    solver_cfg.cancel = cfg.cancel.clone();
     match m.solve_with_options(&solver_cfg, &cfg.solver) {
         Ok(sol) => {
             // Propagate the degradation ladder's mark (see the

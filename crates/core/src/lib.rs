@@ -55,6 +55,7 @@ mod error;
 
 pub use batch::{BatchCompiler, BatchOutcome, BatchReport, CompileJob, JobReport, StageTotal};
 pub use compiler::{CompiledDesign, Compiler, CompilerConfig, Flow};
+pub use dse::search::{explore_adaptive, explore_adaptive_with, SearchConfig, SearchReport};
 pub use dse::{DseConfig, DseOutcome, DsePoint, DseReport, DseScore};
 pub use error::CompileError;
 pub use partition::{InterPartition, PartitionConfig};

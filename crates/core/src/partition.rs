@@ -56,6 +56,15 @@ pub struct PartitionConfig {
     /// Solver backend, worker-thread count and caching for the bisection
     /// ILPs (also gates the concurrent recursion over the two halves).
     pub solver: SolverOptions,
+    /// Job-level cancellation token threaded into every bisection solve.
+    /// The batch engine installs one per [`crate::batch::CompileJob`]
+    /// budget; a tripped deadline feeds the degradation ladder (greedy
+    /// fallback, result marked degraded) rather than erroring. Token
+    /// identity is deliberately excluded from the solve-cache key, so a
+    /// budget-truncated run's *completed* solves replay as hits when the
+    /// point is resumed at a higher budget.
+    #[serde(skip)]
+    pub cancel: Option<tapacs_ilp::CancellationToken>,
 }
 
 impl Default for PartitionConfig {
@@ -67,6 +76,7 @@ impl Default for PartitionConfig {
             refine_passes: 4,
             balance_slack: 0.35,
             solver: SolverOptions::default(),
+            cancel: None,
         }
     }
 }
@@ -500,6 +510,7 @@ fn solve_two_way(
     m.set_objective(Sense::Minimize, objective);
     let mut solver_cfg = SolverConfig::with_time_limit(Duration::from_secs_f64(cfg.time_limit_s));
     solver_cfg.objective_granularity = weight_gcd as f64;
+    solver_cfg.cancel = cfg.cancel.clone();
     match m.solve_with_options(&solver_cfg, &cfg.solver) {
         Ok(sol) => {
             // The degradation ladder turns a timed-out ILP into a heuristic

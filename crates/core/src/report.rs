@@ -343,7 +343,7 @@ mod tests {
         let report = SolverActivityReport {
             partition_levels: vec![LevelSolveStats { level: 0, solves: 1, wall_s: 0.125 }],
             floorplan_levels: vec![LevelSolveStats { level: 1, solves: 4, wall_s: 0.5 }],
-            cache: CacheStats { hits: 3, misses: 1, entries: 1, loads: 0, stores: 0 },
+            cache: CacheStats { hits: 3, misses: 1, entries: 1, ..CacheStats::default() },
             simplex: SolveStats {
                 lp_solves: 10,
                 simplex_iterations: 55,
