@@ -5,7 +5,7 @@
 //! cargo run --release -p tapacs-bench --bin reproduce -- all    # full matrix
 //! cargo run --release -p tapacs-bench --bin reproduce -- table3 fig10 fig12
 //! cargo run --release -p tapacs-bench --bin reproduce -- list   # known names
-//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_8.json
+//! cargo run --release -p tapacs-bench --bin reproduce -- bench --json BENCH_9.json
 //! cargo run --release -p tapacs-bench --bin reproduce -- batch --smoke
 //! cargo run --release -p tapacs-bench --bin reproduce -- dse --smoke --cache-dir .tapacs-cache
 //! ```

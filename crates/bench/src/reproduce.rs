@@ -1326,12 +1326,15 @@ fn bench_apps(smoke: bool) -> Vec<BenchApp> {
 }
 
 /// Compile-time sweep over the app suite (knn, cnn, pagerank, stencil),
-/// emitted as a machine-readable JSON report (`BENCH_8.json`): per-app
+/// emitted as a machine-readable JSON report (`BENCH_9.json`): per-app
 /// wall-clock, LP solves, simplex iterations, warm-start hits, LP-engine
 /// counters (including the fast-parity devex / Forrest–Tomlin /
-/// fill-refactorization counters) and memo-cache counters — the whole
-/// sweep run **twice**, once per [`tapacs_ilp::LpParity`] mode, so the
-/// exact-vs-fast delta is committed and trackable. A `"parity"` section
+/// fill-refactorization counters, the hybrid-pricing switch counters and
+/// the factorization-memo hit counters), branch-and-bound node-tree sizes
+/// and memo-cache counters — the whole sweep run **twice**, once per
+/// [`tapacs_ilp::LpParity`] mode, so the exact-vs-fast delta (wall,
+/// iterations *and* tree size, the canary for pricing regressions) is
+/// committed and trackable. A `"parity"` section
 /// cross-checks the achieved design frequencies between the two modes
 /// (they must agree to a relative 1e-6 — same optimal objectives, possibly
 /// different but equally good floorplans). The `"batch"` and `"dse"`
@@ -1358,6 +1361,7 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
             let mut freqs = Vec::new();
             let (mut total_wall, mut total_solves, mut total_iters) = (0.0f64, 0u64, 0u64);
             let (mut total_warm_hits, mut total_warm_attempts) = (0u64, 0u64);
+            let mut total_nodes = 0u64;
             let apps = bench_apps(smoke);
             let n_apps = apps.len();
             for (idx, case) in apps.into_iter().enumerate() {
@@ -1380,10 +1384,11 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
                 total_iters += stats.simplex_iterations;
                 total_warm_hits += stats.warm_hits;
                 total_warm_attempts += stats.warm_attempts;
+                total_nodes += stats.bb_nodes;
 
                 let _ = write!(
                 rows,
-                "        {{\n          \"app\": \"{}\",\n          \"flow\": \"{}\",\n          \"tasks\": {},\n          \"wall_s\": {:.6},\n          \"design_freq_mhz\": {:.4},\n          \"lp_solves\": {},\n          \"simplex_iterations\": {},\n          \"phase1_iterations\": {},\n          \"warm_attempts\": {},\n          \"warm_hits\": {},\n          \"warm_hit_rate\": {:.4},\n          \"lu_factorizations\": {},\n          \"lu_fill_nnz\": {},\n          \"eta_updates\": {},\n          \"eta_nnz\": {},\n          \"refactor_triggers\": {},\n          \"refactor_fill_triggers\": {},\n          \"devex_resets\": {},\n          \"ft_replacements\": {},\n          \"presolve_rows_removed\": {},\n          \"presolve_cols_fixed\": {},\n          \"presolve_bounds_tightened\": {},\n          \"cache_hits\": {},\n          \"cache_misses\": {}\n        }}{}\n",
+                "        {{\n          \"app\": \"{}\",\n          \"flow\": \"{}\",\n          \"tasks\": {},\n          \"wall_s\": {:.6},\n          \"design_freq_mhz\": {:.4},\n          \"lp_solves\": {},\n          \"simplex_iterations\": {},\n          \"phase1_iterations\": {},\n          \"bb_nodes\": {},\n          \"warm_attempts\": {},\n          \"warm_hits\": {},\n          \"warm_hit_rate\": {:.4},\n          \"lu_factorizations\": {},\n          \"lu_fill_nnz\": {},\n          \"eta_updates\": {},\n          \"eta_nnz\": {},\n          \"refactor_triggers\": {},\n          \"refactor_fill_triggers\": {},\n          \"devex_resets\": {},\n          \"ft_replacements\": {},\n          \"pricing_switches\": {},\n          \"partial_pricing_refreshes\": {},\n          \"memo_sibling_hits\": {},\n          \"presolve_rows_removed\": {},\n          \"presolve_cols_fixed\": {},\n          \"presolve_bounds_tightened\": {},\n          \"cache_hits\": {},\n          \"cache_misses\": {}\n        }}{}\n",
                 case.app,
                 case.flow.label(),
                 case.graph.num_tasks(),
@@ -1392,6 +1397,7 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
                 stats.lp_solves,
                 stats.simplex_iterations,
                 stats.phase1_iterations,
+                stats.bb_nodes,
                 stats.warm_attempts,
                 stats.warm_hits,
                 stats.warm_hit_rate(),
@@ -1403,6 +1409,9 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
                 stats.refactor_fill_triggers,
                 stats.devex_resets,
                 stats.ft_replacements,
+                stats.pricing_switches,
+                stats.partial_pricing_refreshes,
+                stats.memo_sibling_hits,
                 stats.presolve_rows_removed,
                 stats.presolve_cols_fixed,
                 stats.presolve_bounds_tightened,
@@ -1417,7 +1426,7 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
                 total_warm_hits as f64 / total_warm_attempts as f64
             };
             let totals = format!(
-            "      \"totals\": {{\n        \"wall_s\": {total_wall:.6},\n        \"lp_solves\": {total_solves},\n        \"simplex_iterations\": {total_iters},\n        \"warm_hit_rate\": {total_hit_rate:.4}\n      }}"
+            "      \"totals\": {{\n        \"wall_s\": {total_wall:.6},\n        \"lp_solves\": {total_solves},\n        \"simplex_iterations\": {total_iters},\n        \"bb_nodes\": {total_nodes},\n        \"warm_hit_rate\": {total_hit_rate:.4}\n      }}"
         );
             Ok((rows, totals, freqs))
         };
@@ -1504,7 +1513,7 @@ pub fn bench_json(smoke: bool) -> Result<String, Box<dyn std::error::Error>> {
     let dse_search = crate::dse_search::bench_json_section(smoke)?;
 
     Ok(format!(
-        "{{\n  \"bench\": \"BENCH_8\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n{modes},\n{parity},\n{batch},\n{dse},\n{dse_search}\n}}\n"
+        "{{\n  \"bench\": \"BENCH_9\",\n  \"smoke\": {smoke},\n  \"cores\": {cores},\n{modes},\n{parity},\n{batch},\n{dse},\n{dse_search}\n}}\n"
     ))
 }
 

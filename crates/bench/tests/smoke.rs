@@ -88,8 +88,12 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = r::bench_json(true).expect("smoke bench must compile every app");
     assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'), "{json}");
     for key in [
-        "\"bench\": \"BENCH_8\"",
+        "\"bench\": \"BENCH_9\"",
         "\"smoke\": true",
+        "\"bb_nodes\"",
+        "\"pricing_switches\"",
+        "\"partial_pricing_refreshes\"",
+        "\"memo_sibling_hits\"",
         "\"modes\"",
         "\"exact\"",
         "\"fast\"",
@@ -116,6 +120,55 @@ fn bench_smoke_emits_machine_readable_json() {
     assert!(!json.contains("\"lp_solves\": 0,"), "no app should solve zero LPs: {json}");
 }
 
+/// Pulls the integer value of `key` out of `app`'s row inside one mode's
+/// slice of the bench JSON.
+fn app_counter(mode_slice: &str, app: &str, key: &str) -> u64 {
+    let row_at = mode_slice
+        .find(&format!("\"app\": \"{app}\""))
+        .unwrap_or_else(|| panic!("no row for app {app:?}"));
+    let row = &mode_slice[row_at..];
+    let key_at = row
+        .find(&format!("\"{key}\":"))
+        .unwrap_or_else(|| panic!("app {app:?} row has no key {key:?}"));
+    let value = row[key_at + key.len() + 3..].trim_start();
+    let end = value.find([',', '\n', '}']).unwrap_or(value.len());
+    value[..end].trim().parse().unwrap_or_else(|e| panic!("{app}.{key}: {e}"))
+}
+
+/// The fast-parity no-regression guard on the branch-and-bound *tree
+/// size* — the canary that caught the PR 7 pagerank regression. Small
+/// trees replay the exact trajectory bit for bit (identical node
+/// counts); the kit-restart scheme only engages past its node threshold,
+/// where the abandoned first attempt plus kit perturbation is bounded
+/// well under the documented 1.5× — and the kit must then actually pay:
+/// fast never spends more than 1.1× the exact iterations on any app.
+#[test]
+fn fast_parity_tree_and_iteration_growth_stay_within_documented_bounds() {
+    let _serial = GLOBAL_COUNTERS.lock().unwrap();
+    let json = r::bench_json(true).expect("smoke bench must compile every app");
+    let exact_at = json.find("\"exact\"").expect("exact mode section");
+    let fast_at = json.find("\"fast\"").expect("fast mode section");
+    let parity_at = json.find("\"parity\"").expect("parity section");
+    assert!(exact_at < fast_at && fast_at < parity_at, "unexpected section order");
+    let (exact, fast) = (&json[exact_at..fast_at], &json[fast_at..parity_at]);
+    for app in ["stencil", "cnn", "pagerank", "knn"] {
+        let (en, fn_) = (app_counter(exact, app, "bb_nodes"), app_counter(fast, app, "bb_nodes"));
+        assert!(
+            fn_ as f64 <= 1.5 * en as f64,
+            "{app}: fast parity grew the node tree past the documented bound \
+             ({fn_} nodes vs exact {en})"
+        );
+        let (ei, fi) = (
+            app_counter(exact, app, "simplex_iterations"),
+            app_counter(fast, app, "simplex_iterations"),
+        );
+        assert!(
+            fi as f64 <= 1.1 * ei as f64,
+            "{app}: fast parity spent more iterations than exact ({fi} vs {ei})"
+        );
+    }
+}
+
 #[test]
 fn bench_subcommand_writes_json_file() {
     let path = std::env::temp_dir().join(format!("tapacs-bench-smoke-{}.json", std::process::id()));
@@ -125,7 +178,7 @@ fn bench_subcommand_writes_json_file() {
         .expect("reproduce binary must run");
     assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
     let written = std::fs::read_to_string(&path).expect("bench must write the JSON file");
-    assert!(written.contains("\"bench\": \"BENCH_8\""), "{written}");
+    assert!(written.contains("\"bench\": \"BENCH_9\""), "{written}");
     let _ = std::fs::remove_file(&path);
 }
 

@@ -116,6 +116,14 @@ impl SolverActivityReport {
         );
         let _ = writeln!(
             s,
+            "search: {} B&B nodes, {} pricing switches, {} partial refreshes, {} memo sibling hits",
+            self.simplex.bb_nodes,
+            self.simplex.pricing_switches,
+            self.simplex.partial_pricing_refreshes,
+            self.simplex.memo_sibling_hits,
+        );
+        let _ = writeln!(
+            s,
             "presolve: {} runs, {} rows removed, {} cols fixed, {} bounds tightened",
             self.simplex.presolve_runs,
             self.simplex.presolve_rows_removed,
@@ -362,6 +370,10 @@ mod tests {
                 refactor_fill_triggers: 0,
                 ft_replacements: 7,
                 devex_resets: 0,
+                pricing_switches: 2,
+                partial_pricing_refreshes: 9,
+                memo_sibling_hits: 5,
+                bb_nodes: 21,
             },
         };
         let table = report.render_table();
@@ -373,6 +385,12 @@ mod tests {
         assert!(table.contains("4 rows removed"), "{table}");
         assert!(table.contains("12 factorizations (90 fill-in nnz)"), "{table}");
         assert!(table.contains("30 eta updates (120 nnz), 1 refactor triggers"), "{table}");
+        assert!(
+            table.contains(
+                "21 B&B nodes, 2 pricing switches, 9 partial refreshes, 5 memo sibling hits"
+            ),
+            "{table}"
+        );
     }
 
     #[test]

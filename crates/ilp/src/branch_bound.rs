@@ -135,9 +135,6 @@ pub(crate) fn solve(
     // loops, the node-expansion loop and this driver all observe the same
     // signal with bounded latency.
     let token = config.deadline_token();
-    // Internally we minimize; flip at the end if the model maximizes.
-    let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
-    let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
 
     let (pre, red_integral) = presolved_root(&full_lp, integral, params.presolve)?;
     let lp = &pre.lp;
@@ -146,7 +143,70 @@ pub(crate) fn solve(
     let mut prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
     prep.set_cancel(token.clone());
 
-    let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
+    // Fast-parity kit restart (see [`crate::node::FAST_KIT_AFTER_NODES`]):
+    // the first attempt runs with the kit off — bit-exact replay of the
+    // exact trajectory, which is the fastest regime for small trees. If
+    // the tree crosses the node threshold the search has proven big, the
+    // attempt is abandoned and the whole search restarts with the kit on
+    // from the root, where its per-solve savings repay the ~threshold
+    // redone nodes many times over. Both the trigger (a node ordinal) and
+    // the restarted trajectory are deterministic.
+    match search_once(
+        model,
+        integral,
+        config,
+        params,
+        &full_lp,
+        &pre,
+        &red_integral,
+        &prep,
+        &token,
+        false,
+    )? {
+        Some(sol) => Ok(sol),
+        None => Ok(search_once(
+            model,
+            integral,
+            config,
+            params,
+            &full_lp,
+            &pre,
+            &red_integral,
+            &prep,
+            &token,
+            true,
+        )?
+        .expect("a kit-enabled search never requests a restart")),
+    }
+}
+
+/// One branch-and-bound attempt. Returns `Ok(None)` when the fast-parity
+/// kit is off and the tree crossed [`crate::node::FAST_KIT_AFTER_NODES`] —
+/// the caller restarts with `kit: true`.
+#[allow(clippy::too_many_arguments)]
+fn search_once(
+    model: &Model,
+    integral: &[usize],
+    config: &SolverConfig,
+    params: SolveParams,
+    full_lp: &LpProblem,
+    pre: &PresolvedLp,
+    red_integral: &[usize],
+    prep: &PreparedLp<'_>,
+    token: &Option<CancellationToken>,
+    kit: bool,
+) -> Result<Option<Solution>, IlpError> {
+    let lp = &pre.lp;
+    // Internally we minimize; flip at the end if the model maximizes.
+    let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
+    let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
+    let restart_eligible =
+        !kit && params.lp_parity == LpParity::Fast && matches!(params.lp_engine, LpEngine::Sparse);
+
+    // The root is node zero of the search: the kit verdict covers it too,
+    // so a small tree replays the exact trajectory from its very first
+    // solve and a restarted search prices its root with the full kit.
+    let root = match prep.solve_node(&lp.lower, &lp.upper, None, kit) {
         LpOutcome::Optimal { values, objective, basis } => Node {
             bound: to_min(objective),
             chain: BoundChain::root(),
@@ -176,12 +236,12 @@ pub(crate) fn solve(
     // Candidates live in the *original* variable space (postsolved).
     let full_relax = pre.postsolve(&root.relax);
     if let Some(rounded) = round_repair(model, &full_relax, integral, config.int_tol) {
-        let obj = to_min(objective_of(&full_lp, &rounded));
+        let obj = to_min(objective_of(full_lp, &rounded));
         incumbent = Some((obj, rounded));
     } else if params.heuristic_seed {
-        if let Some(repaired) = crate::solver::greedy_repair(model, &full_lp, &full_relax, integral)
+        if let Some(repaired) = crate::solver::greedy_repair(model, full_lp, &full_relax, integral)
         {
-            let obj = to_min(objective_of(&full_lp, &repaired));
+            let obj = to_min(objective_of(full_lp, &repaired));
             incumbent = Some((obj, repaired));
         }
     }
@@ -211,6 +271,11 @@ pub(crate) fn solve(
             }
         }
         nodes += 1;
+        if restart_eligible && nodes >= crate::node::FAST_KIT_AFTER_NODES {
+            // The abandoned attempt's nodes still count as explored work.
+            crate::stats::record(|a| a.record_bb_nodes(nodes as u64));
+            return Ok(None);
+        }
         if nodes > config.max_nodes {
             budget_hit = true;
             break;
@@ -220,10 +285,10 @@ pub(crate) fn solve(
             break;
         }
 
-        let Some(j) = most_fractional(&node.relax, &red_integral, config.int_tol) else {
+        let Some(j) = most_fractional(&node.relax, red_integral, config.int_tol) else {
             // Integral point: candidate incumbent (checked in full space).
             let mut reduced = node.relax.clone();
-            for &k in &red_integral {
+            for &k in red_integral {
                 reduced[k] = reduced[k].round();
             }
             let mut values = pre.postsolve(&reduced);
@@ -231,7 +296,7 @@ pub(crate) fn solve(
                 values[k] = values[k].round();
             }
             if model.is_feasible(&values, 1e-6) {
-                let obj = to_min(objective_of(&full_lp, &values));
+                let obj = to_min(objective_of(full_lp, &values));
                 if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     incumbent = Some((obj, values));
                 }
@@ -241,7 +306,7 @@ pub(crate) fn solve(
 
         let warm = if params.warm_lp { Some(node.basis.as_ref()) } else { None };
         match expand_children(
-            &prep,
+            prep,
             &node.chain,
             warm,
             j,
@@ -249,6 +314,7 @@ pub(crate) fn solve(
             token.as_ref(),
             &mut lo_buf,
             &mut hi_buf,
+            kit,
         ) {
             Expanded::Unbounded => return Err(IlpError::Unbounded),
             Expanded::Children { children, timed_out } => {
@@ -273,6 +339,11 @@ pub(crate) fn solve(
         }
     }
 
+    // Node-tree size is the canary for pricing-rule regressions (a pricing
+    // change that reaches different LP vertices shows up here before it
+    // shows up in wall time), so every finished search records it.
+    crate::stats::record(|a| a.record_bb_nodes(nodes as u64));
+
     // An external cancel aborts outright — the caller no longer wants the
     // answer, so even an incumbent is discarded. Deadline expiry instead
     // degrades below (the anytime contract).
@@ -286,7 +357,7 @@ pub(crate) fn solve(
             let proven = exhausted
                 || (obj - best_open_bound).abs()
                     <= config.mip_gap.max(1e-9) * obj.abs().max(1.0) + 1e-9;
-            Ok(Solution {
+            Ok(Some(Solution {
                 status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
                 objective: from_min(obj),
                 values,
@@ -297,7 +368,7 @@ pub(crate) fn solve(
                 // degraded keeps it out of the persistent solve cache and
                 // out of Pareto frontiers.
                 degraded: budget_hit && !proven,
-            })
+            }))
         }
         None => {
             if exhausted {

@@ -86,11 +86,28 @@ pub(crate) enum Expanded {
     Unbounded,
 }
 
+/// The fast-parity kit — dual repair plus the hybrid devex switch —
+/// engages only from this node ordinal onward (the deterministic
+/// position of the expanded node in the driver's search order: pop count
+/// sequentially, `Node::seq` in parallel; the root solve counts as node
+/// zero). Small trees — a few hundred nodes — are fastest replaying the
+/// exact trajectory bit for bit: the kit reaches *different* optimal
+/// vertices whose denser bases and perturbed branching values grow
+/// exactly those trees. On big searches (thousands to hundreds of
+/// thousands of nodes) the kit's per-child pivot savings dwarf that
+/// effect. Both drivers number nodes deterministically and
+/// thread-invariantly, so the cutover never depends on timing or
+/// `TAPACS_SOLVER_THREADS`.
+pub(crate) const FAST_KIT_AFTER_NODES: usize = 384;
+
 /// Solves the two branching children of a node: `branch_var <= floor(v)`
 /// and `branch_var >= ceil(v)`, warm-started from the node's basis when
 /// given. Shared by the sequential and parallel drivers so their branching
 /// semantics (bound arithmetic, deadline handling, chain construction)
 /// cannot drift apart — the backend-equivalence proptests depend on that.
+///
+/// `fast_kit` gates the fast-parity kit for both child solves; the
+/// drivers derive it from [`FAST_KIT_AFTER_NODES`].
 ///
 /// `lower`/`upper` are reusable scratch buffers; they come back holding the
 /// *node's* bounds (every per-child tweak is restored).
@@ -104,6 +121,7 @@ pub(crate) fn expand_children(
     token: Option<&CancellationToken>,
     lower: &mut Vec<f64>,
     upper: &mut Vec<f64>,
+    fast_kit: bool,
 ) -> Expanded {
     let lp = prep.lp;
     chain.resolve(&lp.lower, &lp.upper, lower, upper);
@@ -126,7 +144,7 @@ pub(crate) fn expand_children(
         }
         lower[j] = lo;
         upper[j] = hi;
-        let outcome = prep.solve_warm(lower, upper, warm);
+        let outcome = prep.solve_node(lower, upper, warm, fast_kit);
         lower[j] = node_lo;
         upper[j] = node_hi;
         match outcome {

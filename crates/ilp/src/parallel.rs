@@ -161,6 +161,9 @@ struct SearchCtx<'a> {
     red_integral: &'a [usize],
     config: &'a SolverConfig,
     params: SolveParams,
+    /// This attempt's fast-kit verdict (see the kit-restart scheme in
+    /// [`solve`]); constant per attempt, so every slot prices identically.
+    kit: bool,
     /// Deadline/cancel token shared by every slot (see
     /// [`SolverConfig::cancel`]); `None` when the solve is unbounded in time
     /// and nobody can cancel it.
@@ -202,7 +205,17 @@ fn expand_node(
 
     let warm = if ctx.params.warm_lp { Some(node.basis.as_ref()) } else { None };
     let token = ctx.token.as_ref();
-    match expand_children(ctx.prep, &node.chain, warm, j, node.relax[j], token, lo_buf, hi_buf) {
+    match expand_children(
+        ctx.prep,
+        &node.chain,
+        warm,
+        j,
+        node.relax[j],
+        token,
+        lo_buf,
+        hi_buf,
+        ctx.kit,
+    ) {
         Expanded::Unbounded => Expansion::Unbounded,
         Expanded::Children { children, timed_out } => Expansion::Children {
             children: children
@@ -231,9 +244,6 @@ pub(crate) fn solve(
     // caller-supplied cancellation, polled at round boundaries, before every
     // child LP solve, and inside the simplex iteration loops.
     let token = config.deadline_token();
-    let workers = threads.max(1);
-    let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
-    let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
 
     let (pre, red_integral) = presolved_root(&full_lp, integral, params.presolve)?;
     let lp = &pre.lp;
@@ -242,7 +252,69 @@ pub(crate) fn solve(
     let mut prep = PreparedLp::new(lp, params.lp_engine, params.lp_parity);
     prep.set_cancel(token.clone());
 
-    let root = match prep.solve_warm(&lp.lower, &lp.upper, None) {
+    // Fast-parity kit restart, same two-attempt scheme as the sequential
+    // driver (see [`crate::node::FAST_KIT_AFTER_NODES`]): attempt one
+    // replays the exact trajectory; a tree crossing the node threshold
+    // restarts from the root with the full kit. The trigger is the
+    // expanded-node count at a round boundary — a pure function of the
+    // model, so the restart decision is thread-count invariant.
+    match search_once(
+        model,
+        integral,
+        config,
+        threads,
+        params,
+        &full_lp,
+        &pre,
+        &red_integral,
+        &prep,
+        &token,
+        false,
+    )? {
+        Some(sol) => Ok(sol),
+        None => Ok(search_once(
+            model,
+            integral,
+            config,
+            threads,
+            params,
+            &full_lp,
+            &pre,
+            &red_integral,
+            &prep,
+            &token,
+            true,
+        )?
+        .expect("a kit-enabled search never requests a restart")),
+    }
+}
+
+/// One round-synchronous attempt. Returns `Ok(None)` when the fast-parity
+/// kit is off and the tree crossed [`crate::node::FAST_KIT_AFTER_NODES`].
+#[allow(clippy::too_many_arguments)]
+fn search_once(
+    model: &Model,
+    integral: &[usize],
+    config: &SolverConfig,
+    threads: usize,
+    params: SolveParams,
+    full_lp: &LpProblem,
+    pre: &PresolvedLp,
+    red_integral: &[usize],
+    prep: &PreparedLp<'_>,
+    token: &Option<CancellationToken>,
+    kit: bool,
+) -> Result<Option<Solution>, IlpError> {
+    let lp = &pre.lp;
+    let workers = threads.max(1);
+    let to_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
+    let from_min = |obj: f64| if full_lp.minimize { obj } else { -obj };
+    let restart_eligible =
+        !kit && params.lp_parity == LpParity::Fast && matches!(params.lp_engine, LpEngine::Sparse);
+
+    // Root = node zero: the kit verdict covers it, same rule as the
+    // sequential driver.
+    let root = match prep.solve_node(&lp.lower, &lp.upper, None, kit) {
         LpOutcome::Optimal { values, objective, basis } => Node {
             bound: to_min(objective),
             seq: 0,
@@ -259,27 +331,28 @@ pub(crate) fn solve(
     let incumbent: Mutex<Option<Incumbent>> = Mutex::new(None);
     let full_relax = pre.postsolve(&root.relax);
     if let Some(rounded) = round_repair(model, &full_relax, integral, config.int_tol) {
-        let obj = to_min(objective_of(&full_lp, &rounded));
+        let obj = to_min(objective_of(full_lp, &rounded));
         offer(&incumbent, obj, &rounded);
     } else if params.heuristic_seed {
         // Greedy first-fit repair on the already-solved root relaxation —
         // the warm-start incumbent, at zero extra LP solves.
-        if let Some(repaired) = crate::solver::greedy_repair(model, &full_lp, &full_relax, integral)
+        if let Some(repaired) = crate::solver::greedy_repair(model, full_lp, &full_relax, integral)
         {
-            let obj = to_min(objective_of(&full_lp, &repaired));
+            let obj = to_min(objective_of(full_lp, &repaired));
             offer(&incumbent, obj, &repaired);
         }
     }
 
     let ctx = SearchCtx {
-        full_lp: &full_lp,
-        pre: &pre,
-        prep: &prep,
+        full_lp,
+        pre,
+        prep,
         model,
         integral,
-        red_integral: &red_integral,
+        red_integral,
         config,
         params,
+        kit,
         token: token.clone(),
     };
 
@@ -333,6 +406,11 @@ pub(crate) fn solve(
         }
         best_open_bound = batch[0].bound;
         nodes += batch.len();
+        if restart_eligible && nodes >= crate::node::FAST_KIT_AFTER_NODES {
+            // The abandoned attempt's nodes still count as explored work.
+            crate::stats::record(|a| a.record_bb_nodes(nodes as u64));
+            return Ok(None);
+        }
         if nodes > config.max_nodes {
             budget_hit = true;
             break;
@@ -435,6 +513,10 @@ pub(crate) fn solve(
         }
     }
 
+    // Node-tree size is the canary for pricing-rule regressions; record it
+    // for every finished search (same hook as the sequential driver).
+    crate::stats::record(|a| a.record_bb_nodes(nodes as u64));
+
     // An external cancel aborts outright — the caller asked the job to stop,
     // so even an incumbent on hand is not returned. Deadline expiry instead
     // degrades to the anytime incumbent below.
@@ -448,7 +530,7 @@ pub(crate) fn solve(
             let proven = exhausted
                 || (obj - best_open_bound).abs()
                     <= config.mip_gap.max(1e-9) * obj.abs().max(1.0) + 1e-9;
-            Ok(Solution {
+            Ok(Some(Solution {
                 status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
                 objective: from_min(obj),
                 values,
@@ -457,7 +539,7 @@ pub(crate) fn solve(
                 // Anytime result cut short by the budget: usable, but kept
                 // out of the persistent cache and Pareto frontiers.
                 degraded: budget_hit && !proven,
-            })
+            }))
         }
         None => {
             if exhausted {

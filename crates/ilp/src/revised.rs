@@ -65,23 +65,106 @@ pub(crate) const FAST_REFACTOR_FILL_MIN: usize = 1024;
 /// from the current basis for the steepest-edge approximation to hold.
 const DEVEX_RESET_ABOVE: f64 = 1e8;
 
+/// Iterations (phase 1 + phase 2 pivots, dual-repair pivots included)
+/// after which a fast-parity solve abandons the banded-Dantzig opening and
+/// switches to devex pricing for the rest of the solve.
+///
+/// The hybrid exists because the two rules win in different regimes: the
+/// banded-Dantzig rule reproduces the exact-mode vertex trajectory, so the
+/// branch-and-bound tree stays the small tree the exact engine grows —
+/// which is everything on apps whose node solves finish in a handful of
+/// pivots (pagerank/F4 regressed 3× under always-devex purely through
+/// tree growth). Devex only pays on *long* solves, where dividing out the
+/// column norm cuts the iteration count several-fold. Counting the solve's
+/// own iterations is the cheapest deterministic proxy for "this solve is
+/// long": the threshold is a pure function of the node (never of threads
+/// or timing), so thread-count invariance and DSE signature stability are
+/// untouched. Crossing it is counted in
+/// [`SolveStats::pricing_switches`](crate::SolveStats).
+pub(crate) const HYBRID_DEVEX_AFTER: u64 = 48;
+
+/// Number of rotating sections the candidate list is divided into once
+/// devex pricing is active: each pricing pass scans one section and only
+/// continues into the next when the current one offers no improving
+/// column, so a typical iteration prices an eighth of the columns instead
+/// of all of them. Optimality is still only declared after a scan covered
+/// the whole list without finding a candidate.
+const PARTIAL_SECTIONS: usize = 8;
+
+/// Minimum partial-pricing section width; candidate lists at or below
+/// this size are scanned full-width (sectioning tiny lists saves nothing
+/// and costs cursor bookkeeping).
+const PARTIAL_SECTION_MIN: usize = 64;
+
+/// Entries kept in the per-thread factorization memo. Sized for the
+/// branch-and-bound expansion pattern: down/up children installing the
+/// same parent basis back-to-back need one entry, interleaved expansions
+/// of a few frontier nodes (the parallel driver's round batches) need a
+/// handful more. Measured hit rates plateau well before this depth.
+const FACTOR_MEMO_ENTRIES: usize = 6;
+
 /// A memoized factorization: the eta file and row assignment produced by
-/// [`Revised::factorize`] for one exact `(model, statuses)` pair. Replaying
-/// it yields bit-for-bit the arrays a fresh factorization would compute —
-/// branch-and-bound siblings install their parent's final basis
-/// back-to-back on the same thread, so a single entry removes about half
-/// of all factorization work.
+/// [`Revised::factorize`] for one `(model, basic set)` pair. The key is
+/// the *basic set* — not the full status vector — because the elimination
+/// reads nothing else: two bases that differ only in which bound their
+/// nonbasic columns sit at (the bound-flip-only children the fast-parity
+/// dual repair commonly produces) factorize to bit-identical arrays.
+/// Replaying an entry therefore yields exactly the floats a fresh
+/// factorization would compute.
 #[derive(Default)]
-struct FactorMemo {
-    valid: bool,
+struct FactorEntry {
     prep_id: u64,
-    statuses: Vec<ColStatus>,
+    /// Ascending basic column indices — the key half that varies.
+    basics: Vec<u32>,
     basis: Vec<usize>,
     eta_pos: Vec<u32>,
     eta_inv: Vec<f64>,
     eta_ptr: Vec<u32>,
     eta_row: Vec<u32>,
     eta_val: Vec<f64>,
+    /// LRU clock at last insert.
+    stamp: u64,
+}
+
+/// Per-thread multi-entry factorization memo with LRU eviction. A hit
+/// *removes* the entry (its arrays go on loan to the solve, which returns
+/// its final factor prefix at drop), so back-to-back sibling installs
+/// recycle one allocation instead of copying eta files around.
+#[derive(Default)]
+struct FactorCache {
+    entries: Vec<FactorEntry>,
+    clock: u64,
+}
+
+impl FactorCache {
+    /// Removes and returns the entry for `(prep_id, basics)`, if present.
+    fn take(&mut self, prep_id: u64, basics: &[u32]) -> Option<FactorEntry> {
+        let idx = self.entries.iter().position(|e| e.prep_id == prep_id && e.basics == basics)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Inserts `entry`, replacing a same-key entry or evicting the least
+    /// recently inserted one at capacity.
+    fn insert(&mut self, mut entry: FactorEntry) {
+        self.clock += 1;
+        entry.stamp = self.clock;
+        if let Some(slot) =
+            self.entries.iter().position(|e| e.prep_id == entry.prep_id && e.basics == entry.basics)
+        {
+            self.entries[slot] = entry;
+        } else if self.entries.len() < FACTOR_MEMO_ENTRIES {
+            self.entries.push(entry);
+        } else {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("cache at capacity is non-empty");
+            self.entries[lru] = entry;
+        }
+    }
 }
 
 /// Per-thread reusable solve state. A B&B run performs hundreds of
@@ -109,7 +192,10 @@ struct RevScratch {
     devex: Vec<f64>,
     dual_d: Vec<f64>,
     dual_alpha: Vec<f64>,
-    memo: FactorMemo,
+    cache: FactorCache,
+    key_buf: Vec<u32>,
+    pending_basics: Vec<u32>,
+    pending_basis: Vec<usize>,
 }
 
 thread_local! {
@@ -168,12 +254,36 @@ pub(crate) struct Revised<'a> {
     /// The owning [`PreparedLp`](crate::simplex::PreparedLp)'s unique id —
     /// the model half of the factorization-memo key.
     prep_id: u64,
-    memo: FactorMemo,
-    /// The engine's eta arrays are the memo's, on loan (returned at drop).
-    memo_borrowed: bool,
-    /// The factor prefix of the eta arrays should be stored into the memo
-    /// at drop (snapshot halves already taken at factorization time).
-    memo_pending: bool,
+    cache: FactorCache,
+    /// Scratch for computing the basic-set memo key (recycled per install).
+    key_buf: Vec<u32>,
+    /// Key and row assignment of the eta file's current factor prefix —
+    /// snapshotted at factorization (or replay) time, stored into the
+    /// cache at drop when `memo_live`.
+    pending_basics: Vec<u32>,
+    pending_basis: Vec<usize>,
+    /// The factor prefix of the eta arrays is cache-worthy: truncate to it
+    /// at drop and insert under the pending key.
+    memo_live: bool,
+    /// The caller permits the fast kit — dual repair and the hybrid devex
+    /// switch, and through `devex_active` everything hanging off it — on
+    /// this solve. The branch-and-bound drivers clear it for the root and
+    /// for nodes early in the search order
+    /// ([`crate::node::FAST_KIT_AFTER_NODES`]): on small trees the kit's
+    /// different optimal vertices are denser and grow the tree, so a small
+    /// search is fastest replaying the exact trajectory bit for bit. On
+    /// large trees the per-solve savings dominate. Exact parity ignores
+    /// the flag entirely.
+    kit_allowed: bool,
+    /// The fast machinery is engaged for this solve (fast parity, after
+    /// the hybrid threshold [`HYBRID_DEVEX_AFTER`] trips): devex pricing,
+    /// partial pricing, Forrest–Tomlin replacement, eager refactorization
+    /// and the raw-column basic-value recompute. Until then the solve
+    /// replays the exact-mode trajectory (dual repair aside) and the
+    /// devex weights stay at their unit reference.
+    devex_active: bool,
+    /// Rotating partial-pricing cursor into `cands` (devex scans only).
+    price_cursor: usize,
     degen_streak: u32,
     phase1_iters: u64,
     phase2_iters: u64,
@@ -190,6 +300,9 @@ pub(crate) struct Revised<'a> {
     refactor_fill_triggers: u64,
     devex_resets: u64,
     ft_replacements: u64,
+    pricing_switches: u64,
+    partial_refreshes: u64,
+    memo_hits: u64,
 }
 
 impl<'a> Revised<'a> {
@@ -199,6 +312,7 @@ impl<'a> Revised<'a> {
         upper: &[f64],
         prep_id: u64,
         parity: LpParity,
+        kit_allowed: bool,
     ) -> Revised<'a> {
         let (m, n) = (sp.m, sp.n);
         let mut sc = SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
@@ -268,9 +382,14 @@ impl<'a> Revised<'a> {
             dual_alpha: std::mem::take(&mut sc.dual_alpha),
             parity,
             prep_id,
-            memo: std::mem::take(&mut sc.memo),
-            memo_borrowed: false,
-            memo_pending: false,
+            cache: std::mem::take(&mut sc.cache),
+            key_buf: std::mem::take(&mut sc.key_buf),
+            pending_basics: std::mem::take(&mut sc.pending_basics),
+            pending_basis: std::mem::take(&mut sc.pending_basis),
+            memo_live: false,
+            kit_allowed,
+            devex_active: false,
+            price_cursor: 0,
             degen_streak: 0,
             phase1_iters: 0,
             phase2_iters: 0,
@@ -283,6 +402,9 @@ impl<'a> Revised<'a> {
             refactor_fill_triggers: 0,
             devex_resets: 0,
             ft_replacements: 0,
+            pricing_switches: 0,
+            partial_refreshes: 0,
+            memo_hits: 0,
         }
     }
 
@@ -484,44 +606,60 @@ impl<'a> Revised<'a> {
         true
     }
 
-    /// [`factorize`](Self::factorize) with a single-entry per-thread memo:
-    /// if the thread's last factorization was of this exact model and
-    /// status vector, its eta file and row assignment are replayed verbatim
-    /// — the same floats a fresh factorization would produce, since the
-    /// factorization depends on nothing else. The memoized hit is not
-    /// counted as a factorization (`lu_factorizations` reports work done,
-    /// not bases installed).
+    /// [`factorize`](Self::factorize) with the per-thread multi-entry
+    /// memo: if any cached factorization is of this model and *basic set*,
+    /// its eta file and row assignment are replayed verbatim — the same
+    /// floats a fresh factorization would produce, since the elimination
+    /// reads nothing but the basic columns. Keying on the basic set (not
+    /// the full status vector) is what lets a child whose dual repair was
+    /// bound-flips-only replay its parent's factorization, and the
+    /// multi-entry depth keeps sibling installs hitting even when other
+    /// node expansions interleave on the thread.
+    ///
+    /// Every call increments exactly one of `lu_factorizations` (fresh
+    /// elimination attempted, successful or singular) or `memo_hits`
+    /// (replay) — the two counters sum to installs attempted.
     fn factorize_cached(&mut self) -> bool {
-        if self.memo.valid && self.memo.prep_id == self.prep_id && self.memo.statuses == self.status
-        {
+        let mut key = std::mem::take(&mut self.key_buf);
+        key.clear();
+        for j in 0..self.sp.n {
+            if self.status[j] == ColStatus::Basic {
+                key.push(j as u32);
+            }
+        }
+        if let Some(mut entry) = self.cache.take(self.prep_id, &key) {
             // Steal the memoized eta file wholesale instead of copying it;
             // update etas only ever append past `factor_etas`, so `drop`
             // can truncate the file back to the factor prefix and return
-            // it. The memo is marked invalid while its arrays are on loan.
-            std::mem::swap(&mut self.eta_pos, &mut self.memo.eta_pos);
-            std::mem::swap(&mut self.eta_inv, &mut self.memo.eta_inv);
-            std::mem::swap(&mut self.eta_ptr, &mut self.memo.eta_ptr);
-            std::mem::swap(&mut self.eta_row, &mut self.memo.eta_row);
-            std::mem::swap(&mut self.eta_val, &mut self.memo.eta_val);
-            self.basis.clone_from(&self.memo.basis);
+            // it under the pending key. The entry leaves the cache while
+            // its arrays are on loan (its slots now hold our stale file,
+            // freed with it).
+            std::mem::swap(&mut self.eta_pos, &mut entry.eta_pos);
+            std::mem::swap(&mut self.eta_inv, &mut entry.eta_inv);
+            std::mem::swap(&mut self.eta_ptr, &mut entry.eta_ptr);
+            std::mem::swap(&mut self.eta_row, &mut entry.eta_row);
+            std::mem::swap(&mut self.eta_val, &mut entry.eta_val);
+            std::mem::swap(&mut self.basis, &mut entry.basis);
             self.factor_etas = self.n_etas();
-            self.memo.valid = false;
-            self.memo_borrowed = true;
+            std::mem::swap(&mut self.pending_basics, &mut key);
+            self.key_buf = key;
+            self.pending_basis.clone_from(&self.basis);
+            self.memo_live = true;
+            self.memo_hits += 1;
             return true;
         }
-        self.memo.valid = false;
-        self.memo_borrowed = false;
-        self.memo_pending = false;
+        self.memo_live = false;
         if !self.factorize() {
+            self.key_buf = key;
             return false;
         }
         // Snapshot the small key/value halves now (pivots will mutate both
         // `status` and `basis`); the eta arrays themselves move over in
         // `drop`, once the solve is done with them.
-        self.memo.prep_id = self.prep_id;
-        self.memo.statuses.clone_from(&self.status);
-        self.memo.basis.clone_from(&self.basis);
-        self.memo_pending = true;
+        std::mem::swap(&mut self.pending_basics, &mut key);
+        self.key_buf = key;
+        self.pending_basis.clone_from(&self.basis);
+        self.memo_live = true;
         true
     }
 
@@ -530,12 +668,15 @@ impl<'a> Revised<'a> {
     /// `x_B = B⁻¹b − Σ_nonbasic (B⁻¹A_j)·x_j`. Under exact parity the
     /// subtraction runs over *transformed* columns in ascending index — the
     /// exact operation order of the dense oracle's install — so the two
-    /// engines start a warm solve from bit-identical basic values. Fast
-    /// parity computes the mathematically identical
-    /// `x_B = B⁻¹(b − Σ_nonbasic A_j·x_j)` instead: subtract the *raw*
-    /// sparse columns first, then one FTRAN of the residual — O(nnz) plus a
-    /// single eta-file pass, where the oracle order pays a full eta-file
-    /// pass per nonbasic column.
+    /// engines start a warm solve from bit-identical basic values. Once the
+    /// hybrid switch has tripped (`devex_active`), the solve computes the
+    /// mathematically identical `x_B = B⁻¹(b − Σ_nonbasic A_j·x_j)`
+    /// instead: subtract the *raw* sparse columns first, then one FTRAN of
+    /// the residual — O(nnz) plus a single eta-file pass, where the oracle
+    /// order pays a full eta-file pass per nonbasic column. Pre-switch
+    /// solves keep the oracle order even under fast parity: its different
+    /// roundoff perturbs float ties and with them the downstream vertex
+    /// trajectory, which is exactly what the hybrid opening must not do.
     fn refactorize(&mut self) -> bool {
         if !self.factorize_cached() {
             return false;
@@ -543,7 +684,7 @@ impl<'a> Revised<'a> {
         let mut rhs = std::mem::take(&mut self.rhs);
         rhs.clear();
         rhs.extend_from_slice(&self.sp.b);
-        if self.parity == LpParity::Fast {
+        if self.devex_active {
             for j in 0..self.sp.n {
                 if self.status[j] == ColStatus::Basic {
                     continue;
@@ -607,12 +748,16 @@ impl<'a> Revised<'a> {
     /// basis went numerically singular — stall.
     fn refactor_if_due(&mut self) -> bool {
         let updates = self.n_etas() - self.factor_etas;
-        let (update_limit, fill_budget) = match self.parity {
-            LpParity::Exact => (REFACTOR_UPDATES, REFACTOR_FILL),
-            LpParity::Fast => {
-                let factor_nnz = self.eta_ptr.get(self.factor_etas).copied().unwrap_or(0) as usize;
-                (FAST_REFACTOR_UPDATES, (4 * (factor_nnz + self.sp.m)).max(FAST_REFACTOR_FILL_MIN))
-            }
+        // The eager fast-mode budgets engage with the rest of the hybrid
+        // fast machinery (post-switch only): budget *timing* changes when
+        // roundoff is reset, which perturbs float ties and with them the
+        // whole downstream vertex trajectory — pre-switch solves must
+        // replay the exact-mode trajectory bit for bit.
+        let (update_limit, fill_budget) = if self.devex_active {
+            let factor_nnz = self.eta_ptr.get(self.factor_etas).copied().unwrap_or(0) as usize;
+            (FAST_REFACTOR_UPDATES, (4 * (factor_nnz + self.sp.m)).max(FAST_REFACTOR_FILL_MIN))
+        } else {
+            (REFACTOR_UPDATES, REFACTOR_FILL)
         };
         if updates < update_limit {
             if self.update_fill() <= fill_budget {
@@ -691,21 +836,69 @@ impl<'a> Revised<'a> {
         best
     }
 
-    /// Fast-parity pricing: devex, a reference-framework approximation of
-    /// steepest edge. Candidates are ranked by `d²/γ_j`, where `γ_j`
-    /// estimates `‖B⁻¹A_j‖²` relative to the reference framework installed
-    /// at the last basis install — dividing out the column norm steers the
-    /// solve along edges that actually move the objective, which is what
-    /// shrinks iteration counts (and with them branch-and-bound trees) on
-    /// the near-degenerate floorplanning LPs. The scan itself is the same
+    /// Fast-parity pricing once the hybrid threshold has tripped: devex
+    /// over a *partially priced* candidate list. The list is divided into
+    /// [`PARTIAL_SECTIONS`] rotating sections; each call scans sections
+    /// starting at the rotating cursor and returns the best candidate of
+    /// the first section that offers one, so a typical iteration prices a
+    /// fraction of the columns. Only after a call has swept the entire
+    /// list without finding an improving column does it declare optimality
+    /// (`None`) — the termination proof is still full-width. Wrapping the
+    /// cursor back to the start counts one
+    /// [`SolveStats::partial_pricing_refreshes`](crate::SolveStats).
+    ///
+    /// The cursor advances deterministically with the pivot sequence
+    /// (never with thread count or timing), so the choice remains a pure
+    /// function of the node. Bland mode bypasses sectioning: its
+    /// anti-cycling guarantee needs the full ascending-index scan.
+    fn choose_entering_devex(&mut self, use_cost: bool, bland: bool) -> Option<(usize, f64)> {
+        let ncand = self.cands.len();
+        let section = PARTIAL_SECTION_MIN.max(ncand.div_ceil(PARTIAL_SECTIONS));
+        if bland || ncand <= section {
+            return self.devex_scan(0, ncand, use_cost, bland);
+        }
+        let mut start = if self.price_cursor >= ncand { 0 } else { self.price_cursor };
+        let mut scanned = 0usize;
+        while scanned < ncand {
+            let end = (start + section).min(ncand);
+            let found = self.devex_scan(start, end, use_cost, false);
+            scanned += end - start;
+            let next = if end >= ncand {
+                self.partial_refreshes += 1;
+                0
+            } else {
+                end
+            };
+            if found.is_some() {
+                self.price_cursor = next;
+                return found;
+            }
+            start = next;
+        }
+        None
+    }
+
+    /// One devex pricing sweep over `cands[from..to]`: a
+    /// reference-framework approximation of steepest edge. Candidates are
+    /// ranked by `d²/γ_j`, where `γ_j` estimates `‖B⁻¹A_j‖²` relative to
+    /// the reference framework installed when devex engaged — dividing out
+    /// the column norm steers the solve along edges that actually move the
+    /// objective, which is what shrinks iteration counts on the
+    /// near-degenerate floorplanning LPs. The scan itself is the same
     /// deterministic ascending-index pass as the Dantzig rule, with strict
     /// `>` so ties keep the lowest index: the choice is a pure function of
     /// the node, never of thread count or timing.
-    fn choose_entering_devex(&self, use_cost: bool, bland: bool) -> Option<(usize, f64)> {
+    fn devex_scan(
+        &self,
+        from: usize,
+        to: usize,
+        use_cost: bool,
+        bland: bool,
+    ) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         let mut best_score = 0.0f64;
         let n_struct = self.sp.n_struct;
-        for &ju in &self.cands {
+        for &ju in &self.cands[from..to] {
             let j = ju as usize;
             let st = self.status[j];
             if st == ColStatus::Basic {
@@ -872,9 +1065,19 @@ impl<'a> Revised<'a> {
                     ColStatus::AtUpper => self.upper[enter],
                     _ => self.x[enter],
                 };
+                if self.devex_active {
+                    // A flip changes no basis column, so the flipped
+                    // column's reference weight must not keep the inflated
+                    // value it picked up when it last left the basis: the
+                    // framework has moved on, and the stale weight scores
+                    // its next entry as `γ/α²` against the wrong reference
+                    // — inflated enough to trip spurious devex resets.
+                    // Re-prime it to the reference floor.
+                    self.devex[enter] = 1.0;
+                }
             }
             Some(r) => {
-                if self.parity == LpParity::Fast {
+                if self.devex_active {
                     self.devex_update(enter, r);
                 }
                 let k = self.basis[r];
@@ -909,13 +1112,15 @@ impl<'a> Revised<'a> {
     }
 
     /// Basis bookkeeping of a pivot: `enter` becomes basic in row `r` and
-    /// the update eta (built from `self.w`) joins the file — or, under fast
-    /// parity, *replaces* the previous eta when both pivot on the same row.
+    /// the update eta (built from `self.w`) joins the file — or, once the
+    /// hybrid switch has engaged the fast machinery, *replaces* the
+    /// previous eta when both pivot on the same row (composition reorders
+    /// float arithmetic, so it is confined to post-switch solves).
     fn pivot_basis(&mut self, r: usize, enter: usize) {
         self.basis[r] = enter;
         self.status[enter] = ColStatus::Basic;
         self.eta_updates += 1;
-        if self.parity == LpParity::Fast && self.try_replace_eta(r) {
+        if self.devex_active && self.try_replace_eta(r) {
             self.ft_replacements += 1;
         } else {
             self.eta_nnz += self.push_eta(r);
@@ -977,6 +1182,33 @@ impl<'a> Revised<'a> {
         true
     }
 
+    /// The hybrid switch: a fast-parity solve opens in exact-trajectory
+    /// mode — banded-Dantzig pricing, oracle refactorization order and
+    /// budgets, plain eta appends — so that, dual repair aside, it
+    /// replays the exact engine's vertex path bit for bit and keeps
+    /// branch-and-bound trees small. Only once its own pivot count —
+    /// phase 1, phase 2 and dual-repair pivots combined — crosses
+    /// [`HYBRID_DEVEX_AFTER`] has the solve proven itself long enough for
+    /// the fast machinery to pay, and the whole kit engages at once:
+    /// devex pricing with partial pricing, Forrest–Tomlin eta
+    /// replacement, eager refactorization and the raw-column basic-value
+    /// recompute. The decision reads nothing but per-solve state (plus
+    /// the caller's deterministic `kit_allowed` verdict), so it is
+    /// identical on every thread layout. Switching re-references the
+    /// devex framework to the switch vertex (unit weights).
+    fn maybe_switch_pricing(&mut self) {
+        if self.parity == LpParity::Fast
+            && self.kit_allowed
+            && !self.devex_active
+            && self.phase1_iters + self.phase2_iters >= HYBRID_DEVEX_AFTER
+        {
+            self.devex_active = true;
+            self.pricing_switches += 1;
+            self.devex.fill(1.0);
+            self.price_cursor = 0;
+        }
+    }
+
     /// Composite phase 1 (same scheme as the dense engine): minimize the
     /// total bound violation of the basic variables, pricing with
     /// `y = B⁻ᵀσ` where `σ_i = ±1` flags the violated basics.
@@ -1014,7 +1246,8 @@ impl<'a> Revised<'a> {
             debug_assert!(any);
             self.btran();
             let bland = self.phase1_iters > bland_after || self.degen_streak >= DEGEN_BLAND_AFTER;
-            let entering = if self.parity == LpParity::Fast {
+            self.maybe_switch_pricing();
+            let entering = if self.devex_active {
                 self.choose_entering_devex(false, bland)
             } else {
                 self.choose_entering(false, bland)
@@ -1065,7 +1298,8 @@ impl<'a> Revised<'a> {
             }
             self.btran();
             let bland = self.phase2_iters > bland_after || self.degen_streak >= DEGEN_BLAND_AFTER;
-            let entering = if self.parity == LpParity::Fast {
+            self.maybe_switch_pricing();
+            let entering = if self.devex_active {
                 self.choose_entering_devex(true, bland)
             } else {
                 self.choose_entering(true, bland)
@@ -1282,13 +1516,14 @@ impl<'a> Revised<'a> {
 }
 
 impl Drop for Revised<'_> {
-    /// Returns every buffer (and the factorization memo) to the thread's
-    /// scratch slot for the next solve to reuse. If this solve factorized
-    /// a basis (or borrowed the memo's factorization), the eta file is
-    /// truncated back to its factor prefix — update etas only ever append
-    /// past it — and moved into the memo for the sibling install to hit.
+    /// Returns every buffer (and the factorization cache) to the thread's
+    /// scratch slot for the next solve to reuse. If this solve's eta file
+    /// holds a live factorization — fresh or replayed — it is truncated
+    /// back to its factor prefix (update etas only ever append past it)
+    /// and inserted into the cache under the basic set it factorized, for
+    /// sibling and bound-flip-child installs to hit.
     fn drop(&mut self) {
-        if self.memo_borrowed || self.memo_pending {
+        if self.memo_live {
             let fe = self.factor_etas;
             self.eta_pos.truncate(fe);
             self.eta_inv.truncate(fe);
@@ -1296,12 +1531,17 @@ impl Drop for Revised<'_> {
             let cut = self.eta_ptr.last().copied().unwrap_or(0) as usize;
             self.eta_row.truncate(cut);
             self.eta_val.truncate(cut);
-            std::mem::swap(&mut self.eta_pos, &mut self.memo.eta_pos);
-            std::mem::swap(&mut self.eta_inv, &mut self.memo.eta_inv);
-            std::mem::swap(&mut self.eta_ptr, &mut self.memo.eta_ptr);
-            std::mem::swap(&mut self.eta_row, &mut self.memo.eta_row);
-            std::mem::swap(&mut self.eta_val, &mut self.memo.eta_val);
-            self.memo.valid = true;
+            self.cache.insert(FactorEntry {
+                prep_id: self.prep_id,
+                basics: std::mem::take(&mut self.pending_basics),
+                basis: std::mem::take(&mut self.pending_basis),
+                eta_pos: std::mem::take(&mut self.eta_pos),
+                eta_inv: std::mem::take(&mut self.eta_inv),
+                eta_ptr: std::mem::take(&mut self.eta_ptr),
+                eta_row: std::mem::take(&mut self.eta_row),
+                eta_val: std::mem::take(&mut self.eta_val),
+                stamp: 0,
+            });
         }
         let sc = RevScratch {
             lower: std::mem::take(&mut self.lower),
@@ -1323,7 +1563,10 @@ impl Drop for Revised<'_> {
             devex: std::mem::take(&mut self.devex),
             dual_d: std::mem::take(&mut self.dual_d),
             dual_alpha: std::mem::take(&mut self.dual_alpha),
-            memo: std::mem::take(&mut self.memo),
+            cache: std::mem::take(&mut self.cache),
+            key_buf: std::mem::take(&mut self.key_buf),
+            pending_basics: std::mem::take(&mut self.pending_basics),
+            pending_basis: std::mem::take(&mut self.pending_basis),
         };
         SCRATCH.with(|c| *c.borrow_mut() = sc);
     }
@@ -1374,7 +1617,7 @@ impl EngineCore for Revised<'_> {
     }
 
     fn run(&mut self) -> RunOutcome {
-        if self.parity == LpParity::Fast {
+        if self.parity == LpParity::Fast && self.kit_allowed {
             self.dual_repair();
         }
         match self.phase1() {
@@ -1392,7 +1635,7 @@ impl EngineCore for Revised<'_> {
         (&self.x, &self.status)
     }
 
-    fn lu_totals(&self) -> Option<[u64; 8]> {
+    fn lu_totals(&self) -> Option<[u64; 11]> {
         Some([
             self.lu_factorizations,
             self.lu_fill_nnz,
@@ -1402,6 +1645,9 @@ impl EngineCore for Revised<'_> {
             self.refactor_fill_triggers,
             self.devex_resets,
             self.ft_replacements,
+            self.pricing_switches,
+            self.partial_refreshes,
+            self.memo_hits,
         ])
     }
 }
@@ -1442,6 +1688,7 @@ mod tests {
             &lp.upper,
             crate::simplex::next_prep_id(),
             LpParity::Exact,
+            true,
         );
         let cold = e.cold_statuses();
         assert!(e.install(&cold));
@@ -1469,6 +1716,7 @@ mod tests {
             &lp.upper,
             crate::simplex::next_prep_id(),
             LpParity::Exact,
+            true,
         );
         // Make both structural columns basic (a 2×2 nonsingular basis).
         let statuses =
@@ -1504,8 +1752,16 @@ mod tests {
         {
             let (lp, sp) =
                 prep(vec![LpRow { coeffs: vec![(0, 0.5)], op: CmpOp::Le, rhs: 5.0 }], 1, 10.0);
-            let mut e =
-                Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
+            let mut e = Revised::new(
+                &sp,
+                &lp.lower,
+                &lp.upper,
+                crate::simplex::next_prep_id(),
+                parity,
+                true,
+            );
+            // The eager fast budget only engages post-switch.
+            e.devex_active = parity == LpParity::Fast;
             let cold = e.cold_statuses();
             assert!(e.install(&cold));
             let factorizations_before = e.lu_factorizations;
@@ -1537,7 +1793,10 @@ mod tests {
         let rows: Vec<LpRow> =
             (0..m).map(|_| LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 1e9 }).collect();
         let (lp, sp) = prep(rows, 1, 10.0);
-        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
+        let mut e =
+            Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity, true);
+        // Fast-mode budgets only engage once the hybrid switch has tripped.
+        e.devex_active = parity == LpParity::Fast;
         let cold = e.cold_statuses();
         assert!(e.install(&cold));
         let fill_per_eta = m - 10;
@@ -1595,8 +1854,14 @@ mod tests {
             1,
             10.0,
         );
-        let mut e =
-            Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), LpParity::Fast);
+        let mut e = Revised::new(
+            &sp,
+            &lp.lower,
+            &lp.upper,
+            crate::simplex::next_prep_id(),
+            LpParity::Fast,
+            true,
+        );
         let cold = e.cold_statuses();
         assert!(e.install(&cold));
         assert_eq!(e.n_etas(), 0, "all-logical basis: empty factor prefix");
@@ -1637,8 +1902,14 @@ mod tests {
                 1,
                 10.0,
             );
-            let mut e =
-                Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
+            let mut e = Revised::new(
+                &sp,
+                &lp.lower,
+                &lp.upper,
+                crate::simplex::next_prep_id(),
+                parity,
+                true,
+            );
             let cold = e.cold_statuses();
             assert!(e.install(&cold));
             for pos in [0usize, 1] {
@@ -1675,8 +1946,14 @@ mod tests {
         // (x0 = 4 > 3) but leaves every reduced cost dual feasible.
         lp.upper[0] = 3.0;
         for parity in [LpParity::Fast, LpParity::Exact] {
-            let mut e =
-                Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), parity);
+            let mut e = Revised::new(
+                &sp,
+                &lp.lower,
+                &lp.upper,
+                crate::simplex::next_prep_id(),
+                parity,
+                true,
+            );
             assert!(e.install(&parent));
             assert_eq!(e.x[0], 4.0, "{parity:?}: warm basic value precedes repair");
             assert!(matches!(e.run(), RunOutcome::Optimal), "{parity:?}");
@@ -1709,8 +1986,14 @@ mod tests {
             objective_offset: 0.0,
         };
         let sp = SparseLp::build(&lp);
-        let mut e =
-            Revised::new(&sp, &lp.lower, &lp.upper, crate::simplex::next_prep_id(), LpParity::Fast);
+        let mut e = Revised::new(
+            &sp,
+            &lp.lower,
+            &lp.upper,
+            crate::simplex::next_prep_id(),
+            LpParity::Fast,
+            true,
+        );
         let cold = e.cold_statuses();
         assert!(e.install(&cold));
         // Cold logical basis prices d₀ = −1 at lower: run() must fall
@@ -1718,5 +2001,144 @@ mod tests {
         assert!(matches!(e.run(), RunOutcome::Optimal));
         assert_eq!(e.x[0], 5.0);
         assert!(e.phase2_iters >= 1, "the primal phase performed the pivot");
+    }
+
+    /// A fast-parity solve long enough to cross [`HYBRID_DEVEX_AFTER`]
+    /// must switch to devex pricing exactly once, and a candidate list
+    /// wider than one partial-pricing section must wrap its rotating
+    /// cursor. With the kit withheld (`kit_allowed = false`) the same
+    /// solve stays on the banded-Dantzig opening end to end.
+    #[test]
+    fn hybrid_switch_fires_once_on_long_fast_solves() {
+        // min Σ −x_i over 100 slack rows x_i ≤ 1: the cold basis is primal
+        // feasible but dual infeasible, so phase 2 pivots every column in
+        // — 100 iterations, crossing the switch threshold on the way.
+        let n = 100;
+        let lp = LpProblem {
+            n_vars: n,
+            lower: vec![0.0; n],
+            upper: vec![10.0; n],
+            rows: (0..n)
+                .map(|i| LpRow { coeffs: vec![(i, 1.0)], op: CmpOp::Le, rhs: 1.0 })
+                .collect(),
+            objective: vec![-1.0; n],
+            minimize: true,
+            objective_offset: 0.0,
+        };
+        let sp = SparseLp::build(&lp);
+        for kit in [true, false] {
+            let mut e = Revised::new(
+                &sp,
+                &lp.lower,
+                &lp.upper,
+                crate::simplex::next_prep_id(),
+                LpParity::Fast,
+                kit,
+            );
+            let cold = e.cold_statuses();
+            assert!(e.install(&cold));
+            assert!(matches!(e.run(), RunOutcome::Optimal), "kit={kit}");
+            assert!(e.phase1_iters + e.phase2_iters >= HYBRID_DEVEX_AFTER, "kit={kit}");
+            for j in 0..n {
+                assert!((e.x[j] - 1.0).abs() < 1e-9, "kit={kit}: x[{j}] = {}", e.x[j]);
+            }
+            if kit {
+                assert!(e.devex_active, "the hybrid switch must have tripped");
+                assert_eq!(e.pricing_switches, 1, "the switch fires exactly once per solve");
+                assert!(
+                    e.partial_refreshes >= 1,
+                    "a 200-candidate list sections; the cursor must have wrapped"
+                );
+            } else {
+                assert!(!e.devex_active, "kit withheld: no devex");
+                assert_eq!(e.pricing_switches, 0, "kit withheld: no switch");
+                assert_eq!(e.partial_refreshes, 0);
+            }
+        }
+    }
+
+    /// A bound flip leaves the basis unchanged, so the flipped column's
+    /// devex weight must drop back to the unit reference — a stale
+    /// inflated weight kept from the column's last basis exit would score
+    /// its next entry as γ/α² against a framework that has moved on, and
+    /// trip a spurious re-reference (`devex_resets`).
+    #[test]
+    fn flip_reprimes_devex_weight_without_spurious_reset() {
+        let (lp, sp) =
+            prep(vec![LpRow { coeffs: vec![(0, 1.0)], op: CmpOp::Le, rhs: 8.0 }], 1, 10.0);
+        let mut e = Revised::new(
+            &sp,
+            &lp.lower,
+            &lp.upper,
+            crate::simplex::next_prep_id(),
+            LpParity::Fast,
+            true,
+        );
+        let cold = e.cold_statuses();
+        assert!(e.install(&cold));
+        e.devex_active = true;
+        // The weight a column carries after leaving the basis late in a
+        // long solve: far above the unit reference, below the reset bound.
+        e.devex[0] = 5e7;
+        // Zero-length flip: no basis column changes, the status snaps to
+        // the opposite bound.
+        e.apply(0, 1.0, Step::Flip { delta: 0.0 });
+        assert_eq!(e.status[0], ColStatus::AtUpper);
+        assert_eq!(e.devex[0], 1.0, "flip must re-prime the weight to the reference floor");
+        // The column's next entry with a modest pivot (α = 0.5) computes
+        // γ = devex[0]/α². Re-primed that is 4; with the stale weight it
+        // would be 5e7/0.25 = 2e8 > DEVEX_RESET_ABOVE — a spurious
+        // framework reset.
+        e.w[0] = 0.5;
+        e.devex_update(0, 0);
+        assert_eq!(e.devex_resets, 0, "no spurious devex reset after a flip");
+        assert_eq!(e.lu_totals().unwrap()[6], 0, "reported counter agrees");
+        assert_eq!(e.devex[1], 4.0, "leaving column inherits γ, no reset path taken");
+    }
+
+    /// Every install increments exactly one of `lu_factorizations` (fresh
+    /// elimination attempted) or `memo_hits` (replay of a cached eta
+    /// file): the two counters must sum to the installs attempted, so the
+    /// bench report attributes the factorization floor honestly.
+    #[test]
+    fn memo_hit_accounting_sums_to_installs() {
+        let (lp, sp) = prep(
+            vec![
+                LpRow { coeffs: vec![(0, 2.0), (1, 1.0)], op: CmpOp::Eq, rhs: 3.0 },
+                LpRow { coeffs: vec![(0, 1.0), (1, 3.0)], op: CmpOp::Eq, rhs: 4.0 },
+            ],
+            2,
+            10.0,
+        );
+        let statuses =
+            vec![ColStatus::Basic, ColStatus::Basic, ColStatus::AtLower, ColStatus::AtLower];
+        let prep_id = crate::simplex::next_prep_id();
+        // First engine: the cache has never seen this model, so the
+        // install runs the elimination.
+        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, prep_id, LpParity::Fast, true);
+        assert!(e.install(&statuses));
+        assert_eq!((e.lu_factorizations, e.memo_hits), (1, 0));
+        // Dropping returns the factor prefix to the thread's memo.
+        drop(e);
+        // Second engine, same model and basic set: the install replays
+        // the memoized eta file instead of eliminating afresh.
+        let mut e = Revised::new(&sp, &lp.lower, &lp.upper, prep_id, LpParity::Fast, true);
+        assert!(e.install(&statuses));
+        assert_eq!(
+            (e.lu_factorizations, e.memo_hits),
+            (0, 1),
+            "a replay must count as a hit, not a factorization"
+        );
+        // A *different* basic set on the same engine misses (the hit took
+        // the entry on loan) and eliminates afresh.
+        let cold = e.cold_statuses();
+        assert!(e.install(&cold));
+        assert_eq!((e.lu_factorizations, e.memo_hits), (1, 1));
+        assert_eq!(
+            e.lu_factorizations + e.memo_hits,
+            2,
+            "two installs on this engine: counters sum to installs attempted"
+        );
+        assert_eq!(e.lu_totals().unwrap()[10], 1, "reported counter agrees");
     }
 }

@@ -304,7 +304,7 @@ pub(crate) trait EngineCore {
     /// Factorization counters accumulated by this engine instance, in
     /// [`SolveActivity::record_lu`](crate::stats) argument order; `None`
     /// for engines without a factorization (dense).
-    fn lu_totals(&self) -> Option<[u64; 8]> {
+    fn lu_totals(&self) -> Option<[u64; 11]> {
         None
     }
 }
@@ -405,6 +405,27 @@ impl<'a> PreparedLp<'a> {
     /// A basis that fails to refactorize (or a solve that stalls out of it)
     /// falls back to a cold start; the outcome is exact either way.
     pub fn solve_warm(&self, lower: &[f64], upper: &[f64], warm: Option<&Basis>) -> LpOutcome {
+        self.solve_node(lower, upper, warm, true)
+    }
+
+    /// [`solve_warm`](Self::solve_warm) with the branch-and-bound drivers'
+    /// per-node control over the fast-parity kit (dual repair plus the
+    /// hybrid devex switch). The drivers pass `fast_kit: false` for the
+    /// root and the opening stretch of a search (a node ordinal below
+    /// [`crate::node::FAST_KIT_AFTER_NODES`]): small searches are already
+    /// fast under the exact trajectory, and the kit's different — and
+    /// typically denser — optimal vertices grow exactly those trees. Only
+    /// once a search has proven big do the kit's per-solve savings
+    /// amortize. The flag is a pure function of the node's position in
+    /// the search order, so thread-count invariance is untouched. Exact
+    /// parity ignores it entirely.
+    pub(crate) fn solve_node(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        warm: Option<&Basis>,
+        fast_kit: bool,
+    ) -> LpOutcome {
         debug_assert_eq!(lower.len(), self.lp.n_vars);
         debug_assert_eq!(upper.len(), self.lp.n_vars);
         match (self.engine, &self.sparse) {
@@ -415,7 +436,7 @@ impl<'a> PreparedLp<'a> {
             }
             (LpEngine::Sparse, Some(sp)) => {
                 drive(self.lp, lower, upper, warm, self.cancel.as_ref(), || {
-                    revised::Revised::new(sp, lower, upper, self.id, self.parity)
+                    revised::Revised::new(sp, lower, upper, self.id, self.parity, fast_kit)
                 })
             }
             (LpEngine::Sparse, None) => unreachable!("sparse engine always prepares a matrix"),
@@ -470,8 +491,8 @@ fn drive<E: EngineCore>(
     // exactly where warm starting performs worst. Factorization work is
     // likewise accumulated across attempts and flushed once per solve.
     let (mut wasted_p1, mut wasted_p2) = (0u64, 0u64);
-    let mut lu = [0u64; 8];
-    let add_lu = |e: &E, lu: &mut [u64; 8]| {
+    let mut lu = [0u64; 11];
+    let add_lu = |e: &E, lu: &mut [u64; 11]| {
         if let Some(t) = e.lu_totals() {
             for (acc, v) in lu.iter_mut().zip(t) {
                 *acc += v;

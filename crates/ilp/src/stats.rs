@@ -62,6 +62,25 @@ pub struct SolveStats {
     /// pivots whose update eta *composed into* the previous same-row eta
     /// instead of appending, keeping the eta file from growing.
     pub ft_replacements: u64,
+    /// Hybrid-pricing switches under `TAPACS_LP_PARITY=fast`: node solves
+    /// that outgrew the banded-Dantzig opening and switched to devex
+    /// pricing mid-solve. A pure function of each node's iteration count,
+    /// so the total is identical across `TAPACS_SOLVER_THREADS` values.
+    pub pricing_switches: u64,
+    /// Partial-pricing wrap-arounds under `TAPACS_LP_PARITY=fast`: rotating
+    /// section scans that exhausted the candidate list and restarted from
+    /// the front (each wrap is one full-width pricing pass).
+    pub partial_pricing_refreshes: u64,
+    /// Basis installs served by replaying a memoized factorization (same
+    /// basic set, same model) instead of eliminating from scratch —
+    /// branch-and-bound siblings and bound-flip-only children hit this.
+    /// Every install is exactly one of `lu_factorizations` /
+    /// `memo_sibling_hits`, so the two always sum to installs.
+    pub memo_sibling_hits: u64,
+    /// Branch-and-bound nodes expanded across all searches (both the
+    /// sequential and the deterministic-parallel driver). The fast-parity
+    /// node-tree guard compares this between parity modes.
+    pub bb_nodes: u64,
     /// Models run through [`presolve`](crate::SolverOptions::presolve).
     pub presolve_runs: u64,
     /// Constraint rows removed as empty, singleton or redundant.
@@ -110,6 +129,11 @@ impl SolveStats {
             refactor_fill_triggers: self.refactor_fill_triggers + other.refactor_fill_triggers,
             devex_resets: self.devex_resets + other.devex_resets,
             ft_replacements: self.ft_replacements + other.ft_replacements,
+            pricing_switches: self.pricing_switches + other.pricing_switches,
+            partial_pricing_refreshes: self.partial_pricing_refreshes
+                + other.partial_pricing_refreshes,
+            memo_sibling_hits: self.memo_sibling_hits + other.memo_sibling_hits,
+            bb_nodes: self.bb_nodes + other.bb_nodes,
             presolve_runs: self.presolve_runs + other.presolve_runs,
             presolve_rows_removed: self.presolve_rows_removed + other.presolve_rows_removed,
             presolve_cols_fixed: self.presolve_cols_fixed + other.presolve_cols_fixed,
@@ -138,6 +162,12 @@ impl SolveStats {
                 .saturating_sub(earlier.refactor_fill_triggers),
             devex_resets: self.devex_resets.saturating_sub(earlier.devex_resets),
             ft_replacements: self.ft_replacements.saturating_sub(earlier.ft_replacements),
+            pricing_switches: self.pricing_switches.saturating_sub(earlier.pricing_switches),
+            partial_pricing_refreshes: self
+                .partial_pricing_refreshes
+                .saturating_sub(earlier.partial_pricing_refreshes),
+            memo_sibling_hits: self.memo_sibling_hits.saturating_sub(earlier.memo_sibling_hits),
+            bb_nodes: self.bb_nodes.saturating_sub(earlier.bb_nodes),
             presolve_runs: self.presolve_runs.saturating_sub(earlier.presolve_runs),
             presolve_rows_removed: self
                 .presolve_rows_removed
@@ -168,6 +198,10 @@ pub struct SolveActivity {
     refactor_fill_triggers: AtomicU64,
     devex_resets: AtomicU64,
     ft_replacements: AtomicU64,
+    pricing_switches: AtomicU64,
+    partial_pricing_refreshes: AtomicU64,
+    memo_sibling_hits: AtomicU64,
+    bb_nodes: AtomicU64,
     presolve_runs: AtomicU64,
     presolve_rows_removed: AtomicU64,
     presolve_cols_fixed: AtomicU64,
@@ -254,6 +288,10 @@ impl SolveActivity {
             refactor_fill_triggers: self.refactor_fill_triggers.load(Ordering::Relaxed),
             devex_resets: self.devex_resets.load(Ordering::Relaxed),
             ft_replacements: self.ft_replacements.load(Ordering::Relaxed),
+            pricing_switches: self.pricing_switches.load(Ordering::Relaxed),
+            partial_pricing_refreshes: self.partial_pricing_refreshes.load(Ordering::Relaxed),
+            memo_sibling_hits: self.memo_sibling_hits.load(Ordering::Relaxed),
+            bb_nodes: self.bb_nodes.load(Ordering::Relaxed),
             presolve_runs: self.presolve_runs.load(Ordering::Relaxed),
             presolve_rows_removed: self.presolve_rows_removed.load(Ordering::Relaxed),
             presolve_cols_fixed: self.presolve_cols_fixed.load(Ordering::Relaxed),
@@ -276,6 +314,10 @@ impl SolveActivity {
         self.refactor_fill_triggers.store(0, Ordering::Relaxed);
         self.devex_resets.store(0, Ordering::Relaxed);
         self.ft_replacements.store(0, Ordering::Relaxed);
+        self.pricing_switches.store(0, Ordering::Relaxed);
+        self.partial_pricing_refreshes.store(0, Ordering::Relaxed);
+        self.memo_sibling_hits.store(0, Ordering::Relaxed);
+        self.bb_nodes.store(0, Ordering::Relaxed);
         self.presolve_runs.store(0, Ordering::Relaxed);
         self.presolve_rows_removed.store(0, Ordering::Relaxed);
         self.presolve_cols_fixed.store(0, Ordering::Relaxed);
@@ -292,8 +334,9 @@ impl SolveActivity {
     /// locally (one call per solve, not per pivot — the engine batches).
     /// The array matches [`EngineCore::lu_totals`](crate::simplex) order:
     /// factorizations, fill_nnz, eta_updates, eta_nnz, refactor_triggers,
-    /// refactor_fill_triggers, devex_resets, ft_replacements.
-    pub(crate) fn record_lu(&self, lu: &[u64; 8]) {
+    /// refactor_fill_triggers, devex_resets, ft_replacements,
+    /// pricing_switches, partial_pricing_refreshes, memo_sibling_hits.
+    pub(crate) fn record_lu(&self, lu: &[u64; 11]) {
         self.lu_factorizations.fetch_add(lu[0], Ordering::Relaxed);
         self.lu_fill_nnz.fetch_add(lu[1], Ordering::Relaxed);
         self.eta_updates.fetch_add(lu[2], Ordering::Relaxed);
@@ -302,6 +345,15 @@ impl SolveActivity {
         self.refactor_fill_triggers.fetch_add(lu[5], Ordering::Relaxed);
         self.devex_resets.fetch_add(lu[6], Ordering::Relaxed);
         self.ft_replacements.fetch_add(lu[7], Ordering::Relaxed);
+        self.pricing_switches.fetch_add(lu[8], Ordering::Relaxed);
+        self.partial_pricing_refreshes.fetch_add(lu[9], Ordering::Relaxed);
+        self.memo_sibling_hits.fetch_add(lu[10], Ordering::Relaxed);
+    }
+
+    /// Adds one finished branch-and-bound search's expanded-node count
+    /// (recorded once per search by both B&B drivers).
+    pub(crate) fn record_bb_nodes(&self, nodes: u64) {
+        self.bb_nodes.fetch_add(nodes, Ordering::Relaxed);
     }
 
     pub(crate) fn record_warm_attempt(&self) {
@@ -405,7 +457,8 @@ mod tests {
         act.record_warm_attempt();
         act.record_warm_hit();
         act.record_presolve(2, 1, 3);
-        act.record_lu(&[2, 17, 4, 9, 1, 1, 3, 6]);
+        act.record_lu(&[2, 17, 4, 9, 1, 1, 3, 6, 2, 5, 4]);
+        act.record_bb_nodes(13);
         let s = act.snapshot();
         assert_eq!(s.lp_solves, 1);
         assert_eq!(s.simplex_iterations, 12);
@@ -420,6 +473,10 @@ mod tests {
         assert_eq!(s.refactor_fill_triggers, 1);
         assert_eq!(s.devex_resets, 3);
         assert_eq!(s.ft_replacements, 6);
+        assert_eq!(s.pricing_switches, 2);
+        assert_eq!(s.partial_pricing_refreshes, 5);
+        assert_eq!(s.memo_sibling_hits, 4);
+        assert_eq!(s.bb_nodes, 13);
         act.clear();
         assert_eq!(act.snapshot(), SolveStats::default());
     }
@@ -435,6 +492,10 @@ mod tests {
             refactor_fill_triggers: 1,
             devex_resets: 4,
             ft_replacements: 8,
+            pricing_switches: 6,
+            partial_pricing_refreshes: 10,
+            memo_sibling_hits: 7,
+            bb_nodes: 20,
             ..Default::default()
         };
         let b = SolveStats {
@@ -446,6 +507,10 @@ mod tests {
             refactor_fill_triggers: 1,
             devex_resets: 1,
             ft_replacements: 3,
+            pricing_switches: 2,
+            partial_pricing_refreshes: 4,
+            memo_sibling_hits: 5,
+            bb_nodes: 8,
             ..Default::default()
         };
         let m = a.merged(&b);
@@ -454,6 +519,10 @@ mod tests {
         assert_eq!(m.refactor_fill_triggers, 2);
         assert_eq!(m.devex_resets, 5);
         assert_eq!(m.ft_replacements, 11);
+        assert_eq!(m.pricing_switches, 8);
+        assert_eq!(m.partial_pricing_refreshes, 14);
+        assert_eq!(m.memo_sibling_hits, 12);
+        assert_eq!(m.bb_nodes, 28);
         let d = a.since(&b);
         assert_eq!(d.lu_factorizations, 3);
         assert_eq!(d.lu_fill_nnz, 30);
@@ -461,5 +530,9 @@ mod tests {
         assert_eq!(d.refactor_fill_triggers, 0);
         assert_eq!(d.devex_resets, 3);
         assert_eq!(d.ft_replacements, 5);
+        assert_eq!(d.pricing_switches, 4);
+        assert_eq!(d.partial_pricing_refreshes, 6);
+        assert_eq!(d.memo_sibling_hits, 2);
+        assert_eq!(d.bb_nodes, 12);
     }
 }

@@ -14,9 +14,12 @@
 //!    the objective, and every returned point (postsolved back from the
 //!    reduced space) is feasible in the *original* variable space.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use tapacs_ilp::{
-    IlpError, LinExpr, Model, ParallelSolver, Sense, SequentialSolver, Solver, SolverConfig,
+    IlpError, LinExpr, LpParity, Model, ParallelSolver, Sense, SequentialSolver, SolveActivity,
+    SolveStats, Solver, SolverConfig,
 };
 
 /// A random ≤-only knapsack-like model: always feasible (all-zeros works).
@@ -45,6 +48,63 @@ fn presolve_rich_model(values: &[u32], weights: &[u32], cap: u32, bound: u32) ->
     let weight = LinExpr::sum(vars.iter().zip(weights).map(|(&v, &w)| LinExpr::term(v, w as f64)));
     m.add_le("slack", weight, 1e7);
     m
+}
+
+/// Solves `m` with the fast-parity parallel backend at `threads` threads
+/// under a scoped stats collector, returning the solution plus the
+/// counters the run recorded (pricing switches, partial-pricing
+/// refreshes, branch-and-bound nodes, iterations).
+fn solve_fast_with_stats(m: &Model, threads: usize) -> (tapacs_ilp::Solution, SolveStats) {
+    let handle = Arc::new(SolveActivity::default());
+    let sol = SolveActivity::scoped(&handle, || {
+        ParallelSolver { threads, lp_parity: LpParity::Fast, ..Default::default() }
+            .solve(m, &SolverConfig::default())
+    })
+    .expect("fast-parity solve must succeed");
+    (sol, handle.snapshot())
+}
+
+/// The fast-parity kit decisions — the hybrid pricing switch, the
+/// partial-pricing cursor and the kit-restart cutover — are pure
+/// functions of the node, never of thread count or timing. A big
+/// symmetric tree (2·Σx ≤ odd cap forces every relaxation fractional)
+/// drives the search well past the kit-restart threshold, so the
+/// abandoned-attempt node count, the restarted tree and every pricing
+/// counter must come back identical at 1, 2 and 4 threads.
+#[test]
+fn fast_kit_restart_is_thread_invariant_on_a_big_tree() {
+    let n = 15;
+    let mut m = Model::new("sym");
+    let vars: Vec<_> = (0..n).map(|i| m.binary(format!("x{i}"))).collect();
+    m.add_le("cap", LinExpr::sum(vars.iter().map(|&x| LinExpr::term(x, 2.0))), n as f64);
+    m.set_objective(Sense::Maximize, LinExpr::sum(vars.iter().map(|&x| LinExpr::term(x, 1.0))));
+
+    let (one, stats_one) = solve_fast_with_stats(&m, 1);
+    assert!(
+        stats_one.bb_nodes > one.nodes_explored as u64,
+        "the abandoned first attempt must have recorded its nodes \
+         (bb_nodes {} vs final tree {})",
+        stats_one.bb_nodes,
+        one.nodes_explored
+    );
+    for threads in [2usize, 4] {
+        let (t, stats_t) = solve_fast_with_stats(&m, threads);
+        assert_eq!(one.values, t.values, "threads={threads} diverged on the point");
+        assert_eq!(one.nodes_explored, t.nodes_explored, "threads={threads} tree size");
+        assert_eq!(stats_one.bb_nodes, stats_t.bb_nodes, "threads={threads} recorded nodes");
+        assert_eq!(
+            stats_one.pricing_switches, stats_t.pricing_switches,
+            "threads={threads} pricing switches"
+        );
+        assert_eq!(
+            stats_one.partial_pricing_refreshes, stats_t.partial_pricing_refreshes,
+            "threads={threads} partial-pricing refreshes"
+        );
+        assert_eq!(
+            stats_one.simplex_iterations, stats_t.simplex_iterations,
+            "threads={threads} iterations"
+        );
+    }
 }
 
 proptest! {
@@ -168,6 +228,35 @@ proptest! {
             prop_assert!(m.is_feasible(&sol.values, 1e-6), "{name} returned infeasible point");
             prop_assert!((sol.objective - reference.objective).abs() < 1e-6,
                 "{name} objective {} vs sequential {}", sol.objective, reference.objective);
+        }
+    }
+
+    #[test]
+    fn fast_parity_pricing_decisions_are_thread_invariant(
+        items in prop::collection::vec((1u32..50, 1u32..30), 1..10),
+        cap in 1u32..100,
+    ) {
+        // The hybrid-pricing switch, the partial-pricing cursor and the
+        // kit-restart cutover must be pure functions of the node: random
+        // models at 1, 2 and 4 threads agree on every pricing counter
+        // (most instances never trip the switch — the counters must then
+        // be identically zero, not merely close).
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let (m, _) = knapsack_model(&values, &weights, cap);
+
+        let (one, stats_one) = solve_fast_with_stats(&m, 1);
+        for threads in [2usize, 4] {
+            let (t, stats_t) = solve_fast_with_stats(&m, threads);
+            prop_assert_eq!(&one.values, &t.values, "threads={} point diverged", threads);
+            prop_assert_eq!(one.nodes_explored, t.nodes_explored);
+            prop_assert_eq!(stats_one.bb_nodes, stats_t.bb_nodes);
+            prop_assert_eq!(stats_one.pricing_switches, stats_t.pricing_switches,
+                "threads={} pricing switches diverged", threads);
+            prop_assert_eq!(stats_one.partial_pricing_refreshes,
+                stats_t.partial_pricing_refreshes);
+            prop_assert_eq!(stats_one.simplex_iterations, stats_t.simplex_iterations,
+                "threads={} iteration counts diverged", threads);
         }
     }
 
